@@ -1,0 +1,53 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one figure or table of the paper through
+``repro.experiments.run_experiment`` and prints the reproduced rows, so the
+captured benchmark output doubles as the reproduction report.  Experiments are
+expensive relative to micro-benchmarks, so each one is executed exactly once
+(``rounds=1``) — the interesting output is the experiment result, the timing is
+a bonus.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import run_experiment
+
+#: Scale used by the benchmark harness; override with REPRO_BENCH_SCALE=full
+#: for a longer, closer-to-paper run.
+BENCH_SCALE = os.environ.get("REPRO_BENCH_SCALE", "small")
+
+#: The reproduced rows of every figure/table are appended here so they remain
+#: available even though pytest captures per-test stdout.
+REPORT_PATH = Path(__file__).resolve().parent.parent / "benchmark_report.txt"
+
+
+def pytest_sessionstart(session):
+    """Start a fresh report file for every benchmark session."""
+    del session
+    REPORT_PATH.write_text(f"TASFAR reproduction benchmark report (scale={BENCH_SCALE})\n\n")
+
+
+@pytest.fixture
+def run_figure(benchmark):
+    """Run one experiment under pytest-benchmark, print and record its summary."""
+
+    def runner(experiment_id: str):
+        result = benchmark.pedantic(
+            run_experiment,
+            args=(experiment_id,),
+            kwargs={"scale": BENCH_SCALE},
+            rounds=1,
+            iterations=1,
+        )
+        print()
+        print(result.summary())
+        with REPORT_PATH.open("a", encoding="utf-8") as handle:
+            handle.write(result.summary() + "\n\n")
+        return result
+
+    return runner

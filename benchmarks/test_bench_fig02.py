@@ -1,0 +1,10 @@
+"""Benchmark regenerating Fig. 2: per-user stride-length (label) distributions."""
+
+import pytest
+
+
+@pytest.mark.benchmark(group="pdr")
+def test_fig02(run_figure):
+    """Fig. 2: per-user stride-length (label) distributions."""
+    result = run_figure("fig2_label_distributions")
+    assert result.rows, "the experiment must produce at least one row"

@@ -1,0 +1,10 @@
+"""Benchmark regenerating Fig. 3: prediction error vs. uncertainty quartile."""
+
+import pytest
+
+
+@pytest.mark.benchmark(group="pdr")
+def test_fig03(run_figure):
+    """Fig. 3: prediction error vs. uncertainty quartile."""
+    result = run_figure("fig3_uncertainty_error")
+    assert result.rows, "the experiment must produce at least one row"

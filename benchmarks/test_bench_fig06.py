@@ -1,0 +1,10 @@
+"""Benchmark regenerating Fig. 6: estimated vs. true label density maps."""
+
+import pytest
+
+
+@pytest.mark.benchmark(group="pdr")
+def test_fig06(run_figure):
+    """Fig. 6: estimated vs. true label density maps."""
+    result = run_figure("fig6_density_maps")
+    assert result.rows, "the experiment must produce at least one row"

@@ -1,0 +1,10 @@
+"""Benchmark regenerating Fig. 7: density-map error vs. grid size."""
+
+import pytest
+
+
+@pytest.mark.benchmark(group="pdr")
+def test_fig07(run_figure):
+    """Fig. 7: density-map error vs. grid size."""
+    result = run_figure("fig7_grid_size_map_error")
+    assert result.rows, "the experiment must produce at least one row"

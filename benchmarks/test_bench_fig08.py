@@ -1,0 +1,10 @@
+"""Benchmark regenerating Fig. 8: pseudo-label error vs. grid size and error model."""
+
+import pytest
+
+
+@pytest.mark.benchmark(group="pdr")
+def test_fig08(run_figure):
+    """Fig. 8: pseudo-label error vs. grid size and error model."""
+    result = run_figure("fig8_grid_size_pseudo_error")
+    assert result.rows, "the experiment must produce at least one row"

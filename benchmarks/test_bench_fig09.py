@@ -1,0 +1,10 @@
+"""Benchmark regenerating Fig. 9: pseudo-label error vs. segment quantity q."""
+
+import pytest
+
+
+@pytest.mark.benchmark(group="pdr")
+def test_fig09(run_figure):
+    """Fig. 9: pseudo-label error vs. segment quantity q."""
+    result = run_figure("fig9_segment_count")
+    assert result.rows, "the experiment must produce at least one row"

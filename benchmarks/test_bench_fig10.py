@@ -1,0 +1,10 @@
+"""Benchmark regenerating Fig. 10: pseudo-label error vs. confidence ratio eta."""
+
+import pytest
+
+
+@pytest.mark.benchmark(group="pdr")
+def test_fig10(run_figure):
+    """Fig. 10: pseudo-label error vs. confidence ratio eta."""
+    result = run_figure("fig10_confidence_ratio")
+    assert result.rows, "the experiment must produce at least one row"

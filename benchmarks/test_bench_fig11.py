@@ -1,0 +1,10 @@
+"""Benchmark regenerating Fig. 11: credibility/error correlation per user."""
+
+import pytest
+
+
+@pytest.mark.benchmark(group="pdr")
+def test_fig11(run_figure):
+    """Fig. 11: credibility/error correlation per user."""
+    result = run_figure("fig11_credibility_correlation")
+    assert result.rows, "the experiment must produce at least one row"

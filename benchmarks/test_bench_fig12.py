@@ -1,0 +1,10 @@
+"""Benchmark regenerating Fig. 12: ablation of the credibility weight beta_t."""
+
+import pytest
+
+
+@pytest.mark.benchmark(group="pdr")
+def test_fig12(run_figure):
+    """Fig. 12: ablation of the credibility weight beta_t."""
+    result = run_figure("fig12_credibility_ablation")
+    assert result.rows, "the experiment must produce at least one row"

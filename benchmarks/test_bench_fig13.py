@@ -1,0 +1,10 @@
+"""Benchmark regenerating Fig. 13: adaptation learning curves and early stop."""
+
+import pytest
+
+
+@pytest.mark.benchmark(group="pdr")
+def test_fig13(run_figure):
+    """Fig. 13: adaptation learning curves and early stop."""
+    result = run_figure("fig13_learning_curves")
+    assert result.rows, "the experiment must produce at least one row"

@@ -1,0 +1,10 @@
+"""Benchmark regenerating Fig. 14: STE reduction per scheme, seen group."""
+
+import pytest
+
+
+@pytest.mark.benchmark(group="pdr")
+def test_fig14(run_figure):
+    """Fig. 14: STE reduction per scheme, seen group."""
+    result = run_figure("fig14_ste_reduction_seen")
+    assert result.rows, "the experiment must produce at least one row"

@@ -1,0 +1,10 @@
+"""Benchmark regenerating Fig. 15: STE reduction on adaptation vs. test split."""
+
+import pytest
+
+
+@pytest.mark.benchmark(group="pdr")
+def test_fig15(run_figure):
+    """Fig. 15: STE reduction on adaptation vs. test split."""
+    result = run_figure("fig15_adaptation_vs_test")
+    assert result.rows, "the experiment must produce at least one row"

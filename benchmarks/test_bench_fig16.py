@@ -1,0 +1,10 @@
+"""Benchmark regenerating Fig. 16: uncertain-data ratio and error share."""
+
+import pytest
+
+
+@pytest.mark.benchmark(group="pdr")
+def test_fig16(run_figure):
+    """Fig. 16: uncertain-data ratio and error share."""
+    result = run_figure("fig16_uncertain_ratio")
+    assert result.rows, "the experiment must produce at least one row"

@@ -1,0 +1,10 @@
+"""Benchmark regenerating Fig. 17: RTE reduction distribution, seen group."""
+
+import pytest
+
+
+@pytest.mark.benchmark(group="pdr")
+def test_fig17(run_figure):
+    """Fig. 17: RTE reduction distribution, seen group."""
+    result = run_figure("fig17_rte_reduction_seen")
+    assert result.rows, "the experiment must produce at least one row"

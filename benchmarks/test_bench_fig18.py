@@ -1,0 +1,10 @@
+"""Benchmark regenerating Fig. 18: RTE reduction distribution, unseen group."""
+
+import pytest
+
+
+@pytest.mark.benchmark(group="pdr")
+def test_fig18(run_figure):
+    """Fig. 18: RTE reduction distribution, unseen group."""
+    result = run_figure("fig18_rte_reduction_unseen")
+    assert result.rows, "the experiment must produce at least one row"

@@ -1,0 +1,10 @@
+"""Benchmark regenerating Fig. 19: per-scene crowd counting comparison."""
+
+import pytest
+
+
+@pytest.mark.benchmark(group="counting")
+def test_fig19(run_figure):
+    """Fig. 19: per-scene crowd counting comparison."""
+    result = run_figure("fig19_counting_scenes")
+    assert result.rows, "the experiment must produce at least one row"

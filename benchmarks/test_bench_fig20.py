@@ -1,0 +1,10 @@
+"""Benchmark regenerating Fig. 20: partitioned vs. pooled adaptation."""
+
+import pytest
+
+
+@pytest.mark.benchmark(group="counting")
+def test_fig20(run_figure):
+    """Fig. 20: partitioned vs. pooled adaptation."""
+    result = run_figure("fig20_partitioning")
+    assert result.rows, "the experiment must produce at least one row"

@@ -1,0 +1,10 @@
+"""Benchmark regenerating Fig. 21: housing and taxi prediction tasks."""
+
+import pytest
+
+
+@pytest.mark.benchmark(group="prediction")
+def test_fig21(run_figure):
+    """Fig. 21: housing and taxi prediction tasks."""
+    result = run_figure("fig21_prediction_tasks")
+    assert result.rows, "the experiment must produce at least one row"

@@ -1,0 +1,10 @@
+"""Benchmark regenerating Fig. 22: two-user mixture failure case."""
+
+import pytest
+
+
+@pytest.mark.benchmark(group="pdr")
+def test_fig22(run_figure):
+    """Fig. 22: two-user mixture failure case."""
+    result = run_figure("fig22_failure_case")
+    assert result.rows, "the experiment must produce at least one row"

@@ -1,0 +1,10 @@
+"""Benchmark regenerating Table I: crowd counting MAE/MSE per scheme."""
+
+import pytest
+
+
+@pytest.mark.benchmark(group="counting")
+def test_table1(run_figure):
+    """Table I: crowd counting MAE/MSE per scheme."""
+    result = run_figure("table1_crowd_counting")
+    assert result.rows, "the experiment must produce at least one row"

@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+The canonical build configuration lives in ``pyproject.toml``.  This file only
+exists so that editable installs work in offline environments whose setuptools
+cannot build PEP 517 editable wheels (no ``wheel`` package available):
+
+    pip install -e . --no-build-isolation --no-use-pep517
+"""
+
+from setuptools import setup
+
+setup()

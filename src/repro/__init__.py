@@ -1,0 +1,15 @@
+"""TASFAR reproduction: target-agnostic source-free domain adaptation for regression.
+
+The public API re-exports the most commonly used entry points:
+
+* :class:`repro.core.Tasfar` — the adaptation algorithm.
+* :class:`repro.core.TasfarConfig` — its configuration.
+* :mod:`repro.nn` — the numpy neural-network substrate.
+* :mod:`repro.data` — synthetic generators for the four evaluation tasks.
+* :mod:`repro.baselines` — source-based and source-free UDA baselines.
+* :mod:`repro.experiments` — per-figure/table experiment harness.
+"""
+
+from .version import __version__
+
+__all__ = ["__version__"]

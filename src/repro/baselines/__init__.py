@@ -1,0 +1,28 @@
+"""UDA baselines the paper compares TASFAR against."""
+
+from .adversarial import AdversarialUda, logistic_loss
+from .augfree import AugFree, variance_perturbation
+from .base import Adapter, AdapterResult, clone_model
+from .datafree import DataFree, FeatureStatistics
+from .mmd import MmdUda, rbf_mmd
+from .registry import SCHEME_NAMES, make_adapter
+from .source_only import SourceOnly
+from .tasfar_adapter import TasfarAdapter
+
+__all__ = [
+    "Adapter",
+    "AdapterResult",
+    "AdversarialUda",
+    "AugFree",
+    "DataFree",
+    "FeatureStatistics",
+    "MmdUda",
+    "SCHEME_NAMES",
+    "SourceOnly",
+    "TasfarAdapter",
+    "clone_model",
+    "logistic_loss",
+    "make_adapter",
+    "rbf_mmd",
+    "variance_perturbation",
+]

@@ -1,0 +1,134 @@
+"""Source-based UDA baseline: adversarial feature alignment (DANN/ADDA style).
+
+Stands in for the paper's "ADV" comparison scheme ([35]): a domain
+discriminator is trained to tell source features from target features while a
+gradient-reversal layer pushes the encoder toward features the discriminator
+cannot separate.  Requires source data at adaptation time.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn.activations import ReLU
+from ..nn.container import Sequential
+from ..nn.data import ArrayDataset, DataLoader
+from ..nn.gradient_reversal import GradientReversal
+from ..nn.linear import Linear
+from ..nn.losses import MSELoss
+from ..nn.models import RegressionModel
+from ..nn.optim import Adam, clip_gradients
+from .base import Adapter, AdapterResult, clone_model
+
+__all__ = ["AdversarialUda", "logistic_loss"]
+
+
+def logistic_loss(logits: np.ndarray, labels: np.ndarray) -> tuple[float, np.ndarray]:
+    """Binary cross-entropy on logits; returns ``(value, grad_wrt_logits)``."""
+    logits = np.asarray(logits, dtype=np.float64).ravel()
+    labels = np.asarray(labels, dtype=np.float64).ravel()
+    if logits.shape != labels.shape:
+        raise ValueError("logits and labels must have the same length")
+    probabilities = 1.0 / (1.0 + np.exp(-np.clip(logits, -60.0, 60.0)))
+    eps = 1e-12
+    value = float(
+        -(labels * np.log(probabilities + eps) + (1 - labels) * np.log(1 - probabilities + eps)).mean()
+    )
+    grad = (probabilities - labels)[:, None] / len(logits)
+    return value, grad
+
+
+class AdversarialUda(Adapter):
+    """Domain-adversarial re-training of the source model."""
+
+    requires_source_data = True
+    name = "adv"
+
+    def __init__(
+        self,
+        epochs: int = 20,
+        lr: float = 2e-4,
+        batch_size: int = 32,
+        adversarial_weight: float = 0.3,
+        discriminator_hidden: int = 32,
+        seed: int = 0,
+    ) -> None:
+        if epochs <= 0 or batch_size <= 0:
+            raise ValueError("epochs and batch_size must be positive")
+        self.epochs = epochs
+        self.lr = lr
+        self.batch_size = batch_size
+        self.adversarial_weight = adversarial_weight
+        self.discriminator_hidden = discriminator_hidden
+        self.seed = seed
+
+    def _build_discriminator(self, feature_dim: int) -> Sequential:
+        rng = np.random.default_rng(self.seed + 1)
+        return Sequential(
+            GradientReversal(self.adversarial_weight),
+            Linear(feature_dim, self.discriminator_hidden, rng=rng, name="adv.disc0"),
+            ReLU(),
+            Linear(self.discriminator_hidden, 1, rng=rng, name="adv.disc1"),
+        )
+
+    def adapt(
+        self,
+        source_model: RegressionModel,
+        target_inputs: np.ndarray,
+        source_data: ArrayDataset | None = None,
+    ) -> AdapterResult:
+        if source_data is None:
+            raise ValueError("adversarial UDA requires the labelled source dataset")
+        target_inputs = np.asarray(target_inputs, dtype=np.float64)
+        rng = np.random.default_rng(self.seed)
+        model = clone_model(source_model)
+        # Dropout is disabled during re-training for the same reason as in the
+        # other adapters (self-distillation noise on compact models).
+        saved_rates = [(layer, layer.rate) for layer in model.dropout_layers()]
+        for layer, _ in saved_rates:
+            layer.rate = 0.0
+
+        feature_dim = model.features(source_data.inputs[:2]).shape[1]
+        discriminator = self._build_discriminator(feature_dim)
+
+        optimizer = Adam(model.parameters() + discriminator.parameters(), lr=self.lr)
+        loss = MSELoss()
+        loader = DataLoader(source_data, batch_size=self.batch_size, shuffle=True, rng=rng)
+
+        losses: list[float] = []
+        model.train()
+        discriminator.train()
+        for _ in range(self.epochs):
+            epoch_total, batches = 0.0, 0
+            for inputs, targets, _ in loader:
+                optimizer.zero_grad()
+                # Supervised loss on the source batch.
+                predictions = model.forward(inputs)
+                task_value, task_grad = loss(predictions, targets)
+                model.backward(task_grad)
+
+                # Domain-adversarial loss through the gradient-reversal layer.
+                target_batch = target_inputs[
+                    rng.choice(len(target_inputs), size=min(len(inputs), len(target_inputs)), replace=False)
+                ]
+                domain_inputs = np.concatenate([inputs, target_batch], axis=0)
+                domain_labels = np.concatenate([np.ones(len(inputs)), np.zeros(len(target_batch))])
+                features = model.features(domain_inputs)
+                logits = discriminator.forward(features)
+                domain_value, domain_grad = logistic_loss(logits, domain_labels)
+                grad_features = discriminator.backward(domain_grad)
+                model.backward_features(grad_features)
+
+                clip_gradients(optimizer.parameters, 5.0)
+                optimizer.step()
+                epoch_total += task_value + domain_value
+                batches += 1
+            losses.append(epoch_total / max(batches, 1))
+        model.eval()
+        for layer, rate in saved_rates:
+            layer.rate = rate
+        return AdapterResult(
+            target_model=model,
+            losses=losses,
+            diagnostics={"adversarial_weight": self.adversarial_weight},
+        )

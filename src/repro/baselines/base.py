@@ -1,0 +1,66 @@
+"""Common interface for the UDA baselines compared against TASFAR.
+
+Every baseline implements :meth:`Adapter.adapt`, taking the trained source
+model plus whatever data its setting allows it to see:
+
+* **source-based** UDA (MMD, ADV) may use the labelled source dataset and the
+  unlabeled target adaptation set;
+* **source-free** UDA (Datafree, AUGfree, TASFAR itself) may only use the
+  source model — plus, for Datafree, a compact statistic computed on the
+  source side before deployment — and the unlabeled target adaptation set.
+
+The adapters never read target labels.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..nn.data import ArrayDataset
+from ..nn.models import RegressionModel
+
+__all__ = ["AdapterResult", "Adapter", "clone_model"]
+
+
+@dataclass
+class AdapterResult:
+    """Outcome of one baseline adaptation run."""
+
+    target_model: RegressionModel
+    losses: list[float] = field(default_factory=list)
+    diagnostics: dict = field(default_factory=dict)
+
+
+class Adapter:
+    """Interface implemented by every UDA baseline."""
+
+    #: whether the adapter needs the labelled source dataset at adaptation time
+    requires_source_data: bool = False
+    name: str = "adapter"
+
+    def adapt(
+        self,
+        source_model: RegressionModel,
+        target_inputs: np.ndarray,
+        source_data: ArrayDataset | None = None,
+    ) -> AdapterResult:
+        """Adapt ``source_model`` to the target domain.
+
+        Parameters
+        ----------
+        source_model:
+            The trained source model (never modified in place).
+        target_inputs:
+            Unlabeled target adaptation inputs.
+        source_data:
+            Labelled source data; only provided to source-based adapters.
+        """
+        raise NotImplementedError
+
+
+def clone_model(model: RegressionModel) -> RegressionModel:
+    """Deep copy of a model, used so adapters never mutate the source model."""
+    return copy.deepcopy(model)

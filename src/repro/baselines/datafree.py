@@ -1,0 +1,149 @@
+"""Source-free UDA baseline: stored feature-statistics restoration.
+
+Stands in for the paper's "Datafree" comparison scheme ([8], Bottom-Up Feature
+Restoration): before deployment a compact per-unit statistic of the source
+encoder features (mean, variance and a soft histogram) is stored; at the
+target, the encoder is fine-tuned so the target feature statistics match the
+stored source statistics, with the regression head frozen.  No source data is
+needed at the target — only the statistic — which is why the paper treats this
+family as "UDA without source data" but notes its limited adaptation power.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..nn.data import ArrayDataset, DataLoader
+from ..nn.models import RegressionModel
+from ..nn.optim import Adam, clip_gradients
+from .base import Adapter, AdapterResult, clone_model
+
+__all__ = ["FeatureStatistics", "DataFree"]
+
+
+@dataclass
+class FeatureStatistics:
+    """Per-unit statistics of the source encoder features."""
+
+    mean: np.ndarray
+    variance: np.ndarray
+    histogram_edges: np.ndarray
+    histograms: np.ndarray
+
+    @classmethod
+    def from_features(cls, features: np.ndarray, n_bins: int = 16) -> "FeatureStatistics":
+        """Compute statistics from a matrix of source features ``(n, d)``."""
+        features = np.asarray(features, dtype=np.float64)
+        if features.ndim != 2 or len(features) < 2:
+            raise ValueError("features must be a (n_samples, n_units) matrix with n_samples >= 2")
+        mean = features.mean(axis=0)
+        variance = features.var(axis=0)
+        low = float(features.min())
+        high = float(features.max())
+        if high <= low:
+            high = low + 1.0
+        edges = np.linspace(low, high, n_bins + 1)
+        histograms = np.stack(
+            [np.histogram(features[:, unit], bins=edges, density=False)[0] for unit in range(features.shape[1])]
+        ).astype(np.float64)
+        histograms /= np.maximum(histograms.sum(axis=1, keepdims=True), 1.0)
+        return cls(mean=mean, variance=variance, histogram_edges=edges, histograms=histograms)
+
+
+class DataFree(Adapter):
+    """Align target feature statistics to the stored source statistics."""
+
+    requires_source_data = False
+    name = "datafree"
+
+    def __init__(
+        self,
+        epochs: int = 15,
+        lr: float = 1e-4,
+        batch_size: int = 64,
+        seed: int = 0,
+    ) -> None:
+        if epochs <= 0 or batch_size <= 0:
+            raise ValueError("epochs and batch_size must be positive")
+        self.epochs = epochs
+        self.lr = lr
+        self.batch_size = batch_size
+        self.seed = seed
+        self.statistics: FeatureStatistics | None = None
+
+    def fit_source_statistics(
+        self, source_model: RegressionModel, source_inputs: np.ndarray
+    ) -> FeatureStatistics:
+        """Compute and store the source feature statistics (run before deployment)."""
+        source_model.eval()
+        features = source_model.features(np.asarray(source_inputs, dtype=np.float64))
+        self.statistics = FeatureStatistics.from_features(features)
+        return self.statistics
+
+    def adapt(
+        self,
+        source_model: RegressionModel,
+        target_inputs: np.ndarray,
+        source_data: ArrayDataset | None = None,
+    ) -> AdapterResult:
+        if self.statistics is None:
+            if source_data is None:
+                raise ValueError(
+                    "DataFree needs source feature statistics: call fit_source_statistics "
+                    "before deployment or pass source_data"
+                )
+            self.fit_source_statistics(source_model, source_data.inputs)
+        statistics = self.statistics
+        target_inputs = np.asarray(target_inputs, dtype=np.float64)
+        rng = np.random.default_rng(self.seed)
+
+        model = clone_model(source_model)
+        # Only the encoder is restored; the head keeps its source-domain fit.
+        encoder_params = model.encoder.parameters()
+        for param in model.head.parameters():
+            param.trainable = False
+        saved_rates = [(layer, layer.rate) for layer in model.dropout_layers()]
+        for layer, _ in saved_rates:
+            layer.rate = 0.0
+        optimizer = Adam(model.parameters(), lr=self.lr)
+
+        dataset = ArrayDataset(target_inputs, np.zeros((len(target_inputs), 1)))
+        loader = DataLoader(dataset, batch_size=self.batch_size, shuffle=True, rng=rng)
+
+        losses: list[float] = []
+        model.train()
+        for _ in range(self.epochs):
+            epoch_total, batches = 0.0, 0
+            for inputs, _, _ in loader:
+                if len(inputs) < 2:
+                    continue
+                optimizer.zero_grad()
+                features = model.features(inputs)
+                batch_mean = features.mean(axis=0)
+                batch_var = features.var(axis=0)
+                mean_diff = batch_mean - statistics.mean
+                var_diff = batch_var - statistics.variance
+                value = float((mean_diff**2).mean() + (var_diff**2).mean())
+                n_samples, n_units = features.shape
+                grad = (
+                    2.0 * mean_diff / n_samples
+                    + 2.0 * var_diff * 2.0 * (features - batch_mean) / n_samples
+                ) / n_units
+                model.backward_features(grad)
+                clip_gradients(encoder_params, 5.0)
+                optimizer.step()
+                epoch_total += value
+                batches += 1
+            losses.append(epoch_total / max(batches, 1))
+        model.eval()
+        for layer, rate in saved_rates:
+            layer.rate = rate
+        for param in model.head.parameters():
+            param.trainable = True
+        return AdapterResult(
+            target_model=model,
+            losses=losses,
+            diagnostics={"n_units": len(statistics.mean)},
+        )

@@ -1,0 +1,43 @@
+"""Registry of adaptation schemes used by the experiment harness."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..core.config import TasfarConfig
+from .adversarial import AdversarialUda
+from .augfree import AugFree
+from .base import Adapter
+from .datafree import DataFree
+from .mmd import MmdUda
+from .source_only import SourceOnly
+from .tasfar_adapter import TasfarAdapter
+
+__all__ = ["SCHEME_NAMES", "make_adapter"]
+
+#: Names of all comparison schemes, in the order the paper lists them.
+SCHEME_NAMES = ("baseline", "mmd", "adv", "augfree", "datafree", "tasfar")
+
+_FACTORIES: dict[str, Callable[..., Adapter]] = {
+    "baseline": SourceOnly,
+    "mmd": MmdUda,
+    "adv": AdversarialUda,
+    "augfree": AugFree,
+    "datafree": DataFree,
+    "tasfar": TasfarAdapter,
+}
+
+
+def make_adapter(name: str, **kwargs) -> Adapter:
+    """Instantiate an adaptation scheme by name.
+
+    ``tasfar`` accepts a ``config`` keyword (a :class:`TasfarConfig`); the
+    other schemes accept their own constructor keywords (epochs, lr, ...).
+    """
+    try:
+        factory = _FACTORIES[name.lower()]
+    except KeyError as exc:
+        raise ValueError(f"unknown scheme {name!r}; expected one of {SCHEME_NAMES}") from exc
+    if factory is TasfarAdapter and "config" not in kwargs:
+        kwargs = {"config": TasfarConfig(), **kwargs}
+    return factory(**kwargs)

@@ -1,0 +1,31 @@
+"""Trivial baseline: deploy the source model unchanged.
+
+This is the "Baseline" row of the paper's tables — every error reduction is
+reported relative to it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn.data import ArrayDataset
+from ..nn.models import RegressionModel
+from .base import Adapter, AdapterResult, clone_model
+
+__all__ = ["SourceOnly"]
+
+
+class SourceOnly(Adapter):
+    """No adaptation: the target model is a copy of the source model."""
+
+    requires_source_data = False
+    name = "baseline"
+
+    def adapt(
+        self,
+        source_model: RegressionModel,
+        target_inputs: np.ndarray,
+        source_data: ArrayDataset | None = None,
+    ) -> AdapterResult:
+        del target_inputs, source_data
+        return AdapterResult(target_model=clone_model(source_model))

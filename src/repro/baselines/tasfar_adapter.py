@@ -1,0 +1,66 @@
+"""TASFAR wrapped in the common :class:`~repro.baselines.base.Adapter` interface.
+
+This lets the experiment harness treat TASFAR exactly like the comparison
+schemes when building tables: the wrapper performs the source-side calibration
+(``Q_s`` and ``tau``) with the source *calibration* split and then runs the
+target-side adaptation with unlabeled target data only.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.adapter import SourceCalibration, Tasfar
+from ..core.config import TasfarConfig
+from ..nn.data import ArrayDataset
+from ..nn.models import RegressionModel
+from .base import Adapter, AdapterResult
+
+__all__ = ["TasfarAdapter"]
+
+
+class TasfarAdapter(Adapter):
+    """Adapter-interface wrapper around :class:`repro.core.Tasfar`."""
+
+    requires_source_data = False
+    name = "tasfar"
+
+    def __init__(self, config: TasfarConfig | None = None) -> None:
+        self.tasfar = Tasfar(config)
+        self.calibration: SourceCalibration | None = None
+
+    def calibrate(
+        self,
+        source_model: RegressionModel,
+        source_inputs: np.ndarray,
+        source_labels: np.ndarray,
+    ) -> SourceCalibration:
+        """Run the source-side calibration (before deployment)."""
+        self.calibration = self.tasfar.calibrate_on_source(source_model, source_inputs, source_labels)
+        return self.calibration
+
+    def adapt(
+        self,
+        source_model: RegressionModel,
+        target_inputs: np.ndarray,
+        source_data: ArrayDataset | None = None,
+    ) -> AdapterResult:
+        if self.calibration is None:
+            if source_data is None:
+                raise ValueError(
+                    "TASFAR needs its source-side calibration: call calibrate() before "
+                    "deployment or pass source_data"
+                )
+            self.calibrate(source_model, source_data.inputs, source_data.targets)
+        result = self.tasfar.adapt(source_model, target_inputs, self.calibration)
+        return AdapterResult(
+            target_model=result.target_model,
+            losses=result.losses,
+            diagnostics={
+                "uncertain_ratio": result.split.uncertain_ratio,
+                "n_confident": result.split.n_confident,
+                "n_uncertain": result.split.n_uncertain,
+                "stopped_epoch": result.stopped_epoch,
+                "adaptation_result": result,
+            },
+        )

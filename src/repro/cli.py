@@ -1,0 +1,82 @@
+"""Command-line interface for running the reproduction experiments.
+
+Examples
+--------
+List the available experiments::
+
+    python -m repro.cli list
+
+Run one experiment at the small (test) scale::
+
+    python -m repro.cli run fig14_ste_reduction_seen --scale small
+
+Run every experiment and write a combined report::
+
+    python -m repro.cli run-all --scale small --output results.txt
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .experiments import SCALES, list_experiments, run_experiment
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser for the CLI."""
+    parser = argparse.ArgumentParser(
+        prog="tasfar-repro",
+        description="Reproduction experiments for TASFAR (ICDE 2024)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list the available experiment ids")
+
+    run_parser = subparsers.add_parser("run", help="run one experiment")
+    run_parser.add_argument("experiment", help="experiment id (see `list`)")
+    run_parser.add_argument("--scale", default="small", choices=tuple(SCALES))
+    run_parser.add_argument("--seed", type=int, default=0)
+
+    run_all_parser = subparsers.add_parser("run-all", help="run every experiment")
+    run_all_parser.add_argument("--scale", default="small", choices=tuple(SCALES))
+    run_all_parser.add_argument("--seed", type=int, default=0)
+    run_all_parser.add_argument("--output", default=None, help="optional path for a text report")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.command == "list":
+        for experiment_id in list_experiments():
+            print(experiment_id)
+        return 0
+
+    if args.command == "run":
+        result = run_experiment(args.experiment, scale=args.scale, seed=args.seed)
+        print(result.summary())
+        return 0
+
+    if args.command == "run-all":
+        sections = []
+        for experiment_id in list_experiments():
+            result = run_experiment(experiment_id, scale=args.scale, seed=args.seed)
+            sections.append(result.summary())
+            print(result.summary())
+            print()
+        if args.output:
+            with open(args.output, "w", encoding="utf-8") as handle:
+                handle.write("\n\n".join(sections) + "\n")
+        return 0
+
+    parser.error(f"unknown command {args.command!r}")  # pragma: no cover
+    return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,23 @@
+"""TASFAR core: confidence split, label density estimation, pseudo-labelling, adaptation."""
+
+from .adapter import AdaptationResult, SourceCalibration, Tasfar
+from .confidence import ConfidenceClassifier, ConfidenceSplit
+from .config import TasfarConfig
+from .density_map import LabelDensityMap
+from .early_stopping import LossDropEarlyStopper
+from .estimator import LabelDistributionEstimator
+from .pseudo_label import PseudoLabelBatch, PseudoLabelGenerator
+
+__all__ = [
+    "AdaptationResult",
+    "ConfidenceClassifier",
+    "ConfidenceSplit",
+    "LabelDensityMap",
+    "LabelDistributionEstimator",
+    "LossDropEarlyStopper",
+    "PseudoLabelBatch",
+    "PseudoLabelGenerator",
+    "SourceCalibration",
+    "Tasfar",
+    "TasfarConfig",
+]

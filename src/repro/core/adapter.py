@@ -1,0 +1,321 @@
+"""TASFAR: the end-to-end target-agnostic source-free adaptation pipeline.
+
+The :class:`Tasfar` class wires together the substrates:
+
+1. :meth:`Tasfar.calibrate_on_source` is run **once, before deployment**, on
+   the labelled source dataset: it fits the uncertainty-to-error curve ``Q_s``
+   and the confidence threshold ``tau``.  Only these few scalars travel with
+   the source model; no source data is needed at the target (the source-free
+   property).
+2. :meth:`Tasfar.adapt` runs at the target with unlabeled target data: it
+   splits the data by confidence, estimates the label density map from the
+   confident part, pseudo-labels the uncertain part, and fine-tunes a copy of
+   the source model with the credibility-weighted loss.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..nn.data import ArrayDataset, DataLoader
+from ..nn.losses import Loss, MSELoss
+from ..nn.models import RegressionModel
+from ..nn.optim import Adam, clip_gradients
+from ..uncertainty.calibration import UncertaintyCalibrator, fit_sigma_curve
+from ..uncertainty.mc_dropout import MCDropoutPredictor, UncertainPrediction
+from .confidence import ConfidenceClassifier, ConfidenceSplit
+from .config import TasfarConfig
+from .density_map import LabelDensityMap
+from .early_stopping import LossDropEarlyStopper
+from .estimator import LabelDistributionEstimator
+from .pseudo_label import PseudoLabelBatch, PseudoLabelGenerator
+
+__all__ = ["SourceCalibration", "AdaptationResult", "Tasfar"]
+
+
+@dataclass
+class SourceCalibration:
+    """Everything TASFAR keeps from the source domain.
+
+    This is deliberately tiny (a threshold and a handful of line
+    coefficients): it is the paper's answer to "what replaces the source
+    dataset".
+    """
+
+    threshold: float
+    calibrators: list[UncertaintyCalibrator]
+    source_uncertainty_mean: float = 0.0
+    source_error_mean: float = 0.0
+
+    @property
+    def label_dim(self) -> int:
+        """Number of label dimensions covered by the calibration."""
+        return len(self.calibrators)
+
+
+@dataclass
+class AdaptationResult:
+    """Output of one TASFAR adaptation run, with diagnostics for analysis."""
+
+    target_model: RegressionModel
+    density_map: LabelDensityMap
+    split: ConfidenceSplit
+    pseudo_labels: PseudoLabelBatch
+    target_prediction: UncertainPrediction
+    losses: list[float] = field(default_factory=list)
+    stopped_epoch: int | None = None
+
+    @property
+    def n_training_samples(self) -> int:
+        """Number of samples used in the adaptation fine-tuning."""
+        return len(self.pseudo_labels)
+
+
+class Tasfar:
+    """Target-agnostic source-free domain adaptation for regression tasks.
+
+    Parameters
+    ----------
+    config:
+        Hyper-parameters; defaults reproduce the paper's setting.
+    loss:
+        Task loss used for adaptation fine-tuning (Eq. 22 leaves it
+        task-dependent); defaults to weighted MSE.
+    """
+
+    def __init__(self, config: TasfarConfig | None = None, loss: Loss | None = None) -> None:
+        self.config = config if config is not None else TasfarConfig()
+        self.loss = loss if loss is not None else MSELoss()
+
+    # ------------------------------------------------------------------
+    # Source-side calibration
+    # ------------------------------------------------------------------
+    def calibrate_on_source(
+        self,
+        source_model: RegressionModel,
+        source_inputs: np.ndarray,
+        source_labels: np.ndarray,
+    ) -> SourceCalibration:
+        """Fit ``Q_s`` and the confidence threshold ``tau`` on source data.
+
+        Parameters
+        ----------
+        source_model:
+            The trained source regression model.
+        source_inputs, source_labels:
+            The labelled source dataset (or a held-out part of it).
+        """
+        source_labels = np.asarray(source_labels, dtype=np.float64)
+        if source_labels.ndim == 1:
+            source_labels = source_labels[:, None]
+        if source_labels.shape[0] != len(source_inputs):
+            raise ValueError("source_inputs and source_labels must have the same length")
+
+        predictor = MCDropoutPredictor(source_model, n_samples=self.config.n_mc_samples)
+        prediction = predictor.predict(source_inputs)
+
+        label_dim = source_labels.shape[1]
+        errors = np.abs(prediction.mean - source_labels)
+        # One sigma curve per label dimension, all driven by the scalar
+        # prediction uncertainty u_t (the paper's single-uncertainty Q_s).
+        calibrators = [
+            fit_sigma_curve(
+                prediction.uncertainty,
+                errors[:, dim],
+                n_segments=self.config.n_segments,
+            )
+            for dim in range(label_dim)
+        ]
+
+        classifier = ConfidenceClassifier(self.config.confidence_ratio)
+        classifier.fit(prediction.uncertainty)
+        return SourceCalibration(
+            threshold=float(classifier.threshold),
+            calibrators=calibrators,
+            source_uncertainty_mean=float(prediction.uncertainty.mean()),
+            source_error_mean=float(errors.mean()),
+        )
+
+    # ------------------------------------------------------------------
+    # Target-side adaptation
+    # ------------------------------------------------------------------
+    def adapt(
+        self,
+        source_model: RegressionModel,
+        target_inputs: np.ndarray,
+        calibration: SourceCalibration,
+    ) -> AdaptationResult:
+        """Adapt ``source_model`` to the target domain using unlabeled data.
+
+        The source model itself is left untouched; the returned
+        :class:`AdaptationResult` carries the fine-tuned copy.
+        """
+        rng = np.random.default_rng(self.config.seed)
+
+        predictor = MCDropoutPredictor(source_model, n_samples=self.config.n_mc_samples)
+        prediction = predictor.predict(target_inputs)
+
+        classifier = ConfidenceClassifier(self.config.confidence_ratio)
+        classifier.threshold = calibration.threshold
+        split = classifier.split(prediction.uncertainty)
+
+        estimator = LabelDistributionEstimator(
+            calibrators=calibration.calibrators,
+            grid_size=self.config.grid_size,
+            auto_grid_bins=self.config.auto_grid_bins,
+            margin_sigmas=self.config.grid_margin_sigmas,
+            error_model=self.config.error_model,
+        )
+        density_map, pseudo_batch = self._pseudo_label_uncertain(
+            estimator, calibration, prediction, split
+        )
+
+        target_model = copy.deepcopy(source_model)
+        losses, stopped_epoch = self._fine_tune(
+            target_model, target_inputs, prediction, split, pseudo_batch, rng
+        )
+        return AdaptationResult(
+            target_model=target_model,
+            density_map=density_map,
+            split=split,
+            pseudo_labels=pseudo_batch,
+            target_prediction=prediction,
+            losses=losses,
+            stopped_epoch=stopped_epoch,
+        )
+
+    # ------------------------------------------------------------------
+    # Pipeline pieces (also used directly by the experiments)
+    # ------------------------------------------------------------------
+    def _pseudo_label_uncertain(
+        self,
+        estimator: LabelDistributionEstimator,
+        calibration: SourceCalibration,
+        prediction: UncertainPrediction,
+        split: ConfidenceSplit,
+    ) -> tuple[LabelDensityMap, PseudoLabelBatch]:
+        """Estimate the density map and pseudo-label the uncertain samples."""
+        confident = split.confident_indices
+        uncertain = split.uncertain_indices
+        if len(confident) == 0:
+            raise ValueError(
+                "no confident target samples: the source model is uncertain about "
+                "every target input, so the label distribution cannot be estimated"
+            )
+
+        density_map = estimator.estimate(
+            prediction.mean[confident], prediction.uncertainty[confident]
+        )
+        generator = PseudoLabelGenerator(
+            estimator=estimator,
+            threshold=calibration.threshold,
+            locality_sigmas=self.config.locality_sigmas,
+            mode=self.config.pseudo_label_mode,
+        )
+        if len(uncertain) == 0:
+            empty = PseudoLabelBatch(
+                pseudo_labels=np.empty((0, prediction.mean.shape[1])),
+                credibilities=np.empty(0),
+                predictions=np.empty((0, prediction.mean.shape[1])),
+                sigmas=np.empty((0, prediction.mean.shape[1])),
+            )
+            return density_map, empty
+        pseudo_batch = generator.pseudo_label(
+            density_map,
+            prediction.mean[uncertain],
+            prediction.uncertainty[uncertain],
+        )
+        return density_map, pseudo_batch
+
+    def build_adaptation_dataset(
+        self,
+        target_inputs: np.ndarray,
+        prediction: UncertainPrediction,
+        split: ConfidenceSplit,
+        pseudo_batch: PseudoLabelBatch,
+    ) -> ArrayDataset:
+        """Assemble the weighted fine-tuning dataset (Eq. 22).
+
+        Uncertain samples carry their pseudo-labels weighted by credibility;
+        confident samples (optionally) carry their own predictions with unit
+        weight, which combats catastrophic forgetting.
+        """
+        target_inputs = np.asarray(target_inputs, dtype=np.float64)
+        uncertain = split.uncertain_indices
+        confident = split.confident_indices
+
+        inputs_list = [target_inputs[uncertain]]
+        labels_list = [pseudo_batch.pseudo_labels]
+        if self.config.use_credibility:
+            credibilities = pseudo_batch.credibilities.copy()
+            if self.config.normalize_credibility and credibilities.size and credibilities.mean() > 0:
+                credibilities = credibilities / credibilities.mean()
+            weights_list = [credibilities]
+        else:
+            weights_list = [np.ones(len(uncertain))]
+
+        if self.config.include_confident_data and len(confident) > 0:
+            inputs_list.append(target_inputs[confident])
+            labels_list.append(prediction.mean[confident])
+            weights_list.append(np.ones(len(confident)))
+
+        inputs = np.concatenate(inputs_list, axis=0)
+        labels = np.concatenate(labels_list, axis=0)
+        weights = np.concatenate(weights_list, axis=0)
+        return ArrayDataset(inputs, labels, weights)
+
+    def _fine_tune(
+        self,
+        target_model: RegressionModel,
+        target_inputs: np.ndarray,
+        prediction: UncertainPrediction,
+        split: ConfidenceSplit,
+        pseudo_batch: PseudoLabelBatch,
+        rng: np.random.Generator,
+    ) -> tuple[list[float], int | None]:
+        """Weighted supervised fine-tuning with loss-drop early stopping."""
+        dataset = self.build_adaptation_dataset(target_inputs, prediction, split, pseudo_batch)
+        if len(dataset) == 0 or float(np.sum(dataset.weights)) <= 0:
+            return [], None
+
+        saved_dropout_rates: list[tuple] = []
+        if not self.config.dropout_during_adaptation:
+            for layer in target_model.dropout_layers():
+                saved_dropout_rates.append((layer, layer.rate))
+                layer.rate = 0.0
+
+        optimizer = Adam(target_model.parameters(), lr=self.config.adaptation_lr)
+        loader = DataLoader(
+            dataset, batch_size=self.config.adaptation_batch_size, shuffle=True, rng=rng
+        )
+        stopper = LossDropEarlyStopper(
+            drop_fraction=self.config.early_stop_drop_fraction,
+            patience=self.config.early_stop_patience,
+            min_epochs=self.config.min_adaptation_epochs,
+        )
+        losses: list[float] = []
+        stopped_epoch: int | None = None
+        target_model.train()
+        for epoch in range(self.config.adaptation_epochs):
+            total, batches = 0.0, 0
+            for inputs, labels, weights in loader:
+                optimizer.zero_grad()
+                outputs = target_model.forward(inputs)
+                value, grad = self.loss(outputs, labels, weights)
+                target_model.backward(grad)
+                clip_gradients(optimizer.parameters, 5.0)
+                optimizer.step()
+                total += value
+                batches += 1
+            epoch_loss = total / max(batches, 1)
+            losses.append(epoch_loss)
+            if self.config.early_stop and stopper.update(epoch_loss):
+                stopped_epoch = epoch + 1
+                break
+        target_model.eval()
+        for layer, rate in saved_dropout_rates:
+            layer.rate = rate
+        return losses, stopped_epoch

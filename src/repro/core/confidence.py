@@ -1,0 +1,79 @@
+"""Confidence classifier (Algorithm 1 of the paper).
+
+The classifier splits target data into *confident* and *uncertain* sets using
+a threshold ``tau`` on prediction uncertainty.  ``tau`` is chosen on the
+**source** data so that a fraction ``eta`` of source predictions counts as
+confident — the idea being that a well-trained source model should be
+confident about most of its own training distribution, and the same threshold
+transfers to target data because the same model produces both uncertainties.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["ConfidenceSplit", "ConfidenceClassifier"]
+
+
+@dataclass
+class ConfidenceSplit:
+    """Index split of a batch into confident and uncertain samples."""
+
+    confident_indices: np.ndarray
+    uncertain_indices: np.ndarray
+    threshold: float
+
+    @property
+    def n_confident(self) -> int:
+        """Number of confident samples."""
+        return len(self.confident_indices)
+
+    @property
+    def n_uncertain(self) -> int:
+        """Number of uncertain samples."""
+        return len(self.uncertain_indices)
+
+    @property
+    def uncertain_ratio(self) -> float:
+        """Fraction of samples classified as uncertain (Fig. 16)."""
+        total = self.n_confident + self.n_uncertain
+        return self.n_uncertain / total if total else 0.0
+
+
+class ConfidenceClassifier:
+    """Threshold-based split of predictions into confident / uncertain.
+
+    Parameters
+    ----------
+    confidence_ratio:
+        ``eta``: the quantile of source uncertainties used as threshold.
+    """
+
+    def __init__(self, confidence_ratio: float = 0.9) -> None:
+        if not 0.0 < confidence_ratio < 1.0:
+            raise ValueError("confidence_ratio must be in (0, 1)")
+        self.confidence_ratio = confidence_ratio
+        self.threshold: float | None = None
+
+    def fit(self, source_uncertainties: np.ndarray) -> "ConfidenceClassifier":
+        """Choose ``tau`` as the ``eta``-quantile of source uncertainties."""
+        source_uncertainties = np.asarray(source_uncertainties, dtype=np.float64).ravel()
+        if len(source_uncertainties) == 0:
+            raise ValueError("cannot fit the confidence classifier on zero samples")
+        self.threshold = float(np.quantile(source_uncertainties, self.confidence_ratio))
+        return self
+
+    def split(self, uncertainties: np.ndarray) -> ConfidenceSplit:
+        """Split ``uncertainties`` into confident (u <= tau) and uncertain (u > tau)."""
+        if self.threshold is None:
+            raise RuntimeError("the confidence classifier must be fitted before splitting")
+        uncertainties = np.asarray(uncertainties, dtype=np.float64).ravel()
+        confident = np.flatnonzero(uncertainties <= self.threshold)
+        uncertain = np.flatnonzero(uncertainties > self.threshold)
+        return ConfidenceSplit(
+            confident_indices=confident,
+            uncertain_indices=uncertain,
+            threshold=self.threshold,
+        )

@@ -1,0 +1,127 @@
+"""Configuration for the TASFAR adaptation pipeline."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["TasfarConfig"]
+
+
+@dataclass
+class TasfarConfig:
+    """Hyper-parameters of TASFAR.
+
+    Defaults follow the paper's experimental setting (Section IV-A and the
+    parameter study IV-B1): 20 MC-dropout samples, confidence ratio
+    ``eta = 0.9``, ``q = 40`` uncertainty segments for the ``Q_s`` fit, a
+    Gaussian instance-label error model, and a 3-sigma locality for the
+    pseudo-label posterior.
+
+    Attributes
+    ----------
+    confidence_ratio:
+        ``eta``: fraction of *source* samples that must count as confident;
+        the uncertainty threshold ``tau`` is the ``eta``-quantile of source
+        uncertainties (Section III-B, Fig. 10).
+    n_mc_samples:
+        Number of Monte-Carlo dropout forward passes used to estimate
+        prediction uncertainty.
+    n_segments:
+        ``q``: number of uncertainty segments used when fitting ``Q_s``
+        (Eq. 7, Fig. 9).
+    grid_size:
+        Grid size ``g`` of the label density map, in label units.  A scalar is
+        broadcast to every label dimension.  ``None`` selects a per-dimension
+        size automatically from the spread of confident predictions
+        (``auto_grid_bins`` cells across the observed range).
+    auto_grid_bins:
+        Number of grid cells per dimension used when ``grid_size`` is None.
+    grid_margin_sigmas:
+        The density-map range is the range of confident predictions extended
+        by this many (maximum) sigmas on both sides.
+    error_model:
+        Instance-label distribution family: ``"gaussian"`` (paper default),
+        ``"laplace"`` or ``"uniform"`` (Fig. 8).
+    locality_sigmas:
+        Pseudo-label posterior support: cells whose centres lie within this
+        many sigmas of the prediction (Eq. 20 uses 3).
+    use_credibility:
+        Weigh pseudo-labelled samples by the credibility ``beta_t`` (Eq. 21).
+        Disabling it reproduces the ablation of Fig. 12.
+    normalize_credibility:
+        Rescale the credibility weights of the uncertain samples to have mean
+        one.  The paper leaves the absolute scale of ``beta_t`` unspecified;
+        normalizing keeps the relative ordering (what Fig. 11 validates) while
+        preventing the pseudo-labelled samples from drowning out the confident
+        anchor samples on the small datasets used here.
+    dropout_during_adaptation:
+        Keep dropout active while fine-tuning on pseudo-labels.  Disabled by
+        default: with the compact models of this reproduction, dropout during
+        self-training acts as strong self-distillation noise and measurably
+        hurts; MC dropout at inference time is unaffected by this switch.
+    include_confident_data:
+        Also train on confident data with their own predictions as
+        pseudo-labels (Section III-D recommends this to avoid forgetting).
+    pseudo_label_mode:
+        ``"interpolate"`` (Eq. 15, default) or ``"argmax"`` (highest-density
+        cell) — exposed for ablation.
+    adaptation_epochs:
+        Maximum number of fine-tuning epochs.
+    adaptation_lr:
+        Learning rate of the adaptation optimizer (Adam).
+    adaptation_batch_size:
+        Mini-batch size for adaptation training.
+    early_stop:
+        Stop adaptation when the loss-drop rate collapses (Fig. 13).
+    early_stop_patience:
+        Number of consecutive slow epochs required before stopping.
+    early_stop_drop_fraction:
+        A drop rate below this fraction of the initial drop rate counts as
+        "slow".
+    min_adaptation_epochs:
+        Never stop before this many epochs.
+    seed:
+        Seed for all stochastic parts of the adaptation (MC dropout order,
+        mini-batch shuffling).
+    """
+
+    confidence_ratio: float = 0.9
+    n_mc_samples: int = 20
+    n_segments: int = 40
+    grid_size: float | tuple[float, ...] | None = None
+    auto_grid_bins: int = 25
+    grid_margin_sigmas: float = 3.0
+    error_model: str = "gaussian"
+    locality_sigmas: float = 3.0
+    use_credibility: bool = True
+    normalize_credibility: bool = True
+    include_confident_data: bool = True
+    dropout_during_adaptation: bool = False
+    pseudo_label_mode: str = "interpolate"
+    adaptation_epochs: int = 40
+    adaptation_lr: float = 1e-3
+    adaptation_batch_size: int = 32
+    early_stop: bool = True
+    early_stop_patience: int = 3
+    early_stop_drop_fraction: float = 0.1
+    min_adaptation_epochs: int = 5
+    seed: int = 0
+    extra: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.confidence_ratio < 1.0:
+            raise ValueError("confidence_ratio must be in (0, 1)")
+        if self.n_mc_samples < 2:
+            raise ValueError("n_mc_samples must be at least 2")
+        if self.n_segments <= 0:
+            raise ValueError("n_segments must be positive")
+        if self.auto_grid_bins < 2:
+            raise ValueError("auto_grid_bins must be at least 2")
+        if self.locality_sigmas <= 0:
+            raise ValueError("locality_sigmas must be positive")
+        if self.pseudo_label_mode not in ("interpolate", "argmax"):
+            raise ValueError("pseudo_label_mode must be 'interpolate' or 'argmax'")
+        if self.adaptation_epochs <= 0:
+            raise ValueError("adaptation_epochs must be positive")
+        if self.min_adaptation_epochs < 1:
+            raise ValueError("min_adaptation_epochs must be at least 1")

@@ -1,0 +1,221 @@
+"""Pseudo-label generator (Algorithm 3 of the paper).
+
+For every uncertain sample the generator combines two sources of information:
+
+* the *prior* — the label density map estimated from confident data, which
+  captures the scenario's label distribution; and
+* the *likelihood* — the instance-label distribution centred on the source
+  model's prediction with spread ``Q_s(u)``.
+
+The posterior over grid cells is their product (Eq. 14), restricted to a
+3-sigma locality around the prediction (Eq. 20).  The pseudo-label is the
+density-weighted interpolation of cell centres (Eq. 15), and its credibility
+``beta_t`` scales with how uncertain the prediction is and how dense the local
+neighbourhood of the map is (Eq. 18–21).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..uncertainty.error_models import ErrorModel, get_error_model
+from .density_map import LabelDensityMap
+from .estimator import LabelDistributionEstimator
+
+__all__ = ["PseudoLabelBatch", "PseudoLabelGenerator"]
+
+
+@dataclass
+class PseudoLabelBatch:
+    """Pseudo-labels and credibility weights for a batch of uncertain samples."""
+
+    pseudo_labels: np.ndarray
+    credibilities: np.ndarray
+    predictions: np.ndarray
+    sigmas: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.pseudo_labels)
+
+
+class PseudoLabelGenerator:
+    """Generate pseudo-labels for uncertain data from a label density map.
+
+    Parameters
+    ----------
+    estimator:
+        The fitted label-distribution estimator; re-used for its calibrators
+        (``Q_s``) and error model so likelihoods match the map construction.
+    threshold:
+        The confidence threshold ``tau`` (used to normalize credibility).
+    locality_sigmas:
+        Size of the posterior support in sigmas (paper: 3).
+    mode:
+        ``"interpolate"`` (Eq. 15) or ``"argmax"`` (highest posterior cell).
+    """
+
+    def __init__(
+        self,
+        estimator: LabelDistributionEstimator,
+        threshold: float,
+        locality_sigmas: float = 3.0,
+        mode: str = "interpolate",
+        error_model: str | ErrorModel | None = None,
+    ) -> None:
+        if threshold <= 0:
+            raise ValueError("threshold must be positive")
+        if locality_sigmas <= 0:
+            raise ValueError("locality_sigmas must be positive")
+        if mode not in ("interpolate", "argmax"):
+            raise ValueError("mode must be 'interpolate' or 'argmax'")
+        self.estimator = estimator
+        self.threshold = float(threshold)
+        self.locality_sigmas = float(locality_sigmas)
+        self.mode = mode
+        if error_model is None:
+            self.error_model = estimator.error_model
+        else:
+            self.error_model = (
+                error_model if isinstance(error_model, ErrorModel) else get_error_model(error_model)
+            )
+
+    # ------------------------------------------------------------------
+    # Single-sample pseudo-labelling
+    # ------------------------------------------------------------------
+    def pseudo_label_one(
+        self,
+        density_map: LabelDensityMap,
+        prediction: np.ndarray,
+        sigma: np.ndarray,
+        uncertainty: float,
+    ) -> tuple[np.ndarray, float]:
+        """Pseudo-label a single uncertain sample.
+
+        Returns
+        -------
+        tuple
+            ``(pseudo_label, credibility)``.  When the locality holds no
+            density mass the pseudo-label falls back to the model prediction
+            with zero credibility, which keeps such samples from harming the
+            adaptation (the failure-case behaviour discussed in Section IV-B5).
+        """
+        prediction = np.atleast_1d(np.asarray(prediction, dtype=np.float64))
+        sigma = np.broadcast_to(np.asarray(sigma, dtype=np.float64), prediction.shape)
+        radius = self.locality_sigmas * sigma
+
+        mask = density_map.locality_mask(prediction, radius)
+        if not mask.any():
+            return prediction.copy(), 0.0
+
+        likelihood = self._likelihood(density_map, prediction, sigma)
+        posterior = density_map.densities * likelihood
+        posterior = np.where(mask, posterior, 0.0)
+        posterior_mass = posterior.sum()
+
+        if posterior_mass <= 0:
+            pseudo = prediction.copy()
+        elif self.mode == "argmax":
+            flat_index = int(np.argmax(posterior))
+            cell_index = np.unravel_index(flat_index, density_map.shape)
+            pseudo = np.array(
+                [density_map.cell_centers[axis][cell_index[axis]] for axis in range(density_map.n_dims)]
+            )
+        else:
+            pseudo = self._interpolate(density_map, posterior / posterior_mass)
+
+        credibility = self._credibility(density_map, prediction, radius, uncertainty)
+        return pseudo, credibility
+
+    # ------------------------------------------------------------------
+    # Batch pseudo-labelling
+    # ------------------------------------------------------------------
+    def pseudo_label(
+        self,
+        density_map: LabelDensityMap,
+        predictions: np.ndarray,
+        uncertainties: np.ndarray,
+    ) -> PseudoLabelBatch:
+        """Pseudo-label a batch of uncertain samples.
+
+        Parameters
+        ----------
+        density_map:
+            The estimated label density map (prior).
+        predictions:
+            Source-model mean predictions, shape ``(n, n_dims)``.
+        uncertainties:
+            Scalar prediction uncertainty ``u_t`` per sample; it feeds ``Q_s``
+            and the credibility normalization against ``tau``.
+        """
+        predictions = np.atleast_2d(np.asarray(predictions, dtype=np.float64))
+        uncertainties = np.asarray(uncertainties, dtype=np.float64).ravel()
+        if len(predictions) != len(uncertainties):
+            raise ValueError("predictions and uncertainties must have the same length")
+        sigmas = self.estimator.sigma_for(uncertainties)
+
+        pseudo_labels = np.empty_like(predictions)
+        credibilities = np.empty(len(predictions))
+        for index in range(len(predictions)):
+            pseudo, credibility = self.pseudo_label_one(
+                density_map, predictions[index], sigmas[index], float(uncertainties[index])
+            )
+            pseudo_labels[index] = pseudo
+            credibilities[index] = credibility
+        return PseudoLabelBatch(
+            pseudo_labels=pseudo_labels,
+            credibilities=credibilities,
+            predictions=predictions,
+            sigmas=sigmas,
+        )
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _likelihood(
+        self, density_map: LabelDensityMap, prediction: np.ndarray, sigma: np.ndarray
+    ) -> np.ndarray:
+        """Per-cell probability mass of the instance-label distribution."""
+        axis_masses = []
+        for axis in range(density_map.n_dims):
+            edge = density_map.edges[axis]
+            mass = self.error_model.interval_probability(
+                float(prediction[axis]), float(sigma[axis]), edge[:-1], edge[1:]
+            )
+            axis_masses.append(np.clip(mass, 0.0, None))
+        result = axis_masses[0]
+        for mass in axis_masses[1:]:
+            result = np.multiply.outer(result, mass)
+        return result
+
+    def _interpolate(self, density_map: LabelDensityMap, posterior: np.ndarray) -> np.ndarray:
+        """Posterior-weighted mean of cell centres (Eq. 15)."""
+        pseudo = np.empty(density_map.n_dims)
+        for axis in range(density_map.n_dims):
+            axis_weights = posterior.sum(
+                axis=tuple(i for i in range(density_map.n_dims) if i != axis)
+            )
+            pseudo[axis] = float(np.dot(axis_weights, density_map.cell_centers[axis]))
+        return pseudo
+
+    def _credibility(
+        self,
+        density_map: LabelDensityMap,
+        prediction: np.ndarray,
+        radius: np.ndarray,
+        uncertainty: float,
+    ) -> float:
+        """Credibility ``beta_t = (d_local / d_global) * (u_t / tau)`` (Eq. 18–21).
+
+        Higher uncertainty means the prior should be trusted more relative to
+        the model prediction, and a locally dense map means the prior is
+        informative — both push the credibility up.
+        """
+        global_density = density_map.global_mean_density
+        if global_density <= 0:
+            return 0.0
+        local_density = density_map.local_mean_density(prediction, radius)
+        density_term = local_density / global_density
+        confidence_term = uncertainty / self.threshold
+        return float(density_term * confidence_term)

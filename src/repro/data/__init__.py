@@ -1,0 +1,32 @@
+"""Synthetic datasets reproducing the structure of the paper's four tasks."""
+
+from .base import AdaptationTask, TargetScenario
+from .crowd import CrowdGenerator, CrowdSceneProfile, make_crowd_task
+from .housing import HOUSING_FEATURES, HousingGenerator, make_housing_task
+from .partition import merge_scenarios, split_dataset_by_fraction, subsample_scenario
+from .pdr import PdrGenerator, PdrTrajectory, PdrUserProfile, make_pdr_task
+from .preprocessing import Standardizer, corrupt_features
+from .taxi import TAXI_FEATURES, TaxiGenerator, make_taxi_task
+
+__all__ = [
+    "AdaptationTask",
+    "CrowdGenerator",
+    "CrowdSceneProfile",
+    "HOUSING_FEATURES",
+    "HousingGenerator",
+    "PdrGenerator",
+    "PdrTrajectory",
+    "PdrUserProfile",
+    "Standardizer",
+    "TAXI_FEATURES",
+    "TargetScenario",
+    "TaxiGenerator",
+    "corrupt_features",
+    "make_crowd_task",
+    "make_housing_task",
+    "make_pdr_task",
+    "make_taxi_task",
+    "merge_scenarios",
+    "split_dataset_by_fraction",
+    "subsample_scenario",
+]

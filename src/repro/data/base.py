@@ -1,0 +1,94 @@
+"""Common data structures shared by the four task generators.
+
+Every task produces the same shape of object — an :class:`AdaptationTask` —
+so the experiment harness and the baselines can treat pedestrian dead
+reckoning, crowd counting, housing prices and taxi durations uniformly:
+
+* a labelled **source** training set (used to train the source model),
+* a labelled **source calibration** set (held out from training; TASFAR fits
+  ``Q_s`` and ``tau`` on it, the source-based baselines may use it as extra
+  source data),
+* one or more **target scenarios** (a user, a scene, a district), each with an
+  unlabeled-at-adaptation-time adaptation split and a test split.  Labels are
+  stored so experiments can *evaluate* the adaptation, but no algorithm under
+  test reads target labels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..nn.data import ArrayDataset
+
+__all__ = ["TargetScenario", "AdaptationTask"]
+
+
+@dataclass
+class TargetScenario:
+    """One target domain instance (a user, a scene, a district).
+
+    Attributes
+    ----------
+    name:
+        Human-readable identifier (e.g. ``"seen_user_03"`` or ``"scene_1"``).
+    adaptation:
+        The data available for adaptation (80% of the scenario by default).
+        Labels are present for evaluation only.
+    test:
+        Held-out data from the same scenario used to verify that adaptation
+        generalizes beyond the adaptation set (Fig. 15).
+    metadata:
+        Free-form extras, e.g. per-sample trajectory ids for the PDR task or
+        the true generating parameters of a synthetic user.
+    """
+
+    name: str
+    adaptation: ArrayDataset
+    test: ArrayDataset
+    metadata: dict = field(default_factory=dict)
+
+    @property
+    def n_adaptation(self) -> int:
+        """Number of adaptation samples."""
+        return len(self.adaptation)
+
+    @property
+    def n_test(self) -> int:
+        """Number of test samples."""
+        return len(self.test)
+
+    def pooled(self) -> ArrayDataset:
+        """Adaptation and test data concatenated (used by Fig. 20's pooling study)."""
+        inputs = np.concatenate([self.adaptation.inputs, self.test.inputs], axis=0)
+        targets = np.concatenate([self.adaptation.targets, self.test.targets], axis=0)
+        return ArrayDataset(inputs, targets)
+
+
+@dataclass
+class AdaptationTask:
+    """A complete source-plus-targets task instance."""
+
+    name: str
+    source_train: ArrayDataset
+    source_calibration: ArrayDataset
+    scenarios: list[TargetScenario]
+    label_dim: int = 1
+    metadata: dict = field(default_factory=dict)
+
+    def scenario(self, name: str) -> TargetScenario:
+        """Look up a scenario by name."""
+        for scenario in self.scenarios:
+            if scenario.name == name:
+                return scenario
+        raise KeyError(f"no scenario named {name!r} in task {self.name!r}")
+
+    def scenario_names(self) -> list[str]:
+        """Names of all target scenarios."""
+        return [scenario.name for scenario in self.scenarios]
+
+    @property
+    def n_scenarios(self) -> int:
+        """Number of target scenarios."""
+        return len(self.scenarios)

@@ -1,0 +1,86 @@
+"""Helpers for partitioning and pooling target scenarios.
+
+The paper studies (Fig. 20) how TASFAR behaves when target data from several
+scenes is pooled instead of adapted per scene, and the failure case of Fig. 22
+mixes two users into a single target.  These helpers build such variants from
+existing :class:`~repro.data.base.TargetScenario` objects.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn.data import ArrayDataset
+from .base import TargetScenario
+
+__all__ = ["merge_scenarios", "split_dataset_by_fraction", "subsample_scenario"]
+
+
+def merge_scenarios(scenarios: list[TargetScenario], name: str = "merged") -> TargetScenario:
+    """Concatenate several scenarios into a single pooled scenario.
+
+    The per-sample scenario of origin is recorded in
+    ``metadata["origin"]`` (aligned with the adaptation set) so experiments can
+    still evaluate per origin after a pooled adaptation.
+    """
+    if not scenarios:
+        raise ValueError("at least one scenario is required")
+    adaptation_inputs = np.concatenate([s.adaptation.inputs for s in scenarios], axis=0)
+    adaptation_targets = np.concatenate([s.adaptation.targets for s in scenarios], axis=0)
+    test_inputs = np.concatenate([s.test.inputs for s in scenarios], axis=0)
+    test_targets = np.concatenate([s.test.targets for s in scenarios], axis=0)
+    origin = np.concatenate(
+        [np.full(len(s.adaptation), index) for index, s in enumerate(scenarios)]
+    )
+    test_origin = np.concatenate(
+        [np.full(len(s.test), index) for index, s in enumerate(scenarios)]
+    )
+    return TargetScenario(
+        name=name,
+        adaptation=ArrayDataset(adaptation_inputs, adaptation_targets),
+        test=ArrayDataset(test_inputs, test_targets),
+        metadata={
+            "origin": origin,
+            "test_origin": test_origin,
+            "source_names": [s.name for s in scenarios],
+        },
+    )
+
+
+def split_dataset_by_fraction(
+    dataset: ArrayDataset,
+    adaptation_fraction: float = 0.8,
+    rng: np.random.Generator | None = None,
+) -> tuple[ArrayDataset, ArrayDataset]:
+    """Random split of a dataset into (adaptation, test) subsets."""
+    if not 0.0 < adaptation_fraction < 1.0:
+        raise ValueError("adaptation_fraction must be in (0, 1)")
+    rng = rng if rng is not None else np.random.default_rng(0)
+    indices = rng.permutation(len(dataset))
+    n_adapt = max(1, int(round(len(dataset) * adaptation_fraction)))
+    n_adapt = min(n_adapt, len(dataset) - 1)
+    return dataset.subset(indices[:n_adapt]), dataset.subset(indices[n_adapt:])
+
+
+def subsample_scenario(
+    scenario: TargetScenario,
+    n_adaptation: int,
+    n_test: int | None = None,
+    rng: np.random.Generator | None = None,
+) -> TargetScenario:
+    """Return a smaller copy of a scenario (used to keep benchmarks fast)."""
+    rng = rng if rng is not None else np.random.default_rng(0)
+    n_adaptation = min(n_adaptation, len(scenario.adaptation))
+    adapt_idx = rng.choice(len(scenario.adaptation), size=n_adaptation, replace=False)
+    if n_test is None:
+        test = scenario.test
+    else:
+        n_test = min(n_test, len(scenario.test))
+        test_idx = rng.choice(len(scenario.test), size=n_test, replace=False)
+        test = scenario.test.subset(test_idx)
+    return TargetScenario(
+        name=scenario.name,
+        adaptation=scenario.adaptation.subset(adapt_idx),
+        test=test,
+        metadata=dict(scenario.metadata),
+    )

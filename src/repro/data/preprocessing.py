@@ -1,0 +1,91 @@
+"""Input preprocessing shared by the task generators.
+
+All tasks standardize their inputs with statistics computed on the **source
+training split only** — the same transform is then applied to the calibration
+split and to every target scenario.  This mirrors real deployments (the scaler
+ships with the source model) and never leaks target statistics into the
+pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Standardizer", "corrupt_features"]
+
+
+@dataclass
+class Standardizer:
+    """Per-feature standardization fitted on source data.
+
+    For tabular inputs ``(n, d)`` the statistics are per column; for windowed
+    inputs ``(n, channels, ...)`` they are per channel.
+    """
+
+    mean: np.ndarray | None = None
+    std: np.ndarray | None = None
+
+    def fit(self, inputs: np.ndarray) -> "Standardizer":
+        """Compute the mean and standard deviation of ``inputs``."""
+        inputs = np.asarray(inputs, dtype=np.float64)
+        if inputs.ndim < 2:
+            raise ValueError("inputs must have at least two dimensions")
+        if inputs.ndim == 2:
+            axes: tuple[int, ...] = (0,)
+        else:
+            # (n, channels, ...): aggregate over samples and trailing axes.
+            axes = (0,) + tuple(range(2, inputs.ndim))
+        self.mean = inputs.mean(axis=axes, keepdims=True)[0]
+        self.std = inputs.std(axis=axes, keepdims=True)[0]
+        self.std = np.where(self.std < 1e-8, 1.0, self.std)
+        return self
+
+    def transform(self, inputs: np.ndarray) -> np.ndarray:
+        """Standardize ``inputs`` with the fitted statistics."""
+        if self.mean is None or self.std is None:
+            raise RuntimeError("the standardizer must be fitted before transforming")
+        inputs = np.asarray(inputs, dtype=np.float64)
+        return (inputs - self.mean) / self.std
+
+    def fit_transform(self, inputs: np.ndarray) -> np.ndarray:
+        """Fit on ``inputs`` and return the standardized array."""
+        return self.fit(inputs).transform(inputs)
+
+
+def corrupt_features(
+    features: np.ndarray,
+    corruption_mask: np.ndarray,
+    rng: np.random.Generator,
+    feature_indices: list[int] | None = None,
+    noise_scale: float = 2.5,
+    attenuation: float = 0.3,
+) -> np.ndarray:
+    """Corrupt selected rows of a tabular feature matrix.
+
+    Corruption models the "hard" samples every real dataset contains (sensor
+    glitches, incomplete records, unusual properties): the informative columns
+    of the affected rows lose most of their signal (attenuated toward the
+    column mean) and are overlaid with large-magnitude noise, which pushes the
+    row off the data manifold.  Labels are never touched, so the corrupted
+    rows become the samples the source model is simultaneously *wrong* and
+    *uncertain* about — the population TASFAR targets with pseudo-labels —
+    while their labels still follow the scenario's label distribution.
+    """
+    features = np.array(features, dtype=np.float64, copy=True)
+    corruption_mask = np.asarray(corruption_mask, dtype=bool)
+    if corruption_mask.shape != (len(features),):
+        raise ValueError("corruption_mask must have one entry per row")
+    if not corruption_mask.any():
+        return features
+    columns = feature_indices if feature_indices is not None else list(range(features.shape[1]))
+    column_mean = features[:, columns].mean(axis=0)
+    column_std = features[:, columns].std(axis=0)
+    column_std = np.where(column_std < 1e-8, 1.0, column_std)
+    rows = np.flatnonzero(corruption_mask)
+    original = features[np.ix_(rows, columns)]
+    attenuated = column_mean + attenuation * (original - column_mean)
+    noise = rng.normal(0.0, noise_scale * column_std, size=attenuated.shape)
+    features[np.ix_(rows, columns)] = attenuated + noise
+    return features

@@ -1,0 +1,30 @@
+"""Experiment harness reproducing every figure and table of the paper's evaluation."""
+
+from .base import SCALES, ExperimentResult, ScaleProfile, TaskBundle, clear_bundle_cache, get_bundle
+from .comparison import (
+    DEFAULT_SCHEMES,
+    ScenarioEvaluation,
+    SchemeComparison,
+    clear_comparison_cache,
+    compare_task,
+    get_comparison,
+)
+from .registry import EXPERIMENTS, list_experiments, run_experiment
+
+__all__ = [
+    "DEFAULT_SCHEMES",
+    "EXPERIMENTS",
+    "ExperimentResult",
+    "SCALES",
+    "ScaleProfile",
+    "ScenarioEvaluation",
+    "SchemeComparison",
+    "TaskBundle",
+    "clear_bundle_cache",
+    "clear_comparison_cache",
+    "compare_task",
+    "get_bundle",
+    "get_comparison",
+    "list_experiments",
+    "run_experiment",
+]

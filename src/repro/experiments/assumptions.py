@@ -1,0 +1,74 @@
+"""Motivating observations: Fig. 2 (label distributions) and Fig. 3 (uncertainty vs. error).
+
+These two figures justify TASFAR's premises:
+
+* Fig. 2 — the label distribution characterizes the target scenario: different
+  PDR users have visibly different stride-length distributions.
+* Fig. 3 — prediction uncertainty correlates with prediction error, so the
+  uncertainty can drive both the confidence split and the ``Q_s`` calibration.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..metrics import pearson_correlation
+from .base import ExperimentResult, get_bundle
+from .helpers import scenario_mc_prediction
+
+__all__ = ["fig2_label_distributions", "fig3_uncertainty_error"]
+
+
+def fig2_label_distributions(scale: str = "small", seed: int = 0) -> ExperimentResult:
+    """Per-user stride-length statistics (the 1-D shadow of Fig. 2)."""
+    bundle = get_bundle("pdr", scale, seed)
+    rows = []
+    for scenario in bundle.task.scenarios:
+        strides = np.linalg.norm(scenario.adaptation.targets, axis=1)
+        rows.append(
+            [
+                scenario.name,
+                scenario.metadata["group"],
+                float(strides.mean()),
+                float(strides.std()),
+                float(np.quantile(strides, 0.1)),
+                float(np.quantile(strides, 0.9)),
+            ]
+        )
+    return ExperimentResult(
+        experiment_id="fig2_label_distributions",
+        description="Stride-length (label) distribution per PDR user",
+        columns=["user", "group", "stride_mean", "stride_std", "q10", "q90"],
+        rows=rows,
+        paper_expectation=(
+            "different users have clearly different stride-length distributions, "
+            "so the label distribution characterizes the target scenario"
+        ),
+    )
+
+
+def fig3_uncertainty_error(scale: str = "small", seed: int = 0) -> ExperimentResult:
+    """Prediction error grouped by uncertainty quantile (Fig. 3's trend)."""
+    bundle = get_bundle("pdr", scale, seed)
+    quantiles = (0.25, 0.5, 0.75, 1.0)
+    rows = []
+    correlations = []
+    for scenario in bundle.task.scenarios:
+        prediction = scenario_mc_prediction(bundle, scenario)
+        errors = np.linalg.norm(prediction.mean - scenario.adaptation.targets, axis=1)
+        correlations.append(pearson_correlation(prediction.uncertainty, errors))
+        order = np.argsort(prediction.uncertainty)
+        chunks = np.array_split(order, len(quantiles))
+        rows.append(
+            [scenario.name]
+            + [float(errors[chunk].mean()) for chunk in chunks]
+        )
+    notes = {"mean_correlation": float(np.mean(correlations))}
+    return ExperimentResult(
+        experiment_id="fig3_uncertainty_error",
+        description="Mean step error per uncertainty quartile (low to high)",
+        columns=["user", "err_q1", "err_q2", "err_q3", "err_q4"],
+        rows=rows,
+        paper_expectation="error grows with prediction uncertainty (positive trend across quartiles)",
+        notes=notes,
+    )

@@ -1,0 +1,304 @@
+"""Shared infrastructure for the per-figure experiment harness.
+
+Every experiment in :mod:`repro.experiments` is a function taking a *scale*
+(``"small"`` for tests/benchmarks, ``"full"`` for a closer-to-paper run) and
+returning an :class:`ExperimentResult` — a structured record of the rows or
+series the corresponding paper figure/table reports, plus a short note about
+the expected shape from the paper.
+
+Because several figures share the same expensive preparation (generate the
+task, train the source model, calibrate TASFAR), the harness builds cached
+:class:`TaskBundle` objects keyed by ``(task, scale, seed)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .. import nn
+from ..core import SourceCalibration, Tasfar, TasfarConfig
+from ..data import (
+    AdaptationTask,
+    make_crowd_task,
+    make_housing_task,
+    make_pdr_task,
+    make_taxi_task,
+)
+from ..metrics import format_table
+
+__all__ = [
+    "ScaleProfile",
+    "SCALES",
+    "ExperimentResult",
+    "TaskBundle",
+    "get_bundle",
+    "clear_bundle_cache",
+]
+
+
+@dataclass(frozen=True)
+class ScaleProfile:
+    """Sizes used when generating data and training models for experiments."""
+
+    name: str
+    # PDR
+    pdr_seen_users: int
+    pdr_unseen_users: int
+    pdr_source_trajectories: int
+    pdr_target_trajectories: int
+    pdr_steps: int
+    pdr_window: int
+    pdr_channels: tuple[int, ...]
+    pdr_epochs: int
+    # Crowd counting
+    crowd_source_images: int
+    crowd_images_per_scene: int
+    crowd_image_size: int
+    crowd_epochs: int
+    # Tabular tasks
+    tabular_source: int
+    tabular_target: int
+    tabular_epochs: int
+    # Baseline adaptation budgets
+    baseline_epochs: int
+
+
+SCALES: dict[str, ScaleProfile] = {
+    "tiny": ScaleProfile(
+        name="tiny",
+        pdr_seen_users=2,
+        pdr_unseen_users=1,
+        pdr_source_trajectories=1,
+        pdr_target_trajectories=2,
+        pdr_steps=40,
+        pdr_window=12,
+        pdr_channels=(8, 8),
+        pdr_epochs=15,
+        crowd_source_images=60,
+        crowd_images_per_scene=24,
+        crowd_image_size=10,
+        crowd_epochs=12,
+        tabular_source=200,
+        tabular_target=120,
+        tabular_epochs=25,
+        baseline_epochs=5,
+    ),
+    "small": ScaleProfile(
+        name="small",
+        pdr_seen_users=4,
+        pdr_unseen_users=3,
+        pdr_source_trajectories=3,
+        pdr_target_trajectories=3,
+        pdr_steps=80,
+        pdr_window=20,
+        pdr_channels=(16, 16),
+        pdr_epochs=60,
+        crowd_source_images=120,
+        crowd_images_per_scene=45,
+        crowd_image_size=12,
+        crowd_epochs=30,
+        tabular_source=500,
+        tabular_target=250,
+        tabular_epochs=50,
+        baseline_epochs=12,
+    ),
+    "full": ScaleProfile(
+        name="full",
+        pdr_seen_users=15,
+        pdr_unseen_users=10,
+        pdr_source_trajectories=3,
+        pdr_target_trajectories=5,
+        pdr_steps=100,
+        pdr_window=20,
+        pdr_channels=(16, 16),
+        pdr_epochs=80,
+        crowd_source_images=400,
+        crowd_images_per_scene=120,
+        crowd_image_size=16,
+        crowd_epochs=60,
+        tabular_source=1500,
+        tabular_target=600,
+        tabular_epochs=80,
+        baseline_epochs=20,
+    ),
+}
+
+
+@dataclass
+class ExperimentResult:
+    """Structured result of one reproduced figure or table."""
+
+    experiment_id: str
+    description: str
+    columns: list[str]
+    rows: list[list[object]]
+    paper_expectation: str = ""
+    notes: dict = field(default_factory=dict)
+
+    def summary(self) -> str:
+        """Human-readable rendering of the result (printed by the CLI and benches)."""
+        header = f"[{self.experiment_id}] {self.description}"
+        table = format_table(self.columns, self.rows)
+        expectation = f"paper expectation: {self.paper_expectation}" if self.paper_expectation else ""
+        return "\n".join(part for part in (header, table, expectation) if part)
+
+    def row_dicts(self) -> list[dict[str, object]]:
+        """Rows as dictionaries keyed by column name."""
+        return [dict(zip(self.columns, row)) for row in self.rows]
+
+
+@dataclass
+class TaskBundle:
+    """A prepared task: data, trained source model and TASFAR source calibration."""
+
+    task: AdaptationTask
+    source_model: nn.RegressionModel
+    trainer: nn.Trainer
+    calibration: SourceCalibration
+    scale: ScaleProfile
+    seed: int
+    training_history: nn.TrainingHistory
+
+    def predict(self, inputs: np.ndarray) -> np.ndarray:
+        """Deterministic source-model predictions."""
+        return self.trainer.predict(inputs)
+
+    def tasfar(self, config: TasfarConfig | None = None) -> Tasfar:
+        """A TASFAR instance with a default or custom configuration."""
+        return Tasfar(config if config is not None else TasfarConfig())
+
+
+_BUNDLE_CACHE: dict[tuple[str, str, int], TaskBundle] = {}
+
+
+def clear_bundle_cache() -> None:
+    """Drop all cached bundles (used by tests to control memory)."""
+    _BUNDLE_CACHE.clear()
+
+
+def get_bundle(task_name: str, scale: str = "small", seed: int = 0) -> TaskBundle:
+    """Build (or fetch from cache) the bundle for one of the four tasks."""
+    key = (task_name, scale, seed)
+    if key in _BUNDLE_CACHE:
+        return _BUNDLE_CACHE[key]
+    profile = SCALES[scale]
+    builder = {
+        "pdr": _build_pdr_bundle,
+        "crowd": _build_crowd_bundle,
+        "housing": _build_housing_bundle,
+        "taxi": _build_taxi_bundle,
+    }.get(task_name)
+    if builder is None:
+        raise ValueError(f"unknown task {task_name!r}; expected pdr, crowd, housing or taxi")
+    bundle = builder(profile, seed)
+    _BUNDLE_CACHE[key] = bundle
+    return bundle
+
+
+def _calibrate(
+    model: nn.RegressionModel, task: AdaptationTask
+) -> SourceCalibration:
+    tasfar = Tasfar(TasfarConfig())
+    return tasfar.calibrate_on_source(
+        model, task.source_calibration.inputs, task.source_calibration.targets
+    )
+
+
+def _build_pdr_bundle(profile: ScaleProfile, seed: int) -> TaskBundle:
+    task = make_pdr_task(
+        n_seen_users=profile.pdr_seen_users,
+        n_unseen_users=profile.pdr_unseen_users,
+        n_source_trajectories=profile.pdr_source_trajectories,
+        n_target_trajectories=profile.pdr_target_trajectories,
+        steps_per_trajectory=profile.pdr_steps,
+        window=profile.pdr_window,
+        seed=seed,
+    )
+    model = nn.build_tcn_regressor(
+        in_channels=task.metadata["n_channels"],
+        window_length=profile.pdr_window,
+        output_dim=2,
+        channel_sizes=profile.pdr_channels,
+        dropout=0.2,
+        seed=seed,
+    )
+    trainer = nn.Trainer(model, lr=2e-3)
+    history = trainer.fit(
+        task.source_train,
+        epochs=profile.pdr_epochs,
+        batch_size=32,
+        rng=np.random.default_rng(seed),
+    )
+    return TaskBundle(task, model, trainer, _calibrate(model, task), profile, seed, history)
+
+
+def _build_crowd_bundle(profile: ScaleProfile, seed: int) -> TaskBundle:
+    task = make_crowd_task(
+        n_source_images=profile.crowd_source_images,
+        n_target_images_per_scene=profile.crowd_images_per_scene,
+        image_size=profile.crowd_image_size,
+        seed=seed,
+    )
+    model = nn.build_mcnn_counter(
+        image_size=profile.crowd_image_size,
+        column_channels=(3, 4, 5),
+        column_kernels=(3, 5, 7),
+        dropout=0.2,
+        seed=seed,
+    )
+    trainer = nn.Trainer(model, lr=2e-3)
+    history = trainer.fit(
+        task.source_train,
+        epochs=profile.crowd_epochs,
+        batch_size=16,
+        rng=np.random.default_rng(seed),
+    )
+    return TaskBundle(task, model, trainer, _calibrate(model, task), profile, seed, history)
+
+
+def _build_housing_bundle(profile: ScaleProfile, seed: int) -> TaskBundle:
+    task = make_housing_task(
+        n_source=profile.tabular_source,
+        n_target=profile.tabular_target,
+        seed=seed,
+    )
+    model = nn.build_mlp(
+        input_dim=task.source_train.inputs.shape[1],
+        output_dim=1,
+        hidden_dims=(32, 16),
+        dropout=0.2,
+        seed=seed,
+    )
+    trainer = nn.Trainer(model, lr=3e-3)
+    history = trainer.fit(
+        task.source_train,
+        epochs=profile.tabular_epochs,
+        batch_size=32,
+        rng=np.random.default_rng(seed),
+    )
+    return TaskBundle(task, model, trainer, _calibrate(model, task), profile, seed, history)
+
+
+def _build_taxi_bundle(profile: ScaleProfile, seed: int) -> TaskBundle:
+    task = make_taxi_task(
+        n_source=profile.tabular_source,
+        n_target=profile.tabular_target,
+        seed=seed,
+    )
+    model = nn.build_mlp(
+        input_dim=task.source_train.inputs.shape[1],
+        output_dim=1,
+        hidden_dims=(32, 16),
+        dropout=0.2,
+        seed=seed,
+    )
+    trainer = nn.Trainer(model, lr=3e-3)
+    history = trainer.fit(
+        task.source_train,
+        epochs=profile.tabular_epochs,
+        batch_size=32,
+        rng=np.random.default_rng(seed),
+    )
+    return TaskBundle(task, model, trainer, _calibrate(model, task), profile, seed, history)

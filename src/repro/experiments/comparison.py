@@ -1,0 +1,229 @@
+"""Scheme-comparison machinery shared by the PDR, counting and prediction tables.
+
+The paper compares TASFAR against a no-adaptation baseline, two source-based
+UDA schemes (MMD, ADV) and two source-free schemes (AUGfree, Datafree) on
+every target scenario.  This module runs that comparison once per task and
+caches the result so the individual figure/table experiments (Fig. 14–21,
+Table I) can all be derived from it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .. import nn
+from ..baselines import DataFree, TasfarAdapter, make_adapter
+from ..core import ConfidenceClassifier
+from ..data import TargetScenario
+from ..metrics import mae, mse, per_trajectory_rte, rmsle, step_error
+from ..uncertainty import MCDropoutPredictor
+from .base import TaskBundle, get_bundle
+
+__all__ = [
+    "DEFAULT_SCHEMES",
+    "ScenarioEvaluation",
+    "SchemeComparison",
+    "compare_task",
+    "get_comparison",
+    "clear_comparison_cache",
+]
+
+#: Schemes compared in the paper, in presentation order.
+DEFAULT_SCHEMES = ("baseline", "mmd", "adv", "augfree", "datafree", "tasfar")
+
+
+@dataclass
+class ScenarioEvaluation:
+    """Per-scenario, per-scheme evaluation record."""
+
+    scenario: str
+    group: str
+    uncertain_indices: np.ndarray
+    uncertain_ratio: float
+    #: metrics[scheme][split][metric_name] -> float
+    metrics: dict[str, dict[str, dict[str, float]]] = field(default_factory=dict)
+    #: per-trajectory RTE values, when the task has trajectory structure
+    rte: dict[str, dict[str, dict[int, float]]] = field(default_factory=dict)
+    #: adaptation-loss curves per scheme
+    losses: dict[str, list[float]] = field(default_factory=dict)
+    diagnostics: dict[str, dict] = field(default_factory=dict)
+
+
+@dataclass
+class SchemeComparison:
+    """Comparison of all schemes over all scenarios of one task."""
+
+    task_name: str
+    schemes: tuple[str, ...]
+    evaluations: list[ScenarioEvaluation]
+
+    def scenario(self, name: str) -> ScenarioEvaluation:
+        """Look up one scenario's evaluation by name."""
+        for evaluation in self.evaluations:
+            if evaluation.scenario == name:
+                return evaluation
+        raise KeyError(f"no evaluation for scenario {name!r}")
+
+    def mean_metric(self, scheme: str, split: str, metric: str, group: str | None = None) -> float:
+        """Average a metric over scenarios (optionally restricted to a group)."""
+        values = [
+            evaluation.metrics[scheme][split][metric]
+            for evaluation in self.evaluations
+            if group is None or evaluation.group == group
+        ]
+        if not values:
+            raise ValueError(f"no scenarios match group {group!r}")
+        return float(np.mean(values))
+
+    def mean_reduction(self, scheme: str, split: str, metric: str, group: str | None = None) -> float:
+        """Average per-scenario relative error reduction of a scheme vs. the baseline."""
+        reductions = []
+        for evaluation in self.evaluations:
+            if group is not None and evaluation.group != group:
+                continue
+            base = evaluation.metrics["baseline"][split][metric]
+            adapted = evaluation.metrics[scheme][split][metric]
+            reductions.append((base - adapted) / base if base else 0.0)
+        if not reductions:
+            raise ValueError(f"no scenarios match group {group!r}")
+        return float(np.mean(reductions))
+
+
+def _task_metrics(task_name: str):
+    """Metric set used for each task."""
+    if task_name == "pdr":
+        return {"ste": lambda p, t: step_error(p, t)}
+    if task_name == "crowd":
+        return {"mae": mae, "mse": mse}
+    if task_name == "housing":
+        return {"mse": mse, "mae": mae}
+    if task_name == "taxi":
+        return {"rmsle": rmsle, "mae": mae}
+    raise ValueError(f"unknown task {task_name!r}")
+
+
+def _evaluate_splits(
+    model: nn.RegressionModel,
+    scenario: TargetScenario,
+    uncertain_indices: np.ndarray,
+    metric_fns: dict,
+) -> tuple[dict[str, dict[str, float]], dict[str, dict[int, float]]]:
+    """Evaluate one adapted model on the scenario's splits."""
+    trainer = nn.Trainer(model)
+    adapt_pred = trainer.predict(scenario.adaptation.inputs)
+    test_pred = trainer.predict(scenario.test.inputs)
+
+    metrics: dict[str, dict[str, float]] = {
+        "adaptation": {name: fn(adapt_pred, scenario.adaptation.targets) for name, fn in metric_fns.items()},
+        "test": {name: fn(test_pred, scenario.test.targets) for name, fn in metric_fns.items()},
+    }
+    if len(uncertain_indices):
+        metrics["adaptation_uncertain"] = {
+            name: fn(adapt_pred[uncertain_indices], scenario.adaptation.targets[uncertain_indices])
+            for name, fn in metric_fns.items()
+        }
+    else:
+        metrics["adaptation_uncertain"] = dict(metrics["adaptation"])
+
+    rte: dict[str, dict[int, float]] = {}
+    if "trajectory_ids" in scenario.metadata:
+        rte["adaptation"] = per_trajectory_rte(
+            adapt_pred, scenario.adaptation.targets, scenario.metadata["trajectory_ids"]
+        )
+        rte["test"] = per_trajectory_rte(
+            test_pred, scenario.test.targets, scenario.metadata["test_trajectory_ids"]
+        )
+    return metrics, rte
+
+
+def compare_task(
+    bundle: TaskBundle,
+    schemes: tuple[str, ...] = DEFAULT_SCHEMES,
+    scenarios: list[TargetScenario] | None = None,
+    seed: int = 0,
+    max_source_samples: int = 400,
+) -> SchemeComparison:
+    """Run every scheme on every scenario of a prepared task bundle."""
+    task = bundle.task
+    metric_fns = _task_metrics(task.name if task.name != "crowd_counting" else "crowd")
+    scenarios = scenarios if scenarios is not None else task.scenarios
+    rng = np.random.default_rng(seed)
+
+    # Source data handed to the source-based schemes (possibly subsampled to
+    # keep the comparison affordable on the simulator substrate).
+    source_data = task.source_train
+    if len(source_data) > max_source_samples:
+        chosen = rng.choice(len(source_data), size=max_source_samples, replace=False)
+        source_data = source_data.subset(chosen)
+
+    predictor = MCDropoutPredictor(bundle.source_model)
+    classifier = ConfidenceClassifier()
+    classifier.threshold = bundle.calibration.threshold
+
+    evaluations: list[ScenarioEvaluation] = []
+    for scenario in scenarios:
+        prediction = predictor.predict(scenario.adaptation.inputs)
+        split = classifier.split(prediction.uncertainty)
+        evaluation = ScenarioEvaluation(
+            scenario=scenario.name,
+            group=str(scenario.metadata.get("group", "target")),
+            uncertain_indices=split.uncertain_indices,
+            uncertain_ratio=split.uncertain_ratio,
+        )
+        for scheme in schemes:
+            adapter = make_adapter(scheme, **_scheme_kwargs(scheme, bundle, seed))
+            if isinstance(adapter, TasfarAdapter):
+                adapter.calibration = bundle.calibration
+            if isinstance(adapter, DataFree):
+                adapter.fit_source_statistics(bundle.source_model, task.source_calibration.inputs)
+            result = adapter.adapt(
+                bundle.source_model,
+                scenario.adaptation.inputs,
+                source_data=source_data if adapter.requires_source_data else None,
+            )
+            metrics, rte = _evaluate_splits(
+                result.target_model, scenario, split.uncertain_indices, metric_fns
+            )
+            evaluation.metrics[scheme] = metrics
+            if rte:
+                evaluation.rte[scheme] = rte
+            evaluation.losses[scheme] = result.losses
+            evaluation.diagnostics[scheme] = {
+                key: value for key, value in result.diagnostics.items() if key != "adaptation_result"
+            }
+        evaluations.append(evaluation)
+    return SchemeComparison(task_name=task.name, schemes=tuple(schemes), evaluations=evaluations)
+
+
+def _scheme_kwargs(scheme: str, bundle: TaskBundle, seed: int) -> dict:
+    """Construction keywords for each scheme, scaled to the bundle profile."""
+    epochs = bundle.scale.baseline_epochs
+    if scheme in ("mmd", "adv"):
+        return {"epochs": epochs, "seed": seed}
+    if scheme in ("augfree", "datafree"):
+        return {"epochs": epochs, "seed": seed}
+    return {}
+
+
+_COMPARISON_CACHE: dict[tuple[str, str, int, tuple[str, ...]], SchemeComparison] = {}
+
+
+def clear_comparison_cache() -> None:
+    """Drop cached comparisons (used by tests)."""
+    _COMPARISON_CACHE.clear()
+
+
+def get_comparison(
+    task_name: str,
+    scale: str = "small",
+    seed: int = 0,
+    schemes: tuple[str, ...] = DEFAULT_SCHEMES,
+) -> SchemeComparison:
+    """Run (or fetch from cache) the full scheme comparison for one task."""
+    key = (task_name, scale, seed, tuple(schemes))
+    if key not in _COMPARISON_CACHE:
+        bundle = get_bundle(task_name, scale, seed)
+        _COMPARISON_CACHE[key] = compare_task(bundle, schemes=schemes, seed=seed)
+    return _COMPARISON_CACHE[key]

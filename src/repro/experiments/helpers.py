@@ -1,0 +1,157 @@
+"""Shared helpers for the parameter-study experiments (Figs. 6–13).
+
+The parameter studies sweep TASFAR's knobs (grid size, segment count, the
+confidence ratio, the error model) on the PDR task.  All of them need the same
+expensive ingredients — MC-dropout predictions on the source calibration split
+and on a target scenario — so those are cached here per bundle/scenario.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core import ConfidenceClassifier, LabelDensityMap, LabelDistributionEstimator, PseudoLabelGenerator
+from ..core.adapter import SourceCalibration
+from ..data import TargetScenario
+from ..uncertainty import MCDropoutPredictor, UncertainPrediction, fit_sigma_curve
+from .base import TaskBundle
+
+__all__ = [
+    "source_mc_prediction",
+    "scenario_mc_prediction",
+    "build_calibration",
+    "estimate_scenario_density",
+    "pseudo_label_scenario",
+    "true_density_map",
+    "pseudo_label_error",
+]
+
+_SOURCE_PREDICTION_CACHE: dict[int, UncertainPrediction] = {}
+_SCENARIO_PREDICTION_CACHE: dict[tuple[int, str], UncertainPrediction] = {}
+
+
+def source_mc_prediction(bundle: TaskBundle) -> UncertainPrediction:
+    """MC-dropout prediction of the source model on the source calibration split."""
+    key = id(bundle)
+    if key not in _SOURCE_PREDICTION_CACHE:
+        predictor = MCDropoutPredictor(bundle.source_model)
+        _SOURCE_PREDICTION_CACHE[key] = predictor.predict(bundle.task.source_calibration.inputs)
+    return _SOURCE_PREDICTION_CACHE[key]
+
+
+def scenario_mc_prediction(bundle: TaskBundle, scenario: TargetScenario) -> UncertainPrediction:
+    """MC-dropout prediction of the source model on a scenario's adaptation split."""
+    key = (id(bundle), scenario.name)
+    if key not in _SCENARIO_PREDICTION_CACHE:
+        predictor = MCDropoutPredictor(bundle.source_model)
+        _SCENARIO_PREDICTION_CACHE[key] = predictor.predict(scenario.adaptation.inputs)
+    return _SCENARIO_PREDICTION_CACHE[key]
+
+
+def build_calibration(
+    bundle: TaskBundle,
+    confidence_ratio: float = 0.9,
+    n_segments: int = 40,
+) -> SourceCalibration:
+    """Re-fit ``Q_s`` and ``tau`` with custom ``eta``/``q`` from cached predictions."""
+    prediction = source_mc_prediction(bundle)
+    labels = bundle.task.source_calibration.targets
+    errors = np.abs(prediction.mean - labels)
+    calibrators = [
+        fit_sigma_curve(prediction.uncertainty, errors[:, dim], n_segments=n_segments)
+        for dim in range(labels.shape[1])
+    ]
+    classifier = ConfidenceClassifier(confidence_ratio)
+    classifier.fit(prediction.uncertainty)
+    return SourceCalibration(
+        threshold=float(classifier.threshold),
+        calibrators=calibrators,
+        source_uncertainty_mean=float(prediction.uncertainty.mean()),
+        source_error_mean=float(errors.mean()),
+    )
+
+
+def estimate_scenario_density(
+    bundle: TaskBundle,
+    scenario: TargetScenario,
+    calibration: SourceCalibration,
+    grid_size: float | None = None,
+    auto_grid_bins: int = 25,
+    error_model: str = "gaussian",
+    grid: LabelDensityMap | None = None,
+) -> tuple[LabelDensityMap, LabelDistributionEstimator, np.ndarray]:
+    """Estimate the label density map of a scenario from its confident data.
+
+    Returns ``(density_map, estimator, confident_indices)``.
+    """
+    prediction = scenario_mc_prediction(bundle, scenario)
+    classifier = ConfidenceClassifier()
+    classifier.threshold = calibration.threshold
+    split = classifier.split(prediction.uncertainty)
+    estimator = LabelDistributionEstimator(
+        calibrators=calibration.calibrators,
+        grid_size=grid_size,
+        auto_grid_bins=auto_grid_bins,
+        error_model=error_model,
+    )
+    density_map = estimator.estimate(
+        prediction.mean[split.confident_indices],
+        prediction.uncertainty[split.confident_indices],
+        grid=grid,
+    )
+    return density_map, estimator, split.confident_indices
+
+
+def pseudo_label_scenario(
+    bundle: TaskBundle,
+    scenario: TargetScenario,
+    calibration: SourceCalibration,
+    grid_size: float | None = None,
+    auto_grid_bins: int = 25,
+    error_model: str = "gaussian",
+    locality_sigmas: float = 3.0,
+    mode: str = "interpolate",
+):
+    """Run the density-estimation + pseudo-labelling half of TASFAR on a scenario.
+
+    Returns ``(pseudo_batch, uncertain_indices, density_map)``.
+    """
+    prediction = scenario_mc_prediction(bundle, scenario)
+    classifier = ConfidenceClassifier()
+    classifier.threshold = calibration.threshold
+    split = classifier.split(prediction.uncertainty)
+    density_map, estimator, _ = estimate_scenario_density(
+        bundle,
+        scenario,
+        calibration,
+        grid_size=grid_size,
+        auto_grid_bins=auto_grid_bins,
+        error_model=error_model,
+    )
+    generator = PseudoLabelGenerator(
+        estimator=estimator,
+        threshold=calibration.threshold,
+        locality_sigmas=locality_sigmas,
+        mode=mode,
+        error_model=error_model,
+    )
+    pseudo_batch = generator.pseudo_label(
+        density_map,
+        prediction.mean[split.uncertain_indices],
+        prediction.uncertainty[split.uncertain_indices],
+    )
+    return pseudo_batch, split.uncertain_indices, density_map
+
+
+def true_density_map(labels: np.ndarray, reference: LabelDensityMap) -> LabelDensityMap:
+    """Ground-truth density map of ``labels`` on the same grid as ``reference``."""
+    return LabelDensityMap.from_labels(labels, [edge.copy() for edge in reference.edges])
+
+
+def pseudo_label_error(pseudo_labels: np.ndarray, targets: np.ndarray) -> float:
+    """Mean Euclidean error of pseudo-labels against the (held-back) true labels."""
+    pseudo_labels = np.atleast_2d(pseudo_labels)
+    targets = np.atleast_2d(targets)
+    if len(pseudo_labels) == 0:
+        return 0.0
+    return float(np.linalg.norm(pseudo_labels - targets, axis=1).mean())

@@ -1,0 +1,133 @@
+"""Pseudo-label parameter studies: Fig. 8 (grid size x error model), Fig. 9 (q), Fig. 10 (eta).
+
+All three figures report the pseudo-label error on PDR while sweeping one
+system parameter:
+
+* Fig. 8 — the grid size, under Gaussian / Laplace / Uniform instance-label
+  error models; small grids are fine (interpolation makes the method robust),
+  very large grids degrade, and the error-model family barely matters.
+* Fig. 9 — the number of uncertainty segments ``q`` used to fit ``Q_s``; the
+  error converges quickly, so a handful of segments suffices.
+* Fig. 10 — the confidence ratio ``eta``; a wide band of values works, with
+  degradation only at the extremes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import ExperimentResult, get_bundle
+from .helpers import build_calibration, pseudo_label_error, pseudo_label_scenario
+
+__all__ = ["fig8_grid_size_pseudo_error", "fig9_segment_count", "fig10_confidence_ratio"]
+
+
+def _scenario_pseudo_error(bundle, scenario, calibration, **kwargs) -> float:
+    """Pseudo-label error of one scenario under the given TASFAR settings."""
+    pseudo_batch, uncertain_indices, _ = pseudo_label_scenario(
+        bundle, scenario, calibration, **kwargs
+    )
+    if len(uncertain_indices) == 0:
+        return 0.0
+    return pseudo_label_error(
+        pseudo_batch.pseudo_labels, scenario.adaptation.targets[uncertain_indices]
+    )
+
+
+def fig8_grid_size_pseudo_error(
+    scale: str = "small",
+    seed: int = 0,
+    grid_sizes: tuple[float, ...] = (0.05, 0.1, 0.2, 0.4, 0.8),
+    error_models: tuple[str, ...] = ("gaussian", "laplace", "uniform"),
+    n_users: int = 3,
+) -> ExperimentResult:
+    """Pseudo-label error vs. grid size for different error-model families."""
+    bundle = get_bundle("pdr", scale, seed)
+    calibration = build_calibration(bundle)
+    scenarios = bundle.task.scenarios[:n_users]
+    rows = []
+    for grid_size in grid_sizes:
+        row: list[object] = [grid_size]
+        for error_model in error_models:
+            errors = [
+                _scenario_pseudo_error(
+                    bundle, scenario, calibration, grid_size=grid_size, error_model=error_model
+                )
+                for scenario in scenarios
+            ]
+            row.append(float(np.mean(errors)))
+        rows.append(row)
+    return ExperimentResult(
+        experiment_id="fig8_grid_size_pseudo_error",
+        description="Pseudo-label error vs. grid size per instance-label error model",
+        columns=["grid_size_m"] + [f"pseudo_err_{name}" for name in error_models],
+        rows=rows,
+        paper_expectation=(
+            "error-model families behave similarly; small grids work well and only "
+            "very large grids degrade the pseudo-labels"
+        ),
+    )
+
+
+def fig9_segment_count(
+    scale: str = "small",
+    seed: int = 0,
+    segment_counts: tuple[int, ...] = (2, 5, 10, 20, 40, 80),
+    n_users: int = 3,
+) -> ExperimentResult:
+    """Pseudo-label error vs. the number of uncertainty segments ``q``."""
+    bundle = get_bundle("pdr", scale, seed)
+    scenarios = bundle.task.scenarios[:n_users]
+    rows = []
+    for n_segments in segment_counts:
+        calibration = build_calibration(bundle, n_segments=n_segments)
+        errors = [
+            _scenario_pseudo_error(bundle, scenario, calibration) for scenario in scenarios
+        ]
+        rows.append([n_segments, float(np.mean(errors))])
+    return ExperimentResult(
+        experiment_id="fig9_segment_count",
+        description="Pseudo-label error vs. segment quantity q used for the Q_s fit",
+        columns=["q", "pseudo_error"],
+        rows=rows,
+        paper_expectation="the error converges with a small q; only very small q is noticeably worse",
+    )
+
+
+def fig10_confidence_ratio(
+    scale: str = "small",
+    seed: int = 0,
+    ratios: tuple[float, ...] = (0.5, 0.7, 0.8, 0.9, 0.95, 0.99),
+    n_users: int = 3,
+) -> ExperimentResult:
+    """Pseudo-label error vs. the confidence ratio ``eta``."""
+    bundle = get_bundle("pdr", scale, seed)
+    scenarios = bundle.task.scenarios[:n_users]
+    rows = []
+    for ratio in ratios:
+        calibration = build_calibration(bundle, confidence_ratio=ratio)
+        errors = []
+        n_uncertain = []
+        for scenario in scenarios:
+            pseudo_batch, uncertain_indices, _ = pseudo_label_scenario(bundle, scenario, calibration)
+            n_uncertain.append(len(uncertain_indices))
+            if len(uncertain_indices):
+                errors.append(
+                    pseudo_label_error(
+                        pseudo_batch.pseudo_labels,
+                        scenario.adaptation.targets[uncertain_indices],
+                    )
+                )
+        rows.append(
+            [ratio, float(np.mean(errors)) if errors else 0.0, float(np.mean(n_uncertain))]
+        )
+    return ExperimentResult(
+        experiment_id="fig10_confidence_ratio",
+        description="Pseudo-label error vs. confidence ratio eta",
+        columns=["eta", "pseudo_error", "mean_n_uncertain"],
+        rows=rows,
+        paper_expectation=(
+            "a wide band of eta works; very small eta mixes accurate predictions into the "
+            "uncertain set, very large eta leaves little data to adapt on"
+        ),
+    )

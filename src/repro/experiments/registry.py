@@ -1,0 +1,72 @@
+"""Registry mapping experiment ids to their callables.
+
+Every entry reproduces one figure or table of the paper (plus the two
+motivating figures).  The callables all share the signature
+``fn(scale="small", seed=0) -> ExperimentResult``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from .assumptions import fig2_label_distributions, fig3_uncertainty_error
+from .base import ExperimentResult
+from .counting import fig19_counting_scenes, fig20_partitioning, table1_crowd_counting
+from .credibility_study import fig11_credibility_correlation, fig12_credibility_ablation
+from .density_maps import fig6_density_maps, fig7_grid_size_map_error
+from .failure_case import fig22_failure_case
+from .learning_curves import fig13_learning_curves
+from .pdr_comparison import (
+    fig14_ste_reduction_seen,
+    fig15_adaptation_vs_test,
+    fig16_uncertain_ratio,
+    fig17_rte_reduction_seen,
+    fig18_rte_reduction_unseen,
+)
+from .prediction import fig21_prediction_tasks
+from .pseudo_label_study import (
+    fig8_grid_size_pseudo_error,
+    fig9_segment_count,
+    fig10_confidence_ratio,
+)
+
+__all__ = ["EXPERIMENTS", "run_experiment", "list_experiments"]
+
+EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
+    "fig2_label_distributions": fig2_label_distributions,
+    "fig3_uncertainty_error": fig3_uncertainty_error,
+    "fig6_density_maps": fig6_density_maps,
+    "fig7_grid_size_map_error": fig7_grid_size_map_error,
+    "fig8_grid_size_pseudo_error": fig8_grid_size_pseudo_error,
+    "fig9_segment_count": fig9_segment_count,
+    "fig10_confidence_ratio": fig10_confidence_ratio,
+    "fig11_credibility_correlation": fig11_credibility_correlation,
+    "fig12_credibility_ablation": fig12_credibility_ablation,
+    "fig13_learning_curves": fig13_learning_curves,
+    "fig14_ste_reduction_seen": fig14_ste_reduction_seen,
+    "fig15_adaptation_vs_test": fig15_adaptation_vs_test,
+    "fig16_uncertain_ratio": fig16_uncertain_ratio,
+    "fig17_rte_reduction_seen": fig17_rte_reduction_seen,
+    "fig18_rte_reduction_unseen": fig18_rte_reduction_unseen,
+    "table1_crowd_counting": table1_crowd_counting,
+    "fig19_counting_scenes": fig19_counting_scenes,
+    "fig20_partitioning": fig20_partitioning,
+    "fig21_prediction_tasks": fig21_prediction_tasks,
+    "fig22_failure_case": fig22_failure_case,
+}
+
+
+def list_experiments() -> list[str]:
+    """Identifiers of all registered experiments."""
+    return list(EXPERIMENTS)
+
+
+def run_experiment(experiment_id: str, scale: str = "small", seed: int = 0) -> ExperimentResult:
+    """Run one experiment by id."""
+    try:
+        experiment = EXPERIMENTS[experiment_id]
+    except KeyError as exc:
+        raise ValueError(
+            f"unknown experiment {experiment_id!r}; known ids: {', '.join(EXPERIMENTS)}"
+        ) from exc
+    return experiment(scale=scale, seed=seed)

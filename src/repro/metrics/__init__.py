@@ -1,0 +1,28 @@
+"""Evaluation metrics for the TASFAR reproduction."""
+
+from .regression import error_reduction, mae, mse, rmse, rmsle
+from .report import format_percent, format_table
+from .stats import empirical_cdf, fraction_above_threshold, pearson_correlation
+from .trajectory import (
+    per_trajectory_rte,
+    relative_trajectory_error,
+    step_error,
+    trajectory_length,
+)
+
+__all__ = [
+    "empirical_cdf",
+    "error_reduction",
+    "format_percent",
+    "format_table",
+    "fraction_above_threshold",
+    "mae",
+    "mse",
+    "pearson_correlation",
+    "per_trajectory_rte",
+    "relative_trajectory_error",
+    "rmse",
+    "rmsle",
+    "step_error",
+    "trajectory_length",
+]

@@ -1,0 +1,65 @@
+"""Scalar regression metrics used throughout the evaluation."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["mse", "rmse", "mae", "rmsle", "error_reduction"]
+
+
+def _align(predictions: np.ndarray, targets: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    predictions = np.asarray(predictions, dtype=np.float64)
+    targets = np.asarray(targets, dtype=np.float64)
+    if predictions.ndim == 1:
+        predictions = predictions[:, None]
+    if targets.ndim == 1:
+        targets = targets[:, None]
+    if predictions.shape != targets.shape:
+        raise ValueError(
+            f"prediction shape {predictions.shape} does not match target shape {targets.shape}"
+        )
+    if len(predictions) == 0:
+        raise ValueError("metrics require at least one sample")
+    return predictions, targets
+
+
+def mse(predictions: np.ndarray, targets: np.ndarray) -> float:
+    """Mean squared error."""
+    predictions, targets = _align(predictions, targets)
+    return float(((predictions - targets) ** 2).mean())
+
+
+def rmse(predictions: np.ndarray, targets: np.ndarray) -> float:
+    """Root mean squared error."""
+    return float(np.sqrt(mse(predictions, targets)))
+
+
+def mae(predictions: np.ndarray, targets: np.ndarray) -> float:
+    """Mean absolute error."""
+    predictions, targets = _align(predictions, targets)
+    return float(np.abs(predictions - targets).mean())
+
+
+def rmsle(predictions: np.ndarray, targets: np.ndarray) -> float:
+    """Root mean squared logarithmic error.
+
+    Predictions are clipped at zero before the ``log1p``, as is standard for
+    the NYC-taxi evaluation where durations are strictly positive.
+    """
+    predictions, targets = _align(predictions, targets)
+    if np.any(targets < 0):
+        raise ValueError("RMSLE requires non-negative targets")
+    predictions = np.clip(predictions, 0.0, None)
+    log_diff = np.log1p(predictions) - np.log1p(targets)
+    return float(np.sqrt((log_diff**2).mean()))
+
+
+def error_reduction(baseline_error: float, adapted_error: float) -> float:
+    """Relative error reduction (a positive value means improvement).
+
+    Defined as ``(baseline - adapted) / baseline``; returns 0 when the
+    baseline error is zero.
+    """
+    if baseline_error == 0:
+        return 0.0
+    return float((baseline_error - adapted_error) / baseline_error)

@@ -1,0 +1,41 @@
+"""Small helpers for rendering experiment results as text tables.
+
+The benchmark harness prints the same rows the paper reports; these helpers
+keep that formatting in one place.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["format_table", "format_percent"]
+
+
+def format_percent(value: float, digits: int = 1) -> str:
+    """Render a ratio as a percentage string (e.g. ``0.136`` -> ``"13.6%"``)."""
+    return f"{100.0 * value:.{digits}f}%"
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render a simple fixed-width text table."""
+    columns = [str(header) for header in headers]
+    text_rows = [[_format_cell(cell) for cell in row] for row in rows]
+    widths = [len(column) for column in columns]
+    for row in text_rows:
+        if len(row) != len(columns):
+            raise ValueError("every row must have one cell per header")
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = [
+        "  ".join(column.ljust(width) for column, width in zip(columns, widths)),
+        "  ".join("-" * width for width in widths),
+    ]
+    for row in text_rows:
+        lines.append("  ".join(cell.ljust(width) for cell, width in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _format_cell(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.3f}"
+    return str(cell)

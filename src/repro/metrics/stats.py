@@ -1,0 +1,48 @@
+"""Statistical helpers used by the parameter studies."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["pearson_correlation", "empirical_cdf", "fraction_above_threshold"]
+
+
+def pearson_correlation(x: np.ndarray, y: np.ndarray) -> float:
+    """Pearson correlation coefficient between two 1-D arrays.
+
+    Returns 0 when either array is constant (undefined correlation), which is
+    the conservative choice for the credibility study of Fig. 11.
+    """
+    x = np.asarray(x, dtype=np.float64).ravel()
+    y = np.asarray(y, dtype=np.float64).ravel()
+    if x.shape != y.shape:
+        raise ValueError("x and y must have the same length")
+    if len(x) < 2:
+        raise ValueError("at least two points are required")
+    x_std = x.std()
+    y_std = y.std()
+    if x_std == 0 or y_std == 0:
+        return 0.0
+    return float(np.corrcoef(x, y)[0, 1])
+
+
+def empirical_cdf(values: np.ndarray, grid: np.ndarray) -> np.ndarray:
+    """Empirical cumulative distribution of ``values`` evaluated on ``grid``."""
+    values = np.sort(np.asarray(values, dtype=np.float64).ravel())
+    grid = np.asarray(grid, dtype=np.float64)
+    if len(values) == 0:
+        raise ValueError("values must not be empty")
+    return np.searchsorted(values, grid, side="right") / len(values)
+
+
+def fraction_above_threshold(values: np.ndarray, thresholds: np.ndarray) -> np.ndarray:
+    """Fraction of ``values`` greater than or equal to each threshold.
+
+    This is the statistic plotted in Fig. 17/18: the fraction of trajectories
+    whose error reduction exceeds a threshold.
+    """
+    values = np.asarray(values, dtype=np.float64).ravel()
+    thresholds = np.asarray(thresholds, dtype=np.float64)
+    if len(values) == 0:
+        raise ValueError("values must not be empty")
+    return np.array([(values >= threshold).mean() for threshold in thresholds])

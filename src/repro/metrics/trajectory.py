@@ -1,0 +1,64 @@
+"""Trajectory metrics for the pedestrian-dead-reckoning task.
+
+The paper evaluates PDR with two metrics (Section IV-A):
+
+* **Step error (STE)** — the mean Euclidean distance between the predicted and
+  the true per-step displacement vector (Eq. 23);
+* **Relative trajectory error (RTE)** — the Euclidean distance between the
+  end points of the predicted and true trajectories after aligning their
+  starting points (Eq. 24); because step errors can cancel along the path,
+  this measures accumulated drift.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["step_error", "relative_trajectory_error", "per_trajectory_rte", "trajectory_length"]
+
+
+def _check_displacements(predictions: np.ndarray, targets: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    predictions = np.asarray(predictions, dtype=np.float64)
+    targets = np.asarray(targets, dtype=np.float64)
+    if predictions.shape != targets.shape:
+        raise ValueError("prediction and target displacement arrays must have the same shape")
+    if predictions.ndim != 2 or predictions.shape[1] != 2:
+        raise ValueError("displacements must have shape (n_steps, 2)")
+    if len(predictions) == 0:
+        raise ValueError("at least one step is required")
+    return predictions, targets
+
+
+def step_error(predictions: np.ndarray, targets: np.ndarray) -> float:
+    """Mean per-step Euclidean displacement error (STE, Eq. 23)."""
+    predictions, targets = _check_displacements(predictions, targets)
+    return float(np.linalg.norm(predictions - targets, axis=1).mean())
+
+
+def relative_trajectory_error(predictions: np.ndarray, targets: np.ndarray) -> float:
+    """End-point error of the reconstructed trajectory (RTE, Eq. 24)."""
+    predictions, targets = _check_displacements(predictions, targets)
+    return float(np.linalg.norm(predictions.sum(axis=0) - targets.sum(axis=0)))
+
+
+def trajectory_length(targets: np.ndarray) -> float:
+    """Total ground-truth path length (sum of per-step distances)."""
+    targets = np.asarray(targets, dtype=np.float64)
+    return float(np.linalg.norm(targets, axis=1).sum())
+
+
+def per_trajectory_rte(
+    predictions: np.ndarray,
+    targets: np.ndarray,
+    trajectory_ids: np.ndarray,
+) -> dict[int, float]:
+    """RTE computed separately for every trajectory id."""
+    predictions, targets = _check_displacements(predictions, targets)
+    trajectory_ids = np.asarray(trajectory_ids)
+    if len(trajectory_ids) != len(predictions):
+        raise ValueError("trajectory_ids must align with the displacement arrays")
+    errors: dict[int, float] = {}
+    for trajectory in np.unique(trajectory_ids):
+        mask = trajectory_ids == trajectory
+        errors[int(trajectory)] = relative_trajectory_error(predictions[mask], targets[mask])
+    return errors

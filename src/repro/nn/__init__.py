@@ -1,0 +1,90 @@
+"""Numpy neural-network substrate used by the TASFAR reproduction.
+
+This package is a compact, self-contained replacement for the PyTorch layer
+stack the paper builds on: explicit layer-wise backpropagation, SGD/Adam
+optimizers, dropout with Monte-Carlo sampling, temporal and 2-D convolutions,
+and a mini-batch trainer.
+"""
+
+from .activations import Identity, LeakyReLU, ReLU, Sigmoid, Softplus, Tanh
+from .container import Residual, Sequential
+from .conv import (
+    Conv1d,
+    Conv2d,
+    Flatten,
+    GlobalAveragePool1d,
+    GlobalAveragePool2d,
+    MaxPool2d,
+)
+from .data import ArrayDataset, DataLoader, train_test_split
+from .dropout import Dropout
+from .gradient_reversal import GradientReversal
+from .linear import Linear
+from .losses import HuberLoss, Loss, MAELoss, MSELoss, get_loss
+from .models import (
+    RegressionModel,
+    build_domain_discriminator,
+    build_mcnn_counter,
+    build_mlp,
+    build_tcn_regressor,
+)
+from .module import Module
+from .normalization import BatchNorm1d, LayerNorm
+from .optim import SGD, Adam, Optimizer, clip_gradients
+from .parameter import Parameter
+from .schedulers import CosineAnnealing, ExponentialDecay, StepDecay
+from .serialization import copy_parameters, load_model, save_model
+from .tcn import TemporalBlock, TemporalConvNet
+from .trainer import Trainer, TrainingHistory
+
+__all__ = [
+    "Adam",
+    "ArrayDataset",
+    "BatchNorm1d",
+    "Conv1d",
+    "Conv2d",
+    "CosineAnnealing",
+    "DataLoader",
+    "Dropout",
+    "ExponentialDecay",
+    "Flatten",
+    "GlobalAveragePool1d",
+    "GlobalAveragePool2d",
+    "GradientReversal",
+    "HuberLoss",
+    "Identity",
+    "LayerNorm",
+    "LeakyReLU",
+    "Linear",
+    "Loss",
+    "MAELoss",
+    "MSELoss",
+    "MaxPool2d",
+    "Module",
+    "Optimizer",
+    "Parameter",
+    "ReLU",
+    "RegressionModel",
+    "Residual",
+    "SGD",
+    "Sequential",
+    "Sigmoid",
+    "Softplus",
+    "StepDecay",
+    "Tanh",
+    "TemporalBlock",
+    "TemporalConvNet",
+    "Trainer",
+    "TrainingHistory",
+    "build_domain_discriminator",
+    "build_mcnn_counter",
+    "build_mlp",
+    "build_tcn_regressor",
+    "clip_gradients",
+    "copy_parameters",
+    "get_loss",
+    "load_model",
+    "save_model",
+    "train_test_split",
+    "get_loss",
+]

@@ -1,0 +1,64 @@
+"""Container modules that compose layers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .module import Module
+
+__all__ = ["Sequential", "Residual"]
+
+
+class Sequential(Module):
+    """Run sub-modules in order, backpropagating in reverse order."""
+
+    def __init__(self, *layers: Module) -> None:
+        super().__init__()
+        self.layers = list(layers)
+
+    def append(self, layer: Module) -> None:
+        """Add ``layer`` to the end of the stack."""
+        self.layers.append(layer)
+
+    def __len__(self) -> int:
+        return len(self.layers)
+
+    def __getitem__(self, index: int) -> Module:
+        return self.layers[index]
+
+    def __iter__(self):
+        return iter(self.layers)
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        output = inputs
+        for layer in self.layers:
+            output = layer.forward(output)
+        return output
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        grad = grad_output
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+        return grad
+
+
+class Residual(Module):
+    """Residual wrapper: ``y = x + body(x)``.
+
+    The wrapped body must preserve the input shape.  Used by the TCN blocks.
+    """
+
+    def __init__(self, body: Module) -> None:
+        super().__init__()
+        self.body = body
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        output = self.body.forward(inputs)
+        if output.shape != inputs.shape:
+            raise ValueError(
+                f"residual body changed shape {inputs.shape} -> {output.shape}"
+            )
+        return inputs + output
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        return grad_output + self.body.backward(grad_output)

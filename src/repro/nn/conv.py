@@ -1,0 +1,291 @@
+"""Convolution, pooling and reshaping layers.
+
+The convolutions are implemented with im2col-style matrix multiplication so
+that the whole substrate stays within numpy.  Shapes follow the channels-first
+convention used by most deep-learning frameworks:
+
+* 1-D data: ``(batch, channels, length)``
+* 2-D data: ``(batch, channels, height, width)``
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import initializers
+from .module import Module
+from .parameter import Parameter
+
+__all__ = ["Conv1d", "Conv2d", "MaxPool2d", "GlobalAveragePool2d", "Flatten", "GlobalAveragePool1d"]
+
+
+class Conv1d(Module):
+    """1-D convolution with optional dilation (used by the TCN blocks).
+
+    Uses "same" padding when ``padding`` is ``None`` so that stacked layers
+    preserve the sequence length, which keeps the temporal-convolution network
+    simple to assemble.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        dilation: int = 1,
+        padding: int | None = None,
+        rng: np.random.Generator | None = None,
+        name: str = "conv1d",
+    ) -> None:
+        super().__init__()
+        if kernel_size <= 0 or dilation <= 0:
+            raise ValueError("kernel_size and dilation must be positive")
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.dilation = dilation
+        self.padding = padding if padding is not None else dilation * (kernel_size - 1) // 2
+        weight = initializers.he_normal((in_channels, out_channels, kernel_size), rng)
+        self.weight = Parameter(weight, name=f"{name}.weight")
+        self.bias = Parameter(np.zeros(out_channels), name=f"{name}.bias")
+        self._cache: tuple[np.ndarray, int] | None = None
+
+    def _output_length(self, length: int) -> int:
+        effective = self.dilation * (self.kernel_size - 1) + 1
+        return length + 2 * self.padding - effective + 1
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        inputs = np.asarray(inputs, dtype=np.float64)
+        if inputs.ndim != 3 or inputs.shape[1] != self.in_channels:
+            raise ValueError(
+                f"Conv1d expects (batch, {self.in_channels}, length) inputs, got {inputs.shape}"
+            )
+        batch, _, length = inputs.shape
+        out_length = self._output_length(length)
+        if out_length <= 0:
+            raise ValueError("input sequence too short for this kernel/dilation")
+        padded = np.pad(inputs, ((0, 0), (0, 0), (self.padding, self.padding)))
+        # columns: (batch, out_length, in_channels, kernel_size)
+        columns = np.empty((batch, out_length, self.in_channels, self.kernel_size))
+        for k in range(self.kernel_size):
+            offset = k * self.dilation
+            columns[:, :, :, k] = padded[:, :, offset : offset + out_length].transpose(0, 2, 1)
+        self._cache = (columns, length)
+        flat = columns.reshape(batch * out_length, self.in_channels * self.kernel_size)
+        kernel = self.weight.data.transpose(0, 2, 1).reshape(
+            self.in_channels * self.kernel_size, self.out_channels
+        )
+        output = flat @ kernel + self.bias.data
+        return output.reshape(batch, out_length, self.out_channels).transpose(0, 2, 1)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        columns, length = self._cache
+        batch, out_length = columns.shape[0], columns.shape[1]
+        grad_flat = grad_output.transpose(0, 2, 1).reshape(batch * out_length, self.out_channels)
+        flat_columns = columns.reshape(batch * out_length, self.in_channels * self.kernel_size)
+        grad_kernel = flat_columns.T @ grad_flat
+        grad_weight = grad_kernel.reshape(self.in_channels, self.kernel_size, self.out_channels).transpose(0, 2, 1)
+        self.weight.accumulate_grad(grad_weight)
+        self.bias.accumulate_grad(grad_flat.sum(axis=0))
+
+        kernel = self.weight.data.transpose(0, 2, 1).reshape(
+            self.in_channels * self.kernel_size, self.out_channels
+        )
+        grad_columns = (grad_flat @ kernel.T).reshape(
+            batch, out_length, self.in_channels, self.kernel_size
+        )
+        grad_padded = np.zeros((batch, self.in_channels, length + 2 * self.padding))
+        for k in range(self.kernel_size):
+            offset = k * self.dilation
+            grad_padded[:, :, offset : offset + out_length] += grad_columns[:, :, :, k].transpose(0, 2, 1)
+        if self.padding:
+            return grad_padded[:, :, self.padding : self.padding + length]
+        return grad_padded
+
+
+class Conv2d(Module):
+    """2-D convolution with stride support, implemented via im2col."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        stride: int = 1,
+        padding: int = 0,
+        rng: np.random.Generator | None = None,
+        name: str = "conv2d",
+    ) -> None:
+        super().__init__()
+        if kernel_size <= 0 or stride <= 0:
+            raise ValueError("kernel_size and stride must be positive")
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        weight = initializers.he_normal((in_channels, out_channels, kernel_size, kernel_size), rng)
+        self.weight = Parameter(weight, name=f"{name}.weight")
+        self.bias = Parameter(np.zeros(out_channels), name=f"{name}.bias")
+        self._cache: tuple[np.ndarray, tuple[int, int]] | None = None
+
+    def _output_size(self, size: int) -> int:
+        return (size + 2 * self.padding - self.kernel_size) // self.stride + 1
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        inputs = np.asarray(inputs, dtype=np.float64)
+        if inputs.ndim != 4 or inputs.shape[1] != self.in_channels:
+            raise ValueError(
+                f"Conv2d expects (batch, {self.in_channels}, H, W) inputs, got {inputs.shape}"
+            )
+        batch, _, height, width = inputs.shape
+        out_h, out_w = self._output_size(height), self._output_size(width)
+        if out_h <= 0 or out_w <= 0:
+            raise ValueError("input spatial size too small for this kernel")
+        pad = self.padding
+        padded = np.pad(inputs, ((0, 0), (0, 0), (pad, pad), (pad, pad)))
+        k = self.kernel_size
+        columns = np.empty((batch, out_h, out_w, self.in_channels, k, k))
+        for i in range(k):
+            for j in range(k):
+                patch = padded[
+                    :,
+                    :,
+                    i : i + out_h * self.stride : self.stride,
+                    j : j + out_w * self.stride : self.stride,
+                ]
+                columns[:, :, :, :, i, j] = patch.transpose(0, 2, 3, 1)
+        self._cache = (columns, (height, width))
+        flat = columns.reshape(batch * out_h * out_w, self.in_channels * k * k)
+        kernel = self.weight.data.transpose(0, 2, 3, 1).reshape(self.in_channels * k * k, self.out_channels)
+        output = flat @ kernel + self.bias.data
+        return output.reshape(batch, out_h, out_w, self.out_channels).transpose(0, 3, 1, 2)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        columns, (height, width) = self._cache
+        batch, out_h, out_w = columns.shape[0], columns.shape[1], columns.shape[2]
+        k = self.kernel_size
+        grad_flat = grad_output.transpose(0, 2, 3, 1).reshape(batch * out_h * out_w, self.out_channels)
+        flat_columns = columns.reshape(batch * out_h * out_w, self.in_channels * k * k)
+        grad_kernel = flat_columns.T @ grad_flat
+        grad_weight = grad_kernel.reshape(self.in_channels, k, k, self.out_channels).transpose(0, 3, 1, 2)
+        self.weight.accumulate_grad(grad_weight)
+        self.bias.accumulate_grad(grad_flat.sum(axis=0))
+
+        kernel = self.weight.data.transpose(0, 2, 3, 1).reshape(self.in_channels * k * k, self.out_channels)
+        grad_columns = (grad_flat @ kernel.T).reshape(batch, out_h, out_w, self.in_channels, k, k)
+        pad = self.padding
+        grad_padded = np.zeros((batch, self.in_channels, height + 2 * pad, width + 2 * pad))
+        for i in range(k):
+            for j in range(k):
+                grad_padded[
+                    :,
+                    :,
+                    i : i + out_h * self.stride : self.stride,
+                    j : j + out_w * self.stride : self.stride,
+                ] += grad_columns[:, :, :, :, i, j].transpose(0, 3, 1, 2)
+        if pad:
+            return grad_padded[:, :, pad : pad + height, pad : pad + width]
+        return grad_padded
+
+
+class MaxPool2d(Module):
+    """Non-overlapping 2-D max pooling."""
+
+    def __init__(self, pool_size: int = 2) -> None:
+        super().__init__()
+        if pool_size <= 0:
+            raise ValueError("pool_size must be positive")
+        self.pool_size = pool_size
+        self._cache: tuple[np.ndarray, tuple[int, ...]] | None = None
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        inputs = np.asarray(inputs, dtype=np.float64)
+        batch, channels, height, width = inputs.shape
+        p = self.pool_size
+        out_h, out_w = height // p, width // p
+        trimmed = inputs[:, :, : out_h * p, : out_w * p]
+        windows = trimmed.reshape(batch, channels, out_h, p, out_w, p)
+        output = windows.max(axis=(3, 5))
+        mask = windows == output[:, :, :, None, :, None]
+        # Break ties so the gradient is routed to exactly one element per window.
+        counts = mask.sum(axis=(3, 5), keepdims=True)
+        self._cache = (mask / counts, inputs.shape)
+        return output
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        mask, input_shape = self._cache
+        batch, channels, height, width = input_shape
+        p = self.pool_size
+        out_h, out_w = height // p, width // p
+        grad_windows = mask * grad_output[:, :, :, None, :, None]
+        grad_trimmed = grad_windows.reshape(batch, channels, out_h * p, out_w * p)
+        grad_input = np.zeros(input_shape)
+        grad_input[:, :, : out_h * p, : out_w * p] = grad_trimmed
+        return grad_input
+
+
+class GlobalAveragePool2d(Module):
+    """Average over the two spatial dimensions: ``(B, C, H, W) -> (B, C)``."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._shape: tuple[int, ...] | None = None
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        self._shape = inputs.shape
+        return inputs.mean(axis=(2, 3))
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._shape is None:
+            raise RuntimeError("backward called before forward")
+        batch, channels, height, width = self._shape
+        scale = 1.0 / (height * width)
+        return np.broadcast_to(
+            grad_output[:, :, None, None] * scale, self._shape
+        ).copy()
+
+
+class GlobalAveragePool1d(Module):
+    """Average over the temporal dimension: ``(B, C, L) -> (B, C)``."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._shape: tuple[int, ...] | None = None
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        self._shape = inputs.shape
+        return inputs.mean(axis=2)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._shape is None:
+            raise RuntimeError("backward called before forward")
+        batch, channels, length = self._shape
+        return np.broadcast_to(
+            grad_output[:, :, None] / length, self._shape
+        ).copy()
+
+
+class Flatten(Module):
+    """Flatten all dimensions after the batch dimension."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._shape: tuple[int, ...] | None = None
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        self._shape = inputs.shape
+        return inputs.reshape(inputs.shape[0], -1)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._shape is None:
+            raise RuntimeError("backward called before forward")
+        return grad_output.reshape(self._shape)

@@ -1,0 +1,122 @@
+"""Minimal dataset and mini-batch loading utilities."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+__all__ = ["ArrayDataset", "DataLoader", "train_test_split"]
+
+
+@dataclass
+class ArrayDataset:
+    """Inputs, targets and optional per-sample weights held as arrays.
+
+    ``inputs`` may have any shape whose first dimension is the sample count
+    (tabular features, IMU windows, images).  ``targets`` is always 2-D
+    ``(n_samples, label_dim)``; 1-D targets are promoted automatically.
+    """
+
+    inputs: np.ndarray
+    targets: np.ndarray
+    weights: np.ndarray | None = None
+
+    def __post_init__(self) -> None:
+        self.inputs = np.asarray(self.inputs, dtype=np.float64)
+        self.targets = np.asarray(self.targets, dtype=np.float64)
+        if self.targets.ndim == 1:
+            self.targets = self.targets[:, None]
+        if len(self.inputs) != len(self.targets):
+            raise ValueError(
+                f"inputs ({len(self.inputs)}) and targets ({len(self.targets)}) "
+                "must have the same number of samples"
+            )
+        if self.weights is not None:
+            self.weights = np.asarray(self.weights, dtype=np.float64)
+            if self.weights.shape != (len(self.inputs),):
+                raise ValueError("weights must be 1-D with one entry per sample")
+
+    def __len__(self) -> int:
+        return len(self.inputs)
+
+    @property
+    def label_dim(self) -> int:
+        """Dimension of each target vector."""
+        return self.targets.shape[1]
+
+    def subset(self, indices: np.ndarray) -> "ArrayDataset":
+        """Return a new dataset restricted to ``indices``."""
+        indices = np.asarray(indices)
+        weights = self.weights[indices] if self.weights is not None else None
+        return ArrayDataset(self.inputs[indices], self.targets[indices], weights)
+
+    def with_weights(self, weights: np.ndarray) -> "ArrayDataset":
+        """Return a copy of this dataset carrying the given per-sample weights."""
+        return ArrayDataset(self.inputs, self.targets, np.asarray(weights, dtype=np.float64))
+
+
+class DataLoader:
+    """Iterate over mini-batches of an :class:`ArrayDataset`.
+
+    Parameters
+    ----------
+    dataset:
+        Source dataset.
+    batch_size:
+        Number of samples per batch; the final batch may be smaller.
+    shuffle:
+        Whether to reshuffle sample order at the start of each iteration.
+    rng:
+        Random generator used for shuffling.
+    """
+
+    def __init__(
+        self,
+        dataset: ArrayDataset,
+        batch_size: int = 32,
+        shuffle: bool = True,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        self.dataset = dataset
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+
+    def __len__(self) -> int:
+        return int(np.ceil(len(self.dataset) / self.batch_size))
+
+    def __iter__(self) -> Iterator[tuple[np.ndarray, np.ndarray, np.ndarray | None]]:
+        indices = np.arange(len(self.dataset))
+        if self.shuffle:
+            self.rng.shuffle(indices)
+        for start in range(0, len(indices), self.batch_size):
+            batch = indices[start : start + self.batch_size]
+            weights = self.dataset.weights[batch] if self.dataset.weights is not None else None
+            yield self.dataset.inputs[batch], self.dataset.targets[batch], weights
+
+
+def train_test_split(
+    dataset: ArrayDataset,
+    test_fraction: float = 0.2,
+    rng: np.random.Generator | None = None,
+    shuffle: bool = True,
+) -> tuple[ArrayDataset, ArrayDataset]:
+    """Split a dataset into train and test subsets.
+
+    The paper uses an 80/20 split of each target scenario into an adaptation
+    set and a test set; this helper reproduces that protocol.
+    """
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError("test_fraction must be in (0, 1)")
+    rng = rng if rng is not None else np.random.default_rng(0)
+    indices = np.arange(len(dataset))
+    if shuffle:
+        rng.shuffle(indices)
+    n_test = max(1, int(round(len(dataset) * test_fraction)))
+    test_idx = indices[:n_test]
+    train_idx = indices[n_test:]
+    return dataset.subset(train_idx), dataset.subset(test_idx)

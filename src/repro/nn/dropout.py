@@ -1,0 +1,62 @@
+"""Dropout layer with Monte-Carlo sampling support.
+
+Dropout is central to the reproduction: TASFAR estimates prediction
+uncertainty by keeping dropout active at inference time (MC dropout) and
+reading the spread of repeated stochastic forward passes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .module import Module
+
+__all__ = ["Dropout"]
+
+
+class Dropout(Module):
+    """Inverted dropout.
+
+    During training (or when ``mc_mode`` is enabled) each unit is zeroed with
+    probability ``rate`` and survivors are scaled by ``1 / (1 - rate)`` so the
+    expected activation is unchanged.  In plain evaluation mode the layer is a
+    no-op.
+
+    Parameters
+    ----------
+    rate:
+        Drop probability in ``[0, 1)``.
+    rng:
+        Random generator used to draw dropout masks.
+    """
+
+    def __init__(self, rate: float = 0.2, rng: np.random.Generator | None = None) -> None:
+        super().__init__()
+        if not 0.0 <= rate < 1.0:
+            raise ValueError("dropout rate must be in [0, 1)")
+        self.rate = float(rate)
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self.mc_mode = False
+        self._mask: np.ndarray | None = None
+
+    def enable_mc(self, enabled: bool = True) -> None:
+        """Keep dropout stochastic even in evaluation mode (MC dropout)."""
+        self.mc_mode = enabled
+
+    @property
+    def stochastic(self) -> bool:
+        """Whether the layer currently samples dropout masks."""
+        return (self.training or self.mc_mode) and self.rate > 0.0
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        if not self.stochastic:
+            self._mask = None
+            return inputs
+        keep = 1.0 - self.rate
+        self._mask = (self.rng.random(inputs.shape) < keep) / keep
+        return inputs * self._mask
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            return grad_output
+        return grad_output * self._mask

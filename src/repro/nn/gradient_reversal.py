@@ -1,0 +1,32 @@
+"""Gradient-reversal layer used by the adversarial UDA baseline (ADV).
+
+During the forward pass the layer is the identity; during the backward pass it
+multiplies the gradient by ``-lambda``.  Training a domain discriminator on top
+of this layer pushes the feature extractor toward domain-invariant features,
+which is the mechanism of adversarial domain adaptation (Ganin & Lempitsky;
+Tzeng et al., the paper's ADV baseline [35]).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .module import Module
+
+__all__ = ["GradientReversal"]
+
+
+class GradientReversal(Module):
+    """Identity forward, sign-flipped (and scaled) gradient backward."""
+
+    def __init__(self, scale: float = 1.0) -> None:
+        super().__init__()
+        if scale < 0:
+            raise ValueError("scale must be non-negative")
+        self.scale = float(scale)
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        return inputs
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        return -self.scale * grad_output

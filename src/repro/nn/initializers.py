@@ -1,0 +1,60 @@
+"""Weight initialization schemes for the numpy substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["xavier_uniform", "xavier_normal", "he_uniform", "he_normal", "zeros", "constant"]
+
+
+def xavier_uniform(shape: tuple[int, ...], rng: np.random.Generator, gain: float = 1.0) -> np.ndarray:
+    """Glorot/Xavier uniform initialization.
+
+    ``shape`` is interpreted as ``(fan_in, fan_out, ...)``; the remaining
+    dimensions (e.g. convolution kernel sizes) multiply into the fans.
+    """
+    fan_in, fan_out = _fans(shape)
+    limit = gain * np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def xavier_normal(shape: tuple[int, ...], rng: np.random.Generator, gain: float = 1.0) -> np.ndarray:
+    """Glorot/Xavier normal initialization."""
+    fan_in, fan_out = _fans(shape)
+    std = gain * np.sqrt(2.0 / (fan_in + fan_out))
+    return rng.normal(0.0, std, size=shape)
+
+
+def he_uniform(shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """He/Kaiming uniform initialization (suited for ReLU networks)."""
+    fan_in, _ = _fans(shape)
+    limit = np.sqrt(6.0 / fan_in)
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def he_normal(shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """He/Kaiming normal initialization (suited for ReLU networks)."""
+    fan_in, _ = _fans(shape)
+    std = np.sqrt(2.0 / fan_in)
+    return rng.normal(0.0, std, size=shape)
+
+
+def zeros(shape: tuple[int, ...]) -> np.ndarray:
+    """All-zeros initialization (typically for biases)."""
+    return np.zeros(shape, dtype=np.float64)
+
+
+def constant(shape: tuple[int, ...], value: float) -> np.ndarray:
+    """Constant initialization."""
+    return np.full(shape, float(value), dtype=np.float64)
+
+
+def _fans(shape: tuple[int, ...]) -> tuple[int, int]:
+    if len(shape) < 1:
+        raise ValueError("initializer shape must have at least one dimension")
+    if len(shape) == 1:
+        return shape[0], shape[0]
+    receptive = int(np.prod(shape[2:])) if len(shape) > 2 else 1
+    fan_in = shape[0] * receptive
+    fan_out = shape[1] * receptive
+    return fan_in, fan_out

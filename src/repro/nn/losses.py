@@ -1,0 +1,127 @@
+"""Regression losses with optional per-sample weights.
+
+Per-sample weights are essential for TASFAR: the adaptation loss (Eq. 22 in the
+paper) weighs every pseudo-labelled sample by its credibility ``beta_t``.
+Every loss returns ``(value, grad)`` where ``grad`` has the same shape as the
+predictions and already includes the normalization constant, so the caller can
+feed it straight into ``model.backward``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Loss", "MSELoss", "MAELoss", "HuberLoss", "get_loss"]
+
+
+def _prepare(
+    predictions: np.ndarray,
+    targets: np.ndarray,
+    weights: np.ndarray | None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    predictions = np.asarray(predictions, dtype=np.float64)
+    targets = np.asarray(targets, dtype=np.float64)
+    if predictions.ndim == 1:
+        predictions = predictions[:, None]
+    if targets.ndim == 1:
+        targets = targets[:, None]
+    if predictions.shape != targets.shape:
+        raise ValueError(
+            f"prediction shape {predictions.shape} does not match target shape {targets.shape}"
+        )
+    if weights is None:
+        weights = np.ones(predictions.shape[0])
+    weights = np.asarray(weights, dtype=np.float64)
+    if weights.shape != (predictions.shape[0],):
+        raise ValueError(
+            f"weights must have shape ({predictions.shape[0]},), got {weights.shape}"
+        )
+    if np.any(weights < 0):
+        raise ValueError("sample weights must be non-negative")
+    return predictions, targets, weights
+
+
+class Loss:
+    """Base class for losses returning ``(value, gradient)``."""
+
+    def __call__(
+        self,
+        predictions: np.ndarray,
+        targets: np.ndarray,
+        weights: np.ndarray | None = None,
+    ) -> tuple[float, np.ndarray]:
+        raise NotImplementedError
+
+
+class MSELoss(Loss):
+    """Weighted mean squared error averaged over samples and output dims."""
+
+    def __call__(self, predictions, targets, weights=None):
+        predictions, targets, weights = _prepare(predictions, targets, weights)
+        diff = predictions - targets
+        weight_sum = weights.sum()
+        if weight_sum <= 0:
+            return 0.0, np.zeros_like(predictions)
+        per_sample = (diff**2).mean(axis=1)
+        value = float((weights * per_sample).sum() / weight_sum)
+        grad = (2.0 * diff * weights[:, None]) / (weight_sum * predictions.shape[1])
+        return value, grad
+
+
+class MAELoss(Loss):
+    """Weighted mean absolute error averaged over samples and output dims."""
+
+    def __call__(self, predictions, targets, weights=None):
+        predictions, targets, weights = _prepare(predictions, targets, weights)
+        diff = predictions - targets
+        weight_sum = weights.sum()
+        if weight_sum <= 0:
+            return 0.0, np.zeros_like(predictions)
+        per_sample = np.abs(diff).mean(axis=1)
+        value = float((weights * per_sample).sum() / weight_sum)
+        grad = (np.sign(diff) * weights[:, None]) / (weight_sum * predictions.shape[1])
+        return value, grad
+
+
+class HuberLoss(Loss):
+    """Weighted Huber (smooth-L1) loss with threshold ``delta``."""
+
+    def __init__(self, delta: float = 1.0) -> None:
+        if delta <= 0:
+            raise ValueError("delta must be positive")
+        self.delta = float(delta)
+
+    def __call__(self, predictions, targets, weights=None):
+        predictions, targets, weights = _prepare(predictions, targets, weights)
+        diff = predictions - targets
+        weight_sum = weights.sum()
+        if weight_sum <= 0:
+            return 0.0, np.zeros_like(predictions)
+        abs_diff = np.abs(diff)
+        quadratic = abs_diff <= self.delta
+        elementwise = np.where(
+            quadratic,
+            0.5 * diff**2,
+            self.delta * (abs_diff - 0.5 * self.delta),
+        )
+        per_sample = elementwise.mean(axis=1)
+        value = float((weights * per_sample).sum() / weight_sum)
+        grad_elem = np.where(quadratic, diff, self.delta * np.sign(diff))
+        grad = (grad_elem * weights[:, None]) / (weight_sum * predictions.shape[1])
+        return value, grad
+
+
+_LOSSES = {
+    "mse": MSELoss,
+    "mae": MAELoss,
+    "huber": HuberLoss,
+}
+
+
+def get_loss(name: str, **kwargs) -> Loss:
+    """Look up a loss by name (``"mse"``, ``"mae"`` or ``"huber"``)."""
+    try:
+        factory = _LOSSES[name.lower()]
+    except KeyError as exc:
+        raise ValueError(f"unknown loss {name!r}; expected one of {sorted(_LOSSES)}") from exc
+    return factory(**kwargs)

@@ -1,0 +1,218 @@
+"""Regression models used across the four evaluation tasks.
+
+Every task model is a :class:`RegressionModel` made of an *encoder* (feature
+extractor) and a *head* (regressor).  The split matters for the baselines:
+
+* the MMD and adversarial (ADV) source-based UDA baselines align the encoder
+  features of source and target batches;
+* the ``Datafree`` baseline stores per-unit statistics of the encoder features;
+* TASFAR itself never inspects features — it only needs forward passes with
+  dropout — which is exactly the paper's "target-agnostic" claim.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .activations import ReLU, Sigmoid
+from .container import Sequential
+from .conv import Conv1d, Conv2d, Flatten, GlobalAveragePool1d, GlobalAveragePool2d, MaxPool2d
+from .dropout import Dropout
+from .linear import Linear
+from .module import Module
+from .tcn import TemporalConvNet
+
+__all__ = [
+    "RegressionModel",
+    "build_mlp",
+    "build_tcn_regressor",
+    "build_mcnn_counter",
+    "build_domain_discriminator",
+]
+
+
+class RegressionModel(Module):
+    """Encoder/head composite regression model.
+
+    Parameters
+    ----------
+    encoder:
+        Maps raw inputs to a flat feature vector ``(batch, feature_dim)``.
+    head:
+        Maps features to predictions ``(batch, label_dim)``.
+    """
+
+    def __init__(self, encoder: Module, head: Module) -> None:
+        super().__init__()
+        self.encoder = encoder
+        self.head = head
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        return self.head.forward(self.encoder.forward(inputs))
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        return self.encoder.backward(self.head.backward(grad_output))
+
+    def features(self, inputs: np.ndarray) -> np.ndarray:
+        """Encoder output for ``inputs`` (used by feature-aligning baselines)."""
+        return self.encoder.forward(inputs)
+
+    def backward_features(self, grad_features: np.ndarray) -> np.ndarray:
+        """Backpropagate a gradient that applies directly to the encoder output."""
+        return self.encoder.backward(grad_features)
+
+    def dropout_layers(self) -> list[Dropout]:
+        """All dropout layers in the model (used to toggle MC-dropout mode)."""
+        return [module for module in self.modules() if isinstance(module, Dropout)]
+
+    def set_mc_dropout(self, enabled: bool) -> None:
+        """Enable or disable Monte-Carlo dropout on every dropout layer."""
+        for layer in self.dropout_layers():
+            layer.enable_mc(enabled)
+
+
+def build_mlp(
+    input_dim: int,
+    output_dim: int = 1,
+    hidden_dims: tuple[int, ...] = (64, 32),
+    dropout: float = 0.2,
+    seed: int = 0,
+) -> RegressionModel:
+    """MLP regressor used for the housing-price and taxi-duration tasks.
+
+    Mirrors the MLP baseline of the paper's two prediction tasks ([53]): a few
+    fully-connected layers with ReLU activations and dropout.
+    """
+    if not hidden_dims:
+        raise ValueError("hidden_dims must contain at least one layer size")
+    rng = np.random.default_rng(seed)
+    layers: list[Module] = []
+    previous = input_dim
+    for index, width in enumerate(hidden_dims):
+        layers.append(Linear(previous, width, rng=rng, name=f"mlp.fc{index}"))
+        layers.append(ReLU())
+        layers.append(Dropout(dropout, rng=rng))
+        previous = width
+    encoder = Sequential(*layers)
+    head = Linear(previous, output_dim, rng=rng, name="mlp.head")
+    return RegressionModel(encoder, head)
+
+
+def build_tcn_regressor(
+    in_channels: int,
+    window_length: int,
+    output_dim: int = 2,
+    channel_sizes: tuple[int, ...] = (16, 16),
+    kernel_size: int = 3,
+    dropout: float = 0.2,
+    head_hidden: int = 32,
+    seed: int = 0,
+) -> RegressionModel:
+    """Temporal-convolution regressor standing in for RoNIN (PDR task).
+
+    Consumes IMU-like windows of shape ``(batch, in_channels, window_length)``
+    and outputs a 2-D step displacement.
+    """
+    del window_length  # the network is fully convolutional over time
+    rng = np.random.default_rng(seed)
+    encoder = Sequential(
+        TemporalConvNet(in_channels, list(channel_sizes), kernel_size=kernel_size, dropout=dropout, rng=rng),
+        GlobalAveragePool1d(),
+    )
+    head = Sequential(
+        Linear(channel_sizes[-1], head_hidden, rng=rng, name="tcn.head0"),
+        ReLU(),
+        Dropout(dropout, rng=rng),
+        Linear(head_hidden, output_dim, rng=rng, name="tcn.head1"),
+    )
+    return RegressionModel(encoder, head)
+
+
+def build_mcnn_counter(
+    image_size: int = 16,
+    in_channels: int = 1,
+    column_channels: tuple[int, ...] = (4, 6, 8),
+    column_kernels: tuple[int, ...] = (3, 5, 7),
+    dropout: float = 0.2,
+    head_hidden: int = 32,
+    seed: int = 0,
+) -> RegressionModel:
+    """Multi-column CNN crowd counter standing in for MCNN.
+
+    Each column uses a different kernel size so it is sensitive to a different
+    crowd density scale, which is the core idea of the original MCNN.  The
+    columns are concatenated and regressed to a single count.
+    """
+    if len(column_channels) != len(column_kernels):
+        raise ValueError("column_channels and column_kernels must have the same length")
+    rng = np.random.default_rng(seed)
+    encoder = _MultiColumnEncoder(image_size, in_channels, column_channels, column_kernels, rng)
+    head = Sequential(
+        Linear(sum(column_channels), head_hidden, rng=rng, name="mcnn.head0"),
+        ReLU(),
+        Dropout(dropout, rng=rng),
+        Linear(head_hidden, 1, rng=rng, name="mcnn.head1"),
+    )
+    return RegressionModel(encoder, head)
+
+
+class _MultiColumnEncoder(Module):
+    """Parallel convolution columns concatenated into one feature vector."""
+
+    def __init__(
+        self,
+        image_size: int,
+        in_channels: int,
+        column_channels: tuple[int, ...],
+        column_kernels: tuple[int, ...],
+        rng: np.random.Generator,
+    ) -> None:
+        super().__init__()
+        del image_size  # global pooling makes the encoder size-agnostic
+        self.columns = [
+            Sequential(
+                Conv2d(in_channels, channels, kernel, padding=kernel // 2, rng=rng, name=f"mcnn.col{idx}.conv1"),
+                ReLU(),
+                MaxPool2d(2),
+                Conv2d(channels, channels, 3, padding=1, rng=rng, name=f"mcnn.col{idx}.conv2"),
+                ReLU(),
+                GlobalAveragePool2d(),
+            )
+            for idx, (channels, kernel) in enumerate(zip(column_channels, column_kernels))
+        ]
+        self.column_channels = list(column_channels)
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        outputs = [column.forward(inputs) for column in self.columns]
+        return np.concatenate(outputs, axis=1)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        grad_input = None
+        offset = 0
+        for column, channels in zip(self.columns, self.column_channels):
+            grad_slice = grad_output[:, offset : offset + channels]
+            grad = column.backward(grad_slice)
+            grad_input = grad if grad_input is None else grad_input + grad
+            offset += channels
+        return grad_input
+
+
+def build_domain_discriminator(feature_dim: int, hidden_dim: int = 32, seed: int = 1) -> Sequential:
+    """Binary domain classifier used by the adversarial UDA baseline.
+
+    Outputs a probability (sigmoid) that a feature vector comes from the
+    source domain.
+    """
+    rng = np.random.default_rng(seed)
+    return Sequential(
+        Linear(feature_dim, hidden_dim, rng=rng, name="disc.fc0"),
+        ReLU(),
+        Linear(hidden_dim, 1, rng=rng, name="disc.fc1"),
+        Sigmoid(),
+    )
+
+
+def flatten_encoder(input_dim: int) -> Sequential:
+    """Trivial encoder that flattens inputs (useful in tests)."""
+    del input_dim
+    return Sequential(Flatten())

@@ -1,0 +1,146 @@
+"""Base class for all layers and models in the numpy substrate.
+
+The substrate uses explicit layer-wise backpropagation: every module caches
+whatever it needs during ``forward`` and implements ``backward`` that maps the
+gradient of the loss with respect to its output into the gradient with respect
+to its input, accumulating parameter gradients along the way.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from .parameter import Parameter
+
+__all__ = ["Module"]
+
+
+class Module:
+    """Base class for layers, containers and models.
+
+    Subclasses implement :meth:`forward` and :meth:`backward`.  The ``training``
+    flag controls behaviour of stochastic layers (dropout, batch-norm); it is
+    toggled through :meth:`train` and :meth:`eval`.
+    """
+
+    def __init__(self) -> None:
+        self.training = True
+
+    # ------------------------------------------------------------------
+    # Interface
+    # ------------------------------------------------------------------
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        """Compute the module output for ``inputs``."""
+        raise NotImplementedError
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        """Backpropagate ``grad_output`` and return the gradient w.r.t. inputs."""
+        raise NotImplementedError
+
+    def __call__(self, inputs: np.ndarray) -> np.ndarray:
+        return self.forward(inputs)
+
+    # ------------------------------------------------------------------
+    # Parameter handling
+    # ------------------------------------------------------------------
+    def parameters(self) -> list[Parameter]:
+        """Return all parameters of this module and its sub-modules."""
+        params: list[Parameter] = []
+        for value in self.__dict__.values():
+            params.extend(_collect_parameters(value))
+        return params
+
+    def named_parameters(self) -> Iterator[tuple[str, Parameter]]:
+        """Yield ``(name, parameter)`` pairs, using parameter names."""
+        for param in self.parameters():
+            yield param.name, param
+
+    def zero_grad(self) -> None:
+        """Reset all parameter gradients to zero."""
+        for param in self.parameters():
+            param.zero_grad()
+
+    def num_parameters(self) -> int:
+        """Total number of scalar trainable values in the module."""
+        return sum(param.size for param in self.parameters())
+
+    # ------------------------------------------------------------------
+    # Mode handling
+    # ------------------------------------------------------------------
+    def modules(self) -> list["Module"]:
+        """Return this module and every sub-module (depth first)."""
+        found: list[Module] = [self]
+        for value in self.__dict__.values():
+            found.extend(_collect_modules(value))
+        return found
+
+    def train(self) -> "Module":
+        """Put the module (and sub-modules) in training mode."""
+        for module in self.modules():
+            module.training = True
+        return self
+
+    def eval(self) -> "Module":
+        """Put the module (and sub-modules) in evaluation mode."""
+        for module in self.modules():
+            module.training = False
+        return self
+
+    # ------------------------------------------------------------------
+    # State handling
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Return a flat mapping of parameter names to value copies.
+
+        Parameter names are made unique by position when duplicated.
+        """
+        state: dict[str, np.ndarray] = {}
+        for index, param in enumerate(self.parameters()):
+            key = param.name or f"param_{index}"
+            if key in state:
+                key = f"{key}__{index}"
+            state[key] = param.data.copy()
+        return state
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Load parameter values from :meth:`state_dict` output (by order)."""
+        params = self.parameters()
+        if len(state) != len(params):
+            raise ValueError(
+                f"state has {len(state)} entries but the module has "
+                f"{len(params)} parameters"
+            )
+        for param, value in zip(params, state.values()):
+            value = np.asarray(value, dtype=np.float64)
+            if value.shape != param.data.shape:
+                raise ValueError(
+                    f"shape mismatch for parameter '{param.name}': "
+                    f"{value.shape} vs {param.data.shape}"
+                )
+            param.data[...] = value
+
+
+def _collect_parameters(value: object) -> list[Parameter]:
+    if isinstance(value, Parameter):
+        return [value]
+    if isinstance(value, Module):
+        return value.parameters()
+    if isinstance(value, (list, tuple)):
+        params: list[Parameter] = []
+        for item in value:
+            params.extend(_collect_parameters(item))
+        return params
+    return []
+
+
+def _collect_modules(value: object) -> list[Module]:
+    if isinstance(value, Module):
+        return value.modules()
+    if isinstance(value, (list, tuple)):
+        modules: list[Module] = []
+        for item in value:
+            modules.extend(_collect_modules(item))
+        return modules
+    return []

@@ -1,0 +1,73 @@
+"""Trainable parameters for the numpy neural-network substrate.
+
+A :class:`Parameter` bundles a value array with its gradient accumulator and a
+human-readable name.  Modules expose their parameters through
+``Module.parameters()`` so optimizers can update them in place.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Parameter"]
+
+
+class Parameter:
+    """A trainable tensor with an accumulated gradient.
+
+    Parameters
+    ----------
+    data:
+        Initial value.  It is converted to a ``float64`` numpy array and owned
+        by the parameter (a copy is made).
+    name:
+        Optional identifier used in serialization and debugging output.
+    trainable:
+        When ``False`` the optimizer skips this parameter (useful for frozen
+        layers, e.g. when adapting only part of a network).
+    """
+
+    def __init__(self, data: np.ndarray, name: str = "", trainable: bool = True):
+        self.data = np.array(data, dtype=np.float64)
+        self.grad = np.zeros_like(self.data)
+        self.name = name
+        self.trainable = trainable
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        """Shape of the underlying value array."""
+        return self.data.shape
+
+    @property
+    def size(self) -> int:
+        """Number of scalar entries in the parameter."""
+        return int(self.data.size)
+
+    def zero_grad(self) -> None:
+        """Reset the accumulated gradient to zero."""
+        self.grad.fill(0.0)
+
+    def accumulate_grad(self, grad: np.ndarray) -> None:
+        """Add ``grad`` to the stored gradient.
+
+        Raises
+        ------
+        ValueError
+            If the gradient shape does not match the parameter shape.
+        """
+        grad = np.asarray(grad, dtype=np.float64)
+        if grad.shape != self.data.shape:
+            raise ValueError(
+                f"gradient shape {grad.shape} does not match parameter "
+                f"shape {self.data.shape} for parameter '{self.name}'"
+            )
+        self.grad += grad
+
+    def copy(self) -> "Parameter":
+        """Return a deep copy (value and gradient) of this parameter."""
+        clone = Parameter(self.data.copy(), name=self.name, trainable=self.trainable)
+        clone.grad = self.grad.copy()
+        return clone
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"Parameter(name={self.name!r}, shape={self.shape}, trainable={self.trainable})"

@@ -1,0 +1,69 @@
+"""Learning-rate schedulers operating on an :class:`~repro.nn.optim.Optimizer`."""
+
+from __future__ import annotations
+
+import math
+
+from .optim import Optimizer
+
+__all__ = ["StepDecay", "ExponentialDecay", "CosineAnnealing"]
+
+
+class _Scheduler:
+    def __init__(self, optimizer: Optimizer) -> None:
+        self.optimizer = optimizer
+        self.base_lr = optimizer.lr
+        self.epoch = 0
+
+    def step(self) -> float:
+        """Advance one epoch and return the new learning rate."""
+        self.epoch += 1
+        self.optimizer.lr = self._lr_at(self.epoch)
+        return self.optimizer.lr
+
+    def _lr_at(self, epoch: int) -> float:
+        raise NotImplementedError
+
+
+class StepDecay(_Scheduler):
+    """Multiply the learning rate by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int = 10, gamma: float = 0.5) -> None:
+        super().__init__(optimizer)
+        if step_size <= 0:
+            raise ValueError("step_size must be positive")
+        if not 0 < gamma <= 1:
+            raise ValueError("gamma must be in (0, 1]")
+        self.step_size = step_size
+        self.gamma = gamma
+
+    def _lr_at(self, epoch: int) -> float:
+        return self.base_lr * self.gamma ** (epoch // self.step_size)
+
+
+class ExponentialDecay(_Scheduler):
+    """Multiply the learning rate by ``gamma`` every epoch."""
+
+    def __init__(self, optimizer: Optimizer, gamma: float = 0.95) -> None:
+        super().__init__(optimizer)
+        if not 0 < gamma <= 1:
+            raise ValueError("gamma must be in (0, 1]")
+        self.gamma = gamma
+
+    def _lr_at(self, epoch: int) -> float:
+        return self.base_lr * self.gamma**epoch
+
+
+class CosineAnnealing(_Scheduler):
+    """Cosine annealing from the base learning rate down to ``min_lr``."""
+
+    def __init__(self, optimizer: Optimizer, total_epochs: int, min_lr: float = 0.0) -> None:
+        super().__init__(optimizer)
+        if total_epochs <= 0:
+            raise ValueError("total_epochs must be positive")
+        self.total_epochs = total_epochs
+        self.min_lr = min_lr
+
+    def _lr_at(self, epoch: int) -> float:
+        progress = min(epoch, self.total_epochs) / self.total_epochs
+        return self.min_lr + 0.5 * (self.base_lr - self.min_lr) * (1 + math.cos(math.pi * progress))

@@ -1,0 +1,59 @@
+"""Saving and loading model parameters as ``.npz`` archives."""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from .module import Module
+
+__all__ = ["save_model", "load_model", "copy_parameters"]
+
+
+def save_model(model: Module, path: str | os.PathLike) -> None:
+    """Serialize model parameters to ``path`` (numpy ``.npz``).
+
+    Only parameter values are stored; the architecture must be reconstructed by
+    the caller before :func:`load_model`.
+    """
+    arrays: dict[str, np.ndarray] = {}
+    for index, param in enumerate(model.parameters()):
+        arrays[f"{index:04d}::{param.name or 'param'}"] = param.data
+    np.savez(path, **arrays)
+
+
+def load_model(model: Module, path: str | os.PathLike) -> Module:
+    """Load parameters saved by :func:`save_model` into ``model`` (in order)."""
+    archive = np.load(path)
+    keys = sorted(archive.files)
+    params = model.parameters()
+    if len(keys) != len(params):
+        raise ValueError(
+            f"checkpoint has {len(keys)} arrays but the model has {len(params)} parameters"
+        )
+    for key, param in zip(keys, params):
+        value = archive[key]
+        if value.shape != param.data.shape:
+            raise ValueError(
+                f"shape mismatch for {key}: checkpoint {value.shape} vs model {param.data.shape}"
+            )
+        param.data[...] = value
+    return model
+
+
+def copy_parameters(source: Module, destination: Module) -> Module:
+    """Copy parameter values from ``source`` into ``destination`` (by order)."""
+    src_params = source.parameters()
+    dst_params = destination.parameters()
+    if len(src_params) != len(dst_params):
+        raise ValueError(
+            f"source has {len(src_params)} parameters but destination has {len(dst_params)}"
+        )
+    for src, dst in zip(src_params, dst_params):
+        if src.data.shape != dst.data.shape:
+            raise ValueError(
+                f"parameter shape mismatch: {src.data.shape} vs {dst.data.shape}"
+            )
+        dst.data[...] = src.data
+    return destination

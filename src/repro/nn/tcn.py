@@ -1,0 +1,102 @@
+"""Temporal convolutional network (TCN) blocks.
+
+RoNIN, the pedestrian-dead-reckoning baseline adapted in the paper, is a
+temporal-convolution regressor over IMU windows.  The blocks here provide a
+compact equivalent: dilated 1-D convolutions with residual connections and
+dropout, followed by a global temporal pooling and a dense regression head
+(assembled in :mod:`repro.nn.models`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .activations import ReLU
+from .container import Sequential
+from .conv import Conv1d
+from .dropout import Dropout
+from .module import Module
+
+__all__ = ["TemporalBlock", "TemporalConvNet"]
+
+
+class TemporalBlock(Module):
+    """Two dilated convolutions with ReLUs, dropout and a residual connection.
+
+    When the channel count changes, a 1x1 convolution matches the residual
+    branch to the output width.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int = 3,
+        dilation: int = 1,
+        dropout: float = 0.1,
+        rng: np.random.Generator | None = None,
+        name: str = "tblock",
+    ) -> None:
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.body = Sequential(
+            Conv1d(in_channels, out_channels, kernel_size, dilation=dilation, rng=rng, name=f"{name}.conv1"),
+            ReLU(),
+            Dropout(dropout, rng=rng),
+            Conv1d(out_channels, out_channels, kernel_size, dilation=dilation, rng=rng, name=f"{name}.conv2"),
+            ReLU(),
+            Dropout(dropout, rng=rng),
+        )
+        self.downsample: Conv1d | None = None
+        if in_channels != out_channels:
+            self.downsample = Conv1d(in_channels, out_channels, kernel_size=1, rng=rng, name=f"{name}.down")
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        branch = self.body.forward(inputs)
+        shortcut = self.downsample.forward(inputs) if self.downsample is not None else inputs
+        return branch + shortcut
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        grad_branch = self.body.backward(grad_output)
+        if self.downsample is not None:
+            grad_shortcut = self.downsample.backward(grad_output)
+        else:
+            grad_shortcut = grad_output
+        return grad_branch + grad_shortcut
+
+
+class TemporalConvNet(Module):
+    """Stack of :class:`TemporalBlock` layers with doubling dilation."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        channel_sizes: list[int],
+        kernel_size: int = 3,
+        dropout: float = 0.1,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng(0)
+        blocks: list[Module] = []
+        previous = in_channels
+        for level, channels in enumerate(channel_sizes):
+            blocks.append(
+                TemporalBlock(
+                    previous,
+                    channels,
+                    kernel_size=kernel_size,
+                    dilation=2**level,
+                    dropout=dropout,
+                    rng=rng,
+                    name=f"tcn.block{level}",
+                )
+            )
+            previous = channels
+        self.blocks = Sequential(*blocks)
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        return self.blocks.forward(inputs)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        return self.blocks.backward(grad_output)

@@ -1,0 +1,156 @@
+"""Supervised training loop shared by source-model training and adaptation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .data import ArrayDataset, DataLoader
+from .losses import Loss, MSELoss
+from .module import Module
+from .optim import Adam, Optimizer, clip_gradients
+
+__all__ = ["TrainingHistory", "Trainer"]
+
+
+@dataclass
+class TrainingHistory:
+    """Per-epoch record of a training run."""
+
+    losses: list[float] = field(default_factory=list)
+    val_losses: list[float] = field(default_factory=list)
+    stopped_epoch: int | None = None
+
+    @property
+    def final_loss(self) -> float:
+        """Training loss of the last completed epoch."""
+        if not self.losses:
+            raise ValueError("no epochs recorded")
+        return self.losses[-1]
+
+    def loss_drop_rate(self, window: int = 5) -> float:
+        """Average per-epoch loss decrease over the last ``window`` epochs.
+
+        This is the quantity the paper's early-stop heuristic watches
+        (Fig. 13): adaptation stops when the drop rate collapses relative to
+        the initial epochs.
+        """
+        if len(self.losses) < 2:
+            return 0.0
+        window = min(window, len(self.losses) - 1)
+        recent = self.losses[-(window + 1):]
+        drops = [max(0.0, earlier - later) for earlier, later in zip(recent[:-1], recent[1:])]
+        return float(np.mean(drops))
+
+
+class Trainer:
+    """Mini-batch gradient-descent trainer.
+
+    Parameters
+    ----------
+    model:
+        Any :class:`~repro.nn.module.Module` mapping inputs to predictions.
+    loss:
+        Loss object from :mod:`repro.nn.losses`; defaults to weighted MSE.
+    optimizer:
+        Optimizer; defaults to Adam over the model's parameters.
+    grad_clip:
+        Optional global-norm gradient clipping threshold.
+    """
+
+    def __init__(
+        self,
+        model: Module,
+        loss: Loss | None = None,
+        optimizer: Optimizer | None = None,
+        lr: float = 1e-3,
+        grad_clip: float | None = 5.0,
+    ) -> None:
+        self.model = model
+        self.loss = loss if loss is not None else MSELoss()
+        self.optimizer = optimizer if optimizer is not None else Adam(model.parameters(), lr=lr)
+        self.grad_clip = grad_clip
+
+    def train_epoch(self, loader: DataLoader) -> float:
+        """Run one epoch and return the average (weighted) batch loss."""
+        self.model.train()
+        total, batches = 0.0, 0
+        for inputs, targets, weights in loader:
+            self.optimizer.zero_grad()
+            predictions = self.model.forward(inputs)
+            value, grad = self.loss(predictions, targets, weights)
+            self.model.backward(grad)
+            if self.grad_clip is not None:
+                clip_gradients(self.optimizer.parameters, self.grad_clip)
+            self.optimizer.step()
+            total += value
+            batches += 1
+        return total / max(batches, 1)
+
+    def evaluate(self, dataset: ArrayDataset, batch_size: int = 256) -> float:
+        """Average loss over ``dataset`` in evaluation mode (no dropout)."""
+        self.model.eval()
+        loader = DataLoader(dataset, batch_size=batch_size, shuffle=False)
+        total, batches = 0.0, 0
+        for inputs, targets, weights in loader:
+            predictions = self.model.forward(inputs)
+            value, _ = self.loss(predictions, targets, weights)
+            total += value
+            batches += 1
+        return total / max(batches, 1)
+
+    def fit(
+        self,
+        dataset: ArrayDataset,
+        epochs: int = 50,
+        batch_size: int = 32,
+        validation: ArrayDataset | None = None,
+        rng: np.random.Generator | None = None,
+        patience: int | None = None,
+        min_delta: float = 1e-6,
+        verbose: bool = False,
+    ) -> TrainingHistory:
+        """Train for up to ``epochs`` epochs.
+
+        When ``validation`` and ``patience`` are given, training stops early if
+        the validation loss has not improved by ``min_delta`` for ``patience``
+        consecutive epochs.
+        """
+        if epochs <= 0:
+            raise ValueError("epochs must be positive")
+        loader = DataLoader(dataset, batch_size=batch_size, shuffle=True, rng=rng)
+        history = TrainingHistory()
+        best_val = np.inf
+        stale = 0
+        for epoch in range(epochs):
+            train_loss = self.train_epoch(loader)
+            history.losses.append(train_loss)
+            if validation is not None:
+                val_loss = self.evaluate(validation)
+                history.val_losses.append(val_loss)
+                if patience is not None:
+                    if val_loss < best_val - min_delta:
+                        best_val = val_loss
+                        stale = 0
+                    else:
+                        stale += 1
+                        if stale >= patience:
+                            history.stopped_epoch = epoch
+                            break
+            if verbose:  # pragma: no cover - console output only
+                message = f"epoch {epoch + 1}/{epochs}: loss={train_loss:.6f}"
+                if validation is not None:
+                    message += f" val={history.val_losses[-1]:.6f}"
+                print(message)
+        self.model.eval()
+        return history
+
+    def predict(self, inputs: np.ndarray, batch_size: int = 256) -> np.ndarray:
+        """Deterministic predictions (dropout disabled)."""
+        self.model.eval()
+        inputs = np.asarray(inputs, dtype=np.float64)
+        outputs = []
+        for start in range(0, len(inputs), batch_size):
+            outputs.append(self.model.forward(inputs[start : start + batch_size]))
+        return np.concatenate(outputs, axis=0)

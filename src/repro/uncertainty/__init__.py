@@ -1,0 +1,23 @@
+"""Uncertainty estimation and calibration substrate for TASFAR."""
+
+from .calibration import UncertaintyCalibrator, fit_sigma_curve
+from .error_models import (
+    ErrorModel,
+    GaussianErrorModel,
+    LaplaceErrorModel,
+    UniformErrorModel,
+    get_error_model,
+)
+from .mc_dropout import MCDropoutPredictor, UncertainPrediction
+
+__all__ = [
+    "ErrorModel",
+    "GaussianErrorModel",
+    "LaplaceErrorModel",
+    "MCDropoutPredictor",
+    "UncertainPrediction",
+    "UncertaintyCalibrator",
+    "UniformErrorModel",
+    "fit_sigma_curve",
+    "get_error_model",
+]

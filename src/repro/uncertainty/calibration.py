@@ -1,0 +1,127 @@
+"""Uncertainty-to-error calibration: the function ``Q_s`` of the paper.
+
+TASFAR models the label of each confident prediction as a Gaussian centred on
+the prediction whose standard deviation grows with the model's uncertainty
+(Eq. 5–6).  The mapping ``sigma = Q_s(u)`` is fitted **on the source dataset**
+before deployment (Eq. 7–9): source predictions are grouped into ``q``
+uncertainty segments, the error spread of each segment is estimated, and a
+first-order polynomial is fitted by least squares.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["UncertaintyCalibrator", "fit_sigma_curve"]
+
+# Fraction of the data expected to fall within one standard deviation of a
+# Gaussian; the paper fits Q_s so that ~68% of segment errors are below it.
+_ONE_SIGMA_COVERAGE = 0.68
+
+
+@dataclass
+class UncertaintyCalibrator:
+    """Linear map from prediction uncertainty to error standard deviation.
+
+    ``sigma = intercept + slope * u``, clipped below at ``min_sigma`` so the
+    instance-label Gaussian never degenerates.
+    """
+
+    intercept: float
+    slope: float
+    min_sigma: float = 1e-6
+
+    def __call__(self, uncertainty: np.ndarray | float) -> np.ndarray | float:
+        """Evaluate ``Q_s`` on scalar or array uncertainty values."""
+        sigma = self.intercept + self.slope * np.asarray(uncertainty, dtype=np.float64)
+        sigma = np.maximum(sigma, self.min_sigma)
+        if np.isscalar(uncertainty):
+            return float(sigma)
+        return sigma
+
+    def as_tuple(self) -> tuple[float, float]:
+        """Return ``(intercept, slope)`` i.e. ``(a0, a1)`` in the paper."""
+        return self.intercept, self.slope
+
+
+def fit_sigma_curve(
+    uncertainties: np.ndarray,
+    errors: np.ndarray,
+    n_segments: int = 40,
+    coverage: float = _ONE_SIGMA_COVERAGE,
+    min_sigma: float = 1e-6,
+) -> UncertaintyCalibrator:
+    """Fit ``Q_s`` from source-model uncertainties and absolute errors.
+
+    Parameters
+    ----------
+    uncertainties:
+        Per-sample scalar prediction uncertainty on the source dataset.
+    errors:
+        Per-sample absolute prediction error (same length).  For
+        multi-dimensional labels, pass the per-dimension error and call the
+        function once per dimension, or pass an aggregate error.
+    n_segments:
+        Number of uncertainty segments ``q`` (paper default 40, Fig. 9 studies
+        the sensitivity).
+    coverage:
+        Quantile of the segment errors used as the segment's sigma estimate.
+        The default (0.68) matches the paper's "around 68% of data should show
+        errors less than sigma".
+    min_sigma:
+        Lower bound applied when evaluating the calibrator.
+
+    Returns
+    -------
+    UncertaintyCalibrator
+        The fitted linear curve, with a non-negative slope guarantee relaxed:
+        if the fitted slope is negative (which can happen on tiny or
+        pathological inputs) the calibrator falls back to a constant equal to
+        the overall error quantile.
+    """
+    uncertainties = np.asarray(uncertainties, dtype=np.float64).ravel()
+    errors = np.abs(np.asarray(errors, dtype=np.float64).ravel())
+    if uncertainties.shape != errors.shape:
+        raise ValueError("uncertainties and errors must have the same length")
+    if len(uncertainties) == 0:
+        raise ValueError("cannot fit a calibration curve from zero samples")
+    if not 0.0 < coverage < 1.0:
+        raise ValueError("coverage must be in (0, 1)")
+    if n_segments <= 0:
+        raise ValueError("n_segments must be positive")
+
+    n_segments = min(n_segments, len(uncertainties))
+    order = np.argsort(uncertainties)
+    sorted_u = uncertainties[order]
+    sorted_e = errors[order]
+    segment_bounds = np.array_split(np.arange(len(sorted_u)), n_segments)
+
+    segment_u: list[float] = []
+    segment_sigma: list[float] = []
+    for indices in segment_bounds:
+        if len(indices) == 0:
+            continue
+        segment_u.append(float(sorted_u[indices].mean()))
+        segment_sigma.append(float(np.quantile(sorted_e[indices], coverage)))
+
+    segment_u_arr = np.array(segment_u)
+    segment_sigma_arr = np.array(segment_sigma)
+    fallback = float(np.quantile(errors, coverage))
+
+    if len(segment_u_arr) < 2 or np.allclose(segment_u_arr.var(), 0.0):
+        return UncertaintyCalibrator(intercept=fallback, slope=0.0, min_sigma=min_sigma)
+
+    # Least-squares fit of sigma = a0 + a1 * u (Eq. 9 of the paper).
+    mean_u = segment_u_arr.mean()
+    mean_sigma = segment_sigma_arr.mean()
+    denominator = float(((segment_u_arr - mean_u) ** 2).sum())
+    slope = float(((segment_u_arr - mean_u) * (segment_sigma_arr - mean_sigma)).sum() / denominator)
+    intercept = float(mean_sigma - slope * mean_u)
+
+    if slope < 0:
+        # The core assumption (error grows with uncertainty) does not hold on
+        # this data; degrade gracefully to a constant-sigma calibrator.
+        return UncertaintyCalibrator(intercept=fallback, slope=0.0, min_sigma=min_sigma)
+    return UncertaintyCalibrator(intercept=intercept, slope=slope, min_sigma=min_sigma)

@@ -1,0 +1,206 @@
+"""Tests for the UDA baseline adapters."""
+
+import numpy as np
+import pytest
+
+import repro.nn as nn
+from repro.baselines import (
+    AdapterResult,
+    AdversarialUda,
+    AugFree,
+    DataFree,
+    FeatureStatistics,
+    MmdUda,
+    SCHEME_NAMES,
+    SourceOnly,
+    TasfarAdapter,
+    logistic_loss,
+    make_adapter,
+    rbf_mmd,
+    variance_perturbation,
+)
+from repro.core import TasfarConfig
+
+
+@pytest.fixture(scope="module")
+def setup():
+    rng = np.random.default_rng(0)
+    source_inputs = rng.normal(size=(200, 5))
+    weights = np.array([1.0, -0.5, 2.0, 0.0, 1.0])
+    source_labels = source_inputs @ weights + 0.05 * rng.normal(size=200)
+    target_inputs = rng.normal(loc=0.4, size=(80, 5))
+    model = nn.build_mlp(5, 1, hidden_dims=(16, 8), dropout=0.2, seed=0)
+    trainer = nn.Trainer(model, lr=3e-3)
+    source_data = nn.ArrayDataset(source_inputs, source_labels)
+    trainer.fit(source_data, epochs=25, batch_size=32, rng=rng)
+    return {"model": model, "source": source_data, "target": target_inputs}
+
+
+class TestRbfMmd:
+    def test_identical_sets_give_near_zero(self):
+        rng = np.random.default_rng(0)
+        features = rng.normal(size=(30, 4))
+        mmd2, grad_a, grad_b = rbf_mmd(features, features.copy())
+        assert mmd2 == pytest.approx(0.0, abs=1e-10)
+        assert grad_a.shape == features.shape
+        assert grad_b.shape == features.shape
+
+    def test_shifted_sets_give_positive(self):
+        rng = np.random.default_rng(0)
+        a = rng.normal(size=(40, 4))
+        b = rng.normal(loc=3.0, size=(40, 4))
+        mmd2, _, _ = rbf_mmd(a, b)
+        assert mmd2 > 0.1
+
+    def test_gradient_direction_reduces_mmd(self):
+        rng = np.random.default_rng(1)
+        a = rng.normal(size=(20, 3))
+        b = rng.normal(loc=2.0, size=(20, 3))
+        mmd_before, grad_a, grad_b = rbf_mmd(a, b, bandwidth=1.0)
+        step = 0.5
+        mmd_after, _, _ = rbf_mmd(a - step * grad_a, b - step * grad_b, bandwidth=1.0)
+        assert mmd_after < mmd_before
+
+    def test_too_few_samples_raises(self):
+        with pytest.raises(ValueError):
+            rbf_mmd(np.zeros((1, 2)), np.zeros((5, 2)))
+
+
+class TestLogisticLoss:
+    def test_perfect_predictions_give_small_loss(self):
+        logits = np.array([10.0, -10.0])
+        labels = np.array([1.0, 0.0])
+        value, grad = logistic_loss(logits, labels)
+        assert value < 1e-3
+        assert np.all(np.abs(grad) < 1e-3)
+
+    def test_gradient_sign(self):
+        value, grad = logistic_loss(np.array([0.0]), np.array([1.0]))
+        assert value == pytest.approx(np.log(2))
+        assert grad[0, 0] < 0  # push the logit up
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            logistic_loss(np.zeros(2), np.zeros(3))
+
+
+class TestSourceOnly:
+    def test_returns_copy(self, setup):
+        result = SourceOnly().adapt(setup["model"], setup["target"])
+        assert isinstance(result, AdapterResult)
+        assert result.target_model is not setup["model"]
+        x = setup["target"][:5]
+        np.testing.assert_allclose(result.target_model.forward(x), setup["model"].forward(x))
+
+
+class TestMmdUda:
+    def test_requires_source_data(self, setup):
+        with pytest.raises(ValueError):
+            MmdUda(epochs=1).adapt(setup["model"], setup["target"], source_data=None)
+
+    def test_adapt_runs_and_keeps_model_reasonable(self, setup):
+        adapter = MmdUda(epochs=3, seed=0)
+        result = adapter.adapt(setup["model"], setup["target"], source_data=setup["source"])
+        assert len(result.losses) == 3
+        source_mse = float(np.mean((result.target_model.forward(setup["source"].inputs)
+                                     - setup["source"].targets) ** 2))
+        base_mse = float(np.mean((setup["model"].forward(setup["source"].inputs)
+                                  - setup["source"].targets) ** 2))
+        assert source_mse < base_mse * 3 + 0.5
+
+    def test_invalid_epochs(self):
+        with pytest.raises(ValueError):
+            MmdUda(epochs=0)
+
+
+class TestAdversarialUda:
+    def test_requires_source_data(self, setup):
+        with pytest.raises(ValueError):
+            AdversarialUda(epochs=1).adapt(setup["model"], setup["target"])
+
+    def test_adapt_runs(self, setup):
+        adapter = AdversarialUda(epochs=2, seed=0)
+        result = adapter.adapt(setup["model"], setup["target"], source_data=setup["source"])
+        assert len(result.losses) == 2
+        assert result.diagnostics["adversarial_weight"] == adapter.adversarial_weight
+
+
+class TestDataFree:
+    def test_feature_statistics(self, setup):
+        features = setup["model"].features(setup["source"].inputs)
+        statistics = FeatureStatistics.from_features(features)
+        assert statistics.mean.shape == (features.shape[1],)
+        np.testing.assert_allclose(statistics.histograms.sum(axis=1), 1.0, atol=1e-9)
+
+    def test_feature_statistics_validation(self):
+        with pytest.raises(ValueError):
+            FeatureStatistics.from_features(np.zeros((1, 3)))
+
+    def test_requires_statistics_or_source(self, setup):
+        with pytest.raises(ValueError):
+            DataFree(epochs=1).adapt(setup["model"], setup["target"])
+
+    def test_adapt_with_precomputed_statistics(self, setup):
+        adapter = DataFree(epochs=2, seed=0)
+        adapter.fit_source_statistics(setup["model"], setup["source"].inputs)
+        result = adapter.adapt(setup["model"], setup["target"])
+        assert len(result.losses) == 2
+        # head parameters must be trainable again afterwards
+        assert all(p.trainable for p in result.target_model.head.parameters())
+
+    def test_head_is_frozen_during_adaptation(self, setup):
+        adapter = DataFree(epochs=1, seed=0)
+        adapter.fit_source_statistics(setup["model"], setup["source"].inputs)
+        result = adapter.adapt(setup["model"], setup["target"])
+        for before, after in zip(setup["model"].head.parameters(), result.target_model.head.parameters()):
+            np.testing.assert_array_equal(before.data, after.data)
+
+
+class TestAugFree:
+    def test_variance_perturbation_preserves_shape(self):
+        rng = np.random.default_rng(0)
+        inputs = rng.normal(size=(10, 3, 4))
+        perturbed = variance_perturbation(inputs, rng, strength=0.1)
+        assert perturbed.shape == inputs.shape
+        assert not np.allclose(perturbed, inputs)
+
+    def test_adapt_runs_and_stays_close_to_teacher(self, setup):
+        adapter = AugFree(epochs=2, seed=0)
+        result = adapter.adapt(setup["model"], setup["target"])
+        teacher = setup["model"].forward(setup["target"])
+        student = result.target_model.forward(setup["target"])
+        assert np.abs(teacher - student).mean() < 1.0
+
+
+class TestTasfarAdapter:
+    def test_requires_calibration_or_source(self, setup):
+        with pytest.raises(ValueError):
+            TasfarAdapter(TasfarConfig(adaptation_epochs=2)).adapt(setup["model"], setup["target"])
+
+    def test_adapt_after_explicit_calibration(self, setup):
+        adapter = TasfarAdapter(TasfarConfig(adaptation_epochs=3, seed=0))
+        adapter.calibrate(setup["model"], setup["source"].inputs, setup["source"].targets)
+        result = adapter.adapt(setup["model"], setup["target"])
+        assert "uncertain_ratio" in result.diagnostics
+        assert 0.0 <= result.diagnostics["uncertain_ratio"] <= 1.0
+
+    def test_adapt_with_source_data_autocalibrates(self, setup):
+        adapter = TasfarAdapter(TasfarConfig(adaptation_epochs=2, seed=0))
+        result = adapter.adapt(setup["model"], setup["target"], source_data=setup["source"])
+        assert adapter.calibration is not None
+        assert result.target_model is not setup["model"]
+
+
+class TestRegistry:
+    def test_all_schemes_constructible(self):
+        for name in SCHEME_NAMES:
+            adapter = make_adapter(name)
+            assert adapter.name == name if name != "baseline" else adapter.name == "baseline"
+
+    def test_unknown_scheme(self):
+        with pytest.raises(ValueError):
+            make_adapter("bogus")
+
+    def test_kwargs_passed_through(self):
+        adapter = make_adapter("mmd", epochs=7)
+        assert adapter.epochs == 7

@@ -1,0 +1,21 @@
+"""Shared pytest fixtures for the TASFAR reproduction test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic random generator for tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_regression_data(rng) -> tuple[np.ndarray, np.ndarray]:
+    """A small noisy linear regression problem (inputs, targets)."""
+    inputs = rng.normal(size=(64, 5))
+    weights = np.array([1.0, -2.0, 0.5, 0.0, 3.0])
+    targets = inputs @ weights + 0.1 * rng.normal(size=64)
+    return inputs, targets[:, None]

@@ -1,0 +1,56 @@
+"""Tests for the confidence classifier (Algorithm 1)."""
+
+import numpy as np
+import pytest
+
+from repro.core import ConfidenceClassifier
+
+
+class TestConfidenceClassifier:
+    def test_threshold_is_eta_quantile(self):
+        classifier = ConfidenceClassifier(confidence_ratio=0.9)
+        uncertainties = np.linspace(0, 1, 1001)
+        classifier.fit(uncertainties)
+        assert classifier.threshold == pytest.approx(0.9, abs=1e-3)
+
+    def test_split_partitions_all_samples(self):
+        classifier = ConfidenceClassifier(0.8)
+        classifier.fit(np.random.default_rng(0).uniform(size=500))
+        target = np.random.default_rng(1).uniform(size=100)
+        split = classifier.split(target)
+        assert split.n_confident + split.n_uncertain == 100
+        assert set(split.confident_indices).isdisjoint(split.uncertain_indices)
+
+    def test_confident_below_threshold(self):
+        classifier = ConfidenceClassifier(0.5)
+        classifier.threshold = 0.5
+        split = classifier.split(np.array([0.1, 0.5, 0.9]))
+        np.testing.assert_array_equal(split.confident_indices, [0, 1])
+        np.testing.assert_array_equal(split.uncertain_indices, [2])
+
+    def test_uncertain_ratio(self):
+        classifier = ConfidenceClassifier(0.5)
+        classifier.threshold = 0.5
+        split = classifier.split(np.array([0.1, 0.9, 0.9, 0.9]))
+        assert split.uncertain_ratio == pytest.approx(0.75)
+
+    def test_split_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            ConfidenceClassifier().split(np.array([0.1]))
+
+    def test_fit_empty_raises(self):
+        with pytest.raises(ValueError):
+            ConfidenceClassifier().fit(np.array([]))
+
+    def test_invalid_ratio(self):
+        with pytest.raises(ValueError):
+            ConfidenceClassifier(confidence_ratio=1.0)
+
+    def test_source_like_target_has_expected_uncertain_ratio(self):
+        """On data from the source distribution, ~(1 - eta) is uncertain."""
+        rng = np.random.default_rng(2)
+        source = rng.exponential(size=5000)
+        classifier = ConfidenceClassifier(0.9)
+        classifier.fit(source)
+        split = classifier.split(rng.exponential(size=5000))
+        assert split.uncertain_ratio == pytest.approx(0.1, abs=0.02)

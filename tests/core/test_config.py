@@ -1,0 +1,39 @@
+"""Tests for TasfarConfig validation."""
+
+import pytest
+
+from repro.core import TasfarConfig
+
+
+class TestTasfarConfig:
+    def test_defaults_match_paper(self):
+        config = TasfarConfig()
+        assert config.confidence_ratio == 0.9
+        assert config.n_mc_samples == 20
+        assert config.n_segments == 40
+        assert config.error_model == "gaussian"
+        assert config.locality_sigmas == 3.0
+        assert config.use_credibility is True
+        assert config.include_confident_data is True
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"confidence_ratio": 0.0},
+            {"confidence_ratio": 1.0},
+            {"n_mc_samples": 1},
+            {"n_segments": 0},
+            {"auto_grid_bins": 1},
+            {"locality_sigmas": 0.0},
+            {"pseudo_label_mode": "nearest"},
+            {"adaptation_epochs": 0},
+            {"min_adaptation_epochs": 0},
+        ],
+    )
+    def test_invalid_values_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            TasfarConfig(**kwargs)
+
+    def test_extra_dict_available(self):
+        config = TasfarConfig(extra={"note": "ablation"})
+        assert config.extra["note"] == "ablation"

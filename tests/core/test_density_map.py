@@ -1,0 +1,153 @@
+"""Tests for the label density map."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import LabelDensityMap
+from repro.uncertainty import GaussianErrorModel, UniformErrorModel
+
+
+class TestConstruction:
+    def test_from_range_1d(self):
+        density_map = LabelDensityMap.from_range(np.array([0.0]), np.array([1.0]), np.array([0.25]))
+        assert density_map.shape == (4,)
+        assert density_map.n_dims == 1
+
+    def test_from_range_2d(self):
+        density_map = LabelDensityMap.from_range(np.array([0.0, -1.0]), np.array([1.0, 1.0]), 0.5)
+        assert density_map.shape == (2, 4)
+        assert density_map.n_dims == 2
+
+    def test_from_range_validation(self):
+        with pytest.raises(ValueError):
+            LabelDensityMap.from_range(np.array([1.0]), np.array([0.0]), 0.1)
+        with pytest.raises(ValueError):
+            LabelDensityMap.from_range(np.array([0.0]), np.array([1.0]), 0.0)
+
+    def test_edges_must_increase(self):
+        with pytest.raises(ValueError):
+            LabelDensityMap([np.array([0.0, 0.0, 1.0])])
+
+    def test_from_labels_is_normalized_histogram(self):
+        labels = np.array([[0.1], [0.1], [0.9]])
+        density_map = LabelDensityMap.from_labels(labels, [np.array([0.0, 0.5, 1.0])])
+        np.testing.assert_allclose(density_map.densities, [2 / 3, 1 / 3])
+
+
+class TestAccumulation:
+    def test_single_gaussian_mass_sums_to_one_inside_range(self):
+        density_map = LabelDensityMap.from_range(np.array([-10.0]), np.array([10.0]), 0.1)
+        density_map.add_instance(np.array([0.0]), np.array([0.5]))
+        assert density_map.total_mass == pytest.approx(1.0, abs=1e-6)
+
+    def test_add_instances_batch(self):
+        density_map = LabelDensityMap.from_range(np.array([-5.0]), np.array([5.0]), 0.1)
+        density_map.add_instances(np.array([[0.0], [1.0], [-1.0]]), np.full((3, 1), 0.3))
+        assert density_map.total_mass == pytest.approx(3.0, abs=1e-4)
+
+    def test_normalize(self):
+        density_map = LabelDensityMap.from_range(np.array([-5.0]), np.array([5.0]), 0.1)
+        density_map.add_instances(np.array([[0.0], [1.0]]), np.full((2, 1), 0.3))
+        density_map.normalize()
+        assert density_map.total_mass == pytest.approx(1.0)
+
+    def test_mass_concentrates_near_center(self):
+        density_map = LabelDensityMap.from_range(np.array([-5.0]), np.array([5.0]), 0.5)
+        density_map.add_instance(np.array([2.0]), np.array([0.3]))
+        centers = density_map.cell_centers[0]
+        peak_center = centers[np.argmax(density_map.densities)]
+        assert abs(peak_center - 2.0) < 0.5
+
+    def test_2d_accumulation_is_separable_product(self):
+        density_map = LabelDensityMap.from_range(np.array([-3.0, -3.0]), np.array([3.0, 3.0]), 0.5)
+        density_map.add_instance(np.array([0.0, 1.0]), np.array([0.4, 0.4]))
+        assert density_map.densities.shape == (12, 12)
+        assert density_map.total_mass == pytest.approx(1.0, abs=1e-4)
+
+    def test_wrong_dimension_raises(self):
+        density_map = LabelDensityMap.from_range(np.array([0.0, 0.0]), np.array([1.0, 1.0]), 0.5)
+        with pytest.raises(ValueError):
+            density_map.add_instance(np.array([0.5]), np.array([0.1]))
+
+    def test_uniform_error_model_accepted(self):
+        density_map = LabelDensityMap.from_range(np.array([-3.0]), np.array([3.0]), 0.25)
+        density_map.add_instance(np.array([0.0]), np.array([0.5]), UniformErrorModel())
+        assert density_map.total_mass == pytest.approx(1.0, abs=1e-6)
+
+
+class TestQueries:
+    def build_map(self):
+        density_map = LabelDensityMap.from_range(np.array([-2.0]), np.array([2.0]), 0.5)
+        density_map.add_instance(np.array([0.0]), np.array([0.3]), GaussianErrorModel())
+        return density_map.normalize()
+
+    def test_global_and_local_density(self):
+        density_map = self.build_map()
+        local = density_map.local_mean_density(np.array([0.0]), np.array([0.5]))
+        assert local > density_map.global_mean_density
+
+    def test_locality_mask_size(self):
+        density_map = self.build_map()
+        mask = density_map.locality_mask(np.array([0.0]), np.array([0.6]))
+        assert mask.sum() >= 2
+        empty = density_map.locality_mask(np.array([100.0]), np.array([0.5]))
+        assert not empty.any()
+
+    def test_local_density_outside_map_is_zero(self):
+        density_map = self.build_map()
+        assert density_map.local_mean_density(np.array([100.0]), np.array([0.5])) == 0.0
+
+    def test_marginal_sums(self):
+        density_map = LabelDensityMap.from_range(np.array([-2.0, -2.0]), np.array([2.0, 2.0]), 0.5)
+        density_map.add_instance(np.array([0.0, 0.0]), np.array([0.4, 0.4]))
+        density_map.normalize()
+        marginal = density_map.marginal(0)
+        assert marginal.shape == (8,)
+        assert marginal.sum() == pytest.approx(1.0, abs=1e-6)
+        with pytest.raises(ValueError):
+            density_map.marginal(5)
+
+    def test_mean_absolute_error_requires_same_shape(self):
+        a = LabelDensityMap.from_range(np.array([0.0]), np.array([1.0]), 0.5)
+        b = LabelDensityMap.from_range(np.array([0.0]), np.array([1.0]), 0.25)
+        with pytest.raises(ValueError):
+            a.mean_absolute_error(b)
+
+    def test_mean_absolute_error_zero_for_identical(self):
+        a = self.build_map()
+        assert a.mean_absolute_error(a.copy()) == 0.0
+
+    def test_density_per_unit_and_cell_volumes(self):
+        density_map = self.build_map()
+        volumes = density_map.cell_volumes()
+        np.testing.assert_allclose(volumes, 0.5)
+        per_unit = density_map.density_per_unit()
+        np.testing.assert_allclose(per_unit * 0.5, density_map.densities)
+
+    def test_copy_is_independent(self):
+        density_map = self.build_map()
+        clone = density_map.copy()
+        clone.densities[:] = 0.0
+        assert density_map.total_mass > 0
+
+
+class TestDensityMapProperties:
+    @given(
+        st.floats(min_value=-3.0, max_value=3.0),
+        st.floats(min_value=0.05, max_value=1.0),
+        st.floats(min_value=0.05, max_value=0.5),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_accumulated_mass_bounded_by_one(self, center, sigma, grid):
+        density_map = LabelDensityMap.from_range(np.array([-10.0]), np.array([10.0]), grid)
+        density_map.add_instance(np.array([center]), np.array([sigma]))
+        assert 0.0 <= density_map.total_mass <= 1.0 + 1e-6
+
+    @given(st.lists(st.floats(min_value=-5.0, max_value=5.0), min_size=2, max_size=40))
+    @settings(max_examples=40, deadline=None)
+    def test_true_histogram_mass_is_one(self, values):
+        labels = np.array(values)[:, None]
+        density_map = LabelDensityMap.from_labels(labels, [np.linspace(-5.5, 5.5, 23)])
+        assert density_map.total_mass == pytest.approx(1.0, abs=1e-9)

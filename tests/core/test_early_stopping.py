@@ -1,0 +1,57 @@
+"""Tests for the loss-drop early-stopping rule."""
+
+import pytest
+
+from repro.core import LossDropEarlyStopper
+
+
+class TestLossDropEarlyStopper:
+    def test_stops_on_plateau(self):
+        stopper = LossDropEarlyStopper(drop_fraction=0.1, patience=2, min_epochs=3, window=2)
+        losses = [10.0, 5.0, 2.5] + [2.4999] * 10
+        stopped_at = None
+        for epoch, loss in enumerate(losses):
+            if stopper.update(loss):
+                stopped_at = epoch + 1
+                break
+        assert stopped_at is not None
+        assert stopper.stopped_epoch == stopped_at
+
+    def test_does_not_stop_while_dropping(self):
+        stopper = LossDropEarlyStopper(drop_fraction=0.1, patience=2, min_epochs=3, window=2)
+        loss = 100.0
+        for _ in range(20):
+            loss -= 4.0  # a steady drop keeps the drop rate at its initial level
+            assert not stopper.update(loss)
+
+    def test_min_epochs_respected(self):
+        stopper = LossDropEarlyStopper(drop_fraction=0.5, patience=1, min_epochs=8, window=2)
+        for epoch in range(7):
+            assert not stopper.update(1.0)
+
+    def test_flat_from_start_eventually_stops(self):
+        stopper = LossDropEarlyStopper(drop_fraction=0.1, patience=2, min_epochs=3, window=2)
+        stopped = False
+        for _ in range(30):
+            if stopper.update(1.0):
+                stopped = True
+                break
+        assert stopped
+
+    def test_update_after_stop_stays_stopped(self):
+        stopper = LossDropEarlyStopper(min_epochs=1, patience=1, window=1)
+        for _ in range(10):
+            stopper.update(1.0)
+        assert stopper.update(0.0) is True
+
+    def test_losses_recorded(self):
+        stopper = LossDropEarlyStopper()
+        stopper.update(3.0)
+        stopper.update(2.0)
+        assert stopper.losses == [3.0, 2.0]
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            LossDropEarlyStopper(drop_fraction=0.0)
+        with pytest.raises(ValueError):
+            LossDropEarlyStopper(patience=0)

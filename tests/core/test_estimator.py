@@ -1,0 +1,85 @@
+"""Tests for the label distribution estimator (Algorithm 2)."""
+
+import numpy as np
+import pytest
+
+from repro.core import LabelDensityMap, LabelDistributionEstimator
+from repro.uncertainty import UncertaintyCalibrator
+
+
+def make_estimator(n_dims=1, **kwargs):
+    calibrators = [UncertaintyCalibrator(intercept=0.1, slope=1.0) for _ in range(n_dims)]
+    return LabelDistributionEstimator(calibrators, **kwargs)
+
+
+class TestLabelDistributionEstimator:
+    def test_requires_calibrators(self):
+        with pytest.raises(ValueError):
+            LabelDistributionEstimator([])
+
+    def test_sigma_for_shape(self):
+        estimator = make_estimator(n_dims=2)
+        sigmas = estimator.sigma_for(np.array([0.1, 0.5, 1.0]))
+        assert sigmas.shape == (3, 2)
+        np.testing.assert_allclose(sigmas[:, 0], [0.2, 0.6, 1.1])
+
+    def test_estimate_returns_normalized_map(self):
+        estimator = make_estimator()
+        rng = np.random.default_rng(0)
+        predictions = rng.normal(1.0, 0.3, size=(50, 1))
+        uncertainties = rng.uniform(0.05, 0.2, size=50)
+        density_map = estimator.estimate(predictions, uncertainties)
+        assert density_map.total_mass == pytest.approx(1.0, abs=1e-6)
+
+    def test_estimate_peaks_near_prediction_mode(self):
+        estimator = make_estimator(auto_grid_bins=40)
+        predictions = np.full((100, 1), 2.0) + np.random.default_rng(0).normal(0, 0.05, size=(100, 1))
+        uncertainties = np.full(100, 0.05)
+        density_map = estimator.estimate(predictions, uncertainties)
+        peak = density_map.cell_centers[0][np.argmax(density_map.densities)]
+        assert abs(peak - 2.0) < 0.3
+
+    def test_estimate_on_prebuilt_grid(self):
+        estimator = make_estimator()
+        grid = LabelDensityMap.from_range(np.array([-5.0]), np.array([5.0]), 0.5)
+        density_map = estimator.estimate(np.array([[0.0], [1.0]]), np.array([0.1, 0.1]), grid=grid)
+        assert density_map is grid
+        assert density_map.total_mass == pytest.approx(1.0, abs=1e-6)
+
+    def test_estimate_wrong_dimension_raises(self):
+        estimator = make_estimator(n_dims=2)
+        with pytest.raises(ValueError):
+            estimator.estimate(np.zeros((5, 1)), np.zeros(5))
+
+    def test_estimate_empty_raises(self):
+        estimator = make_estimator()
+        with pytest.raises(ValueError):
+            estimator.estimate(np.zeros((0, 1)), np.zeros(0))
+
+    def test_explicit_grid_size_controls_resolution(self):
+        estimator_fine = make_estimator(grid_size=0.05)
+        estimator_coarse = make_estimator(grid_size=1.0)
+        predictions = np.random.default_rng(0).normal(size=(30, 1))
+        uncertainties = np.full(30, 0.1)
+        fine = estimator_fine.estimate(predictions, uncertainties)
+        coarse = estimator_coarse.estimate(predictions, uncertainties)
+        assert fine.shape[0] > coarse.shape[0]
+
+    def test_degenerate_identical_predictions(self):
+        estimator = make_estimator()
+        density_map = estimator.estimate(np.full((10, 1), 3.0), np.full(10, 0.0))
+        assert np.isfinite(density_map.densities).all()
+        assert density_map.total_mass == pytest.approx(1.0, abs=1e-6)
+
+    def test_2d_estimation(self):
+        estimator = make_estimator(n_dims=2, auto_grid_bins=15)
+        rng = np.random.default_rng(1)
+        angles = rng.uniform(0, 2 * np.pi, size=200)
+        predictions = np.column_stack([0.7 * np.cos(angles), 0.7 * np.sin(angles)])
+        uncertainties = np.full(200, 0.05)
+        density_map = estimator.estimate(predictions, uncertainties)
+        assert density_map.n_dims == 2
+        # the centre of the ring should be near-empty relative to the ring itself
+        center_density = density_map.local_mean_density(np.array([0.0, 0.0]), np.array([0.1, 0.1]))
+        ring_density = density_map.local_mean_density(np.array([0.7, 0.0]), np.array([0.1, 0.1]))
+        assert ring_density > center_density

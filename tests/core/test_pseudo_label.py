@@ -1,0 +1,110 @@
+"""Tests for the pseudo-label generator (Algorithm 3)."""
+
+import numpy as np
+import pytest
+
+from repro.core import LabelDensityMap, LabelDistributionEstimator, PseudoLabelGenerator
+from repro.uncertainty import UncertaintyCalibrator
+
+
+def make_generator(n_dims=1, threshold=0.2, **kwargs):
+    calibrators = [UncertaintyCalibrator(intercept=0.05, slope=1.0) for _ in range(n_dims)]
+    estimator = LabelDistributionEstimator(calibrators, auto_grid_bins=40)
+    return PseudoLabelGenerator(estimator, threshold=threshold, **kwargs), estimator
+
+
+def dense_map_around(value, n_dims=1, spread=0.1, n_samples=200, seed=0):
+    """A density map whose mass concentrates around ``value``."""
+    rng = np.random.default_rng(seed)
+    calibrators = [UncertaintyCalibrator(intercept=0.05, slope=1.0) for _ in range(n_dims)]
+    estimator = LabelDistributionEstimator(calibrators, auto_grid_bins=40)
+    predictions = value + rng.normal(0.0, spread, size=(n_samples, n_dims))
+    uncertainties = np.full(n_samples, 0.05)
+    return estimator.estimate(predictions, uncertainties), estimator
+
+
+class TestPseudoLabelGenerator:
+    def test_pseudo_label_moves_toward_dense_region(self):
+        density_map, estimator = dense_map_around(np.array([1.0]))
+        generator = PseudoLabelGenerator(estimator, threshold=0.2)
+        prediction = np.array([1.6])
+        pseudo, credibility = generator.pseudo_label_one(
+            density_map, prediction, sigma=np.array([0.4]), uncertainty=0.5
+        )
+        assert pseudo[0] < prediction[0]
+        assert pseudo[0] > 1.0 - 0.2
+        assert credibility > 0
+
+    def test_fallback_to_prediction_when_no_local_density(self):
+        density_map, estimator = dense_map_around(np.array([0.0]))
+        generator = PseudoLabelGenerator(estimator, threshold=0.2)
+        prediction = np.array([100.0])
+        pseudo, credibility = generator.pseudo_label_one(
+            density_map, prediction, sigma=np.array([0.3]), uncertainty=0.5
+        )
+        np.testing.assert_allclose(pseudo, prediction)
+        assert credibility == 0.0
+
+    def test_credibility_grows_with_uncertainty(self):
+        density_map, estimator = dense_map_around(np.array([0.0]))
+        generator = PseudoLabelGenerator(estimator, threshold=0.2)
+        _, low = generator.pseudo_label_one(density_map, np.array([0.1]), np.array([0.3]), uncertainty=0.25)
+        _, high = generator.pseudo_label_one(density_map, np.array([0.1]), np.array([0.3]), uncertainty=1.0)
+        assert high > low
+
+    def test_argmax_mode_returns_cell_center(self):
+        density_map, estimator = dense_map_around(np.array([2.0]), spread=0.05)
+        generator = PseudoLabelGenerator(estimator, threshold=0.2, mode="argmax")
+        pseudo, _ = generator.pseudo_label_one(density_map, np.array([2.3]), np.array([0.4]), uncertainty=0.5)
+        centers = density_map.cell_centers[0]
+        assert np.min(np.abs(centers - pseudo[0])) < 1e-9
+
+    def test_batch_interface_shapes(self):
+        density_map, estimator = dense_map_around(np.array([0.5]))
+        generator = PseudoLabelGenerator(estimator, threshold=0.2)
+        predictions = np.array([[0.4], [0.9], [0.1]])
+        uncertainties = np.array([0.3, 0.5, 0.8])
+        batch = generator.pseudo_label(density_map, predictions, uncertainties)
+        assert len(batch) == 3
+        assert batch.pseudo_labels.shape == (3, 1)
+        assert batch.credibilities.shape == (3,)
+        assert batch.sigmas.shape == (3, 1)
+
+    def test_batch_length_mismatch_raises(self):
+        density_map, estimator = dense_map_around(np.array([0.5]))
+        generator = PseudoLabelGenerator(estimator, threshold=0.2)
+        with pytest.raises(ValueError):
+            generator.pseudo_label(density_map, np.zeros((2, 1)), np.zeros(3))
+
+    def test_invalid_construction_args(self):
+        _, estimator = dense_map_around(np.array([0.0]))
+        with pytest.raises(ValueError):
+            PseudoLabelGenerator(estimator, threshold=0.0)
+        with pytest.raises(ValueError):
+            PseudoLabelGenerator(estimator, threshold=0.1, locality_sigmas=0.0)
+        with pytest.raises(ValueError):
+            PseudoLabelGenerator(estimator, threshold=0.1, mode="median")
+
+    def test_uninformative_flat_map_keeps_prediction(self):
+        """With a (near) uniform prior, the pseudo-label stays close to the prediction."""
+        flat = LabelDensityMap.from_range(np.array([-2.0]), np.array([2.0]), 0.1)
+        flat.densities[:] = 1.0
+        flat.normalize()
+        _, estimator = dense_map_around(np.array([0.0]))
+        generator = PseudoLabelGenerator(estimator, threshold=0.2)
+        prediction = np.array([0.7])
+        pseudo, _ = generator.pseudo_label_one(flat, prediction, np.array([0.3]), uncertainty=0.5)
+        assert abs(pseudo[0] - prediction[0]) < 0.05
+
+    def test_2d_pseudo_label_moves_toward_ring(self):
+        rng = np.random.default_rng(0)
+        angles = rng.uniform(0, 2 * np.pi, size=300)
+        ring = np.column_stack([0.7 * np.cos(angles), 0.7 * np.sin(angles)])
+        calibrators = [UncertaintyCalibrator(0.05, 1.0), UncertaintyCalibrator(0.05, 1.0)]
+        estimator = LabelDistributionEstimator(calibrators, auto_grid_bins=30)
+        density_map = estimator.estimate(ring, np.full(300, 0.05))
+        generator = PseudoLabelGenerator(estimator, threshold=0.2)
+        # a prediction with the right direction but too-small magnitude
+        prediction = np.array([0.3, 0.0])
+        pseudo, _ = generator.pseudo_label_one(density_map, prediction, np.array([0.25, 0.25]), uncertainty=0.5)
+        assert np.linalg.norm(pseudo) > np.linalg.norm(prediction)

@@ -1,0 +1,86 @@
+"""Tests for the data preprocessing helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import Standardizer, corrupt_features
+
+
+class TestStandardizer:
+    def test_tabular_statistics(self):
+        rng = np.random.default_rng(0)
+        data = rng.normal(loc=3.0, scale=2.0, size=(500, 4))
+        scaler = Standardizer().fit(data)
+        transformed = scaler.transform(data)
+        np.testing.assert_allclose(transformed.mean(axis=0), 0.0, atol=1e-10)
+        np.testing.assert_allclose(transformed.std(axis=0), 1.0, atol=1e-10)
+
+    def test_channelwise_statistics_for_windows(self):
+        rng = np.random.default_rng(0)
+        data = rng.normal(size=(100, 3, 20)) * np.array([1.0, 5.0, 0.1])[None, :, None]
+        scaler = Standardizer().fit(data)
+        transformed = scaler.transform(data)
+        stds = transformed.std(axis=(0, 2))
+        np.testing.assert_allclose(stds, 1.0, atol=1e-8)
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            Standardizer().transform(np.zeros((2, 2)))
+
+    def test_constant_feature_does_not_divide_by_zero(self):
+        data = np.column_stack([np.ones(50), np.arange(50.0)])
+        transformed = Standardizer().fit_transform(data)
+        assert np.all(np.isfinite(transformed))
+
+    def test_fit_requires_2d(self):
+        with pytest.raises(ValueError):
+            Standardizer().fit(np.zeros(5))
+
+    def test_same_transform_applied_to_new_data(self):
+        rng = np.random.default_rng(1)
+        train = rng.normal(loc=10.0, size=(100, 2))
+        scaler = Standardizer().fit(train)
+        other = scaler.transform(np.full((5, 2), 10.0))
+        np.testing.assert_allclose(other, scaler.transform(np.full((5, 2), 10.0)))
+
+
+class TestCorruptFeatures:
+    def test_only_masked_rows_change(self):
+        rng = np.random.default_rng(0)
+        features = rng.normal(size=(20, 4))
+        mask = np.zeros(20, dtype=bool)
+        mask[:5] = True
+        corrupted = corrupt_features(features, mask, rng)
+        np.testing.assert_array_equal(corrupted[~mask], features[~mask])
+        assert not np.allclose(corrupted[mask], features[mask])
+
+    def test_only_selected_columns_change(self):
+        rng = np.random.default_rng(0)
+        features = rng.normal(size=(10, 4))
+        mask = np.ones(10, dtype=bool)
+        corrupted = corrupt_features(features, mask, rng, feature_indices=[1])
+        np.testing.assert_array_equal(corrupted[:, [0, 2, 3]], features[:, [0, 2, 3]])
+        assert not np.allclose(corrupted[:, 1], features[:, 1])
+
+    def test_no_mask_returns_copy(self):
+        features = np.arange(12.0).reshape(4, 3)
+        corrupted = corrupt_features(features, np.zeros(4, dtype=bool), np.random.default_rng(0))
+        np.testing.assert_array_equal(corrupted, features)
+        corrupted[0, 0] = 99.0
+        assert features[0, 0] == 0.0
+
+    def test_mask_shape_validated(self):
+        with pytest.raises(ValueError):
+            corrupt_features(np.zeros((4, 2)), np.zeros(3, dtype=bool), np.random.default_rng(0))
+
+    @given(st.integers(min_value=2, max_value=50), st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_original_never_mutated(self, n, seed):
+        rng = np.random.default_rng(seed)
+        features = rng.normal(size=(n, 3))
+        original = features.copy()
+        mask = rng.random(n) < 0.5
+        corrupt_features(features, mask, rng)
+        np.testing.assert_array_equal(features, original)

@@ -1,0 +1,209 @@
+"""Tests for the four synthetic task generators and the shared structures."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    CrowdGenerator,
+    CrowdSceneProfile,
+    HousingGenerator,
+    PdrGenerator,
+    TaxiGenerator,
+    make_crowd_task,
+    make_housing_task,
+    make_pdr_task,
+    make_taxi_task,
+    merge_scenarios,
+    split_dataset_by_fraction,
+    subsample_scenario,
+)
+from repro.nn import ArrayDataset
+
+
+@pytest.fixture(scope="module")
+def pdr_task():
+    return make_pdr_task(
+        n_seen_users=2, n_unseen_users=1, n_source_trajectories=1,
+        n_target_trajectories=2, steps_per_trajectory=30, window=12, seed=0,
+    )
+
+
+@pytest.fixture(scope="module")
+def crowd_task():
+    return make_crowd_task(n_source_images=40, n_target_images_per_scene=16, image_size=10, seed=0)
+
+
+@pytest.fixture(scope="module")
+def housing_task():
+    return make_housing_task(n_source=150, n_target=80, seed=0)
+
+
+@pytest.fixture(scope="module")
+def taxi_task():
+    return make_taxi_task(n_source=150, n_target=80, seed=0)
+
+
+class TestPdrTask:
+    def test_structure(self, pdr_task):
+        assert pdr_task.label_dim == 2
+        assert pdr_task.n_scenarios == 3
+        assert pdr_task.source_train.inputs.shape[1:] == (6, 12)
+        assert pdr_task.source_calibration.inputs.shape[1:] == (6, 12)
+
+    def test_groups(self, pdr_task):
+        groups = {s.metadata["group"] for s in pdr_task.scenarios}
+        assert groups == {"seen", "unseen"}
+
+    def test_labels_form_ring(self, pdr_task):
+        scenario = pdr_task.scenarios[0]
+        strides = np.linalg.norm(scenario.adaptation.targets, axis=1)
+        profile = scenario.metadata["profile"]
+        assert abs(strides.mean() - profile["stride_mean"]) < 0.1
+        assert strides.std() < 0.2
+
+    def test_trajectory_ids_align(self, pdr_task):
+        scenario = pdr_task.scenarios[0]
+        assert len(scenario.metadata["trajectory_ids"]) == len(scenario.adaptation)
+        assert len(scenario.metadata["test_trajectory_ids"]) == len(scenario.test)
+
+    def test_deterministic_by_seed(self):
+        a = make_pdr_task(n_seen_users=1, n_unseen_users=1, n_source_trajectories=1,
+                          n_target_trajectories=2, steps_per_trajectory=20, window=10, seed=3)
+        b = make_pdr_task(n_seen_users=1, n_unseen_users=1, n_source_trajectories=1,
+                          n_target_trajectories=2, steps_per_trajectory=20, window=10, seed=3)
+        np.testing.assert_array_equal(a.source_train.inputs, b.source_train.inputs)
+
+    def test_generator_trajectory_positions_consistent(self):
+        generator = PdrGenerator(window=10, seed=0)
+        profile = generator.sample_profile("u", seen=True)
+        trajectory = generator.simulate_trajectory(profile, 25)
+        assert trajectory.positions.shape == (26, 2)
+        np.testing.assert_allclose(
+            trajectory.positions[-1], trajectory.displacements.sum(axis=0), atol=1e-9
+        )
+
+    def test_invalid_steps(self):
+        generator = PdrGenerator(seed=0)
+        with pytest.raises(ValueError):
+            generator.simulate_trajectory(generator.sample_profile("u", True), 0)
+
+
+class TestCrowdTask:
+    def test_structure(self, crowd_task):
+        assert crowd_task.n_scenarios == 3
+        assert crowd_task.source_train.inputs.shape[1:] == (1, 10, 10)
+        assert crowd_task.label_dim == 1
+
+    def test_counts_are_non_negative_integers(self, crowd_task):
+        for scenario in crowd_task.scenarios:
+            counts = scenario.adaptation.targets
+            assert np.all(counts >= 0)
+            np.testing.assert_allclose(counts, np.round(counts))
+
+    def test_scene_count_means_ordered(self, crowd_task):
+        means = [s.adaptation.targets.mean() for s in crowd_task.scenarios]
+        assert means[0] < means[1] < means[2]
+
+    def test_image_mass_tracks_count(self):
+        generator = CrowdGenerator(image_size=12, seed=0)
+        profile = CrowdSceneProfile(
+            name="x", count_mean=10, count_std=1, camera_gain=1.0, background=0.1,
+            cluster_spread=0.15, noise_level=0.01, hard_fraction=0.0,
+        )
+        sparse = generator.render_image(3, profile)
+        dense = generator.render_image(60, profile)
+        assert dense.sum() > sparse.sum()
+
+    def test_hard_mask_stored(self, crowd_task):
+        for scenario in crowd_task.scenarios:
+            assert len(scenario.metadata["hard_mask"]) == len(scenario.adaptation)
+
+    def test_invalid_image_size(self):
+        with pytest.raises(ValueError):
+            CrowdGenerator(image_size=4)
+
+
+class TestHousingTask:
+    def test_structure(self, housing_task):
+        assert housing_task.n_scenarios == 1
+        assert housing_task.source_train.inputs.shape[1] == 8
+        assert housing_task.scenarios[0].name == "coastal"
+
+    def test_prices_positive(self, housing_task):
+        assert np.all(housing_task.source_train.targets > 0)
+        assert np.all(housing_task.scenarios[0].adaptation.targets > 0)
+
+    def test_inputs_standardized_with_source_stats(self, housing_task):
+        source = housing_task.source_train.inputs
+        assert np.all(np.abs(source.mean(axis=0)) < 0.5)
+        assert np.all(source.std(axis=0) < 2.0)
+
+    def test_coastal_prices_higher_on_average(self):
+        generator = HousingGenerator(seed=0)
+        coastal, _ = generator.sample_dataset(400, coastal=True, hard_fraction=0.0)
+        inland, _ = generator.sample_dataset(400, coastal=False, hard_fraction=0.0)
+        assert coastal.targets.mean() > inland.targets.mean()
+
+    def test_hard_mask_metadata(self, housing_task):
+        scenario = housing_task.scenarios[0]
+        assert scenario.metadata["hard_mask"].dtype == bool
+        assert len(scenario.metadata["hard_mask"]) == len(scenario.adaptation)
+
+
+class TestTaxiTask:
+    def test_structure(self, taxi_task):
+        assert taxi_task.n_scenarios == 1
+        assert taxi_task.source_train.inputs.shape[1] == 7
+        assert taxi_task.scenarios[0].name == "manhattan"
+
+    def test_durations_positive(self, taxi_task):
+        assert np.all(taxi_task.source_train.targets > 0)
+
+    def test_manhattan_box_membership(self):
+        generator = TaxiGenerator(seed=0)
+        inside = generator.in_manhattan(np.array([0.5]), np.array([0.5]))
+        outside = generator.in_manhattan(np.array([0.1]), np.array([0.1]))
+        assert inside[0] and not outside[0]
+
+    def test_manhattan_trips_slower_per_km(self):
+        generator = TaxiGenerator(seed=0)
+        manhattan, _ = generator.sample_dataset(300, manhattan=True, hard_fraction=0.0)
+        other, _ = generator.sample_dataset(300, manhattan=False, hard_fraction=0.0)
+        manhattan_pace = (manhattan.targets.ravel() / np.maximum(0.3, generatorless_distance(manhattan))).mean()
+        other_pace = (other.targets.ravel() / np.maximum(0.3, generatorless_distance(other))).mean()
+        assert manhattan_pace > other_pace
+
+
+def generatorless_distance(dataset: ArrayDataset) -> np.ndarray:
+    """Trip distance column of a raw (unstandardized) taxi dataset."""
+    return dataset.inputs[:, 0]
+
+
+class TestSharedStructures:
+    def test_scenario_lookup_and_pooled(self, housing_task):
+        scenario = housing_task.scenario("coastal")
+        pooled = scenario.pooled()
+        assert len(pooled) == scenario.n_adaptation + scenario.n_test
+        with pytest.raises(KeyError):
+            housing_task.scenario("missing")
+
+    def test_merge_scenarios(self, crowd_task):
+        merged = merge_scenarios(crowd_task.scenarios, name="all")
+        assert merged.n_adaptation == sum(s.n_adaptation for s in crowd_task.scenarios)
+        assert len(merged.metadata["origin"]) == merged.n_adaptation
+        with pytest.raises(ValueError):
+            merge_scenarios([])
+
+    def test_split_dataset_by_fraction(self):
+        dataset = ArrayDataset(np.arange(50)[:, None], np.arange(50))
+        adapt, test = split_dataset_by_fraction(dataset, 0.8, np.random.default_rng(0))
+        assert len(adapt) == 40 and len(test) == 10
+        with pytest.raises(ValueError):
+            split_dataset_by_fraction(dataset, 1.5)
+
+    def test_subsample_scenario(self, crowd_task):
+        scenario = crowd_task.scenarios[0]
+        small = subsample_scenario(scenario, n_adaptation=5, n_test=3, rng=np.random.default_rng(0))
+        assert small.n_adaptation == 5
+        assert small.n_test == 3
+        assert small.name == scenario.name

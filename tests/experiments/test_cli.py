@@ -1,0 +1,34 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.experiments import list_experiments
+
+
+class TestCli:
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        for experiment_id in list_experiments():
+            assert experiment_id in output
+
+    def test_run_command_executes_experiment(self, capsys):
+        assert main(["run", "fig2_label_distributions", "--scale", "tiny"]) == 0
+        output = capsys.readouterr().out
+        assert "fig2_label_distributions" in output
+        assert "stride_mean" in output
+
+    def test_run_unknown_experiment_raises(self):
+        with pytest.raises(ValueError):
+            main(["run", "fig99_unknown", "--scale", "tiny"])
+
+    def test_parser_requires_command(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args([])
+
+    def test_parser_rejects_unknown_scale(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["run", "fig2_label_distributions", "--scale", "huge"])

@@ -1,0 +1,151 @@
+"""Tests for the evaluation metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics import (
+    empirical_cdf,
+    error_reduction,
+    format_percent,
+    format_table,
+    fraction_above_threshold,
+    mae,
+    mse,
+    pearson_correlation,
+    per_trajectory_rte,
+    relative_trajectory_error,
+    rmse,
+    rmsle,
+    step_error,
+    trajectory_length,
+)
+
+
+class TestRegressionMetrics:
+    def test_mse_known_value(self):
+        assert mse(np.array([1.0, 3.0]), np.array([0.0, 1.0])) == pytest.approx(2.5)
+
+    def test_rmse_is_sqrt_of_mse(self):
+        predictions = np.array([2.0, 4.0])
+        targets = np.array([0.0, 0.0])
+        assert rmse(predictions, targets) == pytest.approx(np.sqrt(mse(predictions, targets)))
+
+    def test_mae_known_value(self):
+        assert mae(np.array([1.0, -3.0]), np.array([0.0, 0.0])) == pytest.approx(2.0)
+
+    def test_rmsle_known_value(self):
+        predictions = np.array([np.e - 1.0])
+        targets = np.array([0.0])
+        assert rmsle(predictions, targets) == pytest.approx(1.0)
+
+    def test_rmsle_clips_negative_predictions(self):
+        assert np.isfinite(rmsle(np.array([-5.0]), np.array([10.0])))
+
+    def test_rmsle_rejects_negative_targets(self):
+        with pytest.raises(ValueError):
+            rmsle(np.array([1.0]), np.array([-1.0]))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            mse(np.zeros(3), np.zeros(4))
+
+    def test_empty_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            mae(np.array([]), np.array([]))
+
+    def test_error_reduction(self):
+        assert error_reduction(10.0, 8.0) == pytest.approx(0.2)
+        assert error_reduction(0.0, 5.0) == 0.0
+        assert error_reduction(10.0, 12.0) == pytest.approx(-0.2)
+
+    @given(
+        st.integers(min_value=1, max_value=50),
+        st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_metric_properties(self, n, seed):
+        rng = np.random.default_rng(seed)
+        predictions = rng.normal(size=n)
+        targets = rng.normal(size=n)
+        assert mse(predictions, targets) >= 0
+        assert mae(predictions, targets) >= 0
+        assert mse(targets, targets) == 0
+        assert mae(predictions, targets) <= rmse(predictions, targets) + 1e-12
+
+
+class TestTrajectoryMetrics:
+    def test_step_error_known_value(self):
+        predictions = np.array([[1.0, 0.0], [0.0, 1.0]])
+        targets = np.array([[0.0, 0.0], [0.0, 0.0]])
+        assert step_error(predictions, targets) == pytest.approx(1.0)
+
+    def test_rte_uses_endpoints(self):
+        predictions = np.array([[1.0, 0.0], [-1.0, 0.0]])
+        targets = np.array([[0.0, 0.0], [0.0, 0.0]])
+        # per-step errors cancel at the trajectory end point
+        assert relative_trajectory_error(predictions, targets) == pytest.approx(0.0)
+        assert step_error(predictions, targets) == pytest.approx(1.0)
+
+    def test_trajectory_length(self):
+        targets = np.array([[3.0, 4.0], [3.0, 4.0]])
+        assert trajectory_length(targets) == pytest.approx(10.0)
+
+    def test_per_trajectory_rte(self):
+        predictions = np.array([[1.0, 0.0], [1.0, 0.0], [0.0, 2.0]])
+        targets = np.zeros((3, 2))
+        ids = np.array([0, 0, 1])
+        errors = per_trajectory_rte(predictions, targets, ids)
+        assert errors[0] == pytest.approx(2.0)
+        assert errors[1] == pytest.approx(2.0)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            step_error(np.zeros((3, 3)), np.zeros((3, 3)))
+        with pytest.raises(ValueError):
+            per_trajectory_rte(np.zeros((3, 2)), np.zeros((3, 2)), np.zeros(2))
+
+
+class TestStats:
+    def test_pearson_perfect_correlation(self):
+        x = np.arange(10.0)
+        assert pearson_correlation(x, 2 * x + 1) == pytest.approx(1.0)
+        assert pearson_correlation(x, -x) == pytest.approx(-1.0)
+
+    def test_pearson_constant_input_returns_zero(self):
+        assert pearson_correlation(np.ones(5), np.arange(5.0)) == 0.0
+
+    def test_pearson_validation(self):
+        with pytest.raises(ValueError):
+            pearson_correlation(np.arange(3.0), np.arange(4.0))
+        with pytest.raises(ValueError):
+            pearson_correlation(np.array([1.0]), np.array([2.0]))
+
+    def test_empirical_cdf(self):
+        values = np.array([1.0, 2.0, 3.0, 4.0])
+        grid = np.array([0.0, 2.5, 5.0])
+        np.testing.assert_allclose(empirical_cdf(values, grid), [0.0, 0.5, 1.0])
+
+    def test_fraction_above_threshold(self):
+        values = np.array([0.1, 0.5, 1.0, 2.0])
+        np.testing.assert_allclose(
+            fraction_above_threshold(values, np.array([0.0, 1.0, 3.0])), [1.0, 0.5, 0.0]
+        )
+
+
+class TestReport:
+    def test_format_percent(self):
+        assert format_percent(0.136) == "13.6%"
+        assert format_percent(0.5, digits=0) == "50%"
+
+    def test_format_table_alignment(self):
+        table = format_table(["name", "value"], [["a", 1.0], ["long_name", 2.5]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("name")
+        assert all(len(line) == len(lines[0]) for line in lines[1:])
+
+    def test_format_table_row_length_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["only one"]])

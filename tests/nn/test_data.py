@@ -1,0 +1,95 @@
+"""Tests for ArrayDataset, DataLoader and the train/test split."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.nn as nn
+
+
+class TestArrayDataset:
+    def test_targets_promoted_to_2d(self):
+        dataset = nn.ArrayDataset(np.zeros((5, 3)), np.zeros(5))
+        assert dataset.targets.shape == (5, 1)
+        assert dataset.label_dim == 1
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            nn.ArrayDataset(np.zeros((5, 3)), np.zeros(4))
+
+    def test_weights_validation(self):
+        with pytest.raises(ValueError):
+            nn.ArrayDataset(np.zeros((5, 3)), np.zeros(5), np.zeros((5, 1)))
+
+    def test_subset(self):
+        dataset = nn.ArrayDataset(np.arange(10)[:, None], np.arange(10), np.arange(10.0))
+        subset = dataset.subset(np.array([1, 3]))
+        np.testing.assert_array_equal(subset.inputs.ravel(), [1, 3])
+        np.testing.assert_array_equal(subset.weights, [1.0, 3.0])
+
+    def test_with_weights(self):
+        dataset = nn.ArrayDataset(np.zeros((3, 2)), np.zeros(3))
+        weighted = dataset.with_weights(np.array([1.0, 2.0, 3.0]))
+        assert weighted.weights is not None
+        assert dataset.weights is None
+
+
+class TestDataLoader:
+    def test_batch_count(self):
+        dataset = nn.ArrayDataset(np.zeros((10, 2)), np.zeros(10))
+        loader = nn.DataLoader(dataset, batch_size=3, shuffle=False)
+        assert len(loader) == 4
+        batches = list(loader)
+        assert len(batches) == 4
+        assert batches[-1][0].shape[0] == 1
+
+    def test_covers_all_samples_once(self):
+        dataset = nn.ArrayDataset(np.arange(20)[:, None], np.arange(20))
+        loader = nn.DataLoader(dataset, batch_size=6, shuffle=True, rng=np.random.default_rng(0))
+        seen = np.concatenate([inputs.ravel() for inputs, _, _ in loader])
+        assert sorted(seen.tolist()) == list(range(20))
+
+    def test_no_shuffle_preserves_order(self):
+        dataset = nn.ArrayDataset(np.arange(6)[:, None], np.arange(6))
+        loader = nn.DataLoader(dataset, batch_size=2, shuffle=False)
+        first_batch = next(iter(loader))[0]
+        np.testing.assert_array_equal(first_batch.ravel(), [0, 1])
+
+    def test_weights_passed_through(self):
+        dataset = nn.ArrayDataset(np.zeros((4, 1)), np.zeros(4), np.array([1.0, 2.0, 3.0, 4.0]))
+        loader = nn.DataLoader(dataset, batch_size=2, shuffle=False)
+        _, _, weights = next(iter(loader))
+        np.testing.assert_array_equal(weights, [1.0, 2.0])
+
+    def test_invalid_batch_size(self):
+        dataset = nn.ArrayDataset(np.zeros((4, 1)), np.zeros(4))
+        with pytest.raises(ValueError):
+            nn.DataLoader(dataset, batch_size=0)
+
+
+class TestTrainTestSplit:
+    def test_fraction_respected(self):
+        dataset = nn.ArrayDataset(np.arange(100)[:, None], np.arange(100))
+        train, test = nn.train_test_split(dataset, test_fraction=0.2, rng=np.random.default_rng(0))
+        assert len(test) == 20
+        assert len(train) == 80
+
+    def test_disjoint_and_complete(self):
+        dataset = nn.ArrayDataset(np.arange(50)[:, None], np.arange(50))
+        train, test = nn.train_test_split(dataset, test_fraction=0.3, rng=np.random.default_rng(1))
+        combined = sorted(np.concatenate([train.inputs, test.inputs]).ravel().tolist())
+        assert combined == list(range(50))
+
+    def test_invalid_fraction(self):
+        dataset = nn.ArrayDataset(np.zeros((5, 1)), np.zeros(5))
+        with pytest.raises(ValueError):
+            nn.train_test_split(dataset, test_fraction=0.0)
+
+    @given(st.integers(min_value=5, max_value=200), st.floats(min_value=0.05, max_value=0.9))
+    @settings(max_examples=25, deadline=None)
+    def test_split_sizes_property(self, n, fraction):
+        dataset = nn.ArrayDataset(np.zeros((n, 1)), np.zeros(n))
+        train, test = nn.train_test_split(dataset, test_fraction=fraction)
+        assert len(train) + len(test) == n
+        assert len(test) >= 1

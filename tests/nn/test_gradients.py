@@ -1,0 +1,152 @@
+"""Numerical gradient checks for every differentiable layer.
+
+These are the backbone of the substrate's correctness: each test compares the
+analytic backward pass against central finite differences on a small random
+problem.
+"""
+
+import numpy as np
+import pytest
+
+import repro.nn as nn
+
+EPS = 1e-6
+TOLERANCE = 1e-5
+
+
+def numeric_gradient_check(model, x, y, max_entries_per_param=6):
+    """Return the max abs difference between analytic and numeric gradients.
+
+    Parameters are nudged away from their initial values first: freshly
+    initialized zero biases can leave ReLU pre-activations exactly at the kink,
+    where finite differences and the analytic sub-gradient legitimately differ.
+    """
+    perturb_rng = np.random.default_rng(123)
+    for param in model.parameters():
+        param.data += perturb_rng.normal(0.0, 0.05, size=param.data.shape)
+    loss = nn.MSELoss()
+    model.zero_grad()
+    predictions = model.forward(x)
+    _, grad = loss(predictions, y)
+    model.backward(grad)
+
+    def compute_loss():
+        return loss(model.forward(x), y)[0]
+
+    max_error = 0.0
+    for param in model.parameters():
+        flat = param.data.ravel()
+        grad_flat = param.grad.ravel()
+        step = max(1, flat.size // max_entries_per_param)
+        for index in range(0, flat.size, step):
+            original = flat[index]
+            flat[index] = original + EPS
+            loss_plus = compute_loss()
+            flat[index] = original - EPS
+            loss_minus = compute_loss()
+            flat[index] = original
+            numeric = (loss_plus - loss_minus) / (2 * EPS)
+            max_error = max(max_error, abs(numeric - grad_flat[index]))
+    return max_error
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(7)
+
+
+class TestDenseGradients:
+    def test_linear(self, rng):
+        model = nn.Sequential(nn.Linear(5, 3, rng=rng))
+        err = numeric_gradient_check(model, rng.normal(size=(8, 5)), rng.normal(size=(8, 3)))
+        assert err < TOLERANCE
+
+    def test_mlp_with_activations(self, rng):
+        model = nn.Sequential(
+            nn.Linear(4, 8, rng=rng), nn.ReLU(), nn.Linear(8, 6, rng=rng), nn.Tanh(),
+            nn.Linear(6, 5, rng=rng), nn.Sigmoid(), nn.Linear(5, 2, rng=rng),
+        )
+        err = numeric_gradient_check(model, rng.normal(size=(7, 4)), rng.normal(size=(7, 2)))
+        assert err < TOLERANCE
+
+    def test_leaky_relu_and_softplus(self, rng):
+        model = nn.Sequential(
+            nn.Linear(4, 6, rng=rng), nn.LeakyReLU(0.1), nn.Linear(6, 4, rng=rng), nn.Softplus(),
+            nn.Linear(4, 1, rng=rng),
+        )
+        err = numeric_gradient_check(model, rng.normal(size=(5, 4)), rng.normal(size=(5, 1)))
+        assert err < TOLERANCE
+
+    def test_batchnorm_training_mode(self, rng):
+        model = nn.Sequential(nn.Linear(4, 6, rng=rng), nn.BatchNorm1d(6), nn.Linear(6, 2, rng=rng))
+        model.train()
+        err = numeric_gradient_check(model, rng.normal(size=(10, 4)), rng.normal(size=(10, 2)))
+        assert err < 1e-4
+
+    def test_layernorm(self, rng):
+        model = nn.Sequential(nn.Linear(4, 6, rng=rng), nn.LayerNorm(6), nn.Linear(6, 2, rng=rng))
+        err = numeric_gradient_check(model, rng.normal(size=(6, 4)), rng.normal(size=(6, 2)))
+        assert err < 1e-4
+
+
+class TestConvGradients:
+    def test_conv1d(self, rng):
+        model = nn.RegressionModel(
+            nn.Sequential(nn.Conv1d(2, 3, kernel_size=3, rng=rng), nn.ReLU(), nn.GlobalAveragePool1d()),
+            nn.Linear(3, 2, rng=rng),
+        )
+        err = numeric_gradient_check(model, rng.normal(size=(4, 2, 10)), rng.normal(size=(4, 2)))
+        assert err < TOLERANCE
+
+    def test_conv1d_dilated(self, rng):
+        model = nn.RegressionModel(
+            nn.Sequential(nn.Conv1d(2, 3, kernel_size=3, dilation=2, rng=rng), nn.GlobalAveragePool1d()),
+            nn.Linear(3, 1, rng=rng),
+        )
+        err = numeric_gradient_check(model, rng.normal(size=(3, 2, 12)), rng.normal(size=(3, 1)))
+        assert err < TOLERANCE
+
+    def test_temporal_block(self, rng):
+        model = nn.RegressionModel(
+            nn.Sequential(nn.TemporalBlock(2, 4, kernel_size=3, dilation=1, dropout=0.0, rng=rng),
+                          nn.GlobalAveragePool1d()),
+            nn.Linear(4, 2, rng=rng),
+        )
+        err = numeric_gradient_check(model, rng.normal(size=(3, 2, 10)), rng.normal(size=(3, 2)))
+        assert err < TOLERANCE
+
+    def test_conv2d_with_pooling(self, rng):
+        model = nn.RegressionModel(
+            nn.Sequential(
+                nn.Conv2d(1, 2, kernel_size=3, padding=1, rng=rng),
+                nn.ReLU(),
+                nn.MaxPool2d(2),
+                nn.Conv2d(2, 3, kernel_size=3, padding=1, rng=rng),
+                nn.GlobalAveragePool2d(),
+            ),
+            nn.Linear(3, 1, rng=rng),
+        )
+        err = numeric_gradient_check(model, rng.normal(size=(3, 1, 8, 8)), rng.normal(size=(3, 1)))
+        assert err < TOLERANCE
+
+    def test_conv2d_strided_flatten(self, rng):
+        model = nn.RegressionModel(
+            nn.Sequential(nn.Conv2d(1, 2, kernel_size=3, stride=2, rng=rng), nn.Flatten()),
+            nn.Linear(2 * 3 * 3, 1, rng=rng),
+        )
+        err = numeric_gradient_check(model, rng.normal(size=(2, 1, 7, 7)), rng.normal(size=(2, 1)))
+        assert err < TOLERANCE
+
+    def test_mcnn_builder(self, rng):
+        model = nn.build_mcnn_counter(
+            image_size=8, column_channels=(2, 2), column_kernels=(3, 5), dropout=0.0, seed=11
+        )
+        err = numeric_gradient_check(model, rng.normal(size=(3, 1, 8, 8)), rng.normal(size=(3, 1)))
+        assert err < TOLERANCE
+
+    def test_tcn_builder(self, rng):
+        model = nn.build_tcn_regressor(
+            in_channels=3, window_length=12, output_dim=2, channel_sizes=(4,), dropout=0.0, seed=5
+        )
+        err = numeric_gradient_check(model, rng.normal(size=(3, 3, 12)), rng.normal(size=(3, 2)))
+        assert err < TOLERANCE

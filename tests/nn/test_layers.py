@@ -1,0 +1,222 @@
+"""Behavioural tests for individual layers (shapes, modes, edge cases)."""
+
+import numpy as np
+import pytest
+
+import repro.nn as nn
+
+
+class TestLinear:
+    def test_forward_shape(self):
+        layer = nn.Linear(4, 3)
+        assert layer.forward(np.zeros((5, 4))).shape == (5, 3)
+
+    def test_1d_input_is_promoted(self):
+        layer = nn.Linear(4, 3)
+        assert layer.forward(np.zeros(4)).shape == (1, 3)
+
+    def test_wrong_feature_dim_raises(self):
+        layer = nn.Linear(4, 3)
+        with pytest.raises(ValueError, match="features"):
+            layer.forward(np.zeros((2, 5)))
+
+    def test_invalid_sizes_raise(self):
+        with pytest.raises(ValueError):
+            nn.Linear(0, 3)
+
+    def test_no_bias(self):
+        layer = nn.Linear(4, 3, bias=False)
+        assert layer.bias is None
+        assert len([p for p in layer.parameters()]) == 1
+
+    def test_backward_before_forward_raises(self):
+        layer = nn.Linear(2, 2)
+        with pytest.raises(RuntimeError):
+            layer.backward(np.zeros((1, 2)))
+
+    def test_unknown_init_raises(self):
+        with pytest.raises(ValueError, match="init"):
+            nn.Linear(2, 2, init="bogus")
+
+    def test_xavier_init_accepted(self):
+        layer = nn.Linear(4, 4, init="xavier")
+        assert layer.weight.data.shape == (4, 4)
+
+
+class TestActivations:
+    def test_relu_values(self):
+        layer = nn.ReLU()
+        out = layer.forward(np.array([[-1.0, 0.0, 2.0]]))
+        np.testing.assert_allclose(out, [[0.0, 0.0, 2.0]])
+
+    def test_leaky_relu_negative_slope(self):
+        layer = nn.LeakyReLU(0.1)
+        out = layer.forward(np.array([[-2.0, 3.0]]))
+        np.testing.assert_allclose(out, [[-0.2, 3.0]])
+
+    def test_tanh_range(self):
+        layer = nn.Tanh()
+        out = layer.forward(np.linspace(-10, 10, 7)[None, :])
+        assert np.all(np.abs(out) <= 1.0)
+
+    def test_sigmoid_extremes_are_stable(self):
+        layer = nn.Sigmoid()
+        out = layer.forward(np.array([[-1000.0, 1000.0]]))
+        assert np.all(np.isfinite(out))
+        assert out[0, 0] < 1e-6 and out[0, 1] > 1 - 1e-6
+
+    def test_softplus_positive(self):
+        layer = nn.Softplus()
+        out = layer.forward(np.array([[-5.0, 0.0, 5.0]]))
+        assert np.all(out > 0)
+
+    def test_identity_passthrough(self):
+        layer = nn.Identity()
+        x = np.arange(6.0).reshape(2, 3)
+        np.testing.assert_array_equal(layer.forward(x), x)
+        np.testing.assert_array_equal(layer.backward(x), x)
+
+    def test_backward_before_forward_raises(self):
+        for layer in (nn.ReLU(), nn.Tanh(), nn.Sigmoid(), nn.Softplus(), nn.LeakyReLU()):
+            with pytest.raises(RuntimeError):
+                layer.backward(np.zeros((1, 1)))
+
+
+class TestDropout:
+    def test_invalid_rate_raises(self):
+        with pytest.raises(ValueError):
+            nn.Dropout(1.0)
+        with pytest.raises(ValueError):
+            nn.Dropout(-0.1)
+
+    def test_eval_mode_is_identity(self):
+        layer = nn.Dropout(0.5, rng=np.random.default_rng(0))
+        layer.training = False
+        x = np.ones((4, 10))
+        np.testing.assert_array_equal(layer.forward(x), x)
+
+    def test_training_mode_zeroes_and_scales(self):
+        layer = nn.Dropout(0.5, rng=np.random.default_rng(0))
+        layer.training = True
+        x = np.ones((2000, 10))
+        out = layer.forward(x)
+        zero_fraction = (out == 0).mean()
+        assert 0.4 < zero_fraction < 0.6
+        # inverted dropout keeps the expectation roughly unchanged
+        assert abs(out.mean() - 1.0) < 0.05
+
+    def test_mc_mode_keeps_dropout_in_eval(self):
+        layer = nn.Dropout(0.5, rng=np.random.default_rng(0))
+        layer.training = False
+        layer.enable_mc(True)
+        out = layer.forward(np.ones((100, 10)))
+        assert (out == 0).any()
+        layer.enable_mc(False)
+        np.testing.assert_array_equal(layer.forward(np.ones((5, 5))), np.ones((5, 5)))
+
+    def test_backward_without_mask_passthrough(self):
+        layer = nn.Dropout(0.5)
+        layer.training = False
+        layer.forward(np.ones((2, 2)))
+        grad = layer.backward(np.ones((2, 2)))
+        np.testing.assert_array_equal(grad, np.ones((2, 2)))
+
+
+class TestBatchNorm:
+    def test_training_normalizes_batch(self):
+        layer = nn.BatchNorm1d(3)
+        layer.training = True
+        x = np.random.default_rng(0).normal(5.0, 3.0, size=(200, 3))
+        out = layer.forward(x)
+        np.testing.assert_allclose(out.mean(axis=0), 0.0, atol=1e-7)
+        np.testing.assert_allclose(out.std(axis=0), 1.0, atol=1e-2)
+
+    def test_eval_uses_running_stats(self):
+        layer = nn.BatchNorm1d(2, momentum=0.5)
+        layer.training = True
+        rng = np.random.default_rng(1)
+        for _ in range(50):
+            layer.forward(rng.normal(2.0, 1.0, size=(64, 2)))
+        layer.training = False
+        out = layer.forward(np.full((4, 2), 2.0))
+        assert np.all(np.abs(out) < 0.5)
+
+    def test_wrong_shape_raises(self):
+        layer = nn.BatchNorm1d(3)
+        with pytest.raises(ValueError):
+            layer.forward(np.zeros((2, 4)))
+
+
+class TestPoolingAndReshaping:
+    def test_maxpool_output(self):
+        layer = nn.MaxPool2d(2)
+        x = np.arange(16.0).reshape(1, 1, 4, 4)
+        out = layer.forward(x)
+        np.testing.assert_array_equal(out[0, 0], [[5, 7], [13, 15]])
+
+    def test_maxpool_invalid_size(self):
+        with pytest.raises(ValueError):
+            nn.MaxPool2d(0)
+
+    def test_global_average_pool_2d(self):
+        layer = nn.GlobalAveragePool2d()
+        x = np.ones((2, 3, 4, 4)) * 2.0
+        out = layer.forward(x)
+        assert out.shape == (2, 3)
+        np.testing.assert_allclose(out, 2.0)
+
+    def test_global_average_pool_1d(self):
+        layer = nn.GlobalAveragePool1d()
+        x = np.ones((2, 3, 5)) * 3.0
+        np.testing.assert_allclose(layer.forward(x), 3.0)
+
+    def test_flatten_roundtrip(self):
+        layer = nn.Flatten()
+        x = np.arange(24.0).reshape(2, 3, 4)
+        out = layer.forward(x)
+        assert out.shape == (2, 12)
+        back = layer.backward(out)
+        assert back.shape == x.shape
+
+
+class TestConvValidation:
+    def test_conv1d_bad_kernel(self):
+        with pytest.raises(ValueError):
+            nn.Conv1d(1, 1, kernel_size=0)
+
+    def test_conv1d_wrong_channels(self):
+        layer = nn.Conv1d(2, 3, kernel_size=3)
+        with pytest.raises(ValueError):
+            layer.forward(np.zeros((1, 1, 10)))
+
+    def test_conv1d_same_padding_preserves_length(self):
+        layer = nn.Conv1d(2, 3, kernel_size=3)
+        out = layer.forward(np.zeros((1, 2, 11)))
+        assert out.shape == (1, 3, 11)
+
+    def test_conv2d_output_shape(self):
+        layer = nn.Conv2d(1, 2, kernel_size=3, stride=2, padding=1)
+        out = layer.forward(np.zeros((1, 1, 9, 9)))
+        assert out.shape == (1, 2, 5, 5)
+
+    def test_conv2d_wrong_channels(self):
+        layer = nn.Conv2d(3, 2, kernel_size=3)
+        with pytest.raises(ValueError):
+            layer.forward(np.zeros((1, 1, 8, 8)))
+
+    def test_conv2d_too_small_input(self):
+        layer = nn.Conv2d(1, 1, kernel_size=5)
+        with pytest.raises(ValueError):
+            layer.forward(np.zeros((1, 1, 3, 3)))
+
+
+class TestGradientReversal:
+    def test_forward_identity_backward_flipped(self):
+        layer = nn.GradientReversal(scale=2.0)
+        x = np.arange(4.0).reshape(2, 2)
+        np.testing.assert_array_equal(layer.forward(x), x)
+        np.testing.assert_array_equal(layer.backward(np.ones((2, 2))), -2.0 * np.ones((2, 2)))
+
+    def test_negative_scale_rejected(self):
+        with pytest.raises(ValueError):
+            nn.GradientReversal(-1.0)

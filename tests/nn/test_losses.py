@@ -1,0 +1,126 @@
+"""Tests for the weighted regression losses."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.nn as nn
+
+
+class TestMSELoss:
+    def test_known_value(self):
+        loss = nn.MSELoss()
+        value, _ = loss(np.array([[1.0], [3.0]]), np.array([[0.0], [1.0]]))
+        assert value == pytest.approx((1.0 + 4.0) / 2)
+
+    def test_gradient_matches_numeric(self):
+        rng = np.random.default_rng(0)
+        predictions = rng.normal(size=(6, 3))
+        targets = rng.normal(size=(6, 3))
+        weights = rng.uniform(0.1, 2.0, size=6)
+        loss = nn.MSELoss()
+        _, grad = loss(predictions, targets, weights)
+        eps = 1e-6
+        numeric = np.zeros_like(predictions)
+        for i in range(predictions.shape[0]):
+            for j in range(predictions.shape[1]):
+                plus = predictions.copy()
+                plus[i, j] += eps
+                minus = predictions.copy()
+                minus[i, j] -= eps
+                numeric[i, j] = (loss(plus, targets, weights)[0] - loss(minus, targets, weights)[0]) / (2 * eps)
+        np.testing.assert_allclose(grad, numeric, atol=1e-6)
+
+    def test_zero_weight_sample_ignored(self):
+        loss = nn.MSELoss()
+        predictions = np.array([[0.0], [100.0]])
+        targets = np.array([[0.0], [0.0]])
+        value, grad = loss(predictions, targets, np.array([1.0, 0.0]))
+        assert value == 0.0
+        np.testing.assert_array_equal(grad[1], 0.0)
+
+    def test_all_zero_weights(self):
+        loss = nn.MSELoss()
+        value, grad = loss(np.ones((3, 1)), np.zeros((3, 1)), np.zeros(3))
+        assert value == 0.0
+        assert np.all(grad == 0.0)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            nn.MSELoss()(np.zeros((2, 1)), np.zeros((3, 1)))
+
+    def test_negative_weights_rejected(self):
+        with pytest.raises(ValueError):
+            nn.MSELoss()(np.zeros((2, 1)), np.zeros((2, 1)), np.array([-1.0, 1.0]))
+
+    def test_1d_inputs_promoted(self):
+        value, grad = nn.MSELoss()(np.array([1.0, 2.0]), np.array([0.0, 0.0]))
+        assert value == pytest.approx(2.5)
+        assert grad.shape == (2, 1)
+
+
+class TestMAELoss:
+    def test_known_value(self):
+        value, _ = nn.MAELoss()(np.array([[2.0], [-1.0]]), np.array([[0.0], [0.0]]))
+        assert value == pytest.approx(1.5)
+
+    def test_gradient_sign(self):
+        _, grad = nn.MAELoss()(np.array([[2.0], [-3.0]]), np.array([[0.0], [0.0]]))
+        assert grad[0, 0] > 0
+        assert grad[1, 0] < 0
+
+
+class TestHuberLoss:
+    def test_quadratic_region_matches_half_mse(self):
+        loss = nn.HuberLoss(delta=5.0)
+        predictions = np.array([[1.0], [2.0]])
+        targets = np.zeros((2, 1))
+        value, _ = loss(predictions, targets)
+        assert value == pytest.approx(0.5 * (1.0 + 4.0) / 2)
+
+    def test_linear_region(self):
+        loss = nn.HuberLoss(delta=1.0)
+        value, _ = loss(np.array([[10.0]]), np.array([[0.0]]))
+        assert value == pytest.approx(1.0 * (10.0 - 0.5))
+
+    def test_invalid_delta(self):
+        with pytest.raises(ValueError):
+            nn.HuberLoss(delta=0.0)
+
+    def test_gradient_clipped_in_linear_region(self):
+        loss = nn.HuberLoss(delta=1.0)
+        _, grad = loss(np.array([[100.0]]), np.array([[0.0]]))
+        assert grad[0, 0] == pytest.approx(1.0)
+
+
+class TestGetLoss:
+    def test_lookup(self):
+        assert isinstance(nn.get_loss("mse"), nn.MSELoss)
+        assert isinstance(nn.get_loss("MAE"), nn.MAELoss)
+        assert isinstance(nn.get_loss("huber", delta=2.0), nn.HuberLoss)
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown loss"):
+            nn.get_loss("hinge")
+
+
+class TestLossProperties:
+    @given(
+        st.integers(min_value=1, max_value=10),
+        st.integers(min_value=1, max_value=4),
+        st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_losses_are_non_negative_and_zero_at_target(self, n, dim, seed):
+        rng = np.random.default_rng(seed)
+        predictions = rng.normal(size=(n, dim))
+        targets = rng.normal(size=(n, dim))
+        for name in ("mse", "mae", "huber"):
+            loss = nn.get_loss(name)
+            value, grad = loss(predictions, targets)
+            assert value >= 0.0
+            assert grad.shape == predictions.shape
+            zero_value, zero_grad = loss(targets, targets)
+            assert zero_value == pytest.approx(0.0)
+            np.testing.assert_allclose(zero_grad, 0.0)

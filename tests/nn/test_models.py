@@ -1,0 +1,109 @@
+"""Tests for model builders, RegressionModel and serialization."""
+
+import numpy as np
+import pytest
+
+import repro.nn as nn
+
+
+class TestRegressionModel:
+    def test_forward_composition(self):
+        rng = np.random.default_rng(0)
+        model = nn.RegressionModel(nn.Sequential(nn.Linear(3, 5, rng=rng), nn.ReLU()), nn.Linear(5, 2, rng=rng))
+        x = rng.normal(size=(4, 3))
+        features = model.features(x)
+        assert features.shape == (4, 5)
+        assert model.forward(x).shape == (4, 2)
+
+    def test_dropout_layer_discovery_and_mc_toggle(self):
+        model = nn.build_mlp(4, 1, hidden_dims=(8, 8), dropout=0.2, seed=0)
+        layers = model.dropout_layers()
+        assert len(layers) == 2
+        model.set_mc_dropout(True)
+        assert all(layer.mc_mode for layer in layers)
+        model.set_mc_dropout(False)
+        assert not any(layer.mc_mode for layer in layers)
+
+    def test_backward_features_only_touches_encoder(self):
+        model = nn.build_mlp(3, 1, hidden_dims=(6,), dropout=0.0, seed=0)
+        x = np.random.default_rng(0).normal(size=(5, 3))
+        model.zero_grad()
+        features = model.features(x)
+        model.backward_features(np.ones_like(features))
+        head_grads = [np.abs(p.grad).sum() for p in model.head.parameters()]
+        encoder_grads = [np.abs(p.grad).sum() for p in model.encoder.parameters()]
+        assert all(g == 0 for g in head_grads)
+        assert any(g > 0 for g in encoder_grads)
+
+
+class TestBuilders:
+    def test_mlp_shapes(self):
+        model = nn.build_mlp(7, 3, hidden_dims=(16, 8), dropout=0.1, seed=0)
+        out = model.forward(np.zeros((5, 7)))
+        assert out.shape == (5, 3)
+
+    def test_mlp_requires_hidden_layers(self):
+        with pytest.raises(ValueError):
+            nn.build_mlp(4, 1, hidden_dims=())
+
+    def test_tcn_regressor_shapes(self):
+        model = nn.build_tcn_regressor(6, 20, output_dim=2, channel_sizes=(8, 8), seed=0)
+        out = model.forward(np.zeros((3, 6, 20)))
+        assert out.shape == (3, 2)
+
+    def test_tcn_handles_different_window_lengths(self):
+        model = nn.build_tcn_regressor(4, 16, output_dim=2, channel_sizes=(8,), seed=0)
+        assert model.forward(np.zeros((2, 4, 24))).shape == (2, 2)
+
+    def test_mcnn_counter_shapes(self):
+        model = nn.build_mcnn_counter(image_size=12, column_channels=(2, 3), column_kernels=(3, 5), seed=0)
+        out = model.forward(np.zeros((4, 1, 12, 12)))
+        assert out.shape == (4, 1)
+
+    def test_mcnn_column_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            nn.build_mcnn_counter(column_channels=(2, 3), column_kernels=(3,))
+
+    def test_domain_discriminator_outputs_probabilities(self):
+        disc = nn.build_domain_discriminator(8, hidden_dim=4, seed=0)
+        out = disc.forward(np.random.default_rng(0).normal(size=(10, 8)))
+        assert out.shape == (10, 1)
+        assert np.all((out >= 0) & (out <= 1))
+
+    def test_builders_are_deterministic_by_seed(self):
+        a = nn.build_mlp(4, 1, seed=42)
+        b = nn.build_mlp(4, 1, seed=42)
+        x = np.random.default_rng(0).normal(size=(3, 4))
+        np.testing.assert_array_equal(a.forward(x), b.forward(x))
+
+
+class TestSerialization:
+    def test_save_load_roundtrip(self, tmp_path):
+        model = nn.build_mlp(4, 2, hidden_dims=(8,), dropout=0.0, seed=0)
+        path = tmp_path / "model.npz"
+        nn.save_model(model, path)
+        other = nn.build_mlp(4, 2, hidden_dims=(8,), dropout=0.0, seed=99)
+        nn.load_model(other, path)
+        x = np.random.default_rng(0).normal(size=(6, 4))
+        np.testing.assert_allclose(model.forward(x), other.forward(x))
+
+    def test_load_mismatched_architecture_raises(self, tmp_path):
+        model = nn.build_mlp(4, 2, hidden_dims=(8,), dropout=0.0, seed=0)
+        path = tmp_path / "model.npz"
+        nn.save_model(model, path)
+        wrong = nn.build_mlp(4, 2, hidden_dims=(8, 8), dropout=0.0, seed=0)
+        with pytest.raises(ValueError):
+            nn.load_model(wrong, path)
+
+    def test_copy_parameters(self):
+        a = nn.build_mlp(3, 1, hidden_dims=(4,), dropout=0.0, seed=0)
+        b = nn.build_mlp(3, 1, hidden_dims=(4,), dropout=0.0, seed=5)
+        nn.copy_parameters(a, b)
+        x = np.random.default_rng(0).normal(size=(2, 3))
+        np.testing.assert_array_equal(a.forward(x), b.forward(x))
+
+    def test_copy_parameters_shape_mismatch(self):
+        a = nn.build_mlp(3, 1, hidden_dims=(4,), dropout=0.0)
+        b = nn.build_mlp(3, 1, hidden_dims=(5,), dropout=0.0)
+        with pytest.raises(ValueError):
+            nn.copy_parameters(a, b)

@@ -1,0 +1,104 @@
+"""Tests for repro.nn.module and containers."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Linear, Module, ReLU, Residual, Sequential
+
+
+def build_model(seed=0):
+    rng = np.random.default_rng(seed)
+    return Sequential(Linear(3, 4, rng=rng), ReLU(), Linear(4, 2, rng=rng))
+
+
+class TestModule:
+    def test_parameters_collected_recursively(self):
+        model = build_model()
+        # two Linear layers with weight + bias each
+        assert len(model.parameters()) == 4
+
+    def test_num_parameters(self):
+        model = build_model()
+        assert model.num_parameters() == 3 * 4 + 4 + 4 * 2 + 2
+
+    def test_zero_grad_clears_all(self):
+        model = build_model()
+        out = model.forward(np.ones((2, 3)))
+        model.backward(np.ones_like(out))
+        assert any(np.any(p.grad != 0) for p in model.parameters())
+        model.zero_grad()
+        assert all(np.all(p.grad == 0) for p in model.parameters())
+
+    def test_train_eval_propagates(self):
+        model = build_model()
+        model.eval()
+        assert all(not m.training for m in model.modules())
+        model.train()
+        assert all(m.training for m in model.modules())
+
+    def test_state_dict_roundtrip(self):
+        model = build_model(seed=1)
+        other = build_model(seed=2)
+        state = model.state_dict()
+        other.load_state_dict(state)
+        x = np.random.default_rng(0).normal(size=(5, 3))
+        np.testing.assert_allclose(model.forward(x), other.forward(x))
+
+    def test_load_state_dict_wrong_length_raises(self):
+        model = build_model()
+        with pytest.raises(ValueError, match="parameters"):
+            model.load_state_dict({"only": np.zeros(1)})
+
+    def test_forward_backward_abstract(self):
+        module = Module()
+        with pytest.raises(NotImplementedError):
+            module.forward(np.zeros(1))
+        with pytest.raises(NotImplementedError):
+            module.backward(np.zeros(1))
+
+
+class TestSequential:
+    def test_len_getitem_iter(self):
+        model = build_model()
+        assert len(model) == 3
+        assert isinstance(model[1], ReLU)
+        assert len(list(iter(model))) == 3
+
+    def test_append(self):
+        model = build_model()
+        model.append(ReLU())
+        assert len(model) == 4
+
+    def test_forward_matches_manual_composition(self):
+        rng = np.random.default_rng(3)
+        layer1 = Linear(3, 4, rng=rng)
+        layer2 = Linear(4, 2, rng=rng)
+        model = Sequential(layer1, layer2)
+        x = rng.normal(size=(6, 3))
+        np.testing.assert_allclose(model.forward(x), layer2.forward(layer1.forward(x)))
+
+
+class TestResidual:
+    def test_forward_adds_input(self):
+        rng = np.random.default_rng(0)
+        body = Linear(4, 4, rng=rng)
+        residual = Residual(body)
+        x = rng.normal(size=(3, 4))
+        np.testing.assert_allclose(residual.forward(x), x + body.forward(x))
+
+    def test_shape_mismatch_raises(self):
+        rng = np.random.default_rng(0)
+        residual = Residual(Linear(4, 3, rng=rng))
+        with pytest.raises(ValueError, match="shape"):
+            residual.forward(rng.normal(size=(2, 4)))
+
+    def test_backward_sums_paths(self):
+        rng = np.random.default_rng(0)
+        body = Linear(4, 4, rng=rng)
+        residual = Residual(body)
+        x = rng.normal(size=(3, 4))
+        residual.forward(x)
+        grad = residual.backward(np.ones((3, 4)))
+        assert grad.shape == (3, 4)
+        # identity path contributes at least the incoming gradient
+        assert np.all(np.isfinite(grad))

@@ -1,0 +1,52 @@
+"""Tests for repro.nn.parameter."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Parameter
+
+
+class TestParameter:
+    def test_data_is_copied_to_float64(self):
+        raw = np.array([[1, 2], [3, 4]], dtype=np.int32)
+        param = Parameter(raw)
+        assert param.data.dtype == np.float64
+        raw[0, 0] = 99
+        assert param.data[0, 0] == 1.0
+
+    def test_shape_and_size(self):
+        param = Parameter(np.zeros((3, 4)))
+        assert param.shape == (3, 4)
+        assert param.size == 12
+
+    def test_grad_starts_at_zero(self):
+        param = Parameter(np.ones((2, 2)))
+        assert np.all(param.grad == 0.0)
+
+    def test_accumulate_grad_adds(self):
+        param = Parameter(np.zeros((2,)))
+        param.accumulate_grad(np.array([1.0, 2.0]))
+        param.accumulate_grad(np.array([0.5, 0.5]))
+        np.testing.assert_allclose(param.grad, [1.5, 2.5])
+
+    def test_accumulate_grad_shape_mismatch_raises(self):
+        param = Parameter(np.zeros((2,)))
+        with pytest.raises(ValueError, match="gradient shape"):
+            param.accumulate_grad(np.zeros((3,)))
+
+    def test_zero_grad_resets(self):
+        param = Parameter(np.zeros((2,)))
+        param.accumulate_grad(np.ones(2))
+        param.zero_grad()
+        assert np.all(param.grad == 0.0)
+
+    def test_copy_is_independent(self):
+        param = Parameter(np.ones((2,)), name="w", trainable=False)
+        clone = param.copy()
+        clone.data[0] = 5.0
+        assert param.data[0] == 1.0
+        assert clone.name == "w"
+        assert clone.trainable is False
+
+    def test_default_trainable(self):
+        assert Parameter(np.zeros(1)).trainable is True

@@ -1,0 +1,87 @@
+"""Tests for the supervised Trainer and TrainingHistory."""
+
+import numpy as np
+import pytest
+
+import repro.nn as nn
+
+
+def make_linear_data(n=200, seed=0):
+    rng = np.random.default_rng(seed)
+    inputs = rng.normal(size=(n, 4))
+    weights = np.array([1.0, -1.0, 2.0, 0.5])
+    targets = inputs @ weights + 0.05 * rng.normal(size=n)
+    return nn.ArrayDataset(inputs, targets)
+
+
+class TestTrainer:
+    def test_fit_reduces_loss(self):
+        dataset = make_linear_data()
+        model = nn.build_mlp(4, 1, hidden_dims=(16,), dropout=0.0, seed=0)
+        trainer = nn.Trainer(model, lr=5e-3)
+        history = trainer.fit(dataset, epochs=30, batch_size=32, rng=np.random.default_rng(0))
+        assert history.losses[-1] < history.losses[0] * 0.2
+
+    def test_predict_shape_and_determinism(self):
+        dataset = make_linear_data(50)
+        model = nn.build_mlp(4, 1, hidden_dims=(8,), dropout=0.3, seed=0)
+        trainer = nn.Trainer(model, lr=1e-3)
+        trainer.fit(dataset, epochs=2, batch_size=16)
+        first = trainer.predict(dataset.inputs)
+        second = trainer.predict(dataset.inputs)
+        assert first.shape == (50, 1)
+        np.testing.assert_array_equal(first, second)
+
+    def test_evaluate_returns_scalar(self):
+        dataset = make_linear_data(64)
+        model = nn.build_mlp(4, 1, hidden_dims=(8,), dropout=0.0, seed=0)
+        trainer = nn.Trainer(model)
+        value = trainer.evaluate(dataset)
+        assert isinstance(value, float)
+        assert value >= 0.0
+
+    def test_early_stopping_with_patience(self):
+        dataset = make_linear_data(100, seed=1)
+        validation = make_linear_data(40, seed=2)
+        model = nn.build_mlp(4, 1, hidden_dims=(8,), dropout=0.0, seed=0)
+        trainer = nn.Trainer(model, lr=5e-3)
+        history = trainer.fit(
+            dataset, epochs=100, batch_size=32, validation=validation, patience=3,
+            rng=np.random.default_rng(0),
+        )
+        assert history.stopped_epoch is not None
+        assert len(history.val_losses) == len(history.losses)
+
+    def test_invalid_epochs(self):
+        model = nn.build_mlp(4, 1, hidden_dims=(8,), dropout=0.0)
+        trainer = nn.Trainer(model)
+        with pytest.raises(ValueError):
+            trainer.fit(make_linear_data(10), epochs=0)
+
+    def test_weighted_training_ignores_zero_weight_samples(self):
+        rng = np.random.default_rng(0)
+        inputs = rng.normal(size=(100, 2))
+        targets = inputs @ np.array([1.0, 1.0])
+        # half the samples have absurd targets but zero weight
+        targets[50:] = 1000.0
+        weights = np.concatenate([np.ones(50), np.zeros(50)])
+        dataset = nn.ArrayDataset(inputs, targets, weights)
+        model = nn.build_mlp(2, 1, hidden_dims=(8,), dropout=0.0, seed=1)
+        trainer = nn.Trainer(model, lr=5e-3)
+        trainer.fit(dataset, epochs=40, batch_size=25, rng=rng)
+        clean_predictions = trainer.predict(inputs[:50])
+        assert np.abs(clean_predictions.ravel() - targets[:50]).mean() < 1.0
+
+
+class TestTrainingHistory:
+    def test_final_loss_requires_epochs(self):
+        history = nn.TrainingHistory()
+        with pytest.raises(ValueError):
+            _ = history.final_loss
+
+    def test_loss_drop_rate(self):
+        history = nn.TrainingHistory(losses=[10.0, 6.0, 4.0, 3.0])
+        assert history.loss_drop_rate(window=3) == pytest.approx((4.0 + 2.0 + 1.0) / 3)
+
+    def test_loss_drop_rate_short_history(self):
+        assert nn.TrainingHistory(losses=[1.0]).loss_drop_rate() == 0.0

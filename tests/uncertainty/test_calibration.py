@@ -1,0 +1,73 @@
+"""Tests for the uncertainty-to-sigma calibration (Q_s)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.uncertainty import UncertaintyCalibrator, fit_sigma_curve
+
+
+class TestUncertaintyCalibrator:
+    def test_linear_evaluation(self):
+        calibrator = UncertaintyCalibrator(intercept=0.1, slope=2.0)
+        assert calibrator(0.5) == pytest.approx(1.1)
+        np.testing.assert_allclose(calibrator(np.array([0.0, 1.0])), [0.1, 2.1])
+
+    def test_minimum_sigma_enforced(self):
+        calibrator = UncertaintyCalibrator(intercept=-1.0, slope=0.0, min_sigma=0.05)
+        assert calibrator(0.3) == pytest.approx(0.05)
+
+    def test_as_tuple(self):
+        assert UncertaintyCalibrator(1.0, 2.0).as_tuple() == (1.0, 2.0)
+
+
+class TestFitSigmaCurve:
+    def test_recovers_linear_relationship(self):
+        rng = np.random.default_rng(0)
+        uncertainties = rng.uniform(0.0, 1.0, size=5000)
+        # errors drawn with std = 0.1 + 2 * u
+        errors = np.abs(rng.normal(0.0, 0.1 + 2.0 * uncertainties))
+        calibrator = fit_sigma_curve(uncertainties, errors, n_segments=40)
+        assert calibrator.slope == pytest.approx(2.0, rel=0.25)
+        assert calibrator.intercept == pytest.approx(0.1, abs=0.15)
+
+    def test_negative_slope_falls_back_to_constant(self):
+        rng = np.random.default_rng(1)
+        uncertainties = rng.uniform(0.0, 1.0, size=500)
+        errors = np.abs(rng.normal(0.0, 1.0 - 0.8 * uncertainties))
+        calibrator = fit_sigma_curve(uncertainties, errors)
+        assert calibrator.slope == 0.0
+        assert calibrator.intercept > 0.0
+
+    def test_constant_uncertainty_falls_back(self):
+        calibrator = fit_sigma_curve(np.full(100, 0.5), np.abs(np.random.default_rng(0).normal(size=100)))
+        assert calibrator.slope == 0.0
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            fit_sigma_curve(np.zeros(3), np.zeros(2))
+        with pytest.raises(ValueError):
+            fit_sigma_curve(np.array([]), np.array([]))
+        with pytest.raises(ValueError):
+            fit_sigma_curve(np.zeros(3), np.zeros(3), coverage=1.5)
+        with pytest.raises(ValueError):
+            fit_sigma_curve(np.zeros(3), np.zeros(3), n_segments=0)
+
+    def test_more_segments_than_samples_is_handled(self):
+        calibrator = fit_sigma_curve(np.array([0.1, 0.2, 0.3]), np.array([0.1, 0.2, 0.3]), n_segments=50)
+        assert np.isfinite(calibrator.intercept)
+
+    @given(
+        st.integers(min_value=10, max_value=300),
+        st.integers(min_value=1, max_value=60),
+        st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_sigma_is_always_positive(self, n, n_segments, seed):
+        rng = np.random.default_rng(seed)
+        uncertainties = rng.uniform(0.0, 2.0, size=n)
+        errors = np.abs(rng.normal(0.0, 1.0, size=n))
+        calibrator = fit_sigma_curve(uncertainties, errors, n_segments=n_segments)
+        values = calibrator(rng.uniform(0.0, 2.0, size=50))
+        assert np.all(values >= calibrator.min_sigma)

@@ -1,0 +1,95 @@
+"""Tests for the instance-label error models (Gaussian, Laplace, Uniform)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.uncertainty import (
+    GaussianErrorModel,
+    LaplaceErrorModel,
+    UniformErrorModel,
+    get_error_model,
+)
+
+ALL_MODELS = [GaussianErrorModel(), LaplaceErrorModel(), UniformErrorModel()]
+
+
+class TestErrorModels:
+    @pytest.mark.parametrize("model", ALL_MODELS, ids=lambda m: m.name)
+    def test_total_mass_close_to_one(self, model):
+        edges = np.linspace(-50.0, 50.0, 2001)
+        mass = model.interval_probability(0.0, 1.0, edges[:-1], edges[1:])
+        assert mass.sum() == pytest.approx(1.0, abs=1e-6)
+
+    @pytest.mark.parametrize("model", ALL_MODELS, ids=lambda m: m.name)
+    def test_cdf_monotone(self, model):
+        grid = np.linspace(-5, 5, 101)
+        cdf = model.cdf(grid, center=0.3, sigma=0.7)
+        assert np.all(np.diff(cdf) >= -1e-12)
+        assert cdf[0] <= 0.01 and cdf[-1] >= 0.99
+
+    @pytest.mark.parametrize("model", ALL_MODELS, ids=lambda m: m.name)
+    def test_mass_concentrated_near_center(self, model):
+        lower = np.array([-1.0])
+        upper = np.array([1.0])
+        near = model.interval_probability(0.0, 0.5, lower, upper)[0]
+        far = model.interval_probability(10.0, 0.5, lower, upper)[0]
+        assert near > 0.9
+        assert far < 1e-6
+
+    @pytest.mark.parametrize("model", ALL_MODELS, ids=lambda m: m.name)
+    def test_matching_standard_deviation(self, model):
+        """Every family is parameterized so its std equals the requested sigma."""
+        sigma = 0.8
+        edges = np.linspace(-20, 20, 4001)
+        centers = (edges[:-1] + edges[1:]) / 2
+        mass = model.interval_probability(0.0, sigma, edges[:-1], edges[1:])
+        empirical_std = np.sqrt((mass * centers**2).sum())
+        assert empirical_std == pytest.approx(sigma, rel=0.02)
+
+    def test_gaussian_symmetric(self):
+        model = GaussianErrorModel()
+        left = model.interval_probability(0.0, 1.0, np.array([-2.0]), np.array([-1.0]))
+        right = model.interval_probability(0.0, 1.0, np.array([1.0]), np.array([2.0]))
+        assert left[0] == pytest.approx(right[0])
+
+    def test_uniform_support_is_bounded(self):
+        model = UniformErrorModel()
+        sigma = 1.0
+        half_width = sigma * np.sqrt(3.0)
+        outside = model.interval_probability(
+            0.0, sigma, np.array([half_width + 0.01]), np.array([half_width + 1.0])
+        )
+        assert outside[0] == pytest.approx(0.0, abs=1e-12)
+
+    def test_degenerate_sigma_does_not_crash(self):
+        for model in ALL_MODELS:
+            mass = model.interval_probability(0.0, 0.0, np.array([-1.0]), np.array([1.0]))
+            assert np.isfinite(mass).all()
+
+
+class TestGetErrorModel:
+    def test_lookup(self):
+        assert isinstance(get_error_model("gaussian"), GaussianErrorModel)
+        assert isinstance(get_error_model("Laplace"), LaplaceErrorModel)
+        assert isinstance(get_error_model("UNIFORM"), UniformErrorModel)
+
+    def test_unknown_raises(self):
+        with pytest.raises(ValueError, match="unknown error model"):
+            get_error_model("cauchy")
+
+
+class TestErrorModelProperties:
+    @given(
+        st.sampled_from(["gaussian", "laplace", "uniform"]),
+        st.floats(min_value=-5.0, max_value=5.0),
+        st.floats(min_value=0.05, max_value=3.0),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_interval_probabilities_are_valid(self, name, center, sigma):
+        model = get_error_model(name)
+        edges = np.linspace(center - 10 * sigma, center + 10 * sigma, 101)
+        mass = model.interval_probability(center, sigma, edges[:-1], edges[1:])
+        assert np.all(mass >= -1e-12)
+        assert mass.sum() <= 1.0 + 1e-6
