@@ -6,6 +6,14 @@ captured benchmark output doubles as the reproduction report.  Experiments are
 expensive relative to micro-benchmarks, so each one is executed exactly once
 (``rounds=1``) — the interesting output is the experiment result, the timing is
 a bonus.
+
+The report file is only rewritten when a benchmark actually records an entry:
+the first write of a session truncates the file, later writes append.  (The
+old behaviour truncated at ``pytest_sessionstart``, which wiped the report
+whenever the benchmarks directory was merely *collected* — e.g. by a plain
+``pytest`` run from the repository root that deselected every benchmark.)
+Every entry records the scale it ran at, so reports mixing
+``REPRO_BENCH_SCALE`` settings stay interpretable.
 """
 
 from __future__ import annotations
@@ -25,11 +33,29 @@ BENCH_SCALE = os.environ.get("REPRO_BENCH_SCALE", "small")
 #: available even though pytest captures per-test stdout.
 REPORT_PATH = Path(__file__).resolve().parent.parent / "benchmark_report.txt"
 
+#: Whether this session has already (re)started the report file.
+_report_started = False
 
-def pytest_sessionstart(session):
-    """Start a fresh report file for every benchmark session."""
-    del session
-    REPORT_PATH.write_text(f"TASFAR reproduction benchmark report (scale={BENCH_SCALE})\n\n")
+
+def record_report_entry(text: str, scale: str = BENCH_SCALE) -> None:
+    """Append one benchmark entry to the report, tagged with its scale.
+
+    The first entry of the session starts a fresh report; sessions that never
+    record anything leave the existing report untouched.
+    """
+    global _report_started
+    mode = "a" if _report_started else "w"
+    with REPORT_PATH.open(mode, encoding="utf-8") as handle:
+        if not _report_started:
+            handle.write("TASFAR reproduction benchmark report\n\n")
+        handle.write(f"[scale={scale}]\n{text}\n\n")
+    _report_started = True
+
+
+@pytest.fixture
+def record_bench():
+    """Fixture handing benchmarks the report-entry recorder."""
+    return record_report_entry
 
 
 @pytest.fixture
@@ -46,8 +72,7 @@ def run_figure(benchmark):
         )
         print()
         print(result.summary())
-        with REPORT_PATH.open("a", encoding="utf-8") as handle:
-            handle.write(result.summary() + "\n\n")
+        record_report_entry(result.summary())
         return result
 
     return runner

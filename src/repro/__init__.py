@@ -8,6 +8,9 @@ The public API re-exports the most commonly used entry points:
 * :mod:`repro.data` — synthetic generators for the four evaluation tasks.
 * :mod:`repro.baselines` — source-based and source-free UDA baselines.
 * :mod:`repro.experiments` — per-figure/table experiment harness.
+* :mod:`repro.runtime` — deployment-time multi-target adaptation service
+  (worker-pooled ``adapt_many``, LRU-cached adapted models, JSON reports)
+  and the disk-backed result store behind ``run-all --resume``.
 """
 
 from .version import __version__

@@ -10,19 +10,32 @@ Run one experiment at the small (test) scale::
 
     python -m repro.cli run fig14_ste_reduction_seen --scale small
 
-Run every experiment and write a combined report::
+Run every experiment on four worker processes, persisting results so an
+interrupted run can pick up where it left off::
 
-    python -m repro.cli run-all --scale small --output results.txt
+    python -m repro.cli run-all --scale small --jobs 4 \
+        --results-dir results --resume --output results.txt
+
+Adapt every target scenario of a task through the multi-target
+:class:`~repro.runtime.AdaptationService` (four worker threads, JSON report)::
+
+    python -m repro.cli adapt-many --task pdr --scale small --jobs 4 \
+        --report adaptation_reports.json
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from concurrent.futures import ProcessPoolExecutor
 
 from .experiments import SCALES, list_experiments, run_experiment
 
 __all__ = ["main", "build_parser"]
+
+#: Tasks usable with ``adapt-many`` (the bundle builders of the harness).
+ADAPT_TASKS = ("pdr", "crowd", "housing", "taxi")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -44,6 +57,60 @@ def build_parser() -> argparse.ArgumentParser:
     run_all_parser.add_argument("--scale", default="small", choices=tuple(SCALES))
     run_all_parser.add_argument("--seed", type=int, default=0)
     run_all_parser.add_argument("--output", default=None, help="optional path for a text report")
+    run_all_parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for parallel experiment execution (default: 1, serial)",
+    )
+    run_all_parser.add_argument(
+        "--results-dir",
+        default=None,
+        help="persist each experiment result as JSON under this directory",
+    )
+    run_all_parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip experiments already stored in --results-dir",
+    )
+    run_all_parser.add_argument(
+        "--only",
+        nargs="+",
+        default=None,
+        metavar="EXPERIMENT",
+        help="restrict the run to these experiment ids",
+    )
+
+    adapt_parser = subparsers.add_parser(
+        "adapt-many",
+        help="adapt every target scenario of a task through the AdaptationService",
+    )
+    adapt_parser.add_argument("--task", default="pdr", choices=ADAPT_TASKS)
+    adapt_parser.add_argument("--scale", default="small", choices=tuple(SCALES))
+    adapt_parser.add_argument("--seed", type=int, default=0)
+    adapt_parser.add_argument(
+        "--jobs", type=int, default=1, help="worker threads for parallel target adaptation"
+    )
+    adapt_parser.add_argument(
+        "--targets",
+        nargs="+",
+        default=None,
+        metavar="SCENARIO",
+        help="restrict adaptation to these scenario names (default: all)",
+    )
+    adapt_parser.add_argument(
+        "--max-cached",
+        type=int,
+        default=None,
+        help=(
+            "LRU capacity for adapted models held in memory "
+            "(default: the number of selected targets, so every target's "
+            "adapted model survives until evaluation)"
+        ),
+    )
+    adapt_parser.add_argument(
+        "--report", default=None, help="optional path for a JSON file with per-target reports"
+    )
     return parser
 
 
@@ -63,19 +130,151 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     if args.command == "run-all":
-        sections = []
-        for experiment_id in list_experiments():
-            result = run_experiment(experiment_id, scale=args.scale, seed=args.seed)
-            sections.append(result.summary())
-            print(result.summary())
-            print()
-        if args.output:
-            with open(args.output, "w", encoding="utf-8") as handle:
-                handle.write("\n\n".join(sections) + "\n")
-        return 0
+        return _run_all(parser, args)
+
+    if args.command == "adapt-many":
+        return _adapt_many(parser, args)
 
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover
     return 1
+
+
+def _run_all(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
+    """Run (a subset of) the experiments, optionally in parallel and resumable."""
+    from .runtime import ResultStore
+
+    if args.jobs < 1:
+        parser.error("--jobs must be at least 1")
+    if args.resume and args.results_dir is None:
+        parser.error("--resume requires --results-dir")
+
+    known = list_experiments()
+    if args.only:
+        unknown = [experiment_id for experiment_id in args.only if experiment_id not in known]
+        if unknown:
+            parser.error(f"unknown experiment ids: {', '.join(unknown)}")
+        experiment_ids = list(args.only)
+    else:
+        experiment_ids = known
+
+    store = ResultStore(args.results_dir) if args.results_dir else None
+    results = {}
+    to_run = []
+    for experiment_id in experiment_ids:
+        if args.resume and store is not None and store.has(experiment_id, args.scale, args.seed):
+            results[experiment_id] = store.load(experiment_id, args.scale, args.seed)
+            print(f"[resumed] {experiment_id}")
+        else:
+            to_run.append(experiment_id)
+
+    if args.jobs > 1 and len(to_run) > 1:
+        # Experiments are deterministic in (id, scale, seed), so process
+        # workers give bitwise the same results as a serial run.  Processes
+        # (not threads) because experiments mutate their models in place.
+        with ProcessPoolExecutor(max_workers=args.jobs) as pool:
+            futures = {
+                experiment_id: pool.submit(
+                    run_experiment, experiment_id, scale=args.scale, seed=args.seed
+                )
+                for experiment_id in to_run
+            }
+            for experiment_id in to_run:
+                results[experiment_id] = futures[experiment_id].result()
+    else:
+        for experiment_id in to_run:
+            results[experiment_id] = run_experiment(experiment_id, scale=args.scale, seed=args.seed)
+
+    freshly_run = set(to_run)
+    sections = []
+    for experiment_id in experiment_ids:
+        result = results[experiment_id]
+        if store is not None and experiment_id in freshly_run:
+            store.save(result, args.scale, args.seed)
+        sections.append(result.summary())
+        print(result.summary())
+        print()
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write("\n\n".join(sections) + "\n")
+    return 0
+
+
+def _adapt_many(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
+    """Adapt the target scenarios of one task through the AdaptationService."""
+    from .core import TasfarConfig
+    from .experiments import get_bundle
+    from .metrics import format_table, mse
+    from .runtime import AdaptationService
+
+    if args.jobs < 1:
+        parser.error("--jobs must be at least 1")
+
+    bundle = get_bundle(args.task, args.scale, args.seed)
+    scenarios = {scenario.name: scenario for scenario in bundle.task.scenarios}
+    if args.targets:
+        unknown = [name for name in args.targets if name not in scenarios]
+        if unknown:
+            parser.error(f"unknown scenarios: {', '.join(unknown)}")
+        selected = {name: scenarios[name] for name in args.targets}
+    else:
+        selected = scenarios
+
+    # The cache must cover the whole fleet by default: an evicted target
+    # would silently be evaluated with the unadapted source model below.
+    max_cached = len(selected) if args.max_cached is None else max(args.max_cached, 1)
+    service = AdaptationService(
+        bundle.source_model,
+        bundle.calibration,
+        config=TasfarConfig(seed=args.seed),
+        max_cached_models=max_cached,
+        base_seed=args.seed,
+    )
+    reports = service.adapt_many(
+        {name: scenario.adaptation.inputs for name, scenario in selected.items()},
+        jobs=args.jobs,
+    )
+
+    # The service never sees labels; evaluation happens here, caller-side.
+    rows = []
+    for name, scenario in selected.items():
+        report = reports[name]
+        before = mse(bundle.predict(scenario.adaptation.inputs), scenario.adaptation.targets)
+        report.extra["mse_before"] = float(before)
+        if service.model_for(name) is None:
+            # Evicted by a caller-chosen small --max-cached: don't pass off
+            # source-model numbers as post-adaptation performance.
+            report.extra["mse_after"] = None
+            after_cell = "evicted"
+        else:
+            after = mse(
+                service.predict(name, scenario.adaptation.inputs), scenario.adaptation.targets
+            )
+            report.extra["mse_after"] = float(after)
+            after_cell = round(after, 4)
+        rows.append(
+            [
+                name,
+                report.n_samples,
+                report.n_confident,
+                report.n_uncertain,
+                len(report.losses),
+                round(before, 4),
+                after_cell,
+                round(report.duration_seconds, 3),
+            ]
+        )
+    print(
+        format_table(
+            ["target", "n", "confident", "uncertain", "epochs", "mse_before", "mse_after", "secs"],
+            rows,
+        )
+    )
+    if args.report:
+        payload = {name: report.to_dict() for name, report in reports.items()}
+        with open(args.report, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+        print(f"wrote {len(payload)} reports to {args.report}")
+    return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

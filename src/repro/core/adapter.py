@@ -35,6 +35,11 @@ from .pseudo_label import PseudoLabelBatch, PseudoLabelGenerator
 
 __all__ = ["SourceCalibration", "AdaptationResult", "Tasfar"]
 
+#: Stream tags separating the calibration-time and adaptation-time MC-dropout
+#: generator sequences derived from the same user-facing seed.
+_CALIBRATION_STREAM = 0
+_ADAPTATION_STREAM = 1
+
 
 @dataclass
 class SourceCalibration:
@@ -114,7 +119,11 @@ class Tasfar:
         if source_labels.shape[0] != len(source_inputs):
             raise ValueError("source_inputs and source_labels must have the same length")
 
-        predictor = MCDropoutPredictor(source_model, n_samples=self.config.n_mc_samples)
+        predictor = MCDropoutPredictor(
+            source_model,
+            n_samples=self.config.n_mc_samples,
+            seed=np.random.SeedSequence([self.config.seed, _CALIBRATION_STREAM]),
+        )
         prediction = predictor.predict(source_inputs)
 
         label_dim = source_labels.shape[1]
@@ -147,15 +156,30 @@ class Tasfar:
         source_model: RegressionModel,
         target_inputs: np.ndarray,
         calibration: SourceCalibration,
+        seed: int | None = None,
     ) -> AdaptationResult:
         """Adapt ``source_model`` to the target domain using unlabeled data.
 
         The source model itself is left untouched; the returned
         :class:`AdaptationResult` carries the fine-tuned copy.
-        """
-        rng = np.random.default_rng(self.config.seed)
 
-        predictor = MCDropoutPredictor(source_model, n_samples=self.config.n_mc_samples)
+        Parameters
+        ----------
+        seed:
+            Seed for the stochastic parts of this adaptation (MC-dropout
+            masks, mini-batch shuffling); defaults to ``config.seed``.  The
+            result is a pure function of ``(model, inputs, calibration,
+            seed)``, which is what lets the runtime service adapt many
+            targets in parallel with order-independent results.
+        """
+        seed = self.config.seed if seed is None else int(seed)
+        rng = np.random.default_rng(seed)
+
+        predictor = MCDropoutPredictor(
+            source_model,
+            n_samples=self.config.n_mc_samples,
+            seed=np.random.SeedSequence([seed, _ADAPTATION_STREAM]),
+        )
         prediction = predictor.predict(target_inputs)
 
         classifier = ConfidenceClassifier(self.config.confidence_ratio)

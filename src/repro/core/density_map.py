@@ -134,20 +134,11 @@ class LabelDensityMap:
         error_model:
             Distribution family; defaults to Gaussian.
         """
-        error_model = error_model if error_model is not None else GaussianErrorModel()
         center = np.atleast_1d(np.asarray(center, dtype=np.float64))
-        sigma = np.broadcast_to(np.asarray(sigma, dtype=np.float64), center.shape)
         if center.shape != (self.n_dims,):
             raise ValueError(f"center must have {self.n_dims} dimensions, got {center.shape}")
-        axis_masses = []
-        for axis in range(self.n_dims):
-            edge = self.edges[axis]
-            mass = error_model.interval_probability(
-                float(center[axis]), float(sigma[axis]), edge[:-1], edge[1:]
-            )
-            axis_masses.append(np.clip(mass, 0.0, None))
-        self.densities += _outer_product(axis_masses)
-        self._accumulated += 1
+        sigma = np.broadcast_to(np.asarray(sigma, dtype=np.float64), center.shape)
+        self.add_instances(center[None, :], sigma[None, :], error_model)
 
     def add_instances(
         self,
@@ -155,11 +146,42 @@ class LabelDensityMap:
         sigmas: np.ndarray,
         error_model: ErrorModel | None = None,
     ) -> None:
-        """Accumulate a batch of instance-label distributions."""
+        """Accumulate a batch of instance-label distributions (vectorized).
+
+        All per-axis interval masses are evaluated in one broadcasted call
+        per axis (``ErrorModel.batch_interval_probability``) and the
+        per-instance outer products are reduced with a single ``sum`` over
+        the instance axis, instead of a Python loop over samples.  The
+        instance-axis reduction adds rows in index order, so the result is
+        bit-identical to accumulating the instances one by one into a fresh
+        map.
+        """
+        error_model = error_model if error_model is not None else GaussianErrorModel()
         centers = np.atleast_2d(np.asarray(centers, dtype=np.float64))
+        if centers.shape[1] != self.n_dims:
+            raise ValueError(
+                f"centers must have {self.n_dims} dimensions, got {centers.shape[1]}"
+            )
         sigmas = np.broadcast_to(np.asarray(sigmas, dtype=np.float64), centers.shape)
-        for center, sigma in zip(centers, sigmas):
-            self.add_instance(center, sigma, error_model)
+        n_instances = len(centers)
+        if n_instances == 0:
+            return
+        axis_masses = []
+        for axis in range(self.n_dims):
+            edge = self.edges[axis]
+            mass = error_model.batch_interval_probability(
+                centers[:, axis], sigmas[:, axis], edge[:-1], edge[1:]
+            )
+            axis_masses.append(np.clip(mass, 0.0, None))
+        # Per-instance outer products via broadcasting: (n, c1, 1, ...) *
+        # (n, 1, c2, ...) -> (n, c1, c2, ...), then reduce the instance axis.
+        product = axis_masses[0]
+        for mass in axis_masses[1:]:
+            product = product[..., None] * mass.reshape(
+                n_instances, *([1] * (product.ndim - 1)), mass.shape[1]
+            )
+        self.densities += product.sum(axis=0)
+        self._accumulated += n_instances
 
     def normalize(self) -> "LabelDensityMap":
         """Normalize the map so the densities sum to one."""

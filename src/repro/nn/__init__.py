@@ -35,7 +35,7 @@ from .parameter import Parameter
 from .schedulers import CosineAnnealing, ExponentialDecay, StepDecay
 from .serialization import copy_parameters, load_model, save_model
 from .tcn import TemporalBlock, TemporalConvNet
-from .trainer import Trainer, TrainingHistory
+from .trainer import Trainer, TrainingHistory, predict_batched
 
 __all__ = [
     "Adam",
@@ -75,6 +75,7 @@ __all__ = [
     "TemporalBlock",
     "TemporalConvNet",
     "Trainer",
+    "predict_batched",
     "TrainingHistory",
     "build_domain_discriminator",
     "build_mcnn_counter",

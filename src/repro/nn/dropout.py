@@ -38,10 +38,23 @@ class Dropout(Module):
         self.rng = rng if rng is not None else np.random.default_rng(0)
         self.mc_mode = False
         self._mask: np.ndarray | None = None
+        self._mc_rng: np.random.Generator | None = None
 
     def enable_mc(self, enabled: bool = True) -> None:
         """Keep dropout stochastic even in evaluation mode (MC dropout)."""
         self.mc_mode = enabled
+
+    def set_mc_rng(self, rng: np.random.Generator | None) -> None:
+        """Draw masks from a dedicated, layer-private generator.
+
+        Used by :class:`~repro.uncertainty.MCDropoutPredictor`: giving every
+        dropout layer its own stream makes stacked-replica forwards
+        reproducible — ``rng.random`` fills arrays from the stream in C
+        order, so one ``(n_replicas * batch, ...)`` draw is bit-identical to
+        ``n_replicas`` consecutive ``(batch, ...)`` draws.  Pass ``None`` to
+        restore the default shared-stream behaviour.
+        """
+        self._mc_rng = rng
 
     @property
     def stochastic(self) -> bool:
@@ -53,7 +66,8 @@ class Dropout(Module):
             self._mask = None
             return inputs
         keep = 1.0 - self.rate
-        self._mask = (self.rng.random(inputs.shape) < keep) / keep
+        rng = self._mc_rng if self._mc_rng is not None else self.rng
+        self._mask = (rng.random(inputs.shape) < keep) / keep
         return inputs * self._mask
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:

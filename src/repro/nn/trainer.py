@@ -148,9 +148,14 @@ class Trainer:
 
     def predict(self, inputs: np.ndarray, batch_size: int = 256) -> np.ndarray:
         """Deterministic predictions (dropout disabled)."""
-        self.model.eval()
-        inputs = np.asarray(inputs, dtype=np.float64)
-        outputs = []
-        for start in range(0, len(inputs), batch_size):
-            outputs.append(self.model.forward(inputs[start : start + batch_size]))
-        return np.concatenate(outputs, axis=0)
+        return predict_batched(self.model, inputs, batch_size)
+
+
+def predict_batched(model, inputs: np.ndarray, batch_size: int = 256) -> np.ndarray:
+    """Deterministic batched forward pass with dropout disabled."""
+    model.eval()
+    inputs = np.asarray(inputs, dtype=np.float64)
+    outputs = []
+    for start in range(0, len(inputs), batch_size):
+        outputs.append(model.forward(inputs[start : start + batch_size]))
+    return np.concatenate(outputs, axis=0)

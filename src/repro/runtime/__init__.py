@@ -1,0 +1,22 @@
+"""Deployment-time runtime: multi-target adaptation service and result store.
+
+This package is the serving seam of the reproduction — everything needed to
+run TASFAR for a *fleet* of target domains rather than one figure at a time:
+
+* :class:`AdaptationService` — register the source model and calibration
+  once, then adapt many targets (optionally on a worker pool) with an LRU
+  cache of adapted models and JSON-serializable per-target reports;
+* :class:`AdaptationReport` — the per-target record the service keeps;
+* :class:`ResultStore` — disk persistence for experiment results, making
+  ``run-all --resume`` incremental.
+
+See ``examples/multi_user_service.py`` for an end-to-end walkthrough and
+``python -m repro.cli adapt-many --help`` for the CLI entry point.
+"""
+
+from .report import AdaptationReport
+from .serialization import to_jsonable
+from .service import AdaptationService
+from .store import ResultStore
+
+__all__ = ["AdaptationReport", "AdaptationService", "ResultStore", "to_jsonable"]

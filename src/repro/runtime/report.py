@@ -1,0 +1,113 @@
+"""Per-target adaptation reports.
+
+An :class:`AdaptationReport` is the JSON-serializable record the
+:class:`~repro.runtime.AdaptationService` keeps for every target domain it has
+adapted: how the target's data split into confident/uncertain parts, how the
+fine-tuning went, and how long the adaptation took.  Unlike
+:class:`~repro.core.adapter.AdaptationResult` it carries no model or numpy
+arrays, so it can be logged, shipped over the wire, and kept for millions of
+targets without holding model memory.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+
+from ..core.adapter import AdaptationResult
+from .serialization import to_jsonable
+
+__all__ = ["AdaptationReport"]
+
+
+@dataclass
+class AdaptationReport:
+    """JSON-serializable summary of one target-domain adaptation.
+
+    Attributes
+    ----------
+    target_id:
+        The service-level identifier of the target domain (a user, a scene,
+        a district).
+    seed:
+        The seed that made this adaptation deterministic; re-running
+        ``adapt`` with the same data and seed reproduces the result exactly.
+    n_samples:
+        Number of unlabeled adaptation samples the target provided.
+    n_confident, n_uncertain:
+        Size of the confidence split (Section III-B of the paper).
+    threshold:
+        The source confidence threshold ``tau`` used for the split.
+    mean_uncertainty:
+        Mean MC-dropout uncertainty over the target samples.
+    n_training_samples:
+        Number of samples in the weighted fine-tuning set.
+    losses:
+        Per-epoch fine-tuning losses.
+    stopped_epoch:
+        Epoch at which loss-drop early stopping fired, or ``None``.
+    density_map_shape:
+        Grid shape of the estimated label density map.
+    duration_seconds:
+        Wall-clock time of the adaptation call.
+    extra:
+        Free-form JSON-safe metadata (e.g. evaluation metrics added by a
+        caller that holds labels).
+    """
+
+    target_id: str
+    seed: int
+    n_samples: int
+    n_confident: int
+    n_uncertain: int
+    threshold: float
+    mean_uncertainty: float
+    n_training_samples: int
+    losses: list[float]
+    stopped_epoch: int | None
+    density_map_shape: list[int]
+    duration_seconds: float
+    extra: dict = field(default_factory=dict)
+
+    @classmethod
+    def from_result(
+        cls,
+        target_id: str,
+        seed: int,
+        result: AdaptationResult,
+        duration_seconds: float,
+    ) -> "AdaptationReport":
+        """Condense an :class:`AdaptationResult` into a serializable report."""
+        return cls(
+            target_id=str(target_id),
+            seed=int(seed),
+            n_samples=len(result.target_prediction),
+            n_confident=int(result.split.n_confident),
+            n_uncertain=int(result.split.n_uncertain),
+            threshold=float(result.split.threshold),
+            mean_uncertainty=float(result.target_prediction.uncertainty.mean()),
+            n_training_samples=int(result.n_training_samples),
+            losses=[float(loss) for loss in result.losses],
+            stopped_epoch=None if result.stopped_epoch is None else int(result.stopped_epoch),
+            density_map_shape=[int(size) for size in result.density_map.shape],
+            duration_seconds=float(duration_seconds),
+        )
+
+    def to_dict(self) -> dict:
+        """Plain-builtins dictionary form (safe for ``json.dumps``)."""
+        return to_jsonable(asdict(self))
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "AdaptationReport":
+        """Rebuild a report from :meth:`to_dict` output."""
+        known = {name: payload[name] for name in cls.__dataclass_fields__ if name in payload}
+        return cls(**known)
+
+    def to_json(self, indent: int | None = None) -> str:
+        """Serialize to a JSON string."""
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "AdaptationReport":
+        """Deserialize from :meth:`to_json` output."""
+        return cls.from_dict(json.loads(text))

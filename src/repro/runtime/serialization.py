@@ -1,0 +1,39 @@
+"""JSON-friendly conversion helpers shared by the runtime subsystem.
+
+Experiment results and adaptation reports carry numpy scalars, arrays and the
+occasional rich diagnostic object (e.g. a density map) in free-form ``notes``
+dictionaries.  :func:`to_jsonable` converts what can be converted losslessly
+and falls back to a ``repr`` string for anything else, so persisting a result
+never fails — at worst a diagnostic becomes opaque text.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["to_jsonable"]
+
+
+def to_jsonable(value: object) -> object:
+    """Recursively convert ``value`` into JSON-serializable built-ins.
+
+    Numpy scalars become Python scalars, arrays become (nested) lists, tuples
+    become lists and dictionary keys are stringified.  Objects with no natural
+    JSON form are replaced by their ``repr`` — lossy but non-fatal, which is
+    the right trade-off for free-form diagnostics.
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, np.bool_):
+        return bool(value)
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return to_jsonable(value.tolist())
+    if isinstance(value, (list, tuple)):
+        return [to_jsonable(item) for item in value]
+    if isinstance(value, dict):
+        return {str(key): to_jsonable(item) for key, item in value.items()}
+    return repr(value)

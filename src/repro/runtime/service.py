@@ -1,0 +1,239 @@
+"""Multi-target adaptation runtime.
+
+TASFAR's deployment story (Section IV of the paper) is one adapted model per
+*target domain* — a PDR user, a crowd scene, a city district.  The
+:class:`AdaptationService` is the serving-side driver for that story: the
+source model and its calibration are registered once, then ``adapt(target_id,
+data)`` is called for as many targets as show up, optionally through a
+``concurrent.futures`` worker pool (:meth:`AdaptationService.adapt_many`).
+
+Design points:
+
+* **Determinism under parallelism** — every target's adaptation is seeded by
+  a stable hash of its id (or an explicit per-call seed), and each worker
+  adapts a private deep copy of the pristine source model, so running four
+  targets on four threads produces bit-identical results to running them one
+  after another.
+* **Bounded memory** — adapted models are kept in an LRU cache
+  (``max_cached_models``); evicted targets keep their (tiny, JSON-friendly)
+  :class:`~repro.runtime.AdaptationReport` and can simply be re-adapted on
+  demand since adaptation is deterministic.
+* **No target labels** — the service never sees labels, mirroring the
+  source-free setting; callers that hold evaluation labels can attach
+  metrics to ``report.extra`` themselves.
+"""
+
+from __future__ import annotations
+
+import copy
+import hashlib
+import threading
+import time
+from collections import OrderedDict
+from concurrent.futures import ThreadPoolExecutor
+from typing import Iterable, Mapping
+
+import numpy as np
+
+from ..core.adapter import SourceCalibration, Tasfar
+from ..core.config import TasfarConfig
+from ..nn.losses import Loss
+from ..nn.models import RegressionModel
+from ..nn.trainer import predict_batched
+from .report import AdaptationReport
+
+__all__ = ["AdaptationService"]
+
+
+class AdaptationService:
+    """Adapt one registered source model to a fleet of target domains.
+
+    Parameters
+    ----------
+    source_model:
+        The trained source model.  The service keeps a pristine deep copy;
+        the caller's instance is never mutated.
+    calibration:
+        The source calibration (``Q_s`` and ``tau``) fitted once before
+        deployment via :meth:`repro.core.Tasfar.calibrate_on_source`.
+    config:
+        TASFAR hyper-parameters shared by every target adaptation.
+    loss:
+        Task loss for the fine-tuning; defaults to weighted MSE.
+    max_cached_models:
+        Upper bound on the number of adapted models kept in memory.  The
+        least recently used model is evicted first; its report survives.
+    base_seed:
+        Mixed into every per-target seed so two services with different base
+        seeds adapt the same targets differently (useful for seed studies).
+    """
+
+    def __init__(
+        self,
+        source_model: RegressionModel,
+        calibration: SourceCalibration,
+        config: TasfarConfig | None = None,
+        loss: Loss | None = None,
+        *,
+        max_cached_models: int = 8,
+        base_seed: int = 0,
+    ) -> None:
+        if max_cached_models < 1:
+            raise ValueError("max_cached_models must be at least 1")
+        self._source_model = copy.deepcopy(source_model)
+        self._source_model.eval()
+        self.calibration = calibration
+        self.config = config if config is not None else TasfarConfig()
+        self.loss = loss
+        self.max_cached_models = max_cached_models
+        self.base_seed = int(base_seed)
+        self._models: OrderedDict[str, RegressionModel] = OrderedDict()
+        self._reports: dict[str, AdaptationReport] = {}
+        self._lock = threading.Lock()
+        self._forward_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Seeding
+    # ------------------------------------------------------------------
+    def target_seed(self, target_id: str) -> int:
+        """Deterministic per-target seed, independent of adaptation order.
+
+        Derived from a stable hash of the target id mixed with ``base_seed``
+        (``hash()`` would change between interpreter runs).
+        """
+        digest = hashlib.sha256(str(target_id).encode("utf-8")).digest()
+        return (int.from_bytes(digest[:8], "little") ^ self.base_seed) % (2**63)
+
+    # ------------------------------------------------------------------
+    # Adaptation
+    # ------------------------------------------------------------------
+    def adapt(
+        self,
+        target_id: str,
+        inputs: np.ndarray,
+        seed: int | None = None,
+    ) -> AdaptationReport:
+        """Adapt the source model to one target domain.
+
+        Thread-safe: the heavy work runs on a private copy of the source
+        model, only the cache/report bookkeeping is locked.
+
+        Parameters
+        ----------
+        target_id:
+            Identifier of the target; reports and cached models are keyed
+            by it.  Re-adapting an existing id replaces both.
+        inputs:
+            The target's unlabeled adaptation samples.
+        seed:
+            Optional explicit seed; defaults to :meth:`target_seed`.
+
+        Returns
+        -------
+        AdaptationReport
+            The JSON-serializable summary; the adapted model itself is
+            retrievable via :meth:`model_for` while cached.
+        """
+        target_id = str(target_id)
+        effective_seed = self.target_seed(target_id) if seed is None else int(seed)
+        model = copy.deepcopy(self._source_model)
+        tasfar = Tasfar(self.config, loss=self.loss)
+        start = time.perf_counter()
+        result = tasfar.adapt(model, inputs, self.calibration, seed=effective_seed)
+        duration = time.perf_counter() - start
+        report = AdaptationReport.from_result(target_id, effective_seed, result, duration)
+        with self._lock:
+            self._reports[target_id] = report
+            self._models[target_id] = result.target_model
+            self._models.move_to_end(target_id)
+            while len(self._models) > self.max_cached_models:
+                self._models.popitem(last=False)
+        return report
+
+    def adapt_many(
+        self,
+        targets: Mapping[str, np.ndarray] | Iterable[tuple[str, np.ndarray]],
+        jobs: int = 1,
+    ) -> dict[str, AdaptationReport]:
+        """Adapt a batch of targets, optionally on a worker pool.
+
+        Parameters
+        ----------
+        targets:
+            ``{target_id: inputs}`` mapping or an iterable of pairs.
+        jobs:
+            Worker-thread count.  ``1`` runs serially in the calling thread;
+            any value produces identical numbers because every target is
+            independently seeded (numpy releases the GIL in the hot kernels,
+            so threads overlap real work).
+
+        Returns
+        -------
+        dict
+            Reports keyed by target id, in the input order.
+        """
+        items = list(targets.items()) if isinstance(targets, Mapping) else list(targets)
+        if jobs < 1:
+            raise ValueError("jobs must be at least 1")
+        if jobs == 1 or len(items) <= 1:
+            return {str(tid): self.adapt(tid, data) for tid, data in items}
+        with ThreadPoolExecutor(max_workers=jobs) as pool:
+            futures = [pool.submit(self.adapt, tid, data) for tid, data in items]
+            return {str(tid): future.result() for (tid, _), future in zip(items, futures)}
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def model_for(self, target_id: str) -> RegressionModel | None:
+        """The cached adapted model for ``target_id`` (``None`` if evicted).
+
+        The returned model is the cached instance, not a copy; its layers
+        cache per-forward state, so don't run it from several threads at
+        once (deep-copy it per worker, or go through :meth:`predict`).
+        """
+        with self._lock:
+            model = self._models.get(str(target_id))
+            if model is not None:
+                self._models.move_to_end(str(target_id))
+            return model
+
+    def predict(self, target_id: str, inputs: np.ndarray, batch_size: int = 256) -> np.ndarray:
+        """Predict with the target's adapted model (source model if unknown).
+
+        Targets that were never adapted — or whose model was evicted — fall
+        back to the source model, which is exactly the pre-adaptation
+        behaviour and therefore always a safe default; use :meth:`model_for`
+        first when silent fallback is not acceptable.
+
+        Thread-safe: forwards are serialized under a lock because the layers
+        cache per-call state (a concurrent forward on a shared model would
+        corrupt it).  For parallel serving throughput, take :meth:`model_for`
+        copies into per-worker hands instead.
+        """
+        model = self.model_for(target_id)
+        if model is None:
+            model = self._source_model
+        with self._forward_lock:
+            return predict_batched(model, inputs, batch_size)
+
+    def report_for(self, target_id: str) -> AdaptationReport | None:
+        """The stored report for ``target_id`` (survives model eviction)."""
+        with self._lock:
+            return self._reports.get(str(target_id))
+
+    def reports(self) -> dict[str, AdaptationReport]:
+        """All reports, keyed by target id."""
+        with self._lock:
+            return dict(self._reports)
+
+    @property
+    def cached_targets(self) -> list[str]:
+        """Ids whose adapted models are currently cached (LRU order, oldest first)."""
+        with self._lock:
+            return list(self._models)
+
+    @property
+    def n_adapted(self) -> int:
+        """Number of targets adapted so far (reports, not cached models)."""
+        with self._lock:
+            return len(self._reports)

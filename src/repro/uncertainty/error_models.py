@@ -35,6 +35,36 @@ class ErrorModel:
         """Cumulative distribution function."""
         raise NotImplementedError
 
+    def batch_interval_probability(
+        self, centers: np.ndarray, sigmas: np.ndarray, lower: np.ndarray, upper: np.ndarray
+    ) -> np.ndarray:
+        """Interval masses for a whole batch of instances at once.
+
+        Parameters
+        ----------
+        centers, sigmas:
+            Per-instance location and scale, shape ``(n_instances,)``.
+        lower, upper:
+            Interval bounds shared by all instances, shape ``(n_intervals,)``.
+
+        Returns
+        -------
+        np.ndarray
+            Mass matrix of shape ``(n_instances, n_intervals)``.  The built-in
+            families override this with a broadcasted closed form; this
+            generic fallback loops over instances so any custom scalar-only
+            subclass keeps working with the vectorized density-map path.
+        """
+        centers = np.asarray(centers, dtype=np.float64).ravel()
+        sigmas = np.asarray(sigmas, dtype=np.float64).ravel()
+        return np.stack(
+            [
+                self.interval_probability(float(center), float(sigma), lower, upper)
+                for center, sigma in zip(centers, sigmas)
+            ],
+            axis=0,
+        )
+
 
 class GaussianErrorModel(ErrorModel):
     """Gaussian instance-label distribution (paper default, Eq. 5/11)."""
@@ -48,6 +78,14 @@ class GaussianErrorModel(ErrorModel):
 
     def interval_probability(self, center, sigma, lower, upper):
         return self.cdf(upper, center, sigma) - self.cdf(lower, center, sigma)
+
+    def batch_interval_probability(self, centers, sigmas, lower, upper):
+        centers = np.asarray(centers, dtype=np.float64).reshape(-1, 1)
+        sigmas = np.maximum(np.asarray(sigmas, dtype=np.float64).reshape(-1, 1), 1e-12)
+        denom = np.sqrt(2.0) * sigmas
+        upper_cdf = 0.5 * (1.0 + special.erf((np.asarray(upper, dtype=np.float64) - centers) / denom))
+        lower_cdf = 0.5 * (1.0 + special.erf((np.asarray(lower, dtype=np.float64) - centers) / denom))
+        return upper_cdf - lower_cdf
 
 
 class LaplaceErrorModel(ErrorModel):
@@ -65,6 +103,16 @@ class LaplaceErrorModel(ErrorModel):
     def interval_probability(self, center, sigma, lower, upper):
         return self.cdf(upper, center, sigma) - self.cdf(lower, center, sigma)
 
+    def batch_interval_probability(self, centers, sigmas, lower, upper):
+        centers = np.asarray(centers, dtype=np.float64).reshape(-1, 1)
+        scale = np.maximum(np.asarray(sigmas, dtype=np.float64).reshape(-1, 1), 1e-12) / np.sqrt(2.0)
+
+        def batch_cdf(value: np.ndarray) -> np.ndarray:
+            z = np.clip((np.asarray(value, dtype=np.float64) - centers) / scale, -700.0, 700.0)
+            return np.where(z < 0, 0.5 * np.exp(z), 1.0 - 0.5 * np.exp(-z))
+
+        return batch_cdf(upper) - batch_cdf(lower)
+
 
 class UniformErrorModel(ErrorModel):
     """Uniform instance-label distribution with matching standard deviation."""
@@ -80,6 +128,16 @@ class UniformErrorModel(ErrorModel):
 
     def interval_probability(self, center, sigma, lower, upper):
         return self.cdf(upper, center, sigma) - self.cdf(lower, center, sigma)
+
+    def batch_interval_probability(self, centers, sigmas, lower, upper):
+        centers = np.asarray(centers, dtype=np.float64).reshape(-1, 1)
+        half_width = np.maximum(np.asarray(sigmas, dtype=np.float64).reshape(-1, 1), 1e-12) * np.sqrt(3.0)
+
+        def batch_cdf(value: np.ndarray) -> np.ndarray:
+            z = (np.asarray(value, dtype=np.float64) - (centers - half_width)) / (2.0 * half_width)
+            return np.clip(z, 0.0, 1.0)
+
+        return batch_cdf(upper) - batch_cdf(lower)
 
 
 _ERROR_MODELS = {

@@ -4,6 +4,23 @@ The paper estimates prediction confidence with the dropout mechanism
 (Section IV-A): "Uncertainty is presented by the standard deviation of
 predictions from twenty samplings with a dropout rate of 0.2."  This module
 implements exactly that protocol on top of :class:`repro.nn.RegressionModel`.
+
+Two execution strategies are provided:
+
+* the **vectorized** path (default) stacks ``n_samples`` replicas of each
+  mini-batch along the batch axis and runs them through the network in a
+  single forward pass;
+* the **loop** path runs ``n_samples`` sequential forward passes per
+  mini-batch — the paper's literal protocol.
+
+Both paths give every dropout layer its own private random stream
+(:meth:`repro.nn.Dropout.set_mc_rng`).  Because ``Generator.random`` fills
+arrays from the stream in C order, one stacked ``(n_samples * batch, ...)``
+mask draw is bit-identical to ``n_samples`` consecutive ``(batch, ...)``
+draws, so the two strategies produce **bit-for-bit identical results** for
+the same seed while the vectorized one amortizes the Python/numpy per-layer
+call overhead over ``n_samples`` replicas (see
+``benchmarks/test_bench_runtime.py`` for the measured speedup).
 """
 
 from __future__ import annotations
@@ -12,6 +29,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..nn.dropout import Dropout
 from ..nn.models import RegressionModel
 
 __all__ = ["UncertainPrediction", "MCDropoutPredictor"]
@@ -59,24 +77,68 @@ class MCDropoutPredictor:
     n_samples:
         Number of Monte-Carlo forward passes (paper default: 20).
     batch_size:
-        Mini-batch size used for the forward passes.
+        Maximum number of rows per forward call.  The deterministic pass
+        partitions the input by this directly; the stacked MC forward keeps
+        ``n_samples * mc_batch_rows`` within the same budget, which matters
+        on small caches (a 20x-tiled 256-row batch thrashes L2 and ends up
+        slower than the loop it replaces).
+    seed:
+        Seed (or :class:`numpy.random.SeedSequence`) for the per-layer MC
+        dropout streams.  With an explicit seed the prediction is a pure
+        function of ``(model parameters, inputs, seed)`` — required for the
+        parallel :class:`~repro.runtime.AdaptationService` to be
+        order-independent.  With ``None`` the entropy is drawn from the
+        model's first dropout layer's own generator, so repeated calls
+        differ (the historical behaviour).
+    vectorized:
+        Use the stacked-replica forward (default).  ``False`` selects the
+        sequential per-sample loop.
+    mc_batch_rows:
+        Input rows per MC chunk, shared by both strategies so they consume
+        the per-layer mask streams identically (and therefore draw
+        bit-identical dropout masks for the same seed).  Defaults to
+        ``max(1, batch_size // n_samples)``.
     """
 
-    def __init__(self, model: RegressionModel, n_samples: int = 20, batch_size: int = 256) -> None:
+    def __init__(
+        self,
+        model: RegressionModel,
+        n_samples: int = 20,
+        batch_size: int = 256,
+        seed: int | np.random.SeedSequence | None = None,
+        vectorized: bool = True,
+        mc_batch_rows: int | None = None,
+    ) -> None:
         if n_samples < 2:
             raise ValueError("n_samples must be at least 2 to estimate a spread")
         self.model = model
         self.n_samples = n_samples
         self.batch_size = batch_size
+        self.vectorized = vectorized
+        if mc_batch_rows is None:
+            mc_batch_rows = max(1, batch_size // n_samples)
+        if mc_batch_rows < 1:
+            raise ValueError("mc_batch_rows must be at least 1")
+        self.mc_batch_rows = mc_batch_rows
+        if isinstance(seed, np.random.SeedSequence):
+            self._seed_sequence: np.random.SeedSequence | None = seed
+        elif seed is not None:
+            self._seed_sequence = np.random.SeedSequence(seed)
+        else:
+            self._seed_sequence = None
 
     def predict(self, inputs: np.ndarray, keep_samples: bool = False) -> UncertainPrediction:
         """Return mean prediction and MC-dropout uncertainty for ``inputs``."""
         inputs = np.asarray(inputs, dtype=np.float64)
-        has_dropout = len(self.model.dropout_layers()) > 0
+        # One module-tree walk per call: eval/set_mc_dropout each re-walk the
+        # tree, which dominates the runtime for small inputs.
+        modules = self.model.modules()
+        dropout_layers = [module for module in modules if isinstance(module, Dropout)]
 
-        self.model.eval()
+        for module in modules:
+            module.training = False
         deterministic = self._forward_batched(inputs)
-        if not has_dropout:
+        if not dropout_layers:
             zeros = np.zeros_like(deterministic)
             return UncertainPrediction(
                 mean=deterministic,
@@ -85,14 +147,18 @@ class MCDropoutPredictor:
                 samples=None,
             )
 
-        self.model.set_mc_dropout(True)
+        for layer, rng in zip(dropout_layers, self._layer_rngs(dropout_layers)):
+            layer.set_mc_rng(rng)
+            layer.enable_mc(True)
         try:
-            samples = np.stack(
-                [self._forward_batched(inputs) for _ in range(self.n_samples)], axis=0
-            )
+            if self.vectorized:
+                samples = self._mc_samples_vectorized(inputs)
+            else:
+                samples = self._mc_samples_loop(inputs)
         finally:
-            self.model.set_mc_dropout(False)
-            self.model.eval()
+            for layer in dropout_layers:
+                layer.set_mc_rng(None)
+                layer.enable_mc(False)
 
         mean = samples.mean(axis=0)
         std = samples.std(axis=0)
@@ -103,6 +169,47 @@ class MCDropoutPredictor:
             uncertainty=uncertainty,
             samples=samples if keep_samples else None,
         )
+
+    # ------------------------------------------------------------------
+    # MC sampling strategies
+    # ------------------------------------------------------------------
+    def _layer_rngs(self, dropout_layers: list[Dropout]) -> list[np.random.Generator]:
+        """One independent generator per dropout layer.
+
+        Each :meth:`predict` call spawns a fresh batch of children so
+        consecutive calls use different masks, while the overall sequence is
+        deterministic for a seeded predictor.
+        """
+        if self._seed_sequence is not None:
+            children = self._seed_sequence.spawn(len(dropout_layers))
+        else:
+            entropy = int(dropout_layers[0].rng.integers(np.iinfo(np.int64).max))
+            children = np.random.SeedSequence(entropy).spawn(len(dropout_layers))
+        return [np.random.default_rng(child) for child in children]
+
+    def _mc_samples_vectorized(self, inputs: np.ndarray) -> np.ndarray:
+        """All MC passes of each input chunk in one stacked forward."""
+        batches = []
+        for start in range(0, len(inputs), self.mc_batch_rows):
+            chunk = inputs[start : start + self.mc_batch_rows]
+            tiled = np.concatenate([chunk] * self.n_samples, axis=0)
+            outputs = self.model.forward(tiled)
+            batches.append(outputs.reshape(self.n_samples, len(chunk), -1))
+        return np.concatenate(batches, axis=1)
+
+    def _mc_samples_loop(self, inputs: np.ndarray) -> np.ndarray:
+        """Reference strategy: ``n_samples`` sequential passes per chunk.
+
+        Iterates chunk-major (all MC passes of a chunk before moving on to
+        the next) so the per-layer stream consumption matches the stacked
+        draw of the vectorized path exactly.
+        """
+        batches = []
+        for start in range(0, len(inputs), self.mc_batch_rows):
+            chunk = inputs[start : start + self.mc_batch_rows]
+            passes = [self.model.forward(chunk) for _ in range(self.n_samples)]
+            batches.append(np.stack(passes, axis=0))
+        return np.concatenate(batches, axis=1)
 
     def _forward_batched(self, inputs: np.ndarray) -> np.ndarray:
         outputs = []

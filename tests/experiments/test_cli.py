@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -32,3 +34,212 @@ class TestCli:
         parser = build_parser()
         with pytest.raises(SystemExit):
             parser.parse_args(["run", "fig2_label_distributions", "--scale", "huge"])
+
+
+class TestRunAllParsing:
+    def test_defaults(self):
+        args = build_parser().parse_args(["run-all"])
+        assert args.jobs == 1
+        assert args.results_dir is None
+        assert not args.resume
+        assert args.only is None
+
+    def test_flags_parse(self):
+        args = build_parser().parse_args(
+            [
+                "run-all",
+                "--scale",
+                "tiny",
+                "--jobs",
+                "4",
+                "--results-dir",
+                "results",
+                "--resume",
+                "--only",
+                "fig2_label_distributions",
+                "fig3_uncertainty_error",
+            ]
+        )
+        assert args.jobs == 4
+        assert args.results_dir == "results"
+        assert args.resume
+        assert args.only == ["fig2_label_distributions", "fig3_uncertainty_error"]
+
+    def test_resume_requires_results_dir(self):
+        with pytest.raises(SystemExit):
+            main(["run-all", "--resume", "--scale", "tiny"])
+
+    def test_unknown_only_id_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run-all", "--scale", "tiny", "--only", "fig99_unknown"])
+
+    def test_invalid_jobs_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run-all", "--scale", "tiny", "--jobs", "0"])
+
+
+class TestRunAllExecution:
+    def test_run_subset_writes_store_and_output(self, tmp_path, capsys):
+        results_dir = tmp_path / "results"
+        output = tmp_path / "report.txt"
+        assert (
+            main(
+                [
+                    "run-all",
+                    "--scale",
+                    "tiny",
+                    "--only",
+                    "fig2_label_distributions",
+                    "--results-dir",
+                    str(results_dir),
+                    "--output",
+                    str(output),
+                ]
+            )
+            == 0
+        )
+        assert "fig2_label_distributions" in capsys.readouterr().out
+        assert (results_dir / "tiny" / "seed0" / "fig2_label_distributions.json").is_file()
+        assert "fig2_label_distributions" in output.read_text()
+
+    def test_resume_skips_stored_experiments(self, tmp_path, capsys):
+        results_dir = tmp_path / "results"
+        args = [
+            "run-all",
+            "--scale",
+            "tiny",
+            "--only",
+            "fig2_label_distributions",
+            "--results-dir",
+            str(results_dir),
+        ]
+        assert main(args) == 0
+        capsys.readouterr()
+        stored = results_dir / "tiny" / "seed0" / "fig2_label_distributions.json"
+        before = stored.stat().st_mtime_ns
+        assert main(args + ["--resume"]) == 0
+        resumed = capsys.readouterr().out
+        assert "[resumed] fig2_label_distributions" in resumed
+        assert "stride_mean" in resumed  # the stored rows are still reported
+        assert stored.stat().st_mtime_ns == before  # resumed results are not re-saved
+
+    def test_parallel_jobs_produce_all_results(self, tmp_path, capsys):
+        results_dir = tmp_path / "results"
+        assert (
+            main(
+                [
+                    "run-all",
+                    "--scale",
+                    "tiny",
+                    "--jobs",
+                    "2",
+                    "--only",
+                    "fig2_label_distributions",
+                    "fig3_uncertainty_error",
+                    "--results-dir",
+                    str(results_dir),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "fig2_label_distributions" in out
+        assert "fig3_uncertainty_error" in out
+        stored = sorted(path.stem for path in (results_dir / "tiny" / "seed0").glob("*.json"))
+        assert stored == ["fig2_label_distributions", "fig3_uncertainty_error"]
+
+
+class TestAdaptManyParsing:
+    def test_defaults(self):
+        args = build_parser().parse_args(["adapt-many"])
+        assert args.task == "pdr"
+        assert args.jobs == 1
+        assert args.targets is None
+        assert args.max_cached is None  # resolved to the fleet size at runtime
+        assert args.report is None
+
+    def test_flags_parse(self):
+        args = build_parser().parse_args(
+            [
+                "adapt-many",
+                "--task",
+                "housing",
+                "--scale",
+                "tiny",
+                "--jobs",
+                "3",
+                "--targets",
+                "coastal",
+                "--max-cached",
+                "2",
+                "--report",
+                "out.json",
+            ]
+        )
+        assert args.task == "housing"
+        assert args.jobs == 3
+        assert args.targets == ["coastal"]
+        assert args.max_cached == 2
+        assert args.report == "out.json"
+
+    def test_unknown_task_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["adapt-many", "--task", "nonsense"])
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["adapt-many", "--task", "housing", "--scale", "tiny", "--targets", "nowhere"])
+
+
+class TestAdaptManyExecution:
+    def test_end_to_end_parallel_with_report(self, tmp_path, capsys):
+        report_path = tmp_path / "reports.json"
+        assert (
+            main(
+                [
+                    "adapt-many",
+                    "--task",
+                    "housing",
+                    "--scale",
+                    "tiny",
+                    "--jobs",
+                    "2",
+                    "--report",
+                    str(report_path),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "mse_before" in out and "mse_after" in out
+        payload = json.loads(report_path.read_text())
+        assert payload  # one entry per scenario
+        for report in payload.values():
+            assert report["n_confident"] + report["n_uncertain"] == report["n_samples"]
+            assert "mse_before" in report["extra"] and "mse_after" in report["extra"]
+            assert report["extra"]["mse_after"] is not None  # default cache covers the fleet
+
+    def test_evicted_targets_are_labelled_not_misreported(self, tmp_path, capsys):
+        """A small --max-cached must not pass off source-model numbers as adapted."""
+        report_path = tmp_path / "reports.json"
+        assert (
+            main(
+                [
+                    "adapt-many",
+                    "--task",
+                    "pdr",
+                    "--scale",
+                    "tiny",
+                    "--max-cached",
+                    "1",
+                    "--report",
+                    str(report_path),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "evicted" in out
+        payload = json.loads(report_path.read_text())
+        after_values = [report["extra"]["mse_after"] for report in payload.values()]
+        assert after_values.count(None) == len(after_values) - 1  # only the cached one scored

@@ -1,0 +1,128 @@
+"""Tests for the disk-backed experiment ResultStore and resume semantics."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.experiments import ExperimentResult
+from repro.runtime import ResultStore
+from repro.runtime.serialization import to_jsonable
+
+
+def make_result(experiment_id="fig0_demo"):
+    return ExperimentResult(
+        experiment_id=experiment_id,
+        description="demo result",
+        columns=["name", "value", "count"],
+        rows=[
+            ["alpha", np.float64(1.25), np.int64(3)],
+            ["beta", 2.5, 4],
+        ],
+        paper_expectation="values stay finite",
+        notes={"mean": np.float64(1.875), "tags": ("a", "b"), "array": np.arange(3)},
+    )
+
+
+class TestRoundTrip:
+    def test_save_load_roundtrip(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.save(make_result(), "small", 0)
+        loaded = store.load("fig0_demo", "small", 0)
+        assert loaded.experiment_id == "fig0_demo"
+        assert loaded.description == "demo result"
+        assert loaded.columns == ["name", "value", "count"]
+        assert loaded.rows == [["alpha", 1.25, 3], ["beta", 2.5, 4]]
+        assert loaded.paper_expectation == "values stay finite"
+        assert loaded.notes["mean"] == 1.875
+        assert loaded.notes["array"] == [0, 1, 2]
+
+    def test_summary_of_loaded_result_renders(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.save(make_result(), "small", 0)
+        summary = store.load("fig0_demo", "small", 0).summary()
+        assert "fig0_demo" in summary and "alpha" in summary
+
+    def test_unserializable_notes_degrade_to_repr(self, tmp_path):
+        result = make_result()
+        result.notes["opaque"] = object()
+        store = ResultStore(tmp_path)
+        store.save(result, "small", 0)
+        loaded = store.load("fig0_demo", "small", 0)
+        assert isinstance(loaded.notes["opaque"], str)
+
+
+class TestKeying:
+    def test_keys_are_independent(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.save(make_result(), "small", 0)
+        assert store.has("fig0_demo", "small", 0)
+        assert not store.has("fig0_demo", "small", 1)
+        assert not store.has("fig0_demo", "tiny", 0)
+        assert not store.has("fig1_other", "small", 0)
+
+    def test_completed_lists_stored_ids(self, tmp_path):
+        store = ResultStore(tmp_path)
+        assert store.completed("small", 0) == []
+        store.save(make_result("fig2_b"), "small", 0)
+        store.save(make_result("fig1_a"), "small", 0)
+        assert store.completed("small", 0) == ["fig1_a", "fig2_b"]
+
+    def test_discard(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.save(make_result(), "small", 0)
+        assert store.discard("fig0_demo", "small", 0)
+        assert not store.has("fig0_demo", "small", 0)
+        assert not store.discard("fig0_demo", "small", 0)
+
+
+class TestResumeRobustness:
+    def test_corrupt_file_reports_missing(self, tmp_path):
+        store = ResultStore(tmp_path)
+        path = store.path_for("fig0_demo", "small", 0)
+        path.parent.mkdir(parents=True)
+        path.write_text("{not json", encoding="utf-8")
+        assert not store.has("fig0_demo", "small", 0)
+
+    def test_schema_mismatch_reports_missing(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.save(make_result(), "small", 0)
+        path = store.path_for("fig0_demo", "small", 0)
+        payload = json.loads(path.read_text())
+        payload["schema_version"] = -1
+        path.write_text(json.dumps(payload), encoding="utf-8")
+        assert not store.has("fig0_demo", "small", 0)
+
+    def test_save_replaces_previous_result(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.save(make_result(), "small", 0)
+        updated = make_result()
+        updated.rows = [["gamma", 9.0, 1]]
+        store.save(updated, "small", 0)
+        assert store.load("fig0_demo", "small", 0).rows == [["gamma", 9.0, 1]]
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.save(make_result(), "small", 0)
+        assert not list(tmp_path.rglob("*.tmp"))
+
+
+class TestToJsonable:
+    @pytest.mark.parametrize(
+        "value, expected",
+        [
+            (np.float64(1.5), 1.5),
+            (np.int32(7), 7),
+            (np.bool_(True), True),
+            ((1, 2), [1, 2]),
+            ({"k": np.arange(2)}, {"k": [0, 1]}),
+            ({1: "v"}, {"1": "v"}),
+            (None, None),
+        ],
+    )
+    def test_conversions(self, value, expected):
+        assert to_jsonable(value) == expected
+
+    def test_result_is_json_dumpable(self):
+        payload = to_jsonable(make_result().notes)
+        json.dumps(payload)
