@@ -11,6 +11,10 @@ The public API re-exports the most commonly used entry points:
 * :mod:`repro.runtime` — deployment-time multi-target adaptation service
   (worker-pooled ``adapt_many``, LRU-cached adapted models, JSON reports)
   and the disk-backed result store behind ``run-all --resume``.
+* :mod:`repro.streaming` — the streaming layer on top of the runtime:
+  online density maps with exponential decay, Page-Hinkley drift detection,
+  and ``ingest``-driven warm-start re-adaptation; paired with the
+  non-stationary stream generators in :mod:`repro.data.drift`.
 """
 
 from .version import __version__

@@ -21,6 +21,12 @@ Adapt every target scenario of a task through the multi-target
 
     python -m repro.cli adapt-many --task pdr --scale small --jobs 4 \
         --report adaptation_reports.json
+
+Replay a suddenly drifting stream for every PDR user through the streaming
+service (online density maps, drift detection, warm re-adaptation)::
+
+    python -m repro.cli stream --task pdr --drift sudden --steps 12 \
+        --events stream_events.json
 """
 
 from __future__ import annotations
@@ -40,6 +46,8 @@ ADAPT_TASKS = ("pdr", "crowd", "housing", "taxi")
 
 def build_parser() -> argparse.ArgumentParser:
     """Build the argument parser for the CLI."""
+    from .data.drift import DRIFT_KINDS
+
     parser = argparse.ArgumentParser(
         prog="tasfar-repro",
         description="Reproduction experiments for TASFAR (ICDE 2024)",
@@ -111,6 +119,61 @@ def build_parser() -> argparse.ArgumentParser:
     adapt_parser.add_argument(
         "--report", default=None, help="optional path for a JSON file with per-target reports"
     )
+
+    stream_parser = subparsers.add_parser(
+        "stream",
+        help="replay non-stationary per-target streams through the StreamingAdaptationService",
+    )
+    stream_parser.add_argument("--task", default="pdr", choices=ADAPT_TASKS)
+    stream_parser.add_argument("--scale", default="small", choices=tuple(SCALES))
+    stream_parser.add_argument("--seed", type=int, default=0)
+    stream_parser.add_argument(
+        "--drift",
+        default="sudden",
+        choices=DRIFT_KINDS,
+        help="drift kind injected into every target's stream",
+    )
+    stream_parser.add_argument("--steps", type=int, default=12, help="batches per target stream")
+    stream_parser.add_argument("--batch-size", type=int, default=16, help="events per batch")
+    stream_parser.add_argument(
+        "--min-adapt",
+        type=int,
+        default=32,
+        help="buffered events before a target's first (cold) adaptation",
+    )
+    stream_parser.add_argument(
+        "--budget",
+        type=int,
+        default=96,
+        help="buffered events that force a re-adaptation even without drift",
+    )
+    stream_parser.add_argument(
+        "--warm-epochs",
+        type=int,
+        default=None,
+        help="fine-tuning epochs for warm re-adaptations (default: a quarter of the cold budget)",
+    )
+    stream_parser.add_argument(
+        "--drift-threshold",
+        type=float,
+        default=0.10,
+        help="Page-Hinkley alarm threshold on the density divergence",
+    )
+    stream_parser.add_argument(
+        "--jobs", type=int, default=1, help="worker threads for ingesting targets in parallel"
+    )
+    stream_parser.add_argument(
+        "--targets",
+        nargs="+",
+        default=None,
+        metavar="SCENARIO",
+        help="restrict streaming to these scenario names (default: all)",
+    )
+    stream_parser.add_argument(
+        "--events",
+        default=None,
+        help="optional path for a JSON file with the per-user event tables",
+    )
     return parser
 
 
@@ -134,6 +197,9 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "adapt-many":
         return _adapt_many(parser, args)
+
+    if args.command == "stream":
+        return _stream(parser, args)
 
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover
     return 1
@@ -199,15 +265,14 @@ def _run_all(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
     return 0
 
 
-def _adapt_many(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
-    """Adapt the target scenarios of one task through the AdaptationService."""
-    from .core import TasfarConfig
-    from .experiments import get_bundle
-    from .metrics import format_table, mse
-    from .runtime import AdaptationService
+def _select_scenarios(parser: argparse.ArgumentParser, args: argparse.Namespace):
+    """Build the task bundle and resolve the ``--targets`` scenario selection.
 
-    if args.jobs < 1:
-        parser.error("--jobs must be at least 1")
+    Shared by ``adapt-many`` and ``stream``; returns ``(bundle, selected)``
+    with ``selected`` keyed by scenario name in task order (or ``--targets``
+    order when given).
+    """
+    from .experiments import get_bundle
 
     bundle = get_bundle(args.task, args.scale, args.seed)
     scenarios = {scenario.name: scenario for scenario in bundle.task.scenarios}
@@ -215,9 +280,20 @@ def _adapt_many(parser: argparse.ArgumentParser, args: argparse.Namespace) -> in
         unknown = [name for name in args.targets if name not in scenarios]
         if unknown:
             parser.error(f"unknown scenarios: {', '.join(unknown)}")
-        selected = {name: scenarios[name] for name in args.targets}
-    else:
-        selected = scenarios
+        return bundle, {name: scenarios[name] for name in args.targets}
+    return bundle, scenarios
+
+
+def _adapt_many(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
+    """Adapt the target scenarios of one task through the AdaptationService."""
+    from .core import TasfarConfig
+    from .metrics import format_table, mse
+    from .runtime import AdaptationService
+
+    if args.jobs < 1:
+        parser.error("--jobs must be at least 1")
+
+    bundle, selected = _select_scenarios(parser, args)
 
     # The cache must cover the whole fleet by default: an evicted target
     # would silently be evaluated with the unadapted source model below.
@@ -274,6 +350,92 @@ def _adapt_many(parser: argparse.ArgumentParser, args: argparse.Namespace) -> in
         with open(args.report, "w", encoding="utf-8") as handle:
             json.dump(payload, handle, indent=2)
         print(f"wrote {len(payload)} reports to {args.report}")
+    return 0
+
+
+def _stream(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
+    """Replay drifting per-target streams through the StreamingAdaptationService."""
+    from .core import TasfarConfig
+    from .data import make_drift_streams
+    from .metrics import format_table, mse
+    from .streaming import StreamingAdaptationService
+
+    if args.jobs < 1:
+        parser.error("--jobs must be at least 1")
+    if args.steps < 1:
+        parser.error("--steps must be at least 1")
+    if args.batch_size < 1:
+        parser.error("--batch-size must be at least 1")
+    if args.min_adapt < 1:
+        parser.error("--min-adapt must be at least 1")
+    if args.budget < 1:
+        parser.error("--budget must be at least 1")
+    if args.warm_epochs is not None and args.warm_epochs < 1:
+        parser.error("--warm-epochs must be at least 1")
+    if args.drift_threshold <= 0:
+        parser.error("--drift-threshold must be positive")
+
+    bundle, selected = _select_scenarios(parser, args)
+
+    streams = make_drift_streams(
+        bundle.task,
+        kind=args.drift,
+        n_steps=args.steps,
+        batch_size=args.batch_size,
+        seed=args.seed,
+        only=list(selected),
+    )
+    service = StreamingAdaptationService(
+        bundle.source_model,
+        bundle.calibration,
+        config=TasfarConfig(seed=args.seed),
+        max_cached_models=len(selected),
+        base_seed=args.seed,
+        min_adapt_events=args.min_adapt,
+        readapt_budget=args.budget,
+        warm_epochs=args.warm_epochs,
+        drift_threshold=args.drift_threshold,
+    )
+
+    # Interleave the streams step by step, the way a real ingest frontend
+    # would see a fleet: every target contributes its batch for step t before
+    # any target moves to step t+1.
+    for step in range(args.steps):
+        service.ingest_many(
+            {name: stream.batches[step].inputs for name, stream in streams.items()},
+            jobs=args.jobs,
+        )
+
+    rows = []
+    for name, scenario in selected.items():
+        stats = service.stream_stats(name)
+        before = mse(bundle.predict(scenario.test.inputs), scenario.test.targets)
+        after_cell: object = "never adapted"
+        if service.report_for(name) is not None and service.model_for(name) is not None:
+            after_cell = round(mse(service.predict(name, scenario.test.inputs), scenario.test.targets), 4)
+        rows.append(
+            [
+                name,
+                stats["total_events"],
+                stats["cold_adaptations"],
+                stats["warm_adaptations"],
+                stats["buffered"],
+                round(before, 4),
+                after_cell,
+            ]
+        )
+    print(f"[stream] task={args.task} drift={args.drift} steps={args.steps}")
+    print(
+        format_table(
+            ["target", "events", "cold", "warm", "buffered", "mse_source", "mse_stream"],
+            rows,
+        )
+    )
+    if args.events:
+        payload = {name: [event.to_dict() for event in service.events_for(name)] for name in selected}
+        with open(args.events, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+        print(f"wrote event tables for {len(payload)} targets to {args.events}")
     return 0
 
 

@@ -1,6 +1,6 @@
 """TASFAR core: confidence split, label density estimation, pseudo-labelling, adaptation."""
 
-from .adapter import AdaptationResult, SourceCalibration, Tasfar
+from .adapter import AdaptationResult, NoConfidentSamplesError, SourceCalibration, Tasfar
 from .confidence import ConfidenceClassifier, ConfidenceSplit
 from .config import TasfarConfig
 from .density_map import LabelDensityMap
@@ -15,6 +15,7 @@ __all__ = [
     "LabelDensityMap",
     "LabelDistributionEstimator",
     "LossDropEarlyStopper",
+    "NoConfidentSamplesError",
     "PseudoLabelBatch",
     "PseudoLabelGenerator",
     "SourceCalibration",

@@ -33,7 +33,17 @@ from .early_stopping import LossDropEarlyStopper
 from .estimator import LabelDistributionEstimator
 from .pseudo_label import PseudoLabelBatch, PseudoLabelGenerator
 
-__all__ = ["SourceCalibration", "AdaptationResult", "Tasfar"]
+__all__ = ["NoConfidentSamplesError", "SourceCalibration", "AdaptationResult", "Tasfar"]
+
+
+class NoConfidentSamplesError(ValueError):
+    """Raised when adaptation is attempted on data with zero confident samples.
+
+    A distinct type (not a bare ``ValueError``) so callers that want to
+    retry later — e.g. the streaming service buffering through a sensor
+    glitch — can catch exactly this condition without masking unrelated
+    errors.
+    """
 
 #: Stream tags separating the calibration-time and adaptation-time MC-dropout
 #: generator sequences derived from the same user-facing seed.
@@ -225,7 +235,7 @@ class Tasfar:
         confident = split.confident_indices
         uncertain = split.uncertain_indices
         if len(confident) == 0:
-            raise ValueError(
+            raise NoConfidentSamplesError(
                 "no confident target samples: the source model is uncertain about "
                 "every target input, so the label distribution cannot be estimated"
             )

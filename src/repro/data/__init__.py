@@ -2,6 +2,13 @@
 
 from .base import AdaptationTask, TargetScenario
 from .crowd import CrowdGenerator, CrowdSceneProfile, make_crowd_task
+from .drift import (
+    DRIFT_KINDS,
+    NonStationaryStream,
+    StreamBatch,
+    make_drift_stream,
+    make_drift_streams,
+)
 from .housing import HOUSING_FEATURES, HousingGenerator, make_housing_task
 from .partition import merge_scenarios, split_dataset_by_fraction, subsample_scenario
 from .pdr import PdrGenerator, PdrTrajectory, PdrUserProfile, make_pdr_task
@@ -12,8 +19,11 @@ __all__ = [
     "AdaptationTask",
     "CrowdGenerator",
     "CrowdSceneProfile",
+    "DRIFT_KINDS",
     "HOUSING_FEATURES",
     "HousingGenerator",
+    "NonStationaryStream",
+    "StreamBatch",
     "PdrGenerator",
     "PdrTrajectory",
     "PdrUserProfile",
@@ -23,6 +33,8 @@ __all__ = [
     "TaxiGenerator",
     "corrupt_features",
     "make_crowd_task",
+    "make_drift_stream",
+    "make_drift_streams",
     "make_housing_task",
     "make_pdr_task",
     "make_taxi_task",

@@ -1,0 +1,234 @@
+"""Non-stationary stream generators built from the existing adaptation tasks.
+
+Every :class:`~repro.data.TargetScenario` (a PDR user, a crowd scene, a taxi
+district, a housing segment) becomes a *stream* of event batches whose label
+distribution changes over time.  The generator never fabricates labels: it
+splits the scenario's own samples into two **regimes** by label magnitude
+(the lower-label half vs. the upper-label half) and varies, per step, the
+probability of drawing from the drifted regime.  Shifting between halves of
+the real label distribution is a genuine label-distribution drift — exactly
+what the streaming service's density-map drift monitor must catch — while
+inputs and labels stay jointly realistic.
+
+Drift kinds (``DRIFT_KINDS``):
+
+* ``sudden`` — the stream switches regimes at ``drift_point`` in one step;
+* ``gradual`` — the drifted-regime probability ramps linearly from 0 to 1;
+* ``recurring`` — the regimes alternate with a fixed cycle length;
+* ``noise_burst`` — the label distribution stays put, but a window of steps
+  carries heavy input noise (a sensor glitch, not a regime change — a good
+  false-alarm probe for drift detectors).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .base import AdaptationTask, TargetScenario
+
+__all__ = [
+    "DRIFT_KINDS",
+    "StreamBatch",
+    "NonStationaryStream",
+    "make_drift_stream",
+    "make_drift_streams",
+]
+
+DRIFT_KINDS = ("sudden", "gradual", "recurring", "noise_burst")
+
+
+@dataclass
+class StreamBatch:
+    """One step of a non-stationary stream.
+
+    ``targets`` are carried for *evaluation only* — the streaming service
+    ingests ``inputs`` alone, mirroring the unlabeled-at-adaptation-time
+    contract of the batch tasks.
+    """
+
+    step: int
+    inputs: np.ndarray
+    targets: np.ndarray
+    mix: float  #: probability of the drifted regime at this step
+    n_drifted: int  #: samples actually drawn from the drifted regime
+    noisy: bool = False  #: whether this batch carries burst noise
+
+    def __len__(self) -> int:
+        return len(self.inputs)
+
+
+@dataclass
+class NonStationaryStream:
+    """A full generated stream: ordered batches plus its provenance."""
+
+    name: str
+    kind: str
+    batches: list[StreamBatch]
+    metadata: dict = field(default_factory=dict)
+
+    @property
+    def n_steps(self) -> int:
+        """Number of batches in the stream."""
+        return len(self.batches)
+
+    @property
+    def n_events(self) -> int:
+        """Total samples across all batches."""
+        return sum(len(batch) for batch in self.batches)
+
+    def all_inputs(self) -> np.ndarray:
+        """Every input of the stream, concatenated in arrival order."""
+        return np.concatenate([batch.inputs for batch in self.batches], axis=0)
+
+    def all_targets(self) -> np.ndarray:
+        """Every (evaluation-only) label, concatenated in arrival order."""
+        return np.concatenate([batch.targets for batch in self.batches], axis=0)
+
+    def mix_schedule(self) -> list[float]:
+        """The drifted-regime probability at every step."""
+        return [batch.mix for batch in self.batches]
+
+
+def _mix_at(kind: str, step: int, n_steps: int, drift_point: float, cycle: int) -> float:
+    """Probability of the drifted regime at ``step`` (0-based) for ``kind``."""
+    if kind == "sudden":
+        return 1.0 if step >= drift_point * n_steps else 0.0
+    if kind == "gradual":
+        return step / max(n_steps - 1, 1)
+    if kind == "recurring":
+        return 1.0 if (step // cycle) % 2 == 1 else 0.0
+    if kind == "noise_burst":
+        return 0.0
+    raise ValueError(f"unknown drift kind {kind!r}; expected one of {DRIFT_KINDS}")
+
+
+def make_drift_stream(
+    scenario: TargetScenario,
+    kind: str = "sudden",
+    n_steps: int = 20,
+    batch_size: int = 16,
+    drift_point: float = 0.5,
+    cycle: int | None = None,
+    noise_scale: float = 2.0,
+    seed: int = 0,
+) -> NonStationaryStream:
+    """Turn one target scenario into a non-stationary event stream.
+
+    Parameters
+    ----------
+    scenario:
+        Any existing target scenario; its pooled (adaptation + test)
+        samples form the two regime pools.
+    kind:
+        One of :data:`DRIFT_KINDS`.
+    n_steps, batch_size:
+        Stream length in batches and samples per batch.  Samples are drawn
+        with replacement, so any stream size works for any scenario.
+    drift_point:
+        For ``sudden``: fraction of the stream after which the drifted
+        regime takes over.
+    cycle:
+        For ``recurring``: steps per regime phase (default: a quarter of
+        the stream, at least one).
+    noise_scale:
+        For ``noise_burst``: input noise amplitude in units of the pooled
+        per-feature standard deviation, applied to the middle third of the
+        stream.
+    seed:
+        Generator seed; the stream is a pure function of
+        ``(scenario, kind, sizes, seed)``.
+    """
+    if kind not in DRIFT_KINDS:
+        raise ValueError(f"unknown drift kind {kind!r}; expected one of {DRIFT_KINDS}")
+    if n_steps < 1:
+        raise ValueError("n_steps must be at least 1")
+    if batch_size < 1:
+        raise ValueError("batch_size must be at least 1")
+    pooled = scenario.pooled()
+    if len(pooled) < 2:
+        raise ValueError(f"scenario {scenario.name!r} has too few samples to stream")
+    cycle = max(1, n_steps // 4) if cycle is None else max(1, int(cycle))
+
+    # Two regimes: the lower- and upper-label halves of the scenario's own
+    # (input, label) pairs.  Magnitude is the label norm, so the split works
+    # for 1-D and multi-dimensional labels alike.
+    magnitudes = np.linalg.norm(pooled.targets, axis=1)
+    order = np.argsort(magnitudes, kind="stable")
+    half = len(order) // 2
+    base_pool, drift_pool = order[:half], order[half:]
+
+    rng = np.random.default_rng(seed)
+    noise_std = pooled.inputs.std(axis=0)
+    burst_start, burst_stop = n_steps // 3, max(n_steps // 3 + 1, (2 * n_steps) // 3)
+
+    batches: list[StreamBatch] = []
+    for step in range(n_steps):
+        mix = _mix_at(kind, step, n_steps, drift_point, cycle)
+        n_drifted = int(rng.binomial(batch_size, mix))
+        chosen = np.concatenate(
+            [
+                rng.choice(base_pool, size=batch_size - n_drifted, replace=True),
+                rng.choice(drift_pool, size=n_drifted, replace=True),
+            ]
+        )
+        rng.shuffle(chosen)
+        inputs = pooled.inputs[chosen].copy()
+        noisy = kind == "noise_burst" and burst_start <= step < burst_stop
+        if noisy:
+            inputs = inputs + noise_scale * noise_std * rng.standard_normal(inputs.shape)
+        batches.append(
+            StreamBatch(
+                step=step,
+                inputs=inputs,
+                targets=pooled.targets[chosen].copy(),
+                mix=float(mix),
+                n_drifted=n_drifted,
+                noisy=noisy,
+            )
+        )
+    return NonStationaryStream(
+        name=scenario.name,
+        kind=kind,
+        batches=batches,
+        metadata={
+            "seed": int(seed),
+            "batch_size": int(batch_size),
+            "drift_point": float(drift_point),
+            "cycle": int(cycle),
+            "noise_scale": float(noise_scale),
+            "n_pool": int(len(pooled)),
+        },
+    )
+
+
+def make_drift_streams(
+    task: AdaptationTask,
+    kind: str = "sudden",
+    n_steps: int = 20,
+    batch_size: int = 16,
+    seed: int = 0,
+    only: list[str] | None = None,
+    **kwargs,
+) -> dict[str, NonStationaryStream]:
+    """One non-stationary stream per target scenario of ``task``.
+
+    Each scenario gets its own seed derived from its position in the task,
+    so streams are mutually independent, the fleet is reproducible from one
+    ``seed``, and restricting to a subset (``only``) leaves the surviving
+    scenarios' streams unchanged.
+    """
+    selected = None if only is None else set(only)
+    return {
+        scenario.name: make_drift_stream(
+            scenario,
+            kind=kind,
+            n_steps=n_steps,
+            batch_size=batch_size,
+            seed=seed + index,
+            **kwargs,
+        )
+        for index, scenario in enumerate(task.scenarios)
+        if selected is None or scenario.name in selected
+    }

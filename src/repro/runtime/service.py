@@ -35,7 +35,7 @@ from typing import Iterable, Mapping
 
 import numpy as np
 
-from ..core.adapter import SourceCalibration, Tasfar
+from ..core.adapter import AdaptationResult, SourceCalibration, Tasfar
 from ..core.config import TasfarConfig
 from ..nn.losses import Loss
 from ..nn.models import RegressionModel
@@ -87,7 +87,14 @@ class AdaptationService:
         self.loss = loss
         self.max_cached_models = max_cached_models
         self.base_seed = int(base_seed)
-        self._models: OrderedDict[str, RegressionModel] = OrderedDict()
+        # Forwards mutate per-call layer caches, so a given model instance
+        # must never forward from two threads at once.  Each cache entry
+        # pairs the model with its own forward lock: the pair is resolved
+        # atomically and the lock dies with the entry on eviction, so two
+        # threads holding the same instance always hold the same lock, and
+        # the lock table stays as bounded as the model cache.  The shared
+        # source model keeps a global forward lock.
+        self._models: OrderedDict[str, tuple[RegressionModel, threading.Lock]] = OrderedDict()
         self._reports: dict[str, AdaptationReport] = {}
         self._lock = threading.Lock()
         self._forward_lock = threading.Lock()
@@ -136,19 +143,44 @@ class AdaptationService:
         """
         target_id = str(target_id)
         effective_seed = self.target_seed(target_id) if seed is None else int(seed)
-        model = copy.deepcopy(self._source_model)
-        tasfar = Tasfar(self.config, loss=self.loss)
+        report, result = self._run_adaptation(target_id, inputs, effective_seed)
+        self._store_result(target_id, report, result.target_model)
+        return report
+
+    def _run_adaptation(
+        self,
+        target_id: str,
+        inputs: np.ndarray,
+        seed: int,
+        base_model: RegressionModel | None = None,
+        config: TasfarConfig | None = None,
+    ) -> tuple[AdaptationReport, AdaptationResult]:
+        """Run one adaptation and return both the report and the full result.
+
+        The streaming subsystem layers on this seam: it needs the
+        :class:`AdaptationResult` (for the estimated density map) and the
+        ability to fine-tune from an already-adapted ``base_model`` with a
+        shorter ``config`` (warm-start re-adaptation), neither of which the
+        public :meth:`adapt` exposes.
+        """
+        model = copy.deepcopy(base_model if base_model is not None else self._source_model)
+        tasfar = Tasfar(config if config is not None else self.config, loss=self.loss)
         start = time.perf_counter()
-        result = tasfar.adapt(model, inputs, self.calibration, seed=effective_seed)
+        result = tasfar.adapt(model, inputs, self.calibration, seed=seed)
         duration = time.perf_counter() - start
-        report = AdaptationReport.from_result(target_id, effective_seed, result, duration)
+        report = AdaptationReport.from_result(target_id, seed, result, duration)
+        return report, result
+
+    def _store_result(
+        self, target_id: str, report: AdaptationReport, model: RegressionModel
+    ) -> None:
+        """Record a finished adaptation in the report table and the LRU cache."""
         with self._lock:
             self._reports[target_id] = report
-            self._models[target_id] = result.target_model
+            self._models[target_id] = (model, threading.Lock())
             self._models.move_to_end(target_id)
             while len(self._models) > self.max_cached_models:
                 self._models.popitem(last=False)
-        return report
 
     def adapt_many(
         self,
@@ -184,36 +216,84 @@ class AdaptationService:
     # ------------------------------------------------------------------
     # Lookup
     # ------------------------------------------------------------------
-    def model_for(self, target_id: str) -> RegressionModel | None:
+    def _missing_model_error(self, target_id: str) -> KeyError:
+        """A ``KeyError`` explaining *why* no model is cached for ``target_id``.
+
+        Distinguishes the two very different situations a bare ``None`` used
+        to conflate: the target was never adapted at all, versus it was
+        adapted but its model fell out of the LRU cache.
+        """
+        with self._lock:
+            adapted = target_id in self._reports
+        if adapted:
+            return KeyError(
+                f"target {target_id!r} was adapted but its model was evicted from the "
+                f"LRU cache (max_cached_models={self.max_cached_models}); re-adapt it "
+                "(adaptation is deterministic) or raise max_cached_models"
+            )
+        return KeyError(
+            f"target {target_id!r} was never adapted by this service; call "
+            f"adapt({target_id!r}, inputs) first"
+        )
+
+    def _model_and_lock(
+        self, target_id: str
+    ) -> tuple[RegressionModel, threading.Lock] | None:
+        """Atomically resolve a cached model together with its forward lock."""
+        target_id = str(target_id)
+        with self._lock:
+            entry = self._models.get(target_id)
+            if entry is not None:
+                self._models.move_to_end(target_id)
+            return entry
+
+    def model_for(self, target_id: str, required: bool = False) -> RegressionModel | None:
         """The cached adapted model for ``target_id`` (``None`` if evicted).
+
+        With ``required=True`` a missing model raises a :class:`KeyError`
+        whose message says whether the target was never adapted or merely
+        evicted from the LRU cache, instead of handing back ``None``.
 
         The returned model is the cached instance, not a copy; its layers
         cache per-forward state, so don't run it from several threads at
         once (deep-copy it per worker, or go through :meth:`predict`).
         """
-        with self._lock:
-            model = self._models.get(str(target_id))
-            if model is not None:
-                self._models.move_to_end(str(target_id))
-            return model
+        entry = self._model_and_lock(target_id)
+        if entry is None:
+            if required:
+                raise self._missing_model_error(str(target_id))
+            return None
+        return entry[0]
 
-    def predict(self, target_id: str, inputs: np.ndarray, batch_size: int = 256) -> np.ndarray:
+    def predict(
+        self,
+        target_id: str,
+        inputs: np.ndarray,
+        batch_size: int = 256,
+        strict: bool = False,
+    ) -> np.ndarray:
         """Predict with the target's adapted model (source model if unknown).
 
         Targets that were never adapted — or whose model was evicted — fall
         back to the source model, which is exactly the pre-adaptation
-        behaviour and therefore always a safe default; use :meth:`model_for`
-        first when silent fallback is not acceptable.
+        behaviour and therefore always a safe default.  When silent fallback
+        is not acceptable, pass ``strict=True``: a missing model then raises
+        a :class:`KeyError` distinguishing "never adapted" from "evicted
+        from the LRU cache".
 
         Thread-safe: forwards are serialized under a lock because the layers
         cache per-call state (a concurrent forward on a shared model would
         corrupt it).  For parallel serving throughput, take :meth:`model_for`
         copies into per-worker hands instead.
         """
-        model = self.model_for(target_id)
-        if model is None:
-            model = self._source_model
-        with self._forward_lock:
+        entry = self._model_and_lock(target_id)
+        if entry is None:
+            if strict:
+                raise self._missing_model_error(str(target_id))
+            with self._forward_lock:
+                return predict_batched(self._source_model, inputs, batch_size)
+        model, forward_lock = entry
+        with forward_lock:
             return predict_batched(model, inputs, batch_size)
 
     def report_for(self, target_id: str) -> AdaptationReport | None:

@@ -11,13 +11,18 @@ Layout on disk::
     <root>/<scale>/seed<seed>/<experiment_id>.json
 
 Writes are atomic (write to a temp file, then ``os.replace``) so a killed
-process never leaves a half-written result that would poison a resume.
+process never leaves a half-written result that would poison a resume.  The
+temp file name is unique per writer (pid + uuid, created ``O_EXCL`` in the
+destination directory), so concurrent ``run-all --jobs`` workers racing on
+the *same* key can never interleave into one temp file — the last
+``os.replace`` wins with a complete JSON document either way.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import uuid
 from pathlib import Path
 
 from ..experiments.base import ExperimentResult
@@ -61,9 +66,27 @@ class ResultStore:
             "paper_expectation": result.paper_expectation,
             "notes": to_jsonable(result.notes),
         }
-        temp_path = path.with_suffix(".json.tmp")
-        temp_path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
-        os.replace(temp_path, path)
+        # A per-writer unique temp file in the destination directory: unique
+        # so concurrent workers saving the same key never share a temp file,
+        # same directory so os.replace stays an atomic same-filesystem rename.
+        # Opened with mode 0o666 + O_EXCL (not mkstemp, whose private 0600
+        # would survive the rename): the kernel applies the process umask
+        # natively, so stored results get the same permissions a plain
+        # open() would produce.
+        temp_name = str(path.parent / f".{path.stem}-{os.getpid()}-{uuid.uuid4().hex}.json.tmp")
+        handle = os.open(temp_name, os.O_WRONLY | os.O_CREAT | os.O_EXCL, 0o666)
+        try:
+            with os.fdopen(handle, "w", encoding="utf-8") as stream:
+                stream.write(json.dumps(payload, indent=2) + "\n")
+                stream.flush()
+                os.fsync(stream.fileno())
+            os.replace(temp_name, path)
+        except BaseException:
+            try:
+                os.unlink(temp_name)
+            except OSError:
+                pass
+            raise
         return path
 
     def load(self, experiment_id: str, scale: str, seed: int) -> ExperimentResult:

@@ -1,0 +1,31 @@
+"""Streaming adaptation: online density maps, drift detection, re-adaptation.
+
+This package layers a streaming workload on top of the batch runtime
+(:mod:`repro.runtime`):
+
+* :class:`OnlineDensityMap` — a :class:`~repro.core.LabelDensityMap` kept
+  fresh with incremental batch updates and optional exponential decay;
+* :class:`DriftDetector` / :class:`DensityDriftMonitor` — a Page-Hinkley
+  test over the divergence between the recent stream and the adapted-time
+  density map;
+* :class:`StreamingAdaptationService` — ``ingest(target_id, batch)`` with
+  buffering, online map maintenance, and drift- or budget-triggered
+  warm-start re-adaptation of the cached adapted model.
+
+See ``examples/streaming_users.py`` for a walkthrough and
+``python -m repro.cli stream --help`` for the CLI entry point; the
+non-stationary stream generators live in :mod:`repro.data.drift`.
+"""
+
+from .drift import DensityDriftMonitor, DriftDetector, DriftObservation
+from .online_density import OnlineDensityMap
+from .service import StreamEvent, StreamingAdaptationService
+
+__all__ = [
+    "DensityDriftMonitor",
+    "DriftDetector",
+    "DriftObservation",
+    "OnlineDensityMap",
+    "StreamEvent",
+    "StreamingAdaptationService",
+]

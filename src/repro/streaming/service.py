@@ -1,0 +1,483 @@
+"""Streaming multi-target adaptation service.
+
+The batch :class:`~repro.runtime.AdaptationService` assumes each target hands
+over its unlabeled data once.  Real target domains — a pedestrian walking all
+day, a taxi district across rush hours — produce *streams* whose label
+distribution drifts.  :class:`StreamingAdaptationService` extends the batch
+service with one new verb, :meth:`ingest`, and three pieces of per-target
+state behind it:
+
+* a **buffer** of un-adapted event batches;
+* an **online density map** of recent confident predictions
+  (:class:`~repro.streaming.OnlineDensityMap` with exponential decay), kept
+  on the grid of the map estimated at the last adaptation;
+* a **drift monitor** (:class:`~repro.streaming.DensityDriftMonitor`)
+  Page-Hinkley-testing the divergence between the recent map and the
+  adapted-time map.
+
+The service reacts lazily: batches are only buffered until either (a) the
+target has never been adapted and the buffer reaches ``min_adapt_events``
+(cold adaptation from the source model), or (b) the target is adapted and
+the drift monitor fires or the buffer reaches ``readapt_budget``
+(**warm-start** re-adaptation: the *cached adapted model* is fine-tuned on
+the recent window with a shorter schedule, instead of repeating the full
+cold adaptation from the source model).  Warm starts are the measurable
+speed win — see ``benchmarks/test_bench_streaming.py``.
+
+Everything stays deterministic: probe predictions and each re-adaptation
+round are seeded from the target id and the round/step counter, so replaying
+the same stream reproduces the same events, models, and reports bit for bit.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from collections import OrderedDict
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import asdict, dataclass, field
+from threading import Lock
+from typing import Iterable, Mapping
+
+import numpy as np
+
+from ..core.adapter import NoConfidentSamplesError, SourceCalibration
+from ..core.config import TasfarConfig
+from ..core.estimator import LabelDistributionEstimator
+from ..nn.losses import Loss
+from ..nn.models import RegressionModel
+from ..runtime.report import AdaptationReport
+from ..runtime.service import AdaptationService
+from ..uncertainty.mc_dropout import MCDropoutPredictor
+from .drift import DensityDriftMonitor, DriftDetector
+
+__all__ = ["StreamEvent", "StreamingAdaptationService"]
+
+#: Stream tag separating the drift-probe MC-dropout draws from the
+#: calibration/adaptation streams used elsewhere.
+_PROBE_STREAM = 2
+
+
+@dataclass
+class StreamEvent:
+    """JSON-safe record of one :meth:`StreamingAdaptationService.ingest` call.
+
+    Attributes
+    ----------
+    target_id:
+        The stream this event belongs to.
+    step:
+        1-based per-target ingest counter.
+    n_events:
+        Number of samples in this batch.
+    total_events:
+        Cumulative samples ingested for this target so far.
+    buffered:
+        Samples waiting in the buffer *after* this call (zero right after
+        an adaptation consumed the buffer).
+    action:
+        ``"buffered"``, ``"cold_adapt"``, ``"warm_adapt"`` or
+        ``"adapt_failed"`` (an adaptation was due but no buffered sample
+        cleared the confidence threshold; the buffer is kept and the next
+        ingest retries).
+    trigger:
+        Why an adaptation ran (or was attempted): ``"warmup"`` (first
+        adaptation), ``"budget"`` (buffer reached ``readapt_budget``) or
+        ``"drift"``; ``None`` while merely buffering.
+    drift_distance:
+        Total-variation distance between the recent-window map and the
+        adapted-time map (``None`` before the first adaptation or when the
+        batch had no confident samples).
+    drift_statistic:
+        Page-Hinkley statistic after this batch (``None`` likewise).
+    drifted:
+        Whether the drift detector flagged this batch.
+    duration_seconds:
+        Wall-clock cost of the whole ingest call (probing plus any
+        re-adaptation).
+    """
+
+    target_id: str
+    step: int
+    n_events: int
+    total_events: int
+    buffered: int
+    action: str
+    trigger: str | None = None
+    drift_distance: float | None = None
+    drift_statistic: float | None = None
+    drifted: bool = False
+    duration_seconds: float = 0.0
+
+    def to_dict(self) -> dict:
+        """Plain-builtins dictionary form (safe for ``json.dumps``)."""
+        return asdict(self)
+
+
+@dataclass
+class _TargetStream:
+    """Per-target mutable streaming state (guarded by its own lock)."""
+
+    lock: Lock = field(default_factory=Lock)
+    buffer: list[np.ndarray] = field(default_factory=list)
+    n_buffered: int = 0
+    total_events: int = 0
+    step: int = 0
+    monitor: DensityDriftMonitor | None = None
+    events: list[StreamEvent] = field(default_factory=list)
+    n_cold: int = 0
+    n_warm: int = 0
+
+
+class StreamingAdaptationService(AdaptationService):
+    """Adapt a fleet of target domains from *streams* instead of batches.
+
+    Parameters (beyond :class:`~repro.runtime.AdaptationService`)
+    ----------
+    min_adapt_events:
+        Buffered samples required before the first (cold) adaptation of a
+        target; earlier batches are only buffered.
+    readapt_budget:
+        Buffered samples that force a re-adaptation even without a drift
+        alarm, bounding how stale an adapted model may grow.
+    max_buffer_events:
+        Hard cap on buffered samples per target; the oldest batches are
+        dropped beyond it.  Without a cap, a stream whose samples never
+        clear the confidence threshold (every adaptation attempt fails)
+        would buffer the entire stream forever.  Defaults to four times the
+        larger of ``min_adapt_events`` and ``readapt_budget``.
+    warm_epochs:
+        Fine-tuning epochs for warm-start re-adaptations; defaults to a
+        quarter of ``config.adaptation_epochs`` (at least one).  The short
+        schedule is what makes a warm re-adaptation cheaper than a cold one.
+    window_decay:
+        Exponential decay of the recent-window density map fed to the drift
+        monitor.
+    drift_threshold, drift_delta, drift_min_batches:
+        Page-Hinkley parameters of the per-target drift detectors.  The
+        defaults are tuned to the total-variation scale of the divergence
+        statistic on the bundled tasks: a sustained rise of a few hundredths
+        fires within a handful of batches, while stationary noise does not.
+    drift_warmup_events:
+        Confident events the recent window must accumulate after each
+        (re-)adaptation before observations reach the detector — an almost
+        empty window diverges from any reference for small-sample reasons
+        alone, and those early distances would poison the Page-Hinkley
+        baseline.
+    drift_mc_samples:
+        MC-dropout passes used to probe incoming batches; defaults to
+        ``config.n_mc_samples``.  Probing is on the ingest hot path, so a
+        smaller value buys throughput at some monitor noise.
+    """
+
+    def __init__(
+        self,
+        source_model: RegressionModel,
+        calibration: SourceCalibration,
+        config: TasfarConfig | None = None,
+        loss: Loss | None = None,
+        *,
+        max_cached_models: int = 8,
+        base_seed: int = 0,
+        min_adapt_events: int = 32,
+        readapt_budget: int = 128,
+        max_buffer_events: int | None = None,
+        warm_epochs: int | None = None,
+        window_decay: float = 0.35,
+        drift_threshold: float = 0.10,
+        drift_delta: float = 0.01,
+        drift_min_batches: int = 3,
+        drift_warmup_events: int = 32,
+        drift_mc_samples: int | None = None,
+    ) -> None:
+        super().__init__(
+            source_model,
+            calibration,
+            config,
+            loss,
+            max_cached_models=max_cached_models,
+            base_seed=base_seed,
+        )
+        if min_adapt_events < 1:
+            raise ValueError("min_adapt_events must be at least 1")
+        if readapt_budget < 1:
+            raise ValueError("readapt_budget must be at least 1")
+        self.min_adapt_events = int(min_adapt_events)
+        self.readapt_budget = int(readapt_budget)
+        floor = max(self.min_adapt_events, self.readapt_budget)
+        if max_buffer_events is None:
+            max_buffer_events = 4 * floor
+        if max_buffer_events < floor:
+            raise ValueError(
+                "max_buffer_events must be at least max(min_adapt_events, readapt_budget)"
+            )
+        self.max_buffer_events = int(max_buffer_events)
+        if warm_epochs is None:
+            warm_epochs = max(1, self.config.adaptation_epochs // 4)
+        if warm_epochs < 1:
+            raise ValueError("warm_epochs must be at least 1")
+        self.warm_epochs = int(warm_epochs)
+        self.warm_config = dataclasses.replace(
+            self.config,
+            adaptation_epochs=self.warm_epochs,
+            min_adaptation_epochs=min(self.config.min_adaptation_epochs, self.warm_epochs),
+        )
+        self.window_decay = float(window_decay)
+        self.drift_threshold = float(drift_threshold)
+        self.drift_delta = float(drift_delta)
+        self.drift_min_batches = int(drift_min_batches)
+        self.drift_warmup_events = int(drift_warmup_events)
+        self.drift_mc_samples = (
+            self.config.n_mc_samples if drift_mc_samples is None else int(drift_mc_samples)
+        )
+        self._sigma_estimator = LabelDistributionEstimator(
+            calibrators=self.calibration.calibrators,
+            error_model=self.config.error_model,
+        )
+        self._streams: OrderedDict[str, _TargetStream] = OrderedDict()
+        self._streams_lock = Lock()
+
+    # ------------------------------------------------------------------
+    # Ingestion
+    # ------------------------------------------------------------------
+    def ingest(self, target_id: str, batch: np.ndarray) -> StreamEvent:
+        """Fold one batch of unlabeled target events into the stream.
+
+        Buffers the batch, refreshes the target's recent density map, and —
+        when warranted — runs a cold or warm-start (re-)adaptation.  Returns
+        the :class:`StreamEvent` describing what happened; the full event
+        log is available via :meth:`events_for`.
+        """
+        target_id = str(target_id)
+        batch = np.asarray(batch, dtype=np.float64)
+        if batch.ndim < 2 or len(batch) == 0:
+            raise ValueError(
+                "batch must be a non-empty array of shape (n_events, ...features)"
+            )
+        state = self._stream_state(target_id)
+        with state.lock:
+            start = time.perf_counter()
+            state.step += 1
+            state.buffer.append(batch)
+            state.n_buffered += len(batch)
+            state.total_events += len(batch)
+            # Bound the buffer: drop the oldest batches (never the newest)
+            # so a target whose adaptations keep failing can't hoard the
+            # whole stream in memory.
+            while state.n_buffered > self.max_buffer_events and len(state.buffer) > 1:
+                dropped = state.buffer.pop(0)
+                state.n_buffered -= len(dropped)
+
+            action, trigger = "buffered", None
+            observation = None
+            if state.monitor is None:
+                if state.n_buffered >= self.min_adapt_events:
+                    action = self._try_adapt_from_buffer(target_id, state, base_model=None)
+                    trigger = "warmup"
+            else:
+                observation = self._probe(target_id, state, batch)
+                drifted = observation is not None and observation.drifted
+                if drifted or state.n_buffered >= self.readapt_budget:
+                    trigger = "drift" if drifted else "budget"
+                    # One lookup decides warm-vs-cold AND supplies the warm
+                    # base model, so a concurrent eviction between "check"
+                    # and "use" can't sneak a short warm schedule onto the
+                    # source model.
+                    base_model = self.model_for(target_id)
+                    action = self._try_adapt_from_buffer(target_id, state, base_model=base_model)
+
+            event = StreamEvent(
+                target_id=target_id,
+                step=state.step,
+                n_events=len(batch),
+                total_events=state.total_events,
+                buffered=state.n_buffered,
+                action=action,
+                trigger=trigger,
+                drift_distance=None if observation is None else float(observation.distance),
+                drift_statistic=None if observation is None else float(observation.statistic),
+                drifted=observation is not None and observation.drifted,
+                duration_seconds=time.perf_counter() - start,
+            )
+            state.events.append(event)
+            return event
+
+    def ingest_many(
+        self,
+        batches: Mapping[str, np.ndarray] | Iterable[tuple[str, np.ndarray]],
+        jobs: int = 1,
+    ) -> dict[str, StreamEvent]:
+        """Ingest one batch for each of several targets, optionally pooled.
+
+        Mirrors :meth:`~repro.runtime.AdaptationService.adapt_many`: per-target
+        state has its own lock and all seeding is per-target, so any ``jobs``
+        value produces the same per-target event sequence as serial ingestion
+        — provided ``max_cached_models`` covers the active fleet.  With fewer
+        cache slots than streaming targets, which model is evicted (and hence
+        whether a re-adaptation starts warm or cold) depends on the thread
+        interleaving, so size the cache to the fleet when reproducibility
+        matters.
+        """
+        items = list(batches.items()) if isinstance(batches, Mapping) else list(batches)
+        if jobs < 1:
+            raise ValueError("jobs must be at least 1")
+        if jobs == 1 or len(items) <= 1:
+            return {str(tid): self.ingest(tid, batch) for tid, batch in items}
+        with ThreadPoolExecutor(max_workers=jobs) as pool:
+            futures = [pool.submit(self.ingest, tid, batch) for tid, batch in items]
+            return {str(tid): future.result() for (tid, _), future in zip(items, futures)}
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _stream_state(self, target_id: str) -> _TargetStream:
+        with self._streams_lock:
+            state = self._streams.get(target_id)
+            if state is None:
+                state = self._streams[target_id] = _TargetStream()
+            return state
+
+    def _probe(self, target_id: str, state: _TargetStream, batch: np.ndarray):
+        """Update the drift monitor with the batch's confident predictions.
+
+        Probes with the target's *current* model (adapted if cached, source
+        otherwise) so the monitor measures divergence from what is actually
+        being served.  Returns ``None`` when no sample clears the confidence
+        threshold — an all-uncertain batch carries no density information.
+        """
+        # The target's own cached model carries its own forward lock, so
+        # drift probes for different targets overlap on a worker pool; only
+        # the shared source-model fallback serializes globally.
+        entry = self._model_and_lock(target_id)
+        if entry is None:
+            model, forward_lock = self._source_model, self._forward_lock
+        else:
+            model, forward_lock = entry
+        predictor = MCDropoutPredictor(
+            model,
+            n_samples=self.drift_mc_samples,
+            seed=np.random.SeedSequence(
+                [self.target_seed(target_id), _PROBE_STREAM, state.step]
+            ),
+        )
+        with forward_lock:
+            prediction = predictor.predict(batch)
+        confident = np.flatnonzero(prediction.uncertainty <= self.calibration.threshold)
+        if len(confident) == 0:
+            return None
+        sigmas = self._sigma_estimator.sigma_for(prediction.uncertainty[confident])
+        assert state.monitor is not None
+        return state.monitor.observe(prediction.mean[confident], sigmas)
+
+    def _try_adapt_from_buffer(
+        self, target_id: str, state: _TargetStream, base_model: RegressionModel | None
+    ) -> str:
+        """Attempt a (re-)adaptation; returns the resulting event action.
+
+        TASFAR cannot adapt when *no* buffered sample clears the confidence
+        threshold (e.g. a window dominated by a sensor glitch).  Rather than
+        crashing the stream, such an attempt is recorded as ``adapt_failed``
+        and the buffer is kept — the next batches retry once more confident
+        data has arrived.  Only that specific condition is absorbed; any
+        other error still propagates.
+        """
+        report = self._adapt_from_buffer(target_id, state, base_model=base_model)
+        if report is None:
+            return "adapt_failed"
+        return "warm_adapt" if base_model is not None else "cold_adapt"
+
+    def _adapt_from_buffer(
+        self, target_id: str, state: _TargetStream, base_model: RegressionModel | None
+    ) -> AdaptationReport | None:
+        """(Re-)adapt from the buffered window, then reset buffer and monitor.
+
+        ``base_model`` selects the mode: an adapted model to warm-start from
+        (fine-tuned with the short warm schedule), or ``None`` for a cold
+        adaptation from the source model.  Returns ``None`` — leaving buffer
+        and monitor untouched — when the window has no confident samples.
+        """
+        inputs = (
+            state.buffer[0]
+            if len(state.buffer) == 1
+            else np.concatenate(state.buffer, axis=0)
+        )
+        warm = base_model is not None
+        round_index = state.n_cold + state.n_warm
+        seed = self.target_seed(f"{target_id}#round{round_index}")
+        try:
+            report, result = self._run_adaptation(
+                target_id,
+                inputs,
+                seed,
+                base_model=base_model,
+                config=self.warm_config if warm else None,
+            )
+        except NoConfidentSamplesError:
+            return None
+        report.extra["round"] = round_index
+        report.extra["mode"] = "warm" if warm else "cold"
+        self._store_result(target_id, report, result.target_model)
+        if state.monitor is None:
+            state.monitor = DensityDriftMonitor(
+                result.density_map,
+                DriftDetector(self.drift_threshold, self.drift_delta, self.drift_min_batches),
+                window_decay=self.window_decay,
+                warmup_events=self.drift_warmup_events,
+                error_model=self._sigma_estimator.error_model,
+            )
+        else:
+            state.monitor.rebase(result.density_map)
+        state.buffer.clear()
+        state.n_buffered = 0
+        if warm:
+            state.n_warm += 1
+        else:
+            state.n_cold += 1
+        return report
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def stream_ids(self) -> list[str]:
+        """Target ids that have ingested at least one batch, in first-seen order."""
+        with self._streams_lock:
+            return list(self._streams)
+
+    def _peek_state(self, target_id: str) -> _TargetStream | None:
+        """Read-only state lookup: never registers state for unknown ids."""
+        with self._streams_lock:
+            return self._streams.get(str(target_id))
+
+    def events_for(self, target_id: str) -> list[StreamEvent]:
+        """The per-target event log, oldest first (empty for unknown ids)."""
+        state = self._peek_state(target_id)
+        if state is None:
+            return []
+        with state.lock:
+            return list(state.events)
+
+    def stream_stats(self, target_id: str) -> dict:
+        """Per-target counters: events, adaptations, current buffer depth.
+
+        An id that never ingested anything reports all-zero counters; it is
+        not registered as a stream by being asked about.
+        """
+        state = self._peek_state(target_id)
+        if state is None:
+            state = _TargetStream()
+        with state.lock:
+            return {
+                "target_id": str(target_id),
+                "steps": state.step,
+                "total_events": state.total_events,
+                "buffered": state.n_buffered,
+                "cold_adaptations": state.n_cold,
+                "warm_adaptations": state.n_warm,
+            }
+
+    def event_table(self) -> list[dict]:
+        """All events of all targets as dictionaries (JSON-ready)."""
+        rows: list[dict] = []
+        for target_id in self.stream_ids():
+            rows.extend(event.to_dict() for event in self.events_for(target_id))
+        return rows

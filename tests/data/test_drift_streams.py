@@ -1,0 +1,122 @@
+"""Tests for the non-stationary stream generators."""
+
+import numpy as np
+import pytest
+
+from repro.data import DRIFT_KINDS, make_drift_stream, make_drift_streams
+from repro.data.base import TargetScenario
+from repro.nn.data import ArrayDataset
+
+
+@pytest.fixture
+def scenario():
+    rng = np.random.default_rng(0)
+    inputs = rng.normal(size=(120, 3))
+    targets = inputs @ np.array([1.0, -1.0, 0.5]) + 0.1 * rng.normal(size=120)
+    return TargetScenario(
+        "user",
+        adaptation=ArrayDataset(inputs[:90], targets[:90]),
+        test=ArrayDataset(inputs[90:], targets[90:]),
+    )
+
+
+def label_means(stream):
+    """Mean label-norm per batch."""
+    return [float(np.linalg.norm(batch.targets, axis=1).mean()) for batch in stream.batches]
+
+
+class TestShapesAndDeterminism:
+    @pytest.mark.parametrize("kind", DRIFT_KINDS)
+    def test_batches_have_requested_shape(self, scenario, kind):
+        stream = make_drift_stream(scenario, kind, n_steps=10, batch_size=8, seed=0)
+        assert stream.kind == kind
+        assert stream.n_steps == 10
+        assert stream.n_events == 80
+        for step, batch in enumerate(stream.batches):
+            assert batch.step == step
+            assert batch.inputs.shape == (8, 3)
+            assert batch.targets.shape == (8, 1)
+        assert stream.all_inputs().shape == (80, 3)
+        assert stream.all_targets().shape == (80, 1)
+
+    def test_same_seed_reproduces_stream(self, scenario):
+        one = make_drift_stream(scenario, "gradual", n_steps=8, batch_size=8, seed=3)
+        two = make_drift_stream(scenario, "gradual", n_steps=8, batch_size=8, seed=3)
+        for batch_one, batch_two in zip(one.batches, two.batches):
+            np.testing.assert_array_equal(batch_one.inputs, batch_two.inputs)
+            np.testing.assert_array_equal(batch_one.targets, batch_two.targets)
+
+    def test_different_seeds_differ(self, scenario):
+        one = make_drift_stream(scenario, "gradual", n_steps=8, batch_size=8, seed=3)
+        two = make_drift_stream(scenario, "gradual", n_steps=8, batch_size=8, seed=4)
+        assert not np.array_equal(one.all_inputs(), two.all_inputs())
+
+    def test_unknown_kind_rejected(self, scenario):
+        with pytest.raises(ValueError):
+            make_drift_stream(scenario, "wobbly")
+
+    def test_invalid_sizes_rejected(self, scenario):
+        with pytest.raises(ValueError):
+            make_drift_stream(scenario, "sudden", n_steps=0)
+        with pytest.raises(ValueError):
+            make_drift_stream(scenario, "sudden", batch_size=0)
+
+
+class TestDriftShapes:
+    def test_sudden_switches_label_distribution(self, scenario):
+        stream = make_drift_stream(scenario, "sudden", n_steps=12, batch_size=16, seed=0)
+        mixes = stream.mix_schedule()
+        assert mixes[:6] == [0.0] * 6
+        assert mixes[6:] == [1.0] * 6
+        means = label_means(stream)
+        assert np.mean(means[6:]) > np.mean(means[:6])
+
+    def test_gradual_ramps_monotonically(self, scenario):
+        stream = make_drift_stream(scenario, "gradual", n_steps=10, batch_size=8, seed=0)
+        mixes = stream.mix_schedule()
+        assert mixes[0] == 0.0
+        assert mixes[-1] == 1.0
+        assert all(later >= earlier for earlier, later in zip(mixes, mixes[1:]))
+
+    def test_recurring_alternates_regimes(self, scenario):
+        stream = make_drift_stream(scenario, "recurring", n_steps=12, batch_size=8, cycle=3, seed=0)
+        mixes = stream.mix_schedule()
+        assert mixes == [0.0] * 3 + [1.0] * 3 + [0.0] * 3 + [1.0] * 3
+
+    def test_noise_burst_keeps_labels_but_perturbs_inputs(self, scenario):
+        stream = make_drift_stream(
+            scenario, "noise_burst", n_steps=9, batch_size=16, noise_scale=3.0, seed=0
+        )
+        assert all(batch.mix == 0.0 for batch in stream.batches)
+        noisy = [batch for batch in stream.batches if batch.noisy]
+        clean = [batch for batch in stream.batches if not batch.noisy]
+        assert noisy and clean
+        noisy_spread = np.mean([batch.inputs.std() for batch in noisy])
+        clean_spread = np.mean([batch.inputs.std() for batch in clean])
+        assert noisy_spread > 2.0 * clean_spread
+
+
+class TestTaskLevel:
+    def test_make_drift_streams_covers_all_scenarios(self, scenario):
+        from repro.data.base import AdaptationTask
+
+        other = TargetScenario("other", scenario.adaptation, scenario.test)
+        task = AdaptationTask(
+            name="toy",
+            source_train=scenario.adaptation,
+            source_calibration=scenario.test,
+            scenarios=[scenario, other],
+        )
+        streams = make_drift_streams(task, "sudden", n_steps=4, batch_size=4, seed=0)
+        assert set(streams) == {"user", "other"}
+        # Per-scenario seeds differ, so the fleet's streams are independent.
+        assert not np.array_equal(
+            streams["user"].all_inputs(), streams["other"].all_inputs()
+        )
+        # Restricting the fleet must not change the surviving streams: the
+        # per-scenario seed derives from the task position, not the subset.
+        subset = make_drift_streams(task, "sudden", n_steps=4, batch_size=4, seed=0, only=["other"])
+        assert set(subset) == {"other"}
+        np.testing.assert_array_equal(
+            subset["other"].all_inputs(), streams["other"].all_inputs()
+        )

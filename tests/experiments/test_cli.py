@@ -243,3 +243,105 @@ class TestAdaptManyExecution:
         payload = json.loads(report_path.read_text())
         after_values = [report["extra"]["mse_after"] for report in payload.values()]
         assert after_values.count(None) == len(after_values) - 1  # only the cached one scored
+
+
+class TestStreamParsing:
+    def test_defaults(self):
+        args = build_parser().parse_args(["stream"])
+        assert args.task == "pdr"
+        assert args.drift == "sudden"
+        assert args.steps == 12
+        assert args.batch_size == 16
+        assert args.min_adapt == 32
+        assert args.budget == 96
+        assert args.warm_epochs is None
+        assert args.jobs == 1
+        assert args.events is None
+
+    def test_flags_parse(self):
+        args = build_parser().parse_args(
+            [
+                "stream",
+                "--task",
+                "taxi",
+                "--scale",
+                "tiny",
+                "--drift",
+                "recurring",
+                "--steps",
+                "8",
+                "--batch-size",
+                "4",
+                "--budget",
+                "24",
+                "--warm-epochs",
+                "2",
+                "--jobs",
+                "2",
+                "--events",
+                "events.json",
+            ]
+        )
+        assert args.task == "taxi"
+        assert args.drift == "recurring"
+        assert args.steps == 8
+        assert args.batch_size == 4
+        assert args.budget == 24
+        assert args.warm_epochs == 2
+        assert args.events == "events.json"
+
+    def test_unknown_drift_kind_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["stream", "--drift", "wobbly"])
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["stream", "--task", "housing", "--scale", "tiny", "--targets", "nowhere"])
+
+    @pytest.mark.parametrize(
+        "flag", ["--jobs", "--steps", "--batch-size", "--min-adapt", "--budget", "--warm-epochs"]
+    )
+    def test_non_positive_sizes_rejected_with_usage_error(self, flag):
+        with pytest.raises(SystemExit):
+            main(["stream", "--task", "housing", "--scale", "tiny", flag, "0"])
+
+
+class TestStreamExecution:
+    def test_end_to_end_with_event_table(self, tmp_path, capsys):
+        events_path = tmp_path / "events.json"
+        assert (
+            main(
+                [
+                    "stream",
+                    "--task",
+                    "housing",
+                    "--scale",
+                    "tiny",
+                    "--drift",
+                    "sudden",
+                    "--steps",
+                    "8",
+                    "--batch-size",
+                    "8",
+                    "--min-adapt",
+                    "16",
+                    "--budget",
+                    "32",
+                    "--jobs",
+                    "2",
+                    "--events",
+                    str(events_path),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "mse_source" in out and "mse_stream" in out
+        assert "cold" in out and "warm" in out
+        payload = json.loads(events_path.read_text())
+        assert payload  # one event table per scenario
+        for events in payload.values():
+            assert len(events) == 8
+            actions = [event["action"] for event in events]
+            assert "cold_adapt" in actions  # every stream reaches first adaptation
+            assert all(event["target_id"] for event in events)

@@ -134,6 +134,35 @@ class TestCacheEviction:
             build_service(source, max_cached_models=0)
 
 
+class TestStrictLookups:
+    def test_model_for_required_distinguishes_never_adapted(self, source):
+        service = build_service(source)
+        with pytest.raises(KeyError, match="never adapted"):
+            service.model_for("ghost", required=True)
+
+    def test_model_for_required_distinguishes_evicted(self, source):
+        service = build_service(source, max_cached_models=1)
+        targets = make_targets(n_targets=2)
+        service.adapt_many(targets)
+        with pytest.raises(KeyError, match="evicted from the LRU cache"):
+            service.model_for("user_00", required=True)
+        # The message also names the capacity so the fix is obvious.
+        with pytest.raises(KeyError, match="max_cached_models=1"):
+            service.model_for("user_00", required=True)
+
+    def test_predict_strict_raises_instead_of_falling_back(self, source):
+        service = build_service(source, max_cached_models=1)
+        targets = make_targets(n_targets=2)
+        service.adapt_many(targets)
+        probe = np.random.default_rng(3).normal(size=(4, 4))
+        with pytest.raises(KeyError, match="never adapted"):
+            service.predict("ghost", probe, strict=True)
+        with pytest.raises(KeyError, match="evicted"):
+            service.predict("user_00", probe, strict=True)
+        # Non-strict keeps the documented source-model fallback.
+        assert service.predict("user_00", probe).shape == (4, 1)
+
+
 class TestReports:
     def test_report_json_roundtrip(self, source):
         service = build_service(source)

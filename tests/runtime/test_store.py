@@ -106,6 +106,66 @@ class TestResumeRobustness:
         store.save(make_result(), "small", 0)
         assert not list(tmp_path.rglob("*.tmp"))
 
+    def test_saved_files_honor_the_umask(self, tmp_path):
+        """mkstemp's private 0600 mode must not leak into stored results."""
+        import os
+        import stat
+
+        old_umask = os.umask(0o022)
+        try:
+            store = ResultStore(tmp_path)
+            store.save(make_result(), "small", 0)
+            mode = stat.S_IMODE(os.stat(store.path_for("fig0_demo", "small", 0)).st_mode)
+            assert mode == 0o644
+        finally:
+            os.umask(old_umask)
+
+    def test_completed_ignores_temp_files(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.save(make_result(), "small", 0)
+        directory = store.path_for("fig0_demo", "small", 0).parent
+        (directory / ".fig0_demo-abc123.json.tmp").write_text("{", encoding="utf-8")
+        assert store.completed("small", 0) == ["fig0_demo"]
+
+
+class TestConcurrentWrites:
+    def test_concurrent_same_key_saves_never_tear(self, tmp_path):
+        """Racing writers on one key always leave one complete JSON result.
+
+        Every worker writes its own uniquely named temp file and promotes it
+        with an atomic rename, so whichever save lands last, the stored file
+        is a complete document from exactly one writer.
+        """
+        from concurrent.futures import ThreadPoolExecutor
+
+        store = ResultStore(tmp_path)
+        n_writers = 16
+
+        def save(worker):
+            result = make_result()
+            result.rows = [[f"worker_{worker}", float(worker)] * 50]
+            store.save(result, "small", 0)
+            return worker
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            list(pool.map(save, range(n_writers)))
+
+        assert store.has("fig0_demo", "small", 0)
+        loaded = store.load("fig0_demo", "small", 0)
+        assert len(loaded.rows) == 1
+        (winner,) = set(loaded.rows[0][::2])  # every name cell is one writer's
+        assert winner.startswith("worker_")
+        assert not list(tmp_path.rglob("*.tmp"))
+
+    def test_concurrent_distinct_key_saves_all_land(self, tmp_path):
+        from concurrent.futures import ThreadPoolExecutor
+
+        store = ResultStore(tmp_path)
+        ids = [f"fig{index}_x" for index in range(12)]
+        with ThreadPoolExecutor(max_workers=6) as pool:
+            list(pool.map(lambda eid: store.save(make_result(eid), "small", 0), ids))
+        assert store.completed("small", 0) == sorted(ids)
+
 
 class TestToJsonable:
     @pytest.mark.parametrize(

@@ -1,0 +1,109 @@
+"""Tests for the Page-Hinkley drift detector and the density drift monitor."""
+
+import numpy as np
+import pytest
+
+from repro.core import LabelDensityMap
+from repro.streaming import DensityDriftMonitor, DriftDetector
+
+
+class TestDriftDetector:
+    def test_stationary_series_never_fires(self):
+        detector = DriftDetector(threshold=0.5, delta=0.02, min_samples=3)
+        rng = np.random.default_rng(0)
+        for _ in range(200):
+            assert not detector.update(0.2 + 0.01 * rng.standard_normal())
+
+    def test_mean_jump_fires(self):
+        detector = DriftDetector(threshold=0.5, delta=0.02, min_samples=3)
+        for _ in range(20):
+            assert not detector.update(0.2)
+        fired_at = None
+        for step in range(20):
+            if detector.update(0.6):
+                fired_at = step
+                break
+        assert fired_at is not None and fired_at < 10
+
+    def test_min_samples_gates_early_alarms(self):
+        detector = DriftDetector(threshold=0.01, delta=0.0, min_samples=5)
+        values = [0.0, 1.0, 1.0, 1.0]
+        assert not any(detector.update(value) for value in values)
+
+    def test_reset_forgets_history(self):
+        detector = DriftDetector(threshold=0.3, delta=0.0, min_samples=2)
+        for _ in range(10):
+            detector.update(0.1)
+        for _ in range(10):
+            detector.update(0.9)
+        assert detector.drifted
+        detector.reset()
+        assert not detector.drifted
+        assert detector.statistic == 0.0
+        assert detector.n_observations == 0
+
+    def test_shifts_below_delta_are_tolerated(self):
+        detector = DriftDetector(threshold=0.5, delta=0.1, min_samples=3)
+        for _ in range(50):
+            assert not detector.update(0.2)
+        for _ in range(100):
+            fired = detector.update(0.25)  # +0.05 shift, below delta
+        assert not fired
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            DriftDetector(threshold=0.0)
+        with pytest.raises(ValueError):
+            DriftDetector(delta=-0.1)
+        with pytest.raises(ValueError):
+            DriftDetector(min_samples=0)
+        detector = DriftDetector()
+        with pytest.raises(ValueError):
+            detector.update(float("nan"))
+
+
+def reference_map(center):
+    edges = [np.linspace(-4.0, 4.0, 17)]
+    labels = np.full((60, 1), center) + 0.2 * np.random.default_rng(0).standard_normal((60, 1))
+    return LabelDensityMap.from_labels(labels, edges)
+
+
+class TestDensityDriftMonitor:
+    def make_monitor(self):
+        return DensityDriftMonitor(
+            reference_map(-1.5),
+            DriftDetector(threshold=0.3, delta=0.05, min_samples=2),
+            window_decay=0.3,
+        )
+
+    def observe_regime(self, monitor, center, n_batches, seed=1):
+        rng = np.random.default_rng(seed)
+        last = None
+        for _ in range(n_batches):
+            centers = center + 0.2 * rng.standard_normal((12, 1))
+            last = monitor.observe(centers, np.full((12, 1), 0.3))
+            if last.drifted:
+                break
+        return last
+
+    def test_stationary_stream_stays_quiet(self):
+        monitor = self.make_monitor()
+        last = self.observe_regime(monitor, -1.5, n_batches=25)
+        assert not last.drifted
+
+    def test_regime_change_fires(self):
+        monitor = self.make_monitor()
+        self.observe_regime(monitor, -1.5, n_batches=8)
+        last = self.observe_regime(monitor, 1.5, n_batches=15, seed=2)
+        assert last.drifted
+        assert last.distance > 0.5
+
+    def test_rebase_silences_the_alarm(self):
+        monitor = self.make_monitor()
+        self.observe_regime(monitor, -1.5, n_batches=8)
+        self.observe_regime(monitor, 1.5, n_batches=15, seed=2)
+        assert monitor.last_observation.drifted
+        monitor.rebase(reference_map(1.5))
+        assert monitor.last_observation is None
+        last = self.observe_regime(monitor, 1.5, n_batches=10, seed=3)
+        assert not last.drifted

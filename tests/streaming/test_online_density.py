@@ -1,0 +1,170 @@
+"""Equivalence and decay properties of the OnlineDensityMap."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import LabelDensityMap
+from repro.streaming import OnlineDensityMap
+
+
+def edges_for(n_dims):
+    """A modest fixed grid per dimensionality (7 and 5 cells)."""
+    if n_dims == 1:
+        return [np.linspace(-3.0, 3.0, 8)]
+    return [np.linspace(-3.0, 3.0, 8), np.linspace(-2.0, 2.0, 6)]
+
+
+def chunk(array, boundaries):
+    """Split ``array`` at the given sorted interior boundaries."""
+    return [part for part in np.split(array, boundaries) if len(part)]
+
+
+@st.composite
+def label_streams(draw):
+    """A random label stream with random chunk boundaries, 1-D or 2-D."""
+    n_dims = draw(st.integers(min_value=1, max_value=2))
+    n = draw(st.integers(min_value=1, max_value=60))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    rng = np.random.default_rng(seed)
+    labels = rng.normal(scale=1.5, size=(n, n_dims))
+    n_cuts = draw(st.integers(min_value=0, max_value=min(5, n - 1)))
+    boundaries = sorted(rng.choice(np.arange(1, n), size=n_cuts, replace=False)) if n_cuts else []
+    return n_dims, labels, list(boundaries)
+
+
+class TestLabelEquivalence:
+    @settings(max_examples=60, deadline=None)
+    @given(label_streams())
+    def test_chunked_ingest_matches_from_labels_bitwise(self, stream):
+        """decay=0 chunked label ingest == batch from_labels, bit for bit."""
+        n_dims, labels, boundaries = stream
+        edges = edges_for(n_dims)
+        online = OnlineDensityMap([edge.copy() for edge in edges])
+        for part in chunk(labels, boundaries):
+            online.update_labels(part)
+        batch = LabelDensityMap.from_labels(labels, [edge.copy() for edge in edges])
+        np.testing.assert_array_equal(online.snapshot().densities, batch.densities)
+
+    @settings(max_examples=40, deadline=None)
+    @given(label_streams())
+    def test_chunk_order_does_not_change_final_map(self, stream):
+        """Reordering the ingest chunks leaves the final map bitwise unchanged."""
+        n_dims, labels, boundaries = stream
+        edges = edges_for(n_dims)
+        parts = chunk(labels, boundaries)
+        forward = OnlineDensityMap([edge.copy() for edge in edges])
+        for part in parts:
+            forward.update_labels(part)
+        backward = OnlineDensityMap([edge.copy() for edge in edges])
+        for part in reversed(parts):
+            backward.update_labels(part)
+        np.testing.assert_array_equal(
+            forward.snapshot().densities, backward.snapshot().densities
+        )
+        assert forward.n_events == backward.n_events == len(labels)
+
+
+class TestSoftEquivalence:
+    @pytest.mark.parametrize("n_dims", [1, 2])
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_chunked_soft_ingest_matches_batch_add_instances(self, n_dims, seed):
+        """decay=0 chunked soft updates match one batch accumulation."""
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(5, 50))
+        centers = rng.normal(size=(n, n_dims))
+        sigmas = rng.uniform(0.1, 0.8, size=(n, n_dims))
+        edges = edges_for(n_dims)
+
+        online = OnlineDensityMap([edge.copy() for edge in edges])
+        boundaries = sorted(rng.choice(np.arange(1, n), size=min(3, n - 1), replace=False))
+        for center_part, sigma_part in zip(chunk(centers, boundaries), chunk(sigmas, boundaries)):
+            online.update(center_part, sigma_part)
+
+        batch = LabelDensityMap([edge.copy() for edge in edges])
+        batch.add_instances(centers, sigmas)
+        batch.normalize()
+        np.testing.assert_allclose(
+            online.snapshot().densities, batch.densities, rtol=1e-12, atol=1e-15
+        )
+
+    def test_chunk_order_invariance_soft(self):
+        rng = np.random.default_rng(3)
+        centers = rng.normal(size=(24, 1))
+        sigmas = rng.uniform(0.1, 0.5, size=(24, 1))
+        parts = np.split(np.arange(24), [7, 13, 20])
+        forward = OnlineDensityMap(edges_for(1))
+        for part in parts:
+            forward.update(centers[part], sigmas[part])
+        backward = OnlineDensityMap(edges_for(1))
+        for part in reversed(parts):
+            backward.update(centers[part], sigmas[part])
+        np.testing.assert_allclose(
+            forward.snapshot().densities, backward.snapshot().densities, rtol=1e-12
+        )
+
+
+class TestDecay:
+    def test_decay_forgets_old_regime(self):
+        """With decay, the map tracks the recent regime instead of averaging."""
+        edges = [np.linspace(-4.0, 4.0, 17)]
+        old = np.full((40, 1), -2.0)
+        new = np.full((40, 1), 2.0)
+        sigma = np.full((40, 1), 0.3)
+
+        decayed = OnlineDensityMap([edges[0].copy()], decay=0.5)
+        plain = OnlineDensityMap([edges[0].copy()], decay=0.0)
+        for online in (decayed, plain):
+            for start in range(0, 40, 8):
+                online.update(old[start : start + 8], sigma[:8])
+            for start in range(0, 40, 8):
+                online.update(new[start : start + 8], sigma[:8])
+
+        new_map = LabelDensityMap([edges[0].copy()])
+        new_map.add_instances(new, sigma)
+        new_map.normalize()
+        assert decayed.total_variation(new_map) < plain.total_variation(new_map)
+        assert decayed.total_variation(new_map) < 0.1
+
+    def test_invalid_decay_rejected(self):
+        with pytest.raises(ValueError):
+            OnlineDensityMap(edges_for(1), decay=1.0)
+        with pytest.raises(ValueError):
+            OnlineDensityMap(edges_for(1), decay=-0.1)
+
+
+class TestApi:
+    def test_from_map_shares_grid_but_not_mass(self):
+        reference = LabelDensityMap.from_labels(
+            np.random.default_rng(0).normal(size=(30, 1)), edges_for(1)
+        )
+        online = OnlineDensityMap.from_map(reference)
+        assert online.shape == reference.shape
+        assert online.total_mass == 0.0
+        np.testing.assert_array_equal(online.edges[0], reference.edges[0])
+        online.edges[0][0] -= 1.0  # the copy must not alias the reference grid
+        assert reference.edges[0][0] != online.edges[0][0]
+
+    def test_total_variation_bounds_and_shape_check(self):
+        online = OnlineDensityMap(edges_for(1))
+        online.update_labels(np.full((10, 1), -2.5))
+        far = LabelDensityMap.from_labels(np.full((10, 1), 2.5), edges_for(1))
+        assert online.total_variation(far) == pytest.approx(1.0)
+        near = LabelDensityMap.from_labels(np.full((10, 1), -2.5), edges_for(1))
+        assert online.total_variation(near) == pytest.approx(0.0)
+        other_grid = LabelDensityMap([np.linspace(0, 1, 4)])
+        with pytest.raises(ValueError):
+            online.total_variation(other_grid)
+
+    def test_reset_clears_counters_and_mass(self):
+        online = OnlineDensityMap(edges_for(1))
+        online.update_labels(np.zeros((5, 1)))
+        online.reset()
+        assert online.n_events == 0
+        assert online.total_mass == 0.0
+
+    def test_label_dim_mismatch_rejected(self):
+        online = OnlineDensityMap(edges_for(1))
+        with pytest.raises(ValueError):
+            online.update_labels(np.zeros((5, 2)))
