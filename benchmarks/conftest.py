@@ -29,6 +29,24 @@ from repro.experiments import run_experiment
 #: for a longer, closer-to-paper run.
 BENCH_SCALE = os.environ.get("REPRO_BENCH_SCALE", "small")
 
+#: REPRO_BENCH_SMOKE=1 downgrades hard wall-clock assertions (speedup
+#: ratios, warm-vs-cold timings) to warnings.  Used by the CI smoke job:
+#: shared runners are too noisy for timing bars, but the benchmarks still
+#: exercise every hot path and fail on correctness regressions.
+BENCH_SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") == "1"
+
+
+def perf_assert(condition: bool, message: str) -> None:
+    """Assert a performance bar — or warn instead under ``REPRO_BENCH_SMOKE=1``."""
+    if condition:
+        return
+    if BENCH_SMOKE:
+        import warnings
+
+        warnings.warn(f"[smoke] performance bar missed: {message}", stacklevel=2)
+        return
+    raise AssertionError(message)
+
 #: The reproduced rows of every figure/table are appended here so they remain
 #: available even though pytest captures per-test stdout.
 REPORT_PATH = Path(__file__).resolve().parent.parent / "benchmark_report.txt"
@@ -56,6 +74,12 @@ def record_report_entry(text: str, scale: str = BENCH_SCALE) -> None:
 def record_bench():
     """Fixture handing benchmarks the report-entry recorder."""
     return record_report_entry
+
+
+@pytest.fixture
+def perf_check():
+    """Fixture handing benchmarks the (smoke-aware) performance assertion."""
+    return perf_assert
 
 
 @pytest.fixture

@@ -51,7 +51,7 @@ def measure_mc_speedup(n_rows, n_mc, repeats=5):
     return vec_time, loop_time
 
 
-def test_mc_dropout_vectorized_vs_loop(record_bench):
+def test_mc_dropout_vectorized_vs_loop(record_bench, perf_check):
     lines = ["[bench_runtime] vectorized vs loop MC dropout (3x16 MLP)"]
     results = {}
     for n_rows, n_mc in [(16, 20), (16, 50), (64, 20)]:
@@ -70,9 +70,9 @@ def test_mc_dropout_vectorized_vs_loop(record_bench):
     print("\n" + text)
     record_bench(text)
     # The acceptance bar: >=3x at small scale (one target's worth of data).
-    assert results[(16, 50)] >= 3.0
+    perf_check(results[(16, 50)] >= 3.0, f"MC-dropout speedup {results[(16, 50)]:.2f}x < 3x")
     # And the stacked forward must never regress at larger batches.
-    assert results[(64, 20)] >= 0.8
+    perf_check(results[(64, 20)] >= 0.8, f"stacked forward regressed: {results[(64, 20)]:.2f}x")
 
 
 def make_service_fixture():

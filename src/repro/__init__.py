@@ -5,7 +5,13 @@ The public API re-exports the most commonly used entry points:
 * :class:`repro.core.Tasfar` — the adaptation algorithm.
 * :class:`repro.core.TasfarConfig` — its configuration.
 * :mod:`repro.nn` — the numpy neural-network substrate.
-* :mod:`repro.data` — synthetic generators for the four evaluation tasks.
+* :mod:`repro.engine` — the strategy engine: the shared ``FineTuneEngine``
+  training hot path, the seeded RNG-stream plan, and the
+  ``AdaptationStrategy`` registry putting every scheme behind one
+  ``adapt()`` surface.
+* :mod:`repro.data` — synthetic generators for the four evaluation tasks
+  and the pluggable ``TaskSpec`` registry (a new task is one
+  ``register_task`` call).
 * :mod:`repro.baselines` — source-based and source-free UDA baselines.
 * :mod:`repro.experiments` — per-figure/table experiment harness.
 * :mod:`repro.runtime` — deployment-time multi-target adaptation service

@@ -10,14 +10,15 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..engine.finetune import FineTuneEngine
 from ..nn.activations import ReLU
 from ..nn.container import Sequential
-from ..nn.data import ArrayDataset, DataLoader
+from ..nn.data import ArrayDataset
 from ..nn.gradient_reversal import GradientReversal
 from ..nn.linear import Linear
 from ..nn.losses import MSELoss
 from ..nn.models import RegressionModel
-from ..nn.optim import Adam, clip_gradients
+from ..nn.optim import Adam
 from .base import Adapter, AdapterResult, clone_model
 
 __all__ = ["AdversarialUda", "logistic_loss"]
@@ -82,53 +83,39 @@ class AdversarialUda(Adapter):
         target_inputs = np.asarray(target_inputs, dtype=np.float64)
         rng = np.random.default_rng(self.seed)
         model = clone_model(source_model)
-        # Dropout is disabled during re-training for the same reason as in the
-        # other adapters (self-distillation noise on compact models).
-        saved_rates = [(layer, layer.rate) for layer in model.dropout_layers()]
-        for layer, _ in saved_rates:
-            layer.rate = 0.0
 
         feature_dim = model.features(source_data.inputs[:2]).shape[1]
         discriminator = self._build_discriminator(feature_dim)
-
         optimizer = Adam(model.parameters() + discriminator.parameters(), lr=self.lr)
         loss = MSELoss()
-        loader = DataLoader(source_data, batch_size=self.batch_size, shuffle=True, rng=rng)
 
-        losses: list[float] = []
-        model.train()
-        discriminator.train()
-        for _ in range(self.epochs):
-            epoch_total, batches = 0.0, 0
-            for inputs, targets, _ in loader:
-                optimizer.zero_grad()
-                # Supervised loss on the source batch.
-                predictions = model.forward(inputs)
-                task_value, task_grad = loss(predictions, targets)
-                model.backward(task_grad)
+        def step(inputs: np.ndarray, targets: np.ndarray, _weights) -> float:
+            # Supervised loss on the source batch.
+            predictions = model.forward(inputs)
+            task_value, task_grad = loss(predictions, targets)
+            model.backward(task_grad)
 
-                # Domain-adversarial loss through the gradient-reversal layer.
-                target_batch = target_inputs[
-                    rng.choice(len(target_inputs), size=min(len(inputs), len(target_inputs)), replace=False)
-                ]
-                domain_inputs = np.concatenate([inputs, target_batch], axis=0)
-                domain_labels = np.concatenate([np.ones(len(inputs)), np.zeros(len(target_batch))])
-                features = model.features(domain_inputs)
-                logits = discriminator.forward(features)
-                domain_value, domain_grad = logistic_loss(logits, domain_labels)
-                grad_features = discriminator.backward(domain_grad)
-                model.backward_features(grad_features)
+            # Domain-adversarial loss through the gradient-reversal layer.
+            target_batch = target_inputs[
+                rng.choice(len(target_inputs), size=min(len(inputs), len(target_inputs)), replace=False)
+            ]
+            domain_inputs = np.concatenate([inputs, target_batch], axis=0)
+            domain_labels = np.concatenate([np.ones(len(inputs)), np.zeros(len(target_batch))])
+            features = model.features(domain_inputs)
+            logits = discriminator.forward(features)
+            domain_value, domain_grad = logistic_loss(logits, domain_labels)
+            grad_features = discriminator.backward(domain_grad)
+            model.backward_features(grad_features)
+            return task_value + domain_value
 
-                clip_gradients(optimizer.parameters, 5.0)
-                optimizer.step()
-                epoch_total += task_value + domain_value
-                batches += 1
-            losses.append(epoch_total / max(batches, 1))
-        model.eval()
-        for layer, rate in saved_rates:
-            layer.rate = rate
+        # Dropout is disabled during re-training for the same reason as in the
+        # other adapters (self-distillation noise on compact models).
+        engine = FineTuneEngine(self.epochs, self.batch_size)
+        outcome = engine.run(
+            model, source_data, optimizer, step, rng=rng, extra_modules=(discriminator,)
+        )
         return AdapterResult(
             target_model=model,
-            losses=losses,
+            losses=outcome.losses,
             diagnostics={"adversarial_weight": self.adversarial_weight},
         )

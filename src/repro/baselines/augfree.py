@@ -13,10 +13,11 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..nn.data import ArrayDataset, DataLoader
+from ..engine.finetune import FineTuneEngine
+from ..nn.data import ArrayDataset
 from ..nn.losses import MSELoss
 from ..nn.models import RegressionModel
-from ..nn.optim import Adam, clip_gradients
+from ..nn.optim import Adam
 from .base import Adapter, AdapterResult, clone_model
 
 __all__ = ["AugFree", "variance_perturbation"]
@@ -78,35 +79,21 @@ class AugFree(Adapter):
         source_model.eval()
         teacher = source_model.forward(target_inputs)
 
-        saved_rates = [(layer, layer.rate) for layer in model.dropout_layers()]
-        for layer, _ in saved_rates:
-            layer.rate = 0.0
-
         optimizer = Adam(model.parameters(), lr=self.lr)
         loss = MSELoss()
         dataset = ArrayDataset(target_inputs, teacher)
-        loader = DataLoader(dataset, batch_size=self.batch_size, shuffle=True, rng=rng)
 
-        losses: list[float] = []
-        model.train()
-        for _ in range(self.epochs):
-            epoch_total, batches = 0.0, 0
-            for inputs, teacher_batch, _ in loader:
-                optimizer.zero_grad()
-                augmented = variance_perturbation(inputs, rng, self.strength)
-                predictions = model.forward(augmented)
-                value, grad = loss(predictions, teacher_batch)
-                model.backward(grad)
-                clip_gradients(optimizer.parameters, 5.0)
-                optimizer.step()
-                epoch_total += value
-                batches += 1
-            losses.append(epoch_total / max(batches, 1))
-        model.eval()
-        for layer, rate in saved_rates:
-            layer.rate = rate
+        def step(inputs: np.ndarray, teacher_batch: np.ndarray, _weights) -> float:
+            augmented = variance_perturbation(inputs, rng, self.strength)
+            predictions = model.forward(augmented)
+            value, grad = loss(predictions, teacher_batch)
+            model.backward(grad)
+            return value
+
+        engine = FineTuneEngine(self.epochs, self.batch_size)
+        outcome = engine.run(model, dataset, optimizer, step, rng=rng)
         return AdapterResult(
             target_model=model,
-            losses=losses,
+            losses=outcome.losses,
             diagnostics={"strength": self.strength},
         )

@@ -15,9 +15,10 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..nn.data import ArrayDataset, DataLoader
+from ..engine.finetune import FineTuneEngine
+from ..nn.data import ArrayDataset
 from ..nn.models import RegressionModel
-from ..nn.optim import Adam, clip_gradients
+from ..nn.optim import Adam
 from .base import Adapter, AdapterResult, clone_model
 
 __all__ = ["FeatureStatistics", "DataFree"]
@@ -104,46 +105,34 @@ class DataFree(Adapter):
         encoder_params = model.encoder.parameters()
         for param in model.head.parameters():
             param.trainable = False
-        saved_rates = [(layer, layer.rate) for layer in model.dropout_layers()]
-        for layer, _ in saved_rates:
-            layer.rate = 0.0
         optimizer = Adam(model.parameters(), lr=self.lr)
-
         dataset = ArrayDataset(target_inputs, np.zeros((len(target_inputs), 1)))
-        loader = DataLoader(dataset, batch_size=self.batch_size, shuffle=True, rng=rng)
 
-        losses: list[float] = []
-        model.train()
-        for _ in range(self.epochs):
-            epoch_total, batches = 0.0, 0
-            for inputs, _, _ in loader:
-                if len(inputs) < 2:
-                    continue
-                optimizer.zero_grad()
-                features = model.features(inputs)
-                batch_mean = features.mean(axis=0)
-                batch_var = features.var(axis=0)
-                mean_diff = batch_mean - statistics.mean
-                var_diff = batch_var - statistics.variance
-                value = float((mean_diff**2).mean() + (var_diff**2).mean())
-                n_samples, n_units = features.shape
-                grad = (
-                    2.0 * mean_diff / n_samples
-                    + 2.0 * var_diff * 2.0 * (features - batch_mean) / n_samples
-                ) / n_units
-                model.backward_features(grad)
-                clip_gradients(encoder_params, 5.0)
-                optimizer.step()
-                epoch_total += value
-                batches += 1
-            losses.append(epoch_total / max(batches, 1))
-        model.eval()
-        for layer, rate in saved_rates:
-            layer.rate = rate
+        def step(inputs: np.ndarray, _targets, _weights) -> float:
+            features = model.features(inputs)
+            batch_mean = features.mean(axis=0)
+            batch_var = features.var(axis=0)
+            mean_diff = batch_mean - statistics.mean
+            var_diff = batch_var - statistics.variance
+            value = float((mean_diff**2).mean() + (var_diff**2).mean())
+            n_samples, n_units = features.shape
+            grad = (
+                2.0 * mean_diff / n_samples
+                + 2.0 * var_diff * 2.0 * (features - batch_mean) / n_samples
+            ) / n_units
+            model.backward_features(grad)
+            return value
+
+        # Batch statistics need at least two samples, so stray single-sample
+        # trailing batches are skipped (min_batch_size).
+        engine = FineTuneEngine(self.epochs, self.batch_size, min_batch_size=2)
+        outcome = engine.run(
+            model, dataset, optimizer, step, rng=rng, clip_parameters=encoder_params
+        )
         for param in model.head.parameters():
             param.trainable = True
         return AdapterResult(
             target_model=model,
-            losses=losses,
+            losses=outcome.losses,
             diagnostics={"n_units": len(statistics.mean)},
         )

@@ -11,10 +11,11 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..nn.data import ArrayDataset, DataLoader
+from ..engine.finetune import FineTuneEngine
+from ..nn.data import ArrayDataset
 from ..nn.losses import MSELoss
 from ..nn.models import RegressionModel
-from ..nn.optim import Adam, clip_gradients
+from ..nn.optim import Adam
 from .base import Adapter, AdapterResult, clone_model
 
 __all__ = ["rbf_mmd", "MmdUda"]
@@ -103,45 +104,33 @@ class MmdUda(Adapter):
         target_inputs = np.asarray(target_inputs, dtype=np.float64)
         rng = np.random.default_rng(self.seed)
         model = clone_model(source_model)
-        # Fine-tuning with dropout enabled adds self-distillation noise on the
-        # compact models of this reproduction (see TasfarConfig), so the
-        # re-training is done with dropout disabled.
-        saved_rates = [(layer, layer.rate) for layer in model.dropout_layers()]
-        for layer, _ in saved_rates:
-            layer.rate = 0.0
         optimizer = Adam(model.parameters(), lr=self.lr)
         loss = MSELoss()
-        loader = DataLoader(source_data, batch_size=self.batch_size, shuffle=True, rng=rng)
 
-        losses: list[float] = []
-        model.train()
-        for _ in range(self.epochs):
-            epoch_total, batches = 0.0, 0
-            for inputs, targets, _ in loader:
-                optimizer.zero_grad()
-                # Supervised loss on the source batch.
-                predictions = model.forward(inputs)
-                task_value, task_grad = loss(predictions, targets)
-                model.backward(task_grad)
+        def step(inputs: np.ndarray, targets: np.ndarray, _weights) -> float:
+            # Supervised loss on the source batch.
+            predictions = model.forward(inputs)
+            task_value, task_grad = loss(predictions, targets)
+            model.backward(task_grad)
 
-                # MMD alignment between source and target encoder features.
-                target_batch = target_inputs[
-                    rng.choice(len(target_inputs), size=min(len(inputs), len(target_inputs)), replace=False)
-                ]
-                source_features = model.features(inputs)
-                target_features = model.features(target_batch)
-                mmd_value, grad_source, grad_target = rbf_mmd(source_features, target_features)
-                # The encoder cache currently holds the target forward pass.
-                model.backward_features(self.mmd_weight * grad_target)
-                model.features(inputs)  # re-run the forward pass to restore the source cache
-                model.backward_features(self.mmd_weight * grad_source)
+            # MMD alignment between source and target encoder features.
+            target_batch = target_inputs[
+                rng.choice(len(target_inputs), size=min(len(inputs), len(target_inputs)), replace=False)
+            ]
+            source_features = model.features(inputs)
+            target_features = model.features(target_batch)
+            mmd_value, grad_source, grad_target = rbf_mmd(source_features, target_features)
+            # The encoder cache currently holds the target forward pass.
+            model.backward_features(self.mmd_weight * grad_target)
+            model.features(inputs)  # re-run the forward pass to restore the source cache
+            model.backward_features(self.mmd_weight * grad_source)
+            return task_value + self.mmd_weight * mmd_value
 
-                clip_gradients(optimizer.parameters, 5.0)
-                optimizer.step()
-                epoch_total += task_value + self.mmd_weight * mmd_value
-                batches += 1
-            losses.append(epoch_total / max(batches, 1))
-        model.eval()
-        for layer, rate in saved_rates:
-            layer.rate = rate
-        return AdapterResult(target_model=model, losses=losses, diagnostics={"mmd_weight": self.mmd_weight})
+        # Fine-tuning with dropout enabled adds self-distillation noise on the
+        # compact models of this reproduction (see TasfarConfig), so the
+        # re-training is done with dropout disabled (the engine default).
+        engine = FineTuneEngine(self.epochs, self.batch_size)
+        outcome = engine.run(model, source_data, optimizer, step, rng=rng)
+        return AdapterResult(
+            target_model=model, losses=outcome.losses, diagnostics={"mmd_weight": self.mmd_weight}
+        )

@@ -22,11 +22,20 @@ Adapt every target scenario of a task through the multi-target
     python -m repro.cli adapt-many --task pdr --scale small --jobs 4 \
         --report adaptation_reports.json
 
+Serve any scheme from the strategy registry — not just TASFAR — through the
+same service::
+
+    python -m repro.cli adapt-many --task housing --scheme mmd --jobs 4
+
 Replay a suddenly drifting stream for every PDR user through the streaming
 service (online density maps, drift detection, warm re-adaptation)::
 
     python -m repro.cli stream --task pdr --drift sudden --steps 12 \
         --events stream_events.json
+
+Both ``--task`` choices (the :class:`~repro.data.TaskSpec` registry) and
+``--scheme`` choices (the strategy registry) are extensible: registering a
+new task or scheme makes it available here without touching this module.
 """
 
 from __future__ import annotations
@@ -40,13 +49,15 @@ from .experiments import SCALES, list_experiments, run_experiment
 
 __all__ = ["main", "build_parser"]
 
-#: Tasks usable with ``adapt-many`` (the bundle builders of the harness).
-ADAPT_TASKS = ("pdr", "crowd", "housing", "taxi")
-
 
 def build_parser() -> argparse.ArgumentParser:
     """Build the argument parser for the CLI."""
     from .data.drift import DRIFT_KINDS
+    from .data.tasks import task_names
+    from .engine.registry import strategy_names
+
+    adapt_tasks = task_names()
+    schemes = strategy_names()
 
     parser = argparse.ArgumentParser(
         prog="tasfar-repro",
@@ -93,9 +104,15 @@ def build_parser() -> argparse.ArgumentParser:
         "adapt-many",
         help="adapt every target scenario of a task through the AdaptationService",
     )
-    adapt_parser.add_argument("--task", default="pdr", choices=ADAPT_TASKS)
+    adapt_parser.add_argument("--task", default="pdr", choices=adapt_tasks)
     adapt_parser.add_argument("--scale", default="small", choices=tuple(SCALES))
     adapt_parser.add_argument("--seed", type=int, default=0)
+    adapt_parser.add_argument(
+        "--scheme",
+        default="tasfar",
+        choices=schemes,
+        help="adaptation scheme served by the service (strategy registry)",
+    )
     adapt_parser.add_argument(
         "--jobs", type=int, default=1, help="worker threads for parallel target adaptation"
     )
@@ -124,9 +141,15 @@ def build_parser() -> argparse.ArgumentParser:
         "stream",
         help="replay non-stationary per-target streams through the StreamingAdaptationService",
     )
-    stream_parser.add_argument("--task", default="pdr", choices=ADAPT_TASKS)
+    stream_parser.add_argument("--task", default="pdr", choices=adapt_tasks)
     stream_parser.add_argument("--scale", default="small", choices=tuple(SCALES))
     stream_parser.add_argument("--seed", type=int, default=0)
+    stream_parser.add_argument(
+        "--scheme",
+        default="tasfar",
+        choices=schemes,
+        help="adaptation scheme re-adapted on drift (strategy registry)",
+    )
     stream_parser.add_argument(
         "--drift",
         default="sudden",
@@ -284,6 +307,23 @@ def _select_scenarios(parser: argparse.ArgumentParser, args: argparse.Namespace)
     return bundle, scenarios
 
 
+def _build_strategy(args: argparse.Namespace, bundle, max_source_samples: int = 400):
+    """Create and prepare the ``--scheme`` strategy against the task bundle."""
+    from .core import TasfarConfig
+    from .engine import create_strategy
+
+    strategy = create_strategy(
+        args.scheme,
+        config=TasfarConfig(seed=args.seed),
+        epochs=bundle.scale.baseline_epochs,
+        seed=args.seed,
+    )
+    return strategy.prepare(
+        bundle.source_model,
+        bundle.resources(max_source_samples=max_source_samples, seed=args.seed),
+    )
+
+
 def _adapt_many(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
     """Adapt the target scenarios of one task through the AdaptationService."""
     from .core import TasfarConfig
@@ -302,6 +342,7 @@ def _adapt_many(parser: argparse.ArgumentParser, args: argparse.Namespace) -> in
         bundle.source_model,
         bundle.calibration,
         config=TasfarConfig(seed=args.seed),
+        strategy=_build_strategy(args, bundle),
         max_cached_models=max_cached,
         base_seed=args.seed,
     )
@@ -314,6 +355,9 @@ def _adapt_many(parser: argparse.ArgumentParser, args: argparse.Namespace) -> in
     rows = []
     for name, scenario in selected.items():
         report = reports[name]
+        # Record the run-level seed next to the per-target derived seed, so a
+        # stored report pins the exact CLI invocation that produced it.
+        report.extra["run_seed"] = int(args.seed)
         before = mse(bundle.predict(scenario.adaptation.inputs), scenario.adaptation.targets)
         report.extra["mse_before"] = float(before)
         if service.model_for(name) is None:
@@ -339,6 +383,7 @@ def _adapt_many(parser: argparse.ArgumentParser, args: argparse.Namespace) -> in
                 round(report.duration_seconds, 3),
             ]
         )
+    print(f"[adapt-many] task={args.task} scheme={args.scheme} seed={args.seed}")
     print(
         format_table(
             ["target", "n", "confident", "uncertain", "epochs", "mse_before", "mse_after", "secs"],
@@ -389,6 +434,7 @@ def _stream(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
         bundle.source_model,
         bundle.calibration,
         config=TasfarConfig(seed=args.seed),
+        strategy=_build_strategy(args, bundle),
         max_cached_models=len(selected),
         base_seed=args.seed,
         min_adapt_events=args.min_adapt,
@@ -424,7 +470,10 @@ def _stream(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
                 after_cell,
             ]
         )
-    print(f"[stream] task={args.task} drift={args.drift} steps={args.steps}")
+    print(
+        f"[stream] task={args.task} scheme={args.scheme} drift={args.drift} "
+        f"steps={args.steps} seed={args.seed}"
+    )
     print(
         format_table(
             ["target", "events", "cold", "warm", "buffered", "mse_source", "mse_stream"],

@@ -20,10 +20,12 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..nn.data import ArrayDataset, DataLoader
+from ..engine.finetune import FineTuneEngine
+from ..engine.rng import ADAPTATION_STREAM, CALIBRATION_STREAM, stream_seed_sequence
+from ..nn.data import ArrayDataset
 from ..nn.losses import Loss, MSELoss
 from ..nn.models import RegressionModel
-from ..nn.optim import Adam, clip_gradients
+from ..nn.optim import Adam
 from ..uncertainty.calibration import UncertaintyCalibrator, fit_sigma_curve
 from ..uncertainty.mc_dropout import MCDropoutPredictor, UncertainPrediction
 from .confidence import ConfidenceClassifier, ConfidenceSplit
@@ -45,10 +47,6 @@ class NoConfidentSamplesError(ValueError):
     errors.
     """
 
-#: Stream tags separating the calibration-time and adaptation-time MC-dropout
-#: generator sequences derived from the same user-facing seed.
-_CALIBRATION_STREAM = 0
-_ADAPTATION_STREAM = 1
 
 
 @dataclass
@@ -132,7 +130,7 @@ class Tasfar:
         predictor = MCDropoutPredictor(
             source_model,
             n_samples=self.config.n_mc_samples,
-            seed=np.random.SeedSequence([self.config.seed, _CALIBRATION_STREAM]),
+            seed=stream_seed_sequence(self.config.seed, CALIBRATION_STREAM),
         )
         prediction = predictor.predict(source_inputs)
 
@@ -188,7 +186,7 @@ class Tasfar:
         predictor = MCDropoutPredictor(
             source_model,
             n_samples=self.config.n_mc_samples,
-            seed=np.random.SeedSequence([seed, _ADAPTATION_STREAM]),
+            seed=stream_seed_sequence(seed, ADAPTATION_STREAM),
         )
         prediction = predictor.predict(target_inputs)
 
@@ -310,46 +308,36 @@ class Tasfar:
         pseudo_batch: PseudoLabelBatch,
         rng: np.random.Generator,
     ) -> tuple[list[float], int | None]:
-        """Weighted supervised fine-tuning with loss-drop early stopping."""
+        """Weighted supervised fine-tuning with loss-drop early stopping.
+
+        The epoch/batch loop itself lives in the shared
+        :class:`~repro.engine.FineTuneEngine`; only the weighted-loss batch
+        step (Eq. 22) is TASFAR's own.
+        """
         dataset = self.build_adaptation_dataset(target_inputs, prediction, split, pseudo_batch)
         if len(dataset) == 0 or float(np.sum(dataset.weights)) <= 0:
             return [], None
 
-        saved_dropout_rates: list[tuple] = []
-        if not self.config.dropout_during_adaptation:
-            for layer in target_model.dropout_layers():
-                saved_dropout_rates.append((layer, layer.rate))
-                layer.rate = 0.0
-
+        stopper = None
+        if self.config.early_stop:
+            stopper = LossDropEarlyStopper(
+                drop_fraction=self.config.early_stop_drop_fraction,
+                patience=self.config.early_stop_patience,
+                min_epochs=self.config.min_adaptation_epochs,
+            )
+        engine = FineTuneEngine(
+            self.config.adaptation_epochs,
+            self.config.adaptation_batch_size,
+            disable_dropout=not self.config.dropout_during_adaptation,
+            stopper=stopper,
+        )
         optimizer = Adam(target_model.parameters(), lr=self.config.adaptation_lr)
-        loader = DataLoader(
-            dataset, batch_size=self.config.adaptation_batch_size, shuffle=True, rng=rng
-        )
-        stopper = LossDropEarlyStopper(
-            drop_fraction=self.config.early_stop_drop_fraction,
-            patience=self.config.early_stop_patience,
-            min_epochs=self.config.min_adaptation_epochs,
-        )
-        losses: list[float] = []
-        stopped_epoch: int | None = None
-        target_model.train()
-        for epoch in range(self.config.adaptation_epochs):
-            total, batches = 0.0, 0
-            for inputs, labels, weights in loader:
-                optimizer.zero_grad()
-                outputs = target_model.forward(inputs)
-                value, grad = self.loss(outputs, labels, weights)
-                target_model.backward(grad)
-                clip_gradients(optimizer.parameters, 5.0)
-                optimizer.step()
-                total += value
-                batches += 1
-            epoch_loss = total / max(batches, 1)
-            losses.append(epoch_loss)
-            if self.config.early_stop and stopper.update(epoch_loss):
-                stopped_epoch = epoch + 1
-                break
-        target_model.eval()
-        for layer, rate in saved_dropout_rates:
-            layer.rate = rate
-        return losses, stopped_epoch
+
+        def step(inputs: np.ndarray, labels: np.ndarray, weights: np.ndarray | None) -> float:
+            outputs = target_model.forward(inputs)
+            value, grad = self.loss(outputs, labels, weights)
+            target_model.backward(grad)
+            return value
+
+        outcome = engine.run(target_model, dataset, optimizer, step, rng=rng)
+        return outcome.losses, outcome.stopped_epoch

@@ -13,6 +13,15 @@ from .housing import HOUSING_FEATURES, HousingGenerator, make_housing_task
 from .partition import merge_scenarios, split_dataset_by_fraction, subsample_scenario
 from .pdr import PdrGenerator, PdrTrajectory, PdrUserProfile, make_pdr_task
 from .preprocessing import Standardizer, corrupt_features
+from .tasks import (
+    SCALES,
+    ScaleProfile,
+    TaskSpec,
+    get_task_spec,
+    register_task,
+    task_names,
+    unregister_task,
+)
 from .taxi import TAXI_FEATURES, TaxiGenerator, make_taxi_task
 
 __all__ = [
@@ -27,10 +36,17 @@ __all__ = [
     "PdrGenerator",
     "PdrTrajectory",
     "PdrUserProfile",
+    "SCALES",
+    "ScaleProfile",
     "Standardizer",
     "TAXI_FEATURES",
     "TargetScenario",
+    "TaskSpec",
     "TaxiGenerator",
+    "get_task_spec",
+    "register_task",
+    "task_names",
+    "unregister_task",
     "corrupt_features",
     "make_crowd_task",
     "make_drift_stream",

@@ -1,0 +1,333 @@
+"""Pluggable registry of adaptation-task scenarios.
+
+A :class:`TaskSpec` bundles everything the harness layers need to stand a
+task up end to end — the data generator, the source-model architecture, the
+source-training recipe, and the metric names used to evaluate it.  The four
+paper tasks (``pdr``, ``crowd``, ``housing``, ``taxi``) are registered below;
+a new scenario is **one** :func:`register_task` call, after which it works
+everywhere a task name is accepted: ``get_bundle``, every experiment that
+takes a task, and the CLI's ``adapt-many``/``stream`` subcommands (whose
+choices are read from this registry) — including the non-stationary stream
+generators of :mod:`repro.data.drift`, which wrap any registered task's
+scenarios.
+
+The :class:`ScaleProfile` sizing table lives here too, next to the
+generators it parameterizes; :mod:`repro.experiments.base` re-exports it for
+compatibility.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from .. import nn
+from .base import AdaptationTask
+from .crowd import make_crowd_task
+from .housing import make_housing_task
+from .pdr import make_pdr_task
+from .taxi import make_taxi_task
+
+__all__ = [
+    "ScaleProfile",
+    "SCALES",
+    "TaskSpec",
+    "register_task",
+    "unregister_task",
+    "get_task_spec",
+    "task_names",
+    "on_task_registry_change",
+]
+
+
+@dataclass(frozen=True)
+class ScaleProfile:
+    """Sizes used when generating data and training models for experiments."""
+
+    name: str
+    # PDR
+    pdr_seen_users: int
+    pdr_unseen_users: int
+    pdr_source_trajectories: int
+    pdr_target_trajectories: int
+    pdr_steps: int
+    pdr_window: int
+    pdr_channels: tuple[int, ...]
+    pdr_epochs: int
+    # Crowd counting
+    crowd_source_images: int
+    crowd_images_per_scene: int
+    crowd_image_size: int
+    crowd_epochs: int
+    # Tabular tasks
+    tabular_source: int
+    tabular_target: int
+    tabular_epochs: int
+    # Baseline adaptation budgets
+    baseline_epochs: int
+
+
+SCALES: dict[str, ScaleProfile] = {
+    "tiny": ScaleProfile(
+        name="tiny",
+        pdr_seen_users=2,
+        pdr_unseen_users=1,
+        pdr_source_trajectories=1,
+        pdr_target_trajectories=2,
+        pdr_steps=40,
+        pdr_window=12,
+        pdr_channels=(8, 8),
+        pdr_epochs=15,
+        crowd_source_images=60,
+        crowd_images_per_scene=24,
+        crowd_image_size=10,
+        crowd_epochs=12,
+        tabular_source=200,
+        tabular_target=120,
+        tabular_epochs=25,
+        baseline_epochs=5,
+    ),
+    "small": ScaleProfile(
+        name="small",
+        pdr_seen_users=4,
+        pdr_unseen_users=3,
+        pdr_source_trajectories=3,
+        pdr_target_trajectories=3,
+        pdr_steps=80,
+        pdr_window=20,
+        pdr_channels=(16, 16),
+        pdr_epochs=60,
+        crowd_source_images=120,
+        crowd_images_per_scene=45,
+        crowd_image_size=12,
+        crowd_epochs=30,
+        tabular_source=500,
+        tabular_target=250,
+        tabular_epochs=50,
+        baseline_epochs=12,
+    ),
+    "full": ScaleProfile(
+        name="full",
+        pdr_seen_users=15,
+        pdr_unseen_users=10,
+        pdr_source_trajectories=3,
+        pdr_target_trajectories=5,
+        pdr_steps=100,
+        pdr_window=20,
+        pdr_channels=(16, 16),
+        pdr_epochs=80,
+        crowd_source_images=400,
+        crowd_images_per_scene=120,
+        crowd_image_size=16,
+        crowd_epochs=60,
+        tabular_source=1500,
+        tabular_target=600,
+        tabular_epochs=80,
+        baseline_epochs=20,
+    ),
+}
+
+
+@dataclass(frozen=True)
+class TaskSpec:
+    """Everything needed to stand one adaptation task up end to end.
+
+    Attributes
+    ----------
+    name:
+        Registry key (``pdr``, ``crowd``, ...).
+    build_task:
+        ``(profile, seed) -> AdaptationTask`` data generator.
+    build_model:
+        ``(task, profile, seed) -> RegressionModel`` source architecture.
+    epochs:
+        ``profile -> int`` source-training epoch budget at that scale.
+    lr, batch_size:
+        Source-training recipe.
+    metrics:
+        Metric names the comparison harness evaluates this task with (see
+        ``repro.experiments.comparison``); the first one is the headline.
+    description:
+        One-line human description (shown by introspection tooling).
+    """
+
+    name: str
+    build_task: Callable[[ScaleProfile, int], AdaptationTask]
+    build_model: Callable[[AdaptationTask, ScaleProfile, int], "nn.RegressionModel"]
+    epochs: Callable[[ScaleProfile], int]
+    lr: float = 2e-3
+    batch_size: int = 32
+    metrics: tuple[str, ...] = ("mse", "mae")
+    description: str = ""
+
+
+_TASKS: dict[str, TaskSpec] = {}
+
+#: Callables invoked with a task name whenever its registration changes
+#: (replaced or removed), so caches keyed by task name — e.g. the
+#: experiments bundle cache — can evict stale entries.
+_REGISTRY_LISTENERS: list[Callable[[str], None]] = []
+
+
+def on_task_registry_change(listener: Callable[[str], None]) -> None:
+    """Subscribe to task replace/unregister events (receives the task name)."""
+    _REGISTRY_LISTENERS.append(listener)
+
+
+def _notify_registry_change(name: str) -> None:
+    for listener in _REGISTRY_LISTENERS:
+        listener(name)
+
+
+def register_task(spec: TaskSpec, replace: bool = False) -> TaskSpec:
+    """Register a task spec; set ``replace=True`` to overwrite an existing name."""
+    key = spec.name.lower()
+    existing = key in _TASKS
+    if not replace and existing:
+        raise ValueError(f"task {spec.name!r} is already registered (pass replace=True)")
+    _TASKS[key] = spec
+    if existing:
+        _notify_registry_change(key)
+    return spec
+
+
+def unregister_task(name: str) -> None:
+    """Remove a registered task (mainly for tests registering throwaway tasks)."""
+    if _TASKS.pop(name.lower(), None) is not None:
+        _notify_registry_change(name.lower())
+
+
+def get_task_spec(name: str) -> TaskSpec:
+    """Look a task spec up by name."""
+    try:
+        return _TASKS[name.lower()]
+    except KeyError as exc:
+        raise ValueError(
+            f"unknown task {name!r}; registered tasks: {', '.join(task_names())}"
+        ) from exc
+
+
+def task_names() -> tuple[str, ...]:
+    """All registered task names, in registration order."""
+    return tuple(_TASKS)
+
+
+# ----------------------------------------------------------------------
+# The four paper tasks
+# ----------------------------------------------------------------------
+def _build_pdr_task(profile: ScaleProfile, seed: int) -> AdaptationTask:
+    return make_pdr_task(
+        n_seen_users=profile.pdr_seen_users,
+        n_unseen_users=profile.pdr_unseen_users,
+        n_source_trajectories=profile.pdr_source_trajectories,
+        n_target_trajectories=profile.pdr_target_trajectories,
+        steps_per_trajectory=profile.pdr_steps,
+        window=profile.pdr_window,
+        seed=seed,
+    )
+
+
+def _build_pdr_model(task: AdaptationTask, profile: ScaleProfile, seed: int):
+    return nn.build_tcn_regressor(
+        in_channels=task.metadata["n_channels"],
+        window_length=profile.pdr_window,
+        output_dim=2,
+        channel_sizes=profile.pdr_channels,
+        dropout=0.2,
+        seed=seed,
+    )
+
+
+def _build_crowd_task(profile: ScaleProfile, seed: int) -> AdaptationTask:
+    return make_crowd_task(
+        n_source_images=profile.crowd_source_images,
+        n_target_images_per_scene=profile.crowd_images_per_scene,
+        image_size=profile.crowd_image_size,
+        seed=seed,
+    )
+
+
+def _build_crowd_model(task: AdaptationTask, profile: ScaleProfile, seed: int):
+    return nn.build_mcnn_counter(
+        image_size=profile.crowd_image_size,
+        column_channels=(3, 4, 5),
+        column_kernels=(3, 5, 7),
+        dropout=0.2,
+        seed=seed,
+    )
+
+
+def _build_housing_task(profile: ScaleProfile, seed: int) -> AdaptationTask:
+    return make_housing_task(
+        n_source=profile.tabular_source,
+        n_target=profile.tabular_target,
+        seed=seed,
+    )
+
+
+def _build_taxi_task(profile: ScaleProfile, seed: int) -> AdaptationTask:
+    return make_taxi_task(
+        n_source=profile.tabular_source,
+        n_target=profile.tabular_target,
+        seed=seed,
+    )
+
+
+def _build_tabular_model(task: AdaptationTask, profile: ScaleProfile, seed: int):
+    return nn.build_mlp(
+        input_dim=task.source_train.inputs.shape[1],
+        output_dim=1,
+        hidden_dims=(32, 16),
+        dropout=0.2,
+        seed=seed,
+    )
+
+
+register_task(
+    TaskSpec(
+        name="pdr",
+        build_task=_build_pdr_task,
+        build_model=_build_pdr_model,
+        epochs=lambda profile: profile.pdr_epochs,
+        lr=2e-3,
+        batch_size=32,
+        metrics=("ste",),
+        description="pedestrian dead reckoning: per-user IMU-window displacement",
+    )
+)
+register_task(
+    TaskSpec(
+        name="crowd",
+        build_task=_build_crowd_task,
+        build_model=_build_crowd_model,
+        epochs=lambda profile: profile.crowd_epochs,
+        lr=2e-3,
+        batch_size=16,
+        metrics=("mae", "mse"),
+        description="crowd counting: per-scene synthetic density images",
+    )
+)
+register_task(
+    TaskSpec(
+        name="housing",
+        build_task=_build_housing_task,
+        build_model=_build_tabular_model,
+        epochs=lambda profile: profile.tabular_epochs,
+        lr=3e-3,
+        batch_size=32,
+        metrics=("mse", "mae"),
+        description="housing prices: per-segment tabular regression",
+    )
+)
+register_task(
+    TaskSpec(
+        name="taxi",
+        build_task=_build_taxi_task,
+        build_model=_build_tabular_model,
+        epochs=lambda profile: profile.tabular_epochs,
+        lr=3e-3,
+        batch_size=32,
+        metrics=("rmsle", "mae"),
+        description="taxi durations: per-district tabular regression",
+    )
+)

@@ -1,0 +1,67 @@
+"""Strategy engine: the shared fine-tune hot path and the scheme registry.
+
+Layering: ``finetune``/``rng`` sit *below* ``core`` and ``baselines`` (they
+implement the training loop those layers call into), while ``strategy`` and
+``registry`` sit *above* them (they wrap whole schemes behind one
+``AdaptationStrategy`` surface for the runtime services and the CLI).  The
+upper half is therefore imported lazily — ``from repro.engine import
+TasfarStrategy`` works, but merely importing :mod:`repro.core` (which pulls
+in :class:`FineTuneEngine`) does not drag the strategy layer, and the
+``core → engine.finetune`` / ``engine.strategy → core`` pair stays acyclic.
+"""
+
+from .early_stopping import LossDropEarlyStopper
+from .finetune import BatchStep, FineTuneEngine, FineTuneResult
+from .rng import (
+    ADAPTATION_STREAM,
+    CALIBRATION_STREAM,
+    PROBE_STREAM,
+    stream_generator,
+    stream_seed_sequence,
+)
+
+__all__ = [
+    "ADAPTATION_STREAM",
+    "AdaptationStrategy",
+    "BatchStep",
+    "CALIBRATION_STREAM",
+    "BaselineStrategy",
+    "FineTuneEngine",
+    "FineTuneResult",
+    "LossDropEarlyStopper",
+    "PROBE_STREAM",
+    "SourceResources",
+    "StrategyOutcome",
+    "TasfarStrategy",
+    "create_strategy",
+    "register_strategy",
+    "strategy_names",
+    "stream_generator",
+    "stream_seed_sequence",
+]
+
+#: Names resolved lazily from the strategy layer (PEP 562) to keep the
+#: ``core -> engine.finetune`` import light and cycle-free.
+_STRATEGY_EXPORTS = {
+    "AdaptationStrategy": "strategy",
+    "BaselineStrategy": "strategy",
+    "SourceResources": "strategy",
+    "StrategyOutcome": "strategy",
+    "TasfarStrategy": "strategy",
+    "create_strategy": "registry",
+    "register_strategy": "registry",
+    "strategy_names": "registry",
+}
+
+
+def __getattr__(name: str):
+    module_name = _STRATEGY_EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    from importlib import import_module
+
+    return getattr(import_module(f".{module_name}", __name__), name)
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(__all__))

@@ -1,0 +1,89 @@
+"""Early stopping for the unsupervised adaptation training.
+
+The adaptation has no labelled validation set, so the paper stops training
+when the *rate* at which the training loss drops collapses (Fig. 13): the
+large early drops correspond to fitting the high-credibility pseudo-labels,
+and once those are fitted further epochs mostly chase noisy low-credibility
+samples.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["LossDropEarlyStopper"]
+
+
+class LossDropEarlyStopper:
+    """Stop when the recent loss-drop rate falls below a fraction of the initial rate.
+
+    Parameters
+    ----------
+    drop_fraction:
+        A recent drop rate below ``drop_fraction`` times the initial drop rate
+        counts as a "slow" epoch.
+    patience:
+        Number of consecutive slow epochs required to trigger the stop.
+    min_epochs:
+        Never stop before this many epochs have completed.
+    window:
+        Number of epochs used to measure both the initial and the recent drop
+        rate.
+    """
+
+    def __init__(
+        self,
+        drop_fraction: float = 0.1,
+        patience: int = 3,
+        min_epochs: int = 5,
+        window: int = 3,
+    ) -> None:
+        if not 0.0 < drop_fraction < 1.0:
+            raise ValueError("drop_fraction must be in (0, 1)")
+        if patience < 1 or min_epochs < 1 or window < 1:
+            raise ValueError("patience, min_epochs and window must be positive")
+        self.drop_fraction = drop_fraction
+        self.patience = patience
+        self.min_epochs = min_epochs
+        self.window = window
+        self._losses: list[float] = []
+        self._slow_epochs = 0
+        self.stopped_epoch: int | None = None
+
+    @property
+    def losses(self) -> list[float]:
+        """Losses observed so far."""
+        return list(self._losses)
+
+    def _drop_rate(self, losses: list[float]) -> float:
+        if len(losses) < 2:
+            return np.inf
+        drops = [max(0.0, earlier - later) for earlier, later in zip(losses[:-1], losses[1:])]
+        return float(np.mean(drops))
+
+    def update(self, loss: float) -> bool:
+        """Record an epoch loss; return ``True`` when training should stop."""
+        if self.stopped_epoch is not None:
+            return True
+        self._losses.append(float(loss))
+        epoch = len(self._losses)
+        if epoch < max(self.min_epochs, self.window + 1):
+            return False
+
+        initial = self._drop_rate(self._losses[: self.window + 1])
+        recent = self._drop_rate(self._losses[-(self.window + 1):])
+        if not np.isfinite(initial) or initial <= 0:
+            # No meaningful early progress to compare against; keep training
+            # until the loss is flat in absolute terms.
+            slow = recent <= 1e-12
+        else:
+            slow = recent < self.drop_fraction * initial
+
+        if slow:
+            self._slow_epochs += 1
+        else:
+            self._slow_epochs = 0
+        if self._slow_epochs >= self.patience:
+            self.stopped_epoch = epoch
+            return True
+        return False

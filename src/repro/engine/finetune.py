@@ -1,0 +1,252 @@
+"""The one fine-tuning hot path shared by every adaptation scheme.
+
+Before this module existed, the epoch/batch/clip/step loop was written out
+five times — in :class:`~repro.core.Tasfar`, each trainable baseline, and
+(indirectly) the streaming warm-start path — so every hot-path improvement
+had to be applied five times and could drift.  :class:`FineTuneEngine` owns
+that loop once.  A scheme contributes only its *batch step* (forward,
+scheme-specific loss, backward) as a callable; the engine owns everything
+around it:
+
+* mini-batch iteration with **preallocated batch buffers** — per batch the
+  engine fills reusable ``(batch_size, ...)`` arrays with ``np.take`` instead
+  of allocating fresh fancy-indexing copies, which removes the dominant
+  allocation from the training loop while producing bit-identical batches;
+* shuffling that consumes the caller's generator exactly like the historical
+  per-scheme ``DataLoader`` did (one ``shuffle`` of an identity permutation
+  per epoch), so refactored schemes reproduce their pre-engine results
+  bit for bit;
+* gradient clipping, the optimizer step, per-epoch loss averaging,
+  loss-drop early stopping, and the train/eval + dropout-rate bracketing
+  that every scheme previously duplicated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..nn.data import ArrayDataset
+from ..nn.optim import Optimizer, clip_gradients
+from ..nn.parameter import Parameter
+from .early_stopping import LossDropEarlyStopper
+
+__all__ = ["BatchStep", "FineTuneResult", "FineTuneEngine"]
+
+#: A scheme's per-batch contribution: forward + loss + backward on one batch
+#: ``(inputs, targets, weights)``; returns the batch's scalar loss value.
+#: The engine has already zeroed the gradients and will clip and step after.
+BatchStep = Callable[[np.ndarray, np.ndarray, "np.ndarray | None"], float]
+
+
+@dataclass
+class FineTuneResult:
+    """Outcome of one engine run."""
+
+    losses: list[float] = field(default_factory=list)
+    stopped_epoch: int | None = None
+
+    @property
+    def n_epochs(self) -> int:
+        """Number of completed epochs."""
+        return len(self.losses)
+
+
+class _BatchBuffers:
+    """Reusable per-batch arrays filled with ``np.take`` instead of reallocated.
+
+    The buffers are private to one engine run, and every batch step consumes
+    its batch fully (forward + backward + optimizer step) before the next
+    batch is materialized, so reuse is safe.
+    """
+
+    def __init__(self, dataset: ArrayDataset, batch_size: int) -> None:
+        self.inputs = np.empty((batch_size,) + dataset.inputs.shape[1:], dtype=dataset.inputs.dtype)
+        self.targets = np.empty(
+            (batch_size,) + dataset.targets.shape[1:], dtype=dataset.targets.dtype
+        )
+        self.weights = (
+            None
+            if dataset.weights is None
+            else np.empty((batch_size,), dtype=dataset.weights.dtype)
+        )
+
+    def fill(
+        self, dataset: ArrayDataset, indices: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray | None]:
+        # ``mode="clip"`` skips the bounds re-check of the default "raise"
+        # mode, which is the difference between ``take``-into-a-buffer being
+        # slower or faster than an allocating fancy index at batch sizes.
+        # Indices are slices of a shuffled ``arange(len(dataset))``, so they
+        # are in bounds by construction and clipping never actually clips.
+        n = len(indices)
+        inputs = self.inputs[:n]
+        targets = self.targets[:n]
+        np.take(dataset.inputs, indices, axis=0, out=inputs, mode="clip")
+        np.take(dataset.targets, indices, axis=0, out=targets, mode="clip")
+        if self.weights is None:
+            return inputs, targets, None
+        weights = self.weights[:n]
+        np.take(dataset.weights, indices, axis=0, out=weights, mode="clip")
+        return inputs, targets, weights
+
+
+class FineTuneEngine:
+    """Run the shared epoch/batch/clip/step loop for one adaptation.
+
+    Parameters
+    ----------
+    epochs:
+        Maximum number of epochs.
+    batch_size:
+        Mini-batch size; the final batch of an epoch may be smaller.
+    grad_clip:
+        Global gradient-norm clip applied after every batch step
+        (``None`` disables clipping).
+    disable_dropout:
+        Zero the model's dropout rates for the duration of the run (restored
+        afterwards).  Every scheme in this repo fine-tunes with dropout off
+        — self-distillation noise hurts the compact models — except TASFAR's
+        explicit ``dropout_during_adaptation`` ablation.
+    stopper:
+        Optional :class:`~repro.core.early_stopping.LossDropEarlyStopper`;
+        when given, the run stops once the per-epoch loss-drop collapses.
+    min_batch_size:
+        Batches smaller than this are skipped entirely (DataFree's feature
+        statistics need at least two samples).
+    shuffle:
+        Reshuffle the sample order each epoch from the caller's ``rng``.
+    """
+
+    def __init__(
+        self,
+        epochs: int,
+        batch_size: int = 32,
+        *,
+        grad_clip: float | None = 5.0,
+        disable_dropout: bool = True,
+        stopper: LossDropEarlyStopper | None = None,
+        min_batch_size: int = 1,
+        shuffle: bool = True,
+    ) -> None:
+        if epochs <= 0:
+            raise ValueError("epochs must be positive")
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        if grad_clip is not None and grad_clip <= 0:
+            raise ValueError("grad_clip must be positive (or None to disable)")
+        if min_batch_size < 1:
+            raise ValueError("min_batch_size must be at least 1")
+        self.epochs = int(epochs)
+        self.batch_size = int(batch_size)
+        self.grad_clip = grad_clip
+        self.disable_dropout = bool(disable_dropout)
+        self.stopper = stopper
+        self.min_batch_size = int(min_batch_size)
+        self.shuffle = bool(shuffle)
+
+    def run(
+        self,
+        model,
+        dataset: ArrayDataset,
+        optimizer: Optimizer,
+        step: BatchStep,
+        *,
+        rng: np.random.Generator,
+        clip_parameters: Sequence[Parameter] | None = None,
+        extra_modules: Sequence = (),
+    ) -> FineTuneResult:
+        """Fine-tune ``model`` on ``dataset`` by repeatedly invoking ``step``.
+
+        Parameters
+        ----------
+        model:
+            The model being fine-tuned; bracketed in ``train()``/``eval()``
+            and (optionally) dropout-disabled for the run.
+        dataset:
+            Samples, targets and optional per-sample weights.
+        optimizer:
+            Ready-built optimizer; the engine calls ``zero_grad`` before and
+            ``step`` after every batch step.
+        step:
+            The scheme's batch step (forward + loss + backward).
+        rng:
+            Generator driving the per-epoch shuffles.  Schemes that draw
+            extra randomness inside their batch step (MMD/ADV target batch
+            choice, AUGfree perturbations) share this generator, preserving
+            the exact draw order of the pre-engine implementations.
+        clip_parameters:
+            Parameters to clip; defaults to the optimizer's parameter list
+            (DataFree clips only the encoder).
+        extra_modules:
+            Additional modules to bracket in ``train()``/``eval()`` (the
+            adversarial baseline's discriminator).
+        """
+        result = FineTuneResult()
+        if self.stopper is not None and self.stopper.losses:
+            # LossDropEarlyStopper is stateful (it keeps its loss history and
+            # stays tripped once tripped): silently reusing one across runs
+            # would cap the second run at one epoch.
+            raise ValueError(
+                "the early stopper has already observed losses; construct a fresh "
+                "stopper (and engine) per run"
+            )
+        n_samples = len(dataset)
+        if n_samples == 0:
+            return result
+        clip_params = optimizer.parameters if clip_parameters is None else list(clip_parameters)
+
+        saved_rates: list[tuple] = []
+        if self.disable_dropout and hasattr(model, "dropout_layers"):
+            for layer in model.dropout_layers():
+                saved_rates.append((layer, layer.rate))
+                layer.rate = 0.0
+
+        buffers = _BatchBuffers(dataset, min(self.batch_size, n_samples))
+        identity = np.arange(n_samples)
+        order = identity.copy()
+        # Hoist the per-batch lookups out of the hot loop.
+        batch_size = self.batch_size
+        min_batch = self.min_batch_size
+        grad_clip = self.grad_clip
+        fill = buffers.fill
+        zero_grad = optimizer.zero_grad
+        apply_step = optimizer.step
+
+        model.train()
+        for module in extra_modules:
+            module.train()
+        try:
+            for epoch in range(self.epochs):
+                if self.shuffle:
+                    # Reset to the identity permutation before shuffling so the
+                    # generator sees exactly the draws the per-scheme
+                    # ``DataLoader`` construction used to consume.
+                    np.copyto(order, identity)
+                    rng.shuffle(order)
+                total, batches = 0.0, 0
+                for start in range(0, n_samples, batch_size):
+                    batch_indices = order[start : start + batch_size]
+                    if len(batch_indices) < min_batch:
+                        continue
+                    inputs, targets, weights = fill(dataset, batch_indices)
+                    zero_grad()
+                    total += step(inputs, targets, weights)
+                    if grad_clip is not None:
+                        clip_gradients(clip_params, grad_clip)
+                    apply_step()
+                    batches += 1
+                epoch_loss = total / max(batches, 1)
+                result.losses.append(epoch_loss)
+                if self.stopper is not None and self.stopper.update(epoch_loss):
+                    result.stopped_epoch = epoch + 1
+                    break
+        finally:
+            model.eval()
+            for module in extra_modules:
+                module.eval()
+            for layer, rate in saved_rates:
+                layer.rate = rate
+        return result

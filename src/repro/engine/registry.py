@@ -1,0 +1,63 @@
+"""Registry resolving scheme names to :class:`AdaptationStrategy` factories.
+
+The six paper schemes are pre-registered; new schemes plug in with one
+:func:`register_strategy` call and immediately work everywhere a scheme name
+is accepted — ``AdaptationService(strategy=create_strategy(...))``, the CLI's
+``adapt-many --scheme`` / ``stream --scheme``, and the comparison harness.
+"""
+
+from __future__ import annotations
+
+import inspect
+from typing import Callable
+
+from ..baselines.registry import SCHEME_NAMES
+from .strategy import AdaptationStrategy, BaselineStrategy, TasfarStrategy
+
+__all__ = ["STRATEGY_FACTORIES", "register_strategy", "create_strategy", "strategy_names"]
+
+
+def _baseline_factory(scheme: str) -> Callable[..., AdaptationStrategy]:
+    def factory(**kwargs) -> AdaptationStrategy:
+        return BaselineStrategy(scheme, **kwargs)
+
+    factory.__name__ = f"{scheme}_strategy"
+    return factory
+
+
+#: scheme name -> strategy factory; keyword arguments of :func:`create_strategy`
+#: are forwarded to the factory.
+STRATEGY_FACTORIES: dict[str, Callable[..., AdaptationStrategy]] = {
+    name: (TasfarStrategy if name == "tasfar" else _baseline_factory(name))
+    for name in SCHEME_NAMES
+}
+
+
+def register_strategy(name: str, factory: Callable[..., AdaptationStrategy]) -> None:
+    """Register (or replace) a strategy factory under ``name``."""
+    STRATEGY_FACTORIES[name.lower()] = factory
+
+
+def strategy_names() -> tuple[str, ...]:
+    """All registered scheme names, paper schemes first, extras in add order."""
+    return tuple(STRATEGY_FACTORIES)
+
+
+def create_strategy(name: str, **kwargs) -> AdaptationStrategy:
+    """Instantiate a strategy by scheme name.
+
+    ``tasfar`` accepts ``config``/``loss``/``calibration``; the baseline
+    schemes accept their adapter constructor keywords (``epochs``, ``lr``,
+    ``seed``, ...) — unsupported ones are dropped, so one keyword set can be
+    shared across schemes.
+    """
+    try:
+        factory = STRATEGY_FACTORIES[name.lower()]
+    except KeyError as exc:
+        raise ValueError(
+            f"unknown adaptation scheme {name!r}; expected one of {strategy_names()}"
+        ) from exc
+    parameters = inspect.signature(factory).parameters
+    if not any(p.kind is inspect.Parameter.VAR_KEYWORD for p in parameters.values()):
+        kwargs = {key: value for key, value in kwargs.items() if key in parameters}
+    return factory(**kwargs)

@@ -1,0 +1,44 @@
+"""The repo-wide seeded RNG-stream plan.
+
+Every stochastic stage of the adaptation pipeline draws from its own named
+stream derived from one user-facing seed, so stages can never steal draws
+from each other: running MC-dropout calibration before or after an
+adaptation, or adding a drift probe in between, changes nothing about the
+other stages' randomness.  The stream tags below are part of the repo's
+reproducibility contract — reordering or renumbering them silently changes
+every seeded result, so they live here, in one place, instead of being
+scattered as private constants across ``core`` and ``streaming``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "CALIBRATION_STREAM",
+    "ADAPTATION_STREAM",
+    "PROBE_STREAM",
+    "stream_seed_sequence",
+    "stream_generator",
+]
+
+#: MC-dropout draws of the one-off source-side calibration.
+CALIBRATION_STREAM = 0
+#: MC-dropout draws + mini-batch shuffling of a target-side adaptation.
+ADAPTATION_STREAM = 1
+#: MC-dropout draws of streaming drift probes.
+PROBE_STREAM = 2
+
+
+def stream_seed_sequence(seed: int, stream: int, *extra: int) -> np.random.SeedSequence:
+    """The :class:`~numpy.random.SeedSequence` of one named stream.
+
+    ``extra`` entries subdivide a stream further (e.g. the per-step probe
+    draws of a target's ingest counter).
+    """
+    return np.random.SeedSequence([int(seed), int(stream), *(int(value) for value in extra)])
+
+
+def stream_generator(seed: int, stream: int, *extra: int) -> np.random.Generator:
+    """A generator seeded on one named stream."""
+    return np.random.default_rng(stream_seed_sequence(seed, stream, *extra))

@@ -1,0 +1,303 @@
+"""One ``adapt()`` surface for every adaptation scheme.
+
+The runtime services used to speak TASFAR natively and the experiment
+harness used to speak the :class:`~repro.baselines.Adapter` interface, so a
+scheme existed in two dialects.  An :class:`AdaptationStrategy` is the one
+dialect both now share:
+
+* :meth:`AdaptationStrategy.prepare` runs once, source-side, before
+  deployment, and absorbs whatever the scheme ships to the target — TASFAR's
+  calibration (``Q_s`` and ``tau``), Datafree's feature statistics, or the
+  labelled source dataset for the source-based schemes;
+* :meth:`AdaptationStrategy.adapt` runs at the target with unlabeled data
+  and returns a :class:`StrategyOutcome` — including warm-start support
+  (``base_model`` + ``warm_epochs``), so the streaming service can
+  re-adapt *any* scheme from its previously adapted model with a shorter
+  schedule, not just TASFAR.
+
+Strategies are looked up by scheme name through :mod:`repro.engine.registry`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import inspect
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..baselines.base import Adapter
+from ..baselines.datafree import DataFree, FeatureStatistics
+from ..baselines.registry import make_adapter
+from ..core.adapter import AdaptationResult, SourceCalibration, Tasfar
+from ..core.config import TasfarConfig
+from ..core.density_map import LabelDensityMap
+from ..nn.data import ArrayDataset
+from ..nn.losses import Loss
+from ..nn.models import RegressionModel
+
+__all__ = [
+    "SourceResources",
+    "StrategyOutcome",
+    "AdaptationStrategy",
+    "TasfarStrategy",
+    "BaselineStrategy",
+]
+
+
+@dataclass
+class SourceResources:
+    """Everything a strategy may consume during source-side preparation.
+
+    All fields are optional; each strategy takes what its setting allows —
+    a source-free scheme never touches ``source_data``.
+    """
+
+    #: Labelled source training data (source-based schemes only).
+    source_data: ArrayDataset | None = None
+    #: Held-out labelled source split for calibration-style statistics.
+    calibration_data: ArrayDataset | None = None
+    #: Pre-fitted TASFAR source calibration, when already available.
+    calibration: SourceCalibration | None = None
+
+
+@dataclass
+class StrategyOutcome:
+    """Scheme-agnostic result of one strategy adaptation."""
+
+    target_model: RegressionModel
+    scheme: str
+    losses: list[float] = field(default_factory=list)
+    diagnostics: dict = field(default_factory=dict)
+    stopped_epoch: int | None = None
+    #: Estimated label density map, when the scheme produces one (TASFAR).
+    density_map: LabelDensityMap | None = None
+    #: The full TASFAR result for schemes that have one; ``None`` otherwise.
+    result: AdaptationResult | None = None
+
+
+class AdaptationStrategy:
+    """Interface every adaptation scheme exposes to the runtime layers."""
+
+    name: str = "strategy"
+    #: whether :meth:`prepare` needs the labelled source dataset
+    requires_source_data: bool = False
+
+    @property
+    def default_epochs(self) -> int | None:
+        """The scheme's cold (full-schedule) epoch budget, when known.
+
+        The streaming service derives its default warm-start schedule from
+        this (a quarter of the cold budget), so "warm is shorter than cold"
+        holds for every scheme, not just TASFAR.  ``None`` means unknown.
+        """
+        return None
+
+    def prepare(
+        self, source_model: RegressionModel, resources: SourceResources
+    ) -> "AdaptationStrategy":
+        """Source-side preparation (run once, before deployment).
+
+        Returns ``self`` so ``create_strategy(...).prepare(...)`` chains.
+        """
+        return self
+
+    def adapt(
+        self,
+        source_model: RegressionModel,
+        target_inputs: np.ndarray,
+        *,
+        seed: int | None = None,
+        base_model: RegressionModel | None = None,
+        warm_epochs: int | None = None,
+    ) -> StrategyOutcome:
+        """Adapt to one target domain using unlabeled ``target_inputs``.
+
+        Parameters
+        ----------
+        source_model:
+            The pristine source model; never modified.
+        seed:
+            Per-target seed; ``None`` keeps the scheme's construction-time
+            seeding (what the experiment harness historically did).
+        base_model:
+            When given, adaptation *warm-starts* from this (already adapted)
+            model instead of the source model.
+        warm_epochs:
+            Shorter fine-tuning schedule for warm starts; ``None`` keeps the
+            scheme's full schedule.
+        """
+        raise NotImplementedError
+
+
+class TasfarStrategy(AdaptationStrategy):
+    """TASFAR behind the strategy surface."""
+
+    name = "tasfar"
+    requires_source_data = False
+
+    def __init__(
+        self,
+        config: TasfarConfig | None = None,
+        loss: Loss | None = None,
+        calibration: SourceCalibration | None = None,
+    ) -> None:
+        self.config = config if config is not None else TasfarConfig()
+        self.loss = loss
+        self.calibration = calibration
+
+    @property
+    def default_epochs(self) -> int | None:
+        return self.config.adaptation_epochs
+
+    def prepare(self, source_model, resources: SourceResources) -> "TasfarStrategy":
+        if resources.calibration is not None:
+            self.calibration = resources.calibration
+        elif self.calibration is None:
+            data = resources.calibration_data or resources.source_data
+            if data is None:
+                raise ValueError(
+                    "TASFAR needs a pre-fitted calibration or labelled source data to fit one"
+                )
+            self.calibration = Tasfar(self.config, loss=self.loss).calibrate_on_source(
+                source_model, data.inputs, data.targets
+            )
+        return self
+
+    def _config_for(self, warm_epochs: int | None) -> TasfarConfig:
+        if warm_epochs is None:
+            return self.config
+        return dataclasses.replace(
+            self.config,
+            adaptation_epochs=int(warm_epochs),
+            min_adaptation_epochs=min(self.config.min_adaptation_epochs, int(warm_epochs)),
+        )
+
+    def adapt(
+        self,
+        source_model,
+        target_inputs,
+        *,
+        seed=None,
+        base_model=None,
+        warm_epochs=None,
+    ) -> StrategyOutcome:
+        if self.calibration is None:
+            raise ValueError(
+                "TasfarStrategy has no calibration: call prepare() (or construct with "
+                "calibration=...) before adapting"
+            )
+        model = base_model if base_model is not None else source_model
+        tasfar = Tasfar(self._config_for(warm_epochs), loss=self.loss)
+        result = tasfar.adapt(model, target_inputs, self.calibration, seed=seed)
+        return StrategyOutcome(
+            target_model=result.target_model,
+            scheme=self.name,
+            losses=result.losses,
+            stopped_epoch=result.stopped_epoch,
+            density_map=result.density_map,
+            result=result,
+            diagnostics={
+                "uncertain_ratio": result.split.uncertain_ratio,
+                "n_confident": result.split.n_confident,
+                "n_uncertain": result.split.n_uncertain,
+                "stopped_epoch": result.stopped_epoch,
+            },
+        )
+
+
+class BaselineStrategy(AdaptationStrategy):
+    """Any :class:`~repro.baselines.Adapter` scheme behind the strategy surface.
+
+    A fresh adapter is constructed per :meth:`adapt` call so per-target seeds
+    and warm-start epoch overrides can be injected without mutating shared
+    state — which also makes the strategy safe to drive from a worker pool.
+    Construction keywords the scheme does not accept (e.g. ``seed`` for the
+    no-op ``baseline``) are dropped by signature inspection.
+    """
+
+    def __init__(self, scheme: str, **kwargs) -> None:
+        prototype = make_adapter(scheme)
+        self.name = prototype.name
+        self.requires_source_data = bool(prototype.requires_source_data)
+        self._scheme = scheme
+        init = type(prototype).__init__
+        if init is object.__init__:
+            # No constructor of its own (e.g. SourceOnly): accepts nothing —
+            # ``inspect.signature(object.__init__)`` would claim ``**kwargs``.
+            self._accepts_any = False
+            self._accepted_names: frozenset[str] = frozenset()
+        else:
+            signature = inspect.signature(init)
+            self._accepts_any = any(
+                parameter.kind is inspect.Parameter.VAR_KEYWORD
+                for parameter in signature.parameters.values()
+            )
+            self._accepted_names = frozenset(signature.parameters) - {"self"}
+        self._kwargs = self._accepted(kwargs)
+        self._default_epochs = self._kwargs.get("epochs", getattr(prototype, "epochs", None))
+        self._source_data: ArrayDataset | None = None
+        self._statistics: FeatureStatistics | None = None
+
+    @property
+    def default_epochs(self) -> int | None:
+        epochs = self._default_epochs
+        return None if epochs is None else int(epochs)
+
+    def _accepted(self, kwargs: dict) -> dict:
+        """Keep only the keywords the scheme's constructor understands."""
+        if self._accepts_any:
+            return dict(kwargs)
+        return {key: value for key, value in kwargs.items() if key in self._accepted_names}
+
+    def _build(self, overrides: dict) -> Adapter:
+        adapter = make_adapter(self._scheme, **self._accepted({**self._kwargs, **overrides}))
+        if isinstance(adapter, DataFree) and self._statistics is not None:
+            adapter.statistics = self._statistics
+        return adapter
+
+    def prepare(self, source_model, resources: SourceResources) -> "BaselineStrategy":
+        if self.requires_source_data:
+            if resources.source_data is None:
+                raise ValueError(
+                    f"scheme {self.name!r} requires labelled source data at preparation time"
+                )
+            self._source_data = resources.source_data
+        prototype = self._build({})
+        if isinstance(prototype, DataFree):
+            statistics_data = resources.calibration_data or resources.source_data
+            if statistics_data is None:
+                raise ValueError(
+                    "datafree needs source data to fit its feature statistics before deployment"
+                )
+            prototype.fit_source_statistics(source_model, statistics_data.inputs)
+            self._statistics = prototype.statistics
+        return self
+
+    def adapt(
+        self,
+        source_model,
+        target_inputs,
+        *,
+        seed=None,
+        base_model=None,
+        warm_epochs=None,
+    ) -> StrategyOutcome:
+        overrides: dict = {}
+        if seed is not None:
+            overrides["seed"] = int(seed)
+        if warm_epochs is not None:
+            overrides["epochs"] = int(warm_epochs)
+        adapter = self._build(overrides)
+        start_model = base_model if base_model is not None else source_model
+        result = adapter.adapt(
+            start_model,
+            target_inputs,
+            source_data=self._source_data if self.requires_source_data else None,
+        )
+        return StrategyOutcome(
+            target_model=result.target_model,
+            scheme=self.name,
+            losses=result.losses,
+            diagnostics=dict(result.diagnostics),
+        )

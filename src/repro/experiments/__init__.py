@@ -1,6 +1,14 @@
 """Experiment harness reproducing every figure and table of the paper's evaluation."""
 
-from .base import SCALES, ExperimentResult, ScaleProfile, TaskBundle, clear_bundle_cache, get_bundle
+from .base import (
+    SCALES,
+    ExperimentResult,
+    ScaleProfile,
+    TaskBundle,
+    clear_bundle_cache,
+    get_bundle,
+    task_names,
+)
 from .comparison import (
     DEFAULT_SCHEMES,
     ScenarioEvaluation,
@@ -8,6 +16,7 @@ from .comparison import (
     clear_comparison_cache,
     compare_task,
     get_comparison,
+    register_metric,
 )
 from .registry import EXPERIMENTS, list_experiments, run_experiment
 
@@ -26,5 +35,7 @@ __all__ = [
     "get_bundle",
     "get_comparison",
     "list_experiments",
+    "register_metric",
     "run_experiment",
+    "task_names",
 ]

@@ -8,23 +8,30 @@ the expected shape from the paper.
 
 Because several figures share the same expensive preparation (generate the
 task, train the source model, calibrate TASFAR), the harness builds cached
-:class:`TaskBundle` objects keyed by ``(task, scale, seed)``.
+:class:`TaskBundle` objects keyed by ``(task, scale, seed)``.  Which tasks
+exist — and how their data, models, and training recipes are built — lives
+in the :class:`~repro.data.TaskSpec` registry (:mod:`repro.data.tasks`);
+this module only drives it, so registering a new task never requires an
+experiments-layer edit.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from .. import nn
 from ..core import SourceCalibration, Tasfar, TasfarConfig
-from ..data import (
-    AdaptationTask,
-    make_crowd_task,
-    make_housing_task,
-    make_pdr_task,
-    make_taxi_task,
+from ..data import AdaptationTask
+from ..data.tasks import (
+    SCALES,
+    ScaleProfile,
+    TaskSpec,
+    get_task_spec,
+    on_task_registry_change,
+    task_names,
 )
 from ..metrics import format_table
 
@@ -35,95 +42,8 @@ __all__ = [
     "TaskBundle",
     "get_bundle",
     "clear_bundle_cache",
+    "task_names",
 ]
-
-
-@dataclass(frozen=True)
-class ScaleProfile:
-    """Sizes used when generating data and training models for experiments."""
-
-    name: str
-    # PDR
-    pdr_seen_users: int
-    pdr_unseen_users: int
-    pdr_source_trajectories: int
-    pdr_target_trajectories: int
-    pdr_steps: int
-    pdr_window: int
-    pdr_channels: tuple[int, ...]
-    pdr_epochs: int
-    # Crowd counting
-    crowd_source_images: int
-    crowd_images_per_scene: int
-    crowd_image_size: int
-    crowd_epochs: int
-    # Tabular tasks
-    tabular_source: int
-    tabular_target: int
-    tabular_epochs: int
-    # Baseline adaptation budgets
-    baseline_epochs: int
-
-
-SCALES: dict[str, ScaleProfile] = {
-    "tiny": ScaleProfile(
-        name="tiny",
-        pdr_seen_users=2,
-        pdr_unseen_users=1,
-        pdr_source_trajectories=1,
-        pdr_target_trajectories=2,
-        pdr_steps=40,
-        pdr_window=12,
-        pdr_channels=(8, 8),
-        pdr_epochs=15,
-        crowd_source_images=60,
-        crowd_images_per_scene=24,
-        crowd_image_size=10,
-        crowd_epochs=12,
-        tabular_source=200,
-        tabular_target=120,
-        tabular_epochs=25,
-        baseline_epochs=5,
-    ),
-    "small": ScaleProfile(
-        name="small",
-        pdr_seen_users=4,
-        pdr_unseen_users=3,
-        pdr_source_trajectories=3,
-        pdr_target_trajectories=3,
-        pdr_steps=80,
-        pdr_window=20,
-        pdr_channels=(16, 16),
-        pdr_epochs=60,
-        crowd_source_images=120,
-        crowd_images_per_scene=45,
-        crowd_image_size=12,
-        crowd_epochs=30,
-        tabular_source=500,
-        tabular_target=250,
-        tabular_epochs=50,
-        baseline_epochs=12,
-    ),
-    "full": ScaleProfile(
-        name="full",
-        pdr_seen_users=15,
-        pdr_unseen_users=10,
-        pdr_source_trajectories=3,
-        pdr_target_trajectories=5,
-        pdr_steps=100,
-        pdr_window=20,
-        pdr_channels=(16, 16),
-        pdr_epochs=80,
-        crowd_source_images=400,
-        crowd_images_per_scene=120,
-        crowd_image_size=16,
-        crowd_epochs=60,
-        tabular_source=1500,
-        tabular_target=600,
-        tabular_epochs=80,
-        baseline_epochs=20,
-    ),
-}
 
 
 @dataclass
@@ -160,6 +80,7 @@ class TaskBundle:
     scale: ScaleProfile
     seed: int
     training_history: nn.TrainingHistory
+    spec: TaskSpec | None = None
 
     def predict(self, inputs: np.ndarray) -> np.ndarray:
         """Deterministic source-model predictions."""
@@ -169,136 +90,113 @@ class TaskBundle:
         """A TASFAR instance with a default or custom configuration."""
         return Tasfar(config if config is not None else TasfarConfig())
 
+    def resources(self, max_source_samples: int | None = None, seed: int = 0):
+        """The :class:`~repro.engine.SourceResources` strategies prepare from.
+
+        ``max_source_samples`` subsamples the labelled source data handed to
+        source-based schemes (seeded, without replacement), keeping their
+        re-training affordable at comparison scale.
+        """
+        from ..engine.strategy import SourceResources
+
+        source_data = self.task.source_train
+        if max_source_samples is not None and len(source_data) > max_source_samples:
+            chosen = np.random.default_rng(seed).choice(
+                len(source_data), size=max_source_samples, replace=False
+            )
+            source_data = source_data.subset(chosen)
+        return SourceResources(
+            source_data=source_data,
+            calibration_data=self.task.source_calibration,
+            calibration=self.calibration,
+        )
+
 
 _BUNDLE_CACHE: dict[tuple[str, str, int], TaskBundle] = {}
+#: Guards the cache dict itself; builds happen outside it, under a per-key
+#: lock, so two threads asking for *different* bundles build concurrently
+#: while two asking for the *same* bundle build it exactly once.
+_CACHE_LOCK = threading.Lock()
+_BUILD_LOCKS: dict[tuple[str, str, int], threading.Lock] = {}
 
 
 def clear_bundle_cache() -> None:
     """Drop all cached bundles (used by tests to control memory)."""
-    _BUNDLE_CACHE.clear()
+    with _CACHE_LOCK:
+        _BUNDLE_CACHE.clear()
+        _BUILD_LOCKS.clear()
+
+
+def _evict_task_bundles(task_name: str) -> None:
+    """Drop cached bundles of one task when its registration changes.
+
+    Without this, ``register_task(spec, replace=True)`` would keep serving
+    bundles built from the replaced spec.
+    """
+    with _CACHE_LOCK:
+        for key in [key for key in _BUNDLE_CACHE if key[0] == task_name]:
+            del _BUNDLE_CACHE[key]
+        for key in [key for key in _BUILD_LOCKS if key[0] == task_name]:
+            del _BUILD_LOCKS[key]
+
+
+on_task_registry_change(_evict_task_bundles)
 
 
 def get_bundle(task_name: str, scale: str = "small", seed: int = 0) -> TaskBundle:
-    """Build (or fetch from cache) the bundle for one of the four tasks."""
-    key = (task_name, scale, seed)
-    if key in _BUNDLE_CACHE:
-        return _BUNDLE_CACHE[key]
-    profile = SCALES[scale]
-    builder = {
-        "pdr": _build_pdr_bundle,
-        "crowd": _build_crowd_bundle,
-        "housing": _build_housing_bundle,
-        "taxi": _build_taxi_bundle,
-    }.get(task_name)
-    if builder is None:
-        raise ValueError(f"unknown task {task_name!r}; expected pdr, crowd, housing or taxi")
-    bundle = builder(profile, seed)
-    _BUNDLE_CACHE[key] = bundle
+    """Build (or fetch from cache) the bundle for one registered task.
+
+    Thread-safe: the cache is shared by ``adapt_many``/``run-all`` workers,
+    so lookups are locked and concurrent first requests for the same
+    ``(task, scale, seed)`` key build one bundle, not several.
+    """
+    # Normalized like the registry key, so registry-change eviction matches.
+    key = (task_name.lower(), scale, seed)
+    with _CACHE_LOCK:
+        bundle = _BUNDLE_CACHE.get(key)
+        if bundle is not None:
+            return bundle
+        build_lock = _BUILD_LOCKS.setdefault(key, threading.Lock())
+    with build_lock:
+        with _CACHE_LOCK:
+            bundle = _BUNDLE_CACHE.get(key)
+            if bundle is not None:
+                return bundle
+        spec = get_task_spec(task_name)
+        profile = SCALES[scale]
+        bundle = _build_bundle(spec, profile, seed)
+        with _CACHE_LOCK:
+            try:
+                current = get_task_spec(task_name)
+            except ValueError:
+                current = None
+            # Cache only if the spec was not replaced/unregistered while the
+            # build ran; the caller still gets the bundle it asked for, but a
+            # stale-spec bundle must not outlive the registry change.
+            if current is spec:
+                _BUNDLE_CACHE[key] = bundle
+            _BUILD_LOCKS.pop(key, None)
     return bundle
 
 
-def _calibrate(
-    model: nn.RegressionModel, task: AdaptationTask
-) -> SourceCalibration:
+def _build_bundle(spec: TaskSpec, profile: ScaleProfile, seed: int) -> TaskBundle:
+    """Generate the task, train the source model, calibrate TASFAR."""
+    task = spec.build_task(profile, seed)
+    model = spec.build_model(task, profile, seed)
+    trainer = nn.Trainer(model, lr=spec.lr)
+    history = trainer.fit(
+        task.source_train,
+        epochs=spec.epochs(profile),
+        batch_size=spec.batch_size,
+        rng=np.random.default_rng(seed),
+    )
+    return TaskBundle(
+        task, model, trainer, _calibrate(model, task), profile, seed, history, spec=spec
+    )
+
+
+def _calibrate(model: nn.RegressionModel, task: AdaptationTask) -> SourceCalibration:
     tasfar = Tasfar(TasfarConfig())
     return tasfar.calibrate_on_source(
         model, task.source_calibration.inputs, task.source_calibration.targets
     )
-
-
-def _build_pdr_bundle(profile: ScaleProfile, seed: int) -> TaskBundle:
-    task = make_pdr_task(
-        n_seen_users=profile.pdr_seen_users,
-        n_unseen_users=profile.pdr_unseen_users,
-        n_source_trajectories=profile.pdr_source_trajectories,
-        n_target_trajectories=profile.pdr_target_trajectories,
-        steps_per_trajectory=profile.pdr_steps,
-        window=profile.pdr_window,
-        seed=seed,
-    )
-    model = nn.build_tcn_regressor(
-        in_channels=task.metadata["n_channels"],
-        window_length=profile.pdr_window,
-        output_dim=2,
-        channel_sizes=profile.pdr_channels,
-        dropout=0.2,
-        seed=seed,
-    )
-    trainer = nn.Trainer(model, lr=2e-3)
-    history = trainer.fit(
-        task.source_train,
-        epochs=profile.pdr_epochs,
-        batch_size=32,
-        rng=np.random.default_rng(seed),
-    )
-    return TaskBundle(task, model, trainer, _calibrate(model, task), profile, seed, history)
-
-
-def _build_crowd_bundle(profile: ScaleProfile, seed: int) -> TaskBundle:
-    task = make_crowd_task(
-        n_source_images=profile.crowd_source_images,
-        n_target_images_per_scene=profile.crowd_images_per_scene,
-        image_size=profile.crowd_image_size,
-        seed=seed,
-    )
-    model = nn.build_mcnn_counter(
-        image_size=profile.crowd_image_size,
-        column_channels=(3, 4, 5),
-        column_kernels=(3, 5, 7),
-        dropout=0.2,
-        seed=seed,
-    )
-    trainer = nn.Trainer(model, lr=2e-3)
-    history = trainer.fit(
-        task.source_train,
-        epochs=profile.crowd_epochs,
-        batch_size=16,
-        rng=np.random.default_rng(seed),
-    )
-    return TaskBundle(task, model, trainer, _calibrate(model, task), profile, seed, history)
-
-
-def _build_housing_bundle(profile: ScaleProfile, seed: int) -> TaskBundle:
-    task = make_housing_task(
-        n_source=profile.tabular_source,
-        n_target=profile.tabular_target,
-        seed=seed,
-    )
-    model = nn.build_mlp(
-        input_dim=task.source_train.inputs.shape[1],
-        output_dim=1,
-        hidden_dims=(32, 16),
-        dropout=0.2,
-        seed=seed,
-    )
-    trainer = nn.Trainer(model, lr=3e-3)
-    history = trainer.fit(
-        task.source_train,
-        epochs=profile.tabular_epochs,
-        batch_size=32,
-        rng=np.random.default_rng(seed),
-    )
-    return TaskBundle(task, model, trainer, _calibrate(model, task), profile, seed, history)
-
-
-def _build_taxi_bundle(profile: ScaleProfile, seed: int) -> TaskBundle:
-    task = make_taxi_task(
-        n_source=profile.tabular_source,
-        n_target=profile.tabular_target,
-        seed=seed,
-    )
-    model = nn.build_mlp(
-        input_dim=task.source_train.inputs.shape[1],
-        output_dim=1,
-        hidden_dims=(32, 16),
-        dropout=0.2,
-        seed=seed,
-    )
-    trainer = nn.Trainer(model, lr=3e-3)
-    history = trainer.fit(
-        task.source_train,
-        epochs=profile.tabular_epochs,
-        batch_size=32,
-        rng=np.random.default_rng(seed),
-    )
-    return TaskBundle(task, model, trainer, _calibrate(model, task), profile, seed, history)

@@ -14,20 +14,23 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from .. import nn
-from ..baselines import DataFree, TasfarAdapter, make_adapter
 from ..core import ConfidenceClassifier
 from ..data import TargetScenario
+from ..data.tasks import get_task_spec, on_task_registry_change
+from ..engine import create_strategy
 from ..metrics import mae, mse, per_trajectory_rte, rmsle, step_error
 from ..uncertainty import MCDropoutPredictor
 from .base import TaskBundle, get_bundle
 
 __all__ = [
     "DEFAULT_SCHEMES",
+    "METRIC_FNS",
     "ScenarioEvaluation",
     "SchemeComparison",
     "compare_task",
     "get_comparison",
     "clear_comparison_cache",
+    "register_metric",
 ]
 
 #: Schemes compared in the paper, in presentation order.
@@ -91,17 +94,39 @@ class SchemeComparison:
         return float(np.mean(reductions))
 
 
-def _task_metrics(task_name: str):
-    """Metric set used for each task."""
-    if task_name == "pdr":
-        return {"ste": lambda p, t: step_error(p, t)}
-    if task_name == "crowd":
-        return {"mae": mae, "mse": mse}
-    if task_name == "housing":
-        return {"mse": mse, "mae": mae}
-    if task_name == "taxi":
-        return {"rmsle": rmsle, "mae": mae}
-    raise ValueError(f"unknown task {task_name!r}")
+#: Metric callables resolvable from :attr:`repro.data.TaskSpec.metrics` names.
+METRIC_FNS = {
+    "ste": lambda p, t: step_error(p, t),
+    "mae": mae,
+    "mse": mse,
+    "rmsle": rmsle,
+}
+
+
+def register_metric(name: str, fn) -> None:
+    """Register (or replace) a metric callable ``fn(predictions, targets)``.
+
+    A task registered with ``TaskSpec(metrics=("rmse", ...))`` needs its
+    metric names resolvable here; one ``register_metric`` call completes the
+    task's "one registration" contract for the comparison harness.
+    """
+    METRIC_FNS[name.lower()] = fn
+
+
+def _task_metrics(bundle: TaskBundle):
+    """Metric set used for a bundle's task, resolved from its registry spec."""
+    spec = bundle.spec
+    if spec is None:
+        # Hand-constructed bundles: fall back to the registry by task name,
+        # so the metric tuples live in exactly one place (data/tasks.py).
+        task_name = bundle.task.name if bundle.task.name != "crowd_counting" else "crowd"
+        spec = get_task_spec(task_name)
+    try:
+        return {name: METRIC_FNS[name] for name in spec.metrics}
+    except KeyError as exc:
+        raise ValueError(
+            f"unknown metric {exc.args[0]!r}; known metrics: {sorted(METRIC_FNS)}"
+        ) from exc
 
 
 def _evaluate_splits(
@@ -147,16 +172,21 @@ def compare_task(
 ) -> SchemeComparison:
     """Run every scheme on every scenario of a prepared task bundle."""
     task = bundle.task
-    metric_fns = _task_metrics(task.name if task.name != "crowd_counting" else "crowd")
+    metric_fns = _task_metrics(bundle)
     scenarios = scenarios if scenarios is not None else task.scenarios
-    rng = np.random.default_rng(seed)
 
-    # Source data handed to the source-based schemes (possibly subsampled to
-    # keep the comparison affordable on the simulator substrate).
-    source_data = task.source_train
-    if len(source_data) > max_source_samples:
-        chosen = rng.choice(len(source_data), size=max_source_samples, replace=False)
-        source_data = source_data.subset(chosen)
+    # One prepared strategy per scheme, shared across scenarios: preparation
+    # (TASFAR calibration, Datafree statistics, capture of the — possibly
+    # subsampled — labelled source data for the source-based schemes) runs
+    # once, exactly like a real deployment.
+    resources = bundle.resources(max_source_samples=max_source_samples, seed=seed)
+    strategy_kwargs = {"epochs": bundle.scale.baseline_epochs, "seed": seed}
+    strategies = {
+        scheme: create_strategy(scheme, **strategy_kwargs).prepare(
+            bundle.source_model, resources
+        )
+        for scheme in schemes
+    }
 
     predictor = MCDropoutPredictor(bundle.source_model)
     classifier = ConfidenceClassifier()
@@ -173,38 +203,17 @@ def compare_task(
             uncertain_ratio=split.uncertain_ratio,
         )
         for scheme in schemes:
-            adapter = make_adapter(scheme, **_scheme_kwargs(scheme, bundle, seed))
-            if isinstance(adapter, TasfarAdapter):
-                adapter.calibration = bundle.calibration
-            if isinstance(adapter, DataFree):
-                adapter.fit_source_statistics(bundle.source_model, task.source_calibration.inputs)
-            result = adapter.adapt(
-                bundle.source_model,
-                scenario.adaptation.inputs,
-                source_data=source_data if adapter.requires_source_data else None,
-            )
+            outcome = strategies[scheme].adapt(bundle.source_model, scenario.adaptation.inputs)
             metrics, rte = _evaluate_splits(
-                result.target_model, scenario, split.uncertain_indices, metric_fns
+                outcome.target_model, scenario, split.uncertain_indices, metric_fns
             )
             evaluation.metrics[scheme] = metrics
             if rte:
                 evaluation.rte[scheme] = rte
-            evaluation.losses[scheme] = result.losses
-            evaluation.diagnostics[scheme] = {
-                key: value for key, value in result.diagnostics.items() if key != "adaptation_result"
-            }
+            evaluation.losses[scheme] = outcome.losses
+            evaluation.diagnostics[scheme] = dict(outcome.diagnostics)
         evaluations.append(evaluation)
     return SchemeComparison(task_name=task.name, schemes=tuple(schemes), evaluations=evaluations)
-
-
-def _scheme_kwargs(scheme: str, bundle: TaskBundle, seed: int) -> dict:
-    """Construction keywords for each scheme, scaled to the bundle profile."""
-    epochs = bundle.scale.baseline_epochs
-    if scheme in ("mmd", "adv"):
-        return {"epochs": epochs, "seed": seed}
-    if scheme in ("augfree", "datafree"):
-        return {"epochs": epochs, "seed": seed}
-    return {}
 
 
 _COMPARISON_CACHE: dict[tuple[str, str, int, tuple[str, ...]], SchemeComparison] = {}
@@ -215,6 +224,16 @@ def clear_comparison_cache() -> None:
     _COMPARISON_CACHE.clear()
 
 
+def _evict_task_comparisons(task_name: str) -> None:
+    """Drop cached comparisons of one task when its registration changes,
+    mirroring the bundle-cache eviction in :mod:`repro.experiments.base`."""
+    for key in [key for key in _COMPARISON_CACHE if key[0] == task_name]:
+        del _COMPARISON_CACHE[key]
+
+
+on_task_registry_change(_evict_task_comparisons)
+
+
 def get_comparison(
     task_name: str,
     scale: str = "small",
@@ -222,8 +241,18 @@ def get_comparison(
     schemes: tuple[str, ...] = DEFAULT_SCHEMES,
 ) -> SchemeComparison:
     """Run (or fetch from cache) the full scheme comparison for one task."""
-    key = (task_name, scale, seed, tuple(schemes))
-    if key not in _COMPARISON_CACHE:
-        bundle = get_bundle(task_name, scale, seed)
-        _COMPARISON_CACHE[key] = compare_task(bundle, schemes=schemes, seed=seed)
-    return _COMPARISON_CACHE[key]
+    key = (task_name.lower(), scale, seed, tuple(schemes))
+    cached = _COMPARISON_CACHE.get(key)
+    if cached is not None:
+        return cached
+    bundle = get_bundle(task_name, scale, seed)
+    comparison = compare_task(bundle, schemes=schemes, seed=seed)
+    try:
+        current = get_task_spec(task_name)
+    except ValueError:
+        current = None
+    # Cache only if the task's registration did not change while the
+    # comparison ran (mirrors the stale-spec guard in get_bundle).
+    if bundle.spec is not None and current is bundle.spec:
+        _COMPARISON_CACHE[key] = comparison
+    return comparison

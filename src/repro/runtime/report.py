@@ -67,6 +67,7 @@ class AdaptationReport:
     stopped_epoch: int | None
     density_map_shape: list[int]
     duration_seconds: float
+    scheme: str = "tasfar"
     extra: dict = field(default_factory=dict)
 
     @classmethod
@@ -91,6 +92,43 @@ class AdaptationReport:
             stopped_epoch=None if result.stopped_epoch is None else int(result.stopped_epoch),
             density_map_shape=[int(size) for size in result.density_map.shape],
             duration_seconds=float(duration_seconds),
+        )
+
+    @classmethod
+    def from_outcome(
+        cls,
+        target_id: str,
+        seed: int,
+        outcome,
+        n_samples: int,
+        duration_seconds: float,
+    ) -> "AdaptationReport":
+        """Condense a :class:`~repro.engine.StrategyOutcome` into a report.
+
+        TASFAR outcomes carry a full :class:`AdaptationResult` and keep the
+        detailed split/density fields; other schemes report what every scheme
+        has (losses, sample count, wall clock) with the split fields zeroed
+        and their scheme diagnostics under ``extra["diagnostics"]``.
+        """
+        if outcome.result is not None:
+            report = cls.from_result(target_id, seed, outcome.result, duration_seconds)
+            report.scheme = str(outcome.scheme)
+            return report
+        return cls(
+            target_id=str(target_id),
+            seed=int(seed),
+            n_samples=int(n_samples),
+            n_confident=0,
+            n_uncertain=0,
+            threshold=0.0,
+            mean_uncertainty=0.0,
+            n_training_samples=int(n_samples),
+            losses=[float(loss) for loss in outcome.losses],
+            stopped_epoch=None if outcome.stopped_epoch is None else int(outcome.stopped_epoch),
+            density_map_shape=[],
+            duration_seconds=float(duration_seconds),
+            scheme=str(outcome.scheme),
+            extra={"diagnostics": to_jsonable(dict(outcome.diagnostics))},
         )
 
     def to_dict(self) -> dict:

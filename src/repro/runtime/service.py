@@ -35,8 +35,9 @@ from typing import Iterable, Mapping
 
 import numpy as np
 
-from ..core.adapter import AdaptationResult, SourceCalibration, Tasfar
+from ..core.adapter import SourceCalibration
 from ..core.config import TasfarConfig
+from ..engine.strategy import AdaptationStrategy, StrategyOutcome, TasfarStrategy
 from ..nn.losses import Loss
 from ..nn.models import RegressionModel
 from ..nn.trainer import predict_batched
@@ -48,6 +49,12 @@ __all__ = ["AdaptationService"]
 class AdaptationService:
     """Adapt one registered source model to a fleet of target domains.
 
+    The service is *strategy-generic*: by default it runs TASFAR (built from
+    ``calibration``/``config``/``loss``), but any prepared
+    :class:`~repro.engine.AdaptationStrategy` — one of the five baselines
+    from the registry, or a third-party scheme — serves through exactly the
+    same ``adapt`` / ``adapt_many`` / ``predict`` surface.
+
     Parameters
     ----------
     source_model:
@@ -56,10 +63,16 @@ class AdaptationService:
     calibration:
         The source calibration (``Q_s`` and ``tau``) fitted once before
         deployment via :meth:`repro.core.Tasfar.calibrate_on_source`.
+        Required for the default TASFAR strategy (and for the streaming
+        subclass's drift probes); optional when an explicit prepared
+        ``strategy`` is supplied.
     config:
         TASFAR hyper-parameters shared by every target adaptation.
     loss:
         Task loss for the fine-tuning; defaults to weighted MSE.
+    strategy:
+        Optional prepared :class:`~repro.engine.AdaptationStrategy` that
+        replaces the default TASFAR strategy.
     max_cached_models:
         Upper bound on the number of adapted models kept in memory.  The
         least recently used model is evicted first; its report survives.
@@ -71,10 +84,11 @@ class AdaptationService:
     def __init__(
         self,
         source_model: RegressionModel,
-        calibration: SourceCalibration,
+        calibration: SourceCalibration | None = None,
         config: TasfarConfig | None = None,
         loss: Loss | None = None,
         *,
+        strategy: AdaptationStrategy | None = None,
         max_cached_models: int = 8,
         base_seed: int = 0,
     ) -> None:
@@ -85,6 +99,14 @@ class AdaptationService:
         self.calibration = calibration
         self.config = config if config is not None else TasfarConfig()
         self.loss = loss
+        if strategy is None:
+            if calibration is None:
+                raise ValueError(
+                    "provide a calibration for the default TASFAR strategy, or pass an "
+                    "explicit prepared strategy="
+                )
+            strategy = TasfarStrategy(self.config, loss=loss, calibration=calibration)
+        self.strategy = strategy
         self.max_cached_models = max_cached_models
         self.base_seed = int(base_seed)
         # Forwards mutate per-call layer caches, so a given model instance
@@ -143,8 +165,8 @@ class AdaptationService:
         """
         target_id = str(target_id)
         effective_seed = self.target_seed(target_id) if seed is None else int(seed)
-        report, result = self._run_adaptation(target_id, inputs, effective_seed)
-        self._store_result(target_id, report, result.target_model)
+        report, outcome = self._run_adaptation(target_id, inputs, effective_seed)
+        self._store_result(target_id, report, outcome.target_model)
         return report
 
     def _run_adaptation(
@@ -153,23 +175,31 @@ class AdaptationService:
         inputs: np.ndarray,
         seed: int,
         base_model: RegressionModel | None = None,
-        config: TasfarConfig | None = None,
-    ) -> tuple[AdaptationReport, AdaptationResult]:
-        """Run one adaptation and return both the report and the full result.
+        warm_epochs: int | None = None,
+    ) -> tuple[AdaptationReport, StrategyOutcome]:
+        """Run one adaptation and return both the report and the full outcome.
 
         The streaming subsystem layers on this seam: it needs the
-        :class:`AdaptationResult` (for the estimated density map) and the
-        ability to fine-tune from an already-adapted ``base_model`` with a
-        shorter ``config`` (warm-start re-adaptation), neither of which the
-        public :meth:`adapt` exposes.
+        :class:`~repro.engine.StrategyOutcome` (for the estimated density
+        map) and the ability to fine-tune from an already-adapted
+        ``base_model`` with a shorter ``warm_epochs`` schedule (warm-start
+        re-adaptation), neither of which the public :meth:`adapt` exposes.
+
+        The strategy receives a private deep copy of the model it starts
+        from, so concurrent workers never share forward caches.
         """
         model = copy.deepcopy(base_model if base_model is not None else self._source_model)
-        tasfar = Tasfar(config if config is not None else self.config, loss=self.loss)
         start = time.perf_counter()
-        result = tasfar.adapt(model, inputs, self.calibration, seed=seed)
+        outcome = self.strategy.adapt(
+            model,
+            inputs,
+            seed=seed,
+            base_model=model if base_model is not None else None,
+            warm_epochs=warm_epochs,
+        )
         duration = time.perf_counter() - start
-        report = AdaptationReport.from_result(target_id, seed, result, duration)
-        return report, result
+        report = AdaptationReport.from_outcome(target_id, seed, outcome, len(inputs), duration)
+        return report, outcome
 
     def _store_result(
         self, target_id: str, report: AdaptationReport, model: RegressionModel

@@ -31,7 +31,6 @@ the same stream reproduces the same events, models, and reports bit for bit.
 
 from __future__ import annotations
 
-import dataclasses
 import time
 from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
@@ -43,7 +42,10 @@ import numpy as np
 
 from ..core.adapter import NoConfidentSamplesError, SourceCalibration
 from ..core.config import TasfarConfig
+from ..core.density_map import LabelDensityMap
 from ..core.estimator import LabelDistributionEstimator
+from ..engine.rng import PROBE_STREAM, stream_seed_sequence
+from ..engine.strategy import AdaptationStrategy
 from ..nn.losses import Loss
 from ..nn.models import RegressionModel
 from ..runtime.report import AdaptationReport
@@ -52,10 +54,6 @@ from ..uncertainty.mc_dropout import MCDropoutPredictor
 from .drift import DensityDriftMonitor, DriftDetector
 
 __all__ = ["StreamEvent", "StreamingAdaptationService"]
-
-#: Stream tag separating the drift-probe MC-dropout draws from the
-#: calibration/adaptation streams used elsewhere.
-_PROBE_STREAM = 2
 
 
 @dataclass
@@ -148,8 +146,9 @@ class StreamingAdaptationService(AdaptationService):
         larger of ``min_adapt_events`` and ``readapt_budget``.
     warm_epochs:
         Fine-tuning epochs for warm-start re-adaptations; defaults to a
-        quarter of ``config.adaptation_epochs`` (at least one).  The short
-        schedule is what makes a warm re-adaptation cheaper than a cold one.
+        quarter of the active strategy's cold epoch budget (at least one).
+        The short schedule is what makes a warm re-adaptation cheaper than
+        a cold one.
     window_decay:
         Exponential decay of the recent-window density map fed to the drift
         monitor.
@@ -177,6 +176,7 @@ class StreamingAdaptationService(AdaptationService):
         config: TasfarConfig | None = None,
         loss: Loss | None = None,
         *,
+        strategy: AdaptationStrategy | None = None,
         max_cached_models: int = 8,
         base_seed: int = 0,
         min_adapt_events: int = 32,
@@ -190,11 +190,22 @@ class StreamingAdaptationService(AdaptationService):
         drift_warmup_events: int = 32,
         drift_mc_samples: int | None = None,
     ) -> None:
+        if calibration is None:
+            # The base service can run calibration-free behind an explicit
+            # strategy, but streaming cannot: drift probing and the
+            # reference density maps both need the source confidence
+            # threshold and the sigma calibrators, whatever the scheme.
+            raise ValueError(
+                "StreamingAdaptationService always needs the source calibration "
+                "(drift probing uses its threshold and calibrators), even when an "
+                "explicit strategy is supplied"
+            )
         super().__init__(
             source_model,
             calibration,
             config,
             loss,
+            strategy=strategy,
             max_cached_models=max_cached_models,
             base_seed=base_seed,
         )
@@ -213,15 +224,16 @@ class StreamingAdaptationService(AdaptationService):
             )
         self.max_buffer_events = int(max_buffer_events)
         if warm_epochs is None:
-            warm_epochs = max(1, self.config.adaptation_epochs // 4)
+            # A quarter of the *strategy's* cold budget, so "warm is shorter
+            # than cold" holds for every scheme (a baseline running 5-epoch
+            # cold adaptations must not warm-start with 10).
+            cold_budget = self.strategy.default_epochs
+            if cold_budget is None:
+                cold_budget = self.config.adaptation_epochs
+            warm_epochs = max(1, cold_budget // 4)
         if warm_epochs < 1:
             raise ValueError("warm_epochs must be at least 1")
         self.warm_epochs = int(warm_epochs)
-        self.warm_config = dataclasses.replace(
-            self.config,
-            adaptation_epochs=self.warm_epochs,
-            min_adaptation_epochs=min(self.config.min_adaptation_epochs, self.warm_epochs),
-        )
         self.window_decay = float(window_decay)
         self.drift_threshold = float(drift_threshold)
         self.drift_delta = float(drift_delta)
@@ -270,12 +282,18 @@ class StreamingAdaptationService(AdaptationService):
 
             action, trigger = "buffered", None
             observation = None
-            if state.monitor is None:
+            adapted = (state.n_cold + state.n_warm) > 0
+            if not adapted:
                 if state.n_buffered >= self.min_adapt_events:
                     action = self._try_adapt_from_buffer(target_id, state, base_model=None)
                     trigger = "warmup"
             else:
-                observation = self._probe(target_id, state, batch)
+                # state.monitor can be None for an adapted target when no
+                # reference density map could be estimated (non-TASFAR scheme,
+                # nothing confident in the window): drift detection is then
+                # unavailable and re-adaptation falls back to budget-only.
+                if state.monitor is not None:
+                    observation = self._probe(target_id, state, batch)
                 drifted = observation is not None and observation.drifted
                 if drifted or state.n_buffered >= self.readapt_budget:
                     trigger = "drift" if drifted else "budget"
@@ -356,9 +374,7 @@ class StreamingAdaptationService(AdaptationService):
         predictor = MCDropoutPredictor(
             model,
             n_samples=self.drift_mc_samples,
-            seed=np.random.SeedSequence(
-                [self.target_seed(target_id), _PROBE_STREAM, state.step]
-            ),
+            seed=stream_seed_sequence(self.target_seed(target_id), PROBE_STREAM, state.step),
         )
         with forward_lock:
             prediction = predictor.predict(batch)
@@ -392,9 +408,11 @@ class StreamingAdaptationService(AdaptationService):
         """(Re-)adapt from the buffered window, then reset buffer and monitor.
 
         ``base_model`` selects the mode: an adapted model to warm-start from
-        (fine-tuned with the short warm schedule), or ``None`` for a cold
-        adaptation from the source model.  Returns ``None`` — leaving buffer
-        and monitor untouched — when the window has no confident samples.
+        (fine-tuned with the short ``warm_epochs`` schedule), or ``None`` for
+        a cold adaptation from the source model.  Returns ``None`` — leaving
+        buffer and monitor untouched — when TASFAR aborts because the window
+        has no confident samples (the abort happens before any training, so
+        retrying on the next ingest is cheap).
         """
         inputs = (
             state.buffer[0]
@@ -405,28 +423,46 @@ class StreamingAdaptationService(AdaptationService):
         round_index = state.n_cold + state.n_warm
         seed = self.target_seed(f"{target_id}#round{round_index}")
         try:
-            report, result = self._run_adaptation(
+            report, outcome = self._run_adaptation(
                 target_id,
                 inputs,
                 seed,
                 base_model=base_model,
-                config=self.warm_config if warm else None,
+                warm_epochs=self.warm_epochs if warm else None,
             )
         except NoConfidentSamplesError:
             return None
+        density_map = outcome.density_map
+        if density_map is None:
+            # The scheme does not estimate a label density map itself (any
+            # non-TASFAR strategy).  The drift monitor wants a reference map
+            # of "what the freshly adapted model believes", so estimate one
+            # by probing the adapted model on the adaptation window.
+            density_map = self._reference_density_map(
+                target_id, round_index, outcome.target_model, inputs
+            )
         report.extra["round"] = round_index
         report.extra["mode"] = "warm" if warm else "cold"
-        self._store_result(target_id, report, result.target_model)
-        if state.monitor is None:
+        report.extra["drift_reference"] = density_map is not None
+        self._store_result(target_id, report, outcome.target_model)
+        if density_map is None:
+            # The fine-tune itself succeeded — publish the model rather than
+            # throw the paid-for training away (TASFAR's equivalent failure
+            # aborts *before* training, which is why it is treated as
+            # ``adapt_failed`` instead).  Until a future adaptation yields a
+            # reference map, drift detection is unavailable for this target
+            # and re-adaptation is budget-triggered only.
+            state.monitor = None
+        elif state.monitor is None:
             state.monitor = DensityDriftMonitor(
-                result.density_map,
+                density_map,
                 DriftDetector(self.drift_threshold, self.drift_delta, self.drift_min_batches),
                 window_decay=self.window_decay,
                 warmup_events=self.drift_warmup_events,
                 error_model=self._sigma_estimator.error_model,
             )
         else:
-            state.monitor.rebase(result.density_map)
+            state.monitor.rebase(density_map)
         state.buffer.clear()
         state.n_buffered = 0
         if warm:
@@ -434,6 +470,44 @@ class StreamingAdaptationService(AdaptationService):
         else:
             state.n_cold += 1
         return report
+
+    def _reference_density_map(
+        self,
+        target_id: str,
+        round_index: int,
+        model: RegressionModel,
+        inputs: np.ndarray,
+    ) -> LabelDensityMap | None:
+        """Estimate a drift-reference density map for a scheme without one.
+
+        Probes the freshly adapted (not yet published) model on the
+        adaptation window with seeded MC dropout, keeps the predictions that
+        clear the source confidence threshold, and fits the same estimator
+        TASFAR uses.  Returns ``None`` when nothing clears the threshold —
+        the adapted model is still published, but drift detection stays off
+        for the target until a later adaptation yields a reference map.
+        """
+        predictor = MCDropoutPredictor(
+            model,
+            n_samples=self.drift_mc_samples,
+            seed=stream_seed_sequence(
+                self.target_seed(f"{target_id}#map{round_index}"), PROBE_STREAM
+            ),
+        )
+        prediction = predictor.predict(inputs)
+        confident = np.flatnonzero(prediction.uncertainty <= self.calibration.threshold)
+        if len(confident) == 0:
+            return None
+        estimator = LabelDistributionEstimator(
+            calibrators=self.calibration.calibrators,
+            grid_size=self.config.grid_size,
+            auto_grid_bins=self.config.auto_grid_bins,
+            margin_sigmas=self.config.grid_margin_sigmas,
+            error_model=self.config.error_model,
+        )
+        return estimator.estimate(
+            prediction.mean[confident], prediction.uncertainty[confident]
+        )
 
     # ------------------------------------------------------------------
     # Introspection

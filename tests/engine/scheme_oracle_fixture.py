@@ -1,0 +1,86 @@
+"""Shared fixture for the per-scheme equivalence oracle.
+
+The oracle (``oracle_schemes.json``) pins, for every entry of
+``SCHEME_NAMES``, the exact fine-tuning losses and adapted-model predictions
+produced by the **pre-refactor** adaptation code paths on this fixture.  The
+equivalence test adapts the same fixture through the strategy engine and
+asserts bitwise-identical numbers, so any refactor of the training hot path
+that changes results — RNG consumption order, arithmetic order, batch
+assembly — fails loudly.
+
+The fixture is deliberately tiny (a 4-feature linear task, a 12x8 MLP,
+three adaptation epochs) so the full six-scheme sweep stays fast enough for
+tier-1.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import repro.nn as nn
+from repro.core import Tasfar, TasfarConfig
+
+#: Seed handed to every scheme's adaptation run.
+ADAPT_SEED = 7
+
+#: Construction keywords per scheme, mirroring what the strategy registry
+#: passes (epochs/seed for the trainable baselines, nothing for `baseline`,
+#: the TasfarConfig for `tasfar`).
+SCHEME_KWARGS = {
+    "baseline": {},
+    "mmd": {"epochs": 3},
+    "adv": {"epochs": 2},
+    "augfree": {"epochs": 3},
+    "datafree": {"epochs": 3},
+    "tasfar": {},
+}
+
+
+def fast_config() -> TasfarConfig:
+    return TasfarConfig(
+        n_mc_samples=8,
+        n_segments=5,
+        adaptation_epochs=3,
+        min_adaptation_epochs=1,
+        early_stop=False,
+        seed=0,
+    )
+
+
+def build_fixture() -> dict:
+    """Trained source model, calibration, source/target data and a probe set."""
+    rng = np.random.default_rng(0)
+    weights = np.array([1.0, -0.5, 0.25, 2.0])
+    source_inputs = rng.normal(size=(120, 4))
+    source_labels = source_inputs @ weights + 0.1 * rng.normal(size=120)
+    target_inputs = rng.normal(loc=0.3, size=(60, 4))
+    probe = rng.normal(size=(12, 4))
+
+    model = nn.build_mlp(4, 1, hidden_dims=(12, 8), dropout=0.2, seed=0)
+    source_data = nn.ArrayDataset(source_inputs, source_labels)
+    nn.Trainer(model, lr=3e-3).fit(source_data, epochs=10, batch_size=32, rng=rng)
+
+    config = fast_config()
+    calibration = Tasfar(config).calibrate_on_source(model, source_inputs, source_labels)
+    return {
+        "model": model,
+        "source_data": source_data,
+        "target_inputs": target_inputs,
+        "probe": probe,
+        "config": config,
+        "calibration": calibration,
+    }
+
+
+def fingerprint(losses, target_model, probe) -> dict:
+    """JSON-exact fingerprint of one adaptation outcome.
+
+    ``json`` round-trips Python floats exactly (shortest-repr), so equality
+    on the decoded values is bitwise equality.
+    """
+    target_model.eval()
+    predictions = np.asarray(target_model.forward(probe), dtype=np.float64).ravel()
+    return {
+        "losses": [float(value) for value in losses],
+        "predictions": [float(value) for value in predictions],
+    }

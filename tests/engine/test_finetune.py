@@ -1,0 +1,220 @@
+"""Unit tests for the shared FineTuneEngine."""
+
+import numpy as np
+import pytest
+
+import repro.nn as nn
+from repro.core import LossDropEarlyStopper
+from repro.engine import (
+    ADAPTATION_STREAM,
+    CALIBRATION_STREAM,
+    FineTuneEngine,
+    PROBE_STREAM,
+    stream_generator,
+    stream_seed_sequence,
+)
+from repro.nn.data import ArrayDataset, DataLoader
+from repro.nn.losses import MSELoss
+from repro.nn.optim import Adam, clip_gradients
+
+
+def make_dataset(n=50, features=3, weighted=True, seed=0):
+    rng = np.random.default_rng(seed)
+    inputs = rng.normal(size=(n, features))
+    targets = inputs @ rng.normal(size=features) + 0.05 * rng.normal(size=n)
+    weights = rng.uniform(0.5, 1.5, size=n) if weighted else None
+    return ArrayDataset(inputs, targets, weights)
+
+
+def make_model(features=3, seed=0):
+    return nn.build_mlp(features, 1, hidden_dims=(8,), dropout=0.2, seed=seed)
+
+
+def legacy_loop(model, dataset, epochs, batch_size, lr, rng):
+    """The pre-engine reference loop (DataLoader + manual epoch loop)."""
+    saved = [(layer, layer.rate) for layer in model.dropout_layers()]
+    for layer, _ in saved:
+        layer.rate = 0.0
+    optimizer = Adam(model.parameters(), lr=lr)
+    loss = MSELoss()
+    loader = DataLoader(dataset, batch_size=batch_size, shuffle=True, rng=rng)
+    losses = []
+    model.train()
+    for _ in range(epochs):
+        total, batches = 0.0, 0
+        for inputs, targets, weights in loader:
+            optimizer.zero_grad()
+            value, grad = loss(model.forward(inputs), targets, weights)
+            model.backward(grad)
+            clip_gradients(optimizer.parameters, 5.0)
+            optimizer.step()
+            total += value
+            batches += 1
+        losses.append(total / max(batches, 1))
+    model.eval()
+    for layer, rate in saved:
+        layer.rate = rate
+    return losses
+
+
+def engine_loop(model, dataset, epochs, batch_size, lr, rng):
+    optimizer = Adam(model.parameters(), lr=lr)
+    loss = MSELoss()
+
+    def step(inputs, targets, weights):
+        value, grad = loss(model.forward(inputs), targets, weights)
+        model.backward(grad)
+        return value
+
+    engine = FineTuneEngine(epochs, batch_size)
+    return engine.run(model, dataset, optimizer, step, rng=rng)
+
+
+class TestLegacyEquivalence:
+    @pytest.mark.parametrize("batch_size", [7, 16, 64])
+    @pytest.mark.parametrize("weighted", [True, False])
+    def test_engine_is_bitwise_equal_to_dataloader_loop(self, batch_size, weighted):
+        """Preallocated buffers + in-place shuffles must not change anything."""
+        dataset = make_dataset(weighted=weighted)
+        legacy_model = make_model()
+        engine_model = make_model()
+        losses = legacy_loop(
+            legacy_model, dataset, 4, batch_size, 1e-3, np.random.default_rng(5)
+        )
+        outcome = engine_loop(
+            engine_model, dataset, 4, batch_size, 1e-3, np.random.default_rng(5)
+        )
+        assert outcome.losses == losses
+        for old, new in zip(legacy_model.parameters(), engine_model.parameters()):
+            np.testing.assert_array_equal(old.data, new.data)
+
+    def test_batch_larger_than_dataset(self):
+        dataset = make_dataset(n=5)
+        outcome = engine_loop(make_model(), dataset, 2, 64, 1e-3, np.random.default_rng(0))
+        assert len(outcome.losses) == 2
+
+
+class TestEngineBehaviour:
+    def test_early_stopping_reports_epoch(self):
+        dataset = make_dataset()
+        model = make_model()
+        optimizer = Adam(model.parameters(), lr=1e-3)
+
+        def step(inputs, targets, weights):
+            value, grad = MSELoss()(model.forward(inputs), targets, weights)
+            model.backward(grad)
+            return value
+
+        # An aggressive stopper: almost any slowdown counts as "slow".
+        stopper = LossDropEarlyStopper(drop_fraction=0.99, patience=1, min_epochs=1)
+        engine = FineTuneEngine(50, 16, stopper=stopper)
+        outcome = engine.run(model, dataset, optimizer, step, rng=np.random.default_rng(0))
+        assert outcome.stopped_epoch is not None
+        assert outcome.stopped_epoch == len(outcome.losses)
+        assert outcome.n_epochs < 50
+
+    def test_min_batch_size_skips_small_batches(self):
+        # 17 samples at batch 16 leaves a 1-sample trailing batch.
+        dataset = make_dataset(n=17)
+        model = make_model()
+        seen_sizes = []
+
+        def step(inputs, targets, weights):
+            seen_sizes.append(len(inputs))
+            value, grad = MSELoss()(model.forward(inputs), targets, weights)
+            model.backward(grad)
+            return value
+
+        engine = FineTuneEngine(1, 16, min_batch_size=2)
+        engine.run(
+            model, dataset, Adam(model.parameters(), lr=1e-3), step,
+            rng=np.random.default_rng(0),
+        )
+        assert seen_sizes == [16]
+
+    def test_dropout_rates_restored_and_model_left_in_eval(self):
+        dataset = make_dataset()
+        model = make_model()
+        rates = [layer.rate for layer in model.dropout_layers()]
+        assert any(rate > 0 for rate in rates)
+        outcome = engine_loop(model, dataset, 1, 16, 1e-3, np.random.default_rng(0))
+        assert outcome.n_epochs == 1
+        assert [layer.rate for layer in model.dropout_layers()] == rates
+        assert not model.dropout_layers()[0].training
+
+    def test_dropout_restored_even_when_step_raises(self):
+        dataset = make_dataset()
+        model = make_model()
+        rates = [layer.rate for layer in model.dropout_layers()]
+
+        def exploding_step(inputs, targets, weights):
+            raise RuntimeError("boom")
+
+        engine = FineTuneEngine(1, 16)
+        with pytest.raises(RuntimeError):
+            engine.run(
+                model, dataset, Adam(model.parameters(), lr=1e-3), exploding_step,
+                rng=np.random.default_rng(0),
+            )
+        assert [layer.rate for layer in model.dropout_layers()] == rates
+
+    def test_used_stopper_rejected_on_reuse(self):
+        """A stateful stopper stays tripped: reusing it would silently cap
+        the second run at one epoch, so the engine refuses it."""
+        dataset = make_dataset()
+        stopper = LossDropEarlyStopper(drop_fraction=0.99, patience=1, min_epochs=1)
+
+        def run_once():
+            model = make_model()
+            optimizer = Adam(model.parameters(), lr=1e-3)
+
+            def step(inputs, targets, weights):
+                value, grad = MSELoss()(model.forward(inputs), targets, weights)
+                model.backward(grad)
+                return value
+
+            FineTuneEngine(10, 16, stopper=stopper).run(
+                model, dataset, optimizer, step, rng=np.random.default_rng(0)
+            )
+
+        run_once()
+        with pytest.raises(ValueError, match="fresh"):
+            run_once()
+
+    def test_empty_dataset_returns_empty_result(self):
+        dataset = ArrayDataset(np.empty((0, 3)), np.empty((0, 1)))
+        model = make_model()
+        outcome = engine_loop(model, dataset, 3, 16, 1e-3, np.random.default_rng(0))
+        assert outcome.losses == []
+        assert outcome.stopped_epoch is None
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"epochs": 0},
+            {"epochs": 1, "batch_size": 0},
+            {"epochs": 1, "grad_clip": 0.0},
+            {"epochs": 1, "min_batch_size": 0},
+        ],
+    )
+    def test_invalid_parameters_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            FineTuneEngine(**kwargs)
+
+
+class TestRngStreamPlan:
+    def test_stream_tags_are_stable(self):
+        """The tags are a reproducibility contract — renumbering breaks seeds."""
+        assert (CALIBRATION_STREAM, ADAPTATION_STREAM, PROBE_STREAM) == (0, 1, 2)
+
+    def test_streams_are_disjoint_and_deterministic(self):
+        a = stream_generator(42, CALIBRATION_STREAM).random(4)
+        b = stream_generator(42, ADAPTATION_STREAM).random(4)
+        again = stream_generator(42, CALIBRATION_STREAM).random(4)
+        np.testing.assert_array_equal(a, again)
+        assert not np.array_equal(a, b)
+
+    def test_seed_sequence_matches_manual_tagging(self):
+        manual = np.random.default_rng(np.random.SeedSequence([9, 1, 3])).random(4)
+        planned = np.random.default_rng(stream_seed_sequence(9, ADAPTATION_STREAM, 3)).random(4)
+        np.testing.assert_array_equal(manual, planned)

@@ -1,0 +1,38 @@
+"""Every subpackage must import standalone, in a fresh interpreter.
+
+The in-process test suite cannot catch import cycles: once any test (or a
+conftest) has imported ``repro.core``, every later import order works.  A
+cycle only bites when the *first* repro import in a process enters through
+the wrong package — exactly what ``python -c "import repro.engine"`` or a
+library consumer does — so each candidate entry point is probed in its own
+interpreter.
+"""
+
+import subprocess
+import sys
+
+import pytest
+
+ENTRY_POINTS = [
+    "repro.engine",
+    "repro.baselines",
+    "repro.core",
+    "repro.data",
+    "repro.runtime",
+    "repro.streaming",
+    "repro.experiments",
+    "repro.cli",
+]
+
+
+@pytest.mark.parametrize("module", ENTRY_POINTS)
+def test_package_imports_standalone(module):
+    result = subprocess.run(
+        [sys.executable, "-c", f"import {module}"],
+        capture_output=True,
+        text=True,
+    )
+    assert result.returncode == 0, (
+        f"`import {module}` as the first repro import failed "
+        f"(circular import?):\n{result.stderr}"
+    )

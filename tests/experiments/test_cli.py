@@ -245,6 +245,91 @@ class TestAdaptManyExecution:
         assert after_values.count(None) == len(after_values) - 1  # only the cached one scored
 
 
+class TestAdaptManyScheme:
+    def test_scheme_defaults_to_tasfar(self):
+        args = build_parser().parse_args(["adapt-many"])
+        assert args.scheme == "tasfar"
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["adapt-many", "--scheme", "wishful"])
+
+    @pytest.mark.parametrize("scheme", ["baseline", "augfree", "datafree"])
+    def test_source_free_schemes_serve_end_to_end(self, tmp_path, capsys, scheme):
+        report_path = tmp_path / "reports.json"
+        assert (
+            main(
+                [
+                    "adapt-many",
+                    "--task",
+                    "housing",
+                    "--scale",
+                    "tiny",
+                    "--scheme",
+                    scheme,
+                    "--seed",
+                    "5",
+                    "--report",
+                    str(report_path),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert f"scheme={scheme}" in out
+        payload = json.loads(report_path.read_text())
+        for report in payload.values():
+            assert report["scheme"] == scheme
+            assert report["extra"]["run_seed"] == 5
+            assert report["extra"]["mse_after"] is not None
+
+    def test_source_based_scheme_serves_end_to_end(self, tmp_path):
+        report_path = tmp_path / "reports.json"
+        assert (
+            main(
+                [
+                    "adapt-many",
+                    "--task",
+                    "housing",
+                    "--scale",
+                    "tiny",
+                    "--scheme",
+                    "mmd",
+                    "--report",
+                    str(report_path),
+                ]
+            )
+            == 0
+        )
+        payload = json.loads(report_path.read_text())
+        for report in payload.values():
+            assert report["scheme"] == "mmd"
+            assert len(report["losses"]) > 0
+
+    def test_run_seed_recorded_for_default_scheme(self, tmp_path):
+        report_path = tmp_path / "reports.json"
+        assert (
+            main(
+                [
+                    "adapt-many",
+                    "--task",
+                    "housing",
+                    "--scale",
+                    "tiny",
+                    "--seed",
+                    "7",
+                    "--report",
+                    str(report_path),
+                ]
+            )
+            == 0
+        )
+        payload = json.loads(report_path.read_text())
+        for report in payload.values():
+            assert report["scheme"] == "tasfar"
+            assert report["extra"]["run_seed"] == 7
+
+
 class TestStreamParsing:
     def test_defaults(self):
         args = build_parser().parse_args(["stream"])
@@ -304,6 +389,49 @@ class TestStreamParsing:
     def test_non_positive_sizes_rejected_with_usage_error(self, flag):
         with pytest.raises(SystemExit):
             main(["stream", "--task", "housing", "--scale", "tiny", flag, "0"])
+
+
+class TestStreamScheme:
+    def test_scheme_defaults_to_tasfar(self):
+        args = build_parser().parse_args(["stream"])
+        assert args.scheme == "tasfar"
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["stream", "--scheme", "wishful"])
+
+    def test_stream_serves_baseline_scheme_end_to_end(self, tmp_path, capsys):
+        events_path = tmp_path / "events.json"
+        assert (
+            main(
+                [
+                    "stream",
+                    "--task",
+                    "housing",
+                    "--scale",
+                    "tiny",
+                    "--scheme",
+                    "augfree",
+                    "--steps",
+                    "6",
+                    "--batch-size",
+                    "8",
+                    "--min-adapt",
+                    "16",
+                    "--budget",
+                    "24",
+                    "--events",
+                    str(events_path),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "scheme=augfree" in out
+        payload = json.loads(events_path.read_text())
+        for events in payload.values():
+            actions = [event["action"] for event in events]
+            assert "cold_adapt" in actions
 
 
 class TestStreamExecution:

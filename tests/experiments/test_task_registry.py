@@ -1,0 +1,235 @@
+"""Tests for the pluggable TaskSpec registry and the thread-safe bundle cache."""
+
+import threading
+
+import numpy as np
+import pytest
+
+import repro.nn as nn
+from repro.cli import build_parser
+from repro.data import (
+    AdaptationTask,
+    TargetScenario,
+    TaskSpec,
+    get_task_spec,
+    register_task,
+    task_names,
+    unregister_task,
+)
+from repro.experiments import clear_bundle_cache, get_bundle
+
+
+def _toy_task(profile, seed):
+    """A deliberately tiny task so registry tests stay fast."""
+    rng = np.random.default_rng(seed)
+    weights = np.array([1.5, -0.5])
+
+    def dataset(n, loc):
+        inputs = rng.normal(loc=loc, size=(n, 2))
+        return nn.ArrayDataset(inputs, inputs @ weights + 0.05 * rng.normal(size=n))
+
+    adaptation, test = dataset(40, 0.4), dataset(16, 0.4)
+    return AdaptationTask(
+        name="toy",
+        source_train=dataset(80, 0.0),
+        source_calibration=dataset(40, 0.0),
+        scenarios=[TargetScenario(name="shifted", adaptation=adaptation, test=test)],
+    )
+
+
+def _toy_model(task, profile, seed):
+    return nn.build_mlp(2, 1, hidden_dims=(8,), dropout=0.2, seed=seed)
+
+
+def toy_spec(name="toy"):
+    return TaskSpec(
+        name=name,
+        build_task=_toy_task,
+        build_model=_toy_model,
+        epochs=lambda profile: 3,
+        lr=3e-3,
+        batch_size=16,
+        metrics=("mse",),
+        description="throwaway registry test task",
+    )
+
+
+@pytest.fixture
+def registered_toy():
+    spec = register_task(toy_spec())
+    try:
+        yield spec
+    finally:
+        unregister_task("toy")
+        clear_bundle_cache()
+
+
+class TestTaskRegistry:
+    def test_paper_tasks_registered(self):
+        assert set(task_names()) >= {"pdr", "crowd", "housing", "taxi"}
+
+    def test_unknown_task_rejected(self):
+        with pytest.raises(ValueError, match="unknown task"):
+            get_task_spec("nonsense")
+        with pytest.raises(ValueError, match="unknown task"):
+            get_bundle("nonsense", "tiny")
+
+    def test_duplicate_registration_rejected_unless_replace(self, registered_toy):
+        with pytest.raises(ValueError, match="already registered"):
+            register_task(toy_spec())
+        register_task(toy_spec(), replace=True)  # explicit replace is fine
+
+    def test_one_registration_makes_a_task_bundleable(self, registered_toy):
+        bundle = get_bundle("toy", "tiny", seed=0)
+        assert bundle.spec is registered_toy
+        assert bundle.task.scenario_names() == ["shifted"]
+        assert bundle.calibration.threshold > 0
+        # and usable end to end through the strategy engine:
+        from repro.engine import create_strategy
+
+        strategy = create_strategy("tasfar").prepare(
+            bundle.source_model, bundle.resources()
+        )
+        outcome = strategy.adapt(
+            bundle.source_model, bundle.task.scenarios[0].adaptation.inputs, seed=0
+        )
+        assert outcome.target_model is not None
+
+    def test_one_registration_reaches_the_cli_parser(self, registered_toy):
+        args = build_parser().parse_args(["adapt-many", "--task", "toy", "--scale", "tiny"])
+        assert args.task == "toy"
+        args = build_parser().parse_args(["stream", "--task", "toy", "--scale", "tiny"])
+        assert args.task == "toy"
+
+    def test_streams_derive_from_registered_task(self, registered_toy):
+        from repro.data import make_drift_streams
+
+        bundle = get_bundle("toy", "tiny", seed=0)
+        streams = make_drift_streams(bundle.task, kind="sudden", n_steps=4, batch_size=8)
+        assert set(streams) == {"shifted"}
+        assert streams["shifted"].n_events == 32
+
+
+class TestCustomMetrics:
+    def test_registered_task_can_bring_its_own_metric(self):
+        """register_task + register_metric complete the 'one registration'
+        contract for the comparison harness."""
+        from repro.experiments import compare_task, register_metric
+        from repro.experiments.comparison import METRIC_FNS
+
+        spec = TaskSpec(
+            name="toy_metric",
+            build_task=_toy_task,
+            build_model=_toy_model,
+            epochs=lambda profile: 3,
+            batch_size=16,
+            metrics=("rmse",),
+        )
+        register_task(spec)
+        register_metric(
+            "rmse", lambda p, t: float(np.sqrt(np.mean((np.asarray(p) - np.asarray(t)) ** 2)))
+        )
+        try:
+            bundle = get_bundle("toy_metric", "tiny", seed=0)
+            comparison = compare_task(bundle, schemes=("baseline",))
+            evaluation = comparison.evaluations[0]
+            assert "rmse" in evaluation.metrics["baseline"]["test"]
+            assert evaluation.metrics["baseline"]["test"]["rmse"] >= 0
+        finally:
+            unregister_task("toy_metric")
+            METRIC_FNS.pop("rmse", None)
+            clear_bundle_cache()
+
+    def test_unknown_metric_name_rejected(self):
+        from repro.experiments import compare_task
+
+        spec = TaskSpec(
+            name="toy_badmetric",
+            build_task=_toy_task,
+            build_model=_toy_model,
+            epochs=lambda profile: 3,
+            metrics=("wishful",),
+        )
+        register_task(spec)
+        try:
+            bundle = get_bundle("toy_badmetric", "tiny", seed=0)
+            with pytest.raises(ValueError, match="unknown metric"):
+                compare_task(bundle, schemes=("baseline",))
+        finally:
+            unregister_task("toy_badmetric")
+            clear_bundle_cache()
+
+
+class TestBundleCacheThreadSafety:
+    def test_concurrent_get_bundle_builds_once(self):
+        """The cache is shared by adapt_many/run-all workers: racing first
+        requests for one key must build exactly one bundle."""
+        builds = []
+
+        def counting_build(profile, seed):
+            builds.append(threading.get_ident())
+            return _toy_task(profile, seed)
+
+        spec = TaskSpec(
+            name="toy_threaded",
+            build_task=counting_build,
+            build_model=_toy_model,
+            epochs=lambda profile: 3,
+            batch_size=16,
+        )
+        register_task(spec)
+        clear_bundle_cache()
+        try:
+            results = [None] * 8
+            barrier = threading.Barrier(8)
+
+            def worker(index):
+                barrier.wait()
+                results[index] = get_bundle("toy_threaded", "tiny", seed=0)
+
+            threads = [threading.Thread(target=worker, args=(i,)) for i in range(8)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+
+            assert len(builds) == 1
+            assert all(result is results[0] for result in results)
+        finally:
+            unregister_task("toy_threaded")
+            clear_bundle_cache()
+
+    def test_replacing_a_spec_evicts_its_cached_bundles(self, registered_toy):
+        stale = get_bundle("toy", "tiny", seed=0)
+        register_task(toy_spec(), replace=True)
+        fresh = get_bundle("toy", "tiny", seed=0)
+        assert fresh is not stale  # the replaced spec's bundle was evicted
+        assert fresh is get_bundle("toy", "tiny", seed=0)
+
+    def test_replacing_a_spec_evicts_its_cached_comparisons(self, registered_toy):
+        from repro.experiments import clear_comparison_cache, get_comparison
+
+        clear_comparison_cache()
+        try:
+            stale = get_comparison("toy", "tiny", schemes=("baseline",))
+            register_task(toy_spec(), replace=True)
+            fresh = get_comparison("toy", "tiny", schemes=("baseline",))
+            assert fresh is not stale
+        finally:
+            clear_comparison_cache()
+
+    def test_unregistering_evicts_cached_bundles(self):
+        register_task(toy_spec("toy_evict"))
+        try:
+            get_bundle("toy_evict", "tiny", seed=0)
+        finally:
+            unregister_task("toy_evict")
+        with pytest.raises(ValueError, match="unknown task"):
+            get_bundle("toy_evict", "tiny", seed=0)
+
+    def test_distinct_keys_build_independently(self, registered_toy):
+        clear_bundle_cache()
+        one = get_bundle("toy", "tiny", seed=0)
+        two = get_bundle("toy", "tiny", seed=1)
+        assert one is not two
+        assert one is get_bundle("toy", "tiny", seed=0)
