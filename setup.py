@@ -22,8 +22,10 @@ setup(
     version=_version["__version__"],
     description=(
         "Reproduction of TASFAR (ICDE 2024): target-agnostic source-free "
-        "domain adaptation for regression, with a multi-target runtime and "
-        "a streaming adaptation subsystem"
+        "domain adaptation for regression, with a multi-target runtime, a "
+        "streaming adaptation subsystem, and a sharded serving gateway "
+        "(typed request/envelope API, micro-batched prediction, JSON-lines "
+        "front door)"
     ),
     package_dir={"": "src"},
     packages=find_packages("src"),

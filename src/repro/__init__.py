@@ -21,8 +21,34 @@ The public API re-exports the most commonly used entry points:
   online density maps with exponential decay, Page-Hinkley drift detection,
   and ``ingest``-driven warm-start re-adaptation; paired with the
   non-stationary stream generators in :mod:`repro.data.drift`.
+* :mod:`repro.serve` — the serving gateway over both runtimes: typed
+  request/response protocol with a versioned JSON envelope, sharded
+  services with deterministic target placement, cross-target micro-batched
+  prediction, and the ``repro serve`` JSON-lines front door.
+
+The gateway API is re-exported lazily at the top level (``repro.Gateway``,
+``repro.AdaptRequest``, ...), so client code needs one import and the
+experiment harness stays import-light.
 """
 
 from .version import __version__
 
-__all__ = ["__version__"]
+__all__ = [
+    "__version__",
+    "AdaptRequest",
+    "Envelope",
+    "Gateway",
+    "PredictRequest",
+    "ReportRequest",
+    "StreamRequest",
+]
+
+_SERVE_EXPORTS = frozenset(__all__) - {"__version__"}
+
+
+def __getattr__(name: str):
+    if name in _SERVE_EXPORTS:
+        from . import serve
+
+        return getattr(serve, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -33,9 +33,19 @@ service (online density maps, drift detection, warm re-adaptation)::
     python -m repro.cli stream --task pdr --drift sudden --steps 12 \
         --events stream_events.json
 
-Both ``--task`` choices (the :class:`~repro.data.TaskSpec` registry) and
-``--scheme`` choices (the strategy registry) are extensible: registering a
-new task or scheme makes it available here without touching this module.
+Serve the whole system over a JSON-lines pipe — one request per stdin line,
+one versioned envelope per stdout line (see :mod:`repro.serve`)::
+
+    printf '%s\n' \
+        '{"kind": "adapt", "target_id": "u1", "inputs": [[0.1, 0.2]]}' \
+        '{"kind": "report", "target_id": "u1"}' \
+      | python -m repro.cli serve --task housing --scale tiny --shards 2
+
+``adapt-many``, ``stream`` and ``serve`` are all thin clients of the
+:class:`~repro.serve.Gateway`; both ``--task`` choices (the
+:class:`~repro.data.TaskSpec` registry) and ``--scheme`` choices (the
+strategy registry) are extensible: registering a new task or scheme makes it
+available here without touching this module.
 """
 
 from __future__ import annotations
@@ -114,7 +124,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="adaptation scheme served by the service (strategy registry)",
     )
     adapt_parser.add_argument(
-        "--jobs", type=int, default=1, help="worker threads for parallel target adaptation"
+        "--jobs", type=int, default=1, help="worker threads per gateway shard"
+    )
+    adapt_parser.add_argument(
+        "--shards", type=int, default=1, help="gateway service shards (rendezvous-placed targets)"
     )
     adapt_parser.add_argument(
         "--targets",
@@ -183,7 +196,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="Page-Hinkley alarm threshold on the density divergence",
     )
     stream_parser.add_argument(
-        "--jobs", type=int, default=1, help="worker threads for ingesting targets in parallel"
+        "--jobs", type=int, default=1, help="worker threads per gateway shard"
+    )
+    stream_parser.add_argument(
+        "--shards", type=int, default=1, help="gateway service shards (rendezvous-placed targets)"
     )
     stream_parser.add_argument(
         "--targets",
@@ -196,6 +212,44 @@ def build_parser() -> argparse.ArgumentParser:
         "--events",
         default=None,
         help="optional path for a JSON file with the per-user event tables",
+    )
+
+    serve_parser = subparsers.add_parser(
+        "serve",
+        help="serve adapt/predict/stream/report requests as JSON lines (stdin -> stdout)",
+    )
+    serve_parser.add_argument("--task", default="pdr", choices=adapt_tasks)
+    serve_parser.add_argument("--scale", default="small", choices=tuple(SCALES))
+    serve_parser.add_argument("--seed", type=int, default=0)
+    serve_parser.add_argument(
+        "--scheme",
+        default="tasfar",
+        choices=schemes,
+        help="adaptation scheme served by the gateway (strategy registry)",
+    )
+    serve_parser.add_argument(
+        "--shards", type=int, default=1, help="gateway service shards"
+    )
+    serve_parser.add_argument(
+        "--shard-workers", type=int, default=4, help="worker threads per shard"
+    )
+    serve_parser.add_argument(
+        "--max-cached",
+        type=int,
+        default=8,
+        help="LRU capacity for adapted models, per shard",
+    )
+    serve_parser.add_argument(
+        "--min-adapt",
+        type=int,
+        default=32,
+        help="buffered stream events before a target's first (cold) adaptation",
+    )
+    serve_parser.add_argument(
+        "--budget",
+        type=int,
+        default=128,
+        help="buffered stream events that force a re-adaptation even without drift",
     )
     return parser
 
@@ -223,6 +277,9 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "stream":
         return _stream(parser, args)
+
+    if args.command == "serve":
+        return _serve(parser, args)
 
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover
     return 1
@@ -324,34 +381,67 @@ def _build_strategy(args: argparse.Namespace, bundle, max_source_samples: int = 
     )
 
 
-def _adapt_many(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
-    """Adapt the target scenarios of one task through the AdaptationService."""
+def _build_gateway(args: argparse.Namespace, bundle, max_cached: int, **service_options):
+    """Construct the serving gateway every runtime subcommand fronts.
+
+    Built from the already-selected bundle (not :meth:`Gateway.from_task`)
+    so ``--targets`` filtering and the shared bundle cache are respected.
+    """
     from .core import TasfarConfig
-    from .metrics import format_table, mse
-    from .runtime import AdaptationService
+    from .serve import Gateway
 
-    if args.jobs < 1:
-        parser.error("--jobs must be at least 1")
-
-    bundle, selected = _select_scenarios(parser, args)
-
-    # The cache must cover the whole fleet by default: an evicted target
-    # would silently be evaluated with the unadapted source model below.
-    max_cached = len(selected) if args.max_cached is None else max(args.max_cached, 1)
-    service = AdaptationService(
+    return Gateway(
         bundle.source_model,
         bundle.calibration,
         config=TasfarConfig(seed=args.seed),
         strategy=_build_strategy(args, bundle),
+        n_shards=args.shards,
+        shard_workers=args.jobs,
         max_cached_models=max_cached,
         base_seed=args.seed,
-    )
-    reports = service.adapt_many(
-        {name: scenario.adaptation.inputs for name, scenario in selected.items()},
-        jobs=args.jobs,
+        service_options=service_options or None,
     )
 
-    # The service never sees labels; evaluation happens here, caller-side.
+
+def _adapt_many(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
+    """Adapt the target scenarios of one task through the serving gateway."""
+    from .metrics import format_table, mse
+    from .serve import AdaptRequest, PredictRequest
+
+    if args.jobs < 1:
+        parser.error("--jobs must be at least 1")
+    if args.shards < 1:
+        parser.error("--shards must be at least 1")
+
+    bundle, selected = _select_scenarios(parser, args)
+
+    # The per-shard cache must cover the whole fleet by default: an evicted
+    # target would silently be evaluated with the unadapted source model.
+    max_cached = len(selected) if args.max_cached is None else max(args.max_cached, 1)
+    gateway = _build_gateway(args, bundle, max_cached)
+    adapt_envelopes = gateway.submit_many(
+        [AdaptRequest(name, scenario.adaptation.inputs) for name, scenario in selected.items()]
+    )
+    failed = [envelope for envelope in adapt_envelopes if not envelope.ok]
+    if failed:
+        first = failed[0]
+        parser.error(
+            f"adaptation failed for {first.target_id!r}: "
+            f"{first.error['type']}: {first.error['message']}"
+        )
+    reports = {name: gateway.report_for(name) for name in selected}
+
+    # Post-adaptation predictions go through submit_many too, so a fleet
+    # evaluation exercises the same micro-batched path a serving burst does.
+    cached = [name for name in selected if gateway.model_for(name) is not None]
+    predictions = {
+        envelope.target_id: envelope.payload["prediction"]
+        for envelope in gateway.submit_many(
+            [PredictRequest(name, selected[name].adaptation.inputs) for name in cached]
+        )
+    }
+
+    # The gateway never sees labels; evaluation happens here, caller-side.
     rows = []
     for name, scenario in selected.items():
         report = reports[name]
@@ -360,15 +450,13 @@ def _adapt_many(parser: argparse.ArgumentParser, args: argparse.Namespace) -> in
         report.extra["run_seed"] = int(args.seed)
         before = mse(bundle.predict(scenario.adaptation.inputs), scenario.adaptation.targets)
         report.extra["mse_before"] = float(before)
-        if service.model_for(name) is None:
+        if name not in predictions:
             # Evicted by a caller-chosen small --max-cached: don't pass off
             # source-model numbers as post-adaptation performance.
             report.extra["mse_after"] = None
             after_cell = "evicted"
         else:
-            after = mse(
-                service.predict(name, scenario.adaptation.inputs), scenario.adaptation.targets
-            )
+            after = mse(predictions[name], scenario.adaptation.targets)
             report.extra["mse_after"] = float(after)
             after_cell = round(after, 4)
         rows.append(
@@ -395,18 +483,20 @@ def _adapt_many(parser: argparse.ArgumentParser, args: argparse.Namespace) -> in
         with open(args.report, "w", encoding="utf-8") as handle:
             json.dump(payload, handle, indent=2)
         print(f"wrote {len(payload)} reports to {args.report}")
+    gateway.close()
     return 0
 
 
 def _stream(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
-    """Replay drifting per-target streams through the StreamingAdaptationService."""
-    from .core import TasfarConfig
+    """Replay drifting per-target streams through the serving gateway."""
     from .data import make_drift_streams
     from .metrics import format_table, mse
-    from .streaming import StreamingAdaptationService
+    from .serve import StreamRequest
 
     if args.jobs < 1:
         parser.error("--jobs must be at least 1")
+    if args.shards < 1:
+        parser.error("--shards must be at least 1")
     if args.steps < 1:
         parser.error("--steps must be at least 1")
     if args.batch_size < 1:
@@ -430,13 +520,10 @@ def _stream(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
         seed=args.seed,
         only=list(selected),
     )
-    service = StreamingAdaptationService(
-        bundle.source_model,
-        bundle.calibration,
-        config=TasfarConfig(seed=args.seed),
-        strategy=_build_strategy(args, bundle),
-        max_cached_models=len(selected),
-        base_seed=args.seed,
+    gateway = _build_gateway(
+        args,
+        bundle,
+        len(selected),
         min_adapt_events=args.min_adapt,
         readapt_budget=args.budget,
         warm_epochs=args.warm_epochs,
@@ -447,18 +534,27 @@ def _stream(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
     # would see a fleet: every target contributes its batch for step t before
     # any target moves to step t+1.
     for step in range(args.steps):
-        service.ingest_many(
-            {name: stream.batches[step].inputs for name, stream in streams.items()},
-            jobs=args.jobs,
+        envelopes = gateway.submit_many(
+            [
+                StreamRequest(name, stream.batches[step].inputs)
+                for name, stream in streams.items()
+            ]
         )
+        failed = [envelope for envelope in envelopes if not envelope.ok]
+        if failed:
+            first = failed[0]
+            parser.error(
+                f"stream ingest failed for {first.target_id!r}: "
+                f"{first.error['type']}: {first.error['message']}"
+            )
 
     rows = []
     for name, scenario in selected.items():
-        stats = service.stream_stats(name)
+        stats = gateway.stream_stats(name)
         before = mse(bundle.predict(scenario.test.inputs), scenario.test.targets)
         after_cell: object = "never adapted"
-        if service.report_for(name) is not None and service.model_for(name) is not None:
-            after_cell = round(mse(service.predict(name, scenario.test.inputs), scenario.test.targets), 4)
+        if gateway.report_for(name) is not None and gateway.model_for(name) is not None:
+            after_cell = round(mse(gateway.predict(name, scenario.test.inputs), scenario.test.targets), 4)
         rows.append(
             [
                 name,
@@ -481,10 +577,52 @@ def _stream(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
         )
     )
     if args.events:
-        payload = {name: [event.to_dict() for event in service.events_for(name)] for name in selected}
+        payload = {name: [event.to_dict() for event in gateway.events_for(name)] for name in selected}
         with open(args.events, "w", encoding="utf-8") as handle:
             json.dump(payload, handle, indent=2)
         print(f"wrote event tables for {len(payload)} targets to {args.events}")
+    gateway.close()
+    return 0
+
+
+def _serve(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
+    """Run the JSON-lines gateway loop over stdin/stdout."""
+    from .serve import Gateway, serve_loop
+
+    if args.shards < 1:
+        parser.error("--shards must be at least 1")
+    if args.shard_workers < 1:
+        parser.error("--shard-workers must be at least 1")
+    if args.max_cached < 1:
+        parser.error("--max-cached must be at least 1")
+    if args.min_adapt < 1:
+        parser.error("--min-adapt must be at least 1")
+    if args.budget < 1:
+        parser.error("--budget must be at least 1")
+
+    gateway = Gateway.from_task(
+        args.task,
+        scheme=args.scheme,
+        scale=args.scale,
+        seed=args.seed,
+        n_shards=args.shards,
+        shard_workers=args.shard_workers,
+        max_cached_models=args.max_cached,
+        service_options={
+            "min_adapt_events": args.min_adapt,
+            "readapt_budget": args.budget,
+        },
+    )
+    # Startup chatter goes to stderr: stdout carries envelopes, nothing else.
+    print(
+        f"[serve] ready task={args.task} scheme={args.scheme} scale={args.scale} "
+        f"shards={args.shards} (one JSON request per line; EOF to stop)",
+        file=sys.stderr,
+        flush=True,
+    )
+    served = serve_loop(gateway, sys.stdin, sys.stdout)
+    print(f"[serve] done, {served} envelope(s)", file=sys.stderr)
+    gateway.close()
     return 0
 
 

@@ -153,6 +153,8 @@ class Trainer:
 
 def predict_batched(model, inputs: np.ndarray, batch_size: int = 256) -> np.ndarray:
     """Deterministic batched forward pass with dropout disabled."""
+    if batch_size < 1:
+        raise ValueError(f"batch_size must be at least 1, got {batch_size}")
     model.eval()
     inputs = np.asarray(inputs, dtype=np.float64)
     outputs = []

@@ -16,7 +16,13 @@ See ``examples/multi_user_service.py`` for an end-to-end walkthrough and
 
 from .report import AdaptationReport
 from .serialization import to_jsonable
-from .service import AdaptationService
+from .service import AdaptationService, canonical_target_id
 from .store import ResultStore
 
-__all__ = ["AdaptationReport", "AdaptationService", "ResultStore", "to_jsonable"]
+__all__ = [
+    "AdaptationReport",
+    "AdaptationService",
+    "ResultStore",
+    "canonical_target_id",
+    "to_jsonable",
+]

@@ -43,7 +43,20 @@ from ..nn.models import RegressionModel
 from ..nn.trainer import predict_batched
 from .report import AdaptationReport
 
-__all__ = ["AdaptationService"]
+__all__ = ["AdaptationService", "canonical_target_id"]
+
+
+def canonical_target_id(target_id: object) -> str:
+    """The canonical string form of a target identifier.
+
+    Targets arrive as whatever the caller has at hand — ints from a user
+    table, strings from a JSON request — and ``7`` and ``"7"`` must name the
+    same target everywhere (reports, cached models, seeds, shard placement).
+    Every public entry point of the runtime, streaming, and serving layers
+    funnels ids through this one helper instead of scattering ``str(...)``
+    calls that are easy to miss.
+    """
+    return target_id if isinstance(target_id, str) else str(target_id)
 
 
 class AdaptationService:
@@ -130,7 +143,7 @@ class AdaptationService:
         Derived from a stable hash of the target id mixed with ``base_seed``
         (``hash()`` would change between interpreter runs).
         """
-        digest = hashlib.sha256(str(target_id).encode("utf-8")).digest()
+        digest = hashlib.sha256(canonical_target_id(target_id).encode("utf-8")).digest()
         return (int.from_bytes(digest[:8], "little") ^ self.base_seed) % (2**63)
 
     # ------------------------------------------------------------------
@@ -163,7 +176,7 @@ class AdaptationService:
             The JSON-serializable summary; the adapted model itself is
             retrievable via :meth:`model_for` while cached.
         """
-        target_id = str(target_id)
+        target_id = canonical_target_id(target_id)
         effective_seed = self.target_seed(target_id) if seed is None else int(seed)
         report, outcome = self._run_adaptation(target_id, inputs, effective_seed)
         self._store_result(target_id, report, outcome.target_model)
@@ -238,10 +251,13 @@ class AdaptationService:
         if jobs < 1:
             raise ValueError("jobs must be at least 1")
         if jobs == 1 or len(items) <= 1:
-            return {str(tid): self.adapt(tid, data) for tid, data in items}
+            return {canonical_target_id(tid): self.adapt(tid, data) for tid, data in items}
         with ThreadPoolExecutor(max_workers=jobs) as pool:
             futures = [pool.submit(self.adapt, tid, data) for tid, data in items]
-            return {str(tid): future.result() for (tid, _), future in zip(items, futures)}
+            return {
+                canonical_target_id(tid): future.result()
+                for (tid, _), future in zip(items, futures)
+            }
 
     # ------------------------------------------------------------------
     # Lookup
@@ -270,7 +286,7 @@ class AdaptationService:
         self, target_id: str
     ) -> tuple[RegressionModel, threading.Lock] | None:
         """Atomically resolve a cached model together with its forward lock."""
-        target_id = str(target_id)
+        target_id = canonical_target_id(target_id)
         with self._lock:
             entry = self._models.get(target_id)
             if entry is not None:
@@ -291,9 +307,29 @@ class AdaptationService:
         entry = self._model_and_lock(target_id)
         if entry is None:
             if required:
-                raise self._missing_model_error(str(target_id))
+                raise self._missing_model_error(canonical_target_id(target_id))
             return None
         return entry[0]
+
+    def _predict_entry(
+        self, target_id: str, strict: bool = False
+    ) -> tuple[RegressionModel, threading.Lock, bool]:
+        """Resolve the model a prediction for ``target_id`` must run on.
+
+        Returns ``(model, forward_lock, fallback)`` where ``fallback`` says
+        the shared source model was substituted for a missing adapted model.
+        This is the seam the serving gateway's micro-batcher shares with
+        :meth:`predict`: both resolve requests to the same model instances,
+        so coalesced and per-request predictions are computed on identical
+        parameters.
+        """
+        entry = self._model_and_lock(target_id)
+        if entry is None:
+            if strict:
+                raise self._missing_model_error(canonical_target_id(target_id))
+            return self._source_model, self._forward_lock, True
+        model, forward_lock = entry
+        return model, forward_lock, False
 
     def predict(
         self,
@@ -313,23 +349,20 @@ class AdaptationService:
 
         Thread-safe: forwards are serialized under a lock because the layers
         cache per-call state (a concurrent forward on a shared model would
-        corrupt it).  For parallel serving throughput, take :meth:`model_for`
-        copies into per-worker hands instead.
+        corrupt it).  For parallel serving throughput, go through the
+        :class:`~repro.serve.Gateway` (which micro-batches across targets)
+        or take :meth:`model_for` copies into per-worker hands.
         """
-        entry = self._model_and_lock(target_id)
-        if entry is None:
-            if strict:
-                raise self._missing_model_error(str(target_id))
-            with self._forward_lock:
-                return predict_batched(self._source_model, inputs, batch_size)
-        model, forward_lock = entry
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be at least 1, got {batch_size}")
+        model, forward_lock, _ = self._predict_entry(target_id, strict=strict)
         with forward_lock:
             return predict_batched(model, inputs, batch_size)
 
     def report_for(self, target_id: str) -> AdaptationReport | None:
         """The stored report for ``target_id`` (survives model eviction)."""
         with self._lock:
-            return self._reports.get(str(target_id))
+            return self._reports.get(canonical_target_id(target_id))
 
     def reports(self) -> dict[str, AdaptationReport]:
         """All reports, keyed by target id."""

@@ -1,0 +1,53 @@
+"""The serving gateway: one typed front door over the adaptation runtime.
+
+This package is the client-facing API of the reproduction's serving story:
+
+* :mod:`repro.serve.protocol` — the typed request types
+  (:class:`AdaptRequest`, :class:`PredictRequest`, :class:`StreamRequest`,
+  :class:`ReportRequest`), the versioned :class:`Envelope` response, and
+  the stable JSON wire codec behind them;
+* :mod:`repro.serve.gateway` — the :class:`Gateway` facade: constructed
+  from registry names (task + scheme) or explicit objects, owning sharded
+  adaptation services with deterministic rendezvous placement and
+  per-shard worker pools, serving everything through ``submit`` /
+  ``submit_many`` / ``submit_async``;
+* :mod:`repro.serve.batching` — cross-target micro-batched prediction:
+  concurrent predicts that share a model instance are deduped and stacked
+  into coalesced forwards, bit-identical to per-request predicts;
+* :mod:`repro.serve.loop` — the JSON-lines request loop behind
+  ``python -m repro.cli serve``.
+
+See ``examples/gateway_serving.py`` for an end-to-end walkthrough and the
+README's "Serving" section for the wire schema.
+"""
+
+from .batching import BatchPolicy
+from .gateway import Gateway
+from .loop import serve_lines, serve_loop
+from .protocol import (
+    SCHEMA,
+    AdaptRequest,
+    Envelope,
+    PredictRequest,
+    ReportRequest,
+    Request,
+    StreamRequest,
+    decode_request,
+    encode_request,
+)
+
+__all__ = [
+    "SCHEMA",
+    "AdaptRequest",
+    "BatchPolicy",
+    "Envelope",
+    "Gateway",
+    "PredictRequest",
+    "ReportRequest",
+    "Request",
+    "StreamRequest",
+    "decode_request",
+    "encode_request",
+    "serve_lines",
+    "serve_loop",
+]

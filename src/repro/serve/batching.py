@@ -1,0 +1,201 @@
+"""Cross-target micro-batched prediction.
+
+A bursty multi-user load hands the gateway many small
+:class:`~repro.serve.PredictRequest`\\ s at once, and most of them resolve to
+the *same* model instance: every never-adapted (or evicted) target falls back
+to the shard's shared source model, and a hot target's own bursts all hit its
+cached adapted model.  Running those forwards one request at a time pays the
+Python/numpy per-layer dispatch cost once per request and serializes on the
+model's forward lock; this module coalesces them instead.
+
+Coalescing happens in two tiers:
+
+* **Dedup** — requests whose payloads are byte-identical (duplicate-target
+  bursts: retries, replica fan-out, dashboard polling) are computed once and
+  the result fanned out.  Bit-identical by construction — it *is* the same
+  forward — whatever the platform.
+* **Tiled stacking** — distinct sub-batch payloads for one model are packed,
+  back to back, into fixed-shape tiles of exactly ``tile_rows`` rows (the
+  last tile zero-padded) and each tile runs as one forward.  The fixed shape
+  is the whole trick: a BLAS kernel picks its blocking from the gemm shape,
+  so forwarding the *same row* in differently-sized batches can drift by an
+  ulp — but inside a fixed ``(tile_rows, features)`` forward every output
+  row depends only on its own input row, and repacking rows across tiles
+  reproduces them bit for bit (pinned by ``tests/serve/test_gateway.py``).
+  Because the gateway runs *single* predict requests through the very same
+  tiled executor, a coalesced burst is **bit-identical to per-request
+  submits by construction** — micro-batching only changes how many rows
+  share a tile, never the arithmetic of any row.
+
+Payloads at or above their request's ``batch_size`` gain nothing from tiling
+(they already amortize dispatch) and run verbatim through
+:func:`~repro.nn.trainer.predict_batched` — for those, the gateway's output
+is bitwise the legacy :meth:`~repro.runtime.AdaptationService.predict`.  For
+sub-batch payloads the tiled path may differ from that *legacy* path by
+float rounding (the shape-dependence above, ~1 ulp); callers that need the
+legacy bits exactly can serve with ``BatchPolicy(mode="dedup")``, which
+coalesces duplicates only and keeps every forward request-shaped.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..nn.trainer import predict_batched
+
+__all__ = ["BatchPolicy", "PredictPlan", "run_model_group"]
+
+
+@dataclass(frozen=True)
+class BatchPolicy:
+    """Knobs of the prediction micro-batcher.
+
+    Attributes
+    ----------
+    mode:
+        ``"stack"`` (dedup + fixed-shape tiled stacking, the default),
+        ``"dedup"`` (only byte-identical payloads coalesce; every forward
+        stays request-shaped, matching the legacy service path bit for
+        bit), or ``"off"`` (plain per-request execution; the gateway then
+        only saves the per-request lock round-trips).
+    tile_rows:
+        Rows per fixed-shape tile in ``"stack"`` mode.  Small enough that a
+        lone request padded to one tile costs about as much as its own
+        forward, large enough that a burst of one-row requests collapses
+        into few forwards.
+    """
+
+    mode: str = "stack"
+    tile_rows: int = 32
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("stack", "dedup", "off"):
+            raise ValueError(
+                f"mode must be 'stack', 'dedup' or 'off', got {self.mode!r}"
+            )
+        if self.tile_rows < 1:
+            raise ValueError("tile_rows must be at least 1")
+
+
+@dataclass
+class PredictPlan:
+    """One prediction request resolved against its shard's model cache.
+
+    Built by the gateway (which owns target→model resolution); consumed by
+    :func:`run_model_group` grouped per ``(model, batch_size)``.
+    """
+
+    index: int  # position in the submit_many input order
+    target_id: str
+    inputs: np.ndarray
+    batch_size: int
+    fallback: bool  # source model substituted for a missing adapted model
+    model: object = None  # resolved model instance the forward must run on
+    lock: object = None  # that model's forward lock
+    output: np.ndarray | None = None
+    coalesced: bool = False  # answered by a shared (deduped/tiled) forward
+    error: BaseException | None = None  # forward failure, attributed per plan
+
+
+def _payload_key(inputs: np.ndarray) -> tuple:
+    """Hashable identity of a payload's bytes (dedup key).
+
+    Hashing is ~GB/s while a forward is orders of magnitude slower, so
+    digesting every payload costs noise compared to the forwards it saves.
+    """
+    data = np.ascontiguousarray(inputs)
+    digest = hashlib.blake2b(data.tobytes(), digest_size=16).digest()
+    return (data.shape, digest)
+
+
+def run_model_group(model, lock, plans: list[PredictPlan], policy: BatchPolicy) -> None:
+    """Execute all plans that resolved to one model instance, coalescing them.
+
+    Fills each plan's ``output`` in place.  The model's forward lock is taken
+    once for the whole group (layers cache per-forward state, so a model
+    instance must never forward from two threads at once).
+
+    The gateway routes *single* predict requests through here too, so the
+    per-request and micro-batched executions are one code path — which is
+    what makes their outputs bit-identical rather than merely close.
+    """
+    if not plans:
+        return
+    if policy.mode == "off":
+        with lock:
+            for plan in plans:
+                plan.output = predict_batched(model, plan.inputs, plan.batch_size)
+        return
+
+    # Tier 1 — dedup: one representative per byte-identical payload.
+    unique: dict[tuple, list[PredictPlan]] = {}
+    for plan in plans:
+        unique.setdefault(_payload_key(plan.inputs), []).append(plan)
+
+    # Tier 2 — tiling: representatives below their batch_size share
+    # fixed-shape tiles; bigger payloads run verbatim (their per-request
+    # chunking already amortizes dispatch, and staying on the legacy path
+    # keeps them bitwise equal to AdaptationService.predict).
+    solo: list[PredictPlan] = []
+    tiled: dict[tuple, list[PredictPlan]] = {}
+    for group in unique.values():
+        representative = group[0]
+        if policy.mode == "stack" and len(representative.inputs) < representative.batch_size:
+            key = representative.inputs.shape[1:]
+            tiled.setdefault(key, []).append(representative)
+        else:
+            solo.append(representative)
+
+    with lock:
+        for plan in solo:
+            plan.output = predict_batched(model, plan.inputs, plan.batch_size)
+        for feature_shape, members in tiled.items():
+            _run_tiled(model, feature_shape, members, policy.tile_rows)
+
+    # Fan results out to the deduped duplicates.
+    for group in unique.values():
+        representative = group[0]
+        if len(group) > 1:
+            representative.coalesced = True
+        for duplicate in group[1:]:
+            duplicate.output = representative.output
+            duplicate.coalesced = True
+
+
+def _run_tiled(
+    model, feature_shape: tuple, members: list[PredictPlan], tile_rows: int
+) -> None:
+    """Pack payload rows into fixed ``(tile_rows, ...)`` forwards and scatter back.
+
+    Rows are laid out back to back across tiles with no per-payload
+    alignment; the final tile is zero-padded up to the fixed shape.  Every
+    forward therefore has the exact same shape, which is what pins each
+    row's bits independently of how many requests shared the tile.
+    """
+    total_rows = sum(len(plan.inputs) for plan in members)
+    n_tiles = -(-total_rows // tile_rows)
+    stacked = np.zeros((n_tiles * tile_rows,) + feature_shape, dtype=np.float64)
+    start = 0
+    for plan in members:
+        stacked[start : start + len(plan.inputs)] = plan.inputs
+        start += len(plan.inputs)
+    outputs = [
+        model_forward_eval(model, stacked[offset : offset + tile_rows])
+        for offset in range(0, len(stacked), tile_rows)
+    ]
+    flat = np.concatenate(outputs, axis=0)
+    shared = len(members) > 1
+    start = 0
+    for plan in members:
+        plan.output = flat[start : start + len(plan.inputs)].copy()
+        plan.coalesced = plan.coalesced or shared
+        start += len(plan.inputs)
+
+
+def model_forward_eval(model, inputs: np.ndarray) -> np.ndarray:
+    """One deterministic forward in evaluation mode (dropout disabled)."""
+    model.eval()
+    return model.forward(inputs)

@@ -1,0 +1,517 @@
+"""The serving gateway: one front door for adapt / predict / stream / report.
+
+The runtime grew three disjoint client surfaces — the batch
+:class:`~repro.runtime.AdaptationService`, the
+:class:`~repro.streaming.StreamingAdaptationService`, and ad-hoc CLI
+subcommands — each with its own kwargs and return shapes.  The
+:class:`Gateway` composes them behind the typed request/response protocol of
+:mod:`repro.serve.protocol`:
+
+* it is constructed either from **names** (a task and a scheme, resolved
+  through the task and strategy registries) or from **explicit objects**
+  (a source model, calibration, strategy);
+* it owns one or more service **shards**, each a
+  :class:`StreamingAdaptationService` (or plain ``AdaptationService`` when
+  no calibration is available) with its own worker pool; targets are placed
+  on shards by deterministic highest-random-weight (rendezvous) hashing, so
+  the same target lands on the same shard in every process — and growing
+  the shard count only ever moves targets **to the new shards**, never
+  reshuffles them among the old ones;
+* every interaction goes through one ``submit()`` / ``submit_many()``
+  surface (plus a future-returning ``submit_async``), and concurrent
+  :class:`~repro.serve.PredictRequest`\\ s for targets sharing a model
+  instance are answered by micro-batched forwards
+  (:mod:`repro.serve.batching`) — bit-identical to submitting the same
+  requests one at a time (single submits run through the same tiled
+  executor), measurably faster under bursty load
+  (``benchmarks/test_bench_serve.py``).
+
+The pre-existing service constructors keep working untouched; the gateway is
+a facade over them, not a replacement.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..core.adapter import SourceCalibration
+from ..core.config import TasfarConfig
+from ..engine.strategy import AdaptationStrategy
+from ..nn.losses import Loss
+from ..nn.models import RegressionModel
+from ..runtime.service import AdaptationService, canonical_target_id
+from ..streaming.service import StreamingAdaptationService
+from .batching import BatchPolicy, PredictPlan, run_model_group
+from .protocol import (
+    AdaptRequest,
+    Envelope,
+    PredictRequest,
+    ReportRequest,
+    Request,
+    StreamRequest,
+)
+
+__all__ = ["Gateway"]
+
+
+def _placement_weight(target_id: str, shard: int) -> int:
+    """Stable rendezvous weight of ``(target, shard)`` (process-independent)."""
+    digest = hashlib.sha256(f"{target_id}\x00shard{shard}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "little")
+
+
+class Gateway:
+    """Route typed serving requests onto sharded adaptation services.
+
+    Parameters
+    ----------
+    source_model:
+        The trained source model shared by every shard (each shard's service
+        keeps its own pristine deep copy, as before).
+    calibration:
+        TASFAR source calibration.  With a calibration the shards are
+        :class:`~repro.streaming.StreamingAdaptationService` instances and
+        :class:`~repro.serve.StreamRequest` is served; without one the
+        shards are batch services and stream requests come back as error
+        envelopes.
+    config, loss, strategy:
+        Forwarded to every shard service — the same strategy object is
+        shared (strategies are stateless after ``prepare``).
+    n_shards:
+        Number of service shards.  Each shard has its own model cache,
+        worker pool, and (for streaming) per-target stream state.
+    shard_workers:
+        Worker threads per shard pool.
+    max_cached_models:
+        LRU capacity *per shard*.
+    base_seed:
+        Seeding base forwarded to every shard; per-target seeds depend only
+        on ``(target_id, base_seed)``, so a fleet adapts bit-identically
+        whatever the shard count.
+    batch_policy:
+        Micro-batching knobs (:class:`~repro.serve.batching.BatchPolicy`);
+        the default stacks and dedups.
+    service_options:
+        Extra keyword arguments forwarded to every shard service
+        constructor (e.g. ``min_adapt_events`` / ``readapt_budget`` for the
+        streaming shards).
+    """
+
+    def __init__(
+        self,
+        source_model: RegressionModel,
+        calibration: SourceCalibration | None = None,
+        config: TasfarConfig | None = None,
+        loss: Loss | None = None,
+        *,
+        strategy: AdaptationStrategy | None = None,
+        n_shards: int = 1,
+        shard_workers: int = 4,
+        max_cached_models: int = 8,
+        base_seed: int = 0,
+        batch_policy: BatchPolicy | None = None,
+        service_options: dict | None = None,
+    ) -> None:
+        if n_shards < 1:
+            raise ValueError("n_shards must be at least 1")
+        if shard_workers < 1:
+            raise ValueError("shard_workers must be at least 1")
+        self.batch_policy = batch_policy if batch_policy is not None else BatchPolicy()
+        options = dict(service_options or {})
+        common = dict(
+            config=config,
+            loss=loss,
+            strategy=strategy,
+            max_cached_models=max_cached_models,
+            base_seed=base_seed,
+        )
+        self.streaming = calibration is not None
+        self._shards: list[AdaptationService] = []
+        for _ in range(n_shards):
+            if self.streaming:
+                service: AdaptationService = StreamingAdaptationService(
+                    source_model, calibration, **common, **options
+                )
+            else:
+                if options:
+                    raise ValueError(
+                        "service_options requires a calibration (streaming shards); "
+                        f"got {sorted(options)} for batch shards"
+                    )
+                service = AdaptationService(source_model, calibration, **common)
+            self._shards.append(service)
+        self._pools = [
+            ThreadPoolExecutor(
+                max_workers=shard_workers, thread_name_prefix=f"gateway-shard-{index}"
+            )
+            for index in range(n_shards)
+        ]
+
+    # ------------------------------------------------------------------
+    # Construction from registry names
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_task(
+        cls,
+        task: str,
+        scheme: str = "tasfar",
+        scale: str = "small",
+        seed: int = 0,
+        *,
+        max_source_samples: int = 400,
+        **kwargs,
+    ) -> "Gateway":
+        """Build a gateway from a task name and a scheme name.
+
+        Resolves ``task`` through the :class:`~repro.data.TaskSpec` registry
+        (building or fetching the cached bundle: data, trained source model,
+        calibration) and ``scheme`` through the strategy registry, prepares
+        the strategy on the bundle's source resources, and hands both to the
+        regular constructor.  Remaining keyword arguments are constructor
+        parameters (``n_shards``, ``batch_policy``, ``service_options``, ...).
+        """
+        from ..engine import create_strategy
+        from ..experiments import get_bundle
+
+        bundle = get_bundle(task, scale, seed)
+        strategy = create_strategy(
+            scheme,
+            config=TasfarConfig(seed=seed),
+            epochs=bundle.scale.baseline_epochs,
+            seed=seed,
+        ).prepare(
+            bundle.source_model,
+            bundle.resources(max_source_samples=max_source_samples, seed=seed),
+        )
+        kwargs.setdefault("config", TasfarConfig(seed=seed))
+        kwargs.setdefault("base_seed", seed)
+        return cls(
+            bundle.source_model,
+            bundle.calibration,
+            strategy=strategy,
+            **kwargs,
+        )
+
+    # ------------------------------------------------------------------
+    # Sharding
+    # ------------------------------------------------------------------
+    @property
+    def n_shards(self) -> int:
+        return len(self._shards)
+
+    def shard_for(self, target_id: str) -> int:
+        """Deterministic shard index for a target (rendezvous hashing).
+
+        A pure function of ``(canonical target id, shard index)`` digests —
+        independent of the process, the gateway instance, and insertion
+        order.  Against a larger shard count, a target either keeps its
+        shard or moves to one of the *new* shards; it never reshuffles among
+        the surviving ones.
+        """
+        target_id = canonical_target_id(target_id)
+        return max(
+            range(self.n_shards), key=lambda shard: _placement_weight(target_id, shard)
+        )
+
+    def service_for(self, target_id: str) -> AdaptationService:
+        """The shard service owning ``target_id``."""
+        return self._shards[self.shard_for(target_id)]
+
+    @property
+    def shards(self) -> tuple[AdaptationService, ...]:
+        """The shard services, by shard index (read-only view)."""
+        return tuple(self._shards)
+
+    # ------------------------------------------------------------------
+    # Submission surface
+    # ------------------------------------------------------------------
+    def submit(self, request: Request) -> Envelope:
+        """Handle one request synchronously and return its envelope."""
+        return self.submit_many([request])[0]
+
+    def submit_async(self, request: Request) -> "Future[Envelope]":
+        """Handle one request on its shard's pool; returns a future envelope.
+
+        Single-request dispatch skips micro-batching (there is nothing to
+        coalesce with); burst callers should prefer :meth:`submit_many`,
+        which coalesces across the whole burst.
+        """
+        if isinstance(request, ReportRequest) and request.target_id is None:
+            pool = self._pools[0]
+        else:
+            pool = self._pools[self.shard_for(request.target_id)]
+        return pool.submit(self._handle_one, request)
+
+    def submit_many(self, requests: Sequence[Request] | Iterable[Request]) -> list[Envelope]:
+        """Handle a batch of requests, micro-batching the predictions.
+
+        Requests are partitioned per shard and handled on the shard pools;
+        :class:`PredictRequest`\\ s that resolve to the same model instance
+        (same shard, same ``batch_size``) are answered by coalesced forwards.
+        Envelopes come back in the input order, errors as error envelopes —
+        one bad request never poisons the batch.
+        """
+        requests = list(requests)
+        envelopes: list[Envelope | None] = [None] * len(requests)
+        predict_by_shard: dict[int, list[tuple[int, PredictRequest]]] = {}
+        futures: list[tuple[int, Future]] = []
+        for index, request in enumerate(requests):
+            if isinstance(request, PredictRequest):
+                shard = self.shard_for(request.target_id)
+                predict_by_shard.setdefault(shard, []).append((index, request))
+            elif isinstance(request, (AdaptRequest, StreamRequest, ReportRequest)):
+                if isinstance(request, ReportRequest) and request.target_id is None:
+                    pool = self._pools[0]
+                else:
+                    pool = self._pools[self.shard_for(request.target_id)]
+                futures.append((index, pool.submit(self._handle_one, request)))
+            else:
+                envelopes[index] = Envelope.failure(
+                    "unknown",
+                    None,
+                    TypeError(f"unsupported request type {type(request).__name__}"),
+                )
+        predict_futures = [
+            self._pools[shard].submit(self._handle_predict_group, shard, group)
+            for shard, group in predict_by_shard.items()
+        ]
+        for index, future in futures:
+            envelopes[index] = future.result()
+        for future in predict_futures:
+            for index, envelope in future.result():
+                envelopes[index] = envelope
+        assert all(envelope is not None for envelope in envelopes)
+        return envelopes  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
+    # Handlers
+    # ------------------------------------------------------------------
+    def _handle_one(self, request: Request) -> Envelope:
+        start = time.perf_counter()
+        try:
+            if isinstance(request, AdaptRequest):
+                payload = self._do_adapt(request)
+            elif isinstance(request, PredictRequest):
+                payload = self._do_predict(request)
+            elif isinstance(request, StreamRequest):
+                payload = self._do_stream(request)
+            elif isinstance(request, ReportRequest):
+                payload = self._do_report(request)
+            else:  # pragma: no cover - submit_many filters these out
+                raise TypeError(f"unsupported request type {type(request).__name__}")
+        except Exception as exc:
+            return Envelope.failure(
+                request.kind, request.target_id, exc, time.perf_counter() - start
+            )
+        return Envelope.success(
+            request.kind, request.target_id, payload, time.perf_counter() - start
+        )
+
+    def _do_adapt(self, request: AdaptRequest) -> dict:
+        service = self.service_for(request.target_id)
+        report = service.adapt(request.target_id, request.inputs, seed=request.seed)
+        return {"report": report.to_dict(), "shard": self.shard_for(request.target_id)}
+
+    def _do_predict(self, request: PredictRequest) -> dict:
+        # Single requests go through the same executor as coalesced bursts
+        # (one plan, one group): sharing the code path is what makes
+        # per-request and micro-batched outputs bit-identical.
+        service = self.service_for(request.target_id)
+        model, lock, fallback = service._predict_entry(request.target_id, request.strict)
+        plan = PredictPlan(
+            index=0,
+            target_id=request.target_id,
+            inputs=request.inputs,
+            batch_size=request.batch_size,
+            fallback=fallback,
+            model=model,
+            lock=lock,
+        )
+        run_model_group(model, lock, [plan], self.batch_policy)
+        return {
+            "prediction": plan.output,
+            "n_rows": int(len(plan.output)),
+            "model": "source" if fallback else "adapted",
+            "coalesced": bool(plan.coalesced),
+        }
+
+    def _do_stream(self, request: StreamRequest) -> dict:
+        service = self.service_for(request.target_id)
+        if not isinstance(service, StreamingAdaptationService):
+            raise TypeError(
+                "stream requests need streaming shards: construct the Gateway with a "
+                "calibration (streaming requires the source confidence threshold)"
+            )
+        event = service.ingest(request.target_id, request.batch)
+        return {"event": event.to_dict(), "shard": self.shard_for(request.target_id)}
+
+    def _do_report(self, request: ReportRequest) -> dict:
+        if request.target_id is None:
+            reports = self.reports()
+            return {"reports": {name: report.to_dict() for name, report in reports.items()}}
+        service = self.service_for(request.target_id)
+        report = service.report_for(request.target_id)
+        payload: dict = {
+            "report": None if report is None else report.to_dict(),
+            "shard": self.shard_for(request.target_id),
+        }
+        if isinstance(service, StreamingAdaptationService):
+            payload["stream"] = service.stream_stats(request.target_id)
+        return payload
+
+    def _handle_predict_group(
+        self, shard: int, group: list[tuple[int, PredictRequest]]
+    ) -> list[tuple[int, Envelope]]:
+        """Serve one shard's predict burst with micro-batched forwards."""
+        start = time.perf_counter()
+        service = self._shards[shard]
+        results: list[tuple[int, Envelope]] = []
+        plans: list[PredictPlan] = []
+        by_index: dict[int, PredictPlan] = {}
+        for index, request in group:
+            try:
+                model, lock, fallback = service._predict_entry(
+                    request.target_id, request.strict
+                )
+            except Exception as exc:
+                results.append(
+                    (
+                        index,
+                        Envelope.failure(
+                            request.kind,
+                            request.target_id,
+                            exc,
+                            time.perf_counter() - start,
+                        ),
+                    )
+                )
+                continue
+            plan = PredictPlan(
+                index=index,
+                target_id=request.target_id,
+                inputs=request.inputs,
+                batch_size=request.batch_size,
+                fallback=fallback,
+                model=model,
+                lock=lock,
+            )
+            plans.append(plan)
+            by_index[index] = plan
+
+        # Group by (model instance, batch_size): dedup and stacking must
+        # never mix chunkings, and a model instance must forward under its
+        # own lock exactly once per group.
+        model_groups: dict[tuple[int, int], list[PredictPlan]] = {}
+        for plan in plans:
+            model_groups.setdefault((id(plan.model), plan.batch_size), []).append(plan)
+        for grouped in model_groups.values():
+            try:
+                run_model_group(
+                    grouped[0].model, grouped[0].lock, grouped, self.batch_policy
+                )
+            except Exception:
+                # A coalesced forward cannot attribute its failure (one bad
+                # payload fails the whole tile), so degrade to per-plan
+                # execution: good requests still get answers, each bad one
+                # gets its own error envelope instead of poisoning the batch.
+                for plan in grouped:
+                    plan.output, plan.coalesced = None, False
+                    try:
+                        run_model_group(plan.model, plan.lock, [plan], self.batch_policy)
+                    except Exception as exc:
+                        plan.error = exc
+
+        duration = time.perf_counter() - start
+        for index, request in group:
+            plan = by_index.get(index)
+            if plan is None:
+                continue  # already answered with an error envelope
+            if plan.error is not None or plan.output is None:
+                error = plan.error if plan.error is not None else RuntimeError(
+                    "prediction produced no output"
+                )
+                results.append(
+                    (index, Envelope.failure(request.kind, request.target_id, error, duration))
+                )
+                continue
+            results.append(
+                (
+                    index,
+                    Envelope.success(
+                        request.kind,
+                        request.target_id,
+                        {
+                            "prediction": plan.output,
+                            "n_rows": int(len(plan.output)),
+                            "model": "source" if plan.fallback else "adapted",
+                            "coalesced": bool(plan.coalesced),
+                        },
+                        duration,
+                    ),
+                )
+            )
+        return results
+
+    # ------------------------------------------------------------------
+    # Fleet-level conveniences (thin wrappers over the shard services)
+    # ------------------------------------------------------------------
+    def adapt(self, target_id: str, inputs: np.ndarray, seed: int | None = None):
+        """Adapt one target on its shard; returns the report (raises on error)."""
+        return self.service_for(target_id).adapt(target_id, inputs, seed=seed)
+
+    def predict(self, target_id: str, inputs: np.ndarray, **kwargs) -> np.ndarray:
+        """Predict for one target through the *legacy* service path.
+
+        This is :meth:`AdaptationService.predict` on the owning shard —
+        request-shaped forwards, unchanged semantics.  The gateway's own
+        submit paths run sub-batch payloads through fixed-shape tiles
+        instead (see :mod:`repro.serve.batching`), which can differ from
+        this path by float rounding; within the submit surface everything
+        is bit-identical.
+        """
+        return self.service_for(target_id).predict(target_id, inputs, **kwargs)
+
+    def model_for(self, target_id: str, required: bool = False):
+        """The cached adapted model for ``target_id`` from its shard."""
+        return self.service_for(target_id).model_for(target_id, required=required)
+
+    def report_for(self, target_id: str):
+        """The stored report for ``target_id`` from its shard."""
+        return self.service_for(target_id).report_for(target_id)
+
+    def reports(self) -> dict:
+        """All reports across all shards, keyed by target id."""
+        merged: dict = {}
+        for service in self._shards:
+            merged.update(service.reports())
+        return merged
+
+    def stream_stats(self, target_id: str) -> dict:
+        """Per-target streaming counters from the owning shard."""
+        service = self.service_for(target_id)
+        if not isinstance(service, StreamingAdaptationService):
+            raise TypeError("this gateway has batch shards (no calibration): no streams")
+        return service.stream_stats(target_id)
+
+    def events_for(self, target_id: str) -> list:
+        """Per-target stream event log from the owning shard."""
+        service = self.service_for(target_id)
+        if not isinstance(service, StreamingAdaptationService):
+            raise TypeError("this gateway has batch shards (no calibration): no streams")
+        return service.events_for(target_id)
+
+    def close(self) -> None:
+        """Shut the shard worker pools down (idempotent)."""
+        for pool in self._pools:
+            pool.shutdown(wait=True)
+
+    def __enter__(self) -> "Gateway":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,67 @@
+"""JSON-lines request loop: the ``repro serve`` front door.
+
+One request per input line, one envelope per output line — the whole system
+becomes drivable from outside Python with nothing but a pipe::
+
+    $ printf '%s\n' \
+        '{"kind": "adapt", "target_id": "u1", "inputs": [[0.1, 0.2], [0.3, 0.4]]}' \
+        '{"kind": "predict", "target_id": "u1", "inputs": [[0.1, 0.2]]}' \
+      | python -m repro.cli serve --task housing --scale tiny
+
+Malformed lines (bad JSON, unknown kinds, invalid fields) are answered with
+error envelopes and the loop keeps going; EOF ends it.  Blank lines are
+skipped so hand-written scripts can breathe.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Iterable
+
+from .gateway import Gateway
+from .protocol import Envelope, decode_request
+
+__all__ = ["serve_lines", "serve_loop"]
+
+
+def serve_lines(gateway: Gateway, lines: Iterable[str]) -> Iterable[Envelope]:
+    """Decode each JSON line into a request, submit it, yield the envelope.
+
+    Decoding failures never raise: they yield an error envelope of kind
+    ``"invalid"`` so one garbled client line cannot take the loop down.
+    """
+    for line in lines:
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            payload = json.loads(line)
+        except json.JSONDecodeError as exc:
+            yield Envelope.failure("invalid", None, exc)
+            continue
+        try:
+            request = decode_request(payload)
+        except Exception as exc:
+            # decode_request raises ValueError for everything it foresees;
+            # catching broadly keeps an unforeseen malformation from taking
+            # the whole loop (and every queued client request) down.
+            target = payload.get("target_id") if isinstance(payload, dict) else None
+            yield Envelope.failure(
+                "invalid", target if isinstance(target, str) else None, exc
+            )
+            continue
+        yield gateway.submit(request)
+
+
+def serve_loop(gateway: Gateway, stdin: IO[str], stdout: IO[str]) -> int:
+    """Run the request loop over text streams; returns the envelope count.
+
+    Envelopes are flushed per line so an interactive client (or a pipe with
+    a slow producer) sees each answer as soon as it exists.
+    """
+    served = 0
+    for envelope in serve_lines(gateway, stdin):
+        stdout.write(envelope.to_json() + "\n")
+        stdout.flush()
+        served += 1
+    return served

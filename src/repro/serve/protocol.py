@@ -1,0 +1,300 @@
+"""Typed request/response protocol of the serving gateway.
+
+Every interaction with the :class:`~repro.serve.Gateway` is one of four
+request types — :class:`AdaptRequest`, :class:`PredictRequest`,
+:class:`StreamRequest`, :class:`ReportRequest` — and every answer is an
+:class:`Envelope`: a versioned, JSON-serializable record carrying either a
+kind-specific ``payload`` or a structured ``error``, never an exception.
+
+The wire form is deliberately boring: one JSON object per request with a
+``kind`` discriminator, one JSON object per envelope.  :func:`decode_request`
+/ :func:`encode_request` and :meth:`Envelope.to_dict` /
+:meth:`Envelope.from_dict` are the only codec; the ``repro serve`` JSON-lines
+front door (:mod:`repro.serve.loop`) is a thin loop over them.
+
+Schema versioning
+-----------------
+Every envelope stamps :data:`SCHEMA` (currently ``"repro.serve/v1"``).
+Additive payload fields do not bump the version; renaming or removing a
+field, or changing a field's meaning, does.  Clients should dispatch on the
+``schema`` field rather than assume the latest shape.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+import numpy as np
+
+from ..runtime.serialization import to_jsonable
+from ..runtime.service import canonical_target_id
+
+__all__ = [
+    "SCHEMA",
+    "AdaptRequest",
+    "PredictRequest",
+    "StreamRequest",
+    "ReportRequest",
+    "Request",
+    "Envelope",
+    "decode_request",
+    "encode_request",
+]
+
+#: Wire-schema version stamped on every envelope.
+SCHEMA = "repro.serve/v1"
+
+
+def _as_inputs(values: object, name: str) -> np.ndarray:
+    """Coerce a request's sample block to the float64 array the models eat."""
+    array = np.asarray(values, dtype=np.float64)
+    if array.ndim < 2 or len(array) == 0:
+        raise ValueError(
+            f"{name} must be a non-empty array of shape (n_samples, ...features), "
+            f"got shape {array.shape}"
+        )
+    return array
+
+
+@dataclass(frozen=True)
+class AdaptRequest:
+    """Adapt the source model to one target domain.
+
+    Attributes
+    ----------
+    target_id:
+        Target identifier; coerced to its canonical string form, so ``7``
+        and ``"7"`` address the same target.
+    inputs:
+        The target's unlabeled adaptation samples.
+    seed:
+        Optional explicit seed; defaults to the service's deterministic
+        per-target seed.
+    """
+
+    target_id: str
+    inputs: np.ndarray
+    seed: int | None = None
+
+    kind = "adapt"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "target_id", canonical_target_id(self.target_id))
+        object.__setattr__(self, "inputs", _as_inputs(self.inputs, "inputs"))
+
+
+@dataclass(frozen=True)
+class PredictRequest:
+    """Predict with a target's adapted model (source fallback if unknown).
+
+    Attributes
+    ----------
+    target_id:
+        Target identifier (canonicalized like :class:`AdaptRequest`).
+    inputs:
+        Samples to predict.
+    batch_size:
+        Forward chunk size; requests with equal ``batch_size`` hitting the
+        same model instance are candidates for micro-batching.
+    strict:
+        Refuse the silent source-model fallback: a missing adapted model
+        produces an error envelope instead of source predictions.
+    """
+
+    target_id: str
+    inputs: np.ndarray
+    batch_size: int = 256
+    strict: bool = False
+
+    kind = "predict"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "target_id", canonical_target_id(self.target_id))
+        object.__setattr__(self, "inputs", _as_inputs(self.inputs, "inputs"))
+        if self.batch_size < 1:
+            raise ValueError(f"batch_size must be at least 1, got {self.batch_size}")
+
+
+@dataclass(frozen=True)
+class StreamRequest:
+    """Fold one batch of a target's event stream into the streaming service."""
+
+    target_id: str
+    batch: np.ndarray
+
+    kind = "stream"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "target_id", canonical_target_id(self.target_id))
+        object.__setattr__(self, "batch", _as_inputs(self.batch, "batch"))
+
+
+@dataclass(frozen=True)
+class ReportRequest:
+    """Fetch the adaptation report (and stream stats) for one target, or all.
+
+    ``target_id=None`` asks for every stored report, fleet-wide.
+    """
+
+    target_id: str | None = None
+
+    kind = "report"
+
+    def __post_init__(self) -> None:
+        if self.target_id is not None:
+            object.__setattr__(self, "target_id", canonical_target_id(self.target_id))
+
+
+Request = AdaptRequest | PredictRequest | StreamRequest | ReportRequest
+
+_REQUEST_TYPES: dict[str, type] = {
+    cls.kind: cls for cls in (AdaptRequest, PredictRequest, StreamRequest, ReportRequest)
+}
+
+
+@dataclass
+class Envelope:
+    """Versioned response wrapper returned for every submitted request.
+
+    Attributes
+    ----------
+    ok:
+        Whether the request succeeded.  Errors are data, not exceptions:
+        a failed request yields ``ok=False`` with ``error`` filled in.
+    kind:
+        The request kind this envelope answers (``adapt`` / ``predict`` /
+        ``stream`` / ``report``).
+    target_id:
+        Canonical target id, or ``None`` for fleet-wide answers.
+    payload:
+        Kind-specific result — e.g. ``{"prediction": ..., "model":
+        "adapted"|"source", "coalesced": bool}`` for predicts, ``{"report":
+        ...}`` for adapts.  In-process the payload may hold numpy arrays;
+        the wire form (:meth:`to_dict`/:meth:`to_json`) converts them.
+    error:
+        ``{"type": ..., "message": ...}`` when ``ok`` is false.
+    duration_seconds:
+        Wall-clock cost of handling the request.  Requests answered by one
+        coalesced forward share their group's wall clock.
+    schema:
+        Wire-schema version (see module docstring).
+    """
+
+    ok: bool
+    kind: str
+    target_id: str | None = None
+    payload: dict | None = None
+    error: dict | None = None
+    duration_seconds: float = 0.0
+    schema: str = SCHEMA
+
+    @classmethod
+    def success(
+        cls,
+        kind: str,
+        target_id: str | None,
+        payload: dict,
+        duration_seconds: float = 0.0,
+    ) -> "Envelope":
+        return cls(
+            ok=True,
+            kind=kind,
+            target_id=target_id,
+            payload=payload,
+            duration_seconds=duration_seconds,
+        )
+
+    @classmethod
+    def failure(
+        cls,
+        kind: str,
+        target_id: str | None,
+        exception: BaseException,
+        duration_seconds: float = 0.0,
+    ) -> "Envelope":
+        return cls(
+            ok=False,
+            kind=kind,
+            target_id=target_id,
+            error={"type": type(exception).__name__, "message": str(exception)},
+            duration_seconds=duration_seconds,
+        )
+
+    def to_dict(self) -> dict:
+        """Plain-builtins wire form (safe for ``json.dumps``)."""
+        return {
+            "schema": self.schema,
+            "ok": bool(self.ok),
+            "kind": self.kind,
+            "target_id": self.target_id,
+            "payload": to_jsonable(self.payload),
+            "error": to_jsonable(self.error),
+            "duration_seconds": float(self.duration_seconds),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "Envelope":
+        """Rebuild an envelope from :meth:`to_dict` output."""
+        return cls(
+            ok=bool(payload["ok"]),
+            kind=str(payload["kind"]),
+            target_id=payload.get("target_id"),
+            payload=payload.get("payload"),
+            error=payload.get("error"),
+            duration_seconds=float(payload.get("duration_seconds", 0.0)),
+            schema=str(payload.get("schema", SCHEMA)),
+        )
+
+    def to_json(self) -> str:
+        """Serialize to one JSON line."""
+        return json.dumps(self.to_dict())
+
+    @classmethod
+    def from_json(cls, text: str) -> "Envelope":
+        """Deserialize from :meth:`to_json` output."""
+        return cls.from_dict(json.loads(text))
+
+
+def decode_request(payload: Mapping[str, Any]) -> Request:
+    """Build a typed request from its wire dictionary.
+
+    The ``kind`` field selects the request type; the remaining fields are
+    the dataclass fields (sample blocks as nested lists).  Unknown kinds and
+    unknown fields raise :class:`ValueError` so malformed requests fail
+    loudly at the boundary, not deep inside a service.
+    """
+    if not isinstance(payload, Mapping):
+        raise ValueError(f"request must be a JSON object, got {type(payload).__name__}")
+    data = dict(payload)
+    kind = data.pop("kind", None)
+    if not isinstance(kind, str):
+        raise ValueError(
+            f"request kind must be a string, got {type(kind).__name__}; "
+            f"expected one of {sorted(_REQUEST_TYPES)}"
+        )
+    request_type = _REQUEST_TYPES.get(kind)
+    if request_type is None:
+        raise ValueError(
+            f"unknown request kind {kind!r}; expected one of {sorted(_REQUEST_TYPES)}"
+        )
+    known = set(request_type.__dataclass_fields__)
+    unknown = {str(name) for name in data} - known
+    if unknown:
+        raise ValueError(
+            f"unknown field(s) {sorted(unknown)} for {kind!r} request; "
+            f"expected a subset of {sorted(known)}"
+        )
+    try:
+        return request_type(**data)
+    except (TypeError, ValueError) as exc:
+        raise ValueError(f"invalid {kind!r} request: {exc}") from exc
+
+
+def encode_request(request: Request) -> dict:
+    """The wire dictionary for a typed request (inverse of :func:`decode_request`)."""
+    data: dict[str, Any] = {"kind": request.kind}
+    for name in request.__dataclass_fields__:
+        data[name] = to_jsonable(getattr(request, name))
+    return data

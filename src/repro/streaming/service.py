@@ -49,7 +49,7 @@ from ..engine.strategy import AdaptationStrategy
 from ..nn.losses import Loss
 from ..nn.models import RegressionModel
 from ..runtime.report import AdaptationReport
-from ..runtime.service import AdaptationService
+from ..runtime.service import AdaptationService, canonical_target_id
 from ..uncertainty.mc_dropout import MCDropoutPredictor
 from .drift import DensityDriftMonitor, DriftDetector
 
@@ -260,7 +260,7 @@ class StreamingAdaptationService(AdaptationService):
         the :class:`StreamEvent` describing what happened; the full event
         log is available via :meth:`events_for`.
         """
-        target_id = str(target_id)
+        target_id = canonical_target_id(target_id)
         batch = np.asarray(batch, dtype=np.float64)
         if batch.ndim < 2 or len(batch) == 0:
             raise ValueError(
@@ -340,10 +340,13 @@ class StreamingAdaptationService(AdaptationService):
         if jobs < 1:
             raise ValueError("jobs must be at least 1")
         if jobs == 1 or len(items) <= 1:
-            return {str(tid): self.ingest(tid, batch) for tid, batch in items}
+            return {canonical_target_id(tid): self.ingest(tid, batch) for tid, batch in items}
         with ThreadPoolExecutor(max_workers=jobs) as pool:
             futures = [pool.submit(self.ingest, tid, batch) for tid, batch in items]
-            return {str(tid): future.result() for (tid, _), future in zip(items, futures)}
+            return {
+                canonical_target_id(tid): future.result()
+                for (tid, _), future in zip(items, futures)
+            }
 
     # ------------------------------------------------------------------
     # Internals
@@ -520,7 +523,7 @@ class StreamingAdaptationService(AdaptationService):
     def _peek_state(self, target_id: str) -> _TargetStream | None:
         """Read-only state lookup: never registers state for unknown ids."""
         with self._streams_lock:
-            return self._streams.get(str(target_id))
+            return self._streams.get(canonical_target_id(target_id))
 
     def events_for(self, target_id: str) -> list[StreamEvent]:
         """The per-target event log, oldest first (empty for unknown ids)."""
@@ -541,7 +544,7 @@ class StreamingAdaptationService(AdaptationService):
             state = _TargetStream()
         with state.lock:
             return {
-                "target_id": str(target_id),
+                "target_id": canonical_target_id(target_id),
                 "steps": state.step,
                 "total_events": state.total_events,
                 "buffered": state.n_buffered,

@@ -214,3 +214,112 @@ class TestInputs:
         service.adapt("user_00", make_targets(n_targets=1)["user_00"])
         for old, param in zip(before, model.parameters()):
             np.testing.assert_array_equal(old, param.data)
+
+
+class TestTargetIdCoercion:
+    """``7`` and ``"7"`` must be the same target on every public surface."""
+
+    def test_int_and_str_ids_share_reports_models_and_seeds(self, source):
+        service = build_service(source)
+        data = make_targets(n_targets=1)["user_00"]
+        report = service.adapt(7, data)
+        assert report.target_id == "7"
+        assert service.target_seed(7) == service.target_seed("7")
+        assert service.report_for("7") is report
+        assert service.report_for(7) is report
+        assert service.model_for("7") is service.model_for(7)
+        assert service.n_adapted == 1
+        # Re-adapting under the string spelling replaces, not duplicates.
+        service.adapt("7", data)
+        assert service.n_adapted == 1
+
+    def test_int_and_str_ids_share_predictions(self, source):
+        service = build_service(source)
+        service.adapt(7, make_targets(n_targets=1)["user_00"])
+        probe = np.random.default_rng(4).normal(size=(6, 4))
+        np.testing.assert_array_equal(
+            service.predict(7, probe, strict=True), service.predict("7", probe, strict=True)
+        )
+
+    def test_adapt_many_keys_are_canonical(self, source):
+        service = build_service(source)
+        data = make_targets(n_targets=1)["user_00"]
+        reports = service.adapt_many([(7, data)], jobs=1)
+        assert list(reports) == ["7"]
+        reports = service.adapt_many([(8, data), (9, data)], jobs=2)
+        assert list(reports) == ["8", "9"]
+
+    def test_strict_errors_name_the_canonical_id(self, source):
+        service = build_service(source)
+        with pytest.raises(KeyError, match="'7'"):
+            service.model_for(7, required=True)
+
+
+class TestBatchSizeValidation:
+    def test_predict_rejects_non_positive_batch_size(self, source):
+        service = build_service(source)
+        probe = np.random.default_rng(5).normal(size=(4, 4))
+        for bad in (0, -1):
+            with pytest.raises(ValueError, match="batch_size must be at least 1"):
+                service.predict("anyone", probe, batch_size=bad)
+
+    def test_predict_batched_rejects_non_positive_batch_size(self, source):
+        import repro.nn as nn_mod
+
+        model, _ = source
+        probe = np.random.default_rng(6).normal(size=(4, 4))
+        with pytest.raises(ValueError, match="batch_size must be at least 1"):
+            nn_mod.predict_batched(model, probe, batch_size=0)
+
+
+class TestConcurrentEvictionRaces:
+    """adapt_many constantly evicting while predict reads the LRU cache."""
+
+    def _race(self, source, strict):
+        import threading
+
+        service = build_service(source, max_cached_models=2)
+        fleet = make_targets(n_targets=8, n_samples=30)
+        names = list(fleet)
+        probe = np.random.default_rng(7).normal(size=(4, 4))
+        errors = []
+        done = threading.Event()
+
+        def hammer():
+            index = 0
+            while not done.is_set():
+                name = names[index % len(names)]
+                index += 1
+                try:
+                    prediction = service.predict(name, probe, strict=strict)
+                    assert prediction.shape == (4, 1)
+                    assert np.isfinite(prediction).all()
+                except KeyError as exc:
+                    message = str(exc)
+                    # Only the strict mode may refuse, and only with the
+                    # two documented reasons; fallback mode never raises.
+                    assert strict, f"non-strict predict raised {exc!r}"
+                    assert "never adapted" in message or "evicted" in message
+                except Exception as exc:  # pragma: no cover - the failure mode
+                    errors.append(exc)
+
+        readers = [threading.Thread(target=hammer) for _ in range(3)]
+        for reader in readers:
+            reader.start()
+        try:
+            for _ in range(2):
+                service.adapt_many(fleet, jobs=4)
+        finally:
+            done.set()
+            for reader in readers:
+                reader.join()
+        assert not errors, errors
+        # Every target kept its report; only max_cached models survive.
+        assert service.n_adapted == len(fleet)
+        assert len(service.cached_targets) == 2
+
+    def test_fallback_predict_survives_concurrent_eviction(self, source):
+        self._race(source, strict=False)
+
+    def test_strict_predict_survives_concurrent_eviction(self, source):
+        self._race(source, strict=True)

@@ -1,0 +1,10 @@
+"""Shared fixtures for the serving-gateway tests."""
+
+import pytest
+
+from gateway_fixtures import make_source
+
+
+@pytest.fixture(scope="module")
+def source():
+    return make_source()

@@ -1,0 +1,22 @@
+"""Shared helpers for the serving-gateway tests.
+
+The canonical source-model/fleet fixtures live in
+``tests/runtime/test_service.py`` (the service the gateway wraps); this
+module re-exports them so the serve suite can never silently diverge from
+the runtime suite's recipe.  Loaded by file path because the test tree is
+not a package (pytest rootdir-inserts each test directory separately).
+"""
+
+import importlib.util
+from pathlib import Path
+
+_path = Path(__file__).resolve().parent.parent / "runtime" / "test_service.py"
+_spec = importlib.util.spec_from_file_location("_runtime_service_fixtures", _path)
+_module = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(_module)
+
+fast_config = _module.fast_config
+make_source = _module.make_source
+make_targets = _module.make_targets
+
+__all__ = ["fast_config", "make_source", "make_targets"]

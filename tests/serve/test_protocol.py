@@ -1,0 +1,110 @@
+"""Tests for the typed request/response protocol and its JSON wire codec."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.serve import (
+    SCHEMA,
+    AdaptRequest,
+    Envelope,
+    PredictRequest,
+    ReportRequest,
+    StreamRequest,
+    decode_request,
+    encode_request,
+)
+
+
+class TestRequests:
+    def test_target_ids_are_canonicalized(self):
+        block = [[0.1, 0.2]]
+        assert AdaptRequest(7, block).target_id == "7"
+        assert PredictRequest(7, block).target_id == AdaptRequest("7", block).target_id
+        assert StreamRequest(3.5, block).target_id == "3.5"
+        assert ReportRequest(42).target_id == "42"
+        assert ReportRequest().target_id is None
+
+    def test_inputs_coerced_to_float64_arrays(self):
+        request = PredictRequest("u", [[1, 2], [3, 4]])
+        assert isinstance(request.inputs, np.ndarray)
+        assert request.inputs.dtype == np.float64
+        assert request.inputs.shape == (2, 2)
+
+    @pytest.mark.parametrize("bad", [[], [0.1, 0.2]])
+    def test_degenerate_sample_blocks_rejected(self, bad):
+        with pytest.raises(ValueError, match="non-empty array"):
+            PredictRequest("u", bad)
+
+    def test_invalid_batch_size_rejected(self):
+        with pytest.raises(ValueError, match="batch_size must be at least 1"):
+            PredictRequest("u", [[0.0]], batch_size=0)
+
+
+class TestCodec:
+    def test_roundtrip_every_kind(self):
+        block = [[0.5, -0.5], [1.5, 2.5]]
+        requests = [
+            AdaptRequest("u1", block, seed=7),
+            PredictRequest(9, block, batch_size=64, strict=True),
+            StreamRequest("u1", block),
+            ReportRequest("u1"),
+            ReportRequest(),
+        ]
+        for request in requests:
+            wire = encode_request(request)
+            assert wire["kind"] == request.kind
+            json.dumps(wire)  # wire form must be pure JSON builtins
+            rebuilt = decode_request(wire)
+            assert type(rebuilt) is type(request)
+            assert rebuilt.target_id == request.target_id
+            for name in ("inputs", "batch"):
+                if hasattr(request, name):
+                    np.testing.assert_array_equal(
+                        getattr(rebuilt, name), getattr(request, name)
+                    )
+        assert decode_request(encode_request(PredictRequest(9, block))).strict is False
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown request kind"):
+            decode_request({"kind": "teleport", "target_id": "u"})
+
+    @pytest.mark.parametrize("kind", [["adapt"], {"k": 1}, 7, None])
+    def test_non_string_kind_rejected_as_value_error(self, kind):
+        with pytest.raises(ValueError, match="kind must be a string"):
+            decode_request({"kind": kind, "target_id": "u"})
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ValueError, match="unknown field"):
+            decode_request({"kind": "report", "target_id": "u", "verbose": True})
+
+    def test_non_object_rejected(self):
+        with pytest.raises(ValueError, match="JSON object"):
+            decode_request(["kind", "adapt"])
+
+
+class TestEnvelope:
+    def test_success_roundtrip_and_schema_stamp(self):
+        envelope = Envelope.success(
+            "predict",
+            "u1",
+            {"prediction": np.array([[1.0], [2.0]]), "model": "adapted"},
+            duration_seconds=0.25,
+        )
+        assert envelope.schema == SCHEMA
+        wire = envelope.to_dict()
+        json.dumps(wire)  # numpy payload must be converted at the boundary
+        rebuilt = Envelope.from_json(envelope.to_json())
+        assert rebuilt.ok and rebuilt.kind == "predict" and rebuilt.target_id == "u1"
+        assert rebuilt.schema == SCHEMA
+        assert rebuilt.payload["prediction"] == [[1.0], [2.0]]
+        assert rebuilt.duration_seconds == pytest.approx(0.25)
+
+    def test_failure_carries_structured_error(self):
+        envelope = Envelope.failure("adapt", "u2", KeyError("gone"))
+        assert not envelope.ok
+        assert envelope.error["type"] == "KeyError"
+        assert "gone" in envelope.error["message"]
+        rebuilt = Envelope.from_json(envelope.to_json())
+        assert rebuilt.error == envelope.error and rebuilt.payload is None

@@ -1,0 +1,110 @@
+"""Tests for the JSON-lines serving loop and the `repro serve` subcommand."""
+
+import io
+import json
+
+import numpy as np
+
+from repro.serve import SCHEMA, AdaptRequest, Gateway, serve_lines, serve_loop
+
+from gateway_fixtures import fast_config, make_targets
+
+ENVELOPE_KEYS = {
+    "schema",
+    "ok",
+    "kind",
+    "target_id",
+    "payload",
+    "error",
+    "duration_seconds",
+}
+
+
+def build_gateway(source):
+    model, calibration = source
+    return Gateway(model, calibration, config=fast_config(), n_shards=2)
+
+
+def request_lines():
+    data = make_targets(n_targets=1)["user_00"]
+    probe = np.random.default_rng(2).normal(size=(4, 4)).tolist()
+    return [
+        json.dumps({"kind": "adapt", "target_id": "u1", "inputs": data.tolist()}),
+        "",  # blank lines are skipped
+        json.dumps({"kind": "predict", "target_id": "u1", "inputs": probe}),
+        json.dumps({"kind": "predict", "target_id": "u2", "inputs": probe}),
+        "this is not json",
+        json.dumps({"kind": "warp", "target_id": "u1"}),
+        json.dumps({"kind": ["adapt"], "target_id": "u1"}),  # unhashable kind
+        json.dumps({"kind": "predict", "target_id": "u1", "inputs": [[0.1, 0.2]]}),  # bad width
+        json.dumps({"kind": "stream", "target_id": "u1", "batch": probe}),
+        json.dumps({"kind": "report", "target_id": "u1"}),
+        json.dumps({"kind": "report"}),
+    ]
+
+
+class TestServeLines:
+    def test_every_line_gets_a_versioned_envelope(self, source):
+        gateway = build_gateway(source)
+        envelopes = list(serve_lines(gateway, request_lines()))
+        gateway.close()
+        assert len(envelopes) == 10  # one per non-blank line
+        assert [envelope.ok for envelope in envelopes] == [
+            True, True, True, False, False, False, False, True, True, True,
+        ]
+        assert all(envelope.schema == SCHEMA for envelope in envelopes)
+        adapted, probed, fallback = envelopes[0], envelopes[1], envelopes[2]
+        assert adapted.payload["report"]["target_id"] == "u1"
+        assert probed.payload["model"] == "adapted"
+        assert fallback.payload["model"] == "source"
+        assert envelopes[3].kind == "invalid"  # bad JSON
+        assert "unknown request kind" in envelopes[4].error["message"]
+        assert "kind must be a string" in envelopes[5].error["message"]
+        assert envelopes[6].kind == "predict"  # wrong feature width: error data
+        assert envelopes[8].payload["report"]["target_id"] == "u1"
+        assert set(envelopes[9].payload["reports"]) == {"u1"}
+
+    def test_loop_writes_one_json_line_per_envelope(self, source):
+        gateway = build_gateway(source)
+        stdout = io.StringIO()
+        served = serve_loop(gateway, io.StringIO("\n".join(request_lines())), stdout)
+        gateway.close()
+        lines = [line for line in stdout.getvalue().splitlines() if line]
+        assert served == len(lines) == 10
+        for line in lines:
+            payload = json.loads(line)
+            assert set(payload) == ENVELOPE_KEYS
+            assert payload["schema"] == SCHEMA
+
+
+class TestServeCommand:
+    def test_serve_command_end_to_end(self, capsys, monkeypatch):
+        from repro.cli import main
+
+        scripted = [
+            {"kind": "adapt", "target_id": "coastal",
+             "inputs": [[0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8]] * 4},
+            {"kind": "predict", "target_id": "coastal",
+             "inputs": [[0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8]] * 4},
+            {"kind": "report"},
+        ]
+        stdin = io.StringIO("\n".join(json.dumps(request) for request in scripted))
+        monkeypatch.setattr("sys.stdin", stdin)
+        assert main(["serve", "--task", "housing", "--scale", "tiny", "--shards", "2"]) == 0
+        captured = capsys.readouterr()
+        assert "[serve] ready" in captured.err
+        lines = [line for line in captured.out.splitlines() if line]
+        assert len(lines) == 3
+        envelopes = [json.loads(line) for line in lines]
+        assert all(envelope["ok"] for envelope in envelopes)
+        assert all(envelope["schema"] == SCHEMA for envelope in envelopes)
+        assert envelopes[1]["payload"]["model"] == "adapted"
+        assert "coastal" in envelopes[2]["payload"]["reports"]
+
+    def test_serve_rejects_invalid_knobs(self):
+        import pytest
+
+        from repro.cli import main
+
+        with pytest.raises(SystemExit):
+            main(["serve", "--task", "housing", "--scale", "tiny", "--shards", "0"])
