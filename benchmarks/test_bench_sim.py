@@ -1,0 +1,85 @@
+"""Throughput guard for the workload-simulation harness itself.
+
+The simulator exists to measure and verify the serving stack; it must never
+*become* the bottleneck it is measuring.  This benchmark replays a
+routing-heavy workload (prediction probes, duplicate bursts, reports — no
+adaptation, so the training hot path cannot dominate) and records the
+harness's end-to-end event throughput, with a floor future PRs cannot
+silently sink below.
+
+Recorded into ``benchmark_report.txt`` next to the serving benchmarks so
+harness regressions show up in one place.
+"""
+
+from __future__ import annotations
+
+from repro.sim import WorkloadSpec, run_simulation
+
+#: Floor on simulator throughput (events/s) on a routing-heavy workload.
+#: The harness clears ~2-4k events/s on a dev box; the bar is set well below
+#: that so only a genuine regression (per-event overhead creeping into the
+#: tick loop, the invariant suite, or the transcript writer) trips it.
+MIN_EVENTS_PER_SECOND = 300.0
+
+
+def routing_heavy_spec() -> WorkloadSpec:
+    """Many small predicts and reports; nothing ever reaches adaptation."""
+    return WorkloadSpec.from_dict(
+        {
+            "task": "housing",
+            "scale": "tiny",
+            "scheme": "tasfar",
+            "seed": 11,
+            "n_ticks": 12,
+            "n_shards": 2,
+            "shard_workers": 2,
+            "min_adapt_events": 1_000_000,
+            "readapt_budget": 1_000_000,
+            "config_overrides": {
+                "adaptation_epochs": 1,
+                "min_adaptation_epochs": 1,
+                "n_mc_samples": 4,
+                "n_segments": 5,
+                "early_stop": False,
+            },
+            "fleets": [
+                {
+                    "name": "probe",
+                    "n_users": 6,
+                    "drift": "gradual",
+                    "batch_size": 4,
+                    "arrival": {"kind": "every", "every": 2},
+                    "predict_every": 1,
+                    "predict_rows": 4,
+                    "predict_duplicates": 3,
+                    "report_every": 2,
+                }
+            ],
+            "final_report": True,
+        }
+    )
+
+
+def test_simulator_event_throughput(record_bench, perf_check):
+    """The harness must push a routing-heavy workload at wire speed."""
+    result = run_simulation(routing_heavy_spec())
+    assert result.ok, result.invariant_report
+    assert result.n_requests > 200, "workload too small to measure throughput"
+
+    record_bench(
+        f"[bench_sim] simulator harness throughput "
+        f"({result.n_requests} requests, {result.n_ticks} ticks, "
+        f"{len(result.users)} users, fault_plan=none)\n"
+        f"events/s: {result.events_per_second:10,.0f}   "
+        f"wall: {result.wall_seconds * 1e3:8.1f} ms\n"
+        f"invariant checks: "
+        + " ".join(
+            f"{name}={entry['checks']}"
+            for name, entry in result.invariant_report["invariants"].items()
+        )
+    )
+    perf_check(
+        result.events_per_second >= MIN_EVENTS_PER_SECOND,
+        f"simulator throughput {result.events_per_second:,.0f} events/s fell below "
+        f"the {MIN_EVENTS_PER_SECOND:,.0f} events/s floor",
+    )

@@ -25,9 +25,14 @@ The public API re-exports the most commonly used entry points:
   request/response protocol with a versioned JSON envelope, sharded
   services with deterministic target placement, cross-target micro-batched
   prediction, and the ``repro serve`` JSON-lines front door.
+* :mod:`repro.sim` — deterministic workload simulation and fault injection
+  for the whole serving stack: seeded workload specs compiled to wire-line
+  traces, a virtual-clock simulator driving a live gateway, pluggable
+  fault plans, and the invariant suite behind ``repro simulate``.
 
-The gateway API is re-exported lazily at the top level (``repro.Gateway``,
-``repro.AdaptRequest``, ...), so client code needs one import and the
+The gateway and simulator APIs are re-exported lazily at the top level
+(``repro.Gateway``, ``repro.AdaptRequest``, ``repro.WorkloadSpec``,
+``repro.Simulator``, ...), so client code needs one import and the
 experiment harness stays import-light.
 """
 
@@ -40,10 +45,13 @@ __all__ = [
     "Gateway",
     "PredictRequest",
     "ReportRequest",
+    "Simulator",
     "StreamRequest",
+    "WorkloadSpec",
 ]
 
-_SERVE_EXPORTS = frozenset(__all__) - {"__version__"}
+_SIM_EXPORTS = frozenset({"Simulator", "WorkloadSpec"})
+_SERVE_EXPORTS = frozenset(__all__) - {"__version__"} - _SIM_EXPORTS
 
 
 def __getattr__(name: str):
@@ -51,4 +59,8 @@ def __getattr__(name: str):
         from . import serve
 
         return getattr(serve, name)
+    if name in _SIM_EXPORTS:
+        from . import sim
+
+        return getattr(sim, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -41,11 +41,20 @@ one versioned envelope per stdout line (see :mod:`repro.serve`)::
         '{"kind": "report", "target_id": "u1"}' \
       | python -m repro.cli serve --task housing --scale tiny --shards 2
 
+Replay a seeded, fault-injected workload through the whole stack and check
+the system invariants (envelope transcript on stdout — byte-identical on
+every rerun — summary and invariant verdict on stderr)::
+
+    python -m repro.cli simulate --spec examples/specs/bursty_drift.json \
+        --seed 7 --fault-plan wire_chaos --verify-replay > transcript.jsonl
+
 ``adapt-many``, ``stream`` and ``serve`` are all thin clients of the
-:class:`~repro.serve.Gateway`; both ``--task`` choices (the
-:class:`~repro.data.TaskSpec` registry) and ``--scheme`` choices (the
-strategy registry) are extensible: registering a new task or scheme makes it
-available here without touching this module.
+:class:`~repro.serve.Gateway`, and ``simulate`` drives the same gateway from
+a :class:`~repro.sim.WorkloadSpec`; the ``--task`` choices (the
+:class:`~repro.data.TaskSpec` registry), ``--scheme`` choices (the strategy
+registry) and ``--fault-plan`` choices (the fault-plan registry) are all
+extensible: registering a new task, scheme, or fault plan makes it available
+here without touching this module.
 """
 
 from __future__ import annotations
@@ -251,6 +260,51 @@ def build_parser() -> argparse.ArgumentParser:
         default=128,
         help="buffered stream events that force a re-adaptation even without drift",
     )
+
+    simulate_parser = subparsers.add_parser(
+        "simulate",
+        help=(
+            "replay a seeded workload spec through the real serving stack with "
+            "fault injection and invariant checks (JSON spec in, canonical "
+            "envelope transcript + invariant report out)"
+        ),
+    )
+    simulate_parser.add_argument(
+        "--spec", required=True, help="path to a WorkloadSpec JSON file"
+    )
+    simulate_parser.add_argument(
+        "--seed", type=int, default=None, help="override the spec's seed"
+    )
+    simulate_parser.add_argument(
+        "--task", default=None, choices=adapt_tasks, help="override the spec's task"
+    )
+    simulate_parser.add_argument(
+        "--scheme", default=None, choices=schemes, help="override the spec's scheme"
+    )
+    simulate_parser.add_argument(
+        "--fault-plan", default=None, help="override the spec's fault plan (see repro.sim)"
+    )
+    simulate_parser.add_argument(
+        "--ticks", type=int, default=None, help="override the spec's virtual tick count"
+    )
+    simulate_parser.add_argument(
+        "--transcript",
+        default=None,
+        help=(
+            "write the canonical envelope transcript to this file "
+            "(default: stdout, one JSON line per request)"
+        ),
+    )
+    simulate_parser.add_argument(
+        "--report",
+        default=None,
+        help="write the JSON invariant report to this file (default: summary on stderr only)",
+    )
+    simulate_parser.add_argument(
+        "--verify-replay",
+        action="store_true",
+        help="run the workload twice and assert the transcripts are byte-identical",
+    )
     return parser
 
 
@@ -280,6 +334,9 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "serve":
         return _serve(parser, args)
+
+    if args.command == "simulate":
+        return _simulate(parser, args)
 
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover
     return 1
@@ -624,6 +681,75 @@ def _serve(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
     print(f"[serve] done, {served} envelope(s)", file=sys.stderr)
     gateway.close()
     return 0
+
+
+def _simulate(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
+    """Replay a workload spec through the stack; emit transcript + report.
+
+    Output discipline mirrors ``serve``: the canonical envelope transcript
+    is the *only* thing written to stdout (unless ``--transcript`` redirects
+    it to a file), so two runs of the same spec and seed can be compared
+    byte for byte with nothing but ``diff``.  The human summary and the
+    invariant verdict go to stderr.  Exit status is 0 only when every
+    invariant held (and, under ``--verify-replay``, the replay matched).
+    """
+    from .sim import load_spec, run_simulation, verify_replay
+
+    try:
+        spec = load_spec(args.spec)
+        overrides = {}
+        if args.seed is not None:
+            overrides["seed"] = args.seed
+        if args.task is not None:
+            overrides["task"] = args.task
+        if args.scheme is not None:
+            overrides["scheme"] = args.scheme
+        if args.fault_plan is not None:
+            overrides["fault_plan"] = args.fault_plan
+        if args.ticks is not None:
+            overrides["n_ticks"] = args.ticks
+        if overrides:
+            spec = spec.replace(**overrides)
+    except (ValueError, OSError) as exc:
+        parser.error(str(exc))
+
+    replay_ok, replay_detail = True, None
+    try:
+        if args.verify_replay:
+            replay_ok, replay_detail, result = verify_replay(spec)
+        else:
+            result = run_simulation(spec)
+    except ValueError as exc:
+        # Spec errors only trace compilation can catch (e.g. a fleet naming
+        # a scenario the task does not have) surface as CLI errors too.
+        parser.error(str(exc))
+
+    if args.transcript:
+        with open(args.transcript, "w", encoding="utf-8") as handle:
+            handle.write(result.transcript_text)
+        print(f"wrote {len(result.transcript_lines)} transcript lines to {args.transcript}",
+              file=sys.stderr)
+    else:
+        sys.stdout.write(result.transcript_text)
+        sys.stdout.flush()
+
+    print(result.summary(), file=sys.stderr)
+    if args.verify_replay:
+        status = "ok (byte-identical)" if replay_ok else f"FAIL\n{replay_detail}"
+        print(f"  invariant replay_determinism: {status}", file=sys.stderr)
+
+    if args.report:
+        report = result.to_dict()
+        report["replay_determinism"] = {
+            "checked": bool(args.verify_replay),
+            "ok": replay_ok,
+            "detail": replay_detail,
+        }
+        with open(args.report, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2)
+        print(f"wrote invariant report to {args.report}", file=sys.stderr)
+
+    return 0 if (result.ok and replay_ok) else 1
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -359,6 +359,26 @@ class AdaptationService:
         with forward_lock:
             return predict_batched(model, inputs, batch_size)
 
+    def evict(self, target_id: str | None = None) -> list[str]:
+        """Drop cached adapted models; reports survive.
+
+        ``target_id=None`` evicts every cached model (memory pressure, or a
+        fault-injection harness forcing source fallbacks and cold
+        re-adaptations); a specific id evicts just that target.  Returns the
+        ids actually evicted.  Eviction is exactly what LRU capacity
+        pressure does, made explicit: adaptation is deterministic, so an
+        evicted target can always be re-adapted to the same bits.
+        """
+        with self._lock:
+            if target_id is None:
+                evicted = list(self._models)
+                self._models.clear()
+                return evicted
+            target_id = canonical_target_id(target_id)
+            if self._models.pop(target_id, None) is not None:
+                return [target_id]
+            return []
+
     def report_for(self, target_id: str) -> AdaptationReport | None:
         """The stored report for ``target_id`` (survives model eviction)."""
         with self._lock:

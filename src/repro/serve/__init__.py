@@ -23,7 +23,7 @@ README's "Serving" section for the wire schema.
 
 from .batching import BatchPolicy
 from .gateway import Gateway
-from .loop import serve_lines, serve_loop
+from .loop import decode_line, serve_lines, serve_loop
 from .protocol import (
     SCHEMA,
     AdaptRequest,
@@ -46,6 +46,7 @@ __all__ = [
     "ReportRequest",
     "Request",
     "StreamRequest",
+    "decode_line",
     "decode_request",
     "encode_request",
     "serve_lines",

@@ -145,12 +145,29 @@ class Gateway:
                     )
                 service = AdaptationService(source_model, calibration, **common)
             self._shards.append(service)
-        self._pools = [
-            ThreadPoolExecutor(
-                max_workers=shard_workers, thread_name_prefix=f"gateway-shard-{index}"
-            )
-            for index in range(n_shards)
-        ]
+        self._shard_workers = shard_workers
+        self._pools = [self._new_pool(index) for index in range(n_shards)]
+
+    def _new_pool(self, index: int) -> ThreadPoolExecutor:
+        return ThreadPoolExecutor(
+            max_workers=self._shard_workers, thread_name_prefix=f"gateway-shard-{index}"
+        )
+
+    def restart_shard_workers(self, shard: int) -> None:
+        """Tear down one shard's worker pool and stand up a fresh one.
+
+        Models a worker crash followed by a supervisor respawn: in-flight
+        work on the old pool completes (shutdown waits), the shard's
+        *service state* — cached models, stream buffers, reports — survives
+        untouched, and subsequent requests run on the new pool.  Used by the
+        fault-injection harness (:mod:`repro.sim.faults`) and usable as an
+        operational lever (e.g. shedding a pool wedged by a client bug).
+        """
+        if not 0 <= shard < self.n_shards:
+            raise ValueError(f"shard must be in [0, {self.n_shards}), got {shard}")
+        old = self._pools[shard]
+        self._pools[shard] = self._new_pool(shard)
+        old.shutdown(wait=True)
 
     # ------------------------------------------------------------------
     # Construction from registry names
@@ -163,6 +180,7 @@ class Gateway:
         scale: str = "small",
         seed: int = 0,
         *,
+        config: TasfarConfig | None = None,
         max_source_samples: int = 400,
         **kwargs,
     ) -> "Gateway":
@@ -172,23 +190,28 @@ class Gateway:
         (building or fetching the cached bundle: data, trained source model,
         calibration) and ``scheme`` through the strategy registry, prepares
         the strategy on the bundle's source resources, and hands both to the
-        regular constructor.  Remaining keyword arguments are constructor
+        regular constructor.  ``config`` overrides the default
+        ``TasfarConfig(seed=seed)`` for both the strategy and the shard
+        services (the simulator uses this to run short, deterministic
+        adaptation schedules).  Remaining keyword arguments are constructor
         parameters (``n_shards``, ``batch_policy``, ``service_options``, ...).
         """
         from ..engine import create_strategy
         from ..experiments import get_bundle
 
         bundle = get_bundle(task, scale, seed)
+        if config is None:
+            config = TasfarConfig(seed=seed)
         strategy = create_strategy(
             scheme,
-            config=TasfarConfig(seed=seed),
+            config=config,
             epochs=bundle.scale.baseline_epochs,
             seed=seed,
         ).prepare(
             bundle.source_model,
             bundle.resources(max_source_samples=max_source_samples, seed=seed),
         )
-        kwargs.setdefault("config", TasfarConfig(seed=seed))
+        kwargs.setdefault("config", config)
         kwargs.setdefault("base_seed", seed)
         return cls(
             bundle.source_model,
@@ -245,7 +268,15 @@ class Gateway:
             pool = self._pools[0]
         else:
             pool = self._pools[self.shard_for(request.target_id)]
-        return pool.submit(self._handle_one, request)
+        try:
+            return pool.submit(self._handle_one, request)
+        except RuntimeError as exc:
+            # Dead pool: same errors-as-data discipline as submit_many — the
+            # caller gets a future that resolves to an error envelope, not a
+            # synchronous crash.
+            future: "Future[Envelope]" = Future()
+            future.set_result(Envelope.failure(request.kind, request.target_id, exc))
+            return future
 
     def submit_many(self, requests: Sequence[Request] | Iterable[Request]) -> list[Envelope]:
         """Handle a batch of requests, micro-batching the predictions.
@@ -269,17 +300,32 @@ class Gateway:
                     pool = self._pools[0]
                 else:
                     pool = self._pools[self.shard_for(request.target_id)]
-                futures.append((index, pool.submit(self._handle_one, request)))
+                try:
+                    futures.append((index, pool.submit(self._handle_one, request)))
+                except RuntimeError as exc:
+                    # The pool died underneath us (shut down / interpreter
+                    # teardown): answer with an error envelope rather than
+                    # letting one dead shard poison the whole batch.
+                    envelopes[index] = Envelope.failure(
+                        request.kind, request.target_id, exc
+                    )
             else:
                 envelopes[index] = Envelope.failure(
                     "unknown",
                     None,
                     TypeError(f"unsupported request type {type(request).__name__}"),
                 )
-        predict_futures = [
-            self._pools[shard].submit(self._handle_predict_group, shard, group)
-            for shard, group in predict_by_shard.items()
-        ]
+        predict_futures = []
+        for shard, group in predict_by_shard.items():
+            try:
+                predict_futures.append(
+                    self._pools[shard].submit(self._handle_predict_group, shard, group)
+                )
+            except RuntimeError as exc:
+                for index, request in group:
+                    envelopes[index] = Envelope.failure(
+                        request.kind, request.target_id, exc
+                    )
         for index, future in futures:
             envelopes[index] = future.result()
         for future in predict_futures:

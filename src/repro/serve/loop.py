@@ -11,6 +11,16 @@ becomes drivable from outside Python with nothing but a pipe::
 Malformed lines (bad JSON, unknown kinds, invalid fields) are answered with
 error envelopes and the loop keeps going; EOF ends it.  Blank lines are
 skipped so hand-written scripts can breathe.
+
+The same discipline holds *after* decoding: a request the gateway cannot
+serve — an unknown target under ``strict``, a registry lookup that raises
+``KeyError``, a shard pool that died mid-flight — is answered with a typed
+error envelope of the request's kind.  No exception, whatever its source,
+ever escapes the loop and takes the remaining queued requests down with it.
+
+:func:`decode_line` is the loop's decode boundary as a reusable function;
+the workload simulator (:mod:`repro.sim`) feeds its fault-injected traces
+through it so simulated traffic exercises exactly the production codec.
 """
 
 from __future__ import annotations
@@ -19,38 +29,57 @@ import json
 from typing import IO, Iterable
 
 from .gateway import Gateway
-from .protocol import Envelope, decode_request
+from .protocol import Envelope, Request, decode_request
 
-__all__ = ["serve_lines", "serve_loop"]
+__all__ = ["decode_line", "serve_lines", "serve_loop"]
+
+
+def decode_line(line: str) -> tuple[Request | None, Envelope | None]:
+    """Decode one wire line into ``(request, None)`` or ``(None, error_envelope)``.
+
+    Blank lines return ``(None, None)``.  Decoding failures never raise:
+    they come back as an error envelope of kind ``"invalid"`` so one garbled
+    client line cannot take a serving loop down.
+    """
+    line = line.strip()
+    if not line:
+        return None, None
+    try:
+        payload = json.loads(line)
+    except json.JSONDecodeError as exc:
+        return None, Envelope.failure("invalid", None, exc)
+    try:
+        return decode_request(payload), None
+    except Exception as exc:
+        # decode_request raises ValueError for everything it foresees;
+        # catching broadly keeps an unforeseen malformation from taking
+        # the whole loop (and every queued client request) down.
+        target = payload.get("target_id") if isinstance(payload, dict) else None
+        return None, Envelope.failure(
+            "invalid", target if isinstance(target, str) else None, exc
+        )
 
 
 def serve_lines(gateway: Gateway, lines: Iterable[str]) -> Iterable[Envelope]:
     """Decode each JSON line into a request, submit it, yield the envelope.
 
-    Decoding failures never raise: they yield an error envelope of kind
-    ``"invalid"`` so one garbled client line cannot take the loop down.
+    Neither decoding nor submission failures ever raise.  The gateway
+    already answers per-request errors (unknown targets, bad payloads) as
+    data; this loop additionally absorbs anything that escapes ``submit``
+    itself — a registry ``KeyError``, a pool shut down underneath us — into
+    an error envelope of the request's kind, so the loop survives every
+    fault its clients or its backends can throw at it.
     """
     for line in lines:
-        line = line.strip()
-        if not line:
+        request, error = decode_line(line)
+        if request is None:
+            if error is not None:
+                yield error
             continue
         try:
-            payload = json.loads(line)
-        except json.JSONDecodeError as exc:
-            yield Envelope.failure("invalid", None, exc)
-            continue
-        try:
-            request = decode_request(payload)
+            yield gateway.submit(request)
         except Exception as exc:
-            # decode_request raises ValueError for everything it foresees;
-            # catching broadly keeps an unforeseen malformation from taking
-            # the whole loop (and every queued client request) down.
-            target = payload.get("target_id") if isinstance(payload, dict) else None
-            yield Envelope.failure(
-                "invalid", target if isinstance(target, str) else None, exc
-            )
-            continue
-        yield gateway.submit(request)
+            yield Envelope.failure(request.kind, request.target_id, exc)
 
 
 def serve_loop(gateway: Gateway, stdin: IO[str], stdout: IO[str]) -> int:

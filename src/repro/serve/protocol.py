@@ -236,15 +236,58 @@ class Envelope:
 
     @classmethod
     def from_dict(cls, payload: Mapping[str, Any]) -> "Envelope":
-        """Rebuild an envelope from :meth:`to_dict` output."""
+        """Rebuild an envelope from :meth:`to_dict` output.
+
+        Anything that is not a well-formed envelope dictionary — wrong
+        top-level type, missing ``ok``/``kind``, mistyped fields — raises
+        :class:`ValueError`.  That is the *only* decode error: feeding this
+        codec junk must fail predictably, never with an incidental
+        ``KeyError``/``TypeError`` from deep inside the parser.
+        """
+        if not isinstance(payload, Mapping):
+            raise ValueError(
+                f"envelope must be a JSON object, got {type(payload).__name__}"
+            )
+        try:
+            ok = payload["ok"]
+            kind = payload["kind"]
+        except KeyError as exc:
+            raise ValueError(f"envelope is missing required field {exc.args[0]!r}") from exc
+        if not isinstance(ok, bool):
+            raise ValueError(f"envelope 'ok' must be a boolean, got {type(ok).__name__}")
+        if not isinstance(kind, str):
+            raise ValueError(f"envelope 'kind' must be a string, got {type(kind).__name__}")
+        target_id = payload.get("target_id")
+        if target_id is not None and not isinstance(target_id, str):
+            raise ValueError(
+                f"envelope 'target_id' must be a string or null, got {type(target_id).__name__}"
+            )
+        body: dict[str, Any] = {}
+        for name in ("payload", "error"):
+            value = payload.get(name)
+            if value is not None and not isinstance(value, Mapping):
+                raise ValueError(
+                    f"envelope {name!r} must be an object or null, got {type(value).__name__}"
+                )
+            body[name] = None if value is None else dict(value)
+        duration = payload.get("duration_seconds", 0.0)
+        if isinstance(duration, bool) or not isinstance(duration, (int, float)):
+            raise ValueError(
+                f"envelope 'duration_seconds' must be a number, got {type(duration).__name__}"
+            )
+        schema = payload.get("schema", SCHEMA)
+        if not isinstance(schema, str):
+            raise ValueError(
+                f"envelope 'schema' must be a string, got {type(schema).__name__}"
+            )
         return cls(
-            ok=bool(payload["ok"]),
-            kind=str(payload["kind"]),
-            target_id=payload.get("target_id"),
-            payload=payload.get("payload"),
-            error=payload.get("error"),
-            duration_seconds=float(payload.get("duration_seconds", 0.0)),
-            schema=str(payload.get("schema", SCHEMA)),
+            ok=ok,
+            kind=kind,
+            target_id=target_id,
+            payload=body["payload"],
+            error=body["error"],
+            duration_seconds=float(duration),
+            schema=schema,
         )
 
     def to_json(self) -> str:
@@ -253,7 +296,12 @@ class Envelope:
 
     @classmethod
     def from_json(cls, text: str) -> "Envelope":
-        """Deserialize from :meth:`to_json` output."""
+        """Deserialize from :meth:`to_json` output.
+
+        Raises :class:`ValueError` — and only :class:`ValueError` — for any
+        input that is not a serialized envelope (note that
+        :class:`json.JSONDecodeError` *is* a ``ValueError``).
+        """
         return cls.from_dict(json.loads(text))
 
 

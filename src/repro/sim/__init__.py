@@ -1,0 +1,75 @@
+"""Deterministic workload simulation and fault injection for the serving stack.
+
+This package is the repo's standing integration-test engine and a
+user-facing scenario tool in one:
+
+* :mod:`repro.sim.spec` — :class:`WorkloadSpec`: a JSON description of user
+  fleets, arrival processes, drift schedules and burst patterns, compiled by
+  :func:`compile_trace` into a reproducible per-tick wire-line trace;
+* :mod:`repro.sim.faults` — the pluggable :class:`FaultPlan` registry
+  (``none`` / ``wire_chaos`` / ``shard_crash`` / ``cache_thrash``) injecting
+  deterministic failures at the wire and state levels;
+* :mod:`repro.sim.invariants` — the :class:`InvariantSuite` oracle checking
+  envelope schema validity, shard-placement stability, coalesced-vs-solo
+  prediction bit-identity and monotone accounting after every tick;
+* :mod:`repro.sim.simulator` — the virtual-clock :class:`Simulator` driving
+  a live :class:`~repro.serve.Gateway`, plus :func:`verify_replay`, the
+  byte-identical replay-determinism check.
+
+Entry points: ``repro simulate`` on the command line (spec JSON in,
+canonical transcript + invariant report out) and the pytest scenario matrix
+under ``tests/sim/``.
+"""
+
+from .faults import (
+    FAULT_PLANS,
+    FaultPlan,
+    create_fault_plan,
+    fault_plan_names,
+    register_fault_plan,
+)
+from .invariants import INVARIANT_NAMES, InvariantSuite, InvariantViolation, RequestRecord
+from .simulator import (
+    SimulationResult,
+    Simulator,
+    build_gateway,
+    run_simulation,
+    scrub_wall_clock,
+    verify_replay,
+)
+from .spec import (
+    ARRIVAL_KINDS,
+    ArrivalSpec,
+    FleetSpec,
+    TraceEvent,
+    WorkloadSpec,
+    WorkloadTrace,
+    compile_trace,
+    load_spec,
+)
+
+__all__ = [
+    "ARRIVAL_KINDS",
+    "ArrivalSpec",
+    "FAULT_PLANS",
+    "FaultPlan",
+    "FleetSpec",
+    "INVARIANT_NAMES",
+    "InvariantSuite",
+    "InvariantViolation",
+    "RequestRecord",
+    "SimulationResult",
+    "Simulator",
+    "TraceEvent",
+    "WorkloadSpec",
+    "WorkloadTrace",
+    "build_gateway",
+    "compile_trace",
+    "create_fault_plan",
+    "fault_plan_names",
+    "load_spec",
+    "register_fault_plan",
+    "run_simulation",
+    "scrub_wall_clock",
+    "verify_replay",
+]

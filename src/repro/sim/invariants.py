@@ -1,0 +1,288 @@
+"""System-level invariants checked after every simulated tick.
+
+The simulator is only as useful as its oracle.  :class:`InvariantSuite`
+watches the live gateway while a workload replays and checks the properties
+every PR since the seed has promised:
+
+* ``envelope_schema`` — every answer, success or failure, is a well-formed
+  versioned envelope: exactly the documented keys, ``ok`` consistent with
+  ``payload``/``error``, schema stamped.
+* ``shard_placement`` — a target is served by the shard rendezvous hashing
+  says it owns, and that placement never moves during a run (worker crashes
+  and cache evictions included).
+* ``coalesced_bit_identity`` — every prediction answered inside a
+  micro-batched burst is re-submitted alone and must match **bit for bit**
+  (shape, dtype, and bytes), the serving redesign's core guarantee.
+* ``monotone_accounting`` — per-target stream counters (steps, events,
+  cold/warm adaptations) and per-shard report counts only ever grow; an
+  ingest can never un-happen, whatever faults fire.
+
+A fifth property, **replay determinism** (same spec + seed → byte-identical
+transcript), spans two runs and therefore lives in
+:func:`repro.sim.simulator.verify_replay`; its result is merged into the
+same report shape.
+
+Violations carry the tick and a human-readable detail; the suite never
+raises — the report is data, mirroring the envelope philosophy of the stack
+it checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..serve.gateway import Gateway
+from ..serve.protocol import SCHEMA, PredictRequest, Request
+from ..streaming.service import StreamingAdaptationService
+from .spec import TraceEvent
+
+__all__ = ["INVARIANT_NAMES", "InvariantViolation", "RequestRecord", "InvariantSuite"]
+
+#: Invariants the suite checks per tick (replay determinism is cross-run).
+INVARIANT_NAMES = (
+    "envelope_schema",
+    "shard_placement",
+    "coalesced_bit_identity",
+    "monotone_accounting",
+)
+
+#: Exactly the keys of the wire form of an envelope (protocol v1).
+ENVELOPE_KEYS = frozenset(
+    {"schema", "ok", "kind", "target_id", "payload", "error", "duration_seconds"}
+)
+
+#: Stream-stat counters that must be non-decreasing over a target's life.
+MONOTONE_COUNTERS = ("steps", "total_events", "cold_adaptations", "warm_adaptations")
+
+
+@dataclass
+class InvariantViolation:
+    """One failed check: which invariant, when, and what went wrong."""
+
+    invariant: str
+    tick: int
+    detail: str
+
+    def to_dict(self) -> dict:
+        return {"invariant": self.invariant, "tick": self.tick, "detail": self.detail}
+
+
+@dataclass
+class RequestRecord:
+    """One wire line's journey: the trace event, its decoded request (or
+    ``None`` when decoding failed), and the envelope that answered it."""
+
+    event: TraceEvent
+    request: Request | None
+    envelope: object  # repro.serve.Envelope (in-process: payload may hold arrays)
+
+
+class InvariantSuite:
+    """Stateful checker fed one tick of :class:`RequestRecord`\\ s at a time.
+
+    Parameters
+    ----------
+    gateway:
+        The live gateway under test; placement and accounting checks read
+        it directly.
+    verify_coalescing:
+        Re-submit every burst-answered prediction individually and compare
+        bits.  Costs one extra forward per successful predict; scenario
+        files can switch it off for throughput-oriented runs.
+    """
+
+    def __init__(self, gateway: Gateway, verify_coalescing: bool = True) -> None:
+        self.gateway = gateway
+        self.verify_coalescing = verify_coalescing
+        self.violations: list[InvariantViolation] = []
+        self.checks: dict[str, int] = {name: 0 for name in INVARIANT_NAMES}
+        self._placements: dict[str, int] = {}
+        self._last_stats: dict[str, dict] = {}
+        self._last_report_counts: list[int] = [0] * gateway.n_shards
+
+    # ------------------------------------------------------------------
+    # Observation entry points
+    # ------------------------------------------------------------------
+    def observe_tick(self, tick: int, records: list[RequestRecord]) -> None:
+        """Check every envelope of one tick, then the cross-request properties."""
+        for record in records:
+            self._check_envelope_schema(tick, record)
+            self._check_shard_placement(tick, record)
+        if self.verify_coalescing:
+            # Byte-identical duplicates (retry/fan-out traffic) share one
+            # answer by construction — verifying one representative per
+            # distinct payload checks the same property for half the forwards.
+            seen: set = set()
+            for record in records:
+                request = record.request
+                if not isinstance(request, PredictRequest) or not record.envelope.ok:
+                    continue
+                key = (
+                    request.target_id,
+                    request.batch_size,
+                    request.strict,
+                    request.inputs.tobytes(),
+                )
+                if key in seen:
+                    continue
+                seen.add(key)
+                self._check_coalesced_bits(tick, record)
+        self._check_accounting(tick)
+
+    def _fail(self, invariant: str, tick: int, detail: str) -> None:
+        self.violations.append(InvariantViolation(invariant, tick, detail))
+
+    # ------------------------------------------------------------------
+    # Individual invariants
+    # ------------------------------------------------------------------
+    def _check_envelope_schema(self, tick: int, record: RequestRecord) -> None:
+        self.checks["envelope_schema"] += 1
+        wire = record.envelope.to_dict()
+        name = "envelope_schema"
+        keys = set(wire)
+        if keys != ENVELOPE_KEYS:
+            self._fail(name, tick, f"envelope keys {sorted(keys)} != {sorted(ENVELOPE_KEYS)}")
+            return
+        if wire["schema"] != SCHEMA:
+            self._fail(name, tick, f"schema {wire['schema']!r} != {SCHEMA!r}")
+        if not isinstance(wire["ok"], bool) or not isinstance(wire["kind"], str):
+            self._fail(name, tick, f"ok/kind badly typed in {wire!r}")
+            return
+        if wire["target_id"] is not None and not isinstance(wire["target_id"], str):
+            self._fail(name, tick, f"target_id not a string: {wire['target_id']!r}")
+        if not isinstance(wire["duration_seconds"], float) or wire["duration_seconds"] < 0:
+            self._fail(name, tick, f"bad duration_seconds {wire['duration_seconds']!r}")
+        if wire["ok"]:
+            if not isinstance(wire["payload"], dict) or wire["error"] is not None:
+                self._fail(name, tick, f"ok envelope without payload-only body: {wire!r}")
+        else:
+            error = wire["error"]
+            if wire["payload"] is not None or not isinstance(error, dict):
+                self._fail(name, tick, f"error envelope without error-only body: {wire!r}")
+            elif not isinstance(error.get("type"), str) or not isinstance(
+                error.get("message"), str
+            ):
+                self._fail(name, tick, f"error body missing type/message: {error!r}")
+
+    def _check_shard_placement(self, tick: int, record: RequestRecord) -> None:
+        envelope = record.envelope
+        payload = envelope.payload
+        if not envelope.ok or not isinstance(payload, dict) or "shard" not in payload:
+            return
+        self.checks["shard_placement"] += 1
+        target = envelope.target_id
+        shard = payload["shard"]
+        expected = self.gateway.shard_for(target)
+        if shard != expected:
+            self._fail(
+                "shard_placement",
+                tick,
+                f"target {target!r} answered by shard {shard}, rendezvous says {expected}",
+            )
+        previous = self._placements.setdefault(target, shard)
+        if previous != shard:
+            self._fail(
+                "shard_placement",
+                tick,
+                f"target {target!r} moved from shard {previous} to {shard} mid-run",
+            )
+
+    def _check_coalesced_bits(self, tick: int, record: RequestRecord) -> None:
+        """Re-submit a burst-answered prediction alone and compare bits."""
+        if not isinstance(record.request, PredictRequest) or not record.envelope.ok:
+            return
+        self.checks["coalesced_bit_identity"] += 1
+        burst = record.envelope.payload
+        solo = self.gateway.submit(record.request)
+        if not solo.ok:
+            self._fail(
+                "coalesced_bit_identity",
+                tick,
+                f"solo re-submit for {record.request.target_id!r} failed: {solo.error}",
+            )
+            return
+        a = np.asarray(burst["prediction"])
+        b = np.asarray(solo.payload["prediction"])
+        if a.shape != b.shape or a.dtype != b.dtype or a.tobytes() != b.tobytes():
+            self._fail(
+                "coalesced_bit_identity",
+                tick,
+                f"coalesced != solo prediction for {record.request.target_id!r} "
+                f"(shapes {a.shape}/{b.shape})",
+            )
+        if burst["model"] != solo.payload["model"]:
+            self._fail(
+                "coalesced_bit_identity",
+                tick,
+                f"model attribution drifted for {record.request.target_id!r}: "
+                f"{burst['model']} != {solo.payload['model']}",
+            )
+
+    def _check_accounting(self, tick: int) -> None:
+        """Stream counters and report counts only ever grow."""
+        name = "monotone_accounting"
+        for shard_index, service in enumerate(self.gateway.shards):
+            self.checks[name] += 1
+            count = service.n_adapted
+            if count < self._last_report_counts[shard_index]:
+                self._fail(
+                    name,
+                    tick,
+                    f"shard {shard_index} report count fell from "
+                    f"{self._last_report_counts[shard_index]} to {count}",
+                )
+            self._last_report_counts[shard_index] = count
+            if not isinstance(service, StreamingAdaptationService):
+                continue
+            for target in service.stream_ids():
+                stats = service.stream_stats(target)
+                self.checks[name] += 1
+                previous = self._last_stats.get(target)
+                if previous is not None:
+                    for counter in MONOTONE_COUNTERS:
+                        if stats[counter] < previous[counter]:
+                            self._fail(
+                                name,
+                                tick,
+                                f"{target!r} counter {counter} fell from "
+                                f"{previous[counter]} to {stats[counter]}",
+                            )
+                if stats["buffered"] < 0:
+                    self._fail(name, tick, f"{target!r} negative buffer {stats['buffered']}")
+                adaptations = stats["cold_adaptations"] + stats["warm_adaptations"]
+                if adaptations > stats["steps"]:
+                    self._fail(
+                        name,
+                        tick,
+                        f"{target!r} has more adaptations ({adaptations}) than "
+                        f"ingest steps ({stats['steps']})",
+                    )
+                self._last_stats[target] = stats
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    @property
+    def ok(self) -> bool:
+        """Whether every check so far passed."""
+        return not self.violations
+
+    def report(self, max_violations: int = 20) -> dict:
+        """JSON-safe per-invariant summary (violations truncated per name)."""
+        by_name: dict[str, list[InvariantViolation]] = {name: [] for name in INVARIANT_NAMES}
+        for violation in self.violations:
+            by_name.setdefault(violation.invariant, []).append(violation)
+        return {
+            "ok": self.ok,
+            "invariants": {
+                name: {
+                    "ok": not broken,
+                    "checks": self.checks.get(name, 0),
+                    "violations": [v.to_dict() for v in broken[:max_violations]],
+                    "n_violations": len(broken),
+                }
+                for name, broken in by_name.items()
+            },
+        }

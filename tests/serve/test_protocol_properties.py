@@ -1,0 +1,161 @@
+"""Hypothesis property tests for the serving wire codec.
+
+Two properties every client can rely on:
+
+* **round-trip identity** — any valid request survives
+  ``encode_request``/``decode_request`` unchanged, and any envelope with a
+  JSON payload survives ``to_json``/``from_json`` unchanged;
+* **total decoding** — arbitrary junk (random text, random JSON values,
+  random field soups) never raises anything but the documented decode
+  error, :class:`ValueError` (``json.JSONDecodeError`` is one).
+"""
+
+import json
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.serve import (
+    AdaptRequest,
+    Envelope,
+    PredictRequest,
+    ReportRequest,
+    StreamRequest,
+    decode_request,
+    encode_request,
+)
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+finite_floats = st.floats(
+    allow_nan=False, allow_infinity=False, min_value=-1e12, max_value=1e12
+)
+
+#: Non-empty 2-D float blocks as nested lists (the wire form of samples).
+sample_blocks = st.integers(min_value=1, max_value=4).flatmap(
+    lambda width: st.lists(
+        st.lists(finite_floats, min_size=width, max_size=width), min_size=1, max_size=5
+    )
+)
+
+target_ids = st.text(min_size=1, max_size=12)
+
+requests = st.one_of(
+    st.builds(
+        AdaptRequest,
+        target_id=target_ids,
+        inputs=sample_blocks,
+        seed=st.one_of(st.none(), st.integers(min_value=0, max_value=2**31)),
+    ),
+    st.builds(
+        PredictRequest,
+        target_id=target_ids,
+        inputs=sample_blocks,
+        batch_size=st.integers(min_value=1, max_value=512),
+        strict=st.booleans(),
+    ),
+    st.builds(StreamRequest, target_id=target_ids, batch=sample_blocks),
+    st.builds(ReportRequest, target_id=st.one_of(st.none(), target_ids)),
+)
+
+#: Arbitrary JSON values (the payload/error bodies an envelope may carry).
+json_values = st.recursive(
+    st.one_of(st.none(), st.booleans(), finite_floats, st.integers(
+        min_value=-(2**53), max_value=2**53), st.text(max_size=8)),
+    lambda children: st.one_of(
+        st.lists(children, max_size=3),
+        st.dictionaries(st.text(max_size=8), children, max_size=3),
+    ),
+    max_leaves=10,
+)
+
+json_objects = st.dictionaries(st.text(max_size=8), json_values, max_size=4)
+
+envelopes = st.builds(
+    Envelope,
+    ok=st.booleans(),
+    kind=st.sampled_from(["adapt", "predict", "stream", "report", "invalid"]),
+    target_id=st.one_of(st.none(), target_ids),
+    payload=st.one_of(st.none(), json_objects),
+    error=st.one_of(st.none(), json_objects),
+    duration_seconds=st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+)
+
+
+class TestRoundTrip:
+    @settings(max_examples=80, deadline=None)
+    @given(request=requests)
+    def test_request_wire_round_trip_is_identity(self, request):
+        clone = decode_request(json.loads(json.dumps(encode_request(request))))
+        assert type(clone) is type(request)
+        assert clone.kind == request.kind
+        for name in request.__dataclass_fields__:
+            original, restored = getattr(request, name), getattr(clone, name)
+            if isinstance(original, np.ndarray):
+                assert restored.shape == original.shape
+                assert restored.dtype == original.dtype
+                assert original.tobytes() == restored.tobytes()
+            else:
+                assert original == restored
+
+    @settings(max_examples=80, deadline=None)
+    @given(envelope=envelopes)
+    def test_envelope_json_round_trip_is_identity(self, envelope):
+        clone = Envelope.from_json(envelope.to_json())
+        assert clone == envelope
+
+
+class TestJunkNeverEscapesValueError:
+    @settings(max_examples=120, deadline=None)
+    @given(text=st.text(max_size=60))
+    def test_envelope_from_json_raises_only_valueerror(self, text):
+        try:
+            envelope = Envelope.from_json(text)
+        except ValueError:
+            return  # the documented decode error (JSONDecodeError included)
+        assert isinstance(envelope, Envelope)  # the rare valid accident
+
+    @settings(max_examples=120, deadline=None)
+    @given(value=json_values)
+    def test_envelope_from_dict_raises_only_valueerror(self, value):
+        try:
+            envelope = Envelope.from_dict(value)
+        except ValueError:
+            return
+        assert isinstance(envelope, Envelope)
+
+    @settings(max_examples=120, deadline=None)
+    @given(value=json_values)
+    def test_decode_request_raises_only_valueerror_on_json_junk(self, value):
+        try:
+            request = decode_request(value)
+        except ValueError:
+            return
+        assert request.kind in ("adapt", "predict", "stream", "report")
+
+    @settings(max_examples=120, deadline=None)
+    @given(
+        fields=st.dictionaries(
+            st.sampled_from(
+                ["kind", "target_id", "inputs", "batch", "seed", "batch_size", "strict"]
+            ),
+            st.one_of(
+                st.none(),
+                st.booleans(),
+                st.integers(min_value=-10, max_value=10),
+                st.text(max_size=6),
+                st.sampled_from(["adapt", "predict", "stream", "report"]),
+                st.lists(st.one_of(finite_floats, st.text(max_size=3)), max_size=3),
+                sample_blocks,
+            ),
+        )
+    )
+    def test_decode_request_raises_only_valueerror_on_field_soup(self, fields):
+        """Plausible-looking request dictionaries with hostile field values."""
+        try:
+            request = decode_request(fields)
+        except ValueError:
+            return
+        assert request.kind in ("adapt", "predict", "stream", "report")

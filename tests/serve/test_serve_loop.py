@@ -77,6 +77,85 @@ class TestServeLines:
             assert payload["schema"] == SCHEMA
 
 
+class TestLoopFaultTolerance:
+    """Regression tests: nothing that happens after decoding may escape the loop.
+
+    Found while scripting fault plans for the workload simulator: a request
+    whose *submission* raised (a registry ``KeyError`` for an unknown
+    target, a shard pool shut down mid-flight) used to propagate out of
+    ``serve_lines`` and kill every queued request behind it.
+    """
+
+    def test_unknown_target_registry_keyerror_becomes_error_envelope(self, source):
+        gateway = build_gateway(source)
+        probe = np.random.default_rng(3).normal(size=(2, 4)).tolist()
+        lines = [
+            json.dumps(
+                {"kind": "predict", "target_id": "ghost", "inputs": probe, "strict": True}
+            ),
+            json.dumps({"kind": "report", "target_id": "ghost"}),
+        ]
+        envelopes = list(serve_lines(gateway, lines))
+        gateway.close()
+        assert [e.ok for e in envelopes] == [False, True]
+        assert envelopes[0].kind == "predict"
+        assert envelopes[0].error["type"] == "KeyError"
+        assert "never adapted" in envelopes[0].error["message"]
+        assert envelopes[1].payload["report"] is None
+
+    def test_submit_exceptions_are_absorbed_and_the_loop_continues(self, source):
+        class ExplodingGateway:
+            def __init__(self, inner):
+                self.inner = inner
+                self.calls = 0
+
+            def submit(self, request):
+                self.calls += 1
+                if self.calls == 1:
+                    raise KeyError("no bundle registered for task 'warp'")
+                return self.inner.submit(request)
+
+        gateway = build_gateway(source)
+        exploding = ExplodingGateway(gateway)
+        probe = np.random.default_rng(4).normal(size=(2, 4)).tolist()
+        lines = [
+            json.dumps({"kind": "predict", "target_id": "u1", "inputs": probe}),
+            json.dumps({"kind": "report"}),
+        ]
+        envelopes = list(serve_lines(exploding, lines))
+        gateway.close()
+        assert len(envelopes) == 2  # the loop survived the submit-time KeyError
+        assert not envelopes[0].ok
+        assert envelopes[0].kind == "predict"
+        assert envelopes[0].target_id == "u1"
+        assert envelopes[0].error["type"] == "KeyError"
+        assert envelopes[1].ok
+
+    def test_dead_shard_pools_answer_error_envelopes(self, source):
+        gateway = build_gateway(source)
+        gateway.close()  # every shard pool is gone; the loop must outlive them
+        probe = np.random.default_rng(5).normal(size=(2, 4)).tolist()
+        lines = [
+            json.dumps({"kind": "predict", "target_id": "u1", "inputs": probe}),
+            json.dumps({"kind": "adapt", "target_id": "u1", "inputs": probe}),
+        ]
+        envelopes = list(serve_lines(gateway, lines))
+        assert len(envelopes) == 2
+        assert all(not e.ok for e in envelopes)
+        assert all(e.error["type"] == "RuntimeError" for e in envelopes)
+
+    def test_submit_async_on_dead_pool_returns_error_future(self, source):
+        from repro.serve import PredictRequest
+
+        gateway = build_gateway(source)
+        gateway.close()
+        probe = np.random.default_rng(6).normal(size=(2, 4))
+        future = gateway.submit_async(PredictRequest("u1", probe))
+        envelope = future.result(timeout=5)
+        assert not envelope.ok
+        assert envelope.error["type"] == "RuntimeError"
+
+
 class TestServeCommand:
     def test_serve_command_end_to_end(self, capsys, monkeypatch):
         from repro.cli import main

@@ -1,0 +1,10 @@
+"""Fixtures for the workload-simulator suite (helpers in sim_fixtures.py)."""
+
+import pytest
+
+from sim_fixtures import make_spec
+
+
+@pytest.fixture(scope="session")
+def base_spec():
+    return make_spec()

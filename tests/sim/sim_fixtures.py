@@ -1,0 +1,49 @@
+"""Shared spec helpers for the workload-simulator suite.
+
+Specs here always pin short adaptation schedules through
+``config_overrides`` so a scenario run costs tens of milliseconds per
+adaptation; the registry bundle behind each (task, scale, seed) triple is
+built once and cached process-wide, so the whole matrix shares it.
+"""
+
+from repro.sim import WorkloadSpec
+
+#: Short, deterministic adaptation schedule for every simulated gateway.
+FAST_CONFIG = {
+    "adaptation_epochs": 3,
+    "min_adaptation_epochs": 1,
+    "n_mc_samples": 8,
+    "n_segments": 5,
+    "early_stop": False,
+}
+
+
+def make_spec(**overrides) -> WorkloadSpec:
+    """A small housing/tiny workload; keyword arguments override any field."""
+    payload = {
+        "task": "housing",
+        "scale": "tiny",
+        "scheme": "tasfar",
+        "seed": 5,
+        "n_ticks": 6,
+        "n_shards": 2,
+        "shard_workers": 2,
+        "min_adapt_events": 24,
+        "readapt_budget": 48,
+        "config_overrides": dict(FAST_CONFIG),
+        "fleets": [
+            {
+                "name": "fleet",
+                "n_users": 2,
+                "drift": "gradual",
+                "batch_size": 12,
+                "arrival": {"kind": "bursty", "rate": 0.5, "burst_every": 3, "burst_size": 2},
+                "predict_every": 2,
+                "predict_rows": 3,
+                "predict_duplicates": 1,
+                "report_every": 3,
+            }
+        ],
+    }
+    payload.update(overrides)
+    return WorkloadSpec.from_dict(payload)

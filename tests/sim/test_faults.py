@@ -1,0 +1,139 @@
+"""Tests for the fault-plan registry and the shipped fault plans."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.sim import (
+    Simulator,
+    compile_trace,
+    create_fault_plan,
+    fault_plan_names,
+    register_fault_plan,
+    run_simulation,
+)
+from repro.sim.faults import FAULT_PLANS, FaultPlan
+
+from sim_fixtures import make_spec
+
+
+class TestRegistry:
+    def test_shipped_plans_registered(self):
+        assert set(fault_plan_names()) >= {"none", "wire_chaos", "shard_crash", "cache_thrash"}
+
+    def test_unknown_plan_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault plan"):
+            create_fault_plan("gremlins")
+
+    def test_unknown_option_rejected(self):
+        with pytest.raises(ValueError, match="unknown option"):
+            create_fault_plan("shard_crash", cadence=2)
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_fault_plan("none", FaultPlan)
+
+    def test_third_party_plan(self):
+        class QuietPlan(FaultPlan):
+            name = "quiet"
+
+        register_fault_plan("quiet", QuietPlan)
+        try:
+            assert isinstance(create_fault_plan("quiet"), QuietPlan)
+        finally:
+            FAULT_PLANS.pop("quiet")
+
+
+class TestWireChaos:
+    def test_mutations_are_deterministic_and_visible(self, base_spec):
+        plan_a = create_fault_plan("wire_chaos")
+        plan_b = create_fault_plan("wire_chaos")
+        rng = lambda: np.random.default_rng(3)  # noqa: E731
+        trace_a = plan_a.mutate_trace(compile_trace(base_spec), rng())
+        trace_b = plan_b.mutate_trace(compile_trace(base_spec), rng())
+        assert [e.line for t in trace_a.ticks for e in t] == [
+            e.line for t in trace_b.ticks for e in t
+        ]
+        notes = {e.note for t in trace_a.ticks for e in t if e.note}
+        assert notes >= {"duplicate", "junk", "corrupt"}
+        assert plan_a.log == plan_b.log
+
+    def test_corrupt_lines_fail_the_codec_not_the_stack(self, base_spec):
+        from repro.serve import decode_request
+
+        plan = create_fault_plan("wire_chaos", corrupt_rate=1.0, junk_rate=0.0,
+                                 duplicate_rate=0.0, shuffle=False)
+        trace = plan.mutate_trace(compile_trace(base_spec), np.random.default_rng(0))
+        corrupted = [e for t in trace.ticks for e in t if e.note == "corrupt"]
+        assert corrupted
+        for event in corrupted:
+            with pytest.raises(ValueError):
+                decode_request(json.loads(event.line))
+
+    def test_chaos_run_answers_every_line_and_keeps_invariants(self):
+        spec = make_spec(fault_plan="wire_chaos", n_ticks=4)
+        result = run_simulation(spec)
+        assert result.ok, result.invariant_report
+        assert result.n_errors > 0  # junk + corruption produced error envelopes
+        assert result.n_requests == len(result.transcript_lines)
+        assert any(f["fault"] == "junk" for f in result.faults)
+
+
+class TestShardCrash:
+    def test_crash_and_respawn_leaves_the_transcript_unchanged(self):
+        calm = run_simulation(make_spec(n_ticks=4))
+        crashed = run_simulation(make_spec(n_ticks=4, fault_plan="shard_crash",
+                                           fault_options={"every": 2}))
+        assert crashed.ok, crashed.invariant_report
+        assert any(f["fault"] == "shard_crash" for f in crashed.faults)
+        # Worker crashes must be invisible in the answers: state survives,
+        # placement is stable, and the envelope stream is byte-identical.
+        assert crashed.transcript_text == calm.transcript_text
+
+    def test_restart_validates_shard_index(self, base_spec):
+        with Simulator(base_spec) as simulator:
+            with pytest.raises(ValueError, match="shard must be in"):
+                simulator.gateway.restart_shard_workers(99)
+
+
+class TestCacheThrash:
+    def test_evictions_force_cold_readapts_and_source_fallbacks(self):
+        spec = make_spec(n_ticks=6, fault_plan="cache_thrash", fault_options={"every": 2})
+        result = run_simulation(spec)
+        assert result.ok, result.invariant_report
+        assert any(f["fault"] == "cache_thrash" and f["evicted"] for f in result.faults)
+        # After a mid-run eviction at least one probe must have fallen back
+        # to the source model (the adapted model was gone at predict time).
+        models = [
+            json.loads(line)["envelope"]["payload"]["model"]
+            for line in result.transcript_lines
+            if json.loads(line)["envelope"]["kind"] == "predict"
+            and json.loads(line)["envelope"]["ok"]
+        ]
+        assert "source" in models
+
+    def test_service_evict_api(self):
+        """The seam the plan uses: evict() drops models, keeps reports."""
+        import importlib.util
+        from pathlib import Path
+
+        path = Path(__file__).resolve().parent.parent / "runtime" / "test_service.py"
+        spec = importlib.util.spec_from_file_location("_svc_fixtures", path)
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+
+        from repro.runtime import AdaptationService
+
+        model, calibration = module.make_source()
+        service = AdaptationService(model, calibration, config=module.fast_config())
+        targets = module.make_targets(n_targets=2)
+        service.adapt_many(targets)
+        names = list(targets)
+        assert service.evict(names[0]) == [names[0]]
+        assert service.model_for(names[0]) is None
+        assert service.report_for(names[0]) is not None
+        assert service.evict("unknown") == []
+        assert sorted(service.evict()) == sorted(names[1:])
+        assert service.cached_targets == []
+        assert service.n_adapted == 2

@@ -1,0 +1,115 @@
+"""Tests for the invariant suite itself: a broken stack must be caught.
+
+The scenario matrix proves the invariants *hold*; these tests prove they
+would *fail* if the stack misbehaved — an oracle that cannot fire is no
+oracle.  Violations are injected by doctoring envelopes and counters, not by
+breaking the real services.
+"""
+
+import pytest
+
+from repro.serve import Envelope
+from repro.sim import InvariantSuite, RequestRecord, Simulator, scrub_wall_clock
+from repro.sim.spec import TraceEvent
+
+from sim_fixtures import make_spec
+
+
+def record_for(envelope, kind="report", user="u"):
+    return RequestRecord(TraceEvent(0, 0, kind, user, "{}"), None, envelope)
+
+
+@pytest.fixture(scope="module")
+def simulator():
+    with Simulator(make_spec(n_ticks=2)) as sim:
+        yield sim
+
+
+class TestEnvelopeSchema:
+    def test_good_envelope_passes(self, simulator):
+        suite = InvariantSuite(simulator.gateway)
+        suite.observe_tick(0, [record_for(Envelope.success("report", "u", {"report": None}))])
+        assert suite.ok
+
+    def test_wrong_schema_version_caught(self, simulator):
+        suite = InvariantSuite(simulator.gateway)
+        envelope = Envelope.success("report", "u", {})
+        envelope.schema = "repro.serve/v0"
+        suite.observe_tick(0, [record_for(envelope)])
+        assert not suite.ok
+        assert suite.violations[0].invariant == "envelope_schema"
+
+    def test_ok_without_payload_caught(self, simulator):
+        suite = InvariantSuite(simulator.gateway)
+        envelope = Envelope(ok=True, kind="report", payload=None)
+        suite.observe_tick(0, [record_for(envelope)])
+        assert any(v.invariant == "envelope_schema" for v in suite.violations)
+
+    def test_error_without_body_caught(self, simulator):
+        suite = InvariantSuite(simulator.gateway)
+        envelope = Envelope(ok=False, kind="report", error={"type": "X"})
+        suite.observe_tick(0, [record_for(envelope)])
+        assert any("type/message" in v.detail for v in suite.violations)
+
+
+class TestShardPlacement:
+    def test_wrong_shard_caught(self, simulator):
+        suite = InvariantSuite(simulator.gateway)
+        target = "fleet-00"
+        wrong = (simulator.gateway.shard_for(target) + 1) % simulator.gateway.n_shards
+        envelope = Envelope.success("report", target, {"report": None, "shard": wrong})
+        suite.observe_tick(0, [record_for(envelope)])
+        assert any(v.invariant == "shard_placement" for v in suite.violations)
+
+    def test_migration_mid_run_caught(self, simulator):
+        suite = InvariantSuite(simulator.gateway)
+        target = "fleet-00"
+        home = simulator.gateway.shard_for(target)
+        suite._placements[target] = (home + 1) % simulator.gateway.n_shards
+        envelope = Envelope.success("report", target, {"report": None, "shard": home})
+        suite.observe_tick(0, [record_for(envelope)])
+        assert any("moved from shard" in v.detail for v in suite.violations)
+
+
+class TestMonotoneAccounting:
+    def test_fabricated_counter_regression_caught(self, simulator):
+        suite = InvariantSuite(simulator.gateway, verify_coalescing=False)
+        target = next(iter(simulator.trace.users))
+        shard = simulator.gateway.service_for(target)
+        # Pretend an earlier tick saw more events than the service now reports.
+        suite._last_stats[target] = {
+            "steps": 999, "total_events": 999,
+            "cold_adaptations": 0, "warm_adaptations": 0, "buffered": 0,
+        }
+        shard.ingest(target, [[0.0] * 8, [0.0] * 8])
+        suite._check_accounting(tick=1)
+        assert any(v.invariant == "monotone_accounting" for v in suite.violations)
+
+
+class TestScrubbing:
+    def test_scrub_zeroes_every_duration_at_any_depth(self):
+        payload = {
+            "duration_seconds": 1.25,
+            "payload": {
+                "report": {"duration_seconds": 9.0, "losses": [0.1]},
+                "events": [{"duration_seconds": 3.5, "step": 1}],
+            },
+        }
+        scrubbed = scrub_wall_clock(payload)
+        assert scrubbed["duration_seconds"] == 0.0
+        assert scrubbed["payload"]["report"]["duration_seconds"] == 0.0
+        assert scrubbed["payload"]["events"][0]["duration_seconds"] == 0.0
+        assert scrubbed["payload"]["report"]["losses"] == [0.1]
+        # The original is untouched (scrubbing copies).
+        assert payload["duration_seconds"] == 1.25
+
+    def test_report_shape(self, simulator):
+        suite = InvariantSuite(simulator.gateway)
+        report = suite.report()
+        assert report["ok"] is True
+        assert set(report["invariants"]) == {
+            "envelope_schema",
+            "shard_placement",
+            "coalesced_bit_identity",
+            "monotone_accounting",
+        }

@@ -1,0 +1,110 @@
+"""The standing integration matrix: tasks × schemes × fault plans.
+
+Every cell replays a seeded workload through a real gateway and requires all
+invariants green; selected cells additionally assert replay determinism
+(two fresh runs, byte-identical transcripts).  This file is the pytest face
+of `repro simulate` — the CI ``sim-matrix`` job runs the same grid through
+the CLI.
+"""
+
+import pytest
+
+from repro.sim import fault_plan_names, run_simulation, verify_replay
+
+from sim_fixtures import make_spec
+
+
+def small_spec(task, scheme, fault_plan, **overrides):
+    overrides.setdefault("n_ticks", 4)
+    return make_spec(
+        task=task,
+        scheme=scheme,
+        fault_plan=fault_plan,
+        fleets=[
+            {
+                "name": "mix",
+                "n_users": 2,
+                "drift": "gradual",
+                "batch_size": 12,
+                "arrival": {"kind": "bursty", "rate": 0.5, "burst_every": 2, "burst_size": 1},
+                "predict_every": 2,
+                "predict_rows": 3,
+                "predict_duplicates": 1,
+                "report_every": 2,
+            }
+        ],
+        **overrides,
+    )
+
+
+class TestScenarioMatrix:
+    @pytest.mark.parametrize("task", ["housing", "taxi"])
+    @pytest.mark.parametrize("scheme", ["tasfar", "mmd"])
+    def test_tasks_by_schemes_all_invariants_green(self, task, scheme):
+        result = run_simulation(small_spec(task, scheme, "none"))
+        assert result.ok, result.invariant_report
+        assert result.n_requests > 0
+        assert result.kind_counts.get("stream", 0) > 0
+        assert result.kind_counts.get("predict", 0) > 0
+
+    @pytest.mark.parametrize("fault_plan", sorted(fault_plan_names()))
+    def test_every_shipped_fault_plan_keeps_invariants(self, fault_plan):
+        result = run_simulation(small_spec("housing", "tasfar", fault_plan))
+        assert result.ok, result.invariant_report
+        if fault_plan != "none":
+            assert result.faults, f"{fault_plan} injected nothing"
+
+    @pytest.mark.parametrize(
+        "task, scheme, fault_plan",
+        [
+            ("housing", "tasfar", "none"),
+            ("housing", "tasfar", "wire_chaos"),
+            ("taxi", "mmd", "cache_thrash"),
+        ],
+    )
+    def test_replay_determinism(self, task, scheme, fault_plan):
+        ok, detail, result = verify_replay(small_spec(task, scheme, fault_plan))
+        assert ok, detail
+        assert result.n_requests == len(result.transcript_lines)
+
+    def test_adaptations_actually_happen(self):
+        """The matrix must exercise the training hot path, not just routing."""
+        result = run_simulation(small_spec("housing", "tasfar", "none", n_ticks=6))
+        import json
+
+        adapted = [
+            json.loads(line)["envelope"]
+            for line in result.transcript_lines
+            if json.loads(line)["envelope"]["kind"] == "stream"
+            and json.loads(line)["envelope"]["ok"]
+            and json.loads(line)["envelope"]["payload"]["event"]["action"]
+            in ("cold_adapt", "warm_adapt")
+        ]
+        assert adapted, "no stream batch ever triggered an adaptation"
+
+    def test_strict_predicts_error_before_adaptation(self):
+        spec = make_spec(
+            n_ticks=2,
+            min_adapt_events=10_000,  # nothing ever adapts
+            fleets=[
+                {
+                    "name": "s",
+                    "n_users": 1,
+                    "arrival": {"kind": "every", "every": 1},
+                    "predict_every": 1,
+                    "strict_predict": True,
+                }
+            ],
+        )
+        result = run_simulation(spec)
+        assert result.ok, result.invariant_report
+        import json
+
+        predict_envelopes = [
+            json.loads(line)["envelope"]
+            for line in result.transcript_lines
+            if json.loads(line)["envelope"]["kind"] == "predict"
+        ]
+        assert predict_envelopes
+        assert all(not e["ok"] for e in predict_envelopes)
+        assert all(e["error"]["type"] == "KeyError" for e in predict_envelopes)

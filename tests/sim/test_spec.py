@@ -1,0 +1,151 @@
+"""Tests for WorkloadSpec parsing, validation, and trace compilation."""
+
+import json
+
+import pytest
+
+from repro.sim import ArrivalSpec, WorkloadSpec, compile_trace, load_spec
+
+from sim_fixtures import make_spec
+
+
+class TestSpecValidation:
+    def test_round_trips_through_dict_form(self):
+        spec = make_spec()
+        clone = WorkloadSpec.from_dict(spec.to_dict())
+        assert clone == spec
+
+    def test_unknown_spec_field_rejected(self):
+        with pytest.raises(ValueError, match="unknown spec field"):
+            WorkloadSpec.from_dict({"task": "housing", "warp_speed": 9})
+
+    def test_unknown_fleet_field_rejected(self):
+        with pytest.raises(ValueError, match="unknown fleet field"):
+            make_spec(fleets=[{"name": "f", "n_userz": 3}])
+
+    def test_unknown_task_scheme_and_fault_plan_rejected(self):
+        with pytest.raises(ValueError, match="unknown task"):
+            make_spec(task="not_a_task")
+        with pytest.raises(ValueError, match="unknown scheme"):
+            make_spec(scheme="not_a_scheme")
+        with pytest.raises(ValueError, match="unknown fault plan"):
+            make_spec(fault_plan="not_a_plan")
+        with pytest.raises(ValueError, match="unknown scale"):
+            make_spec(scale="hueg")
+
+    def test_typoed_config_override_rejected(self):
+        with pytest.raises(ValueError, match="unknown config_overrides"):
+            make_spec(config_overrides={"adaptaton_epochs": 3})
+
+    def test_bad_arrival_and_drift_rejected(self):
+        with pytest.raises(ValueError, match="arrival kind"):
+            ArrivalSpec(kind="warp").validate()
+        with pytest.raises(ValueError, match="fleet drift"):
+            make_spec(fleets=[{"name": "f", "drift": "sideways"}])
+
+    def test_duplicate_fleet_names_rejected(self):
+        with pytest.raises(ValueError, match="fleet names must be unique"):
+            make_spec(fleets=[{"name": "a"}, {"name": "a"}])
+
+    def test_cache_capacity_defaults_to_fleet_size(self):
+        spec = make_spec(fleets=[{"name": "a", "n_users": 3}, {"name": "b", "n_users": 4}])
+        assert spec.n_users == 7
+        assert spec.cache_capacity() == 7
+        assert make_spec(max_cached_models=2).cache_capacity() == 2
+
+    def test_load_spec_rejects_bad_json(self, tmp_path):
+        path = tmp_path / "spec.json"
+        path.write_text("{not json", encoding="utf-8")
+        with pytest.raises(ValueError, match="not valid JSON"):
+            load_spec(str(path))
+
+    def test_load_spec_round_trip(self, tmp_path):
+        spec = make_spec()
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(spec.to_dict()), encoding="utf-8")
+        assert load_spec(str(path)) == spec
+
+    def test_shipped_example_spec_loads(self):
+        spec = load_spec("examples/specs/bursty_drift.json")
+        assert spec.task == "housing"
+        assert spec.fleets[0].arrival.kind == "bursty"
+
+
+class TestTraceCompilation:
+    def test_compilation_is_deterministic(self, base_spec):
+        first = compile_trace(base_spec)
+        second = compile_trace(base_spec)
+        assert [e.line for tick in first.ticks for e in tick] == [
+            e.line for tick in second.ticks for e in tick
+        ]
+        assert first.users == second.users
+
+    def test_seed_changes_the_trace(self, base_spec):
+        changed = base_spec.replace(seed=base_spec.seed + 1)
+        assert [e.line for tick in compile_trace(base_spec).ticks for e in tick] != [
+            e.line for tick in compile_trace(changed).ticks for e in tick
+        ]
+
+    def test_every_line_is_a_decodable_wire_request(self, base_spec):
+        from repro.serve import decode_request
+
+        trace = compile_trace(base_spec)
+        assert trace.n_events > 0
+        for events in trace.ticks:
+            for event in events:
+                request = decode_request(json.loads(event.line))
+                assert request.kind == event.kind
+
+    def test_users_cycle_through_scenarios(self):
+        spec = make_spec(fleets=[{"name": "f", "n_users": 5}])
+        trace = compile_trace(spec)
+        assert len(trace.users) == 5
+        assert set(trace.users) == {f"f-{i:02d}" for i in range(5)}
+
+    def test_unknown_scenario_name_rejected(self):
+        spec = make_spec(fleets=[{"name": "f", "scenarios": ["no_such_segment"]}])
+        with pytest.raises(ValueError, match="unknown scenario"):
+            compile_trace(spec)
+
+    def test_final_report_lands_on_last_tick(self, base_spec):
+        trace = compile_trace(base_spec)
+        fleet_wide = [
+            e for e in trace.ticks[-1] if e.kind == "report" and e.user is None
+        ]
+        assert len(fleet_wide) == 1
+
+    def test_bursty_arrival_synchronizes_the_fleet(self):
+        spec = make_spec(
+            n_ticks=6,
+            fleets=[
+                {
+                    "name": "f",
+                    "n_users": 3,
+                    "arrival": {"kind": "bursty", "rate": 0.0, "burst_every": 3, "burst_size": 2},
+                    "predict_every": 0,
+                    "report_every": 0,
+                }
+            ],
+            final_report=False,
+        )
+        trace = compile_trace(spec)
+        counts = [len(events) for events in trace.ticks]
+        # Bursts land on ticks 2 and 5 (every third tick); nothing else flows.
+        assert counts == [0, 0, 6, 0, 0, 6]
+
+    def test_every_arrival_staggers_users(self):
+        spec = make_spec(
+            n_ticks=4,
+            fleets=[
+                {
+                    "name": "f",
+                    "n_users": 2,
+                    "arrival": {"kind": "every", "every": 2},
+                    "predict_every": 0,
+                }
+            ],
+            final_report=False,
+        )
+        trace = compile_trace(spec)
+        by_tick = [[e.user for e in events] for events in trace.ticks]
+        assert by_tick == [["f-00"], ["f-01"], ["f-00"], ["f-01"]]
