@@ -55,18 +55,24 @@ REPORT_PATH = Path(__file__).resolve().parent.parent / "benchmark_report.txt"
 _report_started = False
 
 
-def record_report_entry(text: str, scale: str = BENCH_SCALE) -> None:
+def record_report_entry(text: str, scale: str = BENCH_SCALE, tags: dict | None = None) -> None:
     """Append one benchmark entry to the report, tagged with its scale.
 
     The first entry of the session starts a fresh report; sessions that never
-    record anything leave the existing report untouched.
+    record anything leave the existing report untouched.  ``tags`` adds
+    key=value markers to the entry header (e.g. ``{"executor": "process"}``),
+    so report lines measured under different execution modes are never
+    mistaken for comparable runs of the same configuration.
     """
     global _report_started
+    header = f"scale={scale}"
+    for key, value in (tags or {}).items():
+        header += f" {key}={value}"
     mode = "a" if _report_started else "w"
     with REPORT_PATH.open(mode, encoding="utf-8") as handle:
         if not _report_started:
             handle.write("TASFAR reproduction benchmark report\n\n")
-        handle.write(f"[scale={scale}]\n{text}\n\n")
+        handle.write(f"[{header}]\n{text}\n\n")
     _report_started = True
 
 

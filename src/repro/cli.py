@@ -69,6 +69,19 @@ from .experiments import SCALES, list_experiments, run_experiment
 __all__ = ["main", "build_parser"]
 
 
+def _executor_argument() -> dict:
+    """Shared ``--executor`` definition for the gateway-fronted subcommands."""
+    return dict(
+        choices=("thread", "process"),
+        default="thread",
+        help=(
+            "shard worker executor: 'process' runs adaptations in worker "
+            "processes on real cores (source weights shipped once per worker, "
+            "results bit-identical to 'thread')"
+        ),
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the argument parser for the CLI."""
     from .data.drift import DRIFT_KINDS
@@ -133,8 +146,9 @@ def build_parser() -> argparse.ArgumentParser:
         help="adaptation scheme served by the service (strategy registry)",
     )
     adapt_parser.add_argument(
-        "--jobs", type=int, default=1, help="worker threads per gateway shard"
+        "--jobs", type=int, default=1, help="workers per gateway shard"
     )
+    adapt_parser.add_argument("--executor", **_executor_argument())
     adapt_parser.add_argument(
         "--shards", type=int, default=1, help="gateway service shards (rendezvous-placed targets)"
     )
@@ -205,8 +219,9 @@ def build_parser() -> argparse.ArgumentParser:
         help="Page-Hinkley alarm threshold on the density divergence",
     )
     stream_parser.add_argument(
-        "--jobs", type=int, default=1, help="worker threads per gateway shard"
+        "--jobs", type=int, default=1, help="workers per gateway shard"
     )
+    stream_parser.add_argument("--executor", **_executor_argument())
     stream_parser.add_argument(
         "--shards", type=int, default=1, help="gateway service shards (rendezvous-placed targets)"
     )
@@ -240,8 +255,9 @@ def build_parser() -> argparse.ArgumentParser:
         "--shards", type=int, default=1, help="gateway service shards"
     )
     serve_parser.add_argument(
-        "--shard-workers", type=int, default=4, help="worker threads per shard"
+        "--shard-workers", type=int, default=4, help="workers per shard"
     )
+    serve_parser.add_argument("--executor", **_executor_argument())
     serve_parser.add_argument(
         "--max-cached",
         type=int,
@@ -283,6 +299,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     simulate_parser.add_argument(
         "--fault-plan", default=None, help="override the spec's fault plan (see repro.sim)"
+    )
+    simulate_parser.add_argument(
+        "--executor",
+        default=None,
+        choices=("thread", "process"),
+        help="override the spec's shard executor (process = adaptations in worker processes)",
     )
     simulate_parser.add_argument(
         "--ticks", type=int, default=None, help="override the spec's virtual tick count"
@@ -454,6 +476,7 @@ def _build_gateway(args: argparse.Namespace, bundle, max_cached: int, **service_
         strategy=_build_strategy(args, bundle),
         n_shards=args.shards,
         shard_workers=args.jobs,
+        executor=getattr(args, "executor", "thread"),
         max_cached_models=max_cached,
         base_seed=args.seed,
         service_options=service_options or None,
@@ -664,6 +687,7 @@ def _serve(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
         seed=args.seed,
         n_shards=args.shards,
         shard_workers=args.shard_workers,
+        executor=args.executor,
         max_cached_models=args.max_cached,
         service_options={
             "min_adapt_events": args.min_adapt,
@@ -706,6 +730,8 @@ def _simulate(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
             overrides["scheme"] = args.scheme
         if args.fault_plan is not None:
             overrides["fault_plan"] = args.fault_plan
+        if args.executor is not None:
+            overrides["executor"] = args.executor
         if args.ticks is not None:
             overrides["n_ticks"] = args.ticks
         if overrides:

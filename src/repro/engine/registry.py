@@ -17,18 +17,30 @@ from .strategy import AdaptationStrategy, BaselineStrategy, TasfarStrategy
 __all__ = ["STRATEGY_FACTORIES", "register_strategy", "create_strategy", "strategy_names"]
 
 
-def _baseline_factory(scheme: str) -> Callable[..., AdaptationStrategy]:
-    def factory(**kwargs) -> AdaptationStrategy:
-        return BaselineStrategy(scheme, **kwargs)
+class _BaselineFactory:
+    """A picklable factory binding one baseline scheme name.
 
-    factory.__name__ = f"{scheme}_strategy"
-    return factory
+    A plain callable class instead of a closure so that factories — and
+    anything referencing them — can cross a process boundary: the
+    process-backed worker pools ship strategies (and, transitively, whatever
+    built them) to worker processes by pickle, and closures don't pickle.
+    """
+
+    def __init__(self, scheme: str) -> None:
+        self.scheme = scheme
+        self.__name__ = f"{scheme}_strategy"
+
+    def __call__(self, **kwargs) -> AdaptationStrategy:
+        return BaselineStrategy(self.scheme, **kwargs)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging nicety
+        return f"_BaselineFactory({self.scheme!r})"
 
 
 #: scheme name -> strategy factory; keyword arguments of :func:`create_strategy`
 #: are forwarded to the factory.
 STRATEGY_FACTORIES: dict[str, Callable[..., AdaptationStrategy]] = {
-    name: (TasfarStrategy if name == "tasfar" else _baseline_factory(name))
+    name: (TasfarStrategy if name == "tasfar" else _BaselineFactory(name))
     for name in SCHEME_NAMES
 }
 

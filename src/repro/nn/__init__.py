@@ -33,7 +33,13 @@ from .normalization import BatchNorm1d, LayerNorm
 from .optim import SGD, Adam, Optimizer, clip_gradients
 from .parameter import Parameter
 from .schedulers import CosineAnnealing, ExponentialDecay, StepDecay
-from .serialization import copy_parameters, load_model, save_model
+from .serialization import (
+    copy_parameters,
+    load_model,
+    model_digest,
+    parameter_bytes,
+    save_model,
+)
 from .tcn import TemporalBlock, TemporalConvNet
 from .trainer import Trainer, TrainingHistory, predict_batched
 
@@ -85,6 +91,8 @@ __all__ = [
     "copy_parameters",
     "get_loss",
     "load_model",
+    "model_digest",
+    "parameter_bytes",
     "save_model",
     "train_test_split",
     "get_loss",

@@ -1,14 +1,30 @@
-"""Saving and loading model parameters as ``.npz`` archives."""
+"""Saving and loading model parameters, plus cross-process identity helpers.
+
+``save_model``/``load_model`` persist parameters as ``.npz`` archives.
+:func:`parameter_bytes` and :func:`model_digest` serve the process-backed
+worker pools (:mod:`repro.runtime.workers`): weights cross the pool boundary
+by pickle, and the digest is the oracle the determinism suites use to assert
+that a model that went through a worker process carries *bit-identical*
+parameters to one adapted in-process — float64 equality down to the byte,
+not ``allclose``.
+"""
 
 from __future__ import annotations
 
+import hashlib
 import os
 
 import numpy as np
 
 from .module import Module
 
-__all__ = ["save_model", "load_model", "copy_parameters"]
+__all__ = [
+    "save_model",
+    "load_model",
+    "copy_parameters",
+    "parameter_bytes",
+    "model_digest",
+]
 
 
 def save_model(model: Module, path: str | os.PathLike) -> None:
@@ -40,6 +56,32 @@ def load_model(model: Module, path: str | os.PathLike) -> Module:
             )
         param.data[...] = value
     return model
+
+
+def parameter_bytes(model: Module) -> bytes:
+    """The exact bytes of every parameter, in parameter order.
+
+    Each array contributes its shape (so ``(2, 3)`` and ``(3, 2)`` of equal
+    bytes can't collide) followed by its C-order raw data.  Two models map to
+    the same bytes iff their parameters are bit-identical — the equality the
+    cross-process determinism suite pins.
+    """
+    chunks: list[bytes] = []
+    for param in model.parameters():
+        data = np.ascontiguousarray(param.data)
+        chunks.append(repr((data.shape, data.dtype.str)).encode("utf-8"))
+        chunks.append(data.tobytes())
+    return b"".join(chunks)
+
+
+def model_digest(model: Module) -> str:
+    """SHA-256 hex digest of :func:`parameter_bytes` — a compact identity.
+
+    Cheap to compare and to carry across a process boundary; used to assert
+    that serial, thread-pooled, and process-pooled adaptations of the same
+    target produce the very same model.
+    """
+    return hashlib.sha256(parameter_bytes(model)).hexdigest()
 
 
 def copy_parameters(source: Module, destination: Module) -> Module:

@@ -18,11 +18,15 @@ from .report import AdaptationReport
 from .serialization import to_jsonable
 from .service import AdaptationService, canonical_target_id
 from .store import ResultStore
+from .workers import EXECUTOR_KINDS, AdaptationWorkerPool, WorkerCrashError
 
 __all__ = [
+    "EXECUTOR_KINDS",
     "AdaptationReport",
     "AdaptationService",
+    "AdaptationWorkerPool",
     "ResultStore",
+    "WorkerCrashError",
     "canonical_target_id",
     "to_jsonable",
 ]

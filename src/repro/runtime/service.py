@@ -29,6 +29,7 @@ import copy
 import hashlib
 import threading
 import time
+import warnings
 from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
 from typing import Iterable, Mapping
@@ -42,8 +43,16 @@ from ..nn.losses import Loss
 from ..nn.models import RegressionModel
 from ..nn.trainer import predict_batched
 from .report import AdaptationReport
+from .workers import EXECUTOR_KINDS, AdaptationWorkerPool
 
 __all__ = ["AdaptationService", "canonical_target_id"]
+
+_THREAD_EXECUTOR_WARNING = (
+    "adapt_many is using the thread executor on a CPU-bound adaptation strategy: "
+    "the training loop is numpy-small-op and GIL-bound, so jobs>1 gives no "
+    "speedup over serial (measured 0.94x at jobs=4). Pass executor='process' "
+    "(or attach a pool with use_process_workers) for real parallelism."
+)
 
 
 def canonical_target_id(target_id: object) -> str:
@@ -133,6 +142,8 @@ class AdaptationService:
         self._reports: dict[str, AdaptationReport] = {}
         self._lock = threading.Lock()
         self._forward_lock = threading.Lock()
+        self._worker_pool: AdaptationWorkerPool | None = None
+        self._warned_thread_executor = False
 
     # ------------------------------------------------------------------
     # Seeding
@@ -145,6 +156,55 @@ class AdaptationService:
         """
         digest = hashlib.sha256(canonical_target_id(target_id).encode("utf-8")).digest()
         return (int.from_bytes(digest[:8], "little") ^ self.base_seed) % (2**63)
+
+    # ------------------------------------------------------------------
+    # Worker processes
+    # ------------------------------------------------------------------
+    @property
+    def executor(self) -> str:
+        """The executor kind adaptations currently run on (``thread`` or ``process``)."""
+        return "process" if self._worker_pool is not None else "thread"
+
+    @property
+    def worker_pool(self) -> AdaptationWorkerPool | None:
+        """The attached process worker pool, if any."""
+        return self._worker_pool
+
+    def use_process_workers(
+        self, workers: int, *, start_method: str | None = None
+    ) -> AdaptationWorkerPool:
+        """Attach a process worker pool; every adaptation then runs on real cores.
+
+        The pristine source model and the prepared strategy are shipped to
+        each worker once, at pool start.  All adaptation entry points —
+        :meth:`adapt`, :meth:`adapt_many`, and the streaming subclass's
+        re-adaptations — route through the pool from here on; results stay
+        bit-identical to the in-process path.  Replaces (and closes) any
+        previously attached pool.
+        """
+        pool = AdaptationWorkerPool(
+            workers, self._source_model, self.strategy, start_method=start_method
+        )
+        old, self._worker_pool = self._worker_pool, pool
+        if old is not None:
+            old.close()
+        return pool
+
+    def restart_workers(self) -> list[int]:
+        """Kill and respawn the attached worker processes (no-op on threads).
+
+        Fault-injection hook: models a crashed worker fleet.  Returns the
+        PIDs that were killed (empty when no process pool is attached).
+        """
+        if self._worker_pool is None:
+            return []
+        return self._worker_pool.restart()
+
+    def close(self) -> None:
+        """Release the process worker pool, if one is attached (idempotent)."""
+        pool, self._worker_pool = self._worker_pool, None
+        if pool is not None:
+            pool.close()
 
     # ------------------------------------------------------------------
     # Adaptation
@@ -199,8 +259,14 @@ class AdaptationService:
         re-adaptation), neither of which the public :meth:`adapt` exposes.
 
         The strategy receives a private deep copy of the model it starts
-        from, so concurrent workers never share forward caches.
+        from, so concurrent workers never share forward caches.  With a
+        process pool attached the same computation runs inside a worker
+        process instead (bit-identical — the worker mirrors this method);
+        either way the caller blocks until the result is back.
         """
+        pool = self._worker_pool
+        if pool is not None:
+            return pool.adapt(target_id, inputs, seed, base_model, warm_epochs)
         model = copy.deepcopy(base_model if base_model is not None else self._source_model)
         start = time.perf_counter()
         outcome = self.strategy.adapt(
@@ -229,6 +295,7 @@ class AdaptationService:
         self,
         targets: Mapping[str, np.ndarray] | Iterable[tuple[str, np.ndarray]],
         jobs: int = 1,
+        executor: str | None = None,
     ) -> dict[str, AdaptationReport]:
         """Adapt a batch of targets, optionally on a worker pool.
 
@@ -237,10 +304,17 @@ class AdaptationService:
         targets:
             ``{target_id: inputs}`` mapping or an iterable of pairs.
         jobs:
-            Worker-thread count.  ``1`` runs serially in the calling thread;
-            any value produces identical numbers because every target is
-            independently seeded (numpy releases the GIL in the hot kernels,
-            so threads overlap real work).
+            Worker count.  ``1`` runs serially in the calling thread; any
+            value produces identical numbers because every target is
+            independently seeded.
+        executor:
+            ``"process"`` runs workers on real cores (this is where jobs>1
+            actually goes faster); ``"thread"`` keeps the old GIL-bound
+            thread pool and warns once, because the adaptation loop is
+            numpy-small-op CPU-bound work that threads cannot overlap.
+            ``None`` (the default) picks ``"process"`` when a pool is
+            already attached via :meth:`use_process_workers`, else
+            ``"thread"``.
 
         Returns
         -------
@@ -250,14 +324,53 @@ class AdaptationService:
         items = list(targets.items()) if isinstance(targets, Mapping) else list(targets)
         if jobs < 1:
             raise ValueError("jobs must be at least 1")
+        if executor is not None and executor not in EXECUTOR_KINDS:
+            raise ValueError(f"executor must be one of {EXECUTOR_KINDS}, got {executor!r}")
+        if executor is None:
+            executor = "process" if self._worker_pool is not None else "thread"
         if jobs == 1 or len(items) <= 1:
             return {canonical_target_id(tid): self.adapt(tid, data) for tid, data in items}
+        if executor == "process":
+            return self._adapt_many_process(items, jobs)
+        if not self._warned_thread_executor:
+            self._warned_thread_executor = True
+            warnings.warn(_THREAD_EXECUTOR_WARNING, RuntimeWarning, stacklevel=2)
         with ThreadPoolExecutor(max_workers=jobs) as pool:
             futures = [pool.submit(self.adapt, tid, data) for tid, data in items]
             return {
                 canonical_target_id(tid): future.result()
                 for (tid, _), future in zip(items, futures)
             }
+
+    def _adapt_many_process(
+        self, items: list[tuple[str, np.ndarray]], jobs: int
+    ) -> dict[str, AdaptationReport]:
+        """Fan a batch out over worker processes and fold results back in order.
+
+        Uses the attached pool when present (weights already shipped), else
+        stands up an ephemeral one sized ``jobs`` for this call.  All
+        bookkeeping — the LRU model cache, the report table — happens in the
+        parent, in input order, exactly as the serial path would do it.
+        """
+        pool = self._worker_pool
+        ephemeral = pool is None
+        if ephemeral:
+            pool = AdaptationWorkerPool(jobs, self._source_model, self.strategy)
+        try:
+            submitted = []
+            for tid, data in items:
+                target_id = canonical_target_id(tid)
+                seed = self.target_seed(target_id)
+                submitted.append((target_id, pool.submit(target_id, data, seed)))
+            reports: dict[str, AdaptationReport] = {}
+            for target_id, future in submitted:
+                report, outcome = pool.collect(future)
+                self._store_result(target_id, report, outcome.target_model)
+                reports[target_id] = report
+            return reports
+        finally:
+            if ephemeral:
+                pool.close()
 
     # ------------------------------------------------------------------
     # Lookup

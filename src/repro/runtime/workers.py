@@ -1,0 +1,274 @@
+"""Process-backed adaptation workers: real cores for the fine-tune hot path.
+
+The adaptation hot path is hundreds of *small* numpy operations per epoch —
+tiny gemms, elementwise updates, RNG draws — and CPython holds the GIL
+through nearly all of them (the kernels are too small for numpy to release
+it for long).  A thread pool therefore adds safety but no speed:
+``benchmark_report.txt`` measured pooled ``adapt_many`` at jobs=4 running at
+**0.94x of serial**.  :class:`AdaptationWorkerPool` moves the work onto a
+``ProcessPoolExecutor`` so a fleet adaptation can actually use the machine.
+
+Design points:
+
+* **Weights ship once per worker.**  The pool's initializer receives the
+  pristine source model and the prepared strategy as ``initargs`` — pickled
+  once per worker under the ``spawn`` start method, inherited copy-on-write
+  under ``fork`` — and stashes them in a module global.  Per-task traffic is
+  only ``(target_id, inputs, seed)`` out and ``(report, adapted model)``
+  back.
+* **Bit-identical to in-process adaptation.**  The worker runs exactly the
+  computation :meth:`AdaptationService._run_adaptation` runs — deep copy of
+  the start model, one seeded ``strategy.adapt`` — and pickling preserves
+  float64 bits exactly, so ``executor="process"`` results are byte-equal to
+  serial results (the equivalence oracles in ``tests/runtime`` and
+  ``tests/sim`` pin this for all six schemes).
+* **Registry-addressable strategies.**  Everything crossing the pool
+  boundary must pickle: strategies are plain objects built through
+  :mod:`repro.engine.registry` (no closures), models are numpy-parameter
+  containers, reports are JSON-friendly dataclasses.
+* **Crash isolation.**  :meth:`AdaptationWorkerPool.restart` *kills* the
+  worker processes (it does not drain them) and stands up a fresh pool.
+  In-flight futures then raise instead of hanging — queued ones come back
+  ``CancelledError``, running ones ``BrokenProcessPool`` — and
+  :meth:`AdaptationWorkerPool.collect` translates both into the typed
+  :class:`WorkerCrashError` the serving layer answers as an error envelope.
+"""
+
+from __future__ import annotations
+
+import copy
+import multiprocessing
+import threading
+import time
+from concurrent.futures import CancelledError, Future, ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+
+import numpy as np
+
+from ..engine.strategy import AdaptationStrategy, StrategyOutcome
+from ..nn.models import RegressionModel
+from .report import AdaptationReport
+
+__all__ = [
+    "EXECUTOR_KINDS",
+    "AdaptationWorkerPool",
+    "WorkerCrashError",
+    "default_start_method",
+]
+
+#: Executor kinds the runtime and serving layers accept.
+EXECUTOR_KINDS = ("thread", "process")
+
+
+class WorkerCrashError(RuntimeError):
+    """An adaptation was in flight when its worker pool was killed.
+
+    Raised in the *submitting* process (never hangs the caller): the serving
+    layer turns it into a typed error envelope, and because adaptation is
+    deterministic the request can simply be retried on the respawned pool.
+    """
+
+
+def default_start_method() -> str:
+    """``fork`` where available (cheap workers, copy-on-write weights), else ``spawn``."""
+    methods = multiprocessing.get_all_start_methods()
+    return "fork" if "fork" in methods else "spawn"
+
+
+# One payload per worker *process*: set once by the pool initializer, read by
+# every task that worker runs.  Module-global (not a closure) so the worker
+# entry points pickle under every start method.
+_WORKER_STATE: dict = {}
+
+
+def _init_worker(source_model: RegressionModel, strategy: AdaptationStrategy) -> None:
+    _WORKER_STATE["source_model"] = source_model
+    _WORKER_STATE["strategy"] = strategy
+
+
+def _worker_adapt(
+    target_id: str,
+    inputs: np.ndarray,
+    seed: int,
+    base_model: RegressionModel | None,
+    warm_epochs: int | None,
+) -> tuple[AdaptationReport, StrategyOutcome]:
+    """Run one adaptation inside a worker process.
+
+    Mirrors :meth:`AdaptationService._run_adaptation` exactly — same deep
+    copy, same ``strategy.adapt`` call shape — which is what keeps process
+    results bit-identical to in-process ones.  The heavyweight
+    ``outcome.result`` (per-sample prediction arrays) is dropped before the
+    outcome crosses back: the parent's bookkeeping needs only the adapted
+    model, the losses, and the density map.
+    """
+    source = _WORKER_STATE["source_model"]
+    strategy = _WORKER_STATE["strategy"]
+    model = copy.deepcopy(base_model if base_model is not None else source)
+    start = time.perf_counter()
+    outcome = strategy.adapt(
+        model,
+        inputs,
+        seed=seed,
+        base_model=model if base_model is not None else None,
+        warm_epochs=warm_epochs,
+    )
+    duration = time.perf_counter() - start
+    report = AdaptationReport.from_outcome(target_id, seed, outcome, len(inputs), duration)
+    outcome.result = None
+    return report, outcome
+
+
+class AdaptationWorkerPool:
+    """A restartable process pool running seeded adaptations on real cores.
+
+    Parameters
+    ----------
+    workers:
+        Worker process count.
+    source_model:
+        The pristine (already ``eval()``-ed) source model shipped to every
+        worker at initialization — once, not per task.
+    strategy:
+        The prepared :class:`~repro.engine.AdaptationStrategy`; must pickle
+        (all registry-built strategies do).
+    start_method:
+        Multiprocessing start method; defaults to
+        :func:`default_start_method`.
+    """
+
+    def __init__(
+        self,
+        workers: int,
+        source_model: RegressionModel,
+        strategy: AdaptationStrategy,
+        *,
+        start_method: str | None = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be at least 1")
+        self.workers = int(workers)
+        self.start_method = start_method if start_method else default_start_method()
+        self._payload = (source_model, strategy)
+        self._lock = threading.Lock()
+        self._closed = False
+        self._pool: ProcessPoolExecutor | None = self._new_pool()
+
+    def _new_pool(self) -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(
+            max_workers=self.workers,
+            mp_context=multiprocessing.get_context(self.start_method),
+            initializer=_init_worker,
+            initargs=self._payload,
+        )
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        target_id: str,
+        inputs: np.ndarray,
+        seed: int,
+        base_model: RegressionModel | None = None,
+        warm_epochs: int | None = None,
+    ) -> "Future[tuple[AdaptationReport, StrategyOutcome]]":
+        """Queue one adaptation; resolve the future with :meth:`collect`."""
+        with self._lock:
+            if self._closed or self._pool is None:
+                raise WorkerCrashError("the adaptation worker pool is closed")
+            pool = self._pool
+        try:
+            return pool.submit(_worker_adapt, target_id, inputs, seed, base_model, warm_epochs)
+        except RuntimeError as exc:
+            # The pool broke or was swapped out between the lock release and
+            # the submit; surface the same typed error collect() would.
+            raise WorkerCrashError(
+                "the adaptation worker pool died before the task was queued; retry"
+            ) from exc
+
+    @staticmethod
+    def collect(future: "Future") -> tuple[AdaptationReport, StrategyOutcome]:
+        """Resolve a :meth:`submit` future, translating pool-death failures.
+
+        ``CancelledError`` (queued when the pool was killed) and
+        ``BrokenProcessPool`` (running when the pool was killed) both become
+        :class:`WorkerCrashError` — an ``Exception`` the serving layer's
+        errors-as-data discipline knows how to answer.  Genuine adaptation
+        errors raised inside the worker (e.g.
+        :class:`~repro.core.adapter.NoConfidentSamplesError`) re-raise
+        unchanged, exactly as the in-process path would raise them.
+        """
+        try:
+            return future.result()
+        except (CancelledError, BrokenProcessPool) as exc:
+            raise WorkerCrashError(
+                "the worker pool was killed while this adaptation was in flight; "
+                "adaptation is deterministic, so retrying on the respawned pool "
+                "reproduces the same result"
+            ) from exc
+
+    def adapt(
+        self,
+        target_id: str,
+        inputs: np.ndarray,
+        seed: int,
+        base_model: RegressionModel | None = None,
+        warm_epochs: int | None = None,
+    ) -> tuple[AdaptationReport, StrategyOutcome]:
+        """Synchronous submit-and-collect convenience."""
+        return self.collect(self.submit(target_id, inputs, seed, base_model, warm_epochs))
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def worker_pids(self) -> list[int]:
+        """PIDs of the live worker processes (spawned lazily on first submit)."""
+        with self._lock:
+            pool = self._pool
+        if pool is None:
+            return []
+        processes = getattr(pool, "_processes", None) or {}
+        return sorted(p.pid for p in processes.values() if p.pid is not None)
+
+    def restart(self) -> list[int]:
+        """Kill the worker processes and stand up a fresh pool.
+
+        Models a crashed-and-respawned worker fleet, so it terminates the
+        processes instead of draining them.  Futures that were queued or
+        running raise (``CancelledError`` / ``BrokenProcessPool``, both
+        translated by :meth:`collect`) rather than hang.  Returns the PIDs
+        that were killed.
+        """
+        with self._lock:
+            if self._closed:
+                raise WorkerCrashError("the adaptation worker pool is closed")
+            old, self._pool = self._pool, None
+        killed: list[int] = []
+        if old is not None:
+            processes = list((getattr(old, "_processes", None) or {}).values())
+            for process in processes:
+                if process.pid is not None:
+                    killed.append(process.pid)
+                process.terminate()
+            old.shutdown(wait=True, cancel_futures=True)
+        with self._lock:
+            if not self._closed:
+                self._pool = self._new_pool()
+        return sorted(killed)
+
+    def close(self) -> None:
+        """Shut the pool down for good (idempotent)."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            old, self._pool = self._pool, None
+        if old is not None:
+            old.shutdown(wait=True, cancel_futures=True)
+
+    def __enter__(self) -> "AdaptationWorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -22,7 +22,7 @@ README's "Serving" section for the wire schema.
 """
 
 from .batching import BatchPolicy
-from .gateway import Gateway
+from .gateway import Gateway, ShardRestartedError
 from .loop import decode_line, serve_lines, serve_loop
 from .protocol import (
     SCHEMA,
@@ -45,6 +45,7 @@ __all__ = [
     "PredictRequest",
     "ReportRequest",
     "Request",
+    "ShardRestartedError",
     "StreamRequest",
     "decode_line",
     "decode_request",

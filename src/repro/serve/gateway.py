@@ -33,9 +33,10 @@ a facade over them, not a replacement.
 from __future__ import annotations
 
 import hashlib
+import threading
 import time
-from concurrent.futures import Future, ThreadPoolExecutor
-from typing import Iterable, Sequence
+from concurrent.futures import Future, InvalidStateError, ThreadPoolExecutor
+from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
@@ -45,6 +46,7 @@ from ..engine.strategy import AdaptationStrategy
 from ..nn.losses import Loss
 from ..nn.models import RegressionModel
 from ..runtime.service import AdaptationService, canonical_target_id
+from ..runtime.workers import EXECUTOR_KINDS
 from ..streaming.service import StreamingAdaptationService
 from .batching import BatchPolicy, PredictPlan, run_model_group
 from .protocol import (
@@ -56,13 +58,128 @@ from .protocol import (
     StreamRequest,
 )
 
-__all__ = ["Gateway"]
+__all__ = ["Gateway", "ShardRestartedError"]
+
+
+class ShardRestartedError(RuntimeError):
+    """A request was queued on a shard whose worker pool was killed.
+
+    Delivered *as data* — inside the error envelope that resolves the
+    request's future — never as a hang: :meth:`Gateway.restart_shard_workers`
+    settles every orphaned future before it returns.  Adaptation is
+    deterministic, so resubmitting the same request on the respawned pool
+    reproduces the same result.
+    """
 
 
 def _placement_weight(target_id: str, shard: int) -> int:
     """Stable rendezvous weight of ``(target, shard)`` (process-independent)."""
     digest = hashlib.sha256(f"{target_id}\x00shard{shard}".encode("utf-8")).digest()
     return int.from_bytes(digest[:8], "little")
+
+
+def _settle(future: Future, result=None, exc: BaseException | None = None) -> None:
+    """Resolve a future exactly once; later settlers lose quietly.
+
+    The task thread and the restart path can race to settle the same outer
+    future (a task finishing just as its pool is torn down); whichever
+    arrives second must be a no-op, not a crash.
+    """
+    try:
+        if exc is not None:
+            future.set_exception(exc)
+        else:
+            future.set_result(result)
+    except InvalidStateError:
+        pass
+
+
+class _ShardDispatch:
+    """One shard's dispatch pool, with no-orphan restart semantics.
+
+    Callers never hold a raw executor future: :meth:`submit` returns an
+    *outer* future that this class guarantees to settle — with the task's
+    result, with the task's exception, or (when :meth:`restart` kills the
+    pool while the task is still queued) with the caller-provided
+    ``orphan_result``.  That last leg is the fix for the hang the old code
+    had: ``ThreadPoolExecutor.shutdown`` simply abandons queued work, and a
+    caller blocked on ``future.result()`` would wait forever.
+
+    Tasks already *running* at restart time are not interruptible (threads
+    cannot be killed); they settle their outer future when they finish.
+    Under the process executor that is prompt — the worker processes
+    underneath them are killed, so the blocked task raises immediately and
+    the outer future resolves to an error envelope.
+    """
+
+    def __init__(self, index: int, workers: int) -> None:
+        self.index = index
+        self.workers = workers
+        self._lock = threading.Lock()
+        # inner executor future -> (outer caller future, orphan_result)
+        self._pending: dict[Future, tuple[Future, Callable[[], object]]] = {}
+        self._pool = self._new_pool()
+
+    def _new_pool(self) -> ThreadPoolExecutor:
+        return ThreadPoolExecutor(
+            max_workers=self.workers, thread_name_prefix=f"gateway-shard-{self.index}"
+        )
+
+    def submit(
+        self, fn: Callable, args: tuple, orphan_result: Callable[[], object]
+    ) -> Future:
+        """Queue ``fn(*args)``; the returned future always settles.
+
+        ``orphan_result`` is called (lazily, only if needed) to produce the
+        value the future resolves to when the task is thrown away by a
+        restart before it ever ran.  Raises ``RuntimeError`` if the pool is
+        already shut down for good (gateway closed) — callers translate that
+        into an immediate error envelope.
+        """
+        outer: Future = Future()
+
+        def task():
+            try:
+                result = fn(*args)
+            except BaseException as exc:  # settle, never lose the outer future
+                _settle(outer, exc=exc)
+            else:
+                _settle(outer, result=result)
+
+        with self._lock:
+            pool = self._pool
+        inner = pool.submit(task)
+        with self._lock:
+            self._pending[inner] = (outer, orphan_result)
+        inner.add_done_callback(self._reap)
+        return outer
+
+    def _reap(self, inner: Future) -> None:
+        with self._lock:
+            entry = self._pending.pop(inner, None)
+        if entry is None:
+            return
+        outer, orphan_result = entry
+        if inner.cancelled():
+            # Killed while still queued: the task never ran, so nothing else
+            # will ever settle the outer future — resolve it with the
+            # caller's orphan envelope.
+            _settle(outer, result=orphan_result())
+
+    def restart(self) -> None:
+        """Swap in a fresh pool; queued tasks resolve to their orphan results.
+
+        Non-draining by design (it models a crash, not a graceful stop):
+        queued inner futures are cancelled, which triggers :meth:`_reap` and
+        settles their outer futures with the orphan envelopes.
+        """
+        with self._lock:
+            old = self._pool
+            self._pool = self._new_pool()
+        old.shutdown(wait=False, cancel_futures=True)
+
+    def close(self) -> None:
+        self._pool.shutdown(wait=True, cancel_futures=True)
 
 
 class Gateway:
@@ -86,7 +203,17 @@ class Gateway:
         Number of service shards.  Each shard has its own model cache,
         worker pool, and (for streaming) per-target stream state.
     shard_workers:
-        Worker threads per shard pool.
+        Workers per shard pool: dispatch threads (``executor="thread"``) or
+        worker processes plus the dispatch threads that feed them
+        (``executor="process"``).
+    executor:
+        ``"thread"`` (default) keeps shard work on the dispatch threads —
+        fine for prediction, GIL-bound for adaptation.  ``"process"``
+        attaches a :class:`~repro.runtime.AdaptationWorkerPool` to every
+        shard service: adaptations run in worker processes on real cores
+        (source weights shipped once per worker at pool start), while
+        prediction, stream bookkeeping, and reports stay in-process.
+        Results are bit-identical across the two executors.
     max_cached_models:
         LRU capacity *per shard*.
     base_seed:
@@ -112,6 +239,7 @@ class Gateway:
         strategy: AdaptationStrategy | None = None,
         n_shards: int = 1,
         shard_workers: int = 4,
+        executor: str = "thread",
         max_cached_models: int = 8,
         base_seed: int = 0,
         batch_policy: BatchPolicy | None = None,
@@ -121,6 +249,9 @@ class Gateway:
             raise ValueError("n_shards must be at least 1")
         if shard_workers < 1:
             raise ValueError("shard_workers must be at least 1")
+        if executor not in EXECUTOR_KINDS:
+            raise ValueError(f"executor must be one of {EXECUTOR_KINDS}, got {executor!r}")
+        self.executor = executor
         self.batch_policy = batch_policy if batch_policy is not None else BatchPolicy()
         options = dict(service_options or {})
         common = dict(
@@ -146,28 +277,41 @@ class Gateway:
                 service = AdaptationService(source_model, calibration, **common)
             self._shards.append(service)
         self._shard_workers = shard_workers
-        self._pools = [self._new_pool(index) for index in range(n_shards)]
+        if executor == "process":
+            # Processes spawn eagerly, before any dispatch thread exists —
+            # forking a threaded process is where the dragons live.
+            for service in self._shards:
+                service.use_process_workers(shard_workers)
+        self._dispatch = [
+            _ShardDispatch(index, shard_workers) for index in range(n_shards)
+        ]
 
-    def _new_pool(self, index: int) -> ThreadPoolExecutor:
-        return ThreadPoolExecutor(
-            max_workers=self._shard_workers, thread_name_prefix=f"gateway-shard-{index}"
-        )
+    def restart_shard_workers(self, shard: int) -> list[int]:
+        """Kill one shard's worker pool and stand up a fresh one — no orphans.
 
-    def restart_shard_workers(self, shard: int) -> None:
-        """Tear down one shard's worker pool and stand up a fresh one.
-
-        Models a worker crash followed by a supervisor respawn: in-flight
-        work on the old pool completes (shutdown waits), the shard's
+        Models a worker crash followed by a supervisor respawn.  The shard's
         *service state* — cached models, stream buffers, reports — survives
-        untouched, and subsequent requests run on the new pool.  Used by the
-        fault-injection harness (:mod:`repro.sim.faults`) and usable as an
-        operational lever (e.g. shedding a pool wedged by a client bug).
+        untouched; the in-flight work does not:
+
+        * requests still **queued** on the shard never run; their futures
+          resolve immediately to error envelopes carrying
+          :class:`ShardRestartedError` (previously they were silently
+          abandoned, and ``submit_async`` callers hung forever under the
+          ``shard_crash`` fault plan);
+        * requests already **running** keep their threads, and under
+          ``executor="process"`` the worker *processes* beneath them are
+          killed — the blocked call raises
+          :class:`~repro.runtime.WorkerCrashError` and the caller gets an
+          error envelope rather than a partial result.
+
+        Used by the fault-injection harness (:mod:`repro.sim.faults`) and
+        usable as an operational lever.  Returns the worker-process PIDs
+        that were killed (empty under the thread executor).
         """
         if not 0 <= shard < self.n_shards:
             raise ValueError(f"shard must be in [0, {self.n_shards}), got {shard}")
-        old = self._pools[shard]
-        self._pools[shard] = self._new_pool(shard)
-        old.shutdown(wait=True)
+        self._dispatch[shard].restart()
+        return self._shards[shard].restart_workers()
 
     # ------------------------------------------------------------------
     # Construction from registry names
@@ -253,6 +397,28 @@ class Gateway:
     # ------------------------------------------------------------------
     # Submission surface
     # ------------------------------------------------------------------
+    def _dispatch_for(self, request: Request) -> "_ShardDispatch":
+        if isinstance(request, ReportRequest) and request.target_id is None:
+            return self._dispatch[0]
+        return self._dispatch[self.shard_for(request.target_id)]
+
+    @staticmethod
+    def _orphan_envelope(request: Request) -> Callable[[], Envelope]:
+        """The envelope a request's future resolves to if a restart orphans it."""
+
+        def orphan() -> Envelope:
+            return Envelope.failure(
+                request.kind,
+                request.target_id,
+                ShardRestartedError(
+                    "the shard's worker pool was restarted while this request was "
+                    "queued; it never ran — resubmit it (adaptation is "
+                    "deterministic, so a retry reproduces the same result)"
+                ),
+            )
+
+        return orphan
+
     def submit(self, request: Request) -> Envelope:
         """Handle one request synchronously and return its envelope."""
         return self.submit_many([request])[0]
@@ -260,16 +426,19 @@ class Gateway:
     def submit_async(self, request: Request) -> "Future[Envelope]":
         """Handle one request on its shard's pool; returns a future envelope.
 
-        Single-request dispatch skips micro-batching (there is nothing to
-        coalesce with); burst callers should prefer :meth:`submit_many`,
-        which coalesces across the whole burst.
+        The future *always* settles — with a success envelope, an error
+        envelope, or (if :meth:`restart_shard_workers` kills the shard while
+        the request is queued) an error envelope carrying
+        :class:`ShardRestartedError`.  Single-request dispatch skips
+        micro-batching (there is nothing to coalesce with); burst callers
+        should prefer :meth:`submit_many`, which coalesces across the whole
+        burst.
         """
-        if isinstance(request, ReportRequest) and request.target_id is None:
-            pool = self._pools[0]
-        else:
-            pool = self._pools[self.shard_for(request.target_id)]
+        dispatch = self._dispatch_for(request)
         try:
-            return pool.submit(self._handle_one, request)
+            return dispatch.submit(
+                self._handle_one, (request,), self._orphan_envelope(request)
+            )
         except RuntimeError as exc:
             # Dead pool: same errors-as-data discipline as submit_many — the
             # caller gets a future that resolves to an error envelope, not a
@@ -296,12 +465,18 @@ class Gateway:
                 shard = self.shard_for(request.target_id)
                 predict_by_shard.setdefault(shard, []).append((index, request))
             elif isinstance(request, (AdaptRequest, StreamRequest, ReportRequest)):
-                if isinstance(request, ReportRequest) and request.target_id is None:
-                    pool = self._pools[0]
-                else:
-                    pool = self._pools[self.shard_for(request.target_id)]
+                dispatch = self._dispatch_for(request)
                 try:
-                    futures.append((index, pool.submit(self._handle_one, request)))
+                    futures.append(
+                        (
+                            index,
+                            dispatch.submit(
+                                self._handle_one,
+                                (request,),
+                                self._orphan_envelope(request),
+                            ),
+                        )
+                    )
                 except RuntimeError as exc:
                     # The pool died underneath us (shut down / interpreter
                     # teardown): answer with an error envelope rather than
@@ -317,9 +492,18 @@ class Gateway:
                 )
         predict_futures = []
         for shard, group in predict_by_shard.items():
+
+            def orphan_group(group=group) -> list[tuple[int, Envelope]]:
+                return [
+                    (index, self._orphan_envelope(request)())
+                    for index, request in group
+                ]
+
             try:
                 predict_futures.append(
-                    self._pools[shard].submit(self._handle_predict_group, shard, group)
+                    self._dispatch[shard].submit(
+                        self._handle_predict_group, (shard, group), orphan_group
+                    )
                 )
             except RuntimeError as exc:
                 for index, request in group:
@@ -552,9 +736,16 @@ class Gateway:
         return service.events_for(target_id)
 
     def close(self) -> None:
-        """Shut the shard worker pools down (idempotent)."""
-        for pool in self._pools:
-            pool.shutdown(wait=True)
+        """Shut the shard worker pools down (idempotent).
+
+        Dispatch pools drain, and any attached process worker pools are
+        released (their weights die with them; the shard services and their
+        caches remain usable in-process).
+        """
+        for dispatch in self._dispatch:
+            dispatch.close()
+        for service in self._shards:
+            service.close()
 
     def __enter__(self) -> "Gateway":
         return self

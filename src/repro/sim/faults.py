@@ -165,9 +165,14 @@ class ShardCrashPlan(FaultPlan):
     """Crash (and respawn) one shard's worker pool every ``every`` ticks.
 
     Rotates through the shards so every pool dies at least once in a long
-    enough run.  The shard's *service state* (cached models, stream buffers,
-    reports) survives — this is a worker crash, not a data loss — so the
-    transcript must be byte-identical to a run without crashes.
+    enough run.  Under ``executor="process"`` this kills the shard's real
+    worker *processes* (SIGTERM, fresh pool respawned, weights re-shipped);
+    under threads it swaps the dispatch pool.  Either way requests queued at
+    crash time resolve to error envelopes instead of hanging — but the plan
+    fires *between* ticks, when the simulator has nothing in flight, so the
+    shard's *service state* (cached models, stream buffers, reports)
+    survives and the transcript must be byte-identical to a run without
+    crashes.
     """
 
     name = "shard_crash"

@@ -184,6 +184,7 @@ def build_gateway(spec: WorkloadSpec) -> Gateway:
         config=config,
         n_shards=spec.n_shards,
         shard_workers=spec.shard_workers,
+        executor=spec.executor,
         max_cached_models=spec.cache_capacity(),
         base_seed=spec.seed,
         service_options=service_options,

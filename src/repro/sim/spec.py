@@ -191,6 +191,7 @@ class WorkloadSpec:
     tick_seconds: float = 1.0
     n_shards: int = 2
     shard_workers: int = 2
+    executor: str = "thread"
     max_cached_models: int | None = None
     min_adapt_events: int = 24
     readapt_budget: int = 64
@@ -245,6 +246,10 @@ class WorkloadSpec:
             raise ValueError("tick_seconds must be positive")
         if self.n_shards < 1 or self.shard_workers < 1:
             raise ValueError("n_shards and shard_workers must be at least 1")
+        if self.executor not in ("thread", "process"):
+            raise ValueError(
+                f"executor must be 'thread' or 'process', got {self.executor!r}"
+            )
         if self.max_cached_models is not None and self.max_cached_models < 1:
             raise ValueError("max_cached_models must be at least 1")
         if self.min_adapt_events < 1 or self.readapt_budget < 1:

@@ -1,0 +1,211 @@
+"""Cross-process determinism and crash-isolation for the worker pools.
+
+The tentpole claim of the process executor is *bit-identity*: an adaptation
+that ran inside a worker process must hand back the very same floats — losses,
+parameters, density maps — as the same adaptation run in-process, for every
+scheme in the registry.  These tests pin that claim, plus the crash semantics
+(killed pools raise typed errors instead of hanging) and the honesty warning
+on the GIL-bound thread executor.
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+
+import repro.nn as nn
+from repro.engine import SourceResources, create_strategy, strategy_names
+from repro.nn import model_digest, parameter_bytes
+from repro.runtime import (
+    EXECUTOR_KINDS,
+    AdaptationService,
+    AdaptationWorkerPool,
+    WorkerCrashError,
+)
+
+from test_service import build_service, fast_config, make_source, make_targets
+
+
+@pytest.fixture(scope="module")
+def source():
+    return make_source()
+
+
+def prepared_strategy(scheme, source):
+    model, calibration = source
+    rng = np.random.default_rng(0)
+    weights = np.array([1.0, -0.5, 0.25, 2.0])
+    inputs = rng.normal(size=(160, 4))
+    targets = inputs @ weights + 0.1 * rng.normal(size=160)
+    return create_strategy(scheme, config=fast_config(), epochs=3, seed=0).prepare(
+        model,
+        SourceResources(
+            source_data=nn.ArrayDataset(inputs, targets), calibration=calibration
+        ),
+    )
+
+
+class TestExecutorSelection:
+    def test_executor_kinds(self):
+        assert EXECUTOR_KINDS == ("thread", "process")
+
+    def test_unknown_executor_rejected(self, source):
+        service = build_service(source)
+        with pytest.raises(ValueError, match="executor"):
+            service.adapt_many(make_targets(n_targets=2), jobs=2, executor="fiber")
+
+    def test_default_is_thread_until_pool_attached(self, source):
+        service = build_service(source)
+        assert service.executor == "thread"
+        service.use_process_workers(2)
+        try:
+            assert service.executor == "process"
+        finally:
+            service.close()
+        assert service.executor == "thread"
+
+
+@pytest.mark.parametrize("scheme", sorted(strategy_names()))
+class TestProcessBitIdentity:
+    """``adapt_many(jobs=4, executor="process")`` == serial, for all six schemes."""
+
+    def test_process_pool_matches_serial_bitwise(self, scheme, source):
+        model, calibration = source
+        targets = make_targets(n_targets=4)
+
+        serial = AdaptationService(
+            model, calibration, fast_config(), strategy=prepared_strategy(scheme, source)
+        )
+        serial_reports = serial.adapt_many(targets, jobs=1)
+
+        pooled = AdaptationService(
+            model, calibration, fast_config(), strategy=prepared_strategy(scheme, source)
+        )
+        pooled_reports = pooled.adapt_many(targets, jobs=4, executor="process")
+
+        assert list(serial_reports) == list(pooled_reports)
+        probe = np.random.default_rng(0).normal(size=(16, 4))
+        for name in targets:
+            assert serial_reports[name].losses == pooled_reports[name].losses
+            assert serial_reports[name].seed == pooled_reports[name].seed
+            assert serial_reports[name].n_confident == pooled_reports[name].n_confident
+            # Parameter-level identity, byte for byte, not allclose.
+            assert parameter_bytes(serial.model_for(name)) == parameter_bytes(
+                pooled.model_for(name)
+            )
+            np.testing.assert_array_equal(
+                serial.predict(name, probe), pooled.predict(name, probe)
+            )
+
+
+class TestAttachedPool:
+    def test_attached_pool_serves_adapt_and_matches_serial(self, source):
+        targets = make_targets(n_targets=2)
+        serial = build_service(source)
+        serial_reports = serial.adapt_many(targets)
+
+        service = build_service(source)
+        service.use_process_workers(2)
+        try:
+            for name, data in targets.items():
+                report = service.adapt(name, data)
+                assert report.losses == serial_reports[name].losses
+                assert model_digest(service.model_for(name)) == model_digest(
+                    serial.model_for(name)
+                )
+        finally:
+            service.close()
+
+    def test_restart_kills_real_processes_and_results_survive(self, source):
+        targets = make_targets(n_targets=1)
+        name, data = next(iter(targets.items()))
+        service = build_service(source)
+        pool = service.use_process_workers(2)
+        try:
+            before = service.adapt(name, data)
+            pids = pool.worker_pids()
+            assert pids, "workers should be live after an adaptation"
+            killed = service.restart_workers()
+            assert killed == pids
+            assert pool.worker_pids() != pids or not pool.worker_pids()
+            after = service.adapt(name, data)
+            assert after.losses == before.losses
+        finally:
+            service.close()
+
+    def test_worker_errors_propagate_like_in_process_ones(self, source):
+        # An input no sample of which clears the confidence threshold makes
+        # TASFAR raise NoConfidentSamplesError; raised inside a worker
+        # process it must surface to the caller unchanged, exactly like the
+        # in-process path (the gateway turns it into an error envelope).
+        from repro.core.adapter import NoConfidentSamplesError
+
+        service = build_service(source)
+        hopeless = np.full((12, 4), 1e6)
+        with pytest.raises(NoConfidentSamplesError):
+            service.adapt("doomed", hopeless)
+        service.use_process_workers(2)
+        try:
+            with pytest.raises(NoConfidentSamplesError):
+                service.adapt("doomed", hopeless)
+        finally:
+            service.close()
+
+
+class TestPoolCrashSemantics:
+    def test_submit_after_close_raises_typed_error(self, source):
+        model, calibration = source
+        strategy = prepared_strategy("tasfar", source)
+        pool = AdaptationWorkerPool(1, model, strategy)
+        pool.close()
+        with pytest.raises(WorkerCrashError):
+            pool.submit("t", np.zeros((4, 4)), 0)
+
+    def test_killed_in_flight_future_raises_instead_of_hanging(self, source):
+        model, calibration = source
+        strategy = prepared_strategy("tasfar", source)
+        data = make_targets(n_targets=1)["user_00"]
+        pool = AdaptationWorkerPool(1, model, strategy)
+        try:
+            # Warm the pool so the worker exists, then bury it in work and
+            # kill it: every outstanding future must resolve (queued ones
+            # cancelled, the running one broken), all as WorkerCrashError.
+            pool.adapt("warm", data, seed=0)
+            futures = [pool.submit(f"t{i}", data, seed=i) for i in range(6)]
+            pool.restart()
+            failures = 0
+            for future in futures:
+                try:
+                    pool.collect(future)
+                except WorkerCrashError:
+                    failures += 1
+            assert failures > 0, "restart with queued work should break some futures"
+            # The respawned pool serves the same request to the same bits.
+            report, _ = pool.adapt("warm", data, seed=0)
+            assert report.target_id == "warm"
+        finally:
+            pool.close()
+
+    def test_invalid_worker_count_rejected(self, source):
+        model, calibration = source
+        with pytest.raises(ValueError):
+            AdaptationWorkerPool(0, model, prepared_strategy("tasfar", source))
+
+
+class TestThreadExecutorWarning:
+    def test_thread_executor_warns_once_per_service(self, source):
+        service = build_service(source)
+        targets = make_targets(n_targets=2)
+        with pytest.warns(RuntimeWarning, match="no speedup"):
+            service.adapt_many(targets, jobs=2, executor="thread")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            service.adapt_many(targets, jobs=2, executor="thread")
+
+    def test_serial_and_process_paths_do_not_warn(self, source):
+        service = build_service(source)
+        targets = make_targets(n_targets=2)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            service.adapt_many(targets, jobs=1)
+            service.adapt_many(targets, jobs=2, executor="process")

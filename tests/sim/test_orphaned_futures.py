@@ -1,0 +1,142 @@
+"""Regression: shard restarts must never strand a ``submit_async`` caller.
+
+``Gateway.restart_shard_workers`` used to swap the shard pool and abandon
+whatever was still queued on the old one — a caller blocked on
+``future.result()`` then hung forever, which is exactly what the
+``shard_crash`` fault plan does to a live serving stack.  These tests pin the
+fixed contract: every future handed out by ``submit_async`` settles, with a
+success envelope or a typed error envelope, under both executors.
+
+Every ``future.result`` call here carries a timeout, so a regression shows up
+as a loud ``TimeoutError`` instead of a wedged test suite.
+"""
+
+import importlib.util
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.core import TasfarConfig
+from repro.serve import AdaptRequest, Gateway, ShardRestartedError
+
+_path = Path(__file__).resolve().parent.parent / "runtime" / "test_service.py"
+_spec = importlib.util.spec_from_file_location("_runtime_service_fixtures", _path)
+_module = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(_module)
+
+fast_config = _module.fast_config
+make_source = _module.make_source
+make_targets = _module.make_targets
+
+RESULT_TIMEOUT = 60.0
+
+
+@pytest.fixture(scope="module")
+def source():
+    return make_source()
+
+
+def make_gateway(source, **kwargs):
+    model, calibration = source
+    kwargs.setdefault("config", fast_config())
+    kwargs.setdefault("n_shards", 1)
+    kwargs.setdefault("shard_workers", 1)
+    return Gateway(model, calibration, **kwargs)
+
+
+@pytest.mark.parametrize("executor", ["thread", "process"])
+class TestQueuedRequestsResolveOnRestart:
+    def test_queued_futures_get_shard_restarted_envelopes(self, source, executor):
+        gateway = make_gateway(source, executor=executor)
+        targets = make_targets(n_targets=3)
+        blocker = threading.Event()
+        try:
+            # Occupy the shard's single dispatch thread so every subsequent
+            # request is deterministically *queued* when the restart lands.
+            gateway._dispatch[0]._pool.submit(blocker.wait)
+            futures = [
+                gateway.submit_async(AdaptRequest(name, data))
+                for name, data in targets.items()
+            ]
+            gateway.restart_shard_workers(0)
+            for future, name in zip(futures, targets):
+                envelope = future.result(timeout=RESULT_TIMEOUT)
+                assert not envelope.ok
+                assert envelope.error["type"] == "ShardRestartedError"
+                assert envelope.target_id == name
+                assert "resubmit" in envelope.error["message"]
+        finally:
+            blocker.set()
+            gateway.close()
+
+    def test_resubmitted_requests_succeed_after_restart(self, source, executor):
+        gateway = make_gateway(source, executor=executor)
+        name, data = next(iter(make_targets(n_targets=1).items()))
+        blocker = threading.Event()
+        try:
+            baseline = gateway.submit(AdaptRequest(name, data))
+            assert baseline.ok, baseline.error
+            gateway._dispatch[0]._pool.submit(blocker.wait)
+            orphan = gateway.submit_async(AdaptRequest(name, data))
+            gateway.restart_shard_workers(0)
+            assert not orphan.result(timeout=RESULT_TIMEOUT).ok
+            blocker.set()
+            # The respawned pool serves the same request to the same bits.
+            retry = gateway.submit(AdaptRequest(name, data))
+            assert retry.ok, retry.error
+            assert (
+                retry.payload["report"]["losses"]
+                == baseline.payload["report"]["losses"]
+            )
+        finally:
+            blocker.set()
+            gateway.close()
+
+
+class TestRunningRequests:
+    def test_thread_executor_lets_running_work_finish(self, source):
+        # Threads cannot be killed: a request already *running* at restart
+        # time completes and settles its future with a success envelope.
+        gateway = make_gateway(source, executor="thread")
+        name, data = next(iter(make_targets(n_targets=1).items()))
+        try:
+            future = gateway.submit_async(AdaptRequest(name, data))
+            gateway.restart_shard_workers(0)
+            envelope = future.result(timeout=RESULT_TIMEOUT)
+            assert envelope.ok or envelope.error["type"] == "ShardRestartedError"
+        finally:
+            gateway.close()
+
+    def test_process_executor_kills_running_work_promptly(self, source):
+        # A long adaptation runs inside a worker process; killing the shard
+        # must break it promptly — error envelope, not a partial result and
+        # never a hang.
+        slow_config = TasfarConfig(
+            n_mc_samples=8,
+            n_segments=5,
+            adaptation_epochs=50_000,
+            min_adaptation_epochs=1,
+            early_stop=False,
+            seed=0,
+        )
+        gateway = make_gateway(source, executor="process", config=slow_config)
+        name, data = next(iter(make_targets(n_targets=1, n_samples=60).items()))
+        try:
+            start = time.perf_counter()
+            future = gateway.submit_async(AdaptRequest(name, data))
+            time.sleep(0.5)  # well past worker spawn, far before 50k epochs
+            killed = gateway.restart_shard_workers(0)
+            assert killed, "process executor should report killed worker PIDs"
+            envelope = future.result(timeout=RESULT_TIMEOUT)
+            assert not envelope.ok
+            assert envelope.error["type"] in ("WorkerCrashError", "ShardRestartedError")
+            # Prompt, not after the 50k-epoch schedule ran to completion.
+            assert time.perf_counter() - start < RESULT_TIMEOUT / 2
+        finally:
+            gateway.close()
+
+
+def test_shard_restarted_error_is_exported():
+    assert issubclass(ShardRestartedError, RuntimeError)

@@ -1,0 +1,57 @@
+"""Simulator determinism with process-backed shards.
+
+The workload simulator's replay oracle (`verify_replay`) is the acceptance
+rig for the process executor: the same spec must produce a byte-identical
+transcript when adaptations run in worker processes, including under fault
+plans that kill those processes mid-run.  A thread-run and a process-run of
+the same spec must also match each other byte for byte — the executor is an
+implementation detail the transcript cannot see.
+"""
+
+import pytest
+
+from repro.sim import WorkloadSpec, run_simulation, verify_replay
+
+from sim_fixtures import make_spec
+
+
+class TestSpecExecutorField:
+    def test_default_is_thread(self, base_spec):
+        assert base_spec.executor == "thread"
+
+    def test_round_trips_through_dict(self):
+        spec = make_spec(executor="process")
+        assert WorkloadSpec.from_dict(spec.to_dict()).executor == "process"
+
+    def test_unknown_executor_rejected(self):
+        with pytest.raises(ValueError, match="executor"):
+            make_spec(executor="fiber")
+
+
+class TestProcessShardReplay:
+    def test_verify_replay_with_process_shards(self):
+        ok, detail, result = verify_replay(make_spec(executor="process"))
+        assert ok, detail
+        assert result.ok, result.summary()
+
+    @pytest.mark.parametrize("fault_plan", ["shard_crash", "cache_thrash"])
+    def test_verify_replay_with_process_shards_under_faults(self, fault_plan):
+        ok, detail, result = verify_replay(
+            make_spec(executor="process", fault_plan=fault_plan)
+        )
+        assert ok, detail
+        assert result.ok, result.summary()
+
+    def test_thread_and_process_transcripts_are_byte_identical(self):
+        thread_run = run_simulation(make_spec(executor="thread"))
+        process_run = run_simulation(make_spec(executor="process"))
+        assert thread_run.transcript_text == process_run.transcript_text
+
+    def test_shard_crash_transcript_matches_faultless_run(self):
+        # The crash plan fires between ticks (nothing in flight), so killing
+        # and respawning real worker processes must not leave a trace.
+        faultless = run_simulation(make_spec(executor="process"))
+        crashed = run_simulation(
+            make_spec(executor="process", fault_plan="shard_crash")
+        )
+        assert faultless.transcript_text == crashed.transcript_text
