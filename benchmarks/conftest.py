@@ -18,7 +18,10 @@ Every entry records the scale it ran at, so reports mixing
 
 from __future__ import annotations
 
+import json
 import os
+import sys
+import time
 from pathlib import Path
 
 import pytest
@@ -51,11 +54,34 @@ def perf_assert(condition: bool, message: str) -> None:
 #: available even though pytest captures per-test stdout.
 REPORT_PATH = Path(__file__).resolve().parent.parent / "benchmark_report.txt"
 
+#: Machine-readable companion to ``benchmark_report.txt``: one JSON document
+#: with host facts (core count decides whether process-pool speedup bars are
+#: even meaningful) and one entry per recorded benchmark.  Rewritten after
+#: every record so a crashed session still leaves the entries it finished.
+JSON_REPORT_PATH = Path(__file__).resolve().parent.parent / "BENCH_report.json"
+
 #: Whether this session has already (re)started the report file.
 _report_started = False
 
+#: JSON entries accumulated this session (the JSON file mirrors these).
+_json_entries: list[dict] = []
 
-def record_report_entry(text: str, scale: str = BENCH_SCALE, tags: dict | None = None) -> None:
+
+def _bench_name() -> str | None:
+    """The currently running benchmark's node id, courtesy of pytest."""
+    current = os.environ.get("PYTEST_CURRENT_TEST")
+    if not current:
+        return None
+    return current.split(" ")[0]
+
+
+def record_report_entry(
+    text: str,
+    scale: str = BENCH_SCALE,
+    tags: dict | None = None,
+    name: str | None = None,
+    wall_seconds: dict | None = None,
+) -> None:
     """Append one benchmark entry to the report, tagged with its scale.
 
     The first entry of the session starts a fresh report; sessions that never
@@ -63,6 +89,10 @@ def record_report_entry(text: str, scale: str = BENCH_SCALE, tags: dict | None =
     key=value markers to the entry header (e.g. ``{"executor": "process"}``),
     so report lines measured under different execution modes are never
     mistaken for comparable runs of the same configuration.
+
+    Every entry also lands in ``BENCH_report.json``: ``name`` defaults to the
+    running test's node id, and ``wall_seconds`` (``{"label": seconds}``)
+    carries whatever timings the benchmark measured, machine-readable.
     """
     global _report_started
     header = f"scale={scale}"
@@ -74,6 +104,32 @@ def record_report_entry(text: str, scale: str = BENCH_SCALE, tags: dict | None =
             handle.write("TASFAR reproduction benchmark report\n\n")
         handle.write(f"[{header}]\n{text}\n\n")
     _report_started = True
+
+    _json_entries.append(
+        {
+            "name": name if name is not None else _bench_name(),
+            "scale": scale,
+            "tags": {key: str(value) for key, value in (tags or {}).items()},
+            "wall_seconds": {
+                key: float(value) for key, value in (wall_seconds or {}).items()
+            },
+            "text": text,
+        }
+    )
+    report = {
+        "schema": "repro.bench/v1",
+        "host": {
+            "cpu_count": os.cpu_count(),
+            "platform": sys.platform,
+            "python": sys.version.split()[0],
+        },
+        "scale": BENCH_SCALE,
+        "smoke": BENCH_SMOKE,
+        "entries": _json_entries,
+    }
+    with JSON_REPORT_PATH.open("w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
 
 
 @pytest.fixture
@@ -93,6 +149,7 @@ def run_figure(benchmark):
     """Run one experiment under pytest-benchmark, print and record its summary."""
 
     def runner(experiment_id: str):
+        started = time.perf_counter()
         result = benchmark.pedantic(
             run_experiment,
             args=(experiment_id,),
@@ -100,9 +157,14 @@ def run_figure(benchmark):
             rounds=1,
             iterations=1,
         )
+        elapsed = time.perf_counter() - started
         print()
         print(result.summary())
-        record_report_entry(result.summary())
+        record_report_entry(
+            result.summary(),
+            name=experiment_id,
+            wall_seconds={"experiment": elapsed},
+        )
         return result
 
     return runner

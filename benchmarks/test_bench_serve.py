@@ -131,7 +131,14 @@ def test_micro_batched_submit_many_vs_per_request_loop(record_bench, perf_check)
         f"(allclose, speedup {legacy_speedup:.2f}x)"
     )
     print("\n" + text)
-    record_bench(text)
+    record_bench(
+        text,
+        wall_seconds={
+            "submit_many": batched_time,
+            "per_request": per_request_time,
+            "legacy_predict": legacy_time,
+        },
+    )
     perf_check(
         speedup >= 2.0,
         f"micro-batched submit_many only {speedup:.2f}x faster than the "
@@ -172,7 +179,10 @@ def test_dedup_mode_is_exact_and_fast_on_duplicate_bursts(record_bench, perf_che
         f"(bitwise equal, speedup {speedup:.2f}x)"
     )
     print("\n" + text)
-    record_bench(text)
+    record_bench(
+        text,
+        wall_seconds={"submit_many_dedup": deduped_time, "legacy_predict": legacy_time},
+    )
     perf_check(
         speedup >= 1.5,
         f"dedup mode only {speedup:.2f}x faster on duplicate bursts (bar: 1.5x)",

@@ -29,6 +29,11 @@ The public API re-exports the most commonly used entry points:
   for the whole serving stack: seeded workload specs compiled to wire-line
   traces, a virtual-clock simulator driving a live gateway, pluggable
   fault plans, and the invariant suite behind ``repro simulate``.
+* :mod:`repro.obs` — fleet observability: the thread-safe
+  ``MetricsRegistry`` every layer reports into (``repro.metrics/v1``
+  snapshots, Prometheus text exposition), deterministic per-request
+  tracing, and the shared wall-clock helpers behind every
+  ``duration_seconds`` field.
 
 The gateway and simulator APIs are re-exported lazily at the top level
 (``repro.Gateway``, ``repro.AdaptRequest``, ``repro.WorkloadSpec``,
@@ -43,15 +48,19 @@ __all__ = [
     "AdaptRequest",
     "Envelope",
     "Gateway",
+    "MetricsRegistry",
+    "MetricsRequest",
     "PredictRequest",
     "ReportRequest",
     "Simulator",
     "StreamRequest",
+    "Tracer",
     "WorkloadSpec",
 ]
 
 _SIM_EXPORTS = frozenset({"Simulator", "WorkloadSpec"})
-_SERVE_EXPORTS = frozenset(__all__) - {"__version__"} - _SIM_EXPORTS
+_OBS_EXPORTS = frozenset({"MetricsRegistry", "Tracer"})
+_SERVE_EXPORTS = frozenset(__all__) - {"__version__"} - _SIM_EXPORTS - _OBS_EXPORTS
 
 
 def __getattr__(name: str):
@@ -63,4 +72,8 @@ def __getattr__(name: str):
         from . import sim
 
         return getattr(sim, name)
+    if name in _OBS_EXPORTS:
+        from . import obs
+
+        return getattr(obs, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -48,6 +48,13 @@ every rerun — summary and invariant verdict on stderr)::
     python -m repro.cli simulate --spec examples/specs/bursty_drift.json \
         --seed 7 --fault-plan wire_chaos --verify-replay > transcript.jsonl
 
+Render a metrics snapshot (written by any ``--metrics-out`` flag) as
+Prometheus text exposition, validating it against ``repro.metrics/v1``::
+
+    python -m repro.cli simulate --spec examples/specs/bursty_drift.json \
+        --metrics-out metrics.json > /dev/null
+    python -m repro.cli metrics metrics.json --format prom
+
 ``adapt-many``, ``stream`` and ``serve`` are all thin clients of the
 :class:`~repro.serve.Gateway`, and ``simulate`` drives the same gateway from
 a :class:`~repro.sim.WorkloadSpec`; the ``--task`` choices (the
@@ -237,10 +244,15 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="optional path for a JSON file with the per-user event tables",
     )
+    stream_parser.add_argument(
+        "--metrics-out",
+        default=None,
+        help="write the fleet metrics snapshot (repro.metrics/v1 JSON) to this file",
+    )
 
     serve_parser = subparsers.add_parser(
         "serve",
-        help="serve adapt/predict/stream/report requests as JSON lines (stdin -> stdout)",
+        help="serve adapt/predict/stream/report/metrics requests as JSON lines (stdin -> stdout)",
     )
     serve_parser.add_argument("--task", default="pdr", choices=adapt_tasks)
     serve_parser.add_argument("--scale", default="small", choices=tuple(SCALES))
@@ -275,6 +287,16 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=128,
         help="buffered stream events that force a re-adaptation even without drift",
+    )
+    serve_parser.add_argument(
+        "--metrics-out",
+        default=None,
+        help="write the fleet metrics snapshot (repro.metrics/v1 JSON) to this file at shutdown",
+    )
+    serve_parser.add_argument(
+        "--trace",
+        default=None,
+        help="record per-request spans and write them as JSON lines to this file at shutdown",
     )
 
     simulate_parser = subparsers.add_parser(
@@ -327,6 +349,37 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="run the workload twice and assert the transcripts are byte-identical",
     )
+    simulate_parser.add_argument(
+        "--metrics-out",
+        default=None,
+        help="write the end-of-run fleet metrics snapshot (repro.metrics/v1 JSON) to this file",
+    )
+    simulate_parser.add_argument(
+        "--trace",
+        default=None,
+        help=(
+            "record per-request spans (first run only under --verify-replay) "
+            "and write them as JSON lines to this file"
+        ),
+    )
+
+    metrics_parser = subparsers.add_parser(
+        "metrics",
+        help="validate a repro.metrics/v1 snapshot file and render it (json or prometheus)",
+    )
+    metrics_parser.add_argument(
+        "snapshot",
+        help=(
+            "path to a snapshot JSON file — any --metrics-out output, or a "
+            "simulate --report file (the snapshot is read from its 'metrics' key)"
+        ),
+    )
+    metrics_parser.add_argument(
+        "--format",
+        choices=("prom", "json"),
+        default="prom",
+        help="output format: Prometheus text exposition (default) or canonical JSON",
+    )
     return parser
 
 
@@ -359,6 +412,9 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "simulate":
         return _simulate(parser, args)
+
+    if args.command == "metrics":
+        return _metrics(parser, args)
 
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover
     return 1
@@ -661,12 +717,23 @@ def _stream(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
         with open(args.events, "w", encoding="utf-8") as handle:
             json.dump(payload, handle, indent=2)
         print(f"wrote event tables for {len(payload)} targets to {args.events}")
+    if args.metrics_out:
+        _write_metrics_snapshot(gateway.metrics_snapshot(), args.metrics_out)
     gateway.close()
     return 0
 
 
+def _write_metrics_snapshot(snapshot: dict, path: str) -> None:
+    """Write a ``repro.metrics/v1`` snapshot as canonical JSON and say so."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(snapshot, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote metrics snapshot to {path}", file=sys.stderr)
+
+
 def _serve(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
     """Run the JSON-lines gateway loop over stdin/stdout."""
+    from .obs import Tracer
     from .serve import Gateway, serve_loop
 
     if args.shards < 1:
@@ -680,6 +747,7 @@ def _serve(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
     if args.budget < 1:
         parser.error("--budget must be at least 1")
 
+    tracer = Tracer() if args.trace else None
     gateway = Gateway.from_task(
         args.task,
         scheme=args.scheme,
@@ -693,6 +761,7 @@ def _serve(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
             "min_adapt_events": args.min_adapt,
             "readapt_budget": args.budget,
         },
+        tracer=tracer,
     )
     # Startup chatter goes to stderr: stdout carries envelopes, nothing else.
     print(
@@ -703,6 +772,11 @@ def _serve(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
     )
     served = serve_loop(gateway, sys.stdin, sys.stdout)
     print(f"[serve] done, {served} envelope(s)", file=sys.stderr)
+    if args.metrics_out:
+        _write_metrics_snapshot(gateway.metrics_snapshot(), args.metrics_out)
+    if tracer is not None:
+        n_spans = tracer.export(args.trace)
+        print(f"wrote {n_spans} trace span(s) to {args.trace}", file=sys.stderr)
     gateway.close()
     return 0
 
@@ -717,6 +791,7 @@ def _simulate(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
     invariant verdict go to stderr.  Exit status is 0 only when every
     invariant held (and, under ``--verify-replay``, the replay matched).
     """
+    from .obs import Tracer
     from .sim import load_spec, run_simulation, verify_replay
 
     try:
@@ -739,12 +814,13 @@ def _simulate(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
     except (ValueError, OSError) as exc:
         parser.error(str(exc))
 
+    tracer = Tracer() if args.trace else None
     replay_ok, replay_detail = True, None
     try:
         if args.verify_replay:
-            replay_ok, replay_detail, result = verify_replay(spec)
+            replay_ok, replay_detail, result = verify_replay(spec, tracer=tracer)
         else:
-            result = run_simulation(spec)
+            result = run_simulation(spec, tracer=tracer)
     except ValueError as exc:
         # Spec errors only trace compilation can catch (e.g. a fleet naming
         # a scenario the task does not have) surface as CLI errors too.
@@ -775,7 +851,42 @@ def _simulate(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
             json.dump(report, handle, indent=2)
         print(f"wrote invariant report to {args.report}", file=sys.stderr)
 
+    if args.metrics_out:
+        _write_metrics_snapshot(result.metrics or {}, args.metrics_out)
+    if tracer is not None:
+        n_spans = tracer.export(args.trace)
+        print(f"wrote {n_spans} trace span(s) to {args.trace}", file=sys.stderr)
+
     return 0 if (result.ok and replay_ok) else 1
+
+
+def _metrics(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
+    """Validate a metrics snapshot file and render it (Prometheus or JSON)."""
+    from .obs import to_prometheus, validate_snapshot
+
+    try:
+        with open(args.snapshot, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except (OSError, ValueError) as exc:
+        parser.error(f"cannot read snapshot {args.snapshot!r}: {exc}")
+
+    # Accept either a bare snapshot or a wrapper holding one under a
+    # "metrics" key (simulate --report files, metrics-request payloads).
+    if isinstance(payload, dict) and "metrics" in payload and isinstance(payload["metrics"], dict):
+        payload = payload["metrics"]
+
+    try:
+        validate_snapshot(payload)
+    except ValueError as exc:
+        parser.error(f"invalid metrics snapshot: {exc}")
+
+    if args.format == "prom":
+        sys.stdout.write(to_prometheus(payload))
+    else:
+        json.dump(payload, sys.stdout, indent=2, sort_keys=True)
+        sys.stdout.write("\n")
+    sys.stdout.flush()
+    return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

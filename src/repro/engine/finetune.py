@@ -31,6 +31,7 @@ import numpy as np
 from ..nn.data import ArrayDataset
 from ..nn.optim import Optimizer, clip_gradients
 from ..nn.parameter import Parameter
+from ..obs import active_metrics, now
 from .early_stopping import LossDropEarlyStopper
 
 __all__ = ["BatchStep", "FineTuneResult", "FineTuneEngine"]
@@ -215,11 +216,18 @@ class FineTuneEngine:
         zero_grad = optimizer.zero_grad
         apply_step = optimizer.step
 
+        # Ambient registry, if a caller installed one with ``use_metrics``;
+        # when absent the loop takes zero timing calls.
+        metrics = active_metrics()
+        if metrics is not None:
+            metrics.counter("engine.runs")
+
         model.train()
         for module in extra_modules:
             module.train()
         try:
             for epoch in range(self.epochs):
+                epoch_started = now() if metrics is not None else 0.0
                 if self.shuffle:
                     # Reset to the identity permutation before shuffling so the
                     # generator sees exactly the draws the per-scheme
@@ -240,6 +248,9 @@ class FineTuneEngine:
                     batches += 1
                 epoch_loss = total / max(batches, 1)
                 result.losses.append(epoch_loss)
+                if metrics is not None:
+                    metrics.counter("engine.epochs")
+                    metrics.observe("engine.epoch_seconds", now() - epoch_started)
                 if self.stopper is not None and self.stopper.update(epoch_loss):
                     result.stopped_epoch = epoch + 1
                     break

@@ -1,0 +1,51 @@
+"""Observability: metrics registry, request tracing, wall-clock discipline.
+
+The telemetry layer every other subsystem reports into:
+
+* :class:`MetricsRegistry` — thread-safe counters / gauges / fixed-bucket
+  histograms, snapshot-able (``repro.metrics/v1``), mergeable (process
+  workers ship deltas home), Prometheus-exportable;
+* :func:`use_metrics` / :func:`active_metrics` — the thread-local ambient
+  registry that lets the engine report epoch timing without widening any
+  strategy signature;
+* :class:`Tracer` — per-request spans (submit → queue → handle → engine)
+  with IDs derived deterministically from request identity;
+* :mod:`~repro.obs.clock` — the single source of wall-clock capture
+  *and* of :func:`scrub_wall_clock`, so replay verification has one
+  definition of "what is nondeterministic".
+
+Honesty guarantees live elsewhere but lean on this package: the sim's
+``metrics_accounting`` invariant reconciles these counters against the
+replay transcript, and ``benchmarks/test_bench_obs.py`` bounds the
+enabled-path overhead.
+"""
+
+from .clock import Stopwatch, now, scrub_wall_clock
+from .metrics import (
+    DEFAULT_TIME_BUCKETS,
+    METRICS_SCHEMA,
+    RATIO_BUCKETS,
+    MetricsRegistry,
+    active_metrics,
+    to_prometheus,
+    use_metrics,
+    validate_snapshot,
+)
+from .trace import RequestTrace, Tracer, span_id
+
+__all__ = [
+    "DEFAULT_TIME_BUCKETS",
+    "METRICS_SCHEMA",
+    "RATIO_BUCKETS",
+    "MetricsRegistry",
+    "RequestTrace",
+    "Stopwatch",
+    "Tracer",
+    "active_metrics",
+    "now",
+    "scrub_wall_clock",
+    "span_id",
+    "to_prometheus",
+    "use_metrics",
+    "validate_snapshot",
+]

@@ -1,0 +1,87 @@
+"""Single source of truth for wall-clock capture and scrubbing.
+
+Every ``duration_seconds`` the stack emits — envelope timings in the
+gateway, adaptation reports in the service, worker-pool outcomes — is
+captured through :func:`now`/:class:`Stopwatch` here, and every consumer
+that needs replay determinism scrubs with :func:`scrub_wall_clock` here.
+One module owns both sides, so "which fields are wall clock?" has exactly
+one answer.
+
+Wall-clock time is the only nondeterministic value an otherwise
+deterministic stack produces.  The scrubber therefore zeroes:
+
+* every ``duration_seconds`` field, at any nesting depth (the historical
+  contract, pinned by the sim test-suite);
+* inside ``repro.metrics/v1`` snapshots, the data-dependent parts of
+  timing histograms and gauges/counters whose names end in ``seconds`` —
+  bucket counts and sums vary with wall clock, while the observation
+  ``count`` is deterministic and is kept.
+"""
+
+from __future__ import annotations
+
+import time
+
+from .metrics import METRICS_SCHEMA
+
+__all__ = ["now", "Stopwatch", "scrub_wall_clock"]
+
+
+def now() -> float:
+    """Monotonic wall-clock reading (seconds); the repo's only timer."""
+    return time.perf_counter()
+
+
+class Stopwatch:
+    """Capture one duration: ``Stopwatch()`` then ``.elapsed()``."""
+
+    __slots__ = ("started",)
+
+    def __init__(self) -> None:
+        self.started = now()
+
+    def elapsed(self) -> float:
+        return now() - self.started
+
+
+def _scrub_metrics_snapshot(snapshot: dict) -> dict:
+    """Zero the wall-clock-dependent parts of a metrics snapshot."""
+    scrubbed = dict(snapshot)
+    for section in ("counters", "gauges"):
+        scrubbed[section] = [
+            {**entry, "value": 0.0}
+            if entry.get("name", "").endswith("seconds")
+            else entry
+            for entry in snapshot.get(section, ())
+        ]
+    scrubbed["histograms"] = [
+        {
+            **entry,
+            "counts": [0] * len(entry.get("counts", ())),
+            "sum": 0.0,
+        }
+        if entry.get("name", "").endswith("seconds")
+        else entry
+        for entry in snapshot.get("histograms", ())
+    ]
+    return scrubbed
+
+
+def scrub_wall_clock(value: object) -> object:
+    """Recursively zero every wall-clock-derived field of a wire payload.
+
+    Scrubbing (rather than dropping) keeps the payload shape identical to
+    live traffic while making it byte-replayable: ``duration_seconds``
+    fields become ``0.0`` at any depth, and embedded ``repro.metrics/v1``
+    snapshots get their timing histograms zeroed too.
+    """
+    if isinstance(value, dict):
+        if value.get("schema") == METRICS_SCHEMA:
+            return _scrub_metrics_snapshot(value)
+        return {
+            key: 0.0 if key == "duration_seconds" else scrub_wall_clock(item)
+            for key, item in value.items()
+        }
+    if isinstance(value, list):
+        return [scrub_wall_clock(item) for item in value]
+    return value

@@ -1,0 +1,439 @@
+"""Thread-safe metrics registry: counters, gauges, fixed-bucket histograms.
+
+The registry is the one telemetry surface every layer shares — the
+:class:`~repro.runtime.AdaptationService` cache, the gateway's shard
+dispatch queues, the micro-batch tiler, the streaming drift monitor and
+the :class:`~repro.engine.FineTuneEngine` epoch loop all report here.
+
+Design constraints, in order:
+
+* **Determinism under replay.**  Snapshots are fully sorted, histogram
+  bucket boundaries are *fixed at first observation* (never derived from
+  the data), and every name that carries wall-clock time ends in
+  ``seconds`` so :func:`repro.obs.clock.scrub_wall_clock` can zero the
+  nondeterministic parts of a snapshot exactly like it zeroes envelope
+  ``duration_seconds`` fields.  With timing scrubbed, two replays of the
+  same seeded workload produce byte-identical snapshots.
+* **Cheap when disabled.**  Every mutator checks ``enabled`` before
+  touching the lock, so a disabled registry costs one attribute read per
+  call site — the ``test_bench_obs.py`` bar (<=2% overhead on the serve
+  burst) keeps the *enabled* path honest too.
+* **Mergeable.**  Process workers cannot share the parent's registry, so
+  they run under a fresh worker-local registry (see :func:`use_metrics`)
+  and ship its :meth:`~MetricsRegistry.snapshot` back piggybacked on the
+  result payload; the parent folds it in with
+  :meth:`~MetricsRegistry.merge`.  Counters and histograms add;
+  gauges add too (worker deltas are deltas, not absolute readings).
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from contextlib import contextmanager
+
+__all__ = [
+    "METRICS_SCHEMA",
+    "DEFAULT_TIME_BUCKETS",
+    "RATIO_BUCKETS",
+    "MetricsRegistry",
+    "active_metrics",
+    "use_metrics",
+    "validate_snapshot",
+    "to_prometheus",
+]
+
+#: Version tag carried by every snapshot; bumped only on breaking layout
+#: changes, mirroring the ``repro.serve/v1`` discipline.
+METRICS_SCHEMA = "repro.metrics/v1"
+
+#: Default boundaries for timing histograms (seconds).  Fixed so two runs
+#: of the same workload agree on the bucket layout byte-for-byte.
+DEFAULT_TIME_BUCKETS = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+    0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0,
+)
+
+#: Boundaries for ratios in [0, 1] (e.g. tile occupancy).
+RATIO_BUCKETS = (0.1, 0.25, 0.5, 0.75, 0.9, 1.0)
+
+
+def _key(name, labels):
+    """Canonical storage key: label values stringified, sorted by key.
+
+    The zero- and one-label cases are the serving hot path (every request
+    counts at least one of each), so they skip the generator + sort.
+    """
+    if not labels:
+        return (name, ())
+    if len(labels) == 1:
+        [(label, value)] = labels.items()
+        return (name, ((label, value if type(value) is str else str(value)),))
+    return (name, tuple(sorted((k, str(v)) for k, v in labels.items())))
+
+
+class _Histogram:
+    __slots__ = ("bounds", "counts", "total", "count")
+
+    def __init__(self, bounds):
+        self.bounds = tuple(float(bound) for bound in bounds)
+        if list(self.bounds) != sorted(set(self.bounds)):
+            raise ValueError("histogram buckets must be strictly increasing")
+        self.counts = [0] * (len(self.bounds) + 1)  # trailing +Inf bucket
+        self.total = 0.0
+        self.count = 0
+
+    def observe(self, value):
+        value = float(value)
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.total += value
+        self.count += 1
+
+
+class MetricsRegistry:
+    """Thread-safe counters, gauges, and fixed-bucket histograms."""
+
+    def __init__(self, enabled: bool = True):
+        self._lock = threading.Lock()
+        self._counters: dict = {}
+        self._gauges: dict = {}
+        self._histograms: dict = {}
+        self.enabled = bool(enabled)
+
+    def enable(self) -> None:
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    # -- mutators ---------------------------------------------------------
+
+    def counter(self, name: str, value: float = 1, **labels) -> None:
+        """Add ``value`` (default 1) to the counter ``name``/``labels``."""
+        if not self.enabled:
+            return
+        key = _key(name, labels)
+        with self._lock:
+            self._counters[key] = self._counters.get(key, 0) + value
+
+    def counter_many(self, pairs, **labels) -> None:
+        """Apply several ``(name, value)`` counter increments in one call.
+
+        Identical in effect to calling :meth:`counter` once per pair, but a
+        single lock acquisition — used by the serving hot path, where a
+        micro-batched burst settles a handful of counters at once.
+        """
+        if not self.enabled:
+            return
+        with self._lock:
+            for name, value in pairs:
+                key = _key(name, labels)
+                self._counters[key] = self._counters.get(key, 0) + value
+
+    def gauge_set(self, name: str, value: float, **labels) -> None:
+        if not self.enabled:
+            return
+        with self._lock:
+            self._gauges[_key(name, labels)] = float(value)
+
+    def gauge_add(self, name: str, delta: float, **labels) -> None:
+        if not self.enabled:
+            return
+        key = _key(name, labels)
+        with self._lock:
+            self._gauges[key] = self._gauges.get(key, 0.0) + float(delta)
+
+    def observe(self, name: str, value: float, buckets=None, **labels) -> None:
+        """Record ``value`` in the histogram ``name``/``labels``.
+
+        The first observation pins the bucket boundaries (``buckets`` or
+        :data:`DEFAULT_TIME_BUCKETS`); later calls reuse them.
+        """
+        if not self.enabled:
+            return
+        key = _key(name, labels)
+        with self._lock:
+            histogram = self._histograms.get(key)
+            if histogram is None:
+                histogram = self._histograms[key] = _Histogram(
+                    buckets if buckets is not None else DEFAULT_TIME_BUCKETS
+                )
+            histogram.observe(value)
+
+    def bulk(self, counters=(), gauge_deltas=(), observations=()) -> None:
+        """Apply a mixed batch of mutations in one lock acquisition.
+
+        Effect is identical to the equivalent sequence of individual calls:
+        ``counters`` and ``gauge_deltas`` take ``(name, value, labels)``
+        triples, ``observations`` takes ``(name, value, n, buckets, labels)``
+        — ``labels`` a dict or None, ``buckets`` None for the time defaults.
+        The serving hot path settles a whole burst's telemetry through one
+        ``bulk`` call per registry; on a contended box every extra registry
+        call is a potential lock/GIL handoff, which is exactly the overhead
+        the ≤2% observability budget is spent on.
+        """
+        if not self.enabled:
+            return
+        with self._lock:
+            for name, value, labels in counters:
+                key = _key(name, labels or {})
+                self._counters[key] = self._counters.get(key, 0) + value
+            for name, delta, labels in gauge_deltas:
+                key = _key(name, labels or {})
+                self._gauges[key] = self._gauges.get(key, 0.0) + float(delta)
+            for name, value, n, buckets, labels in observations:
+                key = _key(name, labels or {})
+                histogram = self._histograms.get(key)
+                if histogram is None:
+                    histogram = self._histograms[key] = _Histogram(
+                        buckets if buckets is not None else DEFAULT_TIME_BUCKETS
+                    )
+                value = float(value)
+                histogram.counts[bisect_left(histogram.bounds, value)] += n
+                histogram.total += value * n
+                histogram.count += n
+
+    def observe_many(self, name: str, values, buckets=None, **labels) -> None:
+        """Record several observations into one histogram in one call.
+
+        Identical in effect to calling :meth:`observe` once per value, but a
+        single lock acquisition and key computation for the whole batch.
+        """
+        if not self.enabled or not values:
+            return
+        key = _key(name, labels)
+        with self._lock:
+            histogram = self._histograms.get(key)
+            if histogram is None:
+                histogram = self._histograms[key] = _Histogram(
+                    buckets if buckets is not None else DEFAULT_TIME_BUCKETS
+                )
+            for value in values:
+                value = float(value)
+                histogram.counts[bisect_left(histogram.bounds, value)] += 1
+                histogram.total += value
+                histogram.count += 1
+
+    def observe_n(self, name: str, value: float, n: int, buckets=None, **labels) -> None:
+        """Record ``n`` identical observations of ``value`` in one call.
+
+        The micro-batcher answers a whole coalesced group with one shared
+        wall clock, so per-envelope latency observations within a group are
+        ``n`` copies of the same value — folding them into one registry call
+        keeps telemetry off the serving hot path.
+        """
+        if not self.enabled or n <= 0:
+            return
+        key = _key(name, labels)
+        value = float(value)
+        with self._lock:
+            histogram = self._histograms.get(key)
+            if histogram is None:
+                histogram = self._histograms[key] = _Histogram(
+                    buckets if buckets is not None else DEFAULT_TIME_BUCKETS
+                )
+            histogram.counts[bisect_left(histogram.bounds, value)] += n
+            histogram.total += value * n
+            histogram.count += n
+
+    def reset(self) -> None:
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+
+    # -- reads ------------------------------------------------------------
+
+    def counter_value(self, name: str, **labels) -> float:
+        with self._lock:
+            return self._counters.get(_key(name, labels), 0)
+
+    def counter_total(self, name: str) -> float:
+        """Sum of one counter across every label set."""
+        with self._lock:
+            return sum(
+                value for (n, _), value in self._counters.items() if n == name
+            )
+
+    def gauge_value(self, name: str, default: float = 0.0, **labels) -> float:
+        with self._lock:
+            return self._gauges.get(_key(name, labels), default)
+
+    def snapshot(self) -> dict:
+        """Deterministically-ordered, JSON-ready view of every metric."""
+        with self._lock:
+            counters = [
+                {"name": name, "labels": dict(labels), "value": value}
+                for (name, labels), value in sorted(self._counters.items())
+            ]
+            gauges = [
+                {"name": name, "labels": dict(labels), "value": value}
+                for (name, labels), value in sorted(self._gauges.items())
+            ]
+            histograms = [
+                {
+                    "name": name,
+                    "labels": dict(labels),
+                    "le": list(histogram.bounds),
+                    "counts": list(histogram.counts),
+                    "sum": histogram.total,
+                    "count": histogram.count,
+                }
+                for (name, labels), histogram in sorted(self._histograms.items())
+            ]
+        return {
+            "schema": METRICS_SCHEMA,
+            "counters": counters,
+            "gauges": gauges,
+            "histograms": histograms,
+        }
+
+    def merge(self, snapshot: dict | None, extra_labels: dict | None = None) -> None:
+        """Fold a :meth:`snapshot` (e.g. a process-worker delta) into this
+        registry, optionally stamping ``extra_labels`` onto every entry."""
+        if not snapshot or not self.enabled:
+            return
+        extra = {k: str(v) for k, v in (extra_labels or {}).items()}
+        with self._lock:
+            for entry in snapshot.get("counters", ()):
+                key = _key(entry["name"], {**entry["labels"], **extra})
+                self._counters[key] = self._counters.get(key, 0) + entry["value"]
+            for entry in snapshot.get("gauges", ()):
+                key = _key(entry["name"], {**entry["labels"], **extra})
+                self._gauges[key] = self._gauges.get(key, 0.0) + entry["value"]
+            for entry in snapshot.get("histograms", ()):
+                key = _key(entry["name"], {**entry["labels"], **extra})
+                histogram = self._histograms.get(key)
+                if histogram is None:
+                    histogram = self._histograms[key] = _Histogram(entry["le"])
+                if list(histogram.bounds) != list(entry["le"]):
+                    raise ValueError(
+                        f"histogram bucket mismatch merging {entry['name']!r}"
+                    )
+                for index, count in enumerate(entry["counts"]):
+                    histogram.counts[index] += count
+                histogram.total += entry["sum"]
+                histogram.count += entry["count"]
+
+
+# -- ambient registry (thread-local) --------------------------------------
+#
+# The engine reports epoch timing without threading a registry through
+# every strategy signature: callers wrap the training call in
+# ``use_metrics(registry)`` and the engine picks it up via
+# ``active_metrics()``.  Thread-local so shard threads and process
+# workers never cross-talk.
+
+_ACTIVE = threading.local()
+
+
+def active_metrics() -> MetricsRegistry | None:
+    """The registry installed by the innermost :func:`use_metrics`, if any."""
+    return getattr(_ACTIVE, "registry", None)
+
+
+@contextmanager
+def use_metrics(registry: MetricsRegistry | None):
+    """Install ``registry`` as this thread's ambient metrics sink."""
+    previous = getattr(_ACTIVE, "registry", None)
+    _ACTIVE.registry = registry
+    try:
+        yield registry
+    finally:
+        _ACTIVE.registry = previous
+
+
+# -- snapshot schema + exposition -----------------------------------------
+
+
+def validate_snapshot(snapshot: object) -> dict:
+    """Check ``snapshot`` against the ``repro.metrics/v1`` layout.
+
+    Returns the snapshot on success; raises :class:`ValueError` naming the
+    first offending entry otherwise.  Used by the CLI (``repro metrics``)
+    and the CI ``obs-smoke`` job.
+    """
+    if not isinstance(snapshot, dict):
+        raise ValueError("metrics snapshot must be a dict")
+    if snapshot.get("schema") != METRICS_SCHEMA:
+        raise ValueError(
+            f"unsupported metrics schema: {snapshot.get('schema')!r} "
+            f"(expected {METRICS_SCHEMA!r})"
+        )
+    for section in ("counters", "gauges", "histograms"):
+        entries = snapshot.get(section)
+        if not isinstance(entries, list):
+            raise ValueError(f"metrics snapshot section {section!r} must be a list")
+        for entry in entries:
+            if not isinstance(entry, dict) or not isinstance(entry.get("name"), str):
+                raise ValueError(f"malformed {section} entry: {entry!r}")
+            labels = entry.get("labels")
+            if not isinstance(labels, dict) or not all(
+                isinstance(k, str) and isinstance(v, str) for k, v in labels.items()
+            ):
+                raise ValueError(f"malformed labels on {entry['name']!r}: {labels!r}")
+            if section == "histograms":
+                bounds, counts = entry.get("le"), entry.get("counts")
+                if not isinstance(bounds, list) or not isinstance(counts, list):
+                    raise ValueError(f"malformed histogram {entry['name']!r}")
+                if len(counts) != len(bounds) + 1:
+                    raise ValueError(
+                        f"histogram {entry['name']!r}: {len(counts)} counts for "
+                        f"{len(bounds)} bounds (expected bounds + 1)"
+                    )
+                if entry.get("count") != sum(counts):
+                    raise ValueError(
+                        f"histogram {entry['name']!r}: count field disagrees "
+                        f"with bucket counts"
+                    )
+            else:
+                if not isinstance(entry.get("value"), (int, float)):
+                    raise ValueError(f"non-numeric value on {entry['name']!r}")
+                if section == "counters" and entry["value"] < 0:
+                    raise ValueError(f"negative counter {entry['name']!r}")
+    return snapshot
+
+
+def _prom_name(name: str) -> str:
+    return name.replace(".", "_").replace("-", "_")
+
+
+def _prom_labels(labels: dict, extra: dict | None = None) -> str:
+    merged = {**labels, **(extra or {})}
+    if not merged:
+        return ""
+    body = ",".join(f'{_prom_name(k)}="{v}"' for k, v in sorted(merged.items()))
+    return "{" + body + "}"
+
+
+def to_prometheus(snapshot: dict) -> str:
+    """Render a snapshot in the Prometheus text exposition format."""
+    lines: list[str] = []
+    typed: set[str] = set()
+
+    def type_line(name: str, kind: str) -> None:
+        if name not in typed:
+            typed.add(name)
+            lines.append(f"# TYPE {name} {kind}")
+
+    for entry in snapshot.get("counters", ()):
+        name = _prom_name(entry["name"]) + "_total"
+        type_line(name, "counter")
+        lines.append(f"{name}{_prom_labels(entry['labels'])} {entry['value']}")
+    for entry in snapshot.get("gauges", ()):
+        name = _prom_name(entry["name"])
+        type_line(name, "gauge")
+        lines.append(f"{name}{_prom_labels(entry['labels'])} {entry['value']}")
+    for entry in snapshot.get("histograms", ()):
+        name = _prom_name(entry["name"])
+        type_line(name, "histogram")
+        cumulative = 0
+        for bound, count in zip(entry["le"], entry["counts"]):
+            cumulative += count
+            labels = _prom_labels(entry["labels"], {"le": repr(bound)})
+            lines.append(f"{name}_bucket{labels} {cumulative}")
+        labels = _prom_labels(entry["labels"], {"le": "+Inf"})
+        lines.append(f"{name}_bucket{labels} {entry['count']}")
+        lines.append(f"{name}_sum{_prom_labels(entry['labels'])} {entry['sum']}")
+        lines.append(f"{name}_count{_prom_labels(entry['labels'])} {entry['count']}")
+    return "\n".join(lines) + "\n"

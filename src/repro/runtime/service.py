@@ -28,7 +28,6 @@ from __future__ import annotations
 import copy
 import hashlib
 import threading
-import time
 import warnings
 from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
@@ -42,6 +41,7 @@ from ..engine.strategy import AdaptationStrategy, StrategyOutcome, TasfarStrateg
 from ..nn.losses import Loss
 from ..nn.models import RegressionModel
 from ..nn.trainer import predict_batched
+from ..obs import MetricsRegistry, Stopwatch, use_metrics
 from .report import AdaptationReport
 from .workers import EXECUTOR_KINDS, AdaptationWorkerPool
 
@@ -101,6 +101,11 @@ class AdaptationService:
     base_seed:
         Mixed into every per-target seed so two services with different base
         seeds adapt the same targets differently (useful for seed studies).
+    metrics:
+        Optional shared :class:`~repro.obs.MetricsRegistry`; the service
+        builds its own (enabled) registry when none is given.  Cache
+        hits/misses/evictions, adaptation counts and latency by mode, and
+        the engine's epoch timing all land here.
     """
 
     def __init__(
@@ -113,6 +118,7 @@ class AdaptationService:
         strategy: AdaptationStrategy | None = None,
         max_cached_models: int = 8,
         base_seed: int = 0,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         if max_cached_models < 1:
             raise ValueError("max_cached_models must be at least 1")
@@ -144,6 +150,7 @@ class AdaptationService:
         self._forward_lock = threading.Lock()
         self._worker_pool: AdaptationWorkerPool | None = None
         self._warned_thread_executor = False
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
 
     # ------------------------------------------------------------------
     # Seeding
@@ -183,7 +190,11 @@ class AdaptationService:
         previously attached pool.
         """
         pool = AdaptationWorkerPool(
-            workers, self._source_model, self.strategy, start_method=start_method
+            workers,
+            self._source_model,
+            self.strategy,
+            start_method=start_method,
+            metrics=self.metrics,
         )
         old, self._worker_pool = self._worker_pool, pool
         if old is not None:
@@ -264,20 +275,27 @@ class AdaptationService:
         process instead (bit-identical — the worker mirrors this method);
         either way the caller blocks until the result is back.
         """
+        mode = "warm" if base_model is not None else "cold"
         pool = self._worker_pool
         if pool is not None:
-            return pool.adapt(target_id, inputs, seed, base_model, warm_epochs)
+            report, outcome = pool.adapt(target_id, inputs, seed, base_model, warm_epochs)
+            self.metrics.counter("service.adaptations", mode=mode)
+            self.metrics.observe("service.adapt_seconds", report.duration_seconds, mode=mode)
+            return report, outcome
         model = copy.deepcopy(base_model if base_model is not None else self._source_model)
-        start = time.perf_counter()
-        outcome = self.strategy.adapt(
-            model,
-            inputs,
-            seed=seed,
-            base_model=model if base_model is not None else None,
-            warm_epochs=warm_epochs,
-        )
-        duration = time.perf_counter() - start
+        watch = Stopwatch()
+        with use_metrics(self.metrics if self.metrics.enabled else None):
+            outcome = self.strategy.adapt(
+                model,
+                inputs,
+                seed=seed,
+                base_model=model if base_model is not None else None,
+                warm_epochs=warm_epochs,
+            )
+        duration = watch.elapsed()
         report = AdaptationReport.from_outcome(target_id, seed, outcome, len(inputs), duration)
+        self.metrics.counter("service.adaptations", mode=mode)
+        self.metrics.observe("service.adapt_seconds", duration, mode=mode)
         return report, outcome
 
     def _store_result(
@@ -290,6 +308,7 @@ class AdaptationService:
             self._models.move_to_end(target_id)
             while len(self._models) > self.max_cached_models:
                 self._models.popitem(last=False)
+                self.metrics.counter("service.cache.evictions", reason="capacity")
 
     def adapt_many(
         self,
@@ -355,7 +374,9 @@ class AdaptationService:
         pool = self._worker_pool
         ephemeral = pool is None
         if ephemeral:
-            pool = AdaptationWorkerPool(jobs, self._source_model, self.strategy)
+            pool = AdaptationWorkerPool(
+                jobs, self._source_model, self.strategy, metrics=self.metrics
+            )
         try:
             submitted = []
             for tid, data in items:
@@ -365,6 +386,10 @@ class AdaptationService:
             reports: dict[str, AdaptationReport] = {}
             for target_id, future in submitted:
                 report, outcome = pool.collect(future)
+                self.metrics.counter("service.adaptations", mode="cold")
+                self.metrics.observe(
+                    "service.adapt_seconds", report.duration_seconds, mode="cold"
+                )
                 self._store_result(target_id, report, outcome.target_model)
                 reports[target_id] = report
             return reports
@@ -425,7 +450,7 @@ class AdaptationService:
         return entry[0]
 
     def _predict_entry(
-        self, target_id: str, strict: bool = False
+        self, target_id: str, strict: bool = False, count_metrics: bool = True
     ) -> tuple[RegressionModel, threading.Lock, bool]:
         """Resolve the model a prediction for ``target_id`` must run on.
 
@@ -435,12 +460,22 @@ class AdaptationService:
         :meth:`predict`: both resolve requests to the same model instances,
         so coalesced and per-request predictions are computed on identical
         parameters.
+
+        ``count_metrics=False`` skips the per-call hit/miss counters; the
+        micro-batcher uses it to tally a whole burst locally and issue one
+        aggregated counter per outcome instead of one per request.
         """
         entry = self._model_and_lock(target_id)
         if entry is None:
             if strict:
+                if count_metrics:
+                    self.metrics.counter("service.cache.strict_misses")
                 raise self._missing_model_error(canonical_target_id(target_id))
+            if count_metrics:
+                self.metrics.counter("service.cache.misses")
             return self._source_model, self._forward_lock, True
+        if count_metrics:
+            self.metrics.counter("service.cache.hits")
         model, forward_lock = entry
         return model, forward_lock, False
 
@@ -486,11 +521,12 @@ class AdaptationService:
             if target_id is None:
                 evicted = list(self._models)
                 self._models.clear()
-                return evicted
-            target_id = canonical_target_id(target_id)
-            if self._models.pop(target_id, None) is not None:
-                return [target_id]
-            return []
+            else:
+                target_id = canonical_target_id(target_id)
+                evicted = [target_id] if self._models.pop(target_id, None) is not None else []
+        if evicted:
+            self.metrics.counter("service.cache.evictions", len(evicted), reason="explicit")
+        return evicted
 
     def report_for(self, target_id: str) -> AdaptationReport | None:
         """The stored report for ``target_id`` (survives model eviction)."""

@@ -39,7 +39,6 @@ from __future__ import annotations
 import copy
 import multiprocessing
 import threading
-import time
 from concurrent.futures import CancelledError, Future, ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 
@@ -47,6 +46,7 @@ import numpy as np
 
 from ..engine.strategy import AdaptationStrategy, StrategyOutcome
 from ..nn.models import RegressionModel
+from ..obs import MetricsRegistry, Stopwatch, use_metrics
 from .report import AdaptationReport
 
 __all__ = [
@@ -92,7 +92,7 @@ def _worker_adapt(
     seed: int,
     base_model: RegressionModel | None,
     warm_epochs: int | None,
-) -> tuple[AdaptationReport, StrategyOutcome]:
+) -> tuple[AdaptationReport, StrategyOutcome, dict]:
     """Run one adaptation inside a worker process.
 
     Mirrors :meth:`AdaptationService._run_adaptation` exactly — same deep
@@ -101,22 +101,30 @@ def _worker_adapt(
     ``outcome.result`` (per-sample prediction arrays) is dropped before the
     outcome crosses back: the parent's bookkeeping needs only the adapted
     model, the losses, and the density map.
+
+    The third element is a metrics **delta**: the work runs under a fresh
+    worker-local :class:`~repro.obs.MetricsRegistry` (the parent's registry
+    does not exist in this process), whose snapshot rides home on the
+    result so :meth:`AdaptationWorkerPool.collect` can fold engine-level
+    counters (epochs, epoch timing) into the parent's registry.
     """
     source = _WORKER_STATE["source_model"]
     strategy = _WORKER_STATE["strategy"]
     model = copy.deepcopy(base_model if base_model is not None else source)
-    start = time.perf_counter()
-    outcome = strategy.adapt(
-        model,
-        inputs,
-        seed=seed,
-        base_model=model if base_model is not None else None,
-        warm_epochs=warm_epochs,
-    )
-    duration = time.perf_counter() - start
+    delta = MetricsRegistry()
+    watch = Stopwatch()
+    with use_metrics(delta):
+        outcome = strategy.adapt(
+            model,
+            inputs,
+            seed=seed,
+            base_model=model if base_model is not None else None,
+            warm_epochs=warm_epochs,
+        )
+    duration = watch.elapsed()
     report = AdaptationReport.from_outcome(target_id, seed, outcome, len(inputs), duration)
     outcome.result = None
-    return report, outcome
+    return report, outcome, delta.snapshot()
 
 
 class AdaptationWorkerPool:
@@ -135,6 +143,11 @@ class AdaptationWorkerPool:
     start_method:
         Multiprocessing start method; defaults to
         :func:`default_start_method`.
+    metrics:
+        Optional parent :class:`~repro.obs.MetricsRegistry`.  When given,
+        worker metric deltas are merged into it by :meth:`collect`, and the
+        pool counts its own lifecycle events (tasks, restarts, killed
+        workers, crash errors) there.
     """
 
     def __init__(
@@ -144,6 +157,7 @@ class AdaptationWorkerPool:
         strategy: AdaptationStrategy,
         *,
         start_method: str | None = None,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be at least 1")
@@ -152,7 +166,12 @@ class AdaptationWorkerPool:
         self._payload = (source_model, strategy)
         self._lock = threading.Lock()
         self._closed = False
+        self.metrics = metrics
         self._pool: ProcessPoolExecutor | None = self._new_pool()
+
+    def _count(self, name: str, value: float = 1, **labels) -> None:
+        if self.metrics is not None:
+            self.metrics.counter(name, value, **labels)
 
     def _new_pool(self) -> ProcessPoolExecutor:
         return ProcessPoolExecutor(
@@ -179,16 +198,20 @@ class AdaptationWorkerPool:
                 raise WorkerCrashError("the adaptation worker pool is closed")
             pool = self._pool
         try:
-            return pool.submit(_worker_adapt, target_id, inputs, seed, base_model, warm_epochs)
+            future = pool.submit(
+                _worker_adapt, target_id, inputs, seed, base_model, warm_epochs
+            )
         except RuntimeError as exc:
             # The pool broke or was swapped out between the lock release and
             # the submit; surface the same typed error collect() would.
+            self._count("workers.crash_errors", stage="submit")
             raise WorkerCrashError(
                 "the adaptation worker pool died before the task was queued; retry"
             ) from exc
+        self._count("workers.tasks")
+        return future
 
-    @staticmethod
-    def collect(future: "Future") -> tuple[AdaptationReport, StrategyOutcome]:
+    def collect(self, future: "Future") -> tuple[AdaptationReport, StrategyOutcome]:
         """Resolve a :meth:`submit` future, translating pool-death failures.
 
         ``CancelledError`` (queued when the pool was killed) and
@@ -198,15 +221,23 @@ class AdaptationWorkerPool:
         errors raised inside the worker (e.g.
         :class:`~repro.core.adapter.NoConfidentSamplesError`) re-raise
         unchanged, exactly as the in-process path would raise them.
+
+        The worker's piggybacked metrics delta is folded into the pool's
+        parent registry here (the one place every successful result passes
+        through), then dropped from the returned pair.
         """
         try:
-            return future.result()
+            report, outcome, delta = future.result()
         except (CancelledError, BrokenProcessPool) as exc:
+            self._count("workers.crash_errors", stage="collect")
             raise WorkerCrashError(
                 "the worker pool was killed while this adaptation was in flight; "
                 "adaptation is deterministic, so retrying on the respawned pool "
                 "reproduces the same result"
             ) from exc
+        if self.metrics is not None:
+            self.metrics.merge(delta)
+        return report, outcome
 
     def adapt(
         self,
@@ -255,6 +286,9 @@ class AdaptationWorkerPool:
         with self._lock:
             if not self._closed:
                 self._pool = self._new_pool()
+        self._count("workers.restarts")
+        if killed:
+            self._count("workers.killed", len(killed))
         return sorted(killed)
 
     def close(self) -> None:

@@ -4,8 +4,8 @@ This package is the client-facing API of the reproduction's serving story:
 
 * :mod:`repro.serve.protocol` — the typed request types
   (:class:`AdaptRequest`, :class:`PredictRequest`, :class:`StreamRequest`,
-  :class:`ReportRequest`), the versioned :class:`Envelope` response, and
-  the stable JSON wire codec behind them;
+  :class:`ReportRequest`, :class:`MetricsRequest`), the versioned
+  :class:`Envelope` response, and the stable JSON wire codec behind them;
 * :mod:`repro.serve.gateway` — the :class:`Gateway` facade: constructed
   from registry names (task + scheme) or explicit objects, owning sharded
   adaptation services with deterministic rendezvous placement and
@@ -28,6 +28,7 @@ from .protocol import (
     SCHEMA,
     AdaptRequest,
     Envelope,
+    MetricsRequest,
     PredictRequest,
     ReportRequest,
     Request,
@@ -42,6 +43,7 @@ __all__ = [
     "BatchPolicy",
     "Envelope",
     "Gateway",
+    "MetricsRequest",
     "PredictRequest",
     "ReportRequest",
     "Request",

@@ -34,7 +34,6 @@ from __future__ import annotations
 
 import hashlib
 import threading
-import time
 from concurrent.futures import Future, InvalidStateError, ThreadPoolExecutor
 from typing import Callable, Iterable, Sequence
 
@@ -45,6 +44,7 @@ from ..core.config import TasfarConfig
 from ..engine.strategy import AdaptationStrategy
 from ..nn.losses import Loss
 from ..nn.models import RegressionModel
+from ..obs import RATIO_BUCKETS, MetricsRegistry, Tracer, now
 from ..runtime.service import AdaptationService, canonical_target_id
 from ..runtime.workers import EXECUTOR_KINDS
 from ..streaming.service import StreamingAdaptationService
@@ -52,6 +52,7 @@ from .batching import BatchPolicy, PredictPlan, run_model_group
 from .protocol import (
     AdaptRequest,
     Envelope,
+    MetricsRequest,
     PredictRequest,
     ReportRequest,
     Request,
@@ -112,9 +113,11 @@ class _ShardDispatch:
     the outer future resolves to an error envelope.
     """
 
-    def __init__(self, index: int, workers: int) -> None:
+    def __init__(self, index: int, workers: int, metrics: MetricsRegistry) -> None:
         self.index = index
         self.workers = workers
+        self.metrics = metrics
+        self._shard_label = str(index)
         self._lock = threading.Lock()
         # inner executor future -> (outer caller future, orphan_result)
         self._pending: dict[Future, tuple[Future, Callable[[], object]]] = {}
@@ -126,19 +129,38 @@ class _ShardDispatch:
         )
 
     def submit(
-        self, fn: Callable, args: tuple, orphan_result: Callable[[], object]
+        self,
+        fn: Callable,
+        args: tuple,
+        orphan_result: Callable[[], object],
+        on_start: Callable[[], None] | None = None,
     ) -> Future:
         """Queue ``fn(*args)``; the returned future always settles.
 
         ``orphan_result`` is called (lazily, only if needed) to produce the
         value the future resolves to when the task is thrown away by a
-        restart before it ever ran.  Raises ``RuntimeError`` if the pool is
-        already shut down for good (gateway closed) — callers translate that
-        into an immediate error envelope.
+        restart before it ever ran.  ``on_start`` (if given) runs on the
+        dispatch thread the moment the task leaves the queue — the tracer
+        uses it to stamp dequeue times.  Raises ``RuntimeError`` if the pool
+        is already shut down for good (gateway closed) — callers translate
+        that into an immediate error envelope.
         """
         outer: Future = Future()
+        enqueued = now()
 
         def task():
+            # The queue-depth gauge decrements here (not in ``_reap``, whose
+            # done-callback races the caller's wakeup) so depth reconciles
+            # to zero the moment every submitted request has been answered.
+            labels = {"shard": self._shard_label}
+            self.metrics.bulk(
+                gauge_deltas=(("serve.queue_depth", -1, labels),),
+                observations=(
+                    ("serve.queue_wait_seconds", now() - enqueued, 1, None, labels),
+                ),
+            )
+            if on_start is not None:
+                on_start()
             try:
                 result = fn(*args)
             except BaseException as exc:  # settle, never lose the outer future
@@ -148,7 +170,12 @@ class _ShardDispatch:
 
         with self._lock:
             pool = self._pool
-        inner = pool.submit(task)
+        self.metrics.gauge_add("serve.queue_depth", 1, shard=self._shard_label)
+        try:
+            inner = pool.submit(task)
+        except RuntimeError:
+            self.metrics.gauge_add("serve.queue_depth", -1, shard=self._shard_label)
+            raise
         with self._lock:
             self._pending[inner] = (outer, orphan_result)
         inner.add_done_callback(self._reap)
@@ -164,6 +191,8 @@ class _ShardDispatch:
             # Killed while still queued: the task never ran, so nothing else
             # will ever settle the outer future — resolve it with the
             # caller's orphan envelope.
+            self.metrics.gauge_add("serve.queue_depth", -1, shard=self._shard_label)
+            self.metrics.counter("serve.orphaned_futures", shard=self._shard_label)
             _settle(outer, result=orphan_result())
 
     def restart(self) -> None:
@@ -227,6 +256,15 @@ class Gateway:
         Extra keyword arguments forwarded to every shard service
         constructor (e.g. ``min_adapt_events`` / ``readapt_budget`` for the
         streaming shards).
+    metrics:
+        The gateway-level :class:`~repro.obs.MetricsRegistry` (a fresh one
+        by default).  Holds the request/queue/batching counters; each shard
+        service keeps its *own* registry, and :meth:`metrics_snapshot`
+        merges them all (shard entries labeled by shard index).
+    tracer:
+        Optional :class:`~repro.obs.Tracer`; when given, every submitted
+        request emits deterministic-id spans (submit → queue → handle →
+        engine) into it.
     """
 
     def __init__(
@@ -244,6 +282,8 @@ class Gateway:
         base_seed: int = 0,
         batch_policy: BatchPolicy | None = None,
         service_options: dict | None = None,
+        metrics: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         if n_shards < 1:
             raise ValueError("n_shards must be at least 1")
@@ -253,6 +293,8 @@ class Gateway:
             raise ValueError(f"executor must be one of {EXECUTOR_KINDS}, got {executor!r}")
         self.executor = executor
         self.batch_policy = batch_policy if batch_policy is not None else BatchPolicy()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.tracer = tracer
         options = dict(service_options or {})
         common = dict(
             config=config,
@@ -283,7 +325,8 @@ class Gateway:
             for service in self._shards:
                 service.use_process_workers(shard_workers)
         self._dispatch = [
-            _ShardDispatch(index, shard_workers) for index in range(n_shards)
+            _ShardDispatch(index, shard_workers, self.metrics)
+            for index in range(n_shards)
         ]
 
     def restart_shard_workers(self, shard: int) -> list[int]:
@@ -310,6 +353,7 @@ class Gateway:
         """
         if not 0 <= shard < self.n_shards:
             raise ValueError(f"shard must be in [0, {self.n_shards}), got {shard}")
+        self.metrics.counter("serve.shard_restarts", shard=shard)
         self._dispatch[shard].restart()
         return self._shards[shard].restart_workers()
 
@@ -398,26 +442,50 @@ class Gateway:
     # Submission surface
     # ------------------------------------------------------------------
     def _dispatch_for(self, request: Request) -> "_ShardDispatch":
-        if isinstance(request, ReportRequest) and request.target_id is None:
+        if isinstance(request, (ReportRequest, MetricsRequest)) and request.target_id is None:
             return self._dispatch[0]
         return self._dispatch[self.shard_for(request.target_id)]
 
-    @staticmethod
-    def _orphan_envelope(request: Request) -> Callable[[], Envelope]:
+    def _count_envelope(self, envelope: Envelope) -> Envelope:
+        """Fold one produced envelope into the request/error/latency metrics.
+
+        Called at *every* envelope-producing point — handler returns, orphan
+        envelopes, dead-pool and unknown-type fallbacks — so
+        ``serve.requests{kind}`` equals the number of envelopes the gateway
+        ever handed out (the ``metrics_accounting`` sim invariant leans on
+        exactly this).
+        """
+        self.metrics.counter("serve.requests", kind=envelope.kind)
+        if not envelope.ok:
+            self.metrics.counter("serve.errors", kind=envelope.kind)
+        self.metrics.observe(
+            "serve.request_seconds", envelope.duration_seconds, kind=envelope.kind
+        )
+        return envelope
+
+    def _orphan_envelope(self, request: Request) -> Callable[[], Envelope]:
         """The envelope a request's future resolves to if a restart orphans it."""
 
         def orphan() -> Envelope:
-            return Envelope.failure(
-                request.kind,
-                request.target_id,
-                ShardRestartedError(
-                    "the shard's worker pool was restarted while this request was "
-                    "queued; it never ran — resubmit it (adaptation is "
-                    "deterministic, so a retry reproduces the same result)"
-                ),
+            return self._count_envelope(
+                Envelope.failure(
+                    request.kind,
+                    request.target_id,
+                    ShardRestartedError(
+                        "the shard's worker pool was restarted while this request was "
+                        "queued; it never ran — resubmit it (adaptation is "
+                        "deterministic, so a retry reproduces the same result)"
+                    ),
+                )
             )
 
         return orphan
+
+    def _begin_trace(self, request: Request):
+        if self.tracer is None:
+            return None
+        kind = getattr(request, "kind", "unknown")
+        return self.tracer.begin(kind, getattr(request, "target_id", None))
 
     def submit(self, request: Request) -> Envelope:
         """Handle one request synchronously and return its envelope."""
@@ -435,17 +503,36 @@ class Gateway:
         burst.
         """
         dispatch = self._dispatch_for(request)
+        trace = self._begin_trace(request)
         try:
-            return dispatch.submit(
-                self._handle_one, (request,), self._orphan_envelope(request)
+            future = dispatch.submit(
+                self._handle_one,
+                (request,),
+                self._orphan_envelope(request),
+                on_start=None if trace is None else trace.mark_dequeued,
             )
         except RuntimeError as exc:
             # Dead pool: same errors-as-data discipline as submit_many — the
             # caller gets a future that resolves to an error envelope, not a
             # synchronous crash.
-            future: "Future[Envelope]" = Future()
-            future.set_result(Envelope.failure(request.kind, request.target_id, exc))
-            return future
+            envelope = self._count_envelope(
+                Envelope.failure(request.kind, request.target_id, exc)
+            )
+            if trace is not None:
+                trace.finish(envelope)
+            dead: "Future[Envelope]" = Future()
+            dead.set_result(envelope)
+            return dead
+        if trace is not None:
+
+            def finish_trace(settled: Future) -> None:
+                try:
+                    trace.finish(settled.result())
+                except BaseException:
+                    trace.finish(None)
+
+            future.add_done_callback(finish_trace)
+        return future
 
     def submit_many(self, requests: Sequence[Request] | Iterable[Request]) -> list[Envelope]:
         """Handle a batch of requests, micro-batching the predictions.
@@ -458,14 +545,18 @@ class Gateway:
         """
         requests = list(requests)
         envelopes: list[Envelope | None] = [None] * len(requests)
+        traces = [self._begin_trace(request) for request in requests]
         predict_by_shard: dict[int, list[tuple[int, PredictRequest]]] = {}
         futures: list[tuple[int, Future]] = []
         for index, request in enumerate(requests):
             if isinstance(request, PredictRequest):
                 shard = self.shard_for(request.target_id)
                 predict_by_shard.setdefault(shard, []).append((index, request))
-            elif isinstance(request, (AdaptRequest, StreamRequest, ReportRequest)):
+            elif isinstance(
+                request, (AdaptRequest, StreamRequest, ReportRequest, MetricsRequest)
+            ):
                 dispatch = self._dispatch_for(request)
+                trace = traces[index]
                 try:
                     futures.append(
                         (
@@ -474,6 +565,7 @@ class Gateway:
                                 self._handle_one,
                                 (request,),
                                 self._orphan_envelope(request),
+                                on_start=None if trace is None else trace.mark_dequeued,
                             ),
                         )
                     )
@@ -481,17 +573,20 @@ class Gateway:
                     # The pool died underneath us (shut down / interpreter
                     # teardown): answer with an error envelope rather than
                     # letting one dead shard poison the whole batch.
-                    envelopes[index] = Envelope.failure(
-                        request.kind, request.target_id, exc
+                    envelopes[index] = self._count_envelope(
+                        Envelope.failure(request.kind, request.target_id, exc)
                     )
             else:
-                envelopes[index] = Envelope.failure(
-                    "unknown",
-                    None,
-                    TypeError(f"unsupported request type {type(request).__name__}"),
+                envelopes[index] = self._count_envelope(
+                    Envelope.failure(
+                        "unknown",
+                        None,
+                        TypeError(f"unsupported request type {type(request).__name__}"),
+                    )
                 )
         predict_futures = []
         for shard, group in predict_by_shard.items():
+            group_traces = [traces[index] for index, _ in group]
 
             def orphan_group(group=group) -> list[tuple[int, Envelope]]:
                 return [
@@ -499,16 +594,24 @@ class Gateway:
                     for index, request in group
                 ]
 
+            def mark_group_dequeued(group_traces=group_traces) -> None:
+                for trace in group_traces:
+                    if trace is not None:
+                        trace.mark_dequeued()
+
             try:
                 predict_futures.append(
                     self._dispatch[shard].submit(
-                        self._handle_predict_group, (shard, group), orphan_group
+                        self._handle_predict_group,
+                        (shard, group),
+                        orphan_group,
+                        on_start=None if self.tracer is None else mark_group_dequeued,
                     )
                 )
             except RuntimeError as exc:
                 for index, request in group:
-                    envelopes[index] = Envelope.failure(
-                        request.kind, request.target_id, exc
+                    envelopes[index] = self._count_envelope(
+                        Envelope.failure(request.kind, request.target_id, exc)
                     )
         for index, future in futures:
             envelopes[index] = future.result()
@@ -516,13 +619,16 @@ class Gateway:
             for index, envelope in future.result():
                 envelopes[index] = envelope
         assert all(envelope is not None for envelope in envelopes)
+        for trace, envelope in zip(traces, envelopes):
+            if trace is not None:
+                trace.finish(envelope)
         return envelopes  # type: ignore[return-value]
 
     # ------------------------------------------------------------------
     # Handlers
     # ------------------------------------------------------------------
     def _handle_one(self, request: Request) -> Envelope:
-        start = time.perf_counter()
+        start = now()
         try:
             if isinstance(request, AdaptRequest):
                 payload = self._do_adapt(request)
@@ -532,14 +638,16 @@ class Gateway:
                 payload = self._do_stream(request)
             elif isinstance(request, ReportRequest):
                 payload = self._do_report(request)
+            elif isinstance(request, MetricsRequest):
+                payload = self._do_metrics(request)
             else:  # pragma: no cover - submit_many filters these out
                 raise TypeError(f"unsupported request type {type(request).__name__}")
         except Exception as exc:
-            return Envelope.failure(
-                request.kind, request.target_id, exc, time.perf_counter() - start
+            return self._count_envelope(
+                Envelope.failure(request.kind, request.target_id, exc, now() - start)
             )
-        return Envelope.success(
-            request.kind, request.target_id, payload, time.perf_counter() - start
+        return self._count_envelope(
+            Envelope.success(request.kind, request.target_id, payload, now() - start)
         )
 
     def _do_adapt(self, request: AdaptRequest) -> dict:
@@ -562,7 +670,7 @@ class Gateway:
             model=model,
             lock=lock,
         )
-        run_model_group(model, lock, [plan], self.batch_policy)
+        run_model_group(model, lock, [plan], self.batch_policy, metrics=self.metrics)
         return {
             "prediction": plan.output,
             "n_rows": int(len(plan.output)),
@@ -594,33 +702,51 @@ class Gateway:
             payload["stream"] = service.stream_stats(request.target_id)
         return payload
 
+    def _do_metrics(self, request: MetricsRequest) -> dict:
+        if request.target_id is None:
+            return {"metrics": self.metrics_snapshot()}
+        shard = self.shard_for(request.target_id)
+        merged = MetricsRegistry()
+        merged.merge(self.metrics.snapshot())
+        merged.merge(self._shards[shard].metrics.snapshot(), extra_labels={"shard": shard})
+        return {"metrics": merged.snapshot(), "shard": shard}
+
     def _handle_predict_group(
         self, shard: int, group: list[tuple[int, PredictRequest]]
     ) -> list[tuple[int, Envelope]]:
         """Serve one shard's predict burst with micro-batched forwards."""
-        start = time.perf_counter()
+        start = now()
         service = self._shards[shard]
         results: list[tuple[int, Envelope]] = []
         plans: list[PredictPlan] = []
         by_index: dict[int, PredictPlan] = {}
+        # Telemetry for the whole burst is tallied locally and issued as a
+        # handful of aggregated registry calls — per-request counting would
+        # put a lock acquisition on every entry of the serving hot path.
+        n_hits = n_misses = n_strict_misses = 0
         for index, request in group:
             try:
                 model, lock, fallback = service._predict_entry(
-                    request.target_id, request.strict
+                    request.target_id, request.strict, count_metrics=False
                 )
             except Exception as exc:
+                if request.strict and isinstance(exc, KeyError):
+                    n_strict_misses += 1
                 results.append(
                     (
                         index,
-                        Envelope.failure(
-                            request.kind,
-                            request.target_id,
-                            exc,
-                            time.perf_counter() - start,
+                        self._count_envelope(
+                            Envelope.failure(
+                                request.kind, request.target_id, exc, now() - start
+                            )
                         ),
                     )
                 )
                 continue
+            if fallback:
+                n_misses += 1
+            else:
+                n_hits += 1
             plan = PredictPlan(
                 index=index,
                 target_id=request.target_id,
@@ -632,17 +758,37 @@ class Gateway:
             )
             plans.append(plan)
             by_index[index] = plan
+        cache_tally = [
+            pair
+            for pair in (
+                ("service.cache.hits", n_hits),
+                ("service.cache.misses", n_misses),
+                ("service.cache.strict_misses", n_strict_misses),
+            )
+            if pair[1]
+        ]
+        if cache_tally:
+            service.metrics.counter_many(cache_tally)
 
         # Group by (model instance, batch_size): dedup and stacking must
         # never mix chunkings, and a model instance must forward under its
-        # own lock exactly once per group.
+        # own lock exactly once per group.  Batching accounting accumulates
+        # in one shared tally across the burst's model groups and settles
+        # with the registry once, below.
+        batch_tally: list[tuple[str, float]] = []
+        occupancies: list[float] = []
         model_groups: dict[tuple[int, int], list[PredictPlan]] = {}
         for plan in plans:
             model_groups.setdefault((id(plan.model), plan.batch_size), []).append(plan)
         for grouped in model_groups.values():
             try:
                 run_model_group(
-                    grouped[0].model, grouped[0].lock, grouped, self.batch_policy
+                    grouped[0].model,
+                    grouped[0].lock,
+                    grouped,
+                    self.batch_policy,
+                    tally=batch_tally,
+                    occupancies=occupancies,
                 )
             except Exception:
                 # A coalesced forward cannot attribute its failure (one bad
@@ -652,11 +798,19 @@ class Gateway:
                 for plan in grouped:
                     plan.output, plan.coalesced = None, False
                     try:
-                        run_model_group(plan.model, plan.lock, [plan], self.batch_policy)
+                        run_model_group(
+                            plan.model,
+                            plan.lock,
+                            [plan],
+                            self.batch_policy,
+                            tally=batch_tally,
+                            occupancies=occupancies,
+                        )
                     except Exception as exc:
                         plan.error = exc
 
-        duration = time.perf_counter() - start
+        duration = now() - start
+        n_ok = 0
         for index, request in group:
             plan = by_index.get(index)
             if plan is None:
@@ -666,9 +820,15 @@ class Gateway:
                     "prediction produced no output"
                 )
                 results.append(
-                    (index, Envelope.failure(request.kind, request.target_id, error, duration))
+                    (
+                        index,
+                        self._count_envelope(
+                            Envelope.failure(request.kind, request.target_id, error, duration)
+                        ),
+                    )
                 )
                 continue
+            n_ok += 1
             results.append(
                 (
                     index,
@@ -685,6 +845,24 @@ class Gateway:
                     ),
                 )
             )
+        # One settlement for the whole burst: all successful envelopes share
+        # one kind and one duration, and the batching tally accumulated
+        # across the model groups — a single bulk registry call.
+        folded: dict[str, float] = {}
+        for name, value in batch_tally:
+            folded[name] = folded.get(name, 0) + value
+        counters = [(name, value, None) for name, value in folded.items()]
+        observations = [
+            ("batch.tile_occupancy", occupancy, 1, RATIO_BUCKETS, None)
+            for occupancy in occupancies
+        ]
+        if n_ok:
+            counters.append(("serve.requests", n_ok, {"kind": "predict"}))
+            observations.append(
+                ("serve.request_seconds", duration, n_ok, None, {"kind": "predict"})
+            )
+        if counters or observations:
+            self.metrics.bulk(counters=counters, observations=observations)
         return results
 
     # ------------------------------------------------------------------
@@ -720,6 +898,26 @@ class Gateway:
         for service in self._shards:
             merged.update(service.reports())
         return merged
+
+    def metrics_snapshot(self) -> dict:
+        """One merged ``repro.metrics/v1`` snapshot for the whole fleet.
+
+        The gateway's own registry (requests, queues, batching) merged with
+        every shard service's registry (cache, adaptation, streaming, worker
+        and engine counters), shard entries labeled ``shard=<index>`` so one
+        hot shard stands out instead of averaging away.
+        """
+        merged = MetricsRegistry()
+        merged.merge(self.metrics.snapshot())
+        for index, service in enumerate(self._shards):
+            merged.merge(service.metrics.snapshot(), extra_labels={"shard": index})
+        return merged.snapshot()
+
+    def set_metrics_enabled(self, enabled: bool) -> None:
+        """Toggle metric collection across the gateway and every shard."""
+        self.metrics.enabled = bool(enabled)
+        for service in self._shards:
+            service.metrics.enabled = bool(enabled)
 
     def stream_stats(self, target_id: str) -> dict:
         """Per-target streaming counters from the owning shard."""

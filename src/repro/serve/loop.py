@@ -87,10 +87,26 @@ def serve_loop(gateway: Gateway, stdin: IO[str], stdout: IO[str]) -> int:
 
     Envelopes are flushed per line so an interactive client (or a pipe with
     a slow producer) sees each answer as soon as it exists.
+
+    A client hanging up mid-stream (``head -n 2``, a dead downstream pipe,
+    a closed socket wrapper) surfaces here as ``BrokenPipeError`` — or
+    ``ValueError`` from writing a stream something else already closed.
+    Both mean the same thing: nobody is reading anymore.  The loop stops
+    cleanly and returns the count actually delivered, instead of letting
+    the exception tear through ``repro serve`` as a traceback.
     """
     served = 0
     for envelope in serve_lines(gateway, stdin):
-        stdout.write(envelope.to_json() + "\n")
-        stdout.flush()
+        try:
+            stdout.write(envelope.to_json() + "\n")
+            stdout.flush()
+        except BrokenPipeError:
+            break
+        except ValueError:
+            # Text wrappers raise ValueError("I/O operation on closed file")
+            # rather than BrokenPipeError once the underlying stream is gone.
+            if not stdout.closed:
+                raise
+            break
         served += 1
     return served

@@ -1,8 +1,9 @@
 """Typed request/response protocol of the serving gateway.
 
-Every interaction with the :class:`~repro.serve.Gateway` is one of four
+Every interaction with the :class:`~repro.serve.Gateway` is one of five
 request types — :class:`AdaptRequest`, :class:`PredictRequest`,
-:class:`StreamRequest`, :class:`ReportRequest` — and every answer is an
+:class:`StreamRequest`, :class:`ReportRequest`, :class:`MetricsRequest` —
+and every answer is an
 :class:`Envelope`: a versioned, JSON-serializable record carrying either a
 kind-specific ``payload`` or a structured ``error``, never an exception.
 
@@ -37,6 +38,7 @@ __all__ = [
     "PredictRequest",
     "StreamRequest",
     "ReportRequest",
+    "MetricsRequest",
     "Request",
     "Envelope",
     "decode_request",
@@ -147,10 +149,35 @@ class ReportRequest:
             object.__setattr__(self, "target_id", canonical_target_id(self.target_id))
 
 
-Request = AdaptRequest | PredictRequest | StreamRequest | ReportRequest
+@dataclass(frozen=True)
+class MetricsRequest:
+    """Fetch the gateway's merged metrics snapshot (``repro.metrics/v1``).
+
+    ``target_id=None`` (the default and the common case) returns the
+    fleet-wide snapshot: the gateway's own registry plus every shard's,
+    shard entries labeled with their shard index.  A specific ``target_id``
+    narrows to the shard *serving that target* — useful for spotting one
+    hot shard — still merged with the gateway-level registry.
+
+    Added additively to ``repro.serve/v1``: a new request kind plus a new
+    success-payload shape (``{"metrics": <snapshot>}``), no change to any
+    existing envelope field.
+    """
+
+    target_id: str | None = None
+
+    kind = "metrics"
+
+    def __post_init__(self) -> None:
+        if self.target_id is not None:
+            object.__setattr__(self, "target_id", canonical_target_id(self.target_id))
+
+
+Request = AdaptRequest | PredictRequest | StreamRequest | ReportRequest | MetricsRequest
 
 _REQUEST_TYPES: dict[str, type] = {
-    cls.kind: cls for cls in (AdaptRequest, PredictRequest, StreamRequest, ReportRequest)
+    cls.kind: cls
+    for cls in (AdaptRequest, PredictRequest, StreamRequest, ReportRequest, MetricsRequest)
 }
 
 

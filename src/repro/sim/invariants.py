@@ -16,8 +16,16 @@ every PR since the seed has promised:
 * ``monotone_accounting`` — per-target stream counters (steps, events,
   cold/warm adaptations) and per-shard report counts only ever grow; an
   ingest can never un-happen, whatever faults fire.
+* ``metrics_accounting`` — the :mod:`repro.obs` metric counters reconcile
+  *exactly* with the envelope transcript: ``serve.requests{kind}`` equals
+  the envelopes the gateway produced per kind (suite-induced coalescing
+  re-submits included), errors match error envelopes, stream action
+  counters match the actions the ok stream envelopes reported, adaptation
+  counters match adapt envelopes plus stream-triggered adaptations, cache
+  hit/miss counters match the ``model`` attribution of ok predictions,
+  and every shard's queue-depth gauge is back to zero at tick end.
 
-A fifth property, **replay determinism** (same spec + seed → byte-identical
+A sixth property, **replay determinism** (same spec + seed → byte-identical
 transcript), spans two runs and therefore lives in
 :func:`repro.sim.simulator.verify_replay`; its result is merged into the
 same report shape.
@@ -46,6 +54,7 @@ INVARIANT_NAMES = (
     "shard_placement",
     "coalesced_bit_identity",
     "monotone_accounting",
+    "metrics_accounting",
 )
 
 #: Exactly the keys of the wire form of an envelope (protocol v1).
@@ -91,16 +100,38 @@ class InvariantSuite:
         Re-submit every burst-answered prediction individually and compare
         bits.  Costs one extra forward per successful predict; scenario
         files can switch it off for throughput-oriented runs.
+    verify_metrics:
+        Reconcile the :mod:`repro.obs` counters against the observed
+        envelopes after every tick.  The suite tracks its *own* extra
+        traffic (the coalescing re-submits) so the books still balance.
+        Tests that feed the suite fabricated records (envelopes no gateway
+        ever produced) must pass ``False`` — the counters cannot match
+        traffic that never flowed.
     """
 
-    def __init__(self, gateway: Gateway, verify_coalescing: bool = True) -> None:
+    def __init__(
+        self,
+        gateway: Gateway,
+        verify_coalescing: bool = True,
+        verify_metrics: bool = True,
+    ) -> None:
         self.gateway = gateway
         self.verify_coalescing = verify_coalescing
+        self.verify_metrics = verify_metrics
         self.violations: list[InvariantViolation] = []
         self.checks: dict[str, int] = {name: 0 for name in INVARIANT_NAMES}
         self._placements: dict[str, int] = {}
         self._last_stats: dict[str, dict] = {}
         self._last_report_counts: list[int] = [0] * gateway.n_shards
+        # metrics_accounting state: what the transcript says *should* have
+        # been counted, plus the counter totals that predate this suite
+        # (a suite may attach to a gateway that already served traffic).
+        self._expected_requests: dict[str, int] = {}
+        self._expected_errors: dict[str, int] = {}
+        self._expected_actions: dict[str, int] = {}
+        self._expected_adapt_ok = 0
+        self._expected_predict_models: dict[str, int] = {}
+        self._metrics_baseline = self._metric_totals() if verify_metrics else {}
 
     # ------------------------------------------------------------------
     # Observation entry points
@@ -110,6 +141,8 @@ class InvariantSuite:
         for record in records:
             self._check_envelope_schema(tick, record)
             self._check_shard_placement(tick, record)
+            if self.verify_metrics:
+                self._tally_expected(record)
         if self.verify_coalescing:
             # Byte-identical duplicates (retry/fan-out traffic) share one
             # answer by construction — verifying one representative per
@@ -130,9 +163,176 @@ class InvariantSuite:
                 seen.add(key)
                 self._check_coalesced_bits(tick, record)
         self._check_accounting(tick)
+        if self.verify_metrics:
+            self._check_metrics(tick)
 
     def _fail(self, invariant: str, tick: int, detail: str) -> None:
         self.violations.append(InvariantViolation(invariant, tick, detail))
+
+    # ------------------------------------------------------------------
+    # Metrics reconciliation bookkeeping
+    # ------------------------------------------------------------------
+    def _tally_expected(self, record: RequestRecord) -> None:
+        """Fold one gateway-produced envelope into the expected counter totals.
+
+        Decode failures (``record.request is None``) are answered by
+        :func:`repro.serve.decode_line` *before* the gateway — they never
+        touch its counters, so they never touch the expectations either.
+        """
+        if record.request is None:
+            return
+        envelope = record.envelope
+        kind = envelope.kind
+        self._expected_requests[kind] = self._expected_requests.get(kind, 0) + 1
+        if not envelope.ok:
+            self._expected_errors[kind] = self._expected_errors.get(kind, 0) + 1
+            return
+        payload = envelope.payload if isinstance(envelope.payload, dict) else {}
+        if kind == "stream":
+            event = payload.get("event")
+            if isinstance(event, dict) and isinstance(event.get("action"), str):
+                action = event["action"]
+                self._expected_actions[action] = self._expected_actions.get(action, 0) + 1
+        elif kind == "adapt":
+            self._expected_adapt_ok += 1
+        elif kind == "predict":
+            model = payload.get("model")
+            if isinstance(model, str):
+                self._expected_predict_models[model] = (
+                    self._expected_predict_models.get(model, 0) + 1
+                )
+
+    def _tally_resubmit(self, envelope) -> None:
+        """Account for one coalescing-verification re-submit the suite issued."""
+        self._expected_requests["predict"] = self._expected_requests.get("predict", 0) + 1
+        if envelope.ok:
+            payload = envelope.payload if isinstance(envelope.payload, dict) else {}
+            model = payload.get("model")
+            if isinstance(model, str):
+                self._expected_predict_models[model] = (
+                    self._expected_predict_models.get(model, 0) + 1
+                )
+        else:
+            self._expected_errors["predict"] = self._expected_errors.get("predict", 0) + 1
+
+    def _metric_totals(self) -> dict:
+        """Flat ``(scope, name, labels) -> value`` view of the live counters.
+
+        The gateway registry keeps its own scope; the shard registries are
+        summed into one ``"shards"`` scope — *which* shard counted an event
+        is a placement question (already checked), not an accounting one.
+        """
+        totals: dict[tuple, float] = {}
+
+        def fold(snapshot: dict, scope: str) -> None:
+            for entry in snapshot.get("counters", []):
+                key = (scope, entry["name"], tuple(sorted(entry["labels"].items())))
+                totals[key] = totals.get(key, 0.0) + entry["value"]
+
+        fold(self.gateway.metrics.snapshot(), "gateway")
+        for service in self.gateway.shards:
+            fold(service.metrics.snapshot(), "shards")
+        return totals
+
+    def _check_metrics(self, tick: int) -> None:
+        """Counters must reconcile exactly with the envelopes observed so far."""
+        if not self.gateway.metrics.enabled:
+            return
+        name = "metrics_accounting"
+        self.checks[name] += 1
+        current = self._metric_totals()
+
+        def delta(scope: str, counter: str, **labels) -> float:
+            key = (
+                scope,
+                counter,
+                tuple(sorted((str(k), str(v)) for k, v in labels.items())),
+            )
+            return current.get(key, 0.0) - self._metrics_baseline.get(key, 0.0)
+
+        def label_values(scope: str, counter: str, label: str) -> set:
+            found = set()
+            for (entry_scope, entry_name, labels), _ in current.items():
+                if entry_scope == scope and entry_name == counter:
+                    found.update(value for key, value in labels if key == label)
+            return found
+
+        def expect(counter: str, scope: str, expected: float, actual: float, what: str) -> None:
+            if actual != expected:
+                self._fail(
+                    name,
+                    tick,
+                    f"{counter} counted {actual:g} but the transcript says "
+                    f"{expected:g} ({what})",
+                )
+
+        for kind in sorted(
+            set(self._expected_requests) | label_values("gateway", "serve.requests", "kind")
+        ):
+            expect(
+                f"serve.requests{{kind={kind}}}",
+                "gateway",
+                self._expected_requests.get(kind, 0),
+                delta("gateway", "serve.requests", kind=kind),
+                "envelopes produced per kind, coalescing re-submits included",
+            )
+        for kind in sorted(
+            set(self._expected_errors) | label_values("gateway", "serve.errors", "kind")
+        ):
+            expect(
+                f"serve.errors{{kind={kind}}}",
+                "gateway",
+                self._expected_errors.get(kind, 0),
+                delta("gateway", "serve.errors", kind=kind),
+                "error envelopes per kind",
+            )
+        for action in sorted(
+            set(self._expected_actions) | label_values("shards", "stream.actions", "action")
+        ):
+            expect(
+                f"stream.actions{{action={action}}}",
+                "shards",
+                self._expected_actions.get(action, 0),
+                delta("shards", "stream.actions", action=action),
+                "actions reported by ok stream envelopes",
+            )
+        expect(
+            "service.adaptations{mode=cold}",
+            "shards",
+            self._expected_adapt_ok + self._expected_actions.get("cold_adapt", 0),
+            delta("shards", "service.adaptations", mode="cold"),
+            "ok adapt envelopes plus cold stream adaptations",
+        )
+        expect(
+            "service.adaptations{mode=warm}",
+            "shards",
+            self._expected_actions.get("warm_adapt", 0),
+            delta("shards", "service.adaptations", mode="warm"),
+            "warm stream adaptations",
+        )
+        expect(
+            "service.cache.hits",
+            "shards",
+            self._expected_predict_models.get("adapted", 0),
+            delta("shards", "service.cache.hits"),
+            'ok predictions attributed to the "adapted" model',
+        )
+        expect(
+            "service.cache.misses",
+            "shards",
+            self._expected_predict_models.get("source", 0),
+            delta("shards", "service.cache.misses"),
+            'ok predictions attributed to the "source" fallback',
+        )
+        for entry in self.gateway.metrics.snapshot().get("gauges", []):
+            if entry["name"] == "serve.queue_depth" and entry["value"] != 0:
+                self._fail(
+                    name,
+                    tick,
+                    f"serve.queue_depth{{{entry['labels']}}} is {entry['value']:g} "
+                    "at tick end; every submitted request has been answered, "
+                    "so the queues must be empty",
+                )
 
     # ------------------------------------------------------------------
     # Individual invariants
@@ -196,6 +396,8 @@ class InvariantSuite:
         self.checks["coalesced_bit_identity"] += 1
         burst = record.envelope.payload
         solo = self.gateway.submit(record.request)
+        if self.verify_metrics:
+            self._tally_resubmit(solo)
         if not solo.ok:
             self._fail(
                 "coalesced_bit_identity",

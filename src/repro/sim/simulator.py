@@ -34,13 +34,16 @@ from __future__ import annotations
 
 import hashlib
 import json
-import time
 from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
 import numpy as np
 
+# scrub_wall_clock moved to repro.obs.clock (every layer stamping a
+# duration needs it now, not just the simulator); re-exported here so
+# ``from repro.sim.simulator import scrub_wall_clock`` keeps working.
+from ..obs import Tracer, now, scrub_wall_clock
 from ..serve.gateway import Gateway
 from ..serve.loop import decode_line
 from ..serve.protocol import AdaptRequest, PredictRequest, ReportRequest, StreamRequest
@@ -56,23 +59,6 @@ __all__ = [
     "run_simulation",
     "verify_replay",
 ]
-
-
-def scrub_wall_clock(value: object) -> object:
-    """Recursively zero every ``duration_seconds`` field of a wire payload.
-
-    Wall-clock timings are the only nondeterministic values the stack emits;
-    scrubbing them (rather than dropping them) keeps the transcript shape
-    identical to live traffic while making it byte-replayable.
-    """
-    if isinstance(value, dict):
-        return {
-            key: 0.0 if key == "duration_seconds" else scrub_wall_clock(item)
-            for key, item in value.items()
-        }
-    if isinstance(value, list):
-        return [scrub_wall_clock(item) for item in value]
-    return value
 
 
 @dataclass
@@ -95,6 +81,10 @@ class SimulationResult:
     invariant_report: dict
     faults: list[dict]
     wall_seconds: float
+    #: Fleet-wide ``repro.metrics/v1`` snapshot taken after the last tick
+    #: (gateway + shards merged).  Not part of the transcript: timing-valued
+    #: entries are wall-clock and would break byte-replay.
+    metrics: dict | None = None
     events_per_second: float = field(init=False)
 
     def __post_init__(self) -> None:
@@ -155,16 +145,18 @@ class SimulationResult:
             "transcript_sha256": self.transcript_digest,
             "faults": list(self.faults),
             "invariants": self.invariant_report,
+            "metrics": self.metrics,
         }
 
 
-def build_gateway(spec: WorkloadSpec) -> Gateway:
+def build_gateway(spec: WorkloadSpec, tracer: Tracer | None = None) -> Gateway:
     """Stand up the gateway a spec describes (registry task + scheme).
 
     ``config_overrides`` land on the shared :class:`~repro.core.TasfarConfig`
     — scenario files use this to pin short adaptation schedules
     (``{"adaptation_epochs": 3, "early_stop": false}``) so a simulation run
-    is fast *and* independent of early-stopping wall-clock noise.
+    is fast *and* independent of early-stopping wall-clock noise.  An
+    optional ``tracer`` records per-request spans for the whole run.
     """
     from ..core.config import TasfarConfig
 
@@ -188,6 +180,7 @@ def build_gateway(spec: WorkloadSpec) -> Gateway:
         max_cached_models=spec.cache_capacity(),
         base_seed=spec.seed,
         service_options=service_options,
+        tracer=tracer,
     )
 
 
@@ -207,9 +200,19 @@ class Simulator:
         Optional :class:`~repro.data.AdaptationTask` the trace compiles
         against; defaults to the registry bundle named by the spec and must
         match whatever the gateway actually serves.
+    tracer:
+        Optional :class:`~repro.obs.Tracer` wired into a gateway the
+        simulator builds itself (ignored when a pre-built ``gateway`` is
+        supplied — attach the tracer to that gateway directly instead).
     """
 
-    def __init__(self, spec: WorkloadSpec, gateway: Gateway | None = None, task=None) -> None:
+    def __init__(
+        self,
+        spec: WorkloadSpec,
+        gateway: Gateway | None = None,
+        task=None,
+        tracer: Tracer | None = None,
+    ) -> None:
         spec.validate()
         self.spec = spec
         # Trace and fault plan first: they catch the spec errors validate()
@@ -222,7 +225,7 @@ class Simulator:
             self.trace, np.random.default_rng([int(spec.seed) % (2**31), 0xFA])
         )
         self._owns_gateway = gateway is None
-        self.gateway = gateway if gateway is not None else build_gateway(spec)
+        self.gateway = gateway if gateway is not None else build_gateway(spec, tracer=tracer)
         self.suite = InvariantSuite(self.gateway, verify_coalescing=spec.verify_coalescing)
         # One long-lived pool for the per-tick mutator chains; per-tick
         # executors would churn threads inside the simulator's hot loop.
@@ -234,7 +237,7 @@ class Simulator:
     # ------------------------------------------------------------------
     def run(self) -> SimulationResult:
         """Execute every tick and return the transcript + invariant report."""
-        start = time.perf_counter()
+        start = now()
         transcript: list[str] = []
         kind_counts: dict[str, int] = {}
         n_ok = n_errors = 0
@@ -261,7 +264,7 @@ class Simulator:
                         sort_keys=True,
                     )
                 )
-        wall = time.perf_counter() - start
+        wall = now() - start
         report = self.suite.report()
         report["faults"] = list(self.fault.log)
         report["fault_plan"] = self.fault.describe()
@@ -277,6 +280,7 @@ class Simulator:
             invariant_report=report,
             faults=list(self.fault.log),
             wall_seconds=wall,
+            metrics=self.gateway.metrics_snapshot(),
         )
 
     def _run_tick(self, events: list[TraceEvent]) -> list[RequestRecord]:
@@ -347,32 +351,35 @@ class Simulator:
 
 
 def run_simulation(
-    spec: WorkloadSpec, gateway: Gateway | None = None, task=None
+    spec: WorkloadSpec, gateway: Gateway | None = None, task=None, tracer: Tracer | None = None
 ) -> SimulationResult:
     """Build, run, and tear down one simulation; returns its result."""
-    with Simulator(spec, gateway=gateway, task=task) as simulator:
+    with Simulator(spec, gateway=gateway, task=task, tracer=tracer) as simulator:
         return simulator.run()
 
 
 def verify_replay(
-    spec: WorkloadSpec, gateway_factory=None, task=None
+    spec: WorkloadSpec, gateway_factory=None, task=None, tracer: Tracer | None = None
 ) -> tuple[bool, str | None, SimulationResult]:
     """Run a workload twice from scratch and compare transcripts byte for byte.
 
     Returns ``(ok, first_difference, first_result)``.  ``gateway_factory``
     lets tests rebuild their cheap fixture gateway per run; by default each
     run builds a fresh gateway from the spec (the task bundle itself is
-    cached and immutable, so sharing it is safe).
+    cached and immutable, so sharing it is safe).  A ``tracer`` is applied
+    to the *first* run only (spans carry wall-clock timings, so tracing
+    both runs would record two different-but-equivalent sets).
     """
     results = []
-    for _ in range(2):
+    for attempt in range(2):
         gateway = gateway_factory() if gateway_factory is not None else None
+        run_tracer = tracer if attempt == 0 else None
         if gateway is not None:
             with Simulator(spec, gateway=gateway, task=task) as simulator:
                 results.append(simulator.run())
             gateway.close()
         else:
-            results.append(run_simulation(spec, task=task))
+            results.append(run_simulation(spec, task=task, tracer=run_tracer))
     first, second = results
     if first.transcript_text == second.transcript_text:
         return True, None, first

@@ -31,7 +31,6 @@ the same stream reproduces the same events, models, and reports bit for bit.
 
 from __future__ import annotations
 
-import time
 from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import asdict, dataclass, field
@@ -48,6 +47,7 @@ from ..engine.rng import PROBE_STREAM, stream_seed_sequence
 from ..engine.strategy import AdaptationStrategy
 from ..nn.losses import Loss
 from ..nn.models import RegressionModel
+from ..obs import MetricsRegistry, Stopwatch
 from ..runtime.report import AdaptationReport
 from ..runtime.service import AdaptationService, canonical_target_id
 from ..uncertainty.mc_dropout import MCDropoutPredictor
@@ -189,6 +189,7 @@ class StreamingAdaptationService(AdaptationService):
         drift_min_batches: int = 3,
         drift_warmup_events: int = 32,
         drift_mc_samples: int | None = None,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         if calibration is None:
             # The base service can run calibration-free behind an explicit
@@ -208,6 +209,7 @@ class StreamingAdaptationService(AdaptationService):
             strategy=strategy,
             max_cached_models=max_cached_models,
             base_seed=base_seed,
+            metrics=metrics,
         )
         if min_adapt_events < 1:
             raise ValueError("min_adapt_events must be at least 1")
@@ -268,17 +270,20 @@ class StreamingAdaptationService(AdaptationService):
             )
         state = self._stream_state(target_id)
         with state.lock:
-            start = time.perf_counter()
+            watch = Stopwatch()
             state.step += 1
             state.buffer.append(batch)
             state.n_buffered += len(batch)
             state.total_events += len(batch)
+            self.metrics.counter("stream.ingest_batches")
+            self.metrics.counter("stream.ingest_events", len(batch))
             # Bound the buffer: drop the oldest batches (never the newest)
             # so a target whose adaptations keep failing can't hoard the
             # whole stream in memory.
             while state.n_buffered > self.max_buffer_events and len(state.buffer) > 1:
                 dropped = state.buffer.pop(0)
                 state.n_buffered -= len(dropped)
+                self.metrics.counter("stream.buffer_dropped_events", len(dropped))
 
             action, trigger = "buffered", None
             observation = None
@@ -294,6 +299,10 @@ class StreamingAdaptationService(AdaptationService):
                 # unavailable and re-adaptation falls back to budget-only.
                 if state.monitor is not None:
                     observation = self._probe(target_id, state, batch)
+                    if observation is not None:
+                        self.metrics.counter("stream.drift.observations")
+                        if observation.drifted:
+                            self.metrics.counter("stream.drift.detections")
                 drifted = observation is not None and observation.drifted
                 if drifted or state.n_buffered >= self.readapt_budget:
                     trigger = "drift" if drifted else "budget"
@@ -315,9 +324,11 @@ class StreamingAdaptationService(AdaptationService):
                 drift_distance=None if observation is None else float(observation.distance),
                 drift_statistic=None if observation is None else float(observation.statistic),
                 drifted=observation is not None and observation.drifted,
-                duration_seconds=time.perf_counter() - start,
+                duration_seconds=watch.elapsed(),
             )
             state.events.append(event)
+            self.metrics.counter("stream.actions", action=event.action)
+            self.metrics.observe("stream.ingest_seconds", event.duration_seconds)
             return event
 
     def ingest_many(

@@ -1,0 +1,244 @@
+"""Unit tests for the metrics registry, snapshot schema, and exposition."""
+
+import json
+import threading
+
+import pytest
+
+from repro.obs import (
+    DEFAULT_TIME_BUCKETS,
+    METRICS_SCHEMA,
+    MetricsRegistry,
+    active_metrics,
+    scrub_wall_clock,
+    to_prometheus,
+    use_metrics,
+    validate_snapshot,
+)
+
+
+class TestCounters:
+    def test_counter_default_increment(self):
+        registry = MetricsRegistry()
+        registry.counter("requests")
+        registry.counter("requests")
+        registry.counter("requests", 3)
+        assert registry.counter_value("requests") == 5
+
+    def test_labels_are_distinct_series(self):
+        registry = MetricsRegistry()
+        registry.counter("requests", kind="adapt")
+        registry.counter("requests", kind="predict")
+        registry.counter("requests", kind="predict")
+        assert registry.counter_value("requests", kind="adapt") == 1
+        assert registry.counter_value("requests", kind="predict") == 2
+        assert registry.counter_total("requests") == 3
+
+    def test_label_values_stringified(self):
+        registry = MetricsRegistry()
+        registry.counter("requests", shard=0)
+        assert registry.counter_value("requests", shard="0") == 1
+
+    def test_disabled_registry_counts_nothing(self):
+        registry = MetricsRegistry(enabled=False)
+        registry.counter("requests")
+        registry.gauge_add("depth", 1)
+        registry.observe("latency", 0.5)
+        snapshot = registry.snapshot()
+        assert snapshot["counters"] == []
+        assert snapshot["gauges"] == []
+        assert snapshot["histograms"] == []
+
+
+class TestGauges:
+    def test_set_and_add(self):
+        registry = MetricsRegistry()
+        registry.gauge_set("depth", 4.0, shard="0")
+        registry.gauge_add("depth", -1, shard="0")
+        assert registry.gauge_value("depth", shard="0") == 3.0
+        assert registry.gauge_value("depth", shard="1", default=-1.0) == -1.0
+
+
+class TestHistograms:
+    def test_bucket_layout_pinned_at_first_observation(self):
+        registry = MetricsRegistry()
+        registry.observe("occupancy", 0.3, buckets=(0.5, 1.0))
+        registry.observe("occupancy", 0.9)  # reuses the pinned layout
+        (entry,) = registry.snapshot()["histograms"]
+        assert entry["le"] == [0.5, 1.0]
+        assert entry["counts"] == [1, 1, 0]
+        assert entry["count"] == 2
+        assert entry["sum"] == pytest.approx(1.2)
+
+    def test_default_buckets_are_time_buckets(self):
+        registry = MetricsRegistry()
+        registry.observe("latency", 0.003)
+        (entry,) = registry.snapshot()["histograms"]
+        assert tuple(entry["le"]) == DEFAULT_TIME_BUCKETS
+
+    def test_boundary_value_lands_in_lower_bucket(self):
+        # Prometheus semantics: le is an upper (inclusive) bound.
+        registry = MetricsRegistry()
+        registry.observe("x", 0.5, buckets=(0.5, 1.0))
+        (entry,) = registry.snapshot()["histograms"]
+        assert entry["counts"] == [1, 0, 0]
+
+    def test_unsorted_buckets_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError, match="strictly increasing"):
+            registry.observe("x", 0.1, buckets=(1.0, 0.5))
+
+
+class TestSnapshot:
+    def test_snapshot_validates_and_is_json_stable(self):
+        registry = MetricsRegistry()
+        registry.counter("b.second", kind="x")
+        registry.counter("a.first")
+        registry.gauge_set("depth", 2.0)
+        registry.observe("latency_seconds", 0.01)
+        snapshot = registry.snapshot()
+        assert snapshot["schema"] == METRICS_SCHEMA
+        validate_snapshot(snapshot)
+        # Deterministically ordered: a second snapshot serializes identically.
+        assert json.dumps(snapshot, sort_keys=True) == json.dumps(
+            registry.snapshot(), sort_keys=True
+        )
+        assert [entry["name"] for entry in snapshot["counters"]] == ["a.first", "b.second"]
+
+    def test_validate_rejects_bad_shapes(self):
+        with pytest.raises(ValueError, match="must be a dict"):
+            validate_snapshot([])
+        with pytest.raises(ValueError, match="unsupported metrics schema"):
+            validate_snapshot({"schema": "repro.metrics/v0"})
+        base = {"schema": METRICS_SCHEMA, "counters": [], "gauges": [], "histograms": []}
+        with pytest.raises(ValueError, match="negative counter"):
+            validate_snapshot(
+                {**base, "counters": [{"name": "x", "labels": {}, "value": -1}]}
+            )
+        with pytest.raises(ValueError, match="counts for"):
+            validate_snapshot(
+                {
+                    **base,
+                    "histograms": [
+                        {"name": "h", "labels": {}, "le": [1.0], "counts": [1], "sum": 0.5, "count": 1}
+                    ],
+                }
+            )
+
+    def test_merge_adds_and_stamps_labels(self):
+        worker = MetricsRegistry()
+        worker.counter("engine.epochs", 3)
+        worker.observe("engine.epoch_seconds", 0.02)
+        parent = MetricsRegistry()
+        parent.counter("engine.epochs", 1, shard="0")
+        parent.merge(worker.snapshot(), extra_labels={"shard": 0})
+        assert parent.counter_value("engine.epochs", shard="0") == 4
+        (entry,) = parent.snapshot()["histograms"]
+        assert entry["labels"] == {"shard": "0"}
+        assert entry["count"] == 1
+
+    def test_merge_rejects_mismatched_bucket_layouts(self):
+        a = MetricsRegistry()
+        a.observe("h", 0.1, buckets=(0.5,))
+        b = MetricsRegistry()
+        b.observe("h", 0.1, buckets=(0.25,))
+        with pytest.raises(ValueError, match="bucket mismatch"):
+            a.merge(b.snapshot())
+
+
+class TestAmbientRegistry:
+    def test_use_metrics_installs_and_restores(self):
+        registry = MetricsRegistry()
+        assert active_metrics() is None
+        with use_metrics(registry):
+            assert active_metrics() is registry
+            with use_metrics(None):
+                assert active_metrics() is None
+            assert active_metrics() is registry
+        assert active_metrics() is None
+
+    def test_ambient_registry_is_thread_local(self):
+        registry = MetricsRegistry()
+        seen = {}
+
+        def probe():
+            seen["other_thread"] = active_metrics()
+
+        with use_metrics(registry):
+            thread = threading.Thread(target=probe)
+            thread.start()
+            thread.join()
+        assert seen["other_thread"] is None
+
+
+class TestScrubbing:
+    def test_scrub_zeroes_seconds_metrics_but_keeps_counts(self):
+        registry = MetricsRegistry()
+        registry.counter("serve.requests", 7, kind="predict")
+        registry.counter("stream.ingest_seconds", 1.25)  # name carries time
+        registry.gauge_set("uptime_seconds", 9.0)
+        registry.observe("serve.request_seconds", 0.5, kind="predict")
+        registry.observe("batch.tile_occupancy", 0.75, buckets=(0.5, 1.0))
+        scrubbed = scrub_wall_clock(registry.snapshot())
+        by_name = {entry["name"]: entry for entry in scrubbed["counters"]}
+        assert by_name["serve.requests"]["value"] == 7
+        assert by_name["stream.ingest_seconds"]["value"] == 0.0
+        assert scrubbed["gauges"][0]["value"] == 0.0
+        histos = {entry["name"]: entry for entry in scrubbed["histograms"]}
+        timing = histos["serve.request_seconds"]
+        assert timing["sum"] == 0.0
+        assert all(count == 0 for count in timing["counts"])
+        assert timing["count"] == 1  # how many observations stays meaningful
+        ratio = histos["batch.tile_occupancy"]
+        assert ratio["sum"] == 0.75  # non-timing histograms untouched
+        assert sum(ratio["counts"]) == 1
+
+    def test_two_scrubbed_replays_serialize_identically(self):
+        def run():
+            registry = MetricsRegistry()
+            registry.counter("serve.requests", kind="adapt")
+            registry.observe("serve.request_seconds", 0.1 * hash("x") % 1, kind="adapt")
+            return json.dumps(scrub_wall_clock(registry.snapshot()), sort_keys=True)
+
+        assert run() == run()
+
+
+class TestPrometheus:
+    def test_exposition_renders_every_section(self):
+        registry = MetricsRegistry()
+        registry.counter("serve.requests", 2, kind="adapt")
+        registry.gauge_set("serve.queue_depth", 0.0, shard="0")
+        registry.observe("latency", 0.3, buckets=(0.25, 1.0))
+        text = to_prometheus(registry.snapshot())
+        assert "# TYPE serve_requests_total counter" in text
+        assert 'serve_requests_total{kind="adapt"} 2' in text
+        assert 'serve_queue_depth{shard="0"} 0.0' in text
+        assert "# TYPE latency histogram" in text
+        assert 'latency_bucket{le="0.25"} 0' in text
+        assert 'latency_bucket{le="1.0"} 1' in text
+        assert 'latency_bucket{le="+Inf"} 1' in text
+        assert "latency_count 1" in text
+        assert text.endswith("\n")
+
+
+class TestConcurrency:
+    def test_racing_counters_lose_no_increment(self):
+        registry = MetricsRegistry()
+        n_threads, per_thread = 8, 500
+
+        def work():
+            for _ in range(per_thread):
+                registry.counter("hits", kind="x")
+                registry.gauge_add("depth", 1)
+                registry.gauge_add("depth", -1)
+                registry.observe("lat", 0.001)
+
+        threads = [threading.Thread(target=work) for _ in range(n_threads)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert registry.counter_value("hits", kind="x") == n_threads * per_thread
+        assert registry.gauge_value("depth") == 0.0
+        (entry,) = registry.snapshot()["histograms"]
+        assert entry["count"] == n_threads * per_thread

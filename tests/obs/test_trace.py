@@ -1,0 +1,117 @@
+"""Unit tests for deterministic request tracing."""
+
+import json
+
+from repro.obs import Tracer, span_id
+from repro.serve import Envelope
+
+
+def spans_by_name(tracer):
+    result = {}
+    for span in tracer.spans:
+        result.setdefault(span["name"], []).append(span)
+    return result
+
+
+class TestSpanIds:
+    def test_root_id_is_deterministic(self):
+        assert span_id("adapt", "u1", 0) == span_id("adapt", "u1", 0)
+        assert span_id("adapt", "u1", 0) != span_id("adapt", "u1", 1)
+        assert span_id("adapt", "u1", 0) != span_id("predict", "u1", 0)
+        assert len(span_id("adapt", "u1", 0)) == 16
+
+    def test_occurrence_counts_per_kind_and_target(self):
+        tracer = Tracer()
+        first = tracer.begin("predict", "u1")
+        second = tracer.begin("predict", "u1")
+        other_kind = tracer.begin("adapt", "u1")
+        other_target = tracer.begin("predict", "u2")
+        assert first.occurrence == 0
+        assert second.occurrence == 1
+        assert other_kind.occurrence == 0
+        assert other_target.occurrence == 0
+        ids = {t.trace_id for t in (first, second, other_kind, other_target)}
+        assert len(ids) == 4
+
+    def test_two_replays_produce_identical_id_trees(self):
+        def run():
+            tracer = Tracer()
+            for _ in range(3):
+                trace = tracer.begin("stream", "u1")
+                trace.mark_dequeued()
+                trace.finish(Envelope.success("stream", "u1", {"event": None}))
+            return [(s["trace_id"], s["span_id"], s["parent_id"], s["name"])
+                    for s in tracer.spans]
+
+        assert run() == run()
+
+
+class TestRequestTrace:
+    def test_full_lifecycle_emits_request_queue_handle(self):
+        tracer = Tracer()
+        trace = tracer.begin("predict", "u1")
+        trace.mark_dequeued()
+        trace.finish(Envelope.success("predict", "u1", {"prediction": []}))
+        spans = spans_by_name(tracer)
+        assert set(spans) == {"request", "queue", "handle"}
+        root = spans["request"][0]
+        assert root["parent_id"] is None
+        assert root["ok"] is True
+        for name in ("queue", "handle"):
+            child = spans[name][0]
+            assert child["parent_id"] == root["span_id"]
+            assert child["trace_id"] == root["trace_id"]
+            assert child["duration_seconds"] >= 0
+
+    def test_engine_child_from_report_duration(self):
+        tracer = Tracer()
+        trace = tracer.begin("adapt", "u1")
+        trace.mark_dequeued()
+        envelope = Envelope.success(
+            "adapt", "u1", {"report": {"duration_seconds": 1.5, "losses": []}}
+        )
+        trace.finish(envelope)
+        spans = spans_by_name(tracer)
+        engine = spans["engine"][0]
+        assert engine["duration_seconds"] == 1.5
+        assert engine["parent_id"] == spans["handle"][0]["span_id"]
+
+    def test_never_dequeued_request_has_no_queue_span(self):
+        # A dead-pool rejection is answered without ever reaching a shard.
+        tracer = Tracer()
+        trace = tracer.begin("adapt", "u1")
+        trace.finish(None)
+        spans = spans_by_name(tracer)
+        assert set(spans) == {"request"}
+        assert spans["request"][0]["ok"] is None
+
+    def test_finish_is_idempotent(self):
+        tracer = Tracer()
+        trace = tracer.begin("report", None)
+        trace.finish(Envelope.success("report", None, {"report": None}))
+        trace.finish(None)
+        assert len(tracer.spans) == 1
+        assert tracer.spans[0]["target_id"] is None
+
+
+class TestExport:
+    def test_export_lines_are_sorted_keys_json(self):
+        tracer = Tracer()
+        trace = tracer.begin("predict", "u1")
+        trace.mark_dequeued()
+        trace.finish(Envelope.success("predict", "u1", {"prediction": []}))
+        lines = tracer.export_lines()
+        assert len(lines) == 3
+        for line in lines:
+            span = json.loads(line)
+            assert list(span) == sorted(span)
+            assert json.dumps(span, sort_keys=True) == line
+
+    def test_export_writes_jsonl_file(self, tmp_path):
+        tracer = Tracer()
+        tracer.begin("adapt", "u1").finish(None)
+        path = tmp_path / "trace.jsonl"
+        assert tracer.export(path) == 1
+        content = path.read_text(encoding="utf-8")
+        assert content.endswith("\n")
+        assert json.loads(content.splitlines()[0])["name"] == "request"

@@ -155,6 +155,56 @@ class TestLoopFaultTolerance:
         assert not envelope.ok
         assert envelope.error["type"] == "RuntimeError"
 
+    def test_broken_stdout_pipe_ends_the_loop_cleanly(self, source):
+        """`repro serve ... | head -n 2`: the reader hangs up mid-stream.
+
+        The loop must stop (not crash) and report only the envelopes that
+        actually reached the reader.
+        """
+
+        class BrokenPipe(io.StringIO):
+            def __init__(self, writes_before_break):
+                super().__init__()
+                self.remaining = writes_before_break
+
+            def write(self, text):
+                if self.remaining <= 0:
+                    raise BrokenPipeError("downstream reader hung up")
+                self.remaining -= 1
+                return super().write(text)
+
+        gateway = build_gateway(source)
+        stdout = BrokenPipe(writes_before_break=2)
+        served = serve_loop(gateway, io.StringIO("\n".join(request_lines())), stdout)
+        gateway.close()
+        # Each envelope is one write; the third write broke the pipe, so
+        # exactly the two delivered envelopes are counted.
+        assert served == 2
+        assert len([line for line in stdout.getvalue().splitlines() if line]) == 2
+
+    def test_closed_stdout_ends_the_loop_cleanly(self, source):
+        """A closed text stream raises ValueError, not BrokenPipeError."""
+
+        class ClosingStdout(io.StringIO):
+            def __init__(self, writes_before_close):
+                super().__init__()
+                self.remaining = writes_before_close
+
+            def write(self, text):
+                if self.remaining <= 0:
+                    self.close()
+                self.remaining -= 1
+                return super().write(text)
+
+        gateway = build_gateway(source)
+        served = serve_loop(
+            gateway,
+            io.StringIO("\n".join(request_lines())),
+            ClosingStdout(writes_before_close=3),
+        )
+        gateway.close()
+        assert served == 3
+
 
 class TestServeCommand:
     def test_serve_command_end_to_end(self, capsys, monkeypatch):

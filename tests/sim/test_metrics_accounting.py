@@ -1,0 +1,141 @@
+"""The metrics_accounting invariant: books that balance, and an oracle
+that fires when they don't.
+
+The scenario matrix proves the counters reconcile on healthy runs; the
+tests here doctor the registry (phantom increments, lost counts, stuck
+queue gauges) and assert the suite notices — an oracle that cannot fire
+is no oracle.
+"""
+
+import numpy as np
+import pytest
+
+from repro.serve import PredictRequest, ReportRequest
+from repro.sim import InvariantSuite, RequestRecord, Simulator
+from repro.sim.spec import TraceEvent
+
+from sim_fixtures import make_spec
+
+
+@pytest.fixture(scope="module")
+def simulator():
+    with Simulator(make_spec(n_ticks=2)) as sim:
+        yield sim
+
+
+def live_records(gateway, requests, tick=0):
+    """Submit real requests and wrap the answers the way the simulator does."""
+    records = []
+    for index, request in enumerate(requests):
+        envelope = gateway.submit(request)
+        event = TraceEvent(tick, index, request.kind, request.target_id, "{}")
+        records.append(RequestRecord(event, request, envelope))
+    return records
+
+
+def probe(rows=3):
+    return np.random.default_rng(9).normal(size=(rows, 8))
+
+
+class TestReconciliation:
+    def test_clean_traffic_balances(self, simulator):
+        suite = InvariantSuite(simulator.gateway)
+        records = live_records(
+            simulator.gateway,
+            [PredictRequest("fleet-00", probe()), ReportRequest("fleet-00")],
+        )
+        suite.observe_tick(0, records)
+        assert suite.ok
+        assert suite.checks["metrics_accounting"] == 1
+
+    def test_requests_in_flight_before_the_suite_are_subtracted(self, simulator):
+        # Traffic served *before* the suite attached must not unbalance it:
+        # the baseline is captured at construction.
+        simulator.gateway.submit(ReportRequest("fleet-00"))
+        suite = InvariantSuite(simulator.gateway)
+        suite.observe_tick(0, live_records(simulator.gateway, [ReportRequest("fleet-00")]))
+        assert suite.ok
+
+
+class TestOracleFires:
+    def test_phantom_request_count_caught(self, simulator):
+        suite = InvariantSuite(simulator.gateway)
+        records = live_records(simulator.gateway, [ReportRequest("fleet-00")])
+        # Doctor: a count with no envelope behind it.
+        simulator.gateway.metrics.counter("serve.requests", kind="report")
+        suite.observe_tick(0, records)
+        violations = [v for v in suite.violations if v.invariant == "metrics_accounting"]
+        assert violations
+        assert "serve.requests" in violations[0].detail
+
+    def test_lost_error_count_caught(self, simulator):
+        suite = InvariantSuite(simulator.gateway)
+        records = live_records(
+            simulator.gateway,
+            [PredictRequest("never-adapted-user", probe(), strict=True)],
+        )
+        assert not records[0].envelope.ok
+        # Doctor: un-count the error the gateway just recorded.
+        simulator.gateway.metrics.counter("serve.errors", -1, kind="predict")
+        suite.observe_tick(0, records)
+        assert any(
+            v.invariant == "metrics_accounting" and "serve.errors" in v.detail
+            for v in suite.violations
+        )
+
+    def test_phantom_adaptation_caught(self, simulator):
+        suite = InvariantSuite(simulator.gateway)
+        records = live_records(simulator.gateway, [ReportRequest("fleet-00")])
+        shard = simulator.gateway.shards[0]
+        shard.metrics.counter("service.adaptations", mode="cold")
+        suite.observe_tick(0, records)
+        assert any(
+            v.invariant == "metrics_accounting" and "service.adaptations" in v.detail
+            for v in suite.violations
+        )
+
+    def test_stuck_queue_depth_gauge_caught(self, simulator):
+        suite = InvariantSuite(simulator.gateway)
+        simulator.gateway.metrics.gauge_add("serve.queue_depth", 1, shard="0")
+        try:
+            suite.observe_tick(0, live_records(simulator.gateway, [ReportRequest(None)]))
+            assert any(
+                v.invariant == "metrics_accounting" and "serve.queue_depth" in v.detail
+                for v in suite.violations
+            )
+        finally:  # undo the doctoring for the other module-scoped tests
+            simulator.gateway.metrics.gauge_add("serve.queue_depth", -1, shard="0")
+
+    def test_misattributed_cache_hit_caught(self, simulator):
+        suite = InvariantSuite(simulator.gateway)
+        records = live_records(
+            simulator.gateway,
+            # never adapted -> source fallback, counted as a miss
+            [PredictRequest("some-stranger-user", probe())],
+        )
+        assert records[0].envelope.payload["model"] == "source"
+        shard_index = simulator.gateway.shard_for("some-stranger-user")
+        shard = simulator.gateway.shards[shard_index]
+        # Doctor: pretend the miss was a hit.
+        shard.metrics.counter("service.cache.misses", -1)
+        shard.metrics.counter("service.cache.hits", 1)
+        suite.observe_tick(0, records)
+        details = [
+            v.detail for v in suite.violations if v.invariant == "metrics_accounting"
+        ]
+        assert any("service.cache.hits" in d for d in details)
+        assert any("service.cache.misses" in d for d in details)
+
+
+class TestDisabledRegistry:
+    def test_reconciliation_skipped_when_metrics_off(self, simulator):
+        simulator.gateway.set_metrics_enabled(False)
+        try:
+            suite = InvariantSuite(simulator.gateway)
+            suite.observe_tick(
+                0, live_records(simulator.gateway, [ReportRequest("fleet-00")])
+            )
+            assert suite.ok
+            assert suite.checks["metrics_accounting"] == 0
+        finally:
+            simulator.gateway.set_metrics_enabled(True)
