@@ -11,6 +11,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..engine.finetune import FineTuneEngine
+from ..engine.stacked import StackedFineTuneEngine
 from ..nn.activations import ReLU
 from ..nn.container import Sequential
 from ..nn.data import ArrayDataset
@@ -19,7 +20,9 @@ from ..nn.linear import Linear
 from ..nn.losses import MSELoss
 from ..nn.models import RegressionModel
 from ..nn.optim import Adam
+from ..nn.stacked import PerReplicaLoss, StackedAdam, stack_modules, unstack_modules
 from .base import Adapter, AdapterResult, clone_model
+from .stacked import StackPair, run_grouped
 
 __all__ = ["AdversarialUda", "logistic_loss"]
 
@@ -119,3 +122,92 @@ class AdversarialUda(Adapter):
             losses=outcome.losses,
             diagnostics={"adversarial_weight": self.adversarial_weight},
         )
+
+    @staticmethod
+    def adapt_many_stacked(
+        pairs: list[StackPair], source_data: ArrayDataset | None = None
+    ) -> list[tuple[AdapterResult | None, Exception | None]]:
+        """Adapt many targets at once, stacking compatible jobs (see ``baselines/stacked.py``)."""
+        if source_data is None:
+            raise ValueError("adversarial UDA requires the labelled source dataset")
+        return run_grouped(pairs, source_data, _stack_key, _adapt_stack)
+
+
+def _stack_key(adapter: AdversarialUda, target_inputs: np.ndarray) -> tuple:
+    return (
+        adapter.epochs,
+        adapter.batch_size,
+        adapter.lr,
+        adapter.adversarial_weight,
+        adapter.discriminator_hidden,
+        len(target_inputs),
+    )
+
+
+def _adapt_stack(pairs: list[StackPair], source_data: ArrayDataset) -> list[AdapterResult]:
+    adapters = [pair[0] for pair in pairs]
+    first = adapters[0]
+    n_replicas = len(pairs)
+    target_arrs = [np.asarray(pair[2], dtype=np.float64) for pair in pairs]
+    rngs = [np.random.default_rng(adapter.seed) for adapter in adapters]
+    models = [clone_model(pair[1]) for pair in pairs]
+    # One discriminator per replica (its own seed stream), stacked alongside
+    # the models; the gradient-reversal scale is uniform within a group.
+    discriminators = [
+        adapter._build_discriminator(model.features(source_data.inputs[:2]).shape[1])
+        for adapter, model in zip(adapters, models)
+    ]
+    stacked = stack_modules(models)
+    stacked_disc = stack_modules(discriminators)
+    optimizer = StackedAdam(
+        stacked.parameters() + stacked_disc.parameters(), n_replicas, lr=first.lr
+    )
+    per_loss = PerReplicaLoss(MSELoss())
+    n_target = len(target_arrs[0])
+
+    def step(inputs: np.ndarray, targets: np.ndarray, _weights) -> np.ndarray:
+        # Supervised loss on the (replicated) source batch.
+        predictions = stacked.forward(inputs)
+        task_values, task_grads = per_loss(predictions, targets)
+        stacked.backward(task_grads)
+
+        # Domain-adversarial loss: per-replica target draws, batched feature
+        # and discriminator gemms, per-replica logistic losses on contiguous
+        # slices.
+        size = min(inputs.shape[1], n_target)
+        target_batch = np.stack(
+            [
+                arr[rng.choice(n_target, size=size, replace=False)]
+                for arr, rng in zip(target_arrs, rngs)
+            ]
+        )
+        domain_inputs = np.concatenate([inputs, target_batch], axis=1)
+        domain_labels = np.concatenate([np.ones(inputs.shape[1]), np.zeros(size)])
+        features = stacked.features(domain_inputs)
+        logits = stacked_disc.forward(features)
+        domain_values = np.empty(n_replicas, dtype=np.float64)
+        domain_grads = np.empty_like(logits)
+        for k in range(n_replicas):
+            domain_values[k], domain_grads[k] = logistic_loss(logits[k], domain_labels)
+        grad_features = stacked_disc.backward(domain_grads)
+        stacked.backward_features(grad_features)
+        return task_values + domain_values
+
+    engine = StackedFineTuneEngine(first.epochs, first.batch_size)
+    outcomes = engine.run(
+        stacked,
+        [source_data] * n_replicas,
+        optimizer,
+        step,
+        rngs=rngs,
+        extra_modules=(stacked_disc,),
+    )
+    unstack_modules(stacked, models)
+    return [
+        AdapterResult(
+            target_model=model,
+            losses=outcome.losses,
+            diagnostics={"adversarial_weight": adapter.adversarial_weight},
+        )
+        for adapter, model, outcome in zip(adapters, models, outcomes)
+    ]

@@ -14,11 +14,14 @@ from __future__ import annotations
 import numpy as np
 
 from ..engine.finetune import FineTuneEngine
+from ..engine.stacked import StackedFineTuneEngine
 from ..nn.data import ArrayDataset
 from ..nn.losses import MSELoss
 from ..nn.models import RegressionModel
 from ..nn.optim import Adam
+from ..nn.stacked import PerReplicaLoss, StackedAdam, stack_modules, unstack_modules
 from .base import Adapter, AdapterResult, clone_model
+from .stacked import StackPair, run_grouped
 
 __all__ = ["AugFree", "variance_perturbation"]
 
@@ -97,3 +100,65 @@ class AugFree(Adapter):
             losses=outcome.losses,
             diagnostics={"strength": self.strength},
         )
+
+    @staticmethod
+    def adapt_many_stacked(
+        pairs: list[StackPair], source_data: ArrayDataset | None = None
+    ) -> list[tuple[AdapterResult | None, Exception | None]]:
+        """Adapt many targets at once, stacking compatible jobs (see ``baselines/stacked.py``)."""
+        del source_data  # source-free: never used
+        return run_grouped(pairs, None, _stack_key, _adapt_stack)
+
+
+def _stack_key(adapter: AugFree, target_inputs: np.ndarray) -> tuple:
+    return (
+        adapter.epochs,
+        adapter.batch_size,
+        adapter.lr,
+        adapter.strength,
+        len(target_inputs),
+    )
+
+
+def _adapt_stack(pairs: list[StackPair], source_data: ArrayDataset | None) -> list[AdapterResult]:
+    del source_data
+    adapters = [pair[0] for pair in pairs]
+    first = adapters[0]
+    n_replicas = len(pairs)
+    rngs = [np.random.default_rng(adapter.seed) for adapter in adapters]
+    models = [clone_model(pair[1]) for pair in pairs]
+    datasets = []
+    for (_adapter, source_model, _inputs), target_arr in zip(
+        pairs, (np.asarray(pair[2], dtype=np.float64) for pair in pairs)
+    ):
+        # Per-replica teacher signal from the replica's own source model
+        # (serial pre-work: a plain 2-D forward, trivially bit-identical).
+        source_model.eval()
+        datasets.append(ArrayDataset(target_arr, source_model.forward(target_arr)))
+    stacked = stack_modules(models)
+    optimizer = StackedAdam(stacked.parameters(), n_replicas, lr=first.lr)
+    per_loss = PerReplicaLoss(MSELoss())
+    strength = first.strength
+
+    def step(inputs: np.ndarray, teacher_batch: np.ndarray, _weights) -> np.ndarray:
+        # Each replica perturbs its own batch slice with its own generator
+        # (same draw shapes and order as its serial run).
+        augmented = np.empty_like(inputs)
+        for k, rng in enumerate(rngs):
+            augmented[k] = variance_perturbation(inputs[k], rng, strength)
+        predictions = stacked.forward(augmented)
+        values, grads = per_loss(predictions, teacher_batch)
+        stacked.backward(grads)
+        return values
+
+    engine = StackedFineTuneEngine(first.epochs, first.batch_size)
+    outcomes = engine.run(stacked, datasets, optimizer, step, rngs=rngs)
+    unstack_modules(stacked, models)
+    return [
+        AdapterResult(
+            target_model=model,
+            losses=outcome.losses,
+            diagnostics={"strength": adapter.strength},
+        )
+        for adapter, model, outcome in zip(adapters, models, outcomes)
+    ]

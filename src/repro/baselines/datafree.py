@@ -16,10 +16,13 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..engine.finetune import FineTuneEngine
+from ..engine.stacked import StackedFineTuneEngine
 from ..nn.data import ArrayDataset
 from ..nn.models import RegressionModel
 from ..nn.optim import Adam
+from ..nn.stacked import StackedAdam, stack_modules, unstack_modules
 from .base import Adapter, AdapterResult, clone_model
+from .stacked import StackPair, run_grouped
 
 __all__ = ["FeatureStatistics", "DataFree"]
 
@@ -136,3 +139,76 @@ class DataFree(Adapter):
             losses=outcome.losses,
             diagnostics={"n_units": len(statistics.mean)},
         )
+
+    @staticmethod
+    def adapt_many_stacked(
+        pairs: list[StackPair], source_data: ArrayDataset | None = None
+    ) -> list[tuple[AdapterResult | None, Exception | None]]:
+        """Adapt many targets at once, stacking compatible jobs (see ``baselines/stacked.py``)."""
+        return run_grouped(pairs, source_data, _stack_key, _adapt_stack)
+
+
+def _stack_key(adapter: DataFree, target_inputs: np.ndarray) -> tuple:
+    return (adapter.epochs, adapter.batch_size, adapter.lr, len(target_inputs))
+
+
+def _adapt_stack(pairs: list[StackPair], source_data: ArrayDataset | None) -> list[AdapterResult]:
+    adapters = [pair[0] for pair in pairs]
+    first = adapters[0]
+    n_replicas = len(pairs)
+    stats: list[FeatureStatistics] = []
+    models: list[RegressionModel] = []
+    datasets: list[ArrayDataset] = []
+    rngs: list[np.random.Generator] = []
+    for adapter, source_model, target_inputs in pairs:
+        if adapter.statistics is None:
+            if source_data is None:
+                raise ValueError(
+                    "DataFree needs source feature statistics: call fit_source_statistics "
+                    "before deployment or pass source_data"
+                )
+            adapter.fit_source_statistics(source_model, source_data.inputs)
+        stats.append(adapter.statistics)
+        target_arr = np.asarray(target_inputs, dtype=np.float64)
+        rngs.append(np.random.default_rng(adapter.seed))
+        models.append(clone_model(source_model))
+        datasets.append(ArrayDataset(target_arr, np.zeros((len(target_arr), 1))))
+    stacked = stack_modules(models)
+    # Only the encoder is restored; the head keeps its source-domain fit.
+    encoder_params = stacked.encoder.parameters()
+    for param in stacked.head.parameters():
+        param.trainable = False
+    optimizer = StackedAdam(stacked.parameters(), n_replicas, lr=first.lr)
+
+    def step(inputs: np.ndarray, _targets, _weights) -> np.ndarray:
+        features = stacked.features(inputs)
+        values = np.empty(n_replicas, dtype=np.float64)
+        grads = np.empty_like(features)
+        for k, statistics in enumerate(stats):
+            feats = features[k]
+            batch_mean = feats.mean(axis=0)
+            batch_var = feats.var(axis=0)
+            mean_diff = batch_mean - statistics.mean
+            var_diff = batch_var - statistics.variance
+            values[k] = (mean_diff**2).mean() + (var_diff**2).mean()
+            n_samples, n_units = feats.shape
+            grads[k] = (
+                2.0 * mean_diff / n_samples
+                + 2.0 * var_diff * 2.0 * (feats - batch_mean) / n_samples
+            ) / n_units
+        stacked.backward_features(grads)
+        return values
+
+    engine = StackedFineTuneEngine(first.epochs, first.batch_size, min_batch_size=2)
+    outcomes = engine.run(
+        stacked, datasets, optimizer, step, rngs=rngs, clip_parameters=encoder_params
+    )
+    unstack_modules(stacked, models)
+    return [
+        AdapterResult(
+            target_model=model,
+            losses=outcome.losses,
+            diagnostics={"n_units": len(statistics.mean)},
+        )
+        for model, outcome, statistics in zip(models, outcomes, stats)
+    ]

@@ -12,11 +12,14 @@ from __future__ import annotations
 import numpy as np
 
 from ..engine.finetune import FineTuneEngine
+from ..engine.stacked import StackedFineTuneEngine
 from ..nn.data import ArrayDataset
 from ..nn.losses import MSELoss
 from ..nn.models import RegressionModel
 from ..nn.optim import Adam
+from ..nn.stacked import PerReplicaLoss, StackedAdam, stack_modules, unstack_modules
 from .base import Adapter, AdapterResult, clone_model
+from .stacked import StackPair, run_grouped
 
 __all__ = ["rbf_mmd", "MmdUda"]
 
@@ -134,3 +137,82 @@ class MmdUda(Adapter):
         return AdapterResult(
             target_model=model, losses=outcome.losses, diagnostics={"mmd_weight": self.mmd_weight}
         )
+
+    @staticmethod
+    def adapt_many_stacked(
+        pairs: list[StackPair], source_data: ArrayDataset | None = None
+    ) -> list[tuple[AdapterResult | None, Exception | None]]:
+        """Adapt many targets at once, stacking compatible jobs (see ``baselines/stacked.py``)."""
+        if source_data is None:
+            raise ValueError("MMD-based UDA requires the labelled source dataset")
+        return run_grouped(pairs, source_data, _stack_key, _adapt_stack)
+
+
+def _stack_key(adapter: MmdUda, target_inputs: np.ndarray) -> tuple:
+    return (
+        adapter.epochs,
+        adapter.batch_size,
+        adapter.lr,
+        adapter.mmd_weight,
+        len(target_inputs),
+    )
+
+
+def _adapt_stack(pairs: list[StackPair], source_data: ArrayDataset) -> list[AdapterResult]:
+    adapters = [pair[0] for pair in pairs]
+    first = adapters[0]
+    n_replicas = len(pairs)
+    target_arrs = [np.asarray(pair[2], dtype=np.float64) for pair in pairs]
+    rngs = [np.random.default_rng(adapter.seed) for adapter in adapters]
+    models = [clone_model(pair[1]) for pair in pairs]
+    stacked = stack_modules(models)
+    optimizer = StackedAdam(stacked.parameters(), n_replicas, lr=first.lr)
+    per_loss = PerReplicaLoss(MSELoss())
+    n_target = len(target_arrs[0])
+    mmd_weight = first.mmd_weight
+
+    def step(inputs: np.ndarray, targets: np.ndarray, _weights) -> np.ndarray:
+        # Supervised loss on the (replicated) source batch.
+        predictions = stacked.forward(inputs)
+        task_values, task_grads = per_loss(predictions, targets)
+        stacked.backward(task_grads)
+
+        # MMD alignment, per replica: each replica draws its own target
+        # batch from its own generator (same draws as its serial run), the
+        # feature forwards are batched gemms, and the kernel math runs on
+        # contiguous per-replica slices.
+        size = min(inputs.shape[1], n_target)
+        target_batch = np.stack(
+            [
+                arr[rng.choice(n_target, size=size, replace=False)]
+                for arr, rng in zip(target_arrs, rngs)
+            ]
+        )
+        source_features = stacked.features(inputs)
+        target_features = stacked.features(target_batch)
+        mmd_values = np.empty(n_replicas, dtype=np.float64)
+        grad_source = np.empty_like(source_features)
+        grad_target = np.empty_like(target_features)
+        for k in range(n_replicas):
+            mmd_values[k], grad_source[k], grad_target[k] = rbf_mmd(
+                source_features[k], target_features[k]
+            )
+        # The encoder cache currently holds the target forward pass.
+        stacked.backward_features(mmd_weight * grad_target)
+        stacked.features(inputs)  # re-run the forward pass to restore the source cache
+        stacked.backward_features(mmd_weight * grad_source)
+        return task_values + mmd_weight * mmd_values
+
+    engine = StackedFineTuneEngine(first.epochs, first.batch_size)
+    outcomes = engine.run(
+        stacked, [source_data] * n_replicas, optimizer, step, rngs=rngs
+    )
+    unstack_modules(stacked, models)
+    return [
+        AdapterResult(
+            target_model=model,
+            losses=outcome.losses,
+            diagnostics={"mmd_weight": adapter.mmd_weight},
+        )
+        for adapter, model, outcome in zip(adapters, models, outcomes)
+    ]

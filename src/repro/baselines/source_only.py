@@ -11,6 +11,7 @@ import numpy as np
 from ..nn.data import ArrayDataset
 from ..nn.models import RegressionModel
 from .base import Adapter, AdapterResult, clone_model
+from .stacked import StackPair
 
 __all__ = ["SourceOnly"]
 
@@ -29,3 +30,16 @@ class SourceOnly(Adapter):
     ) -> AdapterResult:
         del target_inputs, source_data
         return AdapterResult(target_model=clone_model(source_model))
+
+    @staticmethod
+    def adapt_many_stacked(
+        pairs: list[StackPair], source_data: ArrayDataset | None = None
+    ) -> list[tuple[AdapterResult | None, Exception | None]]:
+        """No training loop to batch: clone per job (kept for uniform dispatch)."""
+        results: list[tuple[AdapterResult | None, Exception | None]] = []
+        for adapter, model, target_inputs in pairs:
+            try:
+                results.append((adapter.adapt(model, target_inputs, source_data), None))
+            except Exception as exc:
+                results.append((None, exc))
+        return results

@@ -1,0 +1,73 @@
+"""Shared scaffold for the baselines' cross-target stacked adaptation paths.
+
+Every baseline that can run ``train_batching > 1`` exposes an
+``adapt_many_stacked(pairs, source_data)`` class attribute: ``pairs`` is a
+list of ``(adapter, start_model, target_inputs)`` jobs and the return value
+is one ``(AdapterResult | None, error | None)`` per job, in input order.
+The schemes share the same shape of work — group compatible jobs, run each
+group through one :class:`~repro.engine.stacked.StackedFineTuneEngine`
+stack, fall back to the serial :meth:`~repro.baselines.base.Adapter.adapt`
+for singleton groups — and only differ in the group key (which
+hyperparameters must match for the replicas to share one batched loop) and
+the stacked step.  :func:`run_grouped` is that shared shape.
+
+Grouping rules follow the bit-identity argument in ``nn/stacked.py``: a
+stack never pads, so jobs can only share one when their engine-visible
+shapes agree — dataset length (for the source-free schemes the target set
+*is* the dataset; for MMD/ADV it sizes the per-batch target draw) and every
+hyperparameter that feeds the shared engine/optimizer (epochs, batch size,
+learning rate, scheme weights).  Seeds may differ freely: each replica
+keeps its own generator.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..nn.data import ArrayDataset
+from ..nn.models import RegressionModel
+from .base import Adapter, AdapterResult
+
+__all__ = ["StackPair", "run_grouped"]
+
+#: One stacked-adaptation job: (adapter instance, start model, target inputs).
+StackPair = tuple[Adapter, RegressionModel, np.ndarray]
+
+
+def run_grouped(
+    pairs: Sequence[StackPair],
+    source_data: ArrayDataset | None,
+    group_key: Callable[[Adapter, np.ndarray], tuple],
+    adapt_stack: Callable[[list[StackPair], ArrayDataset | None], list[AdapterResult]],
+) -> list[tuple[AdapterResult | None, Exception | None]]:
+    """Group compatible jobs and adapt each group as one stack.
+
+    Singleton groups take the adapter's serial path (trivially identical to
+    a one-replica stack, minus the stacking overhead).  A failure while
+    adapting a stack is attributed to every job in that stack; jobs in
+    other groups are unaffected.
+    """
+    results: list[tuple[AdapterResult | None, Exception | None] | None] = [None] * len(pairs)
+    groups: dict[tuple, list[int]] = {}
+    for index, (adapter, _model, target_inputs) in enumerate(pairs):
+        groups.setdefault(group_key(adapter, target_inputs), []).append(index)
+    for indices in groups.values():
+        if len(indices) == 1:
+            index = indices[0]
+            adapter, model, target_inputs = pairs[index]
+            try:
+                results[index] = (adapter.adapt(model, target_inputs, source_data), None)
+            except Exception as exc:  # surfaced per job by the runtime layer
+                results[index] = (None, exc)
+            continue
+        try:
+            outcomes = adapt_stack([pairs[i] for i in indices], source_data)
+        except Exception as exc:
+            for index in indices:
+                results[index] = (None, exc)
+        else:
+            for index, outcome in zip(indices, outcomes):
+                results[index] = (outcome, None)
+    return results  # type: ignore[return-value]

@@ -89,6 +89,20 @@ def _executor_argument() -> dict:
     )
 
 
+def _train_batching_argument() -> dict:
+    """Shared ``--train-batching`` definition for the gateway subcommands."""
+    return dict(
+        type=int,
+        default=1,
+        metavar="K",
+        help=(
+            "stack up to K concurrent adaptations into one batched training "
+            "pass per shard (bit-identical to serial; requires a scheme and "
+            "model with a stacked training path, rejected otherwise)"
+        ),
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the argument parser for the CLI."""
     from .data.drift import DRIFT_KINDS
@@ -156,6 +170,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--jobs", type=int, default=1, help="workers per gateway shard"
     )
     adapt_parser.add_argument("--executor", **_executor_argument())
+    adapt_parser.add_argument("--train-batching", **_train_batching_argument())
     adapt_parser.add_argument(
         "--shards", type=int, default=1, help="gateway service shards (rendezvous-placed targets)"
     )
@@ -229,6 +244,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--jobs", type=int, default=1, help="workers per gateway shard"
     )
     stream_parser.add_argument("--executor", **_executor_argument())
+    stream_parser.add_argument("--train-batching", **_train_batching_argument())
     stream_parser.add_argument(
         "--shards", type=int, default=1, help="gateway service shards (rendezvous-placed targets)"
     )
@@ -270,6 +286,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--shard-workers", type=int, default=4, help="workers per shard"
     )
     serve_parser.add_argument("--executor", **_executor_argument())
+    serve_parser.add_argument("--train-batching", **_train_batching_argument())
     serve_parser.add_argument(
         "--max-cached",
         type=int,
@@ -327,6 +344,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         choices=("thread", "process"),
         help="override the spec's shard executor (process = adaptations in worker processes)",
+    )
+    simulate_parser.add_argument(
+        "--train-batching",
+        type=int,
+        default=None,
+        metavar="K",
+        help="override the spec's train_batching (stacked adaptation width per shard)",
     )
     simulate_parser.add_argument(
         "--ticks", type=int, default=None, help="override the spec's virtual tick count"
@@ -533,6 +557,7 @@ def _build_gateway(args: argparse.Namespace, bundle, max_cached: int, **service_
         n_shards=args.shards,
         shard_workers=args.jobs,
         executor=getattr(args, "executor", "thread"),
+        train_batching=getattr(args, "train_batching", 1),
         max_cached_models=max_cached,
         base_seed=args.seed,
         service_options=service_options or None,
@@ -554,7 +579,12 @@ def _adapt_many(parser: argparse.ArgumentParser, args: argparse.Namespace) -> in
     # The per-shard cache must cover the whole fleet by default: an evicted
     # target would silently be evaluated with the unadapted source model.
     max_cached = len(selected) if args.max_cached is None else max(args.max_cached, 1)
-    gateway = _build_gateway(args, bundle, max_cached)
+    try:
+        gateway = _build_gateway(args, bundle, max_cached)
+    except ValueError as exc:
+        # An incompatible --train-batching (unstackable scheme or model) is a
+        # usage error, not a crash: surface the gateway's message verbatim.
+        parser.error(str(exc))
     adapt_envelopes = gateway.submit_many(
         [AdaptRequest(name, scenario.adaptation.inputs) for name, scenario in selected.items()]
     )
@@ -656,15 +686,18 @@ def _stream(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
         seed=args.seed,
         only=list(selected),
     )
-    gateway = _build_gateway(
-        args,
-        bundle,
-        len(selected),
-        min_adapt_events=args.min_adapt,
-        readapt_budget=args.budget,
-        warm_epochs=args.warm_epochs,
-        drift_threshold=args.drift_threshold,
-    )
+    try:
+        gateway = _build_gateway(
+            args,
+            bundle,
+            len(selected),
+            min_adapt_events=args.min_adapt,
+            readapt_budget=args.budget,
+            warm_epochs=args.warm_epochs,
+            drift_threshold=args.drift_threshold,
+        )
+    except ValueError as exc:
+        parser.error(str(exc))
 
     # Interleave the streams step by step, the way a real ingest frontend
     # would see a fleet: every target contributes its batch for step t before
@@ -748,21 +781,25 @@ def _serve(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
         parser.error("--budget must be at least 1")
 
     tracer = Tracer() if args.trace else None
-    gateway = Gateway.from_task(
-        args.task,
-        scheme=args.scheme,
-        scale=args.scale,
-        seed=args.seed,
-        n_shards=args.shards,
-        shard_workers=args.shard_workers,
-        executor=args.executor,
-        max_cached_models=args.max_cached,
-        service_options={
-            "min_adapt_events": args.min_adapt,
-            "readapt_budget": args.budget,
-        },
-        tracer=tracer,
-    )
+    try:
+        gateway = Gateway.from_task(
+            args.task,
+            scheme=args.scheme,
+            scale=args.scale,
+            seed=args.seed,
+            n_shards=args.shards,
+            shard_workers=args.shard_workers,
+            executor=args.executor,
+            train_batching=args.train_batching,
+            max_cached_models=args.max_cached,
+            service_options={
+                "min_adapt_events": args.min_adapt,
+                "readapt_budget": args.budget,
+            },
+            tracer=tracer,
+        )
+    except ValueError as exc:
+        parser.error(str(exc))
     # Startup chatter goes to stderr: stdout carries envelopes, nothing else.
     print(
         f"[serve] ready task={args.task} scheme={args.scheme} scale={args.scale} "
@@ -807,6 +844,8 @@ def _simulate(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
             overrides["fault_plan"] = args.fault_plan
         if args.executor is not None:
             overrides["executor"] = args.executor
+        if args.train_batching is not None:
+            overrides["train_batching"] = args.train_batching
         if args.ticks is not None:
             overrides["n_ticks"] = args.ticks
         if overrides:

@@ -22,10 +22,12 @@ import numpy as np
 
 from ..engine.finetune import FineTuneEngine
 from ..engine.rng import ADAPTATION_STREAM, CALIBRATION_STREAM, stream_seed_sequence
+from ..engine.stacked import StackedFineTuneEngine
 from ..nn.data import ArrayDataset
 from ..nn.losses import Loss, MSELoss
 from ..nn.models import RegressionModel
 from ..nn.optim import Adam
+from ..nn.stacked import PerReplicaLoss, StackedAdam, stack_modules, unstack_modules
 from ..uncertainty.calibration import UncertaintyCalibrator, fit_sigma_curve
 from ..uncertainty.mc_dropout import MCDropoutPredictor, UncertainPrediction
 from .confidence import ConfidenceClassifier, ConfidenceSplit
@@ -218,6 +220,169 @@ class Tasfar:
             losses=losses,
             stopped_epoch=stopped_epoch,
         )
+
+    def adapt_stacked(
+        self,
+        jobs: list[tuple[RegressionModel, np.ndarray, "int | None"]],
+        calibration: SourceCalibration,
+    ) -> list[tuple["AdaptationResult | None", "Exception | None"]]:
+        """Adapt several targets at once through one stacked fine-tune.
+
+        ``jobs`` is a list of ``(start_model, target_inputs, seed)`` triples
+        — the same arguments :meth:`adapt` takes, K at a time.  Per job the
+        serial pre-work (MC-dropout probing, confidence split, density
+        estimation, pseudo-labelling) runs exactly as in :meth:`adapt`; the
+        fine-tuning stage then stacks the jobs whose weighted datasets have
+        equal length into one :class:`~repro.engine.StackedFineTuneEngine`
+        run (singleton groups take the serial path verbatim).  Every job's
+        result is **bit-identical** to its own :meth:`adapt` call.
+
+        Returns one ``(result, error)`` pair per job, in input order: jobs
+        that fail (e.g. :class:`NoConfidentSamplesError`) carry their
+        exception instead of poisoning the whole stack.
+        """
+        prepared: list[dict | None] = [None] * len(jobs)
+        errors: list[Exception | None] = [None] * len(jobs)
+        for index, (source_model, target_inputs, seed) in enumerate(jobs):
+            try:
+                seed = self.config.seed if seed is None else int(seed)
+                rng = np.random.default_rng(seed)
+                predictor = MCDropoutPredictor(
+                    source_model,
+                    n_samples=self.config.n_mc_samples,
+                    seed=stream_seed_sequence(seed, ADAPTATION_STREAM),
+                )
+                prediction = predictor.predict(target_inputs)
+                classifier = ConfidenceClassifier(self.config.confidence_ratio)
+                classifier.threshold = calibration.threshold
+                split = classifier.split(prediction.uncertainty)
+                estimator = LabelDistributionEstimator(
+                    calibrators=calibration.calibrators,
+                    grid_size=self.config.grid_size,
+                    auto_grid_bins=self.config.auto_grid_bins,
+                    margin_sigmas=self.config.grid_margin_sigmas,
+                    error_model=self.config.error_model,
+                )
+                density_map, pseudo_batch = self._pseudo_label_uncertain(
+                    estimator, calibration, prediction, split
+                )
+                prepared[index] = {
+                    "rng": rng,
+                    "prediction": prediction,
+                    "split": split,
+                    "density_map": density_map,
+                    "pseudo_batch": pseudo_batch,
+                    "target_model": copy.deepcopy(source_model),
+                    "target_inputs": target_inputs,
+                    "dataset": self.build_adaptation_dataset(
+                        target_inputs, prediction, split, pseudo_batch
+                    ),
+                    "losses": [],
+                    "stopped_epoch": None,
+                }
+            except Exception as exc:  # noqa: BLE001 - attributed per job
+                errors[index] = exc
+
+        # Group trainable jobs by dataset length: replicas in one stack must
+        # share every gemm shape, and the engine deliberately refuses to pad
+        # ragged batches (padding changes the bits — see engine/stacked.py).
+        groups: dict[int, list[int]] = {}
+        for index, job in enumerate(prepared):
+            if job is None:
+                continue
+            dataset = job["dataset"]
+            if len(dataset) == 0 or float(np.sum(dataset.weights)) <= 0:
+                continue  # same early-out as _fine_tune: no training, empty losses
+            groups.setdefault(len(dataset), []).append(index)
+
+        for indices in groups.values():
+            try:
+                if len(indices) == 1:
+                    job = prepared[indices[0]]
+                    job["losses"], job["stopped_epoch"] = self._fine_tune(
+                        job["target_model"],
+                        job["target_inputs"],
+                        job["prediction"],
+                        job["split"],
+                        job["pseudo_batch"],
+                        job["rng"],
+                    )
+                else:
+                    self._fine_tune_stack([prepared[index] for index in indices])
+            except Exception as exc:  # noqa: BLE001 - attributed to the group
+                for index in indices:
+                    errors[index] = exc
+                    prepared[index] = None
+
+        results: list[tuple[AdaptationResult | None, Exception | None]] = []
+        for job, error in zip(prepared, errors):
+            if error is not None or job is None:
+                results.append((None, error))
+                continue
+            results.append(
+                (
+                    AdaptationResult(
+                        target_model=job["target_model"],
+                        density_map=job["density_map"],
+                        split=job["split"],
+                        pseudo_labels=job["pseudo_batch"],
+                        target_prediction=job["prediction"],
+                        losses=job["losses"],
+                        stopped_epoch=job["stopped_epoch"],
+                    ),
+                    None,
+                )
+            )
+        return results
+
+    def _fine_tune_stack(self, jobs: list[dict]) -> None:
+        """Stacked counterpart of :meth:`_fine_tune` for one length group.
+
+        Mirrors the serial method knob for knob: same stopper construction
+        (one fresh stopper per replica), same engine parameters, same Adam
+        hyper-parameters, and the same weighted batch step — just batched
+        over the replica axis.
+        """
+        models = [job["target_model"] for job in jobs]
+        stacked = stack_modules(models)
+        stoppers = None
+        if self.config.early_stop:
+            stoppers = [
+                LossDropEarlyStopper(
+                    drop_fraction=self.config.early_stop_drop_fraction,
+                    patience=self.config.early_stop_patience,
+                    min_epochs=self.config.min_adaptation_epochs,
+                )
+                for _ in jobs
+            ]
+        engine = StackedFineTuneEngine(
+            self.config.adaptation_epochs,
+            self.config.adaptation_batch_size,
+            disable_dropout=not self.config.dropout_during_adaptation,
+            stoppers=stoppers,
+        )
+        optimizer = StackedAdam(
+            stacked.parameters(), len(jobs), lr=self.config.adaptation_lr
+        )
+        loss = PerReplicaLoss(self.loss)
+
+        def step(inputs: np.ndarray, labels: np.ndarray, weights: np.ndarray | None) -> np.ndarray:
+            outputs = stacked.forward(inputs)
+            values, grads = loss(outputs, labels, weights)
+            stacked.backward(grads)
+            return values
+
+        outcomes = engine.run(
+            stacked,
+            [job["dataset"] for job in jobs],
+            optimizer,
+            step,
+            rngs=[job["rng"] for job in jobs],
+        )
+        unstack_modules(stacked, models)
+        for job, outcome in zip(jobs, outcomes):
+            job["losses"] = outcome.losses
+            job["stopped_epoch"] = outcome.stopped_epoch
 
     # ------------------------------------------------------------------
     # Pipeline pieces (also used directly by the experiments)

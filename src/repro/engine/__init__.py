@@ -12,6 +12,7 @@ in :class:`FineTuneEngine`) does not drag the strategy layer, and the
 
 from .early_stopping import LossDropEarlyStopper
 from .finetune import BatchStep, FineTuneEngine, FineTuneResult
+from .stacked import StackedBatchStep, StackedFineTuneEngine
 from .rng import (
     ADAPTATION_STREAM,
     CALIBRATION_STREAM,
@@ -31,6 +32,9 @@ __all__ = [
     "LossDropEarlyStopper",
     "PROBE_STREAM",
     "SourceResources",
+    "StackJob",
+    "StackedBatchStep",
+    "StackedFineTuneEngine",
     "StrategyOutcome",
     "TasfarStrategy",
     "create_strategy",
@@ -46,6 +50,7 @@ _STRATEGY_EXPORTS = {
     "AdaptationStrategy": "strategy",
     "BaselineStrategy": "strategy",
     "SourceResources": "strategy",
+    "StackJob": "strategy",
     "StrategyOutcome": "strategy",
     "TasfarStrategy": "strategy",
     "create_strategy": "registry",

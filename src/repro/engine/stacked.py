@@ -1,0 +1,273 @@
+"""Cross-target batched training: K fine-tunes through one stacked loop.
+
+:class:`StackedFineTuneEngine` is the training-side sibling of
+:class:`~repro.engine.FineTuneEngine`: it runs the same epoch / batch /
+clip / step loop, but over a :func:`~repro.nn.stacked.stack_modules` tree
+whose tensors carry a leading replica axis.  Each of the K replicas sees
+
+* **its own dataset** — the engine stacks the K equal-length datasets once
+  and gathers per-replica batches with one ``np.take`` per tensor;
+* **its own shuffle stream** — one generator per replica, consuming exactly
+  the draws its serial fine-tune would consume;
+* **its own early-stop state** — one optional stopper per replica.  A
+  replica that trips its stopper is *masked, not resliced*: it keeps
+  flowing through the batched gemms (so shapes never change), but the
+  optimizer multiplies its update by 0.0 and its loss history freezes.
+  The wasted replica-batches are reported as ``engine.stack_padding_batches``.
+
+The contract is the house correctness bar: every replica's loss history,
+stop epoch, and final parameter bytes are **bit-identical** to running the
+serial engine K times (see ``tests/engine/test_stacked_engine.py`` and the
+scheme-level digests in ``tests/engine/test_scheme_equivalence_stacked.py``).
+That is why the engine requires equal dataset lengths instead of padding
+ragged datasets: a zero-padded tail batch changes the gemm shape a row is
+computed in, the exact ~1 ulp drift ``serve/batching.py`` documents for the
+prediction tiler.  Callers group targets by dataset length and fall back to
+the serial engine for singleton groups.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..nn.data import ArrayDataset
+from ..nn.parameter import Parameter
+from ..nn.stacked import stacked_clip_gradients
+from ..obs import active_metrics, now
+from ..obs.metrics import RATIO_BUCKETS
+from .early_stopping import LossDropEarlyStopper
+from .finetune import FineTuneResult
+
+__all__ = ["StackedBatchStep", "StackedFineTuneEngine"]
+
+#: A scheme's stacked batch step: forward + per-replica loss + backward on
+#: one ``(K, batch, ...)`` batch; returns the ``(K,)`` per-replica loss
+#: values.  Gradients are already zeroed; the engine clips and steps after.
+StackedBatchStep = Callable[
+    [np.ndarray, np.ndarray, "np.ndarray | None"], np.ndarray
+]
+
+
+class StackedFineTuneEngine:
+    """Run K fine-tunes as one batched epoch/batch/clip/step loop.
+
+    Constructor parameters mirror :class:`~repro.engine.FineTuneEngine`,
+    except ``stoppers`` (one optional stopper per replica, replacing the
+    serial engine's single ``stopper``).
+    """
+
+    def __init__(
+        self,
+        epochs: int,
+        batch_size: int = 32,
+        *,
+        grad_clip: float | None = 5.0,
+        disable_dropout: bool = True,
+        stoppers: Sequence[LossDropEarlyStopper | None] | None = None,
+        min_batch_size: int = 1,
+        shuffle: bool = True,
+    ) -> None:
+        if epochs <= 0:
+            raise ValueError("epochs must be positive")
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        if grad_clip is not None and grad_clip <= 0:
+            raise ValueError("grad_clip must be positive (or None to disable)")
+        if min_batch_size < 1:
+            raise ValueError("min_batch_size must be at least 1")
+        self.epochs = int(epochs)
+        self.batch_size = int(batch_size)
+        self.grad_clip = grad_clip
+        self.disable_dropout = bool(disable_dropout)
+        self.stoppers = None if stoppers is None else list(stoppers)
+        self.min_batch_size = int(min_batch_size)
+        self.shuffle = bool(shuffle)
+
+    def run(
+        self,
+        model,
+        datasets: Sequence[ArrayDataset],
+        optimizer,
+        step: StackedBatchStep,
+        *,
+        rngs: Sequence[np.random.Generator],
+        clip_parameters: Sequence[Parameter] | None = None,
+        extra_modules: Sequence = (),
+    ) -> list[FineTuneResult]:
+        """Fine-tune the stacked ``model``, one dataset and rng per replica.
+
+        ``model`` is a stacked tree (every parameter ``(K, ...)``) and
+        ``optimizer`` a stacked optimizer exposing ``set_replica_mask``.
+        Returns one :class:`~repro.engine.FineTuneResult` per replica, in
+        input order — each bit-identical to what the serial engine would
+        have produced for that replica alone.
+        """
+        n_replicas = len(datasets)
+        if n_replicas == 0:
+            raise ValueError("need at least one replica dataset")
+        if len(rngs) != n_replicas:
+            raise ValueError(
+                f"got {n_replicas} datasets but {len(rngs)} shuffle generators"
+            )
+        stoppers = self.stoppers
+        if stoppers is not None and len(stoppers) != n_replicas:
+            raise ValueError(
+                f"got {n_replicas} datasets but {len(stoppers)} stoppers"
+            )
+        results = [FineTuneResult() for _ in range(n_replicas)]
+        if stoppers is not None:
+            for stopper in stoppers:
+                if stopper is not None and stopper.losses:
+                    raise ValueError(
+                        "an early stopper has already observed losses; construct "
+                        "fresh stoppers (and engine) per run"
+                    )
+        n_samples = len(datasets[0])
+        for dataset in datasets[1:]:
+            if len(dataset) != n_samples:
+                raise ValueError(
+                    "stacked replicas must share one dataset length "
+                    f"(got {sorted({len(d) for d in datasets})}); group targets "
+                    "by length before stacking"
+                )
+        if n_samples == 0:
+            return results
+        has_weights = datasets[0].weights is not None
+        for dataset in datasets[1:]:
+            if (dataset.weights is not None) != has_weights:
+                raise ValueError(
+                    "stacked replicas must agree on whether samples are weighted"
+                )
+        clip_params = (
+            optimizer.parameters if clip_parameters is None else list(clip_parameters)
+        )
+
+        # Stack the datasets once: (K, N, ...) / (K, N, label) / (K, N).
+        # np.stack is a gather, so replica k's slice is bitwise its dataset.
+        stacked_inputs = np.stack([dataset.inputs for dataset in datasets])
+        stacked_targets = np.stack([dataset.targets for dataset in datasets])
+        stacked_weights = (
+            np.stack([dataset.weights for dataset in datasets]) if has_weights else None
+        )
+        # Flat (K * N, ...) views let one np.take gather all replicas' rows
+        # of a batch at once (row k of the index block is offset by k * N).
+        flat_inputs = stacked_inputs.reshape((-1,) + stacked_inputs.shape[2:])
+        flat_targets = stacked_targets.reshape((-1,) + stacked_targets.shape[2:])
+        flat_weights = None if stacked_weights is None else stacked_weights.reshape(-1)
+
+        saved_rates: list[tuple] = []
+        if self.disable_dropout and hasattr(model, "dropout_layers"):
+            for layer in model.dropout_layers():
+                saved_rates.append((layer, layer.rate))
+                layer.rate = 0.0
+
+        # Batch spans are fixed for the whole run; tail batches below
+        # min_batch_size are skipped (for every replica alike, exactly as
+        # the serial engine skips them per target).
+        spans = [
+            (start, min(start + self.batch_size, n_samples))
+            for start in range(0, n_samples, self.batch_size)
+        ]
+        spans = [(start, stop) for start, stop in spans if stop - start >= self.min_batch_size]
+        # One reusable buffer set per distinct batch size (at most two:
+        # full batches and the tail), mirroring the serial engine's
+        # take-into-preallocated-buffers hot path.
+        buffers: dict[int, tuple] = {}
+        for start, stop in spans:
+            width = stop - start
+            if width not in buffers:
+                buffers[width] = (
+                    np.empty((n_replicas, width) + stacked_inputs.shape[2:]),
+                    np.empty((n_replicas, width) + stacked_targets.shape[2:]),
+                    np.empty((n_replicas, width)) if has_weights else None,
+                )
+
+        identity = np.arange(n_samples)
+        orders = np.tile(identity, (n_replicas, 1))  # C-contiguous rows
+        row_offsets = (np.arange(n_replicas) * n_samples)[:, None]
+        flat_orders = np.empty_like(orders)
+
+        metrics = active_metrics()
+        if metrics is not None:
+            metrics.counter("engine.runs", n_replicas)
+            metrics.counter("engine.stacks")
+            metrics.counter("engine.stack_replicas", n_replicas)
+
+        active = [True] * n_replicas
+        n_active = n_replicas
+        grad_clip = self.grad_clip
+        zero_grad = optimizer.zero_grad
+        apply_step = optimizer.step
+
+        model.train()
+        for module in extra_modules:
+            module.train()
+        try:
+            for epoch in range(self.epochs):
+                epoch_started = now() if metrics is not None else 0.0
+                if self.shuffle:
+                    for k in range(n_replicas):
+                        if active[k]:
+                            # Each replica's row is a contiguous (N,) view:
+                            # resetting to identity then shuffling consumes
+                            # exactly the serial engine's per-epoch draws.
+                            np.copyto(orders[k], identity)
+                            rngs[k].shuffle(orders[k])
+                np.add(orders, row_offsets, out=flat_orders)
+                totals = np.zeros(n_replicas)
+                batches = 0
+                for start, stop in spans:
+                    flat_idx = flat_orders[:, start:stop]  # (K, b)
+                    inputs, targets, weights = buffers[stop - start]
+                    np.take(flat_inputs, flat_idx, axis=0, out=inputs, mode="clip")
+                    np.take(flat_targets, flat_idx, axis=0, out=targets, mode="clip")
+                    if flat_weights is not None:
+                        np.take(flat_weights, flat_idx, axis=0, out=weights, mode="clip")
+                    zero_grad()
+                    totals += step(inputs, targets, weights)
+                    if grad_clip is not None:
+                        stacked_clip_gradients(clip_params, grad_clip, n_replicas)
+                    apply_step()
+                    batches += 1
+                epoch_losses = totals / max(batches, 1)
+                if metrics is not None:
+                    # Replicas active this epoch did real work; stopped ones
+                    # rode along as padding (fixed gemm shapes).  Mirrors the
+                    # serve tiler's tiles / rows / padding-rows accounting.
+                    metrics.counter("engine.epochs", n_active)
+                    metrics.counter("engine.batches", batches * n_active)
+                    metrics.counter("engine.stack_batches", batches)
+                    metrics.counter(
+                        "engine.stack_padding_batches", batches * (n_replicas - n_active)
+                    )
+                    metrics.observe(
+                        "engine.stack_occupancy",
+                        n_active / n_replicas,
+                        buckets=RATIO_BUCKETS,
+                    )
+                    metrics.observe("engine.epoch_seconds", now() - epoch_started)
+                mask_changed = False
+                for k in range(n_replicas):
+                    if not active[k]:
+                        continue
+                    epoch_loss = float(epoch_losses[k])
+                    results[k].losses.append(epoch_loss)
+                    stopper = None if stoppers is None else stoppers[k]
+                    if stopper is not None and stopper.update(epoch_loss):
+                        results[k].stopped_epoch = epoch + 1
+                        active[k] = False
+                        n_active -= 1
+                        mask_changed = True
+                if n_active == 0:
+                    break
+                if mask_changed:
+                    optimizer.set_replica_mask(np.array(active, dtype=np.float64))
+        finally:
+            model.eval()
+            for module in extra_modules:
+                module.eval()
+            for layer, rate in saved_rates:
+                layer.rate = rate
+        return results

@@ -39,6 +39,7 @@ from ..nn.models import RegressionModel
 __all__ = [
     "SourceResources",
     "StrategyOutcome",
+    "StackJob",
     "AdaptationStrategy",
     "TasfarStrategy",
     "BaselineStrategy",
@@ -76,12 +77,48 @@ class StrategyOutcome:
     result: AdaptationResult | None = None
 
 
+@dataclass
+class StackJob:
+    """One target's slot in a stacked (``train_batching > 1``) adaptation call.
+
+    ``model`` is the start model for this target — the caller's per-target
+    copy of the source model, or a previously adapted model for warm starts.
+    The scheme clones it before training, exactly as :meth:`adapt` would.
+    """
+
+    model: RegressionModel
+    inputs: np.ndarray
+    seed: int | None = None
+    target_id: str | None = None
+
+
 class AdaptationStrategy:
     """Interface every adaptation scheme exposes to the runtime layers."""
 
     name: str = "strategy"
     #: whether :meth:`prepare` needs the labelled source dataset
     requires_source_data: bool = False
+
+    @property
+    def supports_stacked(self) -> bool:
+        """Whether :meth:`adapt_stacked` can batch compatible targets."""
+        return False
+
+    def adapt_stacked(
+        self, jobs: list[StackJob], *, warm_epochs: int | None = None
+    ) -> list[tuple[StrategyOutcome | None, Exception | None]]:
+        """Adapt many targets at once, stacking compatible jobs.
+
+        Returns one ``(outcome, error)`` pair per job, in input order, with
+        each successful outcome **bit-identical** to what :meth:`adapt`
+        would have produced for that target alone.  Jobs that cannot share
+        a stack (different dataset lengths, say) are grouped or run serially
+        by the scheme — never padded, per the bit-identity argument in
+        ``nn/stacked.py``.
+        """
+        raise NotImplementedError(
+            f"scheme {self.name!r} has no stacked adaptation path"
+        )
 
     @property
     def default_epochs(self) -> int | None:
@@ -190,6 +227,9 @@ class TasfarStrategy(AdaptationStrategy):
         model = base_model if base_model is not None else source_model
         tasfar = Tasfar(self._config_for(warm_epochs), loss=self.loss)
         result = tasfar.adapt(model, target_inputs, self.calibration, seed=seed)
+        return self._outcome_from(result)
+
+    def _outcome_from(self, result: AdaptationResult) -> StrategyOutcome:
         return StrategyOutcome(
             target_model=result.target_model,
             scheme=self.name,
@@ -204,6 +244,27 @@ class TasfarStrategy(AdaptationStrategy):
                 "stopped_epoch": result.stopped_epoch,
             },
         )
+
+    @property
+    def supports_stacked(self) -> bool:
+        return True
+
+    def adapt_stacked(
+        self, jobs: list[StackJob], *, warm_epochs: int | None = None
+    ) -> list[tuple[StrategyOutcome | None, Exception | None]]:
+        if self.calibration is None:
+            raise ValueError(
+                "TasfarStrategy has no calibration: call prepare() (or construct with "
+                "calibration=...) before adapting"
+            )
+        tasfar = Tasfar(self._config_for(warm_epochs), loss=self.loss)
+        raw = tasfar.adapt_stacked(
+            [(job.model, job.inputs, job.seed) for job in jobs], self.calibration
+        )
+        return [
+            (None, error) if error is not None else (self._outcome_from(result), None)
+            for result, error in raw
+        ]
 
 
 class BaselineStrategy(AdaptationStrategy):
@@ -221,6 +282,7 @@ class BaselineStrategy(AdaptationStrategy):
         self.name = prototype.name
         self.requires_source_data = bool(prototype.requires_source_data)
         self._scheme = scheme
+        self._prototype_cls = type(prototype)
         init = type(prototype).__init__
         if init is object.__init__:
             # No constructor of its own (e.g. SourceOnly): accepts nothing —
@@ -301,3 +363,40 @@ class BaselineStrategy(AdaptationStrategy):
             losses=result.losses,
             diagnostics=dict(result.diagnostics),
         )
+
+    @property
+    def supports_stacked(self) -> bool:
+        return hasattr(self._prototype_cls, "adapt_many_stacked")
+
+    def adapt_stacked(
+        self, jobs: list[StackJob], *, warm_epochs: int | None = None
+    ) -> list[tuple[StrategyOutcome | None, Exception | None]]:
+        if not self.supports_stacked:
+            raise NotImplementedError(
+                f"scheme {self.name!r} has no stacked adaptation path"
+            )
+        pairs = []
+        for job in jobs:
+            overrides: dict = {}
+            if job.seed is not None:
+                overrides["seed"] = int(job.seed)
+            if warm_epochs is not None:
+                overrides["epochs"] = int(warm_epochs)
+            pairs.append((self._build(overrides), job.model, job.inputs))
+        raw = self._prototype_cls.adapt_many_stacked(
+            pairs, self._source_data if self.requires_source_data else None
+        )
+        return [
+            (None, error)
+            if error is not None
+            else (
+                StrategyOutcome(
+                    target_model=result.target_model,
+                    scheme=self.name,
+                    losses=result.losses,
+                    diagnostics=dict(result.diagnostics),
+                ),
+                None,
+            )
+            for result, error in raw
+        ]

@@ -33,6 +33,20 @@ from .normalization import BatchNorm1d, LayerNorm
 from .optim import SGD, Adam, Optimizer, clip_gradients
 from .parameter import Parameter
 from .schedulers import CosineAnnealing, ExponentialDecay, StepDecay
+from .stacked import (
+    PerReplicaLoss,
+    StackedAdam,
+    StackedDropout,
+    StackedLayerNorm,
+    StackedLinear,
+    StackedRegressionModel,
+    StackedSGD,
+    StackingError,
+    assert_stackable,
+    stack_modules,
+    stacked_clip_gradients,
+    unstack_modules,
+)
 from .serialization import (
     copy_parameters,
     load_model,
@@ -76,6 +90,14 @@ __all__ = [
     "Sequential",
     "Sigmoid",
     "Softplus",
+    "StackedAdam",
+    "StackedDropout",
+    "StackedLayerNorm",
+    "StackedLinear",
+    "StackedRegressionModel",
+    "StackedSGD",
+    "StackingError",
+    "PerReplicaLoss",
     "StepDecay",
     "Tanh",
     "TemporalBlock",
@@ -87,8 +109,12 @@ __all__ = [
     "build_mcnn_counter",
     "build_mlp",
     "build_tcn_regressor",
+    "assert_stackable",
     "clip_gradients",
     "copy_parameters",
+    "stack_modules",
+    "stacked_clip_gradients",
+    "unstack_modules",
     "get_loss",
     "load_model",
     "model_digest",

@@ -37,9 +37,10 @@ import numpy as np
 
 from ..core.adapter import SourceCalibration
 from ..core.config import TasfarConfig
-from ..engine.strategy import AdaptationStrategy, StrategyOutcome, TasfarStrategy
+from ..engine.strategy import AdaptationStrategy, StackJob, StrategyOutcome, TasfarStrategy
 from ..nn.losses import Loss
 from ..nn.models import RegressionModel
+from ..nn.stacked import StackingError, assert_stackable
 from ..nn.trainer import predict_batched
 from ..obs import MetricsRegistry, Stopwatch, use_metrics
 from .report import AdaptationReport
@@ -310,11 +311,162 @@ class AdaptationService:
                 self._models.popitem(last=False)
                 self.metrics.counter("service.cache.evictions", reason="capacity")
 
+    def check_train_batching(self, train_batching: int) -> int:
+        """Validate a ``train_batching`` knob against the scheme and model.
+
+        Stacked training is an opt-in with hard requirements — the scheme
+        must expose a stacked adaptation path and the model tree must be
+        stackable — so an incompatible combination is a loud ``ValueError``
+        at the entry point, never a silent serial fallback.
+        """
+        train_batching = int(train_batching)
+        if train_batching < 1:
+            raise ValueError("train_batching must be at least 1")
+        if train_batching == 1:
+            return 1
+        if not getattr(self.strategy, "supports_stacked", False):
+            raise ValueError(
+                f"train_batching={train_batching} is not supported by scheme "
+                f"{self.strategy.name!r}: it has no stacked adaptation path; "
+                "use train_batching=1 for this scheme"
+            )
+        try:
+            assert_stackable(self._source_model)
+        except StackingError as exc:
+            raise ValueError(
+                f"train_batching={train_batching} cannot stack this model: {exc}"
+            ) from exc
+        return train_batching
+
+    def adapt_stack(
+        self,
+        entries: list[tuple[str, np.ndarray, int | None]],
+        *,
+        warm_epochs: int | None = None,
+    ) -> list[tuple[AdaptationReport | None, Exception | None]]:
+        """Adapt one ``train_batching`` group of targets via the stacked path.
+
+        ``entries`` are ``(target_id, inputs, seed)`` with ``seed=None``
+        meaning the usual :meth:`target_seed`.  Each job gets a private deep
+        copy of the source model (schemes may forward through their start
+        model), so results are bit-identical to per-target :meth:`adapt`
+        calls.  Runs on the attached process worker pool when one is present
+        (mirroring how serial :meth:`adapt` routes), in-process otherwise.
+        Successes are stored; per-job failures are returned as data in input
+        order for the caller's error policy (the serving gateway answers
+        them as error envelopes, :meth:`adapt_many` raises the first).
+        """
+        resolved = [
+            (
+                canonical_target_id(tid),
+                data,
+                self.target_seed(tid) if seed is None else int(seed),
+            )
+            for tid, data, seed in entries
+        ]
+        pool = self._worker_pool
+        if pool is not None:
+            trios = pool.collect_stacked(
+                pool.submit_stacked(
+                    [(tid, data, seed, None) for tid, data, seed in resolved],
+                    warm_epochs,
+                )
+            )
+        else:
+            jobs = [
+                StackJob(
+                    model=copy.deepcopy(self._source_model),
+                    inputs=data,
+                    seed=seed,
+                    target_id=tid,
+                )
+                for tid, data, seed in resolved
+            ]
+            watch = Stopwatch()
+            with use_metrics(self.metrics if self.metrics.enabled else None):
+                outcomes = self.strategy.adapt_stacked(jobs, warm_epochs=warm_epochs)
+            duration = watch.elapsed()
+            trios = []
+            for (tid, data, seed), (outcome, error) in zip(resolved, outcomes):
+                if error is not None:
+                    trios.append((None, None, error))
+                else:
+                    report = AdaptationReport.from_outcome(
+                        tid, seed, outcome, len(data), duration
+                    )
+                    trios.append((report, outcome, None))
+        results: list[tuple[AdaptationReport | None, Exception | None]] = []
+        observed = False
+        for (tid, _data, _seed), (report, outcome, error) in zip(resolved, trios):
+            if error is not None:
+                results.append((None, error))
+                continue
+            self.metrics.counter("service.adaptations", mode="cold")
+            if not observed:
+                # One latency sample per stack: the jobs shared one wall
+                # clock, and K copies of it would skew the histogram.
+                self.metrics.observe(
+                    "service.adapt_seconds", report.duration_seconds, mode="cold"
+                )
+                observed = True
+            self._store_result(tid, report, outcome.target_model)
+            results.append((report, None))
+        return results
+
+    def _adapt_chunks_process(
+        self, chunks: list[list[tuple[str, np.ndarray]]], jobs: int
+    ) -> dict[str, AdaptationReport]:
+        """Fan ``train_batching`` stacks out over worker processes.
+
+        Batching composes with process sharding: each chunk is one worker
+        task running a whole stacked fine-tune; chunks spread across the
+        pool's real cores.  Bookkeeping happens in the parent, in input
+        order, as everywhere else.
+        """
+        pool = self._worker_pool
+        ephemeral = pool is None
+        if ephemeral:
+            pool = AdaptationWorkerPool(
+                jobs, self._source_model, self.strategy, metrics=self.metrics
+            )
+        reports: dict[str, AdaptationReport] = {}
+        try:
+            submitted = [
+                (
+                    chunk,
+                    pool.submit_stacked(
+                        [(tid, data, self.target_seed(tid), None) for tid, data in chunk]
+                    ),
+                )
+                for chunk in chunks
+            ]
+            for chunk, future in submitted:
+                observed = False
+                for (tid, _data), (report, outcome, error) in zip(
+                    chunk, pool.collect_stacked(future)
+                ):
+                    if error is not None:
+                        raise error
+                    self.metrics.counter("service.adaptations", mode="cold")
+                    if not observed:
+                        # One latency sample per stack (shared wall clock).
+                        self.metrics.observe(
+                            "service.adapt_seconds", report.duration_seconds, mode="cold"
+                        )
+                        observed = True
+                    self._store_result(tid, report, outcome.target_model)
+                    reports[tid] = report
+        finally:
+            if ephemeral:
+                pool.close()
+        return reports
+
     def adapt_many(
         self,
         targets: Mapping[str, np.ndarray] | Iterable[tuple[str, np.ndarray]],
         jobs: int = 1,
         executor: str | None = None,
+        train_batching: int = 1,
     ) -> dict[str, AdaptationReport]:
         """Adapt a batch of targets, optionally on a worker pool.
 
@@ -334,21 +486,45 @@ class AdaptationService:
             ``None`` (the default) picks ``"process"`` when a pool is
             already attached via :meth:`use_process_workers`, else
             ``"thread"``.
+        train_batching:
+            Stack size for cross-target batched training.  ``K > 1`` groups
+            up to K targets into one stacked fine-tune *inside* each worker
+            (composing with ``executor="process"`` across workers), with
+            results bit-identical to serial per-target adaptation.  Raises
+            :class:`ValueError` when the scheme or model cannot stack — no
+            silent fallback.
 
         Returns
         -------
         dict
             Reports keyed by target id, in the input order.
         """
-        items = list(targets.items()) if isinstance(targets, Mapping) else list(targets)
+        items = [
+            (canonical_target_id(tid), data)
+            for tid, data in (
+                targets.items() if isinstance(targets, Mapping) else targets
+            )
+        ]
         if jobs < 1:
             raise ValueError("jobs must be at least 1")
         if executor is not None and executor not in EXECUTOR_KINDS:
             raise ValueError(f"executor must be one of {EXECUTOR_KINDS}, got {executor!r}")
+        train_batching = self.check_train_batching(train_batching)
         if executor is None:
             executor = "process" if self._worker_pool is not None else "thread"
+        if train_batching > 1 and len(items) > 1:
+            chunks = [
+                items[start : start + train_batching]
+                for start in range(0, len(items), train_batching)
+            ]
+            if executor == "process" and (jobs > 1 or self._worker_pool is not None):
+                return self._adapt_chunks_process(chunks, jobs)
+            reports: dict[str, AdaptationReport] = {}
+            for chunk in chunks:
+                reports.update(self._collect_stack_chunk(chunk))
+            return reports
         if jobs == 1 or len(items) <= 1:
-            return {canonical_target_id(tid): self.adapt(tid, data) for tid, data in items}
+            return {tid: self.adapt(tid, data) for tid, data in items}
         if executor == "process":
             return self._adapt_many_process(items, jobs)
         if not self._warned_thread_executor:
@@ -356,10 +532,19 @@ class AdaptationService:
             warnings.warn(_THREAD_EXECUTOR_WARNING, RuntimeWarning, stacklevel=2)
         with ThreadPoolExecutor(max_workers=jobs) as pool:
             futures = [pool.submit(self.adapt, tid, data) for tid, data in items]
-            return {
-                canonical_target_id(tid): future.result()
-                for (tid, _), future in zip(items, futures)
-            }
+            return {tid: future.result() for (tid, _), future in zip(items, futures)}
+
+    def _collect_stack_chunk(
+        self, chunk: list[tuple[str, np.ndarray]]
+    ) -> dict[str, AdaptationReport]:
+        """In-process stack adaptation with `adapt_many`'s raise-on-error policy."""
+        reports: dict[str, AdaptationReport] = {}
+        entries = [(tid, data, None) for tid, data in chunk]
+        for (tid, _), (report, error) in zip(chunk, self.adapt_stack(entries)):
+            if error is not None:
+                raise error
+            reports[tid] = report
+        return reports
 
     def _adapt_many_process(
         self, items: list[tuple[str, np.ndarray]], jobs: int

@@ -44,7 +44,7 @@ from concurrent.futures.process import BrokenProcessPool
 
 import numpy as np
 
-from ..engine.strategy import AdaptationStrategy, StrategyOutcome
+from ..engine.strategy import AdaptationStrategy, StackJob, StrategyOutcome
 from ..nn.models import RegressionModel
 from ..obs import MetricsRegistry, Stopwatch, use_metrics
 from .report import AdaptationReport
@@ -125,6 +125,50 @@ def _worker_adapt(
     report = AdaptationReport.from_outcome(target_id, seed, outcome, len(inputs), duration)
     outcome.result = None
     return report, outcome, delta.snapshot()
+
+
+def _worker_adapt_stacked(
+    stack: list[tuple[str, np.ndarray, int, "RegressionModel | None"]],
+    warm_epochs: int | None,
+) -> tuple[list[tuple["AdaptationReport | None", "StrategyOutcome | None", "Exception | None"]], dict]:
+    """Run one stacked (``train_batching``) adaptation group inside a worker.
+
+    ``stack`` is a list of ``(target_id, inputs, seed, base_model)`` tuples
+    that travel together through
+    :meth:`~repro.engine.AdaptationStrategy.adapt_stacked` — batching
+    *within* this worker composes with processes *across* workers.
+    ``base_model`` is ``None`` for a cold adaptation from the shipped source
+    model; the streaming service sends a previously adapted model there (with
+    a ``warm_epochs`` schedule) for warm-start re-adaptations.  Per-job
+    failures come back as data (``(None, None, error)``) so one bad target
+    does not poison its stack-mates; the metrics delta rides home once per
+    stack.
+    """
+    source = _WORKER_STATE["source_model"]
+    strategy = _WORKER_STATE["strategy"]
+    jobs = [
+        StackJob(
+            model=copy.deepcopy(source if base_model is None else base_model),
+            inputs=inputs,
+            seed=seed,
+            target_id=target_id,
+        )
+        for target_id, inputs, seed, base_model in stack
+    ]
+    delta = MetricsRegistry()
+    watch = Stopwatch()
+    with use_metrics(delta):
+        outcomes = strategy.adapt_stacked(jobs, warm_epochs=warm_epochs)
+    duration = watch.elapsed()
+    results: list[tuple[AdaptationReport | None, StrategyOutcome | None, Exception | None]] = []
+    for (target_id, inputs, seed, _base), (outcome, error) in zip(stack, outcomes):
+        if error is not None:
+            results.append((None, None, error))
+            continue
+        report = AdaptationReport.from_outcome(target_id, seed, outcome, len(inputs), duration)
+        outcome.result = None
+        results.append((report, outcome, None))
+    return results, delta.snapshot()
 
 
 class AdaptationWorkerPool:
@@ -249,6 +293,43 @@ class AdaptationWorkerPool:
     ) -> tuple[AdaptationReport, StrategyOutcome]:
         """Synchronous submit-and-collect convenience."""
         return self.collect(self.submit(target_id, inputs, seed, base_model, warm_epochs))
+
+    def submit_stacked(
+        self,
+        stack: list[tuple[str, np.ndarray, int, "RegressionModel | None"]],
+        warm_epochs: int | None = None,
+    ) -> "Future":
+        """Queue one ``train_batching`` stack; resolve with :meth:`collect_stacked`."""
+        with self._lock:
+            if self._closed or self._pool is None:
+                raise WorkerCrashError("the adaptation worker pool is closed")
+            pool = self._pool
+        try:
+            future = pool.submit(_worker_adapt_stacked, stack, warm_epochs)
+        except RuntimeError as exc:
+            self._count("workers.crash_errors", stage="submit")
+            raise WorkerCrashError(
+                "the adaptation worker pool died before the task was queued; retry"
+            ) from exc
+        self._count("workers.tasks")
+        return future
+
+    def collect_stacked(
+        self, future: "Future"
+    ) -> list[tuple["AdaptationReport | None", "StrategyOutcome | None", "Exception | None"]]:
+        """Resolve a :meth:`submit_stacked` future (same crash translation as :meth:`collect`)."""
+        try:
+            results, delta = future.result()
+        except (CancelledError, BrokenProcessPool) as exc:
+            self._count("workers.crash_errors", stage="collect")
+            raise WorkerCrashError(
+                "the worker pool was killed while this adaptation was in flight; "
+                "adaptation is deterministic, so retrying on the respawned pool "
+                "reproduces the same result"
+            ) from exc
+        if self.metrics is not None:
+            self.metrics.merge(delta)
+        return results
 
     # ------------------------------------------------------------------
     # Lifecycle

@@ -252,6 +252,16 @@ class Gateway:
     batch_policy:
         Micro-batching knobs (:class:`~repro.serve.batching.BatchPolicy`);
         the default stacks and dedups.
+    train_batching:
+        Stack size for cross-target batched *training*.  ``K > 1`` makes
+        :meth:`submit_many` group the :class:`~repro.serve.AdaptRequest`\\ s
+        of a burst per shard and run them as stacked fine-tunes of up to K
+        targets (and routes grouped :class:`~repro.serve.StreamRequest`\\ s
+        through the streaming service's stacked ``ingest_many``), with
+        results bit-identical to per-request handling.  Composes with
+        ``executor="process"``: each stack is one worker task.  Validated
+        against the scheme and model at construction — incompatible
+        combinations raise :class:`ValueError`, never fall back silently.
     service_options:
         Extra keyword arguments forwarded to every shard service
         constructor (e.g. ``min_adapt_events`` / ``readapt_budget`` for the
@@ -281,6 +291,7 @@ class Gateway:
         max_cached_models: int = 8,
         base_seed: int = 0,
         batch_policy: BatchPolicy | None = None,
+        train_batching: int = 1,
         service_options: dict | None = None,
         metrics: MetricsRegistry | None = None,
         tracer: Tracer | None = None,
@@ -319,6 +330,10 @@ class Gateway:
                 service = AdaptationService(source_model, calibration, **common)
             self._shards.append(service)
         self._shard_workers = shard_workers
+        # Every shard shares the strategy and the source model, so one
+        # shard's validation covers the fleet: fail at construction, not on
+        # the first burst.
+        self.train_batching = self._shards[0].check_train_batching(train_batching)
         if executor == "process":
             # Processes spawn eagerly, before any dispatch thread exists —
             # forking a threaded process is where the dragons live.
@@ -547,11 +562,25 @@ class Gateway:
         envelopes: list[Envelope | None] = [None] * len(requests)
         traces = [self._begin_trace(request) for request in requests]
         predict_by_shard: dict[int, list[tuple[int, PredictRequest]]] = {}
+        adapt_by_shard: dict[int, list[tuple[int, AdaptRequest]]] = {}
+        stream_by_shard: dict[int, list[tuple[int, StreamRequest]]] = {}
         futures: list[tuple[int, Future]] = []
         for index, request in enumerate(requests):
             if isinstance(request, PredictRequest):
                 shard = self.shard_for(request.target_id)
                 predict_by_shard.setdefault(shard, []).append((index, request))
+            elif self.train_batching > 1 and isinstance(
+                request, (AdaptRequest, StreamRequest)
+            ):
+                # Stacked training: adapt/stream requests coalesce per shard
+                # into grouped handlers that batch compatible fine-tunes.
+                shard = self.shard_for(request.target_id)
+                groups = (
+                    adapt_by_shard
+                    if isinstance(request, AdaptRequest)
+                    else stream_by_shard
+                )
+                groups.setdefault(shard, []).append((index, request))
             elif isinstance(
                 request, (AdaptRequest, StreamRequest, ReportRequest, MetricsRequest)
             ):
@@ -584,38 +613,44 @@ class Gateway:
                         TypeError(f"unsupported request type {type(request).__name__}"),
                     )
                 )
-        predict_futures = []
-        for shard, group in predict_by_shard.items():
-            group_traces = [traces[index] for index, _ in group]
+        group_futures = []
+        grouped_dispatch = [
+            (self._handle_predict_group, predict_by_shard),
+            (self._handle_adapt_group, adapt_by_shard),
+            (self._handle_stream_group, stream_by_shard),
+        ]
+        for handler, by_shard in grouped_dispatch:
+            for shard, group in by_shard.items():
+                group_traces = [traces[index] for index, _ in group]
 
-            def orphan_group(group=group) -> list[tuple[int, Envelope]]:
-                return [
-                    (index, self._orphan_envelope(request)())
-                    for index, request in group
-                ]
+                def orphan_group(group=group) -> list[tuple[int, Envelope]]:
+                    return [
+                        (index, self._orphan_envelope(request)())
+                        for index, request in group
+                    ]
 
-            def mark_group_dequeued(group_traces=group_traces) -> None:
-                for trace in group_traces:
-                    if trace is not None:
-                        trace.mark_dequeued()
+                def mark_group_dequeued(group_traces=group_traces) -> None:
+                    for trace in group_traces:
+                        if trace is not None:
+                            trace.mark_dequeued()
 
-            try:
-                predict_futures.append(
-                    self._dispatch[shard].submit(
-                        self._handle_predict_group,
-                        (shard, group),
-                        orphan_group,
-                        on_start=None if self.tracer is None else mark_group_dequeued,
+                try:
+                    group_futures.append(
+                        self._dispatch[shard].submit(
+                            handler,
+                            (shard, group),
+                            orphan_group,
+                            on_start=None if self.tracer is None else mark_group_dequeued,
+                        )
                     )
-                )
-            except RuntimeError as exc:
-                for index, request in group:
-                    envelopes[index] = self._count_envelope(
-                        Envelope.failure(request.kind, request.target_id, exc)
-                    )
+                except RuntimeError as exc:
+                    for index, request in group:
+                        envelopes[index] = self._count_envelope(
+                            Envelope.failure(request.kind, request.target_id, exc)
+                        )
         for index, future in futures:
             envelopes[index] = future.result()
-        for future in predict_futures:
+        for future in group_futures:
             for index, envelope in future.result():
                 envelopes[index] = envelope
         assert all(envelope is not None for envelope in envelopes)
@@ -710,6 +745,129 @@ class Gateway:
         merged.merge(self.metrics.snapshot())
         merged.merge(self._shards[shard].metrics.snapshot(), extra_labels={"shard": shard})
         return {"metrics": merged.snapshot(), "shard": shard}
+
+    def _handle_adapt_group(
+        self, shard: int, group: list[tuple[int, AdaptRequest]]
+    ) -> list[tuple[int, Envelope]]:
+        """Serve one shard's adapt burst with stacked (``train_batching``) training.
+
+        Requests chunk into stacks of up to ``train_batching``; each stack is
+        one fine-tune (on the shard's worker pool when one is attached).
+        Per-request failures come back inside the stack as data; a failure of
+        the *whole* stack call (e.g. the worker pool was killed underneath
+        it) fails every request of that chunk — the same error each request
+        would have seen individually.
+        """
+        service = self._shards[shard]
+        start = now()
+        results: list[tuple[int, Envelope]] = []
+        for chunk_start in range(0, len(group), self.train_batching):
+            chunk = group[chunk_start : chunk_start + self.train_batching]
+            entries = [
+                (request.target_id, request.inputs, request.seed)
+                for _, request in chunk
+            ]
+            try:
+                raw = service.adapt_stack(entries)
+            except Exception as exc:
+                raw = [(None, exc)] * len(chunk)
+            duration = now() - start
+            for (index, request), (report, error) in zip(chunk, raw):
+                if error is not None:
+                    envelope = Envelope.failure(
+                        request.kind, request.target_id, error, duration
+                    )
+                else:
+                    envelope = Envelope.success(
+                        request.kind,
+                        request.target_id,
+                        {"report": report.to_dict(), "shard": shard},
+                        duration,
+                    )
+                results.append((index, self._count_envelope(envelope)))
+        return results
+
+    def _handle_stream_group(
+        self, shard: int, group: list[tuple[int, StreamRequest]]
+    ) -> list[tuple[int, Envelope]]:
+        """Serve one shard's stream burst through stacked ``ingest_many``.
+
+        Waves of distinct target ids go through the streaming service's
+        ``train_batching`` path together (a repeated id cuts a wave — its
+        second batch must see the state its first produced).  Batches are
+        already shape-validated at :class:`StreamRequest` construction, so a
+        wave failure here means the machinery (not a payload) broke — every
+        request of the wave gets that error as its envelope.
+        """
+        service = self._shards[shard]
+        start = now()
+        results: list[tuple[int, Envelope]] = []
+        if not isinstance(service, StreamingAdaptationService):
+            error_text = (
+                "stream requests need streaming shards: construct the Gateway with a "
+                "calibration (streaming requires the source confidence threshold)"
+            )
+            duration = now() - start
+            return [
+                (
+                    index,
+                    self._count_envelope(
+                        Envelope.failure(
+                            request.kind, request.target_id, TypeError(error_text), duration
+                        )
+                    ),
+                )
+                for index, request in group
+            ]
+        waves: list[list[tuple[int, StreamRequest]]] = []
+        wave: list[tuple[int, StreamRequest]] = []
+        seen: set[str] = set()
+        for index, request in group:
+            target_id = canonical_target_id(request.target_id)
+            if target_id in seen:
+                waves.append(wave)
+                wave, seen = [], set()
+            wave.append((index, request))
+            seen.add(target_id)
+        if wave:
+            waves.append(wave)
+        for wave in waves:
+            try:
+                events = service.ingest_many(
+                    [(request.target_id, request.batch) for _, request in wave],
+                    train_batching=self.train_batching,
+                )
+            except Exception as exc:
+                duration = now() - start
+                for index, request in wave:
+                    results.append(
+                        (
+                            index,
+                            self._count_envelope(
+                                Envelope.failure(
+                                    request.kind, request.target_id, exc, duration
+                                )
+                            ),
+                        )
+                    )
+                continue
+            duration = now() - start
+            for index, request in wave:
+                event = events[canonical_target_id(request.target_id)]
+                results.append(
+                    (
+                        index,
+                        self._count_envelope(
+                            Envelope.success(
+                                request.kind,
+                                request.target_id,
+                                {"event": event.to_dict(), "shard": shard},
+                                duration,
+                            )
+                        ),
+                    )
+                )
+        return results
 
     def _handle_predict_group(
         self, shard: int, group: list[tuple[int, PredictRequest]]

@@ -324,6 +324,45 @@ class InvariantSuite:
             delta("shards", "service.cache.misses"),
             'ok predictions attributed to the "source" fallback',
         )
+        # Stacked-training accounting (mirrors the serve tiler's tile /
+        # padding metrics): stack counters may only move when the gateway
+        # actually stacks, every stack holds at least two replicas
+        # (singleton groups take the serial path), and each stacked replica
+        # is one engine run — the stacked path must not double- or
+        # under-count relative to the serial path it replaces.
+        stacks = delta("shards", "engine.stacks")
+        stack_replicas = delta("shards", "engine.stack_replicas")
+        engine_runs = delta("shards", "engine.runs")
+        if getattr(self.gateway, "train_batching", 1) <= 1:
+            expect(
+                "engine.stacks",
+                "shards",
+                0,
+                stacks,
+                "no stacked runs with train_batching=1",
+            )
+            expect(
+                "engine.stack_replicas",
+                "shards",
+                0,
+                stack_replicas,
+                "no stacked replicas with train_batching=1",
+            )
+        elif stack_replicas < 2 * stacks:
+            self._fail(
+                name,
+                tick,
+                f"engine.stack_replicas counted {stack_replicas:g} across "
+                f"{stacks:g} stacks; every stack holds at least two replicas",
+            )
+        if stack_replicas > engine_runs:
+            self._fail(
+                name,
+                tick,
+                f"engine.stack_replicas ({stack_replicas:g}) exceeds "
+                f"engine.runs ({engine_runs:g}); every stacked replica is "
+                "one engine run",
+            )
         for entry in self.gateway.metrics.snapshot().get("gauges", []):
             if entry["name"] == "serve.queue_depth" and entry["value"] != 0:
                 self._fail(

@@ -11,7 +11,10 @@ driven, while keeping the run replayable:
 2. **mutators** (adapt and stream requests) run first, each target's
    requests strictly in trace order but different targets concurrently —
    per-target state is independently locked and seeded, so cross-target
-   interleaving cannot change any result;
+   interleaving cannot change any result (with ``train_batching > 1`` the
+   per-target chains instead advance in lock-step waves through one
+   :meth:`~repro.serve.Gateway.submit_many` per wave, letting the gateway
+   stack compatible adaptations into batched training passes);
 3. **reports** run next (reads against settled state);
 4. **predictions** run last as one :meth:`~repro.serve.Gateway.submit_many`
    burst, exercising the micro-batched coalescing path.
@@ -177,6 +180,7 @@ def build_gateway(spec: WorkloadSpec, tracer: Tracer | None = None) -> Gateway:
         n_shards=spec.n_shards,
         shard_workers=spec.shard_workers,
         executor=spec.executor,
+        train_batching=spec.train_batching,
         max_cached_models=spec.cache_capacity(),
         base_seed=spec.seed,
         service_options=service_options,
@@ -308,7 +312,21 @@ class Simulator:
 
         # Phase 1 — mutators: per-target chains in trace order, chains in
         # parallel (cross-target state is independent by construction).
-        if mutators:
+        if mutators and self.spec.train_batching > 1:
+            # Wave rounds: the front request of every non-empty chain goes
+            # out as one submit_many burst so the gateway can stack
+            # compatible adaptations.  A chain advances exactly one request
+            # per wave, so per-target order stays strict, and a wave never
+            # holds two requests for the same target — results match the
+            # serial chains exactly.
+            chains = [list(chain) for chain in mutators.values()]
+            while chains:
+                wave = [chain.pop(0) for chain in chains]
+                envelopes = self.gateway.submit_many([request for _, request in wave])
+                for (index, request), envelope in zip(wave, envelopes):
+                    records[index] = RequestRecord(events[index], request, envelope)
+                chains = [chain for chain in chains if chain]
+        elif mutators:
             futures = [
                 self._chain_pool.submit(self._run_chain, chain)
                 for chain in mutators.values()

@@ -181,6 +181,12 @@ class WorkloadSpec:
     evicted depends on thread completion order and the transcript is no
     longer replayable — the cache-thrash fault plan injects evictions
     explicitly instead, which keeps replay exact.
+
+    ``train_batching`` mirrors the gateway knob of the same name: values
+    above 1 stack up to that many same-tick adaptation requests into one
+    batched training pass per shard.  Only the lower bound is checked here;
+    scheme/model stackability is validated when the gateway is built, so an
+    incompatible combination fails before the first tick runs.
     """
 
     task: str = "housing"
@@ -192,6 +198,7 @@ class WorkloadSpec:
     n_shards: int = 2
     shard_workers: int = 2
     executor: str = "thread"
+    train_batching: int = 1
     max_cached_models: int | None = None
     min_adapt_events: int = 24
     readapt_budget: int = 64
@@ -250,6 +257,8 @@ class WorkloadSpec:
             raise ValueError(
                 f"executor must be 'thread' or 'process', got {self.executor!r}"
             )
+        if self.train_batching < 1:
+            raise ValueError("train_batching must be at least 1")
         if self.max_cached_models is not None and self.max_cached_models < 1:
             raise ValueError("max_cached_models must be at least 1")
         if self.min_adapt_events < 1 or self.readapt_budget < 1:

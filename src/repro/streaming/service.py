@@ -31,6 +31,7 @@ the same stream reproduces the same events, models, and reports bit for bit.
 
 from __future__ import annotations
 
+import copy
 from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import asdict, dataclass, field
@@ -44,10 +45,10 @@ from ..core.config import TasfarConfig
 from ..core.density_map import LabelDensityMap
 from ..core.estimator import LabelDistributionEstimator
 from ..engine.rng import PROBE_STREAM, stream_seed_sequence
-from ..engine.strategy import AdaptationStrategy
+from ..engine.strategy import AdaptationStrategy, StackJob, StrategyOutcome
 from ..nn.losses import Loss
 from ..nn.models import RegressionModel
-from ..obs import MetricsRegistry, Stopwatch
+from ..obs import MetricsRegistry, Stopwatch, use_metrics
 from ..runtime.report import AdaptationReport
 from ..runtime.service import AdaptationService, canonical_target_id
 from ..uncertainty.mc_dropout import MCDropoutPredictor
@@ -125,6 +126,37 @@ class _TargetStream:
     events: list[StreamEvent] = field(default_factory=list)
     n_cold: int = 0
     n_warm: int = 0
+
+
+@dataclass
+class _PendingIngest:
+    """One target's ingest decision, frozen before any (stacked) adaptation.
+
+    The stacked ``train_batching`` path splits :meth:`ingest` in two: a
+    *decide* phase that buffers the batch, probes for drift, and snapshots
+    everything an adaptation would consume (inputs, seed, warm base model),
+    and a *commit* phase after the grouped fine-tune.  This record carries
+    the decision between the phases; only its owning target's state is ever
+    referenced, which is what makes the phase split equivalent to serial
+    per-target ingestion.
+    """
+
+    target_id: str
+    state: _TargetStream
+    watch: Stopwatch
+    step: int
+    n_events: int
+    action: str = "buffered"
+    trigger: str | None = None
+    observation: object | None = None
+    #: set by :meth:`StreamingAdaptationService._mark_due`
+    due: bool = False
+    warm: bool = False
+    base_model: RegressionModel | None = None
+    inputs: np.ndarray | None = None
+    n_snapshot: int = 0
+    round_index: int = 0
+    seed: int = 0
 
 
 class StreamingAdaptationService(AdaptationService):
@@ -335,6 +367,7 @@ class StreamingAdaptationService(AdaptationService):
         self,
         batches: Mapping[str, np.ndarray] | Iterable[tuple[str, np.ndarray]],
         jobs: int = 1,
+        train_batching: int = 1,
     ) -> dict[str, StreamEvent]:
         """Ingest one batch for each of several targets, optionally pooled.
 
@@ -346,10 +379,24 @@ class StreamingAdaptationService(AdaptationService):
         whether a re-adaptation starts warm or cold) depends on the thread
         interleaving, so size the cache to the fleet when reproducibility
         matters.
+
+        ``train_batching=K > 1`` groups the (re-)adaptations this call
+        triggers — a drift-driven re-adapt storm, a cold-start wave — into
+        stacked fine-tunes of up to K targets (warm and cold rounds stacked
+        separately, since they run different epoch schedules), bit-identical
+        to serial ingestion.  Decision logic (buffering, drift probes,
+        triggers) still runs per target in input order; only the training
+        is batched, on the calling thread or on the attached process worker
+        pool.  ``jobs`` is a thread-pool knob for the *unstacked* path and
+        is ignored when ``train_batching > 1``.  Raises :class:`ValueError`
+        when the scheme or model cannot stack — no silent fallback.
         """
         items = list(batches.items()) if isinstance(batches, Mapping) else list(batches)
         if jobs < 1:
             raise ValueError("jobs must be at least 1")
+        train_batching = self.check_train_batching(train_batching)
+        if train_batching > 1 and len(items) > 1:
+            return self._ingest_many_stacked(items, train_batching)
         if jobs == 1 or len(items) <= 1:
             return {canonical_target_id(tid): self.ingest(tid, batch) for tid, batch in items}
         with ThreadPoolExecutor(max_workers=jobs) as pool:
@@ -358,6 +405,51 @@ class StreamingAdaptationService(AdaptationService):
                 canonical_target_id(tid): future.result()
                 for (tid, _), future in zip(items, futures)
             }
+
+    def _ingest_many_stacked(
+        self, items: list[tuple[str, np.ndarray]], train_batching: int
+    ) -> dict[str, StreamEvent]:
+        """Ingest a fleet of batches with stacked (``train_batching``) training.
+
+        Items are processed in **waves**: consecutive runs of distinct
+        target ids.  A repeated id cuts a wave, because its second batch
+        must observe the buffer/model state its first one produced —
+        exactly what serial ingestion would see.  Within a wave every
+        target's decision is independent (all streaming state is
+        per-target), so deciding everything first and then batching the due
+        adaptations is equivalent to interleaving them.
+        """
+        events: dict[str, StreamEvent] = {}
+        wave: list[tuple[str, np.ndarray]] = []
+        seen: set[str] = set()
+        for tid, batch in items:
+            tid = canonical_target_id(tid)
+            if tid in seen:
+                self._ingest_wave(wave, train_batching, events)
+                wave, seen = [], set()
+            wave.append((tid, batch))
+            seen.add(tid)
+        if wave:
+            self._ingest_wave(wave, train_batching, events)
+        return events
+
+    def _ingest_wave(
+        self,
+        wave: list[tuple[str, np.ndarray]],
+        train_batching: int,
+        events: dict[str, StreamEvent],
+    ) -> None:
+        """Decide every target in the wave, then run the due adaptations stacked."""
+        pendings = [self._ingest_decide(tid, batch) for tid, batch in wave]
+        due = [pending for pending in pendings if pending.due]
+        for warm in (False, True):
+            # Warm and cold rounds never share a stack: they train under
+            # different epoch schedules (and from different start models).
+            group = [pending for pending in due if pending.warm is warm]
+            for start in range(0, len(group), train_batching):
+                self._adapt_pending_stack(group[start : start + train_batching], warm)
+        for pending in pendings:
+            events[pending.target_id] = self._ingest_finalize(pending)
 
     # ------------------------------------------------------------------
     # Internals
@@ -398,6 +490,170 @@ class StreamingAdaptationService(AdaptationService):
         sigmas = self._sigma_estimator.sigma_for(prediction.uncertainty[confident])
         assert state.monitor is not None
         return state.monitor.observe(prediction.mean[confident], sigmas)
+
+    def _ingest_decide(self, target_id: str, batch: np.ndarray) -> _PendingIngest:
+        """The decision half of :meth:`ingest`, with the adaptation deferred.
+
+        Buffers the batch, updates the drift monitor, and decides whether an
+        adaptation is due — mirroring :meth:`ingest` up to (but excluding)
+        the training itself, whose inputs/seed/base-model are snapshotted
+        onto the returned :class:`_PendingIngest` for the stacked runner.
+        """
+        target_id = canonical_target_id(target_id)
+        batch = np.asarray(batch, dtype=np.float64)
+        if batch.ndim < 2 or len(batch) == 0:
+            raise ValueError(
+                "batch must be a non-empty array of shape (n_events, ...features)"
+            )
+        state = self._stream_state(target_id)
+        with state.lock:
+            watch = Stopwatch()
+            state.step += 1
+            state.buffer.append(batch)
+            state.n_buffered += len(batch)
+            state.total_events += len(batch)
+            self.metrics.counter("stream.ingest_batches")
+            self.metrics.counter("stream.ingest_events", len(batch))
+            while state.n_buffered > self.max_buffer_events and len(state.buffer) > 1:
+                dropped = state.buffer.pop(0)
+                state.n_buffered -= len(dropped)
+                self.metrics.counter("stream.buffer_dropped_events", len(dropped))
+            pending = _PendingIngest(
+                target_id=target_id,
+                state=state,
+                watch=watch,
+                step=state.step,
+                n_events=len(batch),
+            )
+            adapted = (state.n_cold + state.n_warm) > 0
+            if not adapted:
+                if state.n_buffered >= self.min_adapt_events:
+                    pending.trigger = "warmup"
+                    self._mark_due(pending, base_model=None)
+            else:
+                if state.monitor is not None:
+                    pending.observation = self._probe(target_id, state, batch)
+                    if pending.observation is not None:
+                        self.metrics.counter("stream.drift.observations")
+                        if pending.observation.drifted:
+                            self.metrics.counter("stream.drift.detections")
+                drifted = pending.observation is not None and pending.observation.drifted
+                if drifted or state.n_buffered >= self.readapt_budget:
+                    pending.trigger = "drift" if drifted else "budget"
+                    self._mark_due(pending, base_model=self.model_for(target_id))
+        return pending
+
+    def _mark_due(self, pending: _PendingIngest, base_model: RegressionModel | None) -> None:
+        """Snapshot everything the due adaptation will consume (lock held)."""
+        state = pending.state
+        pending.due = True
+        pending.base_model = base_model
+        pending.warm = base_model is not None
+        pending.inputs = (
+            state.buffer[0]
+            if len(state.buffer) == 1
+            else np.concatenate(state.buffer, axis=0)
+        )
+        pending.n_snapshot = len(state.buffer)
+        pending.round_index = state.n_cold + state.n_warm
+        pending.seed = self.target_seed(f"{pending.target_id}#round{pending.round_index}")
+
+    def _adapt_pending_stack(self, group: list[_PendingIngest], warm: bool) -> None:
+        """Run one stacked group of due (re-)adaptations and commit each.
+
+        Mirrors the accounting of the serial seam
+        (:meth:`~repro.runtime.AdaptationService._run_adaptation` +
+        :meth:`_commit_adaptation`): one ``service.adaptations`` count per
+        success, one latency sample per stack (the jobs shared a wall
+        clock).  A per-job :class:`~repro.core.NoConfidentSamplesError`
+        becomes ``adapt_failed`` with the buffer kept, exactly as serial;
+        any other error propagates.
+        """
+        if not group:
+            return
+        warm_epochs = self.warm_epochs if warm else None
+        mode = "warm" if warm else "cold"
+        pool = self._worker_pool
+        if pool is not None:
+            stack = [
+                (pending.target_id, pending.inputs, pending.seed, pending.base_model)
+                for pending in group
+            ]
+            trios = pool.collect_stacked(pool.submit_stacked(stack, warm_epochs))
+        else:
+            jobs = [
+                StackJob(
+                    model=copy.deepcopy(
+                        pending.base_model if pending.warm else self._source_model
+                    ),
+                    inputs=pending.inputs,
+                    seed=pending.seed,
+                    target_id=pending.target_id,
+                )
+                for pending in group
+            ]
+            watch = Stopwatch()
+            with use_metrics(self.metrics if self.metrics.enabled else None):
+                outcomes = self.strategy.adapt_stacked(jobs, warm_epochs=warm_epochs)
+            duration = watch.elapsed()
+            trios = []
+            for pending, (outcome, error) in zip(group, outcomes):
+                if error is not None:
+                    trios.append((None, None, error))
+                else:
+                    report = AdaptationReport.from_outcome(
+                        pending.target_id, pending.seed, outcome, len(pending.inputs), duration
+                    )
+                    trios.append((report, outcome, None))
+        observed = False
+        for pending, (report, outcome, error) in zip(group, trios):
+            if error is not None:
+                if isinstance(error, NoConfidentSamplesError):
+                    pending.action = "adapt_failed"
+                    continue
+                raise error
+            self.metrics.counter("service.adaptations", mode=mode)
+            if not observed:
+                # One latency sample per stack (shared wall clock).
+                self.metrics.observe(
+                    "service.adapt_seconds", report.duration_seconds, mode=mode
+                )
+                observed = True
+            with pending.state.lock:
+                self._commit_adaptation(
+                    pending.target_id,
+                    pending.state,
+                    pending.inputs,
+                    pending.n_snapshot,
+                    pending.warm,
+                    pending.round_index,
+                    report,
+                    outcome,
+                )
+            pending.action = "warm_adapt" if pending.warm else "cold_adapt"
+
+    def _ingest_finalize(self, pending: _PendingIngest) -> StreamEvent:
+        """Record the :class:`StreamEvent` for one decided-and-settled ingest."""
+        state = pending.state
+        with state.lock:
+            observation = pending.observation
+            event = StreamEvent(
+                target_id=pending.target_id,
+                step=pending.step,
+                n_events=pending.n_events,
+                total_events=state.total_events,
+                buffered=state.n_buffered,
+                action=pending.action,
+                trigger=pending.trigger,
+                drift_distance=None if observation is None else float(observation.distance),
+                drift_statistic=None if observation is None else float(observation.statistic),
+                drifted=observation is not None and observation.drifted,
+                duration_seconds=pending.watch.elapsed(),
+            )
+            state.events.append(event)
+        self.metrics.counter("stream.actions", action=event.action)
+        self.metrics.observe("stream.ingest_seconds", event.duration_seconds)
+        return event
 
     def _try_adapt_from_buffer(
         self, target_id: str, state: _TargetStream, base_model: RegressionModel | None
@@ -446,6 +702,28 @@ class StreamingAdaptationService(AdaptationService):
             )
         except NoConfidentSamplesError:
             return None
+        return self._commit_adaptation(
+            target_id, state, inputs, len(state.buffer), warm, round_index, report, outcome
+        )
+
+    def _commit_adaptation(
+        self,
+        target_id: str,
+        state: _TargetStream,
+        inputs: np.ndarray,
+        n_batches: int,
+        warm: bool,
+        round_index: int,
+        report: AdaptationReport,
+        outcome: StrategyOutcome,
+    ) -> AdaptationReport:
+        """Publish one finished (re-)adaptation: report, model, monitor, buffer.
+
+        ``n_batches`` is how many leading buffer entries the adaptation
+        consumed — the whole buffer on the serial path, the decision-time
+        snapshot on the stacked path (batches ingested concurrently since
+        the snapshot must survive for the next round).
+        """
         density_map = outcome.density_map
         if density_map is None:
             # The scheme does not estimate a label density map itself (any
@@ -477,8 +755,8 @@ class StreamingAdaptationService(AdaptationService):
             )
         else:
             state.monitor.rebase(density_map)
-        state.buffer.clear()
-        state.n_buffered = 0
+        del state.buffer[:n_batches]
+        state.n_buffered = sum(len(batch) for batch in state.buffer)
         if warm:
             state.n_warm += 1
         else:

@@ -1,0 +1,176 @@
+"""Serial-vs-stacked equivalence for every adaptation scheme.
+
+Two layers above the engine need the bit-identity guarantee:
+
+* the scheme classes' ``adapt_many_stacked`` (baselines) must match one
+  ``adapt`` call per target;
+* the unified ``AdaptationStrategy.adapt_stacked`` (all six schemes,
+  including TASFAR's pseudo-label pipeline) must match ``adapt``,
+  independent of packing order, and through the warm-start path.
+
+Everything is compared on losses, early-stop epochs, diagnostics and raw
+parameter bytes — ``==`` on floats is bit equality.
+"""
+
+import copy
+
+import numpy as np
+import pytest
+from scheme_oracle_fixture import SCHEME_KWARGS, build_fixture, fast_config
+
+from repro.baselines.adversarial import AdversarialUda
+from repro.baselines.augfree import AugFree
+from repro.baselines.datafree import DataFree
+from repro.baselines.mmd import MmdUda
+from repro.baselines.source_only import SourceOnly
+from repro.engine.strategy import (
+    BaselineStrategy,
+    SourceResources,
+    StackJob,
+    TasfarStrategy,
+)
+from repro.nn import parameter_bytes
+
+K = 3
+SEEDS = [101, 202, 303]
+
+
+@pytest.fixture(scope="module")
+def fixture():
+    return build_fixture()
+
+
+@pytest.fixture(scope="module")
+def targets():
+    rng = np.random.default_rng(5)
+    return [rng.normal(loc=0.3, size=(60, 4)) for _ in range(K)]
+
+
+def make_strategy(scheme, fixture):
+    resources = SourceResources(
+        source_data=fixture["source_data"], calibration=fixture["calibration"]
+    )
+    if scheme == "tasfar":
+        return TasfarStrategy(config=fast_config()).prepare(fixture["model"], resources)
+    return BaselineStrategy(scheme, **SCHEME_KWARGS[scheme]).prepare(
+        fixture["model"], resources
+    )
+
+
+def assert_outcome_identical(outcome, error, expected, context):
+    assert error is None, (context, error)
+    assert outcome.losses == expected.losses, context
+    assert outcome.stopped_epoch == expected.stopped_epoch, context
+    assert outcome.diagnostics == expected.diagnostics, context
+    assert parameter_bytes(outcome.target_model) == parameter_bytes(
+        expected.target_model
+    ), (context, "parameter bytes differ")
+
+
+@pytest.mark.parametrize("scheme", sorted(SCHEME_KWARGS))
+def test_strategy_stacked_bit_identical_and_order_independent(scheme, fixture, targets):
+    model = fixture["model"]
+    strategy = make_strategy(scheme, fixture)
+    assert strategy.supports_stacked
+
+    serial = [
+        strategy.adapt(copy.deepcopy(model), targets[k], seed=SEEDS[k])
+        for k in range(K)
+    ]
+    stacked = strategy.adapt_stacked(
+        [
+            StackJob(model=copy.deepcopy(model), inputs=targets[k], seed=SEEDS[k])
+            for k in range(K)
+        ]
+    )
+    for k, (outcome, error) in enumerate(stacked):
+        assert_outcome_identical(outcome, error, serial[k], (scheme, k))
+
+    # Packing-order independence: reversed jobs give the same per-job bits.
+    stacked_reversed = strategy.adapt_stacked(
+        [
+            StackJob(model=copy.deepcopy(model), inputs=targets[k], seed=SEEDS[k])
+            for k in reversed(range(K))
+        ]
+    )
+    for k, (outcome, error) in enumerate(stacked_reversed):
+        assert_outcome_identical(outcome, error, serial[K - 1 - k], (scheme, "reversed", k))
+
+
+@pytest.mark.parametrize("scheme", ["tasfar", "mmd"])
+def test_strategy_stacked_warm_start_bit_identical(scheme, fixture, targets):
+    model = fixture["model"]
+    strategy = make_strategy(scheme, fixture)
+    serial = [
+        strategy.adapt(copy.deepcopy(model), targets[k], seed=SEEDS[k], warm_epochs=2)
+        for k in range(K)
+    ]
+    stacked = strategy.adapt_stacked(
+        [
+            StackJob(model=copy.deepcopy(model), inputs=targets[k], seed=SEEDS[k])
+            for k in range(K)
+        ],
+        warm_epochs=2,
+    )
+    for k, (outcome, error) in enumerate(stacked):
+        assert_outcome_identical(outcome, error, serial[k], (scheme, "warm", k))
+
+
+BASELINE_CLASSES = [
+    ("baseline", SourceOnly, {}),
+    ("mmd", MmdUda, {"epochs": 3}),
+    ("adv", AdversarialUda, {"epochs": 2}),
+    ("augfree", AugFree, {"epochs": 3}),
+    ("datafree", DataFree, {"epochs": 3}),
+]
+
+
+@pytest.mark.parametrize("name,cls,kwargs", BASELINE_CLASSES, ids=[n for n, _, _ in BASELINE_CLASSES])
+def test_baseline_adapt_many_stacked_bit_identical(name, cls, kwargs, fixture, targets):
+    model = fixture["model"]
+    source_data = fixture["source_data"]
+
+    def build(k):
+        return cls() if cls is SourceOnly else cls(seed=10 + k, **kwargs)
+
+    serial = [build(k).adapt(model, targets[k], source_data) for k in range(K)]
+    stacked = cls.adapt_many_stacked(
+        [(build(k), model, targets[k]) for k in range(K)], source_data
+    )
+    for k, ((result, error), expected) in enumerate(zip(stacked, serial)):
+        assert error is None, (name, k, error)
+        assert result.losses == expected.losses, (name, k)
+        assert result.diagnostics == expected.diagnostics, (name, k)
+        assert parameter_bytes(result.target_model) == parameter_bytes(
+            expected.target_model
+        ), (name, k, "parameter bytes differ")
+
+
+@pytest.mark.parametrize("name,cls,kwargs", [
+    ("mmd", MmdUda, {"epochs": 2}),
+    ("augfree", AugFree, {"epochs": 2}),
+], ids=["mmd", "augfree"])
+def test_mixed_length_targets_group_and_stay_identical(name, cls, kwargs, fixture):
+    # 60/45/60/45 rows: the stacker must split the four jobs into two
+    # equal-length groups of two and still reproduce the serial bits.
+    model = fixture["model"]
+    source_data = fixture["source_data"]
+    rng = np.random.default_rng(99)
+    mixed = [
+        rng.normal(size=(60, 4)),
+        rng.normal(size=(45, 4)),
+        rng.normal(size=(60, 4)),
+        rng.normal(size=(45, 4)),
+    ]
+    serial = [
+        cls(seed=20 + k, **kwargs).adapt(model, mixed[k], source_data) for k in range(4)
+    ]
+    stacked = cls.adapt_many_stacked(
+        [(cls(seed=20 + k, **kwargs), model, mixed[k]) for k in range(4)], source_data
+    )
+    for k, ((result, error), expected) in enumerate(zip(stacked, serial)):
+        assert error is None, (name, k, error)
+        assert result.losses == expected.losses, (name, k)
+        assert parameter_bytes(result.target_model) == parameter_bytes(
+            expected.target_model
+        ), (name, k, "parameter bytes differ")

@@ -1,0 +1,294 @@
+"""Hypothesis property tests for the stacked training ops.
+
+The serve-side tiler argues "bit-identical by construction"; these tests
+assert the same argument for the *training* stack, op by op:
+
+* **K=1 byte-identity** — a one-replica stack of any layer op (forward,
+  backward, gradient clip, optimizer step, loss) produces byte-for-byte
+  the arrays the serial op produces;
+* **packing independence** — a replica's bits do not depend on where in
+  the stack it sits (packing order) or on which other replicas share the
+  stack (dropping stack-mates changes nothing for the survivors).
+
+Inputs are drawn as (seed, shape) pairs and materialized through seeded
+generators: hypothesis explores the shape/seed space while the arrays
+themselves stay cheap to build and exactly reproducible.
+"""
+
+import copy
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import (
+    SGD,
+    Adam,
+    Dropout,
+    LayerNorm,
+    Linear,
+    MSELoss,
+    Parameter,
+    PerReplicaLoss,
+    StackedAdam,
+    StackedDropout,
+    StackedLayerNorm,
+    StackedLinear,
+    StackedSGD,
+    clip_gradients,
+    stacked_clip_gradients,
+)
+
+seeds = st.integers(min_value=0, max_value=2**32 - 1)
+dims = st.integers(min_value=1, max_value=6)
+batches = st.integers(min_value=1, max_value=8)
+stack_sizes = st.integers(min_value=2, max_value=4)
+
+
+def _bytes(*arrays: np.ndarray) -> tuple[bytes, ...]:
+    return tuple(array.tobytes() for array in arrays)
+
+
+# ----------------------------------------------------------------------
+# K=1 byte-identity, op by op
+# ----------------------------------------------------------------------
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=seeds, batch=batches, d_in=dims, d_out=dims)
+def test_linear_k1_forward_backward_byte_identical(seed, batch, d_in, d_out):
+    serial = Linear(d_in, d_out, rng=np.random.default_rng(seed))
+    stacked = StackedLinear([copy.deepcopy(serial)])
+    rng = np.random.default_rng(seed + 1)
+    x = rng.normal(size=(batch, d_in))
+    g = rng.normal(size=(batch, d_out))
+
+    out = serial.forward(x)
+    out_stacked = stacked.forward(x[None])
+    assert out_stacked.shape == (1,) + out.shape
+    assert out_stacked[0].tobytes() == out.tobytes()
+
+    grad_in = serial.backward(g)
+    grad_in_stacked = stacked.backward(g[None])
+    assert grad_in_stacked[0].tobytes() == grad_in.tobytes()
+    assert stacked.weight.grad[0].tobytes() == serial.weight.grad.tobytes()
+    assert stacked.bias.grad[0].tobytes() == serial.bias.grad.tobytes()
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=seeds, batch=batches, features=dims)
+def test_layernorm_k1_forward_backward_byte_identical(seed, batch, features):
+    rng = np.random.default_rng(seed)
+    serial = LayerNorm(features)
+    serial.gamma.data[:] = rng.normal(size=features)
+    serial.beta.data[:] = rng.normal(size=features)
+    stacked = StackedLayerNorm([copy.deepcopy(serial)])
+    x = rng.normal(size=(batch, features))
+    g = rng.normal(size=(batch, features))
+
+    out = serial.forward(x)
+    out_stacked = stacked.forward(x[None])
+    assert out_stacked[0].tobytes() == out.tobytes()
+
+    grad_in = serial.backward(g)
+    grad_in_stacked = stacked.backward(g[None])
+    assert grad_in_stacked[0].tobytes() == grad_in.tobytes()
+    assert stacked.gamma.grad[0].tobytes() == serial.gamma.grad.tobytes()
+    assert stacked.beta.grad[0].tobytes() == serial.beta.grad.tobytes()
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    seed=seeds,
+    batch=batches,
+    features=dims,
+    rate=st.sampled_from([0.0, 0.2, 0.5]),
+)
+def test_dropout_k1_byte_identical(seed, batch, features, rate):
+    serial = Dropout(rate, rng=np.random.default_rng(seed))
+    stacked = StackedDropout([copy.deepcopy(serial)])
+    serial.train()
+    stacked.train()
+    rng = np.random.default_rng(seed + 1)
+    x = rng.normal(size=(batch, features))
+    g = rng.normal(size=(batch, features))
+
+    out = serial.forward(x)
+    out_stacked = stacked.forward(x[None])
+    assert out_stacked[0].tobytes() == out.tobytes()
+    assert stacked.backward(g[None])[0].tobytes() == serial.backward(g).tobytes()
+
+
+def _param_pair(rng, *shape):
+    """A serial parameter with a random gradient and its K=1 stacked twin."""
+    serial = Parameter(rng.normal(size=shape))
+    serial.accumulate_grad(rng.normal(size=shape))
+    stacked = Parameter(serial.data[None].copy())
+    stacked.accumulate_grad(serial.grad[None].copy())
+    return serial, stacked
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    seed=seeds,
+    d_in=dims,
+    d_out=dims,
+    max_norm=st.floats(min_value=0.01, max_value=20.0),
+)
+def test_clip_k1_byte_identical(seed, d_in, d_out, max_norm):
+    rng = np.random.default_rng(seed)
+    weight, weight_stacked = _param_pair(rng, d_in, d_out)
+    bias, bias_stacked = _param_pair(rng, d_out)
+
+    norm = clip_gradients([weight, bias], max_norm)
+    norms = stacked_clip_gradients([weight_stacked, bias_stacked], max_norm, 1)
+    assert norms.shape == (1,) and norms[0] == norm
+    assert weight_stacked.grad[0].tobytes() == weight.grad.tobytes()
+    assert bias_stacked.grad[0].tobytes() == bias.grad.tobytes()
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    seed=seeds,
+    d_in=dims,
+    d_out=dims,
+    momentum=st.sampled_from([0.0, 0.9]),
+    weight_decay=st.sampled_from([0.0, 0.01]),
+)
+def test_sgd_k1_steps_byte_identical(seed, d_in, d_out, momentum, weight_decay):
+    rng = np.random.default_rng(seed)
+    weight, weight_stacked = _param_pair(rng, d_in, d_out)
+    bias, bias_stacked = _param_pair(rng, d_out)
+    serial = SGD([weight, bias], lr=1e-2, momentum=momentum, weight_decay=weight_decay)
+    stacked = StackedSGD(
+        [weight_stacked, bias_stacked], 1, lr=1e-2,
+        momentum=momentum, weight_decay=weight_decay,
+    )
+    # Two steps with fresh gradients so the momentum buffer is exercised.
+    for _ in range(2):
+        serial.step()
+        stacked.step()
+        assert weight_stacked.data[0].tobytes() == weight.data.tobytes()
+        assert bias_stacked.data[0].tobytes() == bias.data.tobytes()
+        for fresh, params in ((rng.normal(size=(d_in, d_out)), (weight, weight_stacked)),
+                              (rng.normal(size=d_out), (bias, bias_stacked))):
+            for param in params:
+                param.zero_grad()
+            params[0].accumulate_grad(fresh)
+            params[1].accumulate_grad(fresh[None])
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=seeds, d_in=dims, d_out=dims, weight_decay=st.sampled_from([0.0, 0.01]))
+def test_adam_k1_steps_byte_identical(seed, d_in, d_out, weight_decay):
+    rng = np.random.default_rng(seed)
+    weight, weight_stacked = _param_pair(rng, d_in, d_out)
+    bias, bias_stacked = _param_pair(rng, d_out)
+    serial = Adam([weight, bias], lr=1e-3, weight_decay=weight_decay)
+    stacked = StackedAdam(
+        [weight_stacked, bias_stacked], 1, lr=1e-3, weight_decay=weight_decay
+    )
+    # Two steps so the bias-corrected moment estimates are exercised.
+    for _ in range(2):
+        serial.step()
+        stacked.step()
+        assert weight_stacked.data[0].tobytes() == weight.data.tobytes()
+        assert bias_stacked.data[0].tobytes() == bias.data.tobytes()
+        for fresh, params in ((rng.normal(size=(d_in, d_out)), (weight, weight_stacked)),
+                              (rng.normal(size=d_out), (bias, bias_stacked))):
+            for param in params:
+                param.zero_grad()
+            params[0].accumulate_grad(fresh)
+            params[1].accumulate_grad(fresh[None])
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=seeds, batch=batches, d_out=dims, weighted=st.booleans())
+def test_per_replica_loss_k1_byte_identical(seed, batch, d_out, weighted):
+    rng = np.random.default_rng(seed)
+    predictions = rng.normal(size=(batch, d_out))
+    targets = rng.normal(size=(batch, d_out))
+    weights = rng.random(batch) + 0.5 if weighted else None
+
+    loss = MSELoss()
+    value, grad = loss(predictions, targets, weights)
+    values, grads = PerReplicaLoss(MSELoss())(
+        predictions[None], targets[None], None if weights is None else weights[None]
+    )
+    assert values.shape == (1,) and values[0] == value
+    assert grads[0].tobytes() == grad.tobytes()
+
+
+# ----------------------------------------------------------------------
+# Packing-order / padding independence (K >= 2)
+# ----------------------------------------------------------------------
+
+
+def _train_step(layers, inputs, targets, order):
+    """One full stacked step (forward, loss, backward, clip, optimizer) over
+    ``layers`` packed in ``order``; returns per-replica result bits keyed by
+    the replica's original index, so packings can be compared directly."""
+    stack = StackedLinear([copy.deepcopy(layers[i]) for i in order])
+    optimizer = StackedAdam([stack.weight, stack.bias], len(order), lr=1e-3)
+    loss = PerReplicaLoss(MSELoss())
+    x = np.stack([inputs[i] for i in order])
+    t = np.stack([targets[i] for i in order])
+
+    optimizer.zero_grad()
+    out = stack.forward(x)
+    values, grads = loss(out, t)
+    grad_in = stack.backward(grads)
+    norms = stacked_clip_gradients(optimizer.parameters, 1.0, len(order))
+    optimizer.step()
+    return {
+        index: (
+            float(values[position]),
+            float(norms[position]),
+            out[position].tobytes(),
+            grad_in[position].tobytes(),
+            stack.weight.data[position].tobytes(),
+            stack.bias.data[position].tobytes(),
+        )
+        for position, index in enumerate(order)
+    }
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=seeds, batch=batches, d_in=dims, d_out=dims, k=stack_sizes)
+def test_stack_packing_order_and_padding_independence(seed, batch, d_in, d_out, k):
+    layers = [
+        Linear(d_in, d_out, rng=np.random.default_rng(seed + 7 * i + 1))
+        for i in range(k)
+    ]
+    rng = np.random.default_rng(seed)
+    inputs = rng.normal(size=(k, batch, d_in))
+    targets = rng.normal(size=(k, batch, d_out))
+
+    base = _train_step(layers, inputs, targets, list(range(k)))
+    # Order independence: a shuffled packing gives every replica its bits.
+    order = list(np.random.default_rng(seed + 3).permutation(k))
+    assert _train_step(layers, inputs, targets, order) == base
+    # Padding independence: dropping a stack-mate changes nothing for the
+    # replicas that remain (the clip threshold of 1.0 makes most replicas
+    # actually clip, so per-replica norm isolation is exercised too).
+    subset = list(range(k - 1))
+    trimmed = _train_step(layers, inputs, targets, subset)
+    for index in subset:
+        assert trimmed[index] == base[index]
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=seeds, batch=batches, features=dims, k=stack_sizes)
+def test_stacked_dropout_masks_are_position_independent(seed, batch, features, k):
+    layers = [Dropout(0.4, rng=np.random.default_rng(seed + i)) for i in range(k)]
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(k, batch, features))
+
+    def masks(order):
+        stacked = StackedDropout([copy.deepcopy(layers[i]) for i in order])
+        stacked.train()
+        out = stacked.forward(np.stack([x[i] for i in order]))
+        return {index: out[position].tobytes() for position, index in enumerate(order)}
+
+    base = masks(list(range(k)))
+    assert masks(list(reversed(range(k)))) == base

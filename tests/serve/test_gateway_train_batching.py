@@ -1,0 +1,107 @@
+"""Gateway-level ``train_batching``: envelope identity and rejection.
+
+``submit_many`` bursts mixing adapt, stream and predict traffic — with
+duplicate target ids forcing wave splits — must return envelopes
+identical to the serial gateway for any stacking factor and for either
+executor.  A gateway configured with an unstackable strategy must refuse
+to construct when ``train_batching`` is above one.
+"""
+
+import numpy as np
+import pytest
+from engine.scheme_oracle_fixture import build_fixture, fast_config
+
+from repro.engine.strategy import AdaptationStrategy
+from repro.serve.gateway import Gateway
+from repro.serve.protocol import AdaptRequest, PredictRequest, StreamRequest
+
+N_TARGETS = 6
+
+
+@pytest.fixture(scope="module")
+def fixture():
+    return build_fixture()
+
+
+@pytest.fixture(scope="module")
+def traffic():
+    rng = np.random.default_rng(23)
+    return {
+        "adapt": {f"a{k}": rng.normal(loc=0.3, size=(60, 4)) for k in range(N_TARGETS)},
+        "stream": [
+            {f"s{k}": rng.normal(loc=0.3 + 0.2 * r, size=(12, 4)) for k in range(N_TARGETS)}
+            for r in range(5)
+        ],
+        "probe": rng.normal(size=(9, 4)),
+    }
+
+
+def envelope_key(envelope):
+    payload = envelope.payload
+    if payload is not None:
+        payload = dict(payload)
+        for field in ("report", "event"):
+            if payload.get(field):
+                payload[field] = {
+                    k: v for k, v in payload[field].items() if k != "duration_seconds"
+                }
+        if "prediction" in payload:
+            payload["prediction"] = np.asarray(payload["prediction"]).tobytes()
+    return (envelope.ok, envelope.kind, envelope.target_id, str(payload), str(envelope.error))
+
+
+def run_gateway(fixture, traffic, train_batching=1, executor="thread"):
+    gateway = Gateway(
+        fixture["model"],
+        fixture["calibration"],
+        config=fast_config(),
+        n_shards=2,
+        shard_workers=2,
+        executor=executor,
+        train_batching=train_batching,
+        service_options={"min_adapt_events": 24, "readapt_budget": 24},
+        max_cached_models=16,
+    )
+    keys = []
+    try:
+        burst = [AdaptRequest(tid, data) for tid, data in traffic["adapt"].items()]
+        # Duplicate id inside one burst: the stacker must split it off into
+        # a later wave rather than put the same target twice in one stack.
+        burst.append(AdaptRequest("a0", traffic["adapt"]["a0"]))
+        keys.append([envelope_key(e) for e in gateway.submit_many(burst)])
+        for batches in traffic["stream"]:
+            requests = [StreamRequest(tid, batch) for tid, batch in batches.items()]
+            requests.append(StreamRequest("s1", batches["s1"]))
+            requests.append(PredictRequest("a1", traffic["probe"]))
+            keys.append([envelope_key(e) for e in gateway.submit_many(requests)])
+    finally:
+        gateway.close()
+    return keys
+
+
+@pytest.fixture(scope="module")
+def serial(fixture, traffic):
+    return run_gateway(fixture, traffic)
+
+
+@pytest.mark.parametrize(
+    "train_batching,executor",
+    [(3, "thread"), (6, "thread"), (3, "process")],
+    ids=["tb3-thread", "tb6-thread", "tb3-process"],
+)
+def test_gateway_stacked_envelopes_identical(fixture, traffic, serial, train_batching, executor):
+    assert run_gateway(fixture, traffic, train_batching, executor) == serial
+
+
+def test_gateway_rejects_unstackable_strategy_at_construction(fixture):
+    class NoStack(AdaptationStrategy):
+        name = "nostack"
+
+    with pytest.raises(ValueError, match="nostack"):
+        Gateway(
+            fixture["model"],
+            fixture["calibration"],
+            config=fast_config(),
+            strategy=NoStack(),
+            train_batching=4,
+        )
