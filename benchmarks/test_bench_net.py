@@ -1,0 +1,117 @@
+"""Throughput of the TCP transport against the in-process gateway.
+
+The socket transport costs serialization (JSON both ways), syscalls, and
+an event-loop hop per burst — this benchmark measures that tax on the
+same bursty multi-target workload the serving benchmark uses, so the two
+report entries are directly comparable.  ``NetClient.request_many``
+brackets each burst in blank markers, so the server coalesces exactly as
+``submit_many`` does: the wire run is the in-process run plus transport.
+
+The floor is deliberately honest rather than ambitious: TCP on loopback
+with JSON framing will not beat shared memory; the regression being
+guarded is the transport collapsing (per-request round-trips, lost
+batching) — which shows up as an order-of-magnitude gap, not a
+percentage.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.net import NetClient, NetServer
+from test_bench_serve import best_time, bursty_workload, make_gateway_fixture
+
+
+def test_tcp_burst_throughput_vs_in_process(record_bench, perf_check):
+    gateway, targets = make_gateway_fixture()
+    requests = bursty_workload(targets)
+
+    server = NetServer(gateway, max_pending=len(requests) + 1)
+    try:
+        host, port = server.start()
+        client = NetClient(host, port, timeout=60.0)
+
+        wire_envelopes = client.request_many(requests)
+        local_envelopes = gateway.submit_many(requests)
+        assert all(envelope.ok for envelope in wire_envelopes)
+        # Same burst semantics across the wire: the coalescing decisions
+        # (and therefore the predictions) match the in-process batch.
+        for wire, local in zip(wire_envelopes, local_envelopes):
+            assert wire.payload["coalesced"] == local.payload["coalesced"]
+            np.testing.assert_allclose(
+                np.asarray(wire.payload["prediction"]),
+                np.asarray(local.payload["prediction"]),
+                rtol=1e-9,
+                atol=1e-12,
+            )
+
+        tcp_time = best_time(lambda: client.request_many(requests))
+        local_time = best_time(lambda: gateway.submit_many(requests))
+        client.close()
+    finally:
+        server.stop()
+        gateway.close()
+
+    n = len(requests)
+    tcp_rps = n / tcp_time
+    overhead = tcp_time / local_time
+    text = (
+        f"[bench_net] TCP burst vs in-process submit_many, {n} bursty requests, "
+        f"{len(targets)} targets, 2 shards\n"
+        f"in-process submit_many:  {local_time * 1e3:8.1f} ms\n"
+        f"TCP request_many:        {tcp_time * 1e3:8.1f} ms  "
+        f"({tcp_rps:7.0f} req/s, {overhead:.2f}x in-process)"
+    )
+    print("\n" + text)
+    record_bench(
+        text,
+        tags={"transport": "tcp"},
+        wall_seconds={"tcp_burst": tcp_time, "in_process": local_time},
+    )
+    # The transport tax must stay a constant factor (measured ~10x: JSON
+    # both ways plus the loop hop), not a collapse to per-request round
+    # trips — which lands at ~40x on this workload.
+    perf_check(
+        overhead <= 25.0,
+        f"TCP burst transport is {overhead:.2f}x the in-process cost "
+        f"(bar: 25x — batching across the wire has collapsed)",
+    )
+
+
+def test_tcp_per_request_round_trips(record_bench, perf_check):
+    """The unbatched wire path: one request, one answer, per round trip."""
+    gateway, targets = make_gateway_fixture()
+    requests = bursty_workload(targets, n_requests=60)
+
+    server = NetServer(gateway, max_pending=64)
+    try:
+        host, port = server.start()
+        client = NetClient(host, port, timeout=60.0)
+        envelopes = [client.request(request) for request in requests]
+        assert all(envelope.ok for envelope in envelopes)
+
+        round_trip_time = best_time(
+            lambda: [client.request(request) for request in requests], repeats=3
+        )
+        client.close()
+    finally:
+        server.stop()
+        gateway.close()
+
+    per_request = round_trip_time / len(requests)
+    text = (
+        f"[bench_net] TCP per-request round trips, {len(requests)} requests\n"
+        f"round-trip latency:      {per_request * 1e6:8.0f} us/request "
+        f"({len(requests) / round_trip_time:7.0f} req/s)"
+    )
+    print("\n" + text)
+    record_bench(
+        text,
+        tags={"transport": "tcp"},
+        wall_seconds={"per_request_loop": round_trip_time},
+    )
+    perf_check(
+        per_request < 0.25,
+        f"one TCP round trip costs {per_request * 1e3:.1f} ms on loopback "
+        f"(bar: 250 ms — something is blocking the event loop)",
+    )

@@ -315,6 +315,74 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="record per-request spans and write them as JSON lines to this file at shutdown",
     )
+    serve_parser.add_argument(
+        "--listen",
+        default=None,
+        metavar="HOST:PORT",
+        help=(
+            "serve over TCP instead of stdin/stdout: concurrent connections, "
+            "per-connection ordering, bounded queues (port 0 picks a free port)"
+        ),
+    )
+    serve_parser.add_argument(
+        "--connect",
+        default=None,
+        metavar="HOST:PORT",
+        help=(
+            "client mode: forward stdin JSON lines to a --listen server and "
+            "print its envelopes (no local gateway)"
+        ),
+    )
+    serve_parser.add_argument(
+        "--max-pending",
+        type=int,
+        default=64,
+        metavar="N",
+        help=(
+            "per-connection admission bound under --listen; past it requests "
+            "are answered with typed 'overloaded' error envelopes"
+        ),
+    )
+    serve_parser.add_argument(
+        "--node",
+        default=None,
+        help=(
+            "cluster node name: stamped as a node= label on the transport's "
+            "net.* metrics (set by 'repro cluster')"
+        ),
+    )
+    serve_parser.add_argument(
+        "--workload-spec",
+        default=None,
+        metavar="SPEC.json",
+        help=(
+            "build the gateway from a WorkloadSpec JSON file instead of the "
+            "--task/--scale/... flags (what 'repro simulate --connect' "
+            "expects on the other end)"
+        ),
+    )
+
+    cluster_parser = subparsers.add_parser(
+        "cluster",
+        help=(
+            "supervise a multi-process cluster of TCP gateway nodes described "
+            "by a repro.cluster/v1 JSON map (one 'serve --listen' process per "
+            "node; SIGINT/SIGTERM drains them all)"
+        ),
+    )
+    cluster_parser.add_argument(
+        "--spec", required=True, help="path to a repro.cluster/v1 cluster map JSON file"
+    )
+    cluster_parser.add_argument(
+        "--placement",
+        nargs="+",
+        default=None,
+        metavar="TARGET",
+        help=(
+            "print the rendezvous node placement for these target ids and "
+            "exit without starting any process"
+        ),
+    )
 
     simulate_parser = subparsers.add_parser(
         "simulate",
@@ -371,7 +439,21 @@ def build_parser() -> argparse.ArgumentParser:
     simulate_parser.add_argument(
         "--verify-replay",
         action="store_true",
-        help="run the workload twice and assert the transcripts are byte-identical",
+        help=(
+            "run the workload twice and assert the transcripts are "
+            "byte-identical (with --connect: once over TCP and once "
+            "in-process, same assertion)"
+        ),
+    )
+    simulate_parser.add_argument(
+        "--connect",
+        default=None,
+        metavar="HOST:PORT",
+        help=(
+            "drive a freshly started 'serve --listen' server speaking this "
+            "spec (serve --workload-spec) instead of an in-process gateway; "
+            "every request crosses the socket"
+        ),
     )
     simulate_parser.add_argument(
         "--metrics-out",
@@ -433,6 +515,9 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "serve":
         return _serve(parser, args)
+
+    if args.command == "cluster":
+        return _cluster(parser, args)
 
     if args.command == "simulate":
         return _simulate(parser, args)
@@ -765,10 +850,23 @@ def _write_metrics_snapshot(snapshot: dict, path: str) -> None:
 
 
 def _serve(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
-    """Run the JSON-lines gateway loop over stdin/stdout."""
+    """Run the gateway loop — stdio, TCP server, or TCP client mode.
+
+    All three modes speak the same ``repro.serve/v1`` lines; only the
+    transport differs.  SIGINT/SIGTERM drain rather than kill in both
+    serving modes: in-flight requests finish, their envelopes flush,
+    ``--metrics-out``/``--trace`` are written, shard pools close, exit 0.
+    """
+    from .net import GracefulShutdown, parse_address
     from .obs import Tracer
     from .serve import Gateway, serve_loop
 
+    if args.listen and args.connect:
+        parser.error("--listen and --connect are mutually exclusive")
+    if args.connect and args.workload_spec:
+        parser.error("--connect is client mode; --workload-spec needs a local gateway")
+    if args.connect:
+        return _serve_connect(parser, args)
     if args.shards < 1:
         parser.error("--shards must be at least 1")
     if args.shard_workers < 1:
@@ -779,35 +877,86 @@ def _serve(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
         parser.error("--min-adapt must be at least 1")
     if args.budget < 1:
         parser.error("--budget must be at least 1")
+    if args.max_pending < 0:
+        parser.error("--max-pending must be non-negative")
 
     tracer = Tracer() if args.trace else None
     try:
-        gateway = Gateway.from_task(
-            args.task,
-            scheme=args.scheme,
-            scale=args.scale,
-            seed=args.seed,
-            n_shards=args.shards,
-            shard_workers=args.shard_workers,
-            executor=args.executor,
-            train_batching=args.train_batching,
-            max_cached_models=args.max_cached,
-            service_options={
-                "min_adapt_events": args.min_adapt,
-                "readapt_budget": args.budget,
-            },
-            tracer=tracer,
-        )
-    except ValueError as exc:
+        if args.workload_spec:
+            from .sim import build_gateway, load_spec
+
+            spec = load_spec(args.workload_spec)
+            gateway = build_gateway(spec, tracer=tracer)
+            described = f"spec={args.workload_spec}"
+        else:
+            gateway = Gateway.from_task(
+                args.task,
+                scheme=args.scheme,
+                scale=args.scale,
+                seed=args.seed,
+                n_shards=args.shards,
+                shard_workers=args.shard_workers,
+                executor=args.executor,
+                train_batching=args.train_batching,
+                max_cached_models=args.max_cached,
+                service_options={
+                    "min_adapt_events": args.min_adapt,
+                    "readapt_budget": args.budget,
+                },
+                tracer=tracer,
+            )
+            described = (
+                f"task={args.task} scheme={args.scheme} scale={args.scale} "
+                f"shards={args.shards}"
+            )
+    except (ValueError, OSError) as exc:
         parser.error(str(exc))
-    # Startup chatter goes to stderr: stdout carries envelopes, nothing else.
-    print(
-        f"[serve] ready task={args.task} scheme={args.scheme} scale={args.scale} "
-        f"shards={args.shards} (one JSON request per line; EOF to stop)",
-        file=sys.stderr,
-        flush=True,
-    )
-    served = serve_loop(gateway, sys.stdin, sys.stdout)
+
+    if args.listen:
+        from .net import NetServer
+
+        try:
+            host, port = parse_address(args.listen)
+        except ValueError as exc:
+            parser.error(str(exc))
+        server = NetServer(
+            gateway,
+            host,
+            port,
+            max_pending=args.max_pending,
+            node=args.node,
+        )
+
+        def ready(bound_host: str, bound_port: int) -> None:
+            # Startup chatter goes to stderr; the stable "listening on"
+            # marker is what scripts (and the CI smoke job) wait for.
+            print(
+                f"[serve] listening on {bound_host}:{bound_port} {described} "
+                f"max_pending={args.max_pending}"
+                + (f" node={args.node}" if args.node else ""),
+                file=sys.stderr,
+                flush=True,
+            )
+
+        server.run(ready=ready)  # blocks until SIGINT/SIGTERM, then drains
+        served = server.stats["served"]
+    else:
+        # Startup chatter goes to stderr: stdout carries envelopes, nothing else.
+        print(
+            f"[serve] ready {described} (one JSON request per line; EOF to stop)",
+            file=sys.stderr,
+            flush=True,
+        )
+        shutdown = GracefulShutdown()
+        try:
+            shutdown.install()
+        except ValueError:
+            shutdown = None  # not the main thread; EOF remains the only stop
+        try:
+            served = serve_loop(gateway, sys.stdin, sys.stdout, shutdown=shutdown)
+        finally:
+            if shutdown is not None:
+                shutdown.uninstall()
     print(f"[serve] done, {served} envelope(s)", file=sys.stderr)
     if args.metrics_out:
         _write_metrics_snapshot(gateway.metrics_snapshot(), args.metrics_out)
@@ -816,6 +965,105 @@ def _serve(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
         print(f"wrote {n_spans} trace span(s) to {args.trace}", file=sys.stderr)
     gateway.close()
     return 0
+
+
+def _serve_connect(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
+    """Client mode: stdin lines → remote server → stdout envelopes."""
+    from .net import NetClient, NetError, parse_address
+
+    try:
+        host, port = parse_address(args.connect)
+    except ValueError as exc:
+        parser.error(str(exc))
+    client = NetClient(host, port)
+    served = 0
+    try:
+        for line in sys.stdin:
+            try:
+                response = client.request_line(line)
+            except NetError as exc:
+                print(f"[serve] network error: {exc}", file=sys.stderr)
+                return 1
+            if response is None:
+                continue
+            try:
+                sys.stdout.write(response + "\n")
+                sys.stdout.flush()
+            except BrokenPipeError:
+                break
+            served += 1
+    finally:
+        client.close()
+    print(f"[serve] done, {served} envelope(s)", file=sys.stderr)
+    return 0
+
+
+def _cluster(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
+    """Supervise one ``serve --listen`` subprocess per cluster-map node.
+
+    Signals forward: SIGINT/SIGTERM here becomes SIGTERM to every node,
+    each node drains and exits 0, and the supervisor follows.  A node
+    dying on its own takes the cluster down (deliberately — a silently
+    half-sized cluster would misroute every target the dead node owned).
+    """
+    import signal as signal_module
+    import subprocess
+    import time
+
+    from .net import ClusterRouter, load_cluster_map, node_command
+
+    try:
+        cluster_map = load_cluster_map(args.spec)
+    except (ValueError, OSError) as exc:
+        parser.error(str(exc))
+
+    if args.placement:
+        router = ClusterRouter(cluster_map.names)
+        for target in args.placement:
+            print(f"{target}\t{router.node_for(target)}")
+        return 0
+
+    processes = []
+    for node in cluster_map.nodes:
+        command = node_command(cluster_map, node)
+        print(
+            f"[cluster] starting node {node.name} on {node.host}:{node.port}",
+            file=sys.stderr,
+            flush=True,
+        )
+        processes.append(subprocess.Popen(command))
+
+    stopping = {"requested": False}
+
+    def forward(signum, frame) -> None:
+        stopping["requested"] = True
+        for process in processes:
+            if process.poll() is None:
+                process.send_signal(signal_module.SIGTERM)
+
+    previous = {
+        signum: signal_module.signal(signum, forward)
+        for signum in (signal_module.SIGINT, signal_module.SIGTERM)
+    }
+    try:
+        while True:
+            codes = [process.poll() for process in processes]
+            if all(code is not None for code in codes):
+                exit_code = 0 if all(code == 0 for code in codes) else 1
+                break
+            if not stopping["requested"] and any(code is not None for code in codes):
+                print(
+                    "[cluster] a node exited unexpectedly; draining the rest",
+                    file=sys.stderr,
+                    flush=True,
+                )
+                forward(None, None)
+            time.sleep(0.1)
+    finally:
+        for signum, handler in previous.items():
+            signal_module.signal(signum, handler)
+    print(f"[cluster] all {len(processes)} node(s) exited", file=sys.stderr)
+    return exit_code
 
 
 def _simulate(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
@@ -829,8 +1077,16 @@ def _simulate(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
     invariant held (and, under ``--verify-replay``, the replay matched).
     """
     from .obs import Tracer
-    from .sim import load_spec, run_simulation, verify_replay
+    from .sim import load_spec, run_simulation, verify_replay, verify_transport
 
+    address = None
+    if args.connect:
+        from .net import parse_address
+
+        try:
+            address = parse_address(args.connect)
+        except ValueError as exc:
+            parser.error(str(exc))
     try:
         spec = load_spec(args.spec)
         overrides = {}
@@ -856,7 +1112,21 @@ def _simulate(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
     tracer = Tracer() if args.trace else None
     replay_ok, replay_detail = True, None
     try:
-        if args.verify_replay:
+        if address is not None and args.verify_replay:
+            # Transport transparency: TCP leg against the live server,
+            # in-process leg from scratch, byte-compared.
+            replay_ok, replay_detail, result, _ = verify_transport(
+                spec, address=address, tracer=tracer
+            )
+        elif address is not None:
+            from .net import RemoteGateway
+
+            remote = RemoteGateway(*address, n_shards=spec.n_shards)
+            try:
+                result = run_simulation(spec, gateway=remote)
+            finally:
+                remote.close()
+        elif args.verify_replay:
             replay_ok, replay_detail, result = verify_replay(spec, tracer=tracer)
         else:
             result = run_simulation(spec, tracer=tracer)
@@ -875,14 +1145,16 @@ def _simulate(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
         sys.stdout.flush()
 
     print(result.summary(), file=sys.stderr)
+    determinism = "transport_determinism" if args.connect else "replay_determinism"
     if args.verify_replay:
         status = "ok (byte-identical)" if replay_ok else f"FAIL\n{replay_detail}"
-        print(f"  invariant replay_determinism: {status}", file=sys.stderr)
+        print(f"  invariant {determinism}: {status}", file=sys.stderr)
 
     if args.report:
         report = result.to_dict()
         report["replay_determinism"] = {
             "checked": bool(args.verify_replay),
+            "mode": "transport" if args.connect else "replay",
             "ok": replay_ok,
             "detail": replay_detail,
         }

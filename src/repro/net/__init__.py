@@ -1,0 +1,57 @@
+"""Networked serving: the socket transport and multi-process cluster mode.
+
+Everything below ``repro.net`` moves bytes; nothing below it decides what
+they mean.  The wire format is the unchanged ``repro.serve/v1`` JSON-lines
+codec — the same :func:`repro.serve.decode_line` / ``Envelope`` pair the
+stdio loop speaks — so a request answered over a socket is byte-identical
+to the same request answered over a pipe, and the simulator can verify
+exactly that (:func:`repro.sim.verify_transport`).
+
+Layers, bottom up:
+
+* :class:`LineFramer` — byte stream → decoded lines, chunking-invariant
+  and total (junk never escapes the error-envelope discipline);
+* :class:`NetServer` — asyncio TCP server: concurrent connections, strict
+  per-connection ordering, bounded queues, typed ``overloaded`` shedding,
+  graceful drain on SIGINT/SIGTERM;
+* :class:`NetClient` / :class:`RemoteGateway` — the matching synchronous
+  client and the gateway-surface adapter the CLI and simulator drive;
+* :class:`ClusterRouter` / :class:`ClusterClient` — rendezvous placement
+  across N server processes (``repro.cluster/v1`` map), preserving the
+  grow-without-reshuffling invariant of shard placement;
+* :class:`GracefulShutdown` — the stdio loop's half of drain-on-signal.
+"""
+
+from .client import NetClient, NetError, RemoteGateway
+from .cluster import (
+    CLUSTER_SCHEMA,
+    ClusterClient,
+    ClusterMap,
+    ClusterRouter,
+    NodeSpec,
+    load_cluster_map,
+    node_command,
+)
+from .framing import MAX_LINE_BYTES, LineFramer
+from .server import NetServer, overloaded_envelope, parse_address
+from .shutdown import GracefulShutdown, ShutdownRequested
+
+__all__ = [
+    "CLUSTER_SCHEMA",
+    "MAX_LINE_BYTES",
+    "ClusterClient",
+    "ClusterMap",
+    "ClusterRouter",
+    "GracefulShutdown",
+    "LineFramer",
+    "NetClient",
+    "NetError",
+    "NetServer",
+    "NodeSpec",
+    "RemoteGateway",
+    "ShutdownRequested",
+    "load_cluster_map",
+    "node_command",
+    "overloaded_envelope",
+    "parse_address",
+]

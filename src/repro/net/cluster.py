@@ -1,0 +1,291 @@
+"""Cluster mode: N gateway processes behind one rendezvous-hashed router.
+
+A cluster is described by a tiny JSON map (``repro.cluster/v1``)::
+
+    {
+      "schema": "repro.cluster/v1",
+      "serve_args": ["--task", "housing", "--scale", "tiny", "--shards", "2"],
+      "nodes": [
+        {"name": "a", "host": "127.0.0.1", "port": 7601},
+        {"name": "b", "host": "127.0.0.1", "port": 7602}
+      ]
+    }
+
+Each node is one ``repro serve --listen`` process — its own gateway, its
+own shards, its own process workers.  There is no per-target table:
+placement is *computed*, the same rendezvous hashing the gateway already
+uses for shard placement (PR 4), extended one level up with a node-name
+salt.  The full placement of a target is therefore two pure functions::
+
+    node  = argmax over node names  of H(target_id, "node:" + name)
+    shard = argmax over shard index of H(target_id, "shard" + i)   # inside that node
+
+and the PR 4 growth invariant holds at both levels: adding node ``c``
+moves *some* targets to ``c`` and moves **nothing** between ``a`` and
+``b`` — every target's weight against the old nodes is unchanged, so a
+target relocates only if the new node outbids them all.  Capacity grows by
+adding processes; no reshuffle storm, no state migration between
+survivors.
+
+:class:`ClusterRouter` is the placement function; :class:`ClusterClient`
+wraps it around per-node :class:`~repro.net.client.NetClient` connections
+to present the familiar ``submit`` / ``submit_many`` surface for a whole
+fleet of processes.  ``repro cluster --spec map.json`` (see
+:func:`node_command` and the CLI) supervises the processes themselves.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import sys
+import threading
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..obs import MetricsRegistry
+from ..serve.protocol import Envelope, MetricsRequest, Request
+from .client import NetClient, NetError
+
+__all__ = [
+    "CLUSTER_SCHEMA",
+    "ClusterClient",
+    "ClusterMap",
+    "ClusterRouter",
+    "NodeSpec",
+    "load_cluster_map",
+    "node_command",
+]
+
+CLUSTER_SCHEMA = "repro.cluster/v1"
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """One gateway process in the cluster map."""
+
+    name: str
+    host: str
+    port: int
+    serve_args: tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class ClusterMap:
+    """A validated ``repro.cluster/v1`` document."""
+
+    nodes: tuple[NodeSpec, ...]
+    serve_args: tuple[str, ...] = ()
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(node.name for node in self.nodes)
+
+    def node(self, name: str) -> NodeSpec:
+        for node in self.nodes:
+            if node.name == name:
+                return node
+        raise KeyError(name)
+
+
+def load_cluster_map(source) -> ClusterMap:
+    """Parse and validate a cluster map from a path, JSON text, or dict.
+
+    Validation is strict in the same spirit as request decoding: unknown
+    keys, duplicate node names, and duplicate addresses are errors at load
+    time, not surprises at routing time.
+    """
+    if isinstance(source, (str, Path)) and not str(source).lstrip().startswith("{"):
+        data = json.loads(Path(source).read_text(encoding="utf-8"))
+    elif isinstance(source, str):
+        data = json.loads(source)
+    else:
+        data = source
+    if not isinstance(data, dict):
+        raise ValueError("cluster map must be a JSON object")
+    if data.get("schema") != CLUSTER_SCHEMA:
+        raise ValueError(
+            f"unsupported cluster schema: {data.get('schema')!r} "
+            f"(expected {CLUSTER_SCHEMA!r})"
+        )
+    unknown = set(data) - {"schema", "nodes", "serve_args"}
+    if unknown:
+        raise ValueError(f"unknown cluster map keys: {sorted(unknown)}")
+    raw_nodes = data.get("nodes")
+    if not isinstance(raw_nodes, list) or not raw_nodes:
+        raise ValueError("cluster map needs a non-empty 'nodes' list")
+    nodes: list[NodeSpec] = []
+    for entry in raw_nodes:
+        if not isinstance(entry, dict):
+            raise ValueError(f"node entry must be an object: {entry!r}")
+        extra = set(entry) - {"name", "host", "port", "serve_args"}
+        if extra:
+            raise ValueError(f"unknown node keys: {sorted(extra)}")
+        name, port = entry.get("name"), entry.get("port")
+        if not isinstance(name, str) or not name:
+            raise ValueError(f"node needs a non-empty string name: {entry!r}")
+        if not isinstance(port, int) or isinstance(port, bool) or not 0 < port < 65536:
+            raise ValueError(f"node {name!r} needs a port in 1..65535")
+        host = entry.get("host", "127.0.0.1")
+        if not isinstance(host, str) or not host:
+            raise ValueError(f"node {name!r} host must be a non-empty string")
+        args = entry.get("serve_args", [])
+        if not isinstance(args, list) or not all(isinstance(a, str) for a in args):
+            raise ValueError(f"node {name!r} serve_args must be a list of strings")
+        nodes.append(NodeSpec(name=name, host=host, port=port, serve_args=tuple(args)))
+    names = [node.name for node in nodes]
+    if len(set(names)) != len(names):
+        raise ValueError("node names must be unique")
+    addresses = [(node.host, node.port) for node in nodes]
+    if len(set(addresses)) != len(addresses):
+        raise ValueError("node host:port addresses must be unique")
+    shared = data.get("serve_args", [])
+    if not isinstance(shared, list) or not all(isinstance(a, str) for a in shared):
+        raise ValueError("serve_args must be a list of strings")
+    return ClusterMap(nodes=tuple(nodes), serve_args=tuple(shared))
+
+
+def _node_weight(target_id: str, name: str) -> int:
+    """Rendezvous weight of ``(target, node)``, salted apart from shards.
+
+    The salt (``"node:"``) keeps the node-level draw independent of the
+    shard-level draw inside each node — the same target id feeds both
+    lotteries without one biasing the other.
+    """
+    digest = hashlib.sha256(f"{target_id}\x00node:{name}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "little")
+
+
+class ClusterRouter:
+    """Pure placement: target id → node name, by highest rendezvous weight.
+
+    Deterministic across processes (no state, no seeds) and monotonic
+    under growth: a target changes nodes only when a *new* node outbids
+    every existing one, never because two existing nodes swapped ranks.
+    """
+
+    def __init__(self, names) -> None:
+        self.names = tuple(names)
+        if not self.names:
+            raise ValueError("a cluster needs at least one node")
+        if len(set(self.names)) != len(self.names):
+            raise ValueError("node names must be unique")
+
+    def node_for(self, target_id: str) -> str:
+        return max(self.names, key=lambda name: (_node_weight(target_id, name), name))
+
+    def placement(self, target_ids) -> dict[str, str]:
+        """Batch helper: ``{target_id: node_name}`` for a whole fleet."""
+        return {target_id: self.node_for(target_id) for target_id in target_ids}
+
+
+class ClusterClient:
+    """``submit`` / ``submit_many`` across every node of a live cluster.
+
+    Routing is per target id via :class:`ClusterRouter`; a burst is split
+    into per-node sub-bursts (relative order preserved, so per-node
+    micro-batching sees the same neighbours it would in a one-node world)
+    and the answers are scattered back into request order.
+
+    Fleet-wide requests (``target_id=None``: report-all, metrics) have no
+    single home; :meth:`submit` sends them to the *first* node and
+    :meth:`metrics_snapshot` does the honest thing — queries every node
+    and merges, each node's entries labeled ``node=<name>``.
+
+    Thread-safe the same way :class:`RemoteGateway` is: each thread gets
+    its own connection per node.
+    """
+
+    def __init__(self, cluster_map: ClusterMap, *, timeout: float = 30.0, retries: int = 2):
+        self.map = cluster_map
+        self.router = ClusterRouter(cluster_map.names)
+        self.timeout = float(timeout)
+        self.retries = int(retries)
+        self._tls = threading.local()
+        self._all_clients: list[NetClient] = []
+        self._lock = threading.Lock()
+
+    def _client(self, name: str) -> NetClient:
+        clients = getattr(self._tls, "clients", None)
+        if clients is None:
+            clients = self._tls.clients = {}
+        client = clients.get(name)
+        if client is None:
+            node = self.map.node(name)
+            client = NetClient(
+                node.host, node.port, timeout=self.timeout, retries=self.retries
+            )
+            clients[name] = client
+            with self._lock:
+                self._all_clients.append(client)
+        return client
+
+    def submit(self, request: Request) -> Envelope:
+        name = (
+            self.router.node_for(request.target_id)
+            if request.target_id is not None
+            else self.map.names[0]
+        )
+        return self._client(name).request(request)
+
+    def submit_many(self, requests) -> list[Envelope]:
+        requests = list(requests)
+        by_node: dict[str, list[int]] = {}
+        for index, request in enumerate(requests):
+            name = (
+                self.router.node_for(request.target_id)
+                if request.target_id is not None
+                else self.map.names[0]
+            )
+            by_node.setdefault(name, []).append(index)
+        envelopes: list[Envelope | None] = [None] * len(requests)
+        for name, indices in by_node.items():
+            answers = self._client(name).request_many(
+                [requests[index] for index in indices]
+            )
+            for index, envelope in zip(indices, answers):
+                envelopes[index] = envelope
+        return envelopes  # type: ignore[return-value]
+
+    def metrics_snapshot(self) -> dict:
+        """Every node's snapshot merged, entries labeled ``node=<name>``."""
+        merged = MetricsRegistry()
+        for node in self.map.nodes:
+            envelope = self._client(node.name).request(MetricsRequest())
+            if not envelope.ok or not envelope.payload:
+                raise NetError(f"node {node.name!r} metrics request failed: {envelope.error}")
+            merged.merge(envelope.payload["metrics"], extra_labels={"node": node.name})
+        return merged.snapshot()
+
+    def close(self) -> None:
+        with self._lock:
+            clients, self._all_clients = list(self._all_clients), []
+        for client in clients:
+            client.close()
+
+    def __enter__(self) -> "ClusterClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def node_command(cluster_map: ClusterMap, node: NodeSpec, python: str | None = None) -> list[str]:
+    """The ``repro serve`` argv that runs one cluster node.
+
+    Shared ``serve_args`` come first, per-node ``serve_args`` after (so a
+    node can override a shared flag); the supervisor (``repro cluster``)
+    spawns one of these per node and forwards its own signals.
+    """
+    return [
+        python or sys.executable,
+        "-m",
+        "repro.cli",
+        "serve",
+        "--listen",
+        f"{node.host}:{node.port}",
+        "--node",
+        node.name,
+        *cluster_map.serve_args,
+        *node.serve_args,
+    ]

@@ -1,0 +1,84 @@
+"""Incremental line framing for the socket transport.
+
+TCP delivers a byte *stream*: one client ``write`` can arrive split across
+many reads, or glued to its neighbours, and a malicious (or broken) peer can
+send bytes that are not UTF-8 at all.  :class:`LineFramer` turns that stream
+back into the JSON lines the ``repro.serve/v1`` codec expects, with two
+promises the property tests pin:
+
+* **chunking invariance** — feeding a byte stream in arbitrary pieces
+  yields exactly the lines that splitting the whole stream at once would;
+* **totality** — the framer never raises.  Bytes that do not decode as
+  UTF-8 become replacement characters, which then fail JSON decoding and
+  come back as the documented ``"invalid"`` error envelope.  Junk stays
+  inside the envelope discipline; it never tears a connection down.
+
+The framer is transport-level only: it splits and decodes, nothing more.
+Request decoding stays in :func:`repro.serve.decode_line`, shared with the
+stdio loop, so both transports answer malformed input identically.
+"""
+
+from __future__ import annotations
+
+__all__ = ["LineFramer", "MAX_LINE_BYTES"]
+
+#: Upper bound on one wire line (16 MiB).  A line that long is not a request
+#: — it is a memory-exhaustion attempt or a framing bug; the framer turns it
+#: into a (single) guaranteed-invalid line instead of buffering forever.
+MAX_LINE_BYTES = 16 * 1024 * 1024
+
+
+class LineFramer:
+    """Split a byte stream into decoded text lines, incrementally.
+
+    Feed arbitrary byte chunks with :meth:`feed`; each call returns the
+    lines completed by that chunk (newline-terminated, terminator removed).
+    At EOF, :meth:`flush` returns any unterminated tail as a final line.
+    """
+
+    __slots__ = ("_buffer", "_max_line", "_overflowed")
+
+    def __init__(self, max_line_bytes: int = MAX_LINE_BYTES) -> None:
+        self._buffer = bytearray()
+        self._max_line = int(max_line_bytes)
+        self._overflowed = False
+
+    def feed(self, data: bytes) -> list[str]:
+        """Absorb one chunk; return the text lines it completed, in order."""
+        self._buffer.extend(data)
+        if b"\n" not in data and len(self._buffer) <= self._max_line:
+            return []
+        lines: list[str] = []
+        while True:
+            index = self._buffer.find(b"\n")
+            if index < 0:
+                if len(self._buffer) > self._max_line:
+                    # Discard the oversized prefix but remember we did: the
+                    # eventual newline must still produce exactly one
+                    # (invalid) line, not silently resynchronize.
+                    self._overflowed = True
+                    del self._buffer[:]
+                break
+            raw = bytes(self._buffer[:index])
+            del self._buffer[: index + 1]
+            lines.append(self._decode(raw))
+        return lines
+
+    def flush(self) -> str | None:
+        """Return the unterminated tail as a final line (``None`` if empty)."""
+        if not self._buffer and not self._overflowed:
+            return None
+        raw = bytes(self._buffer)
+        del self._buffer[:]
+        line = self._decode(raw)
+        return line if line.strip() else None
+
+    def _decode(self, raw: bytes) -> str:
+        if self._overflowed:
+            self._overflowed = False
+            return '"line exceeded the transport limit'  # cannot be valid JSON
+        # errors="replace" keeps the framer total: undecodable bytes become
+        # U+FFFD, fail JSON parsing downstream, and answer as an error
+        # envelope — the same fate as any other junk line.
+        text = raw.decode("utf-8", errors="replace")
+        return text[:-1] if text.endswith("\r") else text

@@ -1,0 +1,451 @@
+"""The asyncio socket transport: ``repro serve --listen HOST:PORT``.
+
+:class:`NetServer` puts the unchanged ``repro.serve/v1`` JSON-lines codec
+on a TCP socket.  One connection speaks exactly the stdio protocol — one
+request per line in, one envelope per line out, malformed lines answered as
+``"invalid"`` error envelopes — while the server as a whole adds what a
+pipe never needed:
+
+* **concurrent connections** — every connection gets its own reader task,
+  bounded queue, and worker task; gateway work runs on a shared thread
+  pool, so clients make progress independently;
+* **strict per-connection ordering** — a connection's envelopes come back
+  in exactly the order its requests went in, whatever the gateway
+  parallelism behind them (responses carry no request id; order *is* the
+  correlation, exactly as on stdio);
+* **burst framing** — a blank line toggles burst accumulation: lines
+  between two blank markers are submitted as one
+  :meth:`~repro.serve.Gateway.submit_many` burst (micro-batched predicts,
+  stacked training), lines outside markers are answered one by one.  Blank
+  lines are no-ops in the stdio codec, so the markers cost nothing and an
+  interactive client that never sends them gets per-line answers — and an
+  unterminated burst flushes at EOF, so nothing ever hangs;
+* **bounded queues with explicit backpressure** — each connection admits at
+  most ``max_pending`` undispatched requests.  Beyond that, requests are
+  *shed*: answered immediately-in-order with a typed ``overloaded`` error
+  envelope, never silently dropped.  Beyond the hard cap (shed markers
+  included) the server simply stops reading the socket, pushing the
+  pressure into the kernel's TCP window — a stalled or flooding client
+  parks, bounded, without starving anyone else;
+* **graceful shutdown** — SIGINT/SIGTERM (or :meth:`stop`) stops accepting,
+  feeds EOF to every open connection, lets queued requests finish and
+  their envelopes flush, then tears the pool down.  ``repro serve`` then
+  flushes ``--metrics-out``/``--trace`` and exits 0.
+
+Telemetry lands in the gateway's own :class:`~repro.obs.MetricsRegistry`
+(``net.*`` counters labeled per connection, plus ``node=`` when the server
+is a named cluster member), so one ``--metrics-out`` snapshot covers the
+transport and the fleet behind it, and the simulator's
+``metrics_accounting`` invariant can reconcile accepted/shed counts against
+the envelope transcript.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import signal
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+from ..obs import MetricsRegistry
+from ..serve.loop import Session, decode_line
+from ..serve.protocol import Envelope, Request
+from .framing import LineFramer
+
+__all__ = ["NetServer", "overloaded_envelope", "parse_address"]
+
+#: Sentinel queue item: the connection's input ended (EOF or shutdown).
+_EOF = object()
+
+
+def parse_address(text: str) -> tuple[str, int]:
+    """Parse ``HOST:PORT`` (IPv6 hosts may be bracketed); raises ValueError."""
+    host, sep, port = text.rpartition(":")
+    if not sep or not port.isdigit():
+        raise ValueError(f"expected HOST:PORT, got {text!r}")
+    host = host.strip("[]") or "127.0.0.1"
+    return host, int(port)
+
+
+def overloaded_envelope(request: Request, limit: int) -> Envelope:
+    """The typed error envelope a shed request is answered with.
+
+    ``error.type`` is the literal string ``"overloaded"`` — not an
+    exception class name — so clients can match on it without knowing
+    server internals.  Shedding is deterministic-by-position: the envelope
+    takes the shed request's place in the connection's response order.
+    """
+    return Envelope(
+        ok=False,
+        kind=request.kind,
+        target_id=request.target_id,
+        error={
+            "type": "overloaded",
+            "message": (
+                f"connection queue is full ({limit} request(s) pending); "
+                "this request was not executed — retry after draining "
+                "responses"
+            ),
+        },
+    )
+
+
+class _Connection:
+    """Per-connection state: the queue, the counters, the completion event."""
+
+    __slots__ = (
+        "conn_id",
+        "reader",
+        "writer",
+        "queue",
+        "pending_work",
+        "drained",
+        "done",
+        "dead",
+        "peak_depth",
+    )
+
+    def __init__(self, conn_id: str, reader, writer) -> None:
+        self.conn_id = conn_id
+        self.reader = reader
+        self.writer = writer
+        self.queue: asyncio.Queue = asyncio.Queue()
+        self.pending_work = 0  # admitted requests not yet executed
+        self.drained = asyncio.Event()  # pulsed by the worker after each pop
+        self.done = asyncio.Event()  # set when reader+worker have finished
+        self.dead = False  # write side failed; stop executing for it
+        self.peak_depth = 0
+
+
+class NetServer:
+    """Serve a :class:`~repro.serve.Gateway` over TCP JSON lines.
+
+    Parameters
+    ----------
+    gateway:
+        Anything with the gateway submission surface (``submit`` /
+        ``submit_many``); tests use stubs, production uses the real thing.
+    host, port:
+        Bind address; port 0 picks an ephemeral port (see :attr:`address`).
+    max_pending:
+        Per-connection admission bound: requests admitted but not yet
+        executed.  At the bound, new requests are shed with
+        :func:`overloaded_envelope`.  ``0`` sheds everything — useful for
+        testing client overload handling.
+    hard_cap:
+        Per-connection queue ceiling (admitted work + shed markers + burst
+        markers).  At the ceiling the reader stops reading entirely until
+        the worker drains — TCP backpressure, bounded memory.  Defaults to
+        ``4 * max_pending + 16``.
+    workers:
+        Threads executing gateway calls across all connections.
+    node:
+        Optional cluster-node name, stamped as a ``node=`` label on every
+        ``net.*`` metric this server records.
+    metrics:
+        Registry for the ``net.*`` transport counters.  Defaults to the
+        gateway's own registry so one snapshot covers transport + fleet.
+    drain_timeout:
+        Seconds graceful shutdown waits for open connections to finish
+        their queued work before cancelling them.
+    """
+
+    def __init__(
+        self,
+        gateway,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        max_pending: int = 64,
+        hard_cap: int | None = None,
+        workers: int = 8,
+        node: str | None = None,
+        metrics: MetricsRegistry | None = None,
+        drain_timeout: float = 10.0,
+    ) -> None:
+        if max_pending < 0:
+            raise ValueError("max_pending must be non-negative")
+        if workers < 1:
+            raise ValueError("workers must be at least 1")
+        self.gateway = gateway
+        self.host = host
+        self.port = port
+        self.max_pending = int(max_pending)
+        self.hard_cap = int(hard_cap) if hard_cap is not None else 4 * self.max_pending + 16
+        if self.hard_cap <= self.max_pending:
+            raise ValueError("hard_cap must exceed max_pending")
+        self.workers = int(workers)
+        self.node = node
+        registry = metrics if metrics is not None else getattr(gateway, "metrics", None)
+        base = registry if isinstance(registry, MetricsRegistry) else MetricsRegistry()
+        self.metrics = base.labeled(node=node) if node is not None else base
+        self.drain_timeout = float(drain_timeout)
+        self.session = Session(gateway)
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._stop_event: asyncio.Event | None = None
+        self._pool: ThreadPoolExecutor | None = None
+        self._conns: set[_Connection] = set()
+        self._next_conn = 0
+        self._bound: tuple[str, int] | None = None
+        self._thread: threading.Thread | None = None
+        self._started = threading.Event()
+        self._thread_error: BaseException | None = None
+        # Plain-int transport stats, loop-thread-mutated, safe to read anywhere.
+        self.stats = {
+            "connections_opened": 0,
+            "connections_closed": 0,
+            "lines": 0,
+            "accepted": 0,
+            "shed": 0,
+            "invalid": 0,
+            "bursts": 0,
+            "served": 0,
+            "peak_queue_depth": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound ``(host, port)`` — meaningful once serving started."""
+        if self._bound is None:
+            raise RuntimeError("server is not bound yet")
+        return self._bound
+
+    def run(self, ready=None, install_signals: bool = True) -> None:
+        """Serve until :meth:`stop` or SIGINT/SIGTERM; blocks the caller.
+
+        ``ready(host, port)`` fires once the listening socket is bound.
+        Signal handlers are installed only when the event loop allows it
+        (main thread of the main interpreter).
+        """
+        asyncio.run(self._main(ready=ready, install_signals=install_signals))
+
+    def start(self) -> tuple[str, int]:
+        """Serve on a daemon thread; returns the bound address (tests)."""
+        if self._thread is not None:
+            raise RuntimeError("server already started")
+
+        def runner() -> None:
+            try:
+                asyncio.run(self._main(install_signals=False))
+            except BaseException as exc:  # surfaced on stop()/join
+                self._thread_error = exc
+                self._started.set()
+
+        self._thread = threading.Thread(target=runner, name="net-server", daemon=True)
+        self._thread.start()
+        self._started.wait(timeout=30.0)
+        if self._thread_error is not None:
+            raise RuntimeError("server failed to start") from self._thread_error
+        if self._bound is None:
+            raise RuntimeError("server did not bind within 30s")
+        return self._bound
+
+    def stop(self) -> None:
+        """Request graceful shutdown (thread-safe); joins a started thread."""
+        loop, stop_event = self._loop, self._stop_event
+        if loop is not None and stop_event is not None and not loop.is_closed():
+            try:
+                loop.call_soon_threadsafe(stop_event.set)
+            except RuntimeError:
+                pass  # loop already closed: nothing left to stop
+        if self._thread is not None:
+            self._thread.join(timeout=self.drain_timeout + 30.0)
+            self._thread = None
+        if self._thread_error is not None:
+            error, self._thread_error = self._thread_error, None
+            raise RuntimeError("server thread failed") from error
+
+    def __enter__(self) -> "NetServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # The event loop
+    # ------------------------------------------------------------------
+    async def _main(self, ready=None, install_signals: bool = True) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop_event = asyncio.Event()
+        if install_signals:
+            for signum in (signal.SIGINT, signal.SIGTERM):
+                try:
+                    self._loop.add_signal_handler(signum, self._stop_event.set)
+                except (NotImplementedError, RuntimeError, ValueError):
+                    break  # non-main thread or unsupported platform
+        self._pool = ThreadPoolExecutor(
+            max_workers=self.workers, thread_name_prefix="net-serve"
+        )
+        server = await asyncio.start_server(self._on_connection, self.host, self.port)
+        self._bound = server.sockets[0].getsockname()[:2]
+        self._started.set()
+        if ready is not None:
+            ready(*self._bound)
+        try:
+            await self._stop_event.wait()
+        finally:
+            server.close()
+            await server.wait_closed()
+            await self._drain_connections()
+            self._pool.shutdown(wait=True)
+            self._loop = None
+            self._stop_event = None
+
+    async def _drain_connections(self) -> None:
+        """Feed EOF to every open connection; wait for queued work to flush."""
+        conns = list(self._conns)
+        for conn in conns:
+            conn.reader.feed_eof()
+        if not conns:
+            return
+        waits = [asyncio.create_task(conn.done.wait()) for conn in conns]
+        done, pending = await asyncio.wait(waits, timeout=self.drain_timeout)
+        for task in pending:
+            task.cancel()
+        if pending:
+            # Past the drain deadline (a parked client that never reads,
+            # a wedged backend): force the sockets closed rather than hang.
+            for conn in conns:
+                if not conn.done.is_set():
+                    conn.dead = True
+                    conn.writer.close()
+
+    # ------------------------------------------------------------------
+    # Per-connection reader
+    # ------------------------------------------------------------------
+    async def _on_connection(self, reader, writer) -> None:
+        conn = _Connection(str(self._next_conn), reader, writer)
+        self._next_conn += 1
+        self._conns.add(conn)
+        self.stats["connections_opened"] += 1
+        self.metrics.counter("net.connections.opened")
+        self.metrics.gauge_add("net.connections.active", 1)
+        worker = asyncio.create_task(self._worker(conn))
+        framer = LineFramer()
+        try:
+            while True:
+                chunk = await reader.read(65536)
+                if not chunk:
+                    break
+                for line in framer.feed(chunk):
+                    await self._ingest(conn, line)
+            tail = framer.flush()
+            if tail is not None:
+                await self._ingest(conn, tail)
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            pass  # abrupt client death: the worker drains and we fold up
+        finally:
+            await conn.queue.put(_EOF)
+            self._bump_depth(conn)
+            await worker
+            conn.writer.close()
+            try:
+                await conn.writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+            self._conns.discard(conn)
+            self.stats["connections_closed"] += 1
+            self.metrics.counter("net.connections.closed")
+            self.metrics.gauge_add("net.connections.active", -1)
+            self.metrics.gauge_set("net.queue_depth", 0, conn=conn.conn_id)
+            conn.done.set()
+
+    async def _ingest(self, conn: _Connection, line: str) -> None:
+        """Admit, shed, or mark one received line; apply the hard cap."""
+        request, error = decode_line(line)
+        if request is None and error is None:
+            item = ("mark",)  # blank line: burst-framing toggle
+        else:
+            self.stats["lines"] += 1
+            self.metrics.counter("net.lines", conn=conn.conn_id)
+            if error is not None:
+                self.stats["invalid"] += 1
+                self.metrics.counter("net.invalid", conn=conn.conn_id)
+                item = ("reply", error)
+            elif conn.pending_work >= self.max_pending:
+                self.stats["shed"] += 1
+                self.metrics.counter("net.shed", conn=conn.conn_id)
+                item = ("reply", overloaded_envelope(request, self.max_pending))
+            else:
+                self.stats["accepted"] += 1
+                self.metrics.counter("net.accepted", conn=conn.conn_id)
+                conn.pending_work += 1
+                item = ("request", request)
+        await conn.queue.put(item)
+        self._bump_depth(conn)
+        # Hard cap: stop reading until the worker makes room.  This is the
+        # explicit backpressure seam — a flooding or stalled-reader client
+        # fills its TCP window and parks; memory stays bounded.
+        while conn.queue.qsize() >= self.hard_cap:
+            conn.drained.clear()
+            await conn.drained.wait()
+
+    def _bump_depth(self, conn: _Connection) -> None:
+        depth = conn.queue.qsize()
+        if depth > conn.peak_depth:
+            conn.peak_depth = depth
+            if depth > self.stats["peak_queue_depth"]:
+                self.stats["peak_queue_depth"] = depth
+        self.metrics.gauge_set("net.queue_depth", depth, conn=conn.conn_id)
+
+    # ------------------------------------------------------------------
+    # Per-connection worker: ordering and burst framing live here
+    # ------------------------------------------------------------------
+    async def _worker(self, conn: _Connection) -> None:
+        batch: list[Request] = []
+        batching = False
+        while True:
+            item = await conn.queue.get()
+            self._bump_depth(conn)
+            conn.drained.set()
+            if item is _EOF:
+                await self._flush(conn, batch)
+                return
+            tag = item[0]
+            if tag == "mark":
+                if batching:
+                    await self._flush(conn, batch)
+                batching = not batching
+            elif tag == "reply":
+                # A pre-answered line (junk or shed).  Anything accumulated
+                # before it must answer first — order is the correlation.
+                await self._flush(conn, batch)
+                await self._write(conn, item[1])
+            elif batching:
+                batch.append(item[1])
+            else:
+                await self._execute(conn, [item[1]])
+
+    async def _flush(self, conn: _Connection, batch: list[Request]) -> None:
+        if batch:
+            burst, batch[:] = list(batch), []
+            self.stats["bursts"] += 1
+            await self._execute(conn, burst)
+
+    async def _execute(self, conn: _Connection, requests: list[Request]) -> None:
+        try:
+            if conn.dead:
+                # The client is gone; executing would mutate fleet state
+                # for answers nobody will read.
+                return
+            envelopes = await asyncio.get_running_loop().run_in_executor(
+                self._pool, self.session.handle_requests, requests
+            )
+            for envelope in envelopes:
+                await self._write(conn, envelope)
+        finally:
+            conn.pending_work -= len(requests)
+
+    async def _write(self, conn: _Connection, envelope: Envelope) -> None:
+        if conn.dead:
+            return
+        try:
+            conn.writer.write((envelope.to_json() + "\n").encode("utf-8"))
+            await conn.writer.drain()
+            self.stats["served"] += 1
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            conn.dead = True

@@ -1,0 +1,81 @@
+"""Signal-driven graceful shutdown for the stdio serving loop.
+
+The asyncio server gets drain-on-signal for free from
+``loop.add_signal_handler``; the stdio loop is synchronous and needs the
+same behavior built from raw signals.  The subtlety is *where* the signal
+lands: raising out of the handler is the only way to interrupt a read that
+is blocked in C (PEP 475 retries ``EINTR`` otherwise), but raising while a
+request is mid-flight would drop its envelope — the opposite of draining.
+
+:class:`GracefulShutdown` threads that needle with one flag: the loop wraps
+its blocking read in :meth:`reading`, and the handler raises
+:class:`ShutdownRequested` only inside that window.  A signal at any other
+moment just sets :attr:`requested`, which the loop checks between requests
+— the in-flight request finishes, its envelope flushes, and the loop exits
+normally so metrics/trace flushing and pool teardown run as on EOF.
+"""
+
+from __future__ import annotations
+
+import signal
+from contextlib import contextmanager
+
+__all__ = ["GracefulShutdown", "ShutdownRequested"]
+
+
+class ShutdownRequested(BaseException):
+    """Raised *only* out of a signal handler, *only* during a blocking read.
+
+    A ``BaseException`` (like ``KeyboardInterrupt``) so no overly broad
+    ``except Exception`` between the read and the loop can swallow it.
+    """
+
+
+class GracefulShutdown:
+    """Install SIGINT/SIGTERM handlers that drain a synchronous serve loop."""
+
+    def __init__(self) -> None:
+        self.requested = False
+        self.signum: int | None = None
+        self._reading = False
+        self._previous: dict[int, object] = {}
+
+    # -- signal plumbing --------------------------------------------------
+    def _handle(self, signum, frame) -> None:
+        self.requested = True
+        if self.signum is None:
+            self.signum = signum
+        if self._reading:
+            raise ShutdownRequested()
+
+    def install(self, signums=(signal.SIGINT, signal.SIGTERM)) -> "GracefulShutdown":
+        """Install the handlers (main thread only); returns ``self``."""
+        for signum in signums:
+            self._previous[signum] = signal.signal(signum, self._handle)
+        return self
+
+    def uninstall(self) -> None:
+        """Restore whatever handlers :meth:`install` replaced."""
+        while self._previous:
+            signum, previous = self._previous.popitem()
+            signal.signal(signum, previous)
+
+    # -- the loop's read window -------------------------------------------
+    @contextmanager
+    def reading(self):
+        """Mark a blocking read: a signal inside raises ShutdownRequested."""
+        self._reading = True
+        try:
+            if self.requested:
+                # The signal beat us to the window; don't start a read that
+                # nothing will interrupt again.
+                raise ShutdownRequested()
+            yield
+        finally:
+            self._reading = False
+
+    def __enter__(self) -> "GracefulShutdown":
+        return self.install()
+
+    def __exit__(self, *exc_info) -> None:
+        self.uninstall()

@@ -25,6 +25,7 @@ from .metrics import (
     DEFAULT_TIME_BUCKETS,
     METRICS_SCHEMA,
     RATIO_BUCKETS,
+    LabeledMetrics,
     MetricsRegistry,
     active_metrics,
     to_prometheus,
@@ -37,6 +38,7 @@ __all__ = [
     "DEFAULT_TIME_BUCKETS",
     "METRICS_SCHEMA",
     "RATIO_BUCKETS",
+    "LabeledMetrics",
     "MetricsRegistry",
     "RequestTrace",
     "Stopwatch",

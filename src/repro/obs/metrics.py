@@ -36,6 +36,7 @@ __all__ = [
     "METRICS_SCHEMA",
     "DEFAULT_TIME_BUCKETS",
     "RATIO_BUCKETS",
+    "LabeledMetrics",
     "MetricsRegistry",
     "active_metrics",
     "use_metrics",
@@ -314,6 +315,47 @@ class MetricsRegistry:
                     histogram.counts[index] += count
                 histogram.total += entry["sum"]
                 histogram.count += entry["count"]
+
+    def labeled(self, **labels) -> "LabeledMetrics":
+        """A view of this registry with ``labels`` stamped on every write.
+
+        The socket server uses this to tag all of its ``net.*`` metrics
+        with the cluster node name without threading the label through
+        every call site.  ``None``-valued labels are dropped, so
+        ``registry.labeled(node=maybe_node)`` is safe either way.
+        """
+        return LabeledMetrics(self, {k: v for k, v in labels.items() if v is not None})
+
+
+class LabeledMetrics:
+    """Write-through view of a :class:`MetricsRegistry` with bound labels.
+
+    Only the mutators the transport layer needs are forwarded; reads go to
+    the underlying registry directly (label-bound reads would be ambiguous
+    about whether the bound labels apply).
+    """
+
+    __slots__ = ("registry", "labels")
+
+    def __init__(self, registry: MetricsRegistry, labels: dict) -> None:
+        self.registry = registry
+        self.labels = dict(labels)
+
+    @property
+    def enabled(self) -> bool:
+        return self.registry.enabled
+
+    def counter(self, name: str, value: float = 1, **labels) -> None:
+        self.registry.counter(name, value, **{**self.labels, **labels})
+
+    def gauge_set(self, name: str, value: float, **labels) -> None:
+        self.registry.gauge_set(name, value, **{**self.labels, **labels})
+
+    def gauge_add(self, name: str, delta: float, **labels) -> None:
+        self.registry.gauge_add(name, delta, **{**self.labels, **labels})
+
+    def observe(self, name: str, value: float, buckets=None, **labels) -> None:
+        self.registry.observe(name, value, buckets, **{**self.labels, **labels})
 
 
 # -- ambient registry (thread-local) --------------------------------------

@@ -23,7 +23,7 @@ README's "Serving" section for the wire schema.
 
 from .batching import BatchPolicy
 from .gateway import Gateway, ShardRestartedError
-from .loop import decode_line, serve_lines, serve_loop
+from .loop import Session, decode_line, serve_lines, serve_loop
 from .protocol import (
     SCHEMA,
     AdaptRequest,
@@ -47,6 +47,7 @@ __all__ = [
     "PredictRequest",
     "ReportRequest",
     "Request",
+    "Session",
     "ShardRestartedError",
     "StreamRequest",
     "decode_line",

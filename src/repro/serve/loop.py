@@ -1,4 +1,4 @@
-"""JSON-lines request loop: the ``repro serve`` front door.
+"""JSON-lines request handling: the transport-agnostic session core.
 
 One request per input line, one envelope per output line — the whole system
 becomes drivable from outside Python with nothing but a pipe::
@@ -18,20 +18,24 @@ serve — an unknown target under ``strict``, a registry lookup that raises
 error envelope of the request's kind.  No exception, whatever its source,
 ever escapes the loop and takes the remaining queued requests down with it.
 
-:func:`decode_line` is the loop's decode boundary as a reusable function;
-the workload simulator (:mod:`repro.sim`) feeds its fault-injected traces
-through it so simulated traffic exercises exactly the production codec.
+:class:`Session` is that discipline as a reusable object, shared by every
+transport: the stdio loop below feeds it lines, the socket server
+(:mod:`repro.net.server`) feeds it decoded requests and request bursts.
+Whatever carried the bytes, the answers are identical.  :func:`decode_line`
+remains the decode boundary as a plain function; the workload simulator
+(:mod:`repro.sim`) feeds its fault-injected traces through it so simulated
+traffic exercises exactly the production codec.
 """
 
 from __future__ import annotations
 
 import json
-from typing import IO, Iterable
+from typing import IO, Iterable, Sequence
 
 from .gateway import Gateway
 from .protocol import Envelope, Request, decode_request
 
-__all__ = ["decode_line", "serve_lines", "serve_loop"]
+__all__ = ["Session", "decode_line", "serve_lines", "serve_loop"]
 
 
 def decode_line(line: str) -> tuple[Request | None, Envelope | None]:
@@ -60,29 +64,77 @@ def decode_line(line: str) -> tuple[Request | None, Envelope | None]:
         )
 
 
-def serve_lines(gateway: Gateway, lines: Iterable[str]) -> Iterable[Envelope]:
-    """Decode each JSON line into a request, submit it, yield the envelope.
+class Session:
+    """One client's gateway session, independent of what carries the bytes.
 
-    Neither decoding nor submission failures ever raise.  The gateway
-    already answers per-request errors (unknown targets, bad payloads) as
-    data; this loop additionally absorbs anything that escapes ``submit``
-    itself — a registry ``KeyError``, a pool shut down underneath us — into
-    an error envelope of the request's kind, so the loop survives every
-    fault its clients or its backends can throw at it.
+    The envelope discipline in object form: decoding failures *and*
+    submission failures come back as error envelopes, never exceptions, so
+    a transport can drive the gateway without wrapping every call.  Both
+    the stdio loop and the socket server delegate here, which is what makes
+    their answers byte-identical for identical input.
     """
-    for line in lines:
+
+    __slots__ = ("gateway", "served")
+
+    def __init__(self, gateway: Gateway) -> None:
+        self.gateway = gateway
+        #: Envelopes this session has produced (all transports count alike).
+        self.served = 0
+
+    def handle_line(self, line: str) -> Envelope | None:
+        """Answer one wire line; ``None`` for blank lines (nothing to say)."""
         request, error = decode_line(line)
         if request is None:
             if error is not None:
-                yield error
-            continue
+                self.served += 1
+            return error
+        return self.handle_requests([request])[0]
+
+    def handle_requests(self, requests: Sequence[Request]) -> list[Envelope]:
+        """Answer a burst of decoded requests through one gateway submission.
+
+        A single request goes through :meth:`~Gateway.submit`, a burst
+        through :meth:`~Gateway.submit_many` — the same calls in-process
+        callers make, so micro-batched prediction and stacked training see
+        socket bursts exactly as they see local ones.  Anything that
+        escapes the gateway itself resolves to error envelopes for the
+        whole burst (the per-request errors are already data).
+        """
+        if not requests:
+            return []
         try:
-            yield gateway.submit(request)
+            if len(requests) == 1:
+                envelopes = [self.gateway.submit(requests[0])]
+            else:
+                envelopes = self.gateway.submit_many(requests)
         except Exception as exc:
-            yield Envelope.failure(request.kind, request.target_id, exc)
+            envelopes = [
+                Envelope.failure(request.kind, request.target_id, exc)
+                for request in requests
+            ]
+        self.served += len(envelopes)
+        return envelopes
 
 
-def serve_loop(gateway: Gateway, stdin: IO[str], stdout: IO[str]) -> int:
+def serve_lines(gateway: Gateway, lines: Iterable[str]) -> Iterable[Envelope]:
+    """Decode each JSON line into a request, submit it, yield the envelope.
+
+    Neither decoding nor submission failures ever raise — see
+    :class:`Session`, which this generator wraps for iterator-style callers.
+    """
+    session = Session(gateway)
+    for line in lines:
+        envelope = session.handle_line(line)
+        if envelope is not None:
+            yield envelope
+
+
+def serve_loop(
+    gateway: Gateway,
+    stdin: IO[str],
+    stdout: IO[str],
+    shutdown=None,
+) -> int:
     """Run the request loop over text streams; returns the envelope count.
 
     Envelopes are flushed per line so an interactive client (or a pipe with
@@ -94,19 +146,44 @@ def serve_loop(gateway: Gateway, stdin: IO[str], stdout: IO[str]) -> int:
     Both mean the same thing: nobody is reading anymore.  The loop stops
     cleanly and returns the count actually delivered, instead of letting
     the exception tear through ``repro serve`` as a traceback.
+
+    ``shutdown`` (a :class:`repro.net.GracefulShutdown`, when given) makes
+    SIGINT/SIGTERM drain instead of kill: a signal arriving while the loop
+    waits for input interrupts the wait; one arriving while a request is
+    in flight lets that request finish and its envelope flush, then stops
+    the loop before the next read.  Either way the caller gets a normal
+    return, not an exception — flushing and pool teardown proceed as usual.
     """
-    served = 0
-    for envelope in serve_lines(gateway, stdin):
+    from contextlib import nullcontext
+
+    from ..net.shutdown import ShutdownRequested
+
+    session = Session(gateway)
+    reader = iter(stdin)
+    while True:
+        if shutdown is not None and shutdown.requested:
+            break
+        try:
+            with shutdown.reading() if shutdown is not None else nullcontext():
+                line = next(reader, None)
+        except ShutdownRequested:
+            break
+        if line is None:
+            break
+        envelope = session.handle_line(line)
+        if envelope is None:
+            continue
         try:
             stdout.write(envelope.to_json() + "\n")
             stdout.flush()
         except BrokenPipeError:
+            session.served -= 1
             break
         except ValueError:
             # Text wrappers raise ValueError("I/O operation on closed file")
             # rather than BrokenPipeError once the underlying stream is gone.
             if not stdout.closed:
                 raise
+            session.served -= 1
             break
-        served += 1
-    return served
+    return session.served

@@ -7,14 +7,17 @@ user-facing scenario tool in one:
   fleets, arrival processes, drift schedules and burst patterns, compiled by
   :func:`compile_trace` into a reproducible per-tick wire-line trace;
 * :mod:`repro.sim.faults` — the pluggable :class:`FaultPlan` registry
-  (``none`` / ``wire_chaos`` / ``shard_crash`` / ``cache_thrash``) injecting
-  deterministic failures at the wire and state levels;
+  (``none`` / ``wire_chaos`` / ``shard_crash`` / ``cache_thrash`` /
+  ``conn_churn`` / ``slow_client``) injecting deterministic failures at the
+  wire, state, and transport levels;
 * :mod:`repro.sim.invariants` — the :class:`InvariantSuite` oracle checking
   envelope schema validity, shard-placement stability, coalesced-vs-solo
   prediction bit-identity and monotone accounting after every tick;
 * :mod:`repro.sim.simulator` — the virtual-clock :class:`Simulator` driving
   a live :class:`~repro.serve.Gateway`, plus :func:`verify_replay`, the
-  byte-identical replay-determinism check.
+  byte-identical replay-determinism check, and :func:`verify_transport`,
+  the same oracle run across the socket transport (TCP vs in-process,
+  byte-identical).
 
 Entry points: ``repro simulate`` on the command line (spec JSON in,
 canonical transcript + invariant report out) and the pytest scenario matrix
@@ -36,6 +39,7 @@ from .simulator import (
     run_simulation,
     scrub_wall_clock,
     verify_replay,
+    verify_transport,
 )
 from .spec import (
     ARRIVAL_KINDS,
@@ -72,4 +76,5 @@ __all__ = [
     "run_simulation",
     "scrub_wall_clock",
     "verify_replay",
+    "verify_transport",
 ]

@@ -18,7 +18,10 @@ Plans live in a registry (:func:`register_fault_plan` /
 :func:`create_fault_plan`), so a scenario file selects one by name — and a
 future PR can ship a new failure mode as one registration call.
 
-Shipped plans: ``none``, ``wire_chaos``, ``shard_crash``, ``cache_thrash``.
+Shipped plans: ``none``, ``wire_chaos``, ``shard_crash``, ``cache_thrash``,
+``conn_churn``, ``slow_client`` (the last two act on the *transport* and so
+only bite when the simulator drives a live socket server; in-process they
+record ``applied=False`` and change nothing).
 """
 
 from __future__ import annotations
@@ -216,6 +219,70 @@ class CacheThrashPlan(FaultPlan):
         self.record(tick=tick, fault="cache_thrash", evicted=sorted(evicted))
 
 
+class ConnChurnPlan(FaultPlan):
+    """Drop every client connection every ``every`` ticks (network runs).
+
+    Attacks the transport seam the other plans cannot reach: when the
+    simulator drives a live socket server (``repro simulate --connect``),
+    each mutator-chain thread holds its own TCP connection, and this plan
+    severs all of them between ticks via the remote gateway's
+    :meth:`~repro.net.RemoteGateway.schedule_churn` hook.  Connections are
+    dropped at operation boundaries — never between sending a burst and
+    reading its answers — so no request is lost or replayed and the
+    transcript stays byte-identical to an unchurned (or in-process) run,
+    while the server sees real disconnect/reconnect cycles
+    (``net.connections.opened/closed`` count every one).
+
+    In-process gateways have no connections to churn; the plan records
+    ``applied=False`` so a transcript comparison across transports still
+    sees identical *traffic* while the fault log stays honest.
+    """
+
+    name = "conn_churn"
+
+    @classmethod
+    def option_defaults(cls) -> dict:
+        return {"every": 2}
+
+    def before_tick(self, simulator: "Simulator", tick: int) -> None:
+        every = int(self.options["every"])
+        if tick == 0 or tick % every:
+            return
+        schedule = getattr(simulator.gateway, "schedule_churn", None)
+        applied = bool(schedule()) if callable(schedule) else False
+        self.record(tick=tick, fault="conn_churn", applied=applied)
+
+
+class SlowClientPlan(FaultPlan):
+    """Stall one client's reader every ``every`` ticks (network runs).
+
+    The backpressure probe: via
+    :meth:`~repro.net.RemoteGateway.schedule_stall`, one connection sends
+    its next burst and then refuses to read answers for ``stall_seconds``.
+    The server must keep every *other* connection flowing, park the
+    stalled one's responses in its bounded queue (TCP window past the hard
+    cap), and never drop or reorder anything — the stall is pure
+    wall-clock, so the transcript is still byte-identical after
+    wall-clock scrubbing.  Records ``applied=False`` in-process, where
+    there is no reader to stall.
+    """
+
+    name = "slow_client"
+
+    @classmethod
+    def option_defaults(cls) -> dict:
+        return {"every": 2, "stall_seconds": 0.2}
+
+    def before_tick(self, simulator: "Simulator", tick: int) -> None:
+        every = int(self.options["every"])
+        if tick == 0 or tick % every:
+            return
+        schedule = getattr(simulator.gateway, "schedule_stall", None)
+        stall = float(self.options["stall_seconds"])
+        applied = bool(schedule(stall)) if callable(schedule) else False
+        self.record(tick=tick, fault="slow_client", applied=applied, stall_seconds=stall)
+
+
 FAULT_PLANS: dict[str, Callable[..., FaultPlan]] = {}
 
 
@@ -246,3 +313,5 @@ register_fault_plan("none", FaultPlan)
 register_fault_plan("wire_chaos", WireChaosPlan)
 register_fault_plan("shard_crash", ShardCrashPlan)
 register_fault_plan("cache_thrash", CacheThrashPlan)
+register_fault_plan("conn_churn", ConnChurnPlan)
+register_fault_plan("slow_client", SlowClientPlan)

@@ -23,7 +23,12 @@ every PR since the seed has promised:
   counters match the actions the ok stream envelopes reported, adaptation
   counters match adapt envelopes plus stream-triggered adaptations, cache
   hit/miss counters match the ``model`` attribution of ok predictions,
-  and every shard's queue-depth gauge is back to zero at tick end.
+  and every shard's queue-depth gauge is back to zero at tick end.  When
+  the traffic crossed the socket transport (:mod:`repro.net`), the
+  transport's per-connection ``net.*`` counters reconcile too: every wire
+  line is exactly one of accepted/shed/invalid, accepted lines match the
+  gateway-produced envelopes, shed lines match the typed ``overloaded``
+  envelopes, and connection queues are empty at tick end.
 
 A sixth property, **replay determinism** (same spec + seed → byte-identical
 transcript), spans two runs and therefore lives in
@@ -131,6 +136,7 @@ class InvariantSuite:
         self._expected_actions: dict[str, int] = {}
         self._expected_adapt_ok = 0
         self._expected_predict_models: dict[str, int] = {}
+        self._expected_shed = 0
         self._metrics_baseline = self._metric_totals() if verify_metrics else {}
 
     # ------------------------------------------------------------------
@@ -182,6 +188,14 @@ class InvariantSuite:
         if record.request is None:
             return
         envelope = record.envelope
+        error = envelope.error if isinstance(envelope.error, dict) else None
+        if error is not None and error.get("type") == "overloaded":
+            # Shed at the transport's admission bound: the envelope is real
+            # (the client got a typed answer) but the gateway never executed
+            # the request, so it must not appear in the gateway's books —
+            # it appears in the transport's (``net.shed``) instead.
+            self._expected_shed += 1
+            return
         kind = envelope.kind
         self._expected_requests[kind] = self._expected_requests.get(kind, 0) + 1
         if not envelope.ok:
@@ -256,6 +270,14 @@ class InvariantSuite:
                 if entry_scope == scope and entry_name == counter:
                     found.update(value for key, value in labels if key == label)
             return found
+
+        def label_sum(scope: str, counter: str) -> float:
+            total = 0.0
+            for key in set(current) | set(self._metrics_baseline):
+                entry_scope, entry_name, _ = key
+                if entry_scope == scope and entry_name == counter:
+                    total += current.get(key, 0.0) - self._metrics_baseline.get(key, 0.0)
+            return total
 
         def expect(counter: str, scope: str, expected: float, actual: float, what: str) -> None:
             if actual != expected:
@@ -372,6 +394,50 @@ class InvariantSuite:
                     "at tick end; every submitted request has been answered, "
                     "so the queues must be empty",
                 )
+        if getattr(self.gateway, "networked", False):
+            # Traffic crossed a socket transport: the transport's own books
+            # (per-connection ``net.*`` counters in the server's registry)
+            # must reconcile with the transcript too.  Labels carry *which*
+            # connection counted — an ordering/ownership question — so the
+            # accounting identities sum across them.
+            net_lines = label_sum("gateway", "net.lines")
+            net_accepted = label_sum("gateway", "net.accepted")
+            net_shed = label_sum("gateway", "net.shed")
+            net_invalid = label_sum("gateway", "net.invalid")
+            expect(
+                "net.lines",
+                "gateway",
+                net_accepted + net_shed + net_invalid,
+                net_lines,
+                "every non-blank wire line is exactly one of "
+                "accepted / shed / invalid",
+            )
+            expect(
+                "net.accepted",
+                "gateway",
+                sum(self._expected_requests.values()),
+                net_accepted,
+                "admitted wire requests vs gateway-produced envelopes "
+                "(coalescing re-submits included)",
+            )
+            expect(
+                "net.shed",
+                "gateway",
+                self._expected_shed,
+                net_shed,
+                "requests shed at the admission bound vs overloaded "
+                "envelopes in the transcript",
+            )
+            for entry in self.gateway.metrics.snapshot().get("gauges", []):
+                if entry["name"] == "net.queue_depth" and entry["value"] != 0:
+                    self._fail(
+                        name,
+                        tick,
+                        f"net.queue_depth{{{entry['labels']}}} is "
+                        f"{entry['value']:g} at tick end; every answered "
+                        "request has been popped, so connection queues must "
+                        "be empty",
+                    )
 
     # ------------------------------------------------------------------
     # Individual invariants

@@ -61,6 +61,7 @@ __all__ = [
     "build_gateway",
     "run_simulation",
     "verify_replay",
+    "verify_transport",
 ]
 
 
@@ -401,9 +402,72 @@ def verify_replay(
     first, second = results
     if first.transcript_text == second.transcript_text:
         return True, None, first
-    detail = "transcript lengths differ"
-    for line_a, line_b in zip(first.transcript_lines, second.transcript_lines):
-        if line_a != line_b:
-            detail = f"first divergence:\n  run1: {line_a}\n  run2: {line_b}"
-            break
+    detail = _first_divergence(first, second, "run1", "run2")
     return False, detail, first
+
+
+def _first_divergence(a: SimulationResult, b: SimulationResult, name_a: str, name_b: str) -> str:
+    detail = "transcript lengths differ"
+    for line_a, line_b in zip(a.transcript_lines, b.transcript_lines):
+        if line_a != line_b:
+            detail = f"first divergence:\n  {name_a}: {line_a}\n  {name_b}: {line_b}"
+            break
+    return detail
+
+
+def verify_transport(
+    spec: WorkloadSpec,
+    address: tuple[str, int] | None = None,
+    task=None,
+    tracer: Tracer | None = None,
+    max_pending: int = 256,
+) -> tuple[bool, str | None, SimulationResult, SimulationResult]:
+    """Replay a workload over TCP and in-process; compare byte for byte.
+
+    The transport-transparency oracle: the same spec runs twice from
+    scratch — once driven through a live socket server (every request and
+    burst crossing the wire via :class:`~repro.net.RemoteGateway`, bursts
+    preserved by the blank-line burst markers) and once entirely
+    in-process — and the two canonical transcripts must be identical to
+    the byte.  ``verify_replay`` pins *determinism*; this pins *the wire
+    adds nothing and loses nothing*, fault plans included.
+
+    With no ``address`` a server is stood up in-process, backed by a fresh
+    gateway built from the spec; the remote gateway keeps a ``local``
+    handle to it so the invariant suite (shard placement, metrics
+    reconciliation — now including the ``net.*`` transport counters) runs
+    at full strength during the TCP leg.  With an ``address`` (a server
+    someone else started, e.g. ``repro simulate --connect``) the TCP leg
+    checks what it can reach: transcripts fully, server-side metrics not
+    at all.  Either way the server must serve the *same spec* — state is
+    cumulative, so a reused server would answer differently by design.
+
+    Returns ``(ok, first_difference, tcp_result, local_result)``.
+    """
+    from ..net import NetServer, RemoteGateway
+
+    server = None
+    if address is None:
+        backing = build_gateway(spec, tracer=tracer)
+        server = NetServer(backing, max_pending=max_pending)
+        host, port = server.start()
+        remote = RemoteGateway(host, port, local=backing)
+    else:
+        host, port = address
+        remote = RemoteGateway(host, int(port), n_shards=spec.n_shards)
+    try:
+        with Simulator(spec, gateway=remote, task=task) as simulator:
+            tcp_result = simulator.run()
+    finally:
+        if server is not None:
+            server.stop()
+        remote.close()
+    local_result = run_simulation(spec, task=task)
+    if tcp_result.transcript_text == local_result.transcript_text:
+        return True, None, tcp_result, local_result
+    return (
+        False,
+        _first_divergence(tcp_result, local_result, "tcp", "in-process"),
+        tcp_result,
+        local_result,
+    )

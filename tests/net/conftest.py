@@ -1,0 +1,87 @@
+"""Shared fixtures for the socket-transport suite.
+
+The stub gateways here implement only the submission surface the
+transport needs (``submit`` / ``submit_many`` / ``metrics``), recording
+how the server batched what came off the wire — which is the whole point
+of most transport tests: the interesting behaviour is *between* the
+socket and the gateway, not inside the gateway.
+"""
+
+import sys
+import threading
+from pathlib import Path
+
+import pytest
+
+# The transport-determinism tests replay the same workload specs the sim
+# suite uses; make its fixture helpers importable from here.
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "sim"))
+
+from repro.obs import MetricsRegistry
+from repro.net import NetServer
+from repro.serve import Envelope
+
+
+class StubGateway:
+    """Echo gateway: answers every request, records burst shapes.
+
+    Each envelope's payload carries the size of the ``submit_many`` burst
+    it arrived in (and this gateway's ``name``), so a test can read the
+    server's batching decisions straight off the wire.
+    """
+
+    def __init__(self, name="stub"):
+        self.name = name
+        self.metrics = MetricsRegistry()
+        self.batches = []  # sizes of every submit/submit_many call, in order
+        self._lock = threading.Lock()
+
+    def submit(self, request):
+        return self.submit_many([request])[0]
+
+    def submit_many(self, requests):
+        requests = list(requests)
+        with self._lock:
+            self.batches.append(len(requests))
+        return [self._answer(request, len(requests)) for request in requests]
+
+    def _answer(self, request, burst):
+        if request.kind == "metrics":
+            payload = {"metrics": self.metrics.snapshot(), "node": self.name}
+        else:
+            payload = {"burst": burst, "node": self.name}
+        return Envelope(
+            ok=True, kind=request.kind, target_id=request.target_id, payload=payload
+        )
+
+    def close(self):
+        pass
+
+
+class SlowGateway(StubGateway):
+    """A stub whose every execution blocks until :attr:`release` is set —
+    the deterministic way to pile requests up in the server's queue."""
+
+    def __init__(self, name="slow"):
+        super().__init__(name)
+        self.release = threading.Event()
+
+    def submit_many(self, requests):
+        assert self.release.wait(timeout=30.0), "SlowGateway never released"
+        return super().submit_many(requests)
+
+
+@pytest.fixture
+def serve_stub():
+    """Factory: start a NetServer over a gateway, stop it at teardown."""
+    servers = []
+
+    def factory(gateway, **kwargs):
+        server = NetServer(gateway, **kwargs)
+        server.start()
+        servers.append(server)
+        return server
+
+    yield factory
+    for server in servers:
+        server.stop()

@@ -1,0 +1,197 @@
+"""NetClient retry policy: bounded, and honest about side effects.
+
+The acceptors here are raw scripted sockets, not NetServers — the point
+is to control exactly when the "server" misbehaves (never answers,
+closes mid-read) and count how many times it was actually reached.
+"""
+
+import json
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.net import NetClient, NetError
+from repro.serve import Envelope, ReportRequest
+
+
+class ScriptedAcceptor:
+    """A TCP listener running one scripted behaviour per accepted connection.
+
+    ``script`` maps the connection index to a behaviour:
+    ``"close"`` (accept then immediately close), ``"serve"`` (answer one
+    envelope per received line), ``"hang"`` (accept, read, never answer).
+    The last entry repeats for any further connections.
+    """
+
+    def __init__(self, script):
+        self.script = script
+        self.connections = 0
+        self.lines_seen = []
+        self._listener = socket.socket()
+        self._listener.bind(("127.0.0.1", 0))
+        self._listener.listen(8)
+        self._listener.settimeout(0.2)
+        self.address = self._listener.getsockname()
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self._thread.start()
+
+    def _run(self):
+        while not self._stop.is_set():
+            try:
+                conn, _ = self._listener.accept()
+            except socket.timeout:
+                continue
+            behaviour = self.script[min(self.connections, len(self.script) - 1)]
+            self.connections += 1
+            try:
+                if behaviour == "close":
+                    conn.close()
+                    continue
+                conn.settimeout(5.0)
+                reader = conn.makefile("rb")
+                while not self._stop.is_set():
+                    raw = reader.readline()
+                    if not raw:
+                        break
+                    line = raw.decode().rstrip("\n")
+                    self.lines_seen.append(line)
+                    if behaviour == "serve" and line:
+                        request = json.loads(line)
+                        answer = Envelope(
+                            ok=True,
+                            kind=request.get("kind", "report"),
+                            target_id=request.get("target_id"),
+                        )
+                        conn.sendall((answer.to_json() + "\n").encode())
+            except OSError:
+                pass
+            finally:
+                try:
+                    conn.close()
+                except OSError:
+                    pass
+
+    def close(self):
+        self._stop.set()
+        self._thread.join(timeout=5)
+        self._listener.close()
+
+
+@pytest.fixture
+def acceptor():
+    acceptors = []
+
+    def factory(script):
+        instance = ScriptedAcceptor(script)
+        acceptors.append(instance)
+        return instance
+
+    yield factory
+    for instance in acceptors:
+        instance.close()
+
+
+class TestConnectFailures:
+    def test_refused_connection_raises_net_error_after_bounded_retries(self):
+        # Grab a port nothing listens on.
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        host, port = probe.getsockname()
+        probe.close()
+        client = NetClient(host, port, timeout=1.0, retries=2, retry_delay=0.01)
+        started = time.monotonic()
+        with pytest.raises(NetError, match="failed after 3 attempt"):
+            client.request(ReportRequest("t1"))
+        assert time.monotonic() - started < 10
+
+    def test_timeout_waiting_for_an_answer_is_bounded(self, acceptor):
+        server = acceptor(["hang"])
+        client = NetClient(*server.address, timeout=0.3, retries=0)
+        started = time.monotonic()
+        with pytest.raises(NetError):
+            client.request_line(json.dumps({"kind": "report", "target_id": "t"}))
+        assert time.monotonic() - started < 5
+        client.close()
+
+
+class TestRetryPolicy:
+    def test_idempotent_request_is_resent_after_a_mid_read_disconnect(self, acceptor):
+        server = acceptor(["close", "serve"])
+        client = NetClient(*server.address, timeout=5.0, retries=2, retry_delay=0.01)
+        envelope = client.request(ReportRequest("t1"))  # report: idempotent
+        assert envelope.ok and envelope.target_id == "t1"
+        assert server.connections == 2  # first died mid-read, second served
+        client.close()
+
+    def test_non_idempotent_request_is_never_resent(self, acceptor):
+        server = acceptor(["close", "serve"])
+        client = NetClient(*server.address, timeout=5.0, retries=2, retry_delay=0.01)
+        # request_line is pinned non-idempotent: the client cannot know
+        # whether the first server saw the line before dying.
+        with pytest.raises(NetError, match="failed after 1 attempt"):
+            client.request_line(json.dumps({"kind": "adapt", "target_id": "t1"}))
+        time.sleep(0.1)
+        assert server.connections == 1  # no second server-side attempt
+        client.close()
+
+    def test_mixed_burst_with_a_mutating_kind_is_non_idempotent(self, acceptor):
+        server = acceptor(["close"])
+        client = NetClient(*server.address, timeout=5.0, retries=3, retry_delay=0.01)
+        from repro.serve import StreamRequest
+
+        with pytest.raises(NetError, match="failed after 1 attempt"):
+            client.request_many(
+                [ReportRequest("a"), StreamRequest("b", [[0.0, 1.0]])]
+            )
+        client.close()
+
+
+class TestWireShape:
+    def test_single_request_sends_no_burst_markers(self, acceptor):
+        server = acceptor(["serve"])
+        client = NetClient(*server.address, timeout=5.0)
+        client.request(ReportRequest("t1"))
+        client.close()
+        assert len(server.lines_seen) == 1  # no blank marker lines
+
+    def test_multi_request_burst_is_bracketed_by_blank_lines(self, acceptor):
+        server = acceptor(["serve"])
+        client = NetClient(*server.address, timeout=5.0)
+        client.request_many([ReportRequest("a"), ReportRequest("b")])
+        client.close()
+        assert server.lines_seen[0] == ""
+        assert server.lines_seen[-1] == ""
+        assert len(server.lines_seen) == 4
+
+    def test_blank_line_passthrough_never_touches_the_wire(self, acceptor):
+        server = acceptor(["serve"])
+        client = NetClient(*server.address, timeout=5.0)
+        assert client.request_line("   \n") is None
+        client.close()
+        assert server.connections == 0
+
+    def test_non_envelope_response_is_a_net_error(self, acceptor):
+        server = acceptor(["hang"])
+        # Answer by hand with junk so from_json fails.
+        raw = socket.socket()
+        raw.bind(("127.0.0.1", 0))
+        raw.listen(1)
+        host, port = raw.getsockname()
+
+        def junk_server():
+            conn, _ = raw.accept()
+            conn.makefile("rb").readline()
+            conn.sendall(b"this is not an envelope\n")
+            conn.close()
+
+        thread = threading.Thread(target=junk_server, daemon=True)
+        thread.start()
+        client = NetClient(host, port, timeout=5.0, retries=0)
+        with pytest.raises(NetError, match="non-envelope"):
+            client.request(ReportRequest("t1"))
+        client.close()
+        thread.join(timeout=5)
+        raw.close()

@@ -1,0 +1,174 @@
+"""Cluster map validation, rendezvous routing, and the multi-node client.
+
+The routing tests pin the growth invariant the whole cluster design rests
+on: adding a node moves targets only *to* the new node, never between
+survivors — same property, one level up, as PR 4's shard placement.
+"""
+
+import json
+
+import pytest
+
+from conftest import StubGateway
+from repro.net import (
+    CLUSTER_SCHEMA,
+    ClusterClient,
+    ClusterMap,
+    ClusterRouter,
+    NodeSpec,
+    load_cluster_map,
+    node_command,
+)
+from repro.serve import ReportRequest
+
+
+def good_map(**overrides):
+    payload = {
+        "schema": CLUSTER_SCHEMA,
+        "serve_args": ["--task", "housing", "--scale", "tiny"],
+        "nodes": [
+            {"name": "a", "host": "127.0.0.1", "port": 7601},
+            {"name": "b", "host": "127.0.0.1", "port": 7602},
+        ],
+    }
+    payload.update(overrides)
+    return payload
+
+
+class TestLoadClusterMap:
+    def test_loads_from_dict_text_and_path(self, tmp_path):
+        payload = good_map()
+        from_dict = load_cluster_map(payload)
+        from_text = load_cluster_map(json.dumps(payload))
+        path = tmp_path / "cluster.json"
+        path.write_text(json.dumps(payload))
+        from_path = load_cluster_map(path)
+        for loaded in (from_dict, from_text, from_path):
+            assert loaded.names == ("a", "b")
+            assert loaded.node("b").port == 7602
+            assert loaded.serve_args == ("--task", "housing", "--scale", "tiny")
+
+    @pytest.mark.parametrize(
+        "doctor, match",
+        [
+            (lambda m: m.update(schema="repro.cluster/v0"), "schema"),
+            (lambda m: m.update(surprise=1), "unknown cluster map keys"),
+            (lambda m: m.update(nodes=[]), "non-empty"),
+            (lambda m: m["nodes"][0].update(color="red"), "unknown node keys"),
+            (lambda m: m["nodes"][0].update(name=""), "name"),
+            (lambda m: m["nodes"][0].update(port=0), "port"),
+            (lambda m: m["nodes"][1].update(name="a"), "unique"),
+            (lambda m: m["nodes"][1].update(port=7601), "unique"),
+            (lambda m: m.update(serve_args=[1, 2]), "serve_args"),
+        ],
+    )
+    def test_strict_validation(self, doctor, match):
+        payload = good_map()
+        doctor(payload)
+        with pytest.raises(ValueError, match=match):
+            load_cluster_map(payload)
+
+
+class TestClusterRouter:
+    def test_deterministic_and_covering(self):
+        router = ClusterRouter(["a", "b", "c"])
+        placement = router.placement(f"user-{i:03d}" for i in range(200))
+        again = ClusterRouter(["a", "b", "c"]).placement(placement)
+        assert placement == again
+        counts = {name: 0 for name in ("a", "b", "c")}
+        for node in placement.values():
+            counts[node] += 1
+        assert all(count > 0 for count in counts.values())
+
+    def test_growth_moves_targets_only_to_the_new_node(self):
+        before = ClusterRouter(["a", "b"])
+        after = ClusterRouter(["a", "b", "c"])
+        moved = 0
+        for i in range(300):
+            target = f"user-{i:04d}"
+            old, new = before.node_for(target), after.node_for(target)
+            if new != old:
+                assert new == "c"  # never a→b or b→a
+                moved += 1
+        assert 0 < moved < 300  # c took some targets, not all
+
+    def test_order_of_names_does_not_matter(self):
+        forward = ClusterRouter(["a", "b", "c"])
+        shuffled = ClusterRouter(["c", "a", "b"])
+        for i in range(50):
+            target = f"user-{i}"
+            assert forward.node_for(target) == shuffled.node_for(target)
+
+    def test_rejects_empty_and_duplicate_names(self):
+        with pytest.raises(ValueError):
+            ClusterRouter([])
+        with pytest.raises(ValueError):
+            ClusterRouter(["a", "a"])
+
+
+class TestClusterClient:
+    @pytest.fixture
+    def cluster(self, serve_stub):
+        gateways = {name: StubGateway(name) for name in ("a", "b")}
+        nodes = []
+        for name, gateway in gateways.items():
+            server = serve_stub(gateway)
+            host, port = server.address
+            nodes.append(NodeSpec(name=name, host=host, port=port))
+        cluster_map = ClusterMap(nodes=tuple(nodes))
+        with ClusterClient(cluster_map, timeout=10.0) as client:
+            yield client, gateways
+
+    def test_submit_routes_by_rendezvous(self, cluster):
+        client, _ = cluster
+        for i in range(20):
+            target = f"user-{i}"
+            envelope = client.submit(ReportRequest(target))
+            assert envelope.ok
+            assert envelope.payload["node"] == client.router.node_for(target)
+
+    def test_submit_many_scatters_and_reorders_correctly(self, cluster):
+        client, gateways = cluster
+        targets = [f"user-{i}" for i in range(30)]
+        envelopes = client.submit_many([ReportRequest(t) for t in targets])
+        assert [e.target_id for e in envelopes] == targets  # request order
+        for target, envelope in zip(targets, envelopes):
+            assert envelope.payload["node"] == client.router.node_for(target)
+        # Each node saw its sub-burst as ONE submit_many.
+        routed = client.router.placement(targets)
+        for name, gateway in gateways.items():
+            expected = sum(1 for node in routed.values() if node == name)
+            assert gateway.batches == ([expected] if expected else [])
+
+    def test_fleet_wide_requests_go_to_the_first_node(self, cluster):
+        client, _ = cluster
+        envelope = client.submit(ReportRequest(None))
+        assert envelope.payload["node"] == client.map.names[0]
+
+    def test_metrics_snapshot_labels_every_entry_with_its_node(self, cluster):
+        client, gateways = cluster
+        for name, gateway in gateways.items():
+            gateway.metrics.counter("stub.pings", 3)
+        merged = client.metrics_snapshot()
+        pings = [c for c in merged["counters"] if c["name"] == "stub.pings"]
+        assert sorted(c["labels"]["node"] for c in pings) == ["a", "b"]
+        assert all(c["value"] == 3 for c in pings)
+
+
+class TestNodeCommand:
+    def test_argv_shape(self):
+        cluster_map = load_cluster_map(good_map())
+        node = cluster_map.node("b")
+        argv = node_command(cluster_map, node, python="python3")
+        assert argv[:4] == ["python3", "-m", "repro.cli", "serve"]
+        assert "--listen" in argv and "127.0.0.1:7602" in argv
+        assert argv[argv.index("--node") + 1] == "b"
+        # Shared args present, after the fixed flags.
+        assert "--task" in argv and "housing" in argv
+
+    def test_per_node_args_come_after_shared_ones(self):
+        payload = good_map()
+        payload["nodes"][0]["serve_args"] = ["--shards", "4"]
+        cluster_map = load_cluster_map(payload)
+        argv = node_command(cluster_map, cluster_map.node("a"))
+        assert argv.index("--task") < argv.index("--shards")

@@ -1,0 +1,114 @@
+"""Hypothesis property tests for the socket line framer.
+
+The framer is the one piece of the transport TCP gets to mangle: the
+kernel hands back arbitrary segment boundaries, so every guarantee the
+stdio loop got from ``readline`` has to be re-proven over chunked reads.
+
+* **chunking invariance** — any partition of a byte stream yields exactly
+  the lines the unpartitioned stream yields;
+* **stdio equivalence** — the lines recovered from a chunked stream are
+  the same lines a blocking ``readline`` loop would have seen, so
+  ``decode_line`` (and everything above it) cannot tell the transports
+  apart;
+* **totality** — arbitrary junk bytes never raise, and every recovered
+  line either decodes to a request or to the codec's ``invalid`` error
+  envelope: garbage never escapes the envelope discipline;
+* **overflow** — a line past ``max_line_bytes`` is replaced by a
+  guaranteed-invalid line instead of growing without bound.
+"""
+
+import json
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net import LineFramer
+from repro.serve import Envelope
+from repro.serve.loop import decode_line
+
+
+def frame_all(framer, data):
+    """Feed ``data`` in one call; collect completed lines plus the tail."""
+    lines = framer.feed(data)
+    tail = framer.flush()
+    if tail is not None:
+        lines.append(tail)
+    return lines
+
+
+def frame_chunked(data, cut_points):
+    """Feed ``data`` split at ``cut_points``; collect the same way."""
+    framer = LineFramer()
+    cuts = sorted({min(cut, len(data)) for cut in cut_points})
+    pieces, start = [], 0
+    for cut in [*cuts, len(data)]:
+        pieces.append(data[start:cut])
+        start = cut
+    lines = []
+    for piece in pieces:
+        lines.extend(framer.feed(piece))
+    tail = framer.flush()
+    if tail is not None:
+        lines.append(tail)
+    return lines
+
+
+payloads = st.binary(max_size=400)
+cut_lists = st.lists(st.integers(min_value=0, max_value=400), max_size=10)
+
+
+class TestChunkingInvariance:
+    @settings(max_examples=150, deadline=None)
+    @given(payload=payloads, cuts=cut_lists)
+    def test_any_partition_yields_the_same_lines(self, payload, cuts):
+        whole = frame_all(LineFramer(), payload)
+        chunked = frame_chunked(payload, cuts)
+        assert chunked == whole
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        lines=st.lists(st.text(max_size=40).map(lambda s: s.replace("\n", " ")), max_size=8),
+        cuts=cut_lists,
+    )
+    def test_chunked_stream_equals_a_readline_loop(self, lines, cuts):
+        # What a blocking stdio loop would see, modulo the framer's two
+        # deliberate normalisations (CR stripping, lossy decode).
+        stream = "".join(line + "\n" for line in lines).encode("utf-8")
+        recovered = frame_chunked(stream, cuts)
+        assert recovered == [line.rstrip("\r") for line in lines]
+
+
+class TestTotality:
+    @settings(max_examples=150, deadline=None)
+    @given(payload=payloads, cuts=cut_lists)
+    def test_junk_never_raises_and_never_escapes_the_envelope(self, payload, cuts):
+        for line in frame_chunked(payload, cuts):
+            request, error = decode_line(line)
+            if not line.strip():
+                assert request is None and error is None
+            else:
+                assert (request is None) != (error is None)
+                if error is not None:
+                    assert isinstance(error, Envelope)
+                    assert not error.ok
+                    # The error envelope itself must survive the wire.
+                    assert not json.loads(error.to_json())["ok"]
+
+
+class TestOverflow:
+    def test_oversized_line_is_replaced_not_buffered(self):
+        framer = LineFramer(max_line_bytes=64)
+        lines = framer.feed(b"x" * 500)  # no newline yet: nothing emitted
+        assert lines == []
+        [replacement] = framer.feed(b"y" * 100 + b"\nok\n")[:1]
+        assert "exceeded the transport limit" in replacement
+        request, error = decode_line(replacement)
+        assert request is None and error is not None
+        assert not error.ok
+
+    def test_line_after_an_overflow_is_framed_normally(self):
+        framer = LineFramer(max_line_bytes=64)
+        framer.feed(b"x" * 500)
+        produced = framer.feed(b"\nhello\n")
+        assert len(produced) == 2
+        assert produced[1] == "hello"

@@ -1,0 +1,220 @@
+"""NetServer behaviour: ordering, burst framing, shedding, backpressure.
+
+Everything here runs against stub gateways (see ``conftest.py``) so the
+assertions are about the *transport*: what order envelopes come back in,
+when the server batches, when it sheds, and what happens when clients
+misbehave.
+"""
+
+import json
+import socket
+import threading
+import time
+
+import pytest
+
+from conftest import SlowGateway, StubGateway
+from repro.net import NetClient, NetServer, overloaded_envelope
+from repro.serve import Envelope, ReportRequest
+
+
+def report_line(target_id):
+    return json.dumps({"kind": "report", "target_id": target_id})
+
+
+def raw_exchange(client, lines, n_responses):
+    """Send raw wire lines, parse the envelopes that come back."""
+    responses = client._exchange(lines, n_responses, idempotent=False)
+    return [Envelope.from_json(raw) for raw in responses]
+
+
+class TestOrdering:
+    def test_one_connection_pipelined_requests_answer_in_order(self, serve_stub):
+        server = serve_stub(StubGateway())
+        host, port = server.address
+        with NetClient(host, port) as client:
+            lines = [report_line(f"t{i}") for i in range(20)]
+            envelopes = raw_exchange(client, lines, 20)
+        assert [e.target_id for e in envelopes] == [f"t{i}" for i in range(20)]
+        assert all(e.ok for e in envelopes)
+
+    def test_connections_are_independent(self, serve_stub):
+        server = serve_stub(StubGateway(), workers=4)
+        host, port = server.address
+        results = {}
+
+        def run(name):
+            with NetClient(host, port) as client:
+                lines = [report_line(f"{name}-{i}") for i in range(10)]
+                results[name] = raw_exchange(client, lines, 10)
+
+        threads = [threading.Thread(target=run, args=(f"c{i}",)) for i in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        for name, envelopes in results.items():
+            assert [e.target_id for e in envelopes] == [f"{name}-{i}" for i in range(10)]
+        assert server.stats["connections_opened"] == 4
+
+
+class TestBurstFraming:
+    def test_blank_markers_batch_into_one_submit_many(self, serve_stub):
+        gateway = StubGateway()
+        server = serve_stub(gateway)
+        host, port = server.address
+        with NetClient(host, port) as client:
+            lines = ["", report_line("a"), report_line("b"), report_line("c"), ""]
+            envelopes = raw_exchange(client, lines, 3)
+        assert [e.payload["burst"] for e in envelopes] == [3, 3, 3]
+        assert gateway.batches == [3]
+        assert server.stats["bursts"] == 1
+
+    def test_unmarked_lines_answer_one_by_one(self, serve_stub):
+        gateway = StubGateway()
+        server = serve_stub(gateway)
+        host, port = server.address
+        with NetClient(host, port) as client:
+            envelopes = raw_exchange(
+                client, [report_line("a"), report_line("b"), report_line("c")], 3
+            )
+        assert [e.payload["burst"] for e in envelopes] == [1, 1, 1]
+        assert gateway.batches == [1, 1, 1]
+
+    def test_junk_inside_a_burst_flushes_then_answers_in_place(self, serve_stub):
+        gateway = StubGateway()
+        server = serve_stub(gateway)
+        host, port = server.address
+        with NetClient(host, port) as client:
+            lines = ["", report_line("a"), "{not json", report_line("b"), ""]
+            envelopes = raw_exchange(client, lines, 3)
+        # Order is the correlation: a's answer, the invalid envelope, b's.
+        assert envelopes[0].target_id == "a" and envelopes[0].ok
+        assert not envelopes[1].ok
+        assert envelopes[2].target_id == "b" and envelopes[2].ok
+        # The junk split the burst: a flushed before it, b after.
+        assert gateway.batches == [1, 1]
+        assert server.stats["invalid"] == 1
+
+    def test_eof_flushes_an_open_burst(self, serve_stub):
+        gateway = StubGateway()
+        server = serve_stub(gateway)
+        host, port = server.address
+        with socket.create_connection(server.address, timeout=10) as sock:
+            sock.settimeout(10)
+            payload = "\n" + report_line("a") + "\n" + report_line("b") + "\n"
+            sock.sendall(payload.encode())  # burst opened, never closed
+            sock.shutdown(socket.SHUT_WR)
+            reader = sock.makefile("rb")
+            envelopes = [Envelope.from_json(reader.readline().decode()) for _ in range(2)]
+            assert reader.readline() == b""  # server closed after the flush
+        assert [e.payload["burst"] for e in envelopes] == [2, 2]
+        assert gateway.batches == [2]
+
+
+class TestOverload:
+    def test_shed_requests_answer_as_typed_overloaded_envelopes(self, serve_stub):
+        gateway = SlowGateway()
+        server = serve_stub(gateway, max_pending=1)
+        host, port = server.address
+        with NetClient(host, port, timeout=30) as client:
+            lines = [report_line("a"), report_line("b"), report_line("c")]
+            payload = "".join(line + "\n" for line in lines).encode()
+            client.connect()
+            client._sock.sendall(payload)
+            # b and c must shed while a is still executing; only then let
+            # the gateway answer.
+            deadline = time.monotonic() + 10
+            while server.stats["shed"] < 2 and time.monotonic() < deadline:
+                time.sleep(0.005)
+            gateway.release.set()
+            envelopes = [Envelope.from_json(client._read_line()) for _ in range(3)]
+        assert envelopes[0].ok and envelopes[0].target_id == "a"
+        for envelope, target in zip(envelopes[1:], ("b", "c")):
+            assert not envelope.ok
+            assert envelope.target_id == target
+            assert envelope.error["type"] == "overloaded"
+        assert server.stats["accepted"] == 1
+        assert server.stats["shed"] == 2
+        deadline = time.monotonic() + 5
+        while server.stats["served"] < 3 and time.monotonic() < deadline:
+            time.sleep(0.005)
+        assert server.stats["served"] == 3  # nothing silently dropped
+
+    def test_envelope_shape_matches_the_codec(self):
+        envelope = overloaded_envelope(ReportRequest("t1"), limit=4)
+        decoded = json.loads(envelope.to_json())
+        assert decoded["ok"] is False
+        assert decoded["kind"] == "report"
+        assert decoded["error"]["type"] == "overloaded"
+        assert Envelope.from_json(envelope.to_json()).error["type"] == "overloaded"
+
+    def test_hard_cap_bounds_the_queue_and_loses_nothing(self, serve_stub):
+        gateway = SlowGateway()
+        server = serve_stub(gateway, max_pending=1, hard_cap=3)
+        host, port = server.address
+        n = 12
+        with NetClient(host, port, timeout=30) as client:
+            lines = [report_line(f"t{i}") for i in range(n)]
+            client.connect()
+            client._sock.sendall("".join(line + "\n" for line in lines).encode())
+            time.sleep(0.2)  # let the reader park at the cap
+            gateway.release.set()
+            envelopes = [Envelope.from_json(client._read_line()) for _ in range(n)]
+        # Every request was answered, in order, exactly once …
+        assert [e.target_id for e in envelopes] == [f"t{i}" for i in range(n)]
+        for envelope in envelopes:
+            assert envelope.ok or envelope.error["type"] == "overloaded"
+        # … the books balance, and the queue never blew past the cap.
+        assert server.stats["accepted"] + server.stats["shed"] == n
+        # served ticks just after the write drains; give the loop a beat.
+        deadline = time.monotonic() + 5
+        while server.stats["served"] < n and time.monotonic() < deadline:
+            time.sleep(0.005)
+        assert server.stats["served"] == n
+        assert server.stats["peak_queue_depth"] <= 3
+
+    def test_max_pending_zero_sheds_everything(self, serve_stub):
+        server = serve_stub(StubGateway(), max_pending=0, hard_cap=8)
+        host, port = server.address
+        with NetClient(host, port) as client:
+            envelopes = raw_exchange(client, [report_line("a")], 1)
+        assert envelopes[0].error["type"] == "overloaded"
+
+
+class TestMisbehavingClients:
+    def test_client_vanishing_mid_burst_does_not_poison_the_server(self, serve_stub):
+        server = serve_stub(StubGateway())
+        host, port = server.address
+        sock = socket.create_connection(server.address, timeout=5)
+        sock.sendall(("\n" + report_line("doomed") + "\n").encode())
+        sock.close()  # gone without reading, burst left open
+        deadline = time.monotonic() + 10
+        while server.stats["connections_closed"] < 1 and time.monotonic() < deadline:
+            time.sleep(0.005)
+        assert server.stats["connections_closed"] == 1
+        # The server still serves the next client.
+        with NetClient(host, port) as client:
+            [envelope] = raw_exchange(client, [report_line("alive")], 1)
+        assert envelope.ok
+
+    def test_binary_junk_comes_back_as_invalid_envelopes(self, serve_stub):
+        server = serve_stub(StubGateway())
+        with socket.create_connection(server.address, timeout=10) as sock:
+            sock.settimeout(10)
+            sock.sendall(b"\xff\xfe\x00garbage\n" + report_line("ok").encode() + b"\n")
+            reader = sock.makefile("rb")
+            junk = Envelope.from_json(reader.readline().decode("utf-8", "replace"))
+            good = Envelope.from_json(reader.readline().decode())
+        assert not junk.ok
+        assert good.ok and good.target_id == "ok"
+
+
+class TestConstruction:
+    def test_hard_cap_must_exceed_max_pending(self):
+        with pytest.raises(ValueError):
+            NetServer(StubGateway(), max_pending=4, hard_cap=4)
+
+    def test_address_requires_a_bound_socket(self):
+        with pytest.raises(RuntimeError):
+            NetServer(StubGateway()).address

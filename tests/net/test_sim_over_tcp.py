@@ -1,0 +1,137 @@
+"""The transport-determinism oracle: TCP runs are byte-identical to
+in-process runs, with the network fault plans firing.
+
+This is the acceptance test of the networked-serving PR: a deterministic
+workload spec replayed through a real socket server (burst markers,
+bounded queues, connection churn, process-backed shards) must produce the
+exact transcript of an in-process run — and when the transport sheds
+load, the metrics books must still balance against the envelope record.
+"""
+
+import json
+import time
+
+import numpy as np
+import pytest
+
+from repro.net import NetClient, RemoteGateway
+from repro.serve import Envelope, PredictRequest
+from repro.serve.protocol import encode_request
+from repro.sim import (
+    InvariantSuite,
+    RequestRecord,
+    build_gateway,
+    create_fault_plan,
+    run_simulation,
+    verify_transport,
+)
+from repro.sim.spec import TraceEvent
+
+from sim_fixtures import make_spec
+
+
+class TestTransportDeterminism:
+    def test_tcp_transcript_is_byte_identical_to_in_process(self):
+        ok, detail, tcp_result, local_result = verify_transport(make_spec())
+        assert ok, detail
+        assert tcp_result.ok and local_result.ok
+        assert tcp_result.transcript_lines == local_result.transcript_lines
+
+    def test_conn_churn_over_process_shards_stays_byte_identical(self):
+        spec = make_spec(
+            fault_plan="conn_churn",
+            fault_options={"every": 2},
+            executor="process",
+        )
+        ok, detail, tcp_result, _ = verify_transport(spec)
+        assert ok, detail
+        churns = [f for f in tcp_result.faults if f["fault"] == "conn_churn"]
+        assert churns, "the oracle must fire: no churn was injected"
+        assert all(f["applied"] for f in churns)
+
+    def test_slow_client_backpressure_stays_byte_identical(self):
+        spec = make_spec(
+            fault_plan="slow_client",
+            fault_options={"every": 2, "stall_seconds": 0.05},
+        )
+        ok, detail, tcp_result, _ = verify_transport(spec)
+        assert ok, detail
+        stalls = [f for f in tcp_result.faults if f["fault"] == "slow_client"]
+        assert stalls and all(f["applied"] for f in stalls)
+
+
+class TestFaultPlanHonesty:
+    def test_network_faults_record_not_applied_in_process(self):
+        # In-process gateways have no connections: the plans must say so
+        # rather than pretend the fault happened.
+        for plan, options in (
+            ("conn_churn", {"every": 2}),
+            ("slow_client", {"every": 2, "stall_seconds": 0.01}),
+        ):
+            result = run_simulation(
+                make_spec(n_ticks=3, fault_plan=plan, fault_options=options)
+            )
+            assert result.ok
+            assert result.faults, f"{plan}: the fault log is empty"
+            assert all(not f["applied"] for f in result.faults)
+
+    def test_unknown_fault_options_are_rejected(self):
+        with pytest.raises(ValueError, match="unknown option"):
+            create_fault_plan("conn_churn", bogus=1)
+        with pytest.raises(ValueError, match="unknown option"):
+            create_fault_plan("slow_client", stall=0.5)
+
+
+class TestOverloadAccounting:
+    def test_shed_requests_reconcile_with_the_metrics_books(self, serve_stub):
+        """Overload a tiny queue; every request answers, the books balance.
+
+        How many requests shed depends on worker/reader interleaving, so
+        the assertion is the one that matters operationally: zero hung
+        clients, every shed answered with the typed envelope, and the
+        ``metrics_accounting`` invariant reconciling whatever the actual
+        accepted/shed split was.
+        """
+        gateway = build_gateway(make_spec())
+        try:
+            server = serve_stub(gateway, max_pending=2)
+            host, port = server.address
+            remote = RemoteGateway(host, port, local=gateway)
+            suite = InvariantSuite(remote, verify_coalescing=False)
+
+            rng = np.random.default_rng(7)
+            requests = [
+                PredictRequest("fleet-00", rng.normal(size=(3, 8))) for _ in range(4)
+            ]
+            lines = ["", *(json.dumps(encode_request(r)) for r in requests), ""]
+            client = NetClient(host, port, timeout=30.0)
+            raw = client._exchange(lines, len(requests), idempotent=False)
+            envelopes = [Envelope.from_json(answer) for answer in raw]
+            client.close()
+
+            # Zero hung clients: one envelope per request, in order.
+            assert len(envelopes) == len(requests)
+            shed = [e for e in envelopes if e.error and e.error.get("type") == "overloaded"]
+            answered = [e for e in envelopes if e not in shed]
+            assert shed, "max_pending=2 with a 4-predict burst must shed"
+            assert answered, "the admitted prefix must still be served"
+
+            # Wait for the connection to fold up so queue gauges read 0.
+            deadline = time.monotonic() + 10
+            while server.stats["connections_closed"] < 1 and time.monotonic() < deadline:
+                time.sleep(0.005)
+
+            records = [
+                RequestRecord(
+                    TraceEvent(0, seq, request.kind, request.target_id, lines[seq + 1]),
+                    request,
+                    envelope,
+                )
+                for seq, (request, envelope) in enumerate(zip(requests, envelopes))
+            ]
+            suite.observe_tick(0, records)
+            assert suite.ok, [v.detail for v in suite.violations]
+            assert suite.checks["metrics_accounting"] == 1
+            assert server.stats["shed"] == len(shed)
+        finally:
+            gateway.close()
