@@ -103,6 +103,20 @@ def _train_batching_argument() -> dict:
     )
 
 
+def _snapshot_dir_argument() -> dict:
+    """Shared ``--snapshot-dir`` definition for the gateway subcommands."""
+    return dict(
+        default=None,
+        metavar="DIR",
+        help=(
+            "warm snapshot tier: spill evicted adapted models (weights, "
+            "report, streaming drift state) to repro.snapshot/v1 files under "
+            "this directory (per-shard subdirectories) and warm-resume them "
+            "on the next touch instead of cold-adapting"
+        ),
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the argument parser for the CLI."""
     from .data.drift import DRIFT_KINDS
@@ -191,6 +205,7 @@ def build_parser() -> argparse.ArgumentParser:
             "adapted model survives until evaluation)"
         ),
     )
+    adapt_parser.add_argument("--snapshot-dir", **_snapshot_dir_argument())
     adapt_parser.add_argument(
         "--report", default=None, help="optional path for a JSON file with per-target reports"
     )
@@ -255,6 +270,7 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="SCENARIO",
         help="restrict streaming to these scenario names (default: all)",
     )
+    stream_parser.add_argument("--snapshot-dir", **_snapshot_dir_argument())
     stream_parser.add_argument(
         "--events",
         default=None,
@@ -305,6 +321,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=128,
         help="buffered stream events that force a re-adaptation even without drift",
     )
+    serve_parser.add_argument("--snapshot-dir", **_snapshot_dir_argument())
     serve_parser.add_argument(
         "--metrics-out",
         default=None,
@@ -453,6 +470,18 @@ def build_parser() -> argparse.ArgumentParser:
             "drive a freshly started 'serve --listen' server speaking this "
             "spec (serve --workload-spec) instead of an in-process gateway; "
             "every request crosses the socket"
+        ),
+    )
+    simulate_parser.add_argument(
+        "--snapshot-dir",
+        default=None,
+        metavar="DIR",
+        help=(
+            "enable the warm snapshot tier (sets snapshots=true on the spec) "
+            "and spill under this directory for a plain run; under "
+            "--verify-replay each leg instead uses a fresh private temporary "
+            "store, so both transcripts start from an empty tier and stay "
+            "byte-comparable"
         ),
     )
     simulate_parser.add_argument(
@@ -646,6 +675,7 @@ def _build_gateway(args: argparse.Namespace, bundle, max_cached: int, **service_
         max_cached_models=max_cached,
         base_seed=args.seed,
         service_options=service_options or None,
+        snapshot_dir=getattr(args, "snapshot_dir", None),
     )
 
 
@@ -886,7 +916,7 @@ def _serve(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
             from .sim import build_gateway, load_spec
 
             spec = load_spec(args.workload_spec)
-            gateway = build_gateway(spec, tracer=tracer)
+            gateway = build_gateway(spec, tracer=tracer, snapshot_dir=args.snapshot_dir)
             described = f"spec={args.workload_spec}"
         else:
             gateway = Gateway.from_task(
@@ -904,6 +934,7 @@ def _serve(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
                     "readapt_budget": args.budget,
                 },
                 tracer=tracer,
+                snapshot_dir=args.snapshot_dir,
             )
             described = (
                 f"task={args.task} scheme={args.scheme} scale={args.scale} "
@@ -1104,6 +1135,8 @@ def _simulate(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
             overrides["train_batching"] = args.train_batching
         if args.ticks is not None:
             overrides["n_ticks"] = args.ticks
+        if args.snapshot_dir is not None:
+            overrides["snapshots"] = True
         if overrides:
             spec = spec.replace(**overrides)
     except (ValueError, OSError) as exc:
@@ -1127,7 +1160,18 @@ def _simulate(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
             finally:
                 remote.close()
         elif args.verify_replay:
+            # Each leg builds its own gateway with a fresh private temp
+            # store — a shared --snapshot-dir would let run 1's spills warm
+            # run 2 and break byte-comparability by construction.
             replay_ok, replay_detail, result = verify_replay(spec, tracer=tracer)
+        elif args.snapshot_dir is not None:
+            from .sim import build_gateway
+
+            gateway = build_gateway(spec, tracer=tracer, snapshot_dir=args.snapshot_dir)
+            try:
+                result = run_simulation(spec, gateway=gateway)
+            finally:
+                gateway.close()
         else:
             result = run_simulation(spec, tracer=tracer)
     except ValueError as exc:

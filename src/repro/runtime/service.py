@@ -44,6 +44,12 @@ from ..nn.stacked import StackingError, assert_stackable
 from ..nn.trainer import predict_batched
 from ..obs import MetricsRegistry, Stopwatch, use_metrics
 from .report import AdaptationReport
+from .snapshots import (
+    SnapshotError,
+    SnapshotStore,
+    encode_model_weights,
+    restore_model_weights,
+)
 from .workers import EXECUTOR_KINDS, AdaptationWorkerPool
 
 __all__ = ["AdaptationService", "canonical_target_id"]
@@ -107,6 +113,15 @@ class AdaptationService:
         builds its own (enabled) registry when none is given.  Cache
         hits/misses/evictions, adaptation counts and latency by mode, and
         the engine's epoch timing all land here.
+    snapshot_store:
+        Optional :class:`~repro.runtime.SnapshotStore` warm tier.  With a
+        store attached, every eviction — explicit :meth:`evict` and LRU
+        capacity pressure alike — spills the adapted model's exact weights
+        and report (plus streaming drift state in the subclass) to disk,
+        and the next touch of that target warm-resumes bit-identical state
+        from the snapshot instead of falling back to a cold adaptation.
+        Corrupt snapshot files are detected by checksum, counted
+        (``snapshots.corrupt``), discarded, and degrade to a clean miss.
     """
 
     def __init__(
@@ -120,6 +135,7 @@ class AdaptationService:
         max_cached_models: int = 8,
         base_seed: int = 0,
         metrics: MetricsRegistry | None = None,
+        snapshot_store: SnapshotStore | None = None,
     ) -> None:
         if max_cached_models < 1:
             raise ValueError("max_cached_models must be at least 1")
@@ -152,6 +168,7 @@ class AdaptationService:
         self._worker_pool: AdaptationWorkerPool | None = None
         self._warned_thread_executor = False
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.snapshot_store = snapshot_store
 
     # ------------------------------------------------------------------
     # Seeding
@@ -307,9 +324,110 @@ class AdaptationService:
             self._reports[target_id] = report
             self._models[target_id] = (model, threading.Lock())
             self._models.move_to_end(target_id)
-            while len(self._models) > self.max_cached_models:
-                self._models.popitem(last=False)
-                self.metrics.counter("service.cache.evictions", reason="capacity")
+            spilled = self._evict_over_capacity_locked()
+        self._spill_snapshots(spilled)
+
+    def _evict_over_capacity_locked(self) -> list[tuple[str, RegressionModel, AdaptationReport]]:
+        """Pop LRU entries past capacity; return what must spill to the snapshot tier.
+
+        Must run under ``self._lock``.  The actual disk writes happen later,
+        outside the lock: spilling streaming drift state takes per-stream
+        locks whose ordering forbids holding the cache lock, and disk IO
+        under the cache lock would stall every concurrent lookup anyway.
+        """
+        spilled: list[tuple[str, RegressionModel, AdaptationReport]] = []
+        while len(self._models) > self.max_cached_models:
+            evicted_id, (evicted_model, _lock) = self._models.popitem(last=False)
+            self.metrics.counter("service.cache.evictions", reason="capacity")
+            report = self._reports.get(evicted_id)
+            if self.snapshot_store is not None and report is not None:
+                spilled.append((evicted_id, evicted_model, report))
+        return spilled
+
+    # ------------------------------------------------------------------
+    # Snapshot tier (spill on evict, resume on next touch)
+    # ------------------------------------------------------------------
+    def _snapshot_stream_state(self, target_id: str) -> dict | None:
+        """Streaming drift state for a spilling target (batch service: none).
+
+        Overridden by :class:`~repro.streaming.StreamingAdaptationService`
+        to capture the target's drift monitor and round counters.
+        """
+        return None
+
+    def _spill_snapshots(
+        self, entries: list[tuple[str, RegressionModel, AdaptationReport]]
+    ) -> None:
+        """Write evicted ``(id, model, report)`` tuples to the snapshot tier.
+
+        Runs without any service lock held: each model left the cache
+        atomically with its report, so the tuple is self-consistent, and
+        concurrent spills of different targets write disjoint files (racing
+        spills of the *same* target each write a complete document and the
+        last atomic rename wins).
+        """
+        store = self.snapshot_store
+        if store is None:
+            return
+        for target_id, model, report in entries:
+            store.save(
+                target_id,
+                {
+                    "report": report.to_dict(),
+                    "weights": encode_model_weights(model),
+                    "stream": self._snapshot_stream_state(target_id),
+                },
+            )
+            self.metrics.counter("snapshots.spilled")
+
+    def _resume_from_snapshot(
+        self, target_id: str
+    ) -> tuple[RegressionModel, threading.Lock] | None:
+        """Rebuild a target's adapted model from its snapshot, if one exists.
+
+        Returns the freshly cached ``(model, forward_lock)`` entry, or
+        ``None`` for a clean miss.  A snapshot that exists but cannot be
+        trusted (checksum, schema, structure) is counted as
+        ``snapshots.corrupt``, deleted — so it is detected exactly once and
+        the accounting invariant ``resumed + corrupt <= spilled`` holds —
+        and treated as a miss; the caller then cold-adapts as before.
+        """
+        store = self.snapshot_store
+        if store is None:
+            return None
+        watch = Stopwatch()
+        model = copy.deepcopy(self._source_model)
+        try:
+            payload = store.load(target_id)
+            if payload is None:
+                return None
+            restore_model_weights(model, payload.get("weights"))
+            report = AdaptationReport.from_dict(payload["report"])
+        except SnapshotError:
+            store.discard(target_id)
+            self.metrics.counter("snapshots.corrupt")
+            return None
+        except (KeyError, TypeError, ValueError):
+            store.discard(target_id)
+            self.metrics.counter("snapshots.corrupt")
+            return None
+        model.eval()
+        entry = (model, threading.Lock())
+        with self._lock:
+            current = self._models.get(target_id)
+            if current is not None:
+                # A concurrent resume (or re-adaptation) won the race while
+                # we were reading disk; keep the cached entry authoritative.
+                self._models.move_to_end(target_id)
+                return current
+            self._reports[target_id] = report
+            self._models[target_id] = entry
+            self._models.move_to_end(target_id)
+            spilled = self._evict_over_capacity_locked()
+        self._spill_snapshots(spilled)
+        self.metrics.counter("snapshots.resumed")
+        self.metrics.observe("snapshots.resume_seconds", watch.elapsed())
+        return entry
 
     def check_train_batching(self, train_batching: int) -> int:
         """Validate a ``train_batching`` knob against the scheme and model.
@@ -608,13 +726,23 @@ class AdaptationService:
     def _model_and_lock(
         self, target_id: str
     ) -> tuple[RegressionModel, threading.Lock] | None:
-        """Atomically resolve a cached model together with its forward lock."""
+        """Atomically resolve a cached model together with its forward lock.
+
+        On a cache miss with a snapshot tier attached, the target's model is
+        warm-resumed from disk (bit-identical weights, original report)
+        before the miss is conceded — this one chokepoint serves
+        :meth:`model_for`, :meth:`predict`, the gateway micro-batcher, and
+        the streaming probes, so every touch of an evicted target resumes.
+        """
         target_id = canonical_target_id(target_id)
         with self._lock:
             entry = self._models.get(target_id)
             if entry is not None:
                 self._models.move_to_end(target_id)
-            return entry
+                return entry
+        if self.snapshot_store is None:
+            return None
+        return self._resume_from_snapshot(target_id)
 
     def model_for(self, target_id: str, required: bool = False) -> RegressionModel | None:
         """The cached adapted model for ``target_id`` (``None`` if evicted).
@@ -701,16 +829,28 @@ class AdaptationService:
         ids actually evicted.  Eviction is exactly what LRU capacity
         pressure does, made explicit: adaptation is deterministic, so an
         evicted target can always be re-adapted to the same bits.
+
+        With a snapshot store attached, every evicted model spills to the
+        warm tier first, so the next touch resumes instead of cold-adapting.
         """
+        spilled: list[tuple[str, RegressionModel, AdaptationReport]] = []
         with self._lock:
             if target_id is None:
-                evicted = list(self._models)
+                popped = [(tid, entry[0]) for tid, entry in self._models.items()]
                 self._models.clear()
             else:
                 target_id = canonical_target_id(target_id)
-                evicted = [target_id] if self._models.pop(target_id, None) is not None else []
+                entry = self._models.pop(target_id, None)
+                popped = [(target_id, entry[0])] if entry is not None else []
+            evicted = [tid for tid, _model in popped]
+            if self.snapshot_store is not None:
+                for tid, model in popped:
+                    report = self._reports.get(tid)
+                    if report is not None:
+                        spilled.append((tid, model, report))
         if evicted:
             self.metrics.counter("service.cache.evictions", len(evicted), reason="explicit")
+        self._spill_snapshots(spilled)
         return evicted
 
     def report_for(self, target_id: str) -> AdaptationReport | None:

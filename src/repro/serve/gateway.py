@@ -35,6 +35,7 @@ from __future__ import annotations
 import hashlib
 import threading
 from concurrent.futures import Future, InvalidStateError, ThreadPoolExecutor
+from pathlib import Path
 from typing import Callable, Iterable, Sequence
 
 import numpy as np
@@ -46,6 +47,7 @@ from ..nn.losses import Loss
 from ..nn.models import RegressionModel
 from ..obs import RATIO_BUCKETS, MetricsRegistry, Tracer, now
 from ..runtime.service import AdaptationService, canonical_target_id
+from ..runtime.snapshots import SnapshotStore
 from ..runtime.workers import EXECUTOR_KINDS
 from ..streaming.service import StreamingAdaptationService
 from .batching import BatchPolicy, PredictPlan, run_model_group
@@ -266,6 +268,15 @@ class Gateway:
         Extra keyword arguments forwarded to every shard service
         constructor (e.g. ``min_adapt_events`` / ``readapt_budget`` for the
         streaming shards).
+    snapshot_dir:
+        Optional root directory for the tiered snapshot state.  Each shard
+        gets its own :class:`~repro.runtime.SnapshotStore` under
+        ``<snapshot_dir>/shard-<index>`` (shard placement is deterministic,
+        so a target's snapshot always lives under its shard's store):
+        evicted adapted models spill to disk and warm-resume on the next
+        touch, across both executors — spills and resumes happen in the
+        gateway process, so ``executor="process"`` changes nothing about
+        what lands on disk.
     metrics:
         The gateway-level :class:`~repro.obs.MetricsRegistry` (a fresh one
         by default).  Holds the request/queue/batching counters; each shard
@@ -293,6 +304,7 @@ class Gateway:
         batch_policy: BatchPolicy | None = None,
         train_batching: int = 1,
         service_options: dict | None = None,
+        snapshot_dir: str | None = None,
         metrics: MetricsRegistry | None = None,
         tracer: Tracer | None = None,
     ) -> None:
@@ -306,6 +318,7 @@ class Gateway:
         self.batch_policy = batch_policy if batch_policy is not None else BatchPolicy()
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.tracer = tracer
+        self.snapshot_dir = None if snapshot_dir is None else str(snapshot_dir)
         options = dict(service_options or {})
         common = dict(
             config=config,
@@ -316,10 +329,18 @@ class Gateway:
         )
         self.streaming = calibration is not None
         self._shards: list[AdaptationService] = []
-        for _ in range(n_shards):
+        for index in range(n_shards):
+            shard_kwargs = dict(common)
+            if self.snapshot_dir is not None:
+                # One store per shard under the shared root: rendezvous
+                # placement is deterministic, so a target's snapshot is
+                # always read back by the shard that wrote it.
+                shard_kwargs["snapshot_store"] = SnapshotStore(
+                    Path(self.snapshot_dir) / f"shard-{index}"
+                )
             if self.streaming:
                 service: AdaptationService = StreamingAdaptationService(
-                    source_model, calibration, **common, **options
+                    source_model, calibration, **shard_kwargs, **options
                 )
             else:
                 if options:
@@ -327,7 +348,7 @@ class Gateway:
                         "service_options requires a calibration (streaming shards); "
                         f"got {sorted(options)} for batch shards"
                     )
-                service = AdaptationService(source_model, calibration, **common)
+                service = AdaptationService(source_model, calibration, **shard_kwargs)
             self._shards.append(service)
         self._shard_workers = shard_workers
         # Every shard shares the strategy and the source model, so one

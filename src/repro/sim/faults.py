@@ -19,9 +19,10 @@ Plans live in a registry (:func:`register_fault_plan` /
 future PR can ship a new failure mode as one registration call.
 
 Shipped plans: ``none``, ``wire_chaos``, ``shard_crash``, ``cache_thrash``,
-``conn_churn``, ``slow_client`` (the last two act on the *transport* and so
-only bite when the simulator drives a live socket server; in-process they
-record ``applied=False`` and change nothing).
+``conn_churn``, ``slow_client``, ``snapshot_chaos`` (``conn_churn`` and
+``slow_client`` act on the *transport* and so only bite when the simulator
+drives a live socket server; in-process they record ``applied=False`` and
+change nothing).
 """
 
 from __future__ import annotations
@@ -219,6 +220,74 @@ class CacheThrashPlan(FaultPlan):
         self.record(tick=tick, fault="cache_thrash", evicted=sorted(evicted))
 
 
+class SnapshotChaosPlan(FaultPlan):
+    """Thrash the warm snapshot tier: scheduled evictions plus file rot.
+
+    Every ``every`` ticks the plan evicts every shard's LRU model cache —
+    with a :class:`~repro.runtime.SnapshotStore` attached each eviction
+    *spills* the adapted state to disk, so the next touch exercises the
+    warm-resume path instead of a cold re-adaptation.  Every
+    ``corrupt_every`` ticks it additionally **corrupts one snapshot file**
+    in place (truncated junk that fails the checksum), so a later resume
+    must detect the rot, count it (``snapshots.corrupt``), discard the
+    file, and fall back to a cold adapt — the corruption oracle.
+
+    Both halves are deterministic: evictions are scheduled by tick, and
+    the corruption victim is picked by sorting every shard store's file
+    list and indexing with tick arithmetic — no RNG, so two runs of the
+    same spec rot the same file at the same tick and the transcripts stay
+    byte-identical (which ``verify_replay`` checks with this plan active).
+
+    Without ``spec.snapshots`` the stores are absent; evictions still
+    fire (degrading to plain ``cache_thrash``) and corruption records
+    ``applied=False``.
+    """
+
+    name = "snapshot_chaos"
+
+    @classmethod
+    def option_defaults(cls) -> dict:
+        return {"every": 2, "corrupt_every": 4}
+
+    def before_tick(self, simulator: "Simulator", tick: int) -> None:
+        if tick == 0:
+            return
+        every = int(self.options["every"])
+        corrupt_every = int(self.options["corrupt_every"])
+        if every and tick % every == 0:
+            evicted: list[str] = []
+            for service in simulator.gateway.shards:
+                evicted.extend(service.evict())
+            self.record(tick=tick, fault="snapshot_evict", evicted=sorted(evicted))
+        if corrupt_every and tick % corrupt_every == 0:
+            victim = self._corrupt_one(simulator, tick)
+            self.record(
+                tick=tick,
+                fault="snapshot_corrupt",
+                applied=victim is not None,
+                file=victim,
+            )
+
+    @staticmethod
+    def _corrupt_one(simulator: "Simulator", tick: int) -> str | None:
+        """Rot one spilled snapshot, chosen without randomness.
+
+        Files are gathered per shard in shard order (each store's own list
+        is already sorted), so the victim index depends only on the spill
+        history — identical across replay runs of the same spec.
+        """
+        files = []
+        for service in simulator.gateway.shards:
+            store = getattr(service, "snapshot_store", None)
+            if store is not None:
+                files.extend(store.files())
+        if not files:
+            return None
+        victim = files[tick % len(files)]
+        victim.write_bytes(b'{"schema": "repro.snapshot/v1", "rotted": tru')
+        return victim.name
+
+
 class ConnChurnPlan(FaultPlan):
     """Drop every client connection every ``every`` ticks (network runs).
 
@@ -313,5 +382,6 @@ register_fault_plan("none", FaultPlan)
 register_fault_plan("wire_chaos", WireChaosPlan)
 register_fault_plan("shard_crash", ShardCrashPlan)
 register_fault_plan("cache_thrash", CacheThrashPlan)
+register_fault_plan("snapshot_chaos", SnapshotChaosPlan)
 register_fault_plan("conn_churn", ConnChurnPlan)
 register_fault_plan("slow_client", SlowClientPlan)

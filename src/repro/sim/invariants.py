@@ -23,7 +23,9 @@ every PR since the seed has promised:
   counters match the actions the ok stream envelopes reported, adaptation
   counters match adapt envelopes plus stream-triggered adaptations, cache
   hit/miss counters match the ``model`` attribution of ok predictions,
-  and every shard's queue-depth gauge is back to zero at tick end.  When
+  the snapshot-tier counters obey ``resumed + corrupt <= spilled`` (and
+  stay zero when no store is attached), and every shard's queue-depth
+  gauge is back to zero at tick end.  When
   the traffic crossed the socket transport (:mod:`repro.net`), the
   transport's per-connection ``net.*`` counters reconcile too: every wire
   line is exactly one of accepted/shed/invalid, accepted lines match the
@@ -384,6 +386,41 @@ class InvariantSuite:
                 f"engine.stack_replicas ({stack_replicas:g}) exceeds "
                 f"engine.runs ({engine_runs:g}); every stacked replica is "
                 "one engine run",
+            )
+        # Snapshot-tier accounting: a resume consumes a spill (the model
+        # re-enters the cache and must be evicted — spilled — again before
+        # the next resume), and a corrupt detection deletes the file, so a
+        # fresh spill must precede the next one.  Without a snapshot store
+        # the counters must never move at all.
+        spilled = delta("shards", "snapshots.spilled")
+        resumed = delta("shards", "snapshots.resumed")
+        corrupt = delta("shards", "snapshots.corrupt")
+        snapshot_tier = any(
+            getattr(service, "snapshot_store", None) is not None
+            for service in self.gateway.shards
+        )
+        if not snapshot_tier:
+            for counter, value in (
+                ("snapshots.spilled", spilled),
+                ("snapshots.resumed", resumed),
+                ("snapshots.corrupt", corrupt),
+            ):
+                expect(
+                    counter,
+                    "shards",
+                    0,
+                    value,
+                    "no snapshot store is attached, so the snapshot tier "
+                    "cannot count anything",
+                )
+        elif resumed + corrupt > spilled:
+            self._fail(
+                name,
+                tick,
+                f"snapshots.resumed ({resumed:g}) + snapshots.corrupt "
+                f"({corrupt:g}) exceeds snapshots.spilled ({spilled:g}); "
+                "every resume and every corruption detection consumes one "
+                "spilled file",
             )
         for entry in self.gateway.metrics.snapshot().get("gauges", []):
             if entry["name"] == "serve.queue_depth" and entry["value"] != 0:

@@ -153,7 +153,9 @@ class SimulationResult:
         }
 
 
-def build_gateway(spec: WorkloadSpec, tracer: Tracer | None = None) -> Gateway:
+def build_gateway(
+    spec: WorkloadSpec, tracer: Tracer | None = None, snapshot_dir: str | None = None
+) -> Gateway:
     """Stand up the gateway a spec describes (registry task + scheme).
 
     ``config_overrides`` land on the shared :class:`~repro.core.TasfarConfig`
@@ -161,7 +163,17 @@ def build_gateway(spec: WorkloadSpec, tracer: Tracer | None = None) -> Gateway:
     (``{"adaptation_epochs": 3, "early_stop": false}``) so a simulation run
     is fast *and* independent of early-stopping wall-clock noise.  An
     optional ``tracer`` records per-request spans for the whole run.
+
+    With ``spec.snapshots`` the gateway gets the warm snapshot tier.
+    ``snapshot_dir`` names where it lives (the CLI's ``--snapshot-dir``
+    pass-through — passing one enables the tier even when the spec leaves
+    ``snapshots`` off); by default each build gets a **fresh private
+    temporary directory** whose lifetime is tied to the gateway — a replay
+    verification then builds two gateways and each starts from an empty
+    store, keeping the two transcripts byte-identical by construction.
     """
+    import tempfile
+
     from ..core.config import TasfarConfig
 
     config = TasfarConfig(seed=spec.seed, **dict(spec.config_overrides))
@@ -172,7 +184,12 @@ def build_gateway(spec: WorkloadSpec, tracer: Tracer | None = None) -> Gateway:
     }
     if spec.warm_epochs is not None:
         service_options["warm_epochs"] = spec.warm_epochs
-    return Gateway.from_task(
+    snapshot_tmp = None
+    snapshots = spec.snapshots or snapshot_dir is not None
+    if snapshots and snapshot_dir is None:
+        snapshot_tmp = tempfile.TemporaryDirectory(prefix="repro-snapshots-")
+        snapshot_dir = snapshot_tmp.name
+    gateway = Gateway.from_task(
         spec.task,
         scheme=spec.scheme,
         scale=spec.scale,
@@ -186,7 +203,12 @@ def build_gateway(spec: WorkloadSpec, tracer: Tracer | None = None) -> Gateway:
         base_seed=spec.seed,
         service_options=service_options,
         tracer=tracer,
+        snapshot_dir=snapshot_dir if snapshots else None,
     )
+    # Pin the temp dir to the gateway: the spill files live exactly as long
+    # as the stack that wrote them.
+    gateway._snapshot_tmpdir = snapshot_tmp
+    return gateway
 
 
 class Simulator:

@@ -187,6 +187,13 @@ class WorkloadSpec:
     batched training pass per shard.  Only the lower bound is checked here;
     scheme/model stackability is validated when the gateway is built, so an
     incompatible combination fails before the first tick runs.
+
+    ``snapshots`` turns on the warm snapshot tier under every shard's LRU
+    cache: evicted adapted models spill to ``repro.snapshot/v1`` files and
+    warm-resume on the next touch.  The spec stays a pure value — it only
+    says *whether* the tier exists; the simulator backs it with a fresh
+    private temporary directory per gateway build, so replay verification
+    always starts from an empty store and stays byte-exact.
     """
 
     task: str = "housing"
@@ -199,6 +206,7 @@ class WorkloadSpec:
     shard_workers: int = 2
     executor: str = "thread"
     train_batching: int = 1
+    snapshots: bool = False
     max_cached_models: int | None = None
     min_adapt_events: int = 24
     readapt_budget: int = 64

@@ -51,6 +51,12 @@ from ..nn.models import RegressionModel
 from ..obs import MetricsRegistry, Stopwatch, use_metrics
 from ..runtime.report import AdaptationReport
 from ..runtime.service import AdaptationService, canonical_target_id
+from ..runtime.snapshots import (
+    SnapshotError,
+    SnapshotStore,
+    decode_drift_state,
+    encode_drift_state,
+)
 from ..uncertainty.mc_dropout import MCDropoutPredictor
 from .drift import DensityDriftMonitor, DriftDetector
 
@@ -126,6 +132,9 @@ class _TargetStream:
     events: list[StreamEvent] = field(default_factory=list)
     n_cold: int = 0
     n_warm: int = 0
+    #: last committed ``repro.snapshot/v1`` stream section — the fallback a
+    #: concurrent spill uses when this state's lock is held mid-ingest
+    spill_cache: dict | None = None
 
 
 @dataclass
@@ -222,6 +231,7 @@ class StreamingAdaptationService(AdaptationService):
         drift_warmup_events: int = 32,
         drift_mc_samples: int | None = None,
         metrics: MetricsRegistry | None = None,
+        snapshot_store: SnapshotStore | None = None,
     ) -> None:
         if calibration is None:
             # The base service can run calibration-free behind an explicit
@@ -242,6 +252,7 @@ class StreamingAdaptationService(AdaptationService):
             max_cached_models=max_cached_models,
             base_seed=base_seed,
             metrics=metrics,
+            snapshot_store=snapshot_store,
         )
         if min_adapt_events < 1:
             raise ValueError("min_adapt_events must be at least 1")
@@ -458,8 +469,87 @@ class StreamingAdaptationService(AdaptationService):
         with self._streams_lock:
             state = self._streams.get(target_id)
             if state is None:
-                state = self._streams[target_id] = _TargetStream()
+                state = self._streams[target_id] = self._restored_stream_state(target_id)
             return state
+
+    def _restored_stream_state(self, target_id: str) -> _TargetStream:
+        """A fresh per-target state, warm-resumed from the snapshot tier if possible.
+
+        In-memory streaming state is never LRU-evicted, so this restore only
+        matters for a *new process* picking up a fleet an earlier process
+        spilled: the round counters and the drift monitor come back from the
+        target's snapshot, making the next trigger a warm re-adaptation (the
+        model itself resumes lazily through the cache-miss chokepoint).  The
+        event buffer is deliberately transient and restarts empty.  A corrupt
+        snapshot reads as absent here; the model-resume path is the one place
+        that counts and discards it, so ``snapshots.corrupt`` is exact.
+        """
+        state = _TargetStream()
+        store = self.snapshot_store
+        if store is None:
+            return state
+        try:
+            payload = store.load(target_id)
+        except SnapshotError:
+            return state
+        if payload is None:
+            return state
+        stream = payload.get("stream")
+        if not isinstance(stream, dict):
+            return state
+        try:
+            monitor = decode_drift_state(
+                stream.get("monitor"), error_model=self._sigma_estimator.error_model
+            )
+            n_cold = int(stream["n_cold"])
+            n_warm = int(stream["n_warm"])
+            step = int(stream["step"])
+            total_events = int(stream["total_events"])
+        except (SnapshotError, KeyError, TypeError, ValueError):
+            return state
+        state.monitor = monitor
+        state.n_cold = n_cold
+        state.n_warm = n_warm
+        state.step = step
+        state.total_events = total_events
+        state.spill_cache = dict(stream)
+        return state
+
+    def _encode_stream_state(self, state: _TargetStream) -> dict:
+        """The ``stream`` section of a snapshot (caller holds ``state.lock``).
+
+        The buffer is deliberately not captured: buffered batches are raw
+        un-adapted events a restarted stream can simply re-accumulate, and
+        spilling them would multiply every snapshot by the buffer size.
+        """
+        return {
+            "n_cold": int(state.n_cold),
+            "n_warm": int(state.n_warm),
+            "step": int(state.step),
+            "total_events": int(state.total_events),
+            "monitor": encode_drift_state(state.monitor),
+        }
+
+    def _snapshot_stream_state(self, target_id: str) -> dict | None:
+        """Capture a spilling target's drift state without risking deadlock.
+
+        The spiller may already hold a *different* target's stream lock (a
+        commit whose ``_store_result`` evicted this target), so this never
+        blocks on ``state.lock``: it try-acquires for a live capture and
+        falls back to the last committed capture when the target is mid-
+        ingest on another thread.
+        """
+        state = self._peek_state(target_id)
+        if state is None:
+            return None
+        if state.lock.acquire(blocking=False):
+            try:
+                payload = self._encode_stream_state(state)
+                state.spill_cache = payload
+                return payload
+            finally:
+                state.lock.release()
+        return state.spill_cache
 
     def _probe(self, target_id: str, state: _TargetStream, batch: np.ndarray):
         """Update the drift monitor with the batch's confident predictions.
@@ -761,6 +851,11 @@ class StreamingAdaptationService(AdaptationService):
             state.n_warm += 1
         else:
             state.n_cold += 1
+        if self.snapshot_store is not None:
+            # Refresh the spill fallback while we legitimately hold the
+            # stream lock: a concurrent eviction that cannot take this lock
+            # spills this committed capture instead of skipping the target.
+            state.spill_cache = self._encode_stream_state(state)
         return report
 
     def _reference_density_map(

@@ -1,0 +1,145 @@
+"""Crash consistency for the snapshot tier, against real processes and signals.
+
+The durability claim of :class:`~repro.runtime.SnapshotStore` is that a
+writer killed at *any* point mid-spill can never leave a torn snapshot under
+the final name: a reader afterwards sees either the previous complete
+snapshot or a clean miss, and the only debris is a temp file that the next
+store opened on the directory garbage-collects.  In-process tests cannot
+fake a real ``SIGKILL`` between ``fsync`` and ``rename``, so these spawn a
+writer subprocess, stall it exactly there, and kill it for real.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.runtime import SnapshotStore
+
+REPO = Path(__file__).resolve().parent.parent.parent
+
+#: A writer that optionally lays down a good snapshot, then starts a second
+#: spill and stalls right after fsync — after the marker prints, the temp
+#: file exists, the data is durable in it, but the atomic rename has NOT
+#: happened.  Killing it there is the worst legal crash point.
+WRITER = """
+import os, sys, time
+from repro.runtime.snapshots import SnapshotStore
+
+root, with_old = sys.argv[1], sys.argv[2] == "old"
+store = SnapshotStore(root)
+if with_old:
+    store.save("t", {"report": {"phase": "old"}, "weights": [], "stream": None})
+real_fsync = os.fsync
+def stalling_fsync(fd):
+    real_fsync(fd)
+    print("MID-SPILL", flush=True)
+    time.sleep(120)
+os.fsync = stalling_fsync
+store.save("t", {"report": {"phase": "new"}, "weights": [], "stream": None})
+print("DONE", flush=True)
+"""
+
+
+def spawn_writer(root: Path, with_old: bool) -> subprocess.Popen:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src")
+    return subprocess.Popen(
+        [sys.executable, "-c", WRITER, str(root), "old" if with_old else "fresh"],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        env=env,
+        text=True,
+    )
+
+
+def wait_for_marker(proc: subprocess.Popen, marker: str, timeout: float = 60.0) -> None:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        line = proc.stdout.readline()
+        if not line:
+            break
+        if marker in line:
+            return
+    proc.kill()
+    pytest.fail(f"writer never reached the {marker} point")
+
+
+@pytest.mark.parametrize("with_old", [True, False], ids=["over_old_snapshot", "first_spill"])
+def test_writer_killed_mid_spill_never_leaves_a_torn_snapshot(tmp_path, with_old):
+    proc = spawn_writer(tmp_path, with_old)
+    try:
+        wait_for_marker(proc, "MID-SPILL")
+        # The writer is parked between fsync and rename: its temp file is on
+        # disk, the final name is not (or still holds the old document).
+        proc.send_signal(signal.SIGKILL)
+        proc.wait(timeout=60)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+
+    leftovers = list(tmp_path.glob(".*.tmp"))
+    assert leftovers, "the killed writer must leave its temp file behind"
+
+    # A store that skips GC (reading the directory cold, as any concurrent
+    # reader would) sees old-or-nothing, never the half-written new state.
+    reader = SnapshotStore.__new__(SnapshotStore)
+    reader.root = tmp_path
+    payload = reader.load("t")
+    if with_old:
+        assert payload is not None
+        assert payload["report"]["phase"] == "old"
+    else:
+        assert payload is None
+
+    # The next store opened on the directory sweeps the debris and still
+    # serves the same old-or-nothing answer.
+    reopened = SnapshotStore(tmp_path)
+    assert reopened.collected_temp_files == len(leftovers)
+    assert list(tmp_path.glob(".*.tmp")) == []
+    if with_old:
+        assert reopened.load("t")["report"]["phase"] == "old"
+    else:
+        assert reopened.load("t") is None
+
+
+def test_uninterrupted_writer_lands_the_new_snapshot(tmp_path):
+    """Control: without the kill, the same writer completes the replacement."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src")
+    script = WRITER.replace("time.sleep(120)", "pass")
+    done = subprocess.run(
+        [sys.executable, "-c", script, str(tmp_path), "old"],
+        capture_output=True,
+        env=env,
+        text=True,
+        timeout=120,
+    )
+    assert done.returncode == 0, done.stderr
+    assert "DONE" in done.stdout
+    store = SnapshotStore(tmp_path)
+    assert store.collected_temp_files == 0
+    assert store.load("t")["report"]["phase"] == "new"
+
+
+def test_interrupted_save_unlinks_its_temp_file(tmp_path):
+    """In-process crash point: an exception inside save leaves no debris."""
+    store = SnapshotStore(tmp_path)
+    real_fsync = os.fsync
+
+    def failing_fsync(fd):
+        raise OSError("disk on fire")
+
+    os.fsync = failing_fsync
+    try:
+        with pytest.raises(OSError, match="disk on fire"):
+            store.save("t", {"report": {}, "weights": [], "stream": None})
+    finally:
+        os.fsync = real_fsync
+    assert list(tmp_path.glob(".*.tmp")) == []
+    assert store.load("t") is None

@@ -1,0 +1,278 @@
+"""Hypothesis property tests for the ``repro.snapshot/v1`` codec and store.
+
+Three properties the warm tier rests on:
+
+* **round-trip identity** — arrays, model weights, density maps, and drift
+  state all survive encode/decode to the exact bytes (NaN payloads and
+  non-finite scalars included: the codec moves raw IEEE-754 bytes, not
+  parsed text);
+* **total decoding** — junk bytes, truncated files, and arbitrary payload
+  soups never raise anything but the typed :class:`SnapshotError`;
+* **version discipline** — a payload carrying any schema string other than
+  ``repro.snapshot/v1`` is rejected, whatever else it contains.
+"""
+
+import json
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.nn as nn
+from repro.core.density_map import LabelDensityMap
+from repro.runtime.snapshots import (
+    SNAPSHOT_SCHEMA,
+    SnapshotError,
+    SnapshotStore,
+    decode_array,
+    decode_density_map,
+    decode_drift_state,
+    encode_array,
+    encode_density_map,
+    encode_drift_state,
+    encode_model_weights,
+    restore_model_weights,
+)
+from repro.streaming.drift import DensityDriftMonitor, DriftDetector
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+any_floats = st.floats(allow_nan=True, allow_infinity=True, width=64)
+
+arrays = st.integers(min_value=1, max_value=3).flatmap(
+    lambda ndim: st.lists(
+        st.integers(min_value=1, max_value=4), min_size=ndim, max_size=ndim
+    ).flatmap(
+        lambda shape: st.lists(
+            any_floats,
+            min_size=int(np.prod(shape)),
+            max_size=int(np.prod(shape)),
+        ).map(lambda flat: np.array(flat, dtype=np.float64).reshape(shape))
+    )
+)
+
+#: Strictly increasing bin-edge vectors (what LabelDensityMap accepts).
+edge_vectors = st.lists(
+    st.floats(min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False),
+    min_size=2,
+    max_size=6,
+    unique=True,
+).map(lambda values: np.array(sorted(values), dtype=np.float64))
+
+
+@st.composite
+def density_maps(draw):
+    edges = [draw(edge_vectors) for _ in range(draw(st.integers(1, 2)))]
+    density = LabelDensityMap(edges)
+    flat = draw(
+        st.lists(
+            st.floats(min_value=0.0, max_value=1e3, allow_nan=False, allow_infinity=False),
+            min_size=int(np.prod(density.shape)),
+            max_size=int(np.prod(density.shape)),
+        )
+    )
+    density.densities = np.array(flat, dtype=np.float64).reshape(density.shape)
+    density._accumulated = draw(st.integers(0, 10_000))
+    return density
+
+
+@st.composite
+def drift_monitors(draw):
+    reference = draw(density_maps())
+    detector = DriftDetector(
+        threshold=draw(st.floats(1e-3, 10.0)),
+        delta=draw(st.floats(0.0, 1.0)),
+        min_samples=draw(st.integers(1, 50)),
+    )
+    monitor = DensityDriftMonitor(
+        reference,
+        detector,
+        window_decay=draw(st.floats(0.01, 0.99)),
+        warmup_events=draw(st.integers(0, 100)),
+        error_model=None,
+    )
+    # Mid-flight internal state, set the way a live stream would leave it.
+    detector.n_observations = draw(st.integers(0, 1000))
+    detector._mean = draw(st.floats(-10.0, 10.0))
+    detector._cumulative = draw(st.floats(-10.0, 10.0))
+    detector._cumulative_min = draw(st.floats(-10.0, 10.0))
+    detector.drifted = draw(st.booleans())
+    recent_flat = draw(
+        st.lists(
+            st.floats(min_value=0.0, max_value=1e3, allow_nan=False, allow_infinity=False),
+            min_size=int(np.prod(monitor.recent.shape)),
+            max_size=int(np.prod(monitor.recent.shape)),
+        )
+    )
+    monitor.recent._map.densities = np.array(recent_flat, dtype=np.float64).reshape(
+        monitor.recent.shape
+    )
+    monitor.recent._map._accumulated = draw(st.integers(0, 10_000))
+    monitor.recent.n_events = draw(st.integers(0, 10_000))
+    monitor.recent.n_updates = draw(st.integers(0, 10_000))
+    return monitor
+
+
+json_values = st.recursive(
+    st.one_of(
+        st.none(),
+        st.booleans(),
+        st.integers(min_value=-(2**31), max_value=2**31),
+        st.floats(allow_nan=False, allow_infinity=False),
+        st.text(max_size=8),
+    ),
+    lambda children: st.one_of(
+        st.lists(children, max_size=3),
+        st.dictionaries(st.text(max_size=6), children, max_size=3),
+    ),
+    max_leaves=8,
+)
+
+
+# ----------------------------------------------------------------------
+# Round-trip identity
+# ----------------------------------------------------------------------
+@settings(max_examples=60, deadline=None)
+@given(array=arrays)
+def test_array_round_trip_is_byte_identical(array):
+    decoded = decode_array(encode_array(array))
+    assert decoded.shape == array.shape
+    assert decoded.dtype == array.dtype
+    assert decoded.tobytes() == array.tobytes()  # NaN bit patterns included
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 2**31), scale=st.floats(0.01, 10.0))
+def test_model_weights_round_trip_restores_exact_bytes(seed, scale):
+    from repro.nn import parameter_bytes
+
+    original = nn.build_mlp(3, 1, hidden_dims=(5,), seed=int(seed))
+    rng = np.random.default_rng(int(seed))
+    for param in original.parameters():
+        param.data[...] = scale * rng.normal(size=param.data.shape)
+    blank = nn.build_mlp(3, 1, hidden_dims=(5,), seed=0)
+    restore_model_weights(blank, encode_model_weights(original))
+    assert parameter_bytes(blank) == parameter_bytes(original)
+
+
+@settings(max_examples=30, deadline=None)
+@given(density=density_maps())
+def test_density_map_round_trip_is_exact(density):
+    decoded = decode_density_map(encode_density_map(density))
+    assert decoded.densities.tobytes() == density.densities.tobytes()
+    assert decoded._accumulated == density._accumulated
+    assert len(decoded.edges) == len(density.edges)
+    for a, b in zip(decoded.edges, density.edges):
+        assert a.tobytes() == b.tobytes()
+
+
+@settings(max_examples=30, deadline=None)
+@given(monitor=drift_monitors())
+def test_drift_state_round_trip_is_a_fixed_point(monitor):
+    payload = encode_drift_state(monitor)
+    decoded = decode_drift_state(json.loads(json.dumps(payload)))
+    assert encode_drift_state(decoded) == payload
+
+
+def test_none_sections_round_trip():
+    assert decode_density_map(None) is None
+    assert decode_drift_state(None) is None
+    assert encode_density_map(None) is None
+    assert encode_drift_state(None) is None
+
+
+@settings(max_examples=25, deadline=None)
+@given(payload=st.dictionaries(st.text(max_size=6), json_values, max_size=4))
+def test_store_save_load_round_trips_payload_sections(tmp_path_factory, payload):
+    store = SnapshotStore(tmp_path_factory.mktemp("store"))
+    store.save("target", {"report": payload, "weights": [], "stream": None})
+    loaded = store.load("target")
+    assert loaded["report"] == json.loads(json.dumps(payload))
+    assert loaded["schema"] == SNAPSHOT_SCHEMA
+    assert loaded["target_id"] == "target"
+
+
+@settings(max_examples=40, deadline=None)
+@given(a=st.text(min_size=1, max_size=30), b=st.text(min_size=1, max_size=30))
+def test_distinct_target_ids_never_share_a_file(tmp_path_factory, a, b):
+    store = SnapshotStore(tmp_path_factory.mktemp("store"))
+    if a == b:
+        assert store.path_for(a) == store.path_for(b)
+    else:
+        # Even ids that sanitize to the same slug diverge through the digest.
+        assert store.path_for(a) != store.path_for(b)
+
+
+# ----------------------------------------------------------------------
+# Total decoding: junk never escapes SnapshotError
+# ----------------------------------------------------------------------
+@settings(max_examples=60, deadline=None)
+@given(junk=st.binary(max_size=200))
+def test_junk_bytes_raise_only_snapshot_error(tmp_path_factory, junk):
+    store = SnapshotStore(tmp_path_factory.mktemp("store"))
+    store.path_for("t").write_bytes(junk)
+    try:
+        store.load("t")
+    except SnapshotError:
+        pass  # the only exception allowed out
+    else:
+        raise AssertionError("junk bytes must not load as a snapshot")
+    assert store.has("t") is False
+
+
+@settings(max_examples=40, deadline=None)
+@given(cut=st.floats(min_value=0.0, max_value=1.0))
+def test_truncated_snapshot_raises_only_snapshot_error(tmp_path_factory, cut):
+    store = SnapshotStore(tmp_path_factory.mktemp("store"))
+    store.save("t", {"report": {"k": 1}, "weights": [], "stream": None})
+    path = store.path_for("t")
+    text = path.read_bytes()
+    # Cut anywhere strictly inside the document (len-2 keeps at least the
+    # closing brace missing; the full text minus its newline is still the
+    # complete, valid document and is excluded on purpose).
+    path.write_bytes(text[: int(cut * (len(text) - 2))])
+    try:
+        store.load("t")
+    except SnapshotError:
+        pass
+    else:
+        raise AssertionError("a truncated snapshot must not load")
+
+
+@settings(max_examples=40, deadline=None)
+@given(spec=json_values)
+def test_decode_array_rejects_soup_with_snapshot_error_only(spec):
+    try:
+        decode_array(spec if isinstance(spec, dict) else {"shape": spec})
+    except SnapshotError:
+        pass
+    # A dict that happens to be a valid encoding decoding cleanly is fine.
+
+
+@settings(max_examples=40, deadline=None)
+@given(payload=json_values)
+def test_decode_drift_state_rejects_soup_with_snapshot_error_only(payload):
+    if payload is None:
+        return
+    try:
+        decode_drift_state(payload)
+    except SnapshotError:
+        pass
+
+
+@settings(max_examples=25, deadline=None)
+@given(version=st.text(max_size=20).filter(lambda v: v != SNAPSHOT_SCHEMA))
+def test_unknown_schema_version_is_rejected(tmp_path_factory, version):
+    store = SnapshotStore(tmp_path_factory.mktemp("store"))
+    store.save("t", {"report": {}, "weights": [], "stream": None})
+    path = store.path_for("t")
+    payload = json.loads(path.read_text())
+    payload["schema"] = version
+    path.write_text(json.dumps(payload))
+    try:
+        store.load("t")
+    except SnapshotError:
+        pass
+    else:
+        raise AssertionError(f"schema {version!r} must be rejected")

@@ -1,0 +1,143 @@
+"""The ``snapshot_chaos`` fault plan and its corruption oracle.
+
+Three claims, each checked from both sides so no oracle can rot silently:
+
+* a chaos run with the warm tier on stays green *and* actually exercises
+  the tier — spills, warm resumes, and at least one detected corruption
+  all show up in the fleet counters and the fault log;
+* the snapshot counters reconcile (``resumed + corrupt <= spilled``; all
+  zero without a store), and the ``metrics_accounting`` invariant fires
+  when the books are doctored either way;
+* the whole thing is deterministic: ``verify_replay`` with snapshots and
+  chaos enabled is byte-identical across two runs from scratch.
+"""
+
+import json
+
+from repro.serve import ReportRequest
+from repro.sim import (
+    InvariantSuite,
+    RequestRecord,
+    Simulator,
+    fault_plan_names,
+    run_simulation,
+    verify_replay,
+)
+from repro.sim.spec import TraceEvent
+
+from sim_fixtures import make_spec
+
+
+def counter_total(metrics: dict, name: str) -> float:
+    """Sum one counter across every label set in a merged snapshot."""
+    return sum(
+        entry["value"] for entry in metrics.get("counters", []) if entry["name"] == name
+    )
+
+
+def source_fallbacks(result) -> int:
+    """How many ok predictions in the transcript fell back to the source model."""
+    count = 0
+    for line in result.transcript_lines:
+        envelope = json.loads(line)["envelope"]
+        if envelope["kind"] == "predict" and envelope["ok"]:
+            count += envelope["payload"]["model"] == "source"
+    return count
+
+
+def one_report_record(gateway) -> list[RequestRecord]:
+    """One real served request, wrapped the way the simulator hands records in."""
+    request = ReportRequest("fleet-00")
+    envelope = gateway.submit(request)
+    event = TraceEvent(0, 0, request.kind, request.target_id, "{}")
+    return [RequestRecord(event, request, envelope)]
+
+
+class TestSnapshotChaosRun:
+    def test_plan_is_registered(self):
+        assert "snapshot_chaos" in fault_plan_names()
+
+    def test_chaos_run_green_spills_resumes_and_detects_rot(self):
+        spec = make_spec(
+            snapshots=True,
+            fault_plan="snapshot_chaos",
+            fault_options={"every": 2, "corrupt_every": 4},
+        )
+        result = run_simulation(spec)
+        assert result.ok, result.invariant_report
+        assert any(f["fault"] == "snapshot_evict" and f["evicted"] for f in result.faults)
+        rot = [f for f in result.faults if f["fault"] == "snapshot_corrupt"]
+        assert rot and any(f["applied"] for f in rot)
+        spilled = counter_total(result.metrics, "snapshots.spilled")
+        resumed = counter_total(result.metrics, "snapshots.resumed")
+        corrupt = counter_total(result.metrics, "snapshots.corrupt")
+        assert spilled > 0
+        assert resumed > 0, "evicted targets must warm-resume, not just cold-adapt"
+        assert corrupt >= 1, "the rotted file must be detected, not served"
+        # The reconciliation identity the invariant suite enforces each tick.
+        assert resumed + corrupt <= spilled
+
+    def test_warm_resumes_eliminate_eviction_fallbacks(self):
+        # Same eviction cadence, with and without the warm tier.  The calm
+        # run's source fallbacks are pre-adaptation probes (users probed
+        # while their events are still buffering); cache_thrash adds
+        # eviction-induced ones on top.  With snapshots on, every touch of
+        # an evicted target resumes it first, so the count drops back to
+        # exactly the calm baseline.
+        calm = run_simulation(make_spec())
+        thrash = run_simulation(
+            make_spec(fault_plan="cache_thrash", fault_options={"every": 2})
+        )
+        warm = run_simulation(
+            make_spec(
+                snapshots=True,
+                fault_plan="snapshot_chaos",
+                fault_options={"every": 2, "corrupt_every": 0},
+            )
+        )
+        assert calm.ok and thrash.ok and warm.ok
+        assert source_fallbacks(thrash) > source_fallbacks(calm)
+        assert source_fallbacks(warm) == source_fallbacks(calm)
+        assert counter_total(warm.metrics, "snapshots.resumed") > 0
+
+    def test_verify_replay_with_snapshots_is_byte_identical(self):
+        ok, detail, result = verify_replay(
+            make_spec(snapshots=True, fault_plan="snapshot_chaos")
+        )
+        assert ok, detail
+        # The determinism claim is only interesting if the tier really ran.
+        assert counter_total(result.metrics, "snapshots.spilled") > 0
+
+
+class TestCorruptionOracleFiresBothWays:
+    def test_counters_stay_zero_without_a_store(self):
+        # snapshots defaults off: evictions degrade to plain cache_thrash,
+        # corruption finds no files, and the tier's counters must not move.
+        result = run_simulation(make_spec(fault_plan="snapshot_chaos"))
+        assert result.ok, result.invariant_report
+        for name in ("snapshots.spilled", "snapshots.resumed", "snapshots.corrupt"):
+            assert counter_total(result.metrics, name) == 0
+        rot = [f for f in result.faults if f["fault"] == "snapshot_corrupt"]
+        assert rot and all(not f["applied"] for f in rot)
+
+    def test_doctored_resume_books_caught(self):
+        # A resume with no spill behind it breaks resumed + corrupt <= spilled.
+        with Simulator(make_spec(snapshots=True, n_ticks=2)) as sim:
+            suite = InvariantSuite(sim.gateway)
+            sim.gateway.shards[0].metrics.counter("snapshots.resumed")
+            suite.observe_tick(0, one_report_record(sim.gateway))
+            assert any(
+                v.invariant == "metrics_accounting" and "snapshots.resumed" in v.detail
+                for v in suite.violations
+            )
+
+    def test_doctored_spill_without_store_caught(self):
+        # With no store attached the tier cannot legally count anything.
+        with Simulator(make_spec(n_ticks=2)) as sim:
+            suite = InvariantSuite(sim.gateway)
+            sim.gateway.shards[0].metrics.counter("snapshots.spilled")
+            suite.observe_tick(0, one_report_record(sim.gateway))
+            assert any(
+                v.invariant == "metrics_accounting" and "snapshots.spilled" in v.detail
+                for v in suite.violations
+            )
